@@ -1,0 +1,53 @@
+//! Compiler throughput: full Polaris and VFA pipelines over the
+//! evaluation kernels, plus the parser alone. Polaris' paper highlights
+//! that full inlining makes compile times grow — this bench quantifies
+//! our pipeline's cost per kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use polaris_core::PassOptions;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for name in ["TRFD", "OCEAN", "BDNA", "MDG", "TFFT2"] {
+        let b = polaris_benchmarks::by_name(name).unwrap();
+        group.bench_function(format!("polaris/{name}"), |bench| {
+            bench.iter_batched(
+                || b.program(),
+                |mut p| polaris_core::compile(&mut p, &PassOptions::polaris()).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("vfa/{name}"), |bench| {
+            bench.iter_batched(
+                || b.program(),
+                |mut p| polaris_core::compile(&mut p, &PassOptions::vfa()).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    let all = polaris_benchmarks::all();
+    let total_bytes: usize = all.iter().map(|b| b.source.len()).sum();
+    group.throughput(criterion::Throughput::Bytes(total_bytes as u64));
+    group.bench_function("suite", |bench| {
+        bench.iter(|| {
+            for b in &all {
+                std::hint::black_box(polaris_ir::parse(b.source).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Dependence-test microbenchmarks: the symbolic range test on the
+//! paper's TRFD and OCEAN subscripts versus Banerjee's inequalities on
+//! linear pairs, plus the cost growth on deep nests (the O(n²) vs
+//! O(3ⁿ) claim measured as time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polaris_core::ddtest::{banerjee, range_test, DdStats};
+use polaris_symbolic::poly::{DivPolicy, Poly};
+use polaris_symbolic::{Range, RangeEnv};
+
+fn poly(src: &str) -> Poly {
+    let full = format!("program t\nx = {src}\nend\n");
+    let prog = polaris_ir::parse(&full).unwrap();
+    match &prog.units[0].body.0[0].kind {
+        polaris_ir::StmtKind::Assign { rhs, .. } => Poly::from_expr(rhs, DivPolicy::Exact).unwrap(),
+        _ => unreachable!(),
+    }
+}
+
+fn il(var: &str, lo: &str, hi: &str) -> range_test::InnerLoop {
+    range_test::InnerLoop { var: var.into(), lo: poly(lo), hi: poly(hi), step: 1 }
+}
+
+fn bench_range_test(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_test");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    // TRFD: the worked example of §3.3.1.
+    let trfd = range_test::RefSpec {
+        subs: vec![poly("(i*(n**2+n) + j**2 - j)/2 + k + 1")],
+        inner: vec![il("J", "0", "n - 1"), il("K", "0", "j - 1")],
+    };
+    let mut env = RangeEnv::new();
+    env.set("N", Range::at_least(Poly::int(1)));
+    env.set("I", Range::new(Some(Poly::int(0)), Some(poly("m - 1"))));
+    let sl = il("I", "0", "m - 1");
+    group.bench_function("trfd_outer", |b| {
+        b.iter(|| {
+            let stats = DdStats::new();
+            assert!(range_test::no_carried_dependence(
+                &trfd, &trfd, "I", 1, &sl, &env, &stats, true
+            ));
+        })
+    });
+    // OCEAN: requires the permutation step.
+    let inner = vec![il("J", "0", "zk"), il("I", "0", "128")];
+    let f = range_test::RefSpec { subs: vec![poly("258*x*j + 129*k + i + 1")], inner: inner.clone() };
+    let g = range_test::RefSpec {
+        subs: vec![poly("258*x*j + 129*k + i + 1 + 129*x")],
+        inner,
+    };
+    let mut envk = RangeEnv::new();
+    envk.set("K", Range::new(Some(Poly::int(0)), Some(poly("x - 1"))));
+    envk.set("X", Range::at_least(Poly::int(1)));
+    envk.set("ZK", Range::at_least(Poly::int(0)));
+    let slk = il("K", "0", "x - 1");
+    group.bench_function("ocean_permuted", |b| {
+        b.iter(|| {
+            let stats = DdStats::new();
+            assert!(range_test::no_carried_dependence(
+                &f, &g, "K", 1, &slk, &envk, &stats, true
+            ));
+        })
+    });
+    group.finish();
+}
+
+fn bench_banerjee_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("banerjee_depth");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for n in [2usize, 4, 6, 8] {
+        let common: Vec<banerjee::Coupled> = (0..n)
+            .map(|k| banerjee::Coupled { a: (3 * k + 1) as i128, b: (3 * k + 1) as i128, lo: 0, hi: 9 })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let stats = DdStats::new();
+                std::hint::black_box(banerjee::carried_dependence_possible(
+                    1, &common, 0, &[], &stats,
+                ));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_test, bench_banerjee_depth);
+criterion_main!(benches);

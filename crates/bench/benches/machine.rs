@@ -1,0 +1,33 @@
+//! Simulator throughput: how fast the cycle-level machine executes the
+//! evaluation kernels (this bounds how large Table-1 workloads can be).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use polaris_machine::{run, run_serial, MachineConfig};
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for name in ["ARC2D", "MDG", "TRACK"] {
+        let b = polaris_benchmarks::by_name(name).unwrap();
+        let prog = b.program();
+        let cycles = run_serial(&prog).unwrap().cycles;
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_function(format!("serial/{name}"), |bench| {
+            bench.iter(|| std::hint::black_box(run_serial(&prog).unwrap().cycles))
+        });
+        // compiled + 8-proc simulation (incl. speculative protocol for TRACK)
+        let mut pol = b.program();
+        polaris_core::compile(&mut pol, &polaris_core::PassOptions::polaris()).unwrap();
+        group.bench_function(format!("parallel8/{name}"), |bench| {
+            bench.iter(|| {
+                std::hint::black_box(run(&pol, &MachineConfig::challenge_8()).unwrap().cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

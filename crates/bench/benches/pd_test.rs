@@ -1,0 +1,62 @@
+//! The real-thread LRPD/PD test (§3.5): marking + analysis overhead and
+//! scaling of the speculative executor on a scatter workload, per
+//! thread count — the wall-clock companion to the deterministic
+//! `figure6` harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polaris_runtime::{run_sequential, speculative_doall};
+
+const N: usize = 1 << 16;
+
+fn scatter_key(collide: bool) -> Vec<usize> {
+    if collide {
+        (0..N).map(|i| i / 2).collect()
+    } else {
+        (0..N).map(|i| (i * 77 + 13) % N).collect()
+    }
+}
+
+fn bench_speculative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lrpd_scatter");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let perm = scatter_key(false);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("success", threads), &threads, |b, &p| {
+            let mut data = vec![0f64; N];
+            b.iter(|| {
+                let out = speculative_doall(&mut data, N, p, false, |i, v| {
+                    v.write(perm[i], i as f64);
+                });
+                assert!(out.success());
+            })
+        });
+    }
+    let collide = scatter_key(true);
+    for threads in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("fail_plus_serial", threads), &threads, |b, &p| {
+            let mut data = vec![0f64; N];
+            b.iter(|| {
+                let out = speculative_doall(&mut data, N, p, false, |i, v| {
+                    v.write(collide[i], i as f64);
+                });
+                assert!(!out.success());
+                run_sequential(&mut data, N, |i, v| {
+                    v.write(collide[i], i as f64);
+                });
+            })
+        });
+    }
+    group.bench_function("serial_reference", |b| {
+        let mut data = vec![0f64; N];
+        b.iter(|| {
+            run_sequential(&mut data, N, |i, v| {
+                v.write(perm[i], i as f64);
+            });
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_speculative);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. §3.3's claim that without nonlinear dependence testing several
+//!    codes "would exhibit a speedup of at most two" — range test off.
+//! 2. Array privatization off (gates BDNA/CMHOG/HYDRO2D/SWIM/TFFT2).
+//! 3. Generalized induction off (gates TRFD/SU2COR).
+//! 4. Run-time (LRPD) tests off (gates WAVE5/TRACK).
+//! 5. The direction-vector complexity claim: Banerjee-with-directions
+//!    explores O(3^n) vectors on deep nests where the range test does
+//!    O(n^2) probes.
+//! 6. Static vs dynamic DOALL scheduling on a triangular workload.
+
+use polaris_core::{compile, DdStats, InductionMode, PassOptions};
+use polaris_machine::{run, run_serial, MachineConfig, Schedule};
+
+fn speedup_with(bench: &polaris_benchmarks::Benchmark, opts: &PassOptions, procs: usize) -> f64 {
+    let serial = run_serial(&bench.program()).unwrap();
+    let mut p = bench.program();
+    compile(&mut p, opts).unwrap();
+    let r = run(&p, &MachineConfig::challenge_8().with_procs(procs)).unwrap();
+    assert_eq!(serial.output, r.output, "{} output mismatch", bench.name);
+    serial.cycles as f64 / r.cycles as f64
+}
+
+fn ablate(title: &str, names: &[&str], tweak: impl Fn(&mut PassOptions)) {
+    println!("--- {title}");
+    for name in names {
+        let b = polaris_benchmarks::by_name(name).unwrap();
+        let full = speedup_with(&b, &PassOptions::polaris(), 8);
+        let mut opts = PassOptions::polaris();
+        tweak(&mut opts);
+        let cut = speedup_with(&b, &opts, 8);
+        println!("  {:<9} full {:5.2}x   ablated {:5.2}x", b.name, full, cut);
+    }
+    println!();
+}
+
+fn main() {
+    println!("Ablations (8 processors)\n");
+
+    ablate(
+        "1. range test OFF (the §3.3 'speedup of at most two' claim)",
+        &["TRFD", "OCEAN"],
+        |o| {
+            o.range_test = false;
+            o.permutation = false;
+        },
+    );
+    ablate(
+        "2. array privatization OFF",
+        &["BDNA", "CMHOG", "HYDRO2D", "SWIM", "TFFT2"],
+        |o| o.array_privatization = false,
+    );
+    ablate("3. generalized induction OFF (simple only)", &["TRFD", "SU2COR"], |o| {
+        o.induction = InductionMode::Simple
+    });
+    ablate("4. run-time (LRPD) test OFF", &["WAVE5", "TRACK"], |o| o.speculation = false);
+
+    // 5. direction-vector complexity on synthetic deep nests.
+    println!("--- 5. direction vectors tested: Banerjee (O(3^n)) vs range test (O(n^2))");
+    println!("  {:<6} {:>18} {:>18}", "depth", "banerjee vectors", "range probes");
+    for n in 1..=7usize {
+        let src = deep_nest(n);
+        // Banerjee-only pipeline
+        let mut opts = PassOptions::vfa();
+        opts.induction = InductionMode::Off;
+        let mut p = polaris_ir::parse(&src).unwrap();
+        let _ = compile(&mut p, &opts).unwrap();
+        let banerjee = count_with(&src, &opts).0;
+        let polaris = count_with(&src, &PassOptions::polaris()).2;
+        println!("  {n:<6} {banerjee:>18} {polaris:>18}");
+    }
+    println!("  (synthetic nests; the paper's bounds are worst-case: O(3^n) vs O(n^2))");
+    println!();
+    println!("  counters over the full 16-code suite:");
+    let mut bsum = 0u64;
+    let mut rsum = 0u64;
+    for b in polaris_benchmarks::all() {
+        let (bv, _, _, _) = {
+            let mut p = b.program();
+            let rep = compile(&mut p, &PassOptions::vfa()).unwrap();
+            rep.dd_counters
+        };
+        let (_, _, rp, _) = {
+            let mut p = b.program();
+            let rep = compile(&mut p, &PassOptions::polaris()).unwrap();
+            rep.dd_counters
+        };
+        bsum += bv;
+        rsum += rp;
+    }
+    println!("  VFA direction vectors tested: {bsum}");
+    println!("  Polaris range-test probes:    {rsum}");
+    println!();
+
+    // 6. scheduling policy on a triangular DOALL.
+    println!("--- 6. static vs dynamic (self-scheduling) DOALL scheduling, triangular loop");
+    let src = "program tri\nreal a(500,500)\n!$polaris doall private(J)\ndo i = 1, 500\n  do j = 1, i\n    a(j, i) = j*0.5 + i\n  end do\nend do\nprint *, a(1,1)\nend\n";
+    let prog = polaris_ir::parse(src).unwrap();
+    let serial = run_serial(&prog).unwrap();
+    for (label, sched) in [
+        ("static", Schedule::Static),
+        ("dynamic(1)", Schedule::Dynamic { chunk: 1 }),
+        ("dynamic(8)", Schedule::Dynamic { chunk: 8 }),
+    ] {
+        let mut cfg = MachineConfig::challenge_8();
+        cfg.schedule = sched;
+        let r = run(&prog, &cfg).unwrap();
+        println!("  {label:<11} speedup {:5.2}x", serial.cycles as f64 / r.cycles as f64);
+    }
+}
+
+/// An n-deep nest whose dependence question exercises many direction
+/// vectors: every level contributes a coupled term.
+fn deep_nest(n: usize) -> String {
+    let mut src = String::from("program deep\nreal a(4000)\n");
+    let mut sub = String::new();
+    for k in 1..=n {
+        src.push_str(&format!("do i{k} = 1, 4\n"));
+        if k > 1 {
+            sub.push_str(" + ");
+        }
+        sub.push_str(&format!("{}*i{k}", 3 * k - 2));
+    }
+    src.push_str(&format!("a({sub} + 1) = a({sub} + 2) + 1.0\n"));
+    for _ in 0..n {
+        src.push_str("end do\n");
+    }
+    src.push_str("end\n");
+    src
+}
+
+/// Compile and return the dd counters (banerjee, gcd, range, perms).
+fn count_with(src: &str, opts: &PassOptions) -> (u64, u64, u64, u64) {
+    let mut p = polaris_ir::parse(src).unwrap();
+    let rep = compile(&mut p, opts).unwrap();
+    let _ = DdStats::new();
+    rep.dd_counters
+}

@@ -1,0 +1,142 @@
+//! Regenerate Figure 6: speedup and potential slowdown of the PD test
+//! on the TRACK NLFILT/300 partially parallel loop, versus processor
+//! count.
+//!
+//! Panel 1 (speedup): the kernel's scatter loop is parallel in 90% of
+//! its invocations; the failing invocations pay the test and re-execute
+//! serially. Speedup over the serial program is reported for 1..8
+//! processors (the paper used an 8-processor Alliant FX/80).
+//!
+//! Panel 2 (potential slowdown): an always-colliding variant measures
+//! (T_seq + T_pdt)/T_seq — the price of speculating wrongly, which
+//! shrinks as processors are added because the test itself is parallel.
+//!
+//! A third section repeats the experiment with *real threads* through
+//! `polaris-runtime`'s LRPD implementation (wall-clock, machine-dependent).
+
+use polaris_bench::bar;
+use polaris_core::PassOptions;
+use polaris_machine::{run, run_serial, MachineConfig};
+use std::time::Instant;
+
+fn main() {
+    let track = polaris_benchmarks::track();
+
+    println!("Figure 6 (simulated): TRACK NLFILT-style loop, 90% parallel invocations");
+    println!();
+    println!("Speedup vs processors:");
+    let serial = run_serial(&track.program()).unwrap();
+    let mut pol = track.program();
+    polaris_core::compile(&mut pol, &PassOptions::polaris()).unwrap();
+    for p in 1..=8usize {
+        let r = run(&pol, &MachineConfig::challenge_8().with_procs(p)).unwrap();
+        assert_eq!(r.output, serial.output);
+        let s = serial.cycles as f64 / r.cycles as f64;
+        println!("  p={p}  speedup {s:5.2}x  |{}", bar(s, 8.0));
+    }
+
+    println!();
+    println!("Potential slowdown vs processors (all invocations fail the test,");
+    println!("measured on the NLFILT loop itself: (T_seq + T_pdt)/T_seq):");
+    let fail_src = track.source.replace("mod(inv, 10) .eq. 0", "inv .ge. 1");
+    let fail_prog = polaris_ir::parse(&fail_src).unwrap();
+    let fail_serial = run_serial(&fail_prog).unwrap();
+    let mut fail_pol = polaris_ir::parse(&fail_src).unwrap();
+    polaris_core::compile(&mut fail_pol, &PassOptions::polaris()).unwrap();
+    for p in 1..=8usize {
+        let r = run(&fail_pol, &MachineConfig::challenge_8().with_procs(p)).unwrap();
+        assert_eq!(r.output, fail_serial.output);
+        // the loop that attempted speculation:
+        let spec_cycles: u64 = r
+            .loops
+            .values()
+            .filter(|s| s.spec_fail + s.spec_success > 0)
+            .map(|s| s.cycles)
+            .sum();
+        let base_cycles: u64 = fail_serial
+            .loops
+            .iter()
+            .filter(|(l, _)| {
+                r.loops
+                    .get(*l)
+                    .map(|s| s.spec_fail + s.spec_success > 0)
+                    .unwrap_or(false)
+            })
+            .map(|(_, s)| s.cycles)
+            .sum();
+        let slow = if p == 1 || base_cycles == 0 {
+            1.0
+        } else {
+            spec_cycles as f64 / base_cycles as f64
+        };
+        println!("  p={p}  slowdown {slow:5.3}  |{}", bar((slow - 1.0).max(0.0), 0.5));
+    }
+
+    println!();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("Real threads (polaris-runtime LRPD, wall-clock, {cores} core(s) available):");
+    if cores == 1 {
+        println!("  NOTE: this host exposes a single CPU; thread counts above 1");
+        println!("  cannot speed anything up here. The numbers below measure the");
+        println!("  LRPD overhead curve; run on a multicore host for scaling.");
+    }
+    real_thread_section();
+}
+
+/// The NLFILT-style workload on the real threaded LRPD runtime:
+/// 10 invocations, one of which collides.
+fn real_thread_section() {
+    const N: usize = 1 << 15;
+    const INVOCATIONS: usize = 10;
+    let perm: Vec<usize> = (0..N).map(|i| (i * 77 + 13) % N).collect();
+    let collide: Vec<usize> = (0..N).map(|i| i / 2).collect();
+
+    // The per-iteration body does real work (a short filter pipeline),
+    // as NLFILT does — with a trivial body the shadow marking dominates
+    // and no speedup is possible at any processor count.
+    fn body_value(i: usize, inv: usize) -> f64 {
+        let mut x = i as f64 * 1.01 + inv as f64;
+        for _ in 0..40 {
+            x = x * 0.99 + (x * 0.5).sin() * 0.01;
+        }
+        x
+    }
+
+    // serial reference
+    let mut data = vec![0f64; N];
+    let t0 = Instant::now();
+    for inv in 0..INVOCATIONS {
+        let key = if inv == 9 { &collide } else { &perm };
+        for i in 0..N {
+            data[key[i]] = body_value(i, inv);
+        }
+    }
+    let t_seq = t0.elapsed();
+    std::hint::black_box(&data);
+
+    for p in [1usize, 2, 4, 8] {
+        let mut d = vec![0f64; N];
+        let t0 = Instant::now();
+        for inv in 0..INVOCATIONS {
+            let key: &[usize] = if inv == 9 { &collide } else { &perm };
+            let out = polaris_runtime::speculative_doall(&mut d, N, p, false, |i, v| {
+                v.write(key[i], body_value(i, inv));
+            });
+            if !out.success() {
+                polaris_runtime::run_sequential(&mut d, N, |i, v| {
+                    v.write(key[i], body_value(i, inv));
+                });
+            }
+        }
+        let t_par = t0.elapsed();
+        std::hint::black_box(&d);
+        println!(
+            "  p={p}  wall {:.1}ms vs serial {:.1}ms  speedup {:.2}",
+            t_par.as_secs_f64() * 1e3,
+            t_seq.as_secs_f64() * 1e3,
+            t_seq.as_secs_f64() / t_par.as_secs_f64()
+        );
+    }
+    println!("  (shadow marking makes the constant factor large; the paper's");
+    println!("   hand-tuned Fortran version has the same qualitative curve)");
+}

@@ -1,0 +1,30 @@
+//! Regenerate Table 1: benchmark codes studied — origin, lines of code
+//! and serial execution time. Paper numbers are printed alongside ours;
+//! our kernels are mini-applications, so LoC and times are smaller by
+//! construction (see DESIGN.md).
+
+use polaris_machine::run_serial;
+
+fn main() {
+    println!("Table 1: Benchmark codes studied");
+    println!(
+        "{:<9} {:>8} | {:>9} {:>12} | {:>10} {:>12}",
+        "Program", "Origin", "LoC(ours)", "LoC(paper)", "Ser(ours)", "Ser(paper)"
+    );
+    println!("{:-<72}", "");
+    for b in polaris_benchmarks::all() {
+        let r = run_serial(&b.program()).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        println!(
+            "{:<9} {:>8} | {:>9} {:>12} | {:>9.3}s {:>11.0}s",
+            b.name,
+            b.origin.label(),
+            b.loc(),
+            b.paper_loc,
+            r.seconds(),
+            b.paper_serial_s,
+        );
+    }
+    println!();
+    println!("(ours: simulated seconds at 150 MHz on the cycle model;");
+    println!(" paper: wall-clock on one 150 MHz R4400 of the SGI Challenge)");
+}

@@ -1,0 +1,37 @@
+program applu
+! APPLU kernel: an SSOR wavefront sweep -- U(i,j) depends on U(i-1,j)
+! and U(i,j-1), so no loop in the hot nest is parallel for either
+! compiler (the paper's near-1 speedup group).
+      integer n, nsweep
+      parameter (n = 160, nsweep = 3)
+      real u(n, n), r(n, n)
+      integer sw
+      real csum
+
+      do j0 = 1, n
+        do i0 = 1, n
+          u(i0, j0) = 0.0
+          r(i0, j0) = 1.0/(i0 + j0)
+        end do
+      end do
+      do j0 = 1, n
+        u(1, j0) = 1.0
+      end do
+      do i0 = 1, n
+        u(i0, 1) = 1.0
+      end do
+
+      do sw = 1, nsweep
+        do j = 2, n
+          do i = 2, n
+            u(i, j) = 0.45*(u(i - 1, j) + u(i, j - 1)) + r(i, j)
+          end do
+        end do
+      end do
+
+      csum = 0.0
+      do jj = 1, n
+        csum = csum + u(n, jj)
+      end do
+      print *, 'applu checksum', csum
+      end

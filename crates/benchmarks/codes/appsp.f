@@ -1,0 +1,39 @@
+program appsp
+! APPSP kernel: batches of independent pentadiagonal solves with
+! pivoting conditionals. Both compilers parallelize across systems;
+! PFA's aggressive back end pays the conditional penalty.
+      integer nsys, n
+      parameter (nsys = 120, n = 90)
+      real d(n, nsys), rhs(n, nsys)
+      integer s, s0, ss
+      real piv, csum
+
+      do s0 = 1, nsys
+        do i0 = 1, n
+          d(i0, s0) = 2.0 + mod(i0 + s0, 5)*0.1
+          rhs(i0, s0) = 1.0/(i0 + s0)
+        end do
+      end do
+
+      do s = 1, nsys
+        do i = 2, n
+          piv = d(i - 1, s)
+          if (piv .lt. 0.5) then
+            piv = 0.5
+          end if
+          d(i, s) = d(i, s) - 0.3/piv
+          rhs(i, s) = rhs(i, s) - 0.3*rhs(i - 1, s)/piv
+        end do
+        do i = 1, n
+          if (d(i, s) .gt. 0.0) then
+            rhs(i, s) = rhs(i, s)/d(i, s)
+          end if
+        end do
+      end do
+
+      csum = 0.0
+      do ss = 1, nsys
+        csum = csum + rhs(n, ss)
+      end do
+      print *, 'appsp checksum', csum
+      end

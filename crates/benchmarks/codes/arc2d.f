@@ -1,0 +1,38 @@
+program arc2d
+! ARC2D kernel: implicit finite-difference smoothing sweeps. All loops
+! are linear and dense: both compilers parallelize everything, and a
+! back end that unrolls/fuses straight-line inner loops (PFA's) wins
+! slightly -- this is one of the two codes where PFA beats Polaris.
+      integer jmax, kmax, nsteps
+      parameter (jmax = 120, kmax = 120, nsteps = 3)
+      real p(jmax, kmax), w(jmax, kmax)
+      real csum
+
+      do k0 = 1, kmax
+        do j0 = 1, jmax
+          p(j0, k0) = 1.0/(j0 + k0)
+          w(j0, k0) = 0.0
+        end do
+      end do
+
+      do nn = 1, nsteps
+        do k = 2, kmax - 1
+          do j = 2, jmax - 1
+            w(j, k) = 0.25*(p(j - 1, k) + p(j + 1, k) + p(j, k - 1) + p(j, k + 1))
+          end do
+        end do
+        do k = 2, kmax - 1
+          do j = 2, jmax - 1
+            p(j, k) = p(j, k)*0.2 + w(j, k)*0.8
+          end do
+        end do
+      end do
+
+      csum = 0.0
+      do kk = 1, kmax
+        do jj = 1, jmax
+          csum = csum + p(jj, kk)
+        end do
+      end do
+      print *, 'arc2d checksum', csum
+      end

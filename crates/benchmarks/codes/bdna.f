@@ -1,0 +1,46 @@
+program bdna
+! BDNA kernel: the ACTFOR compaction idiom of Figure 5. The outer I
+! loop needs array privatization of A and IND, where the use A(IND(L))
+! is bounded through the recognized counter/index-array idiom.
+      integer n
+      parameter (n = 220)
+      real a(n), x(n, n), y(n, n)
+      integer ind(n), p, m
+      real r, w, rcuts, z, fsum
+
+      w = 0.05
+      rcuts = 0.9
+      z = 1.5
+      do i0 = 1, n
+        do j0 = 1, n
+          x(i0, j0) = 1.0/(i0 + 2*j0)
+          y(i0, j0) = 1.0/(2*i0 + j0)
+        end do
+      end do
+
+      do i = 2, n
+        do j = 1, i - 1
+          ind(j) = 0
+          a(j) = x(i, j) - y(i, j)
+          r = a(j) + w
+          if (r .lt. rcuts) ind(j) = 1
+        end do
+        p = 0
+        do k = 1, i - 1
+          if (ind(k) .ne. 0) then
+            p = p + 1
+            ind(p) = k
+          end if
+        end do
+        do l = 1, p
+          m = ind(l)
+          x(i, l) = a(m) + z
+        end do
+      end do
+
+      fsum = 0.0
+      do ii = 1, n
+        fsum = fsum + x(n, ii)
+      end do
+      print *, 'bdna checksum', fsum
+      end

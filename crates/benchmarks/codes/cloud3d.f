@@ -1,0 +1,35 @@
+program cloud3d
+! CLOUD3D kernel: atmospheric convection column physics. The column
+! microphysics is a genuine recurrence (serial for everyone) and the
+! per-level loops are too small to amortize a fork, so speedups hover
+! near 1 -- the paper's "additional strategies are necessary" group.
+      integer nz, ncol, nsteps
+      parameter (nz = 24, ncol = 60, nsteps = 40)
+      real s(ncol, nz), tgt(nz)
+      integer z, z0, zz, c, c0, step
+      real csum
+
+      do z0 = 1, nz
+        tgt(z0) = 0.5 + 0.01*z0
+        do c0 = 1, ncol
+          s(c0, z0) = 0.3 + 0.001*c0
+        end do
+      end do
+
+      do step = 1, nsteps
+        do z = 1, nz
+          tgt(z) = tgt(z)*0.999 + 0.001*z
+        end do
+        do c = 2, ncol
+          do z = 2, nz
+            s(c, z) = s(c, z - 1)*0.7 + s(c - 1, z)*0.1 + tgt(z)*0.2
+          end do
+        end do
+      end do
+
+      csum = 0.0
+      do zz = 1, nz
+        csum = csum + s(7, zz)
+      end do
+      print *, 'cloud3d checksum', csum
+      end

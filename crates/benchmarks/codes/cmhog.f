@@ -1,0 +1,31 @@
+program cmhog
+! CMHOG kernel: ideal-gas flux sweep with a privatized flux row per
+! column slice -- array privatization gates the outer loop; the inner
+! loops stay linear so the baseline still extracts some parallelism.
+      integer nj, nk
+      parameter (nj = 400, nk = 300)
+      real q(nj, nk)
+      real w(nj)
+      real csum
+
+      do k0 = 1, nk
+        do j0 = 1, nj
+          q(j0, k0) = 1.0 + 0.01*mod(j0 + k0, 13)
+        end do
+      end do
+
+      do k = 1, nk
+        do j = 1, nj
+          w(j) = q(j, k)*1.02 + 0.3
+        end do
+        do j = 2, nj - 1
+          q(j, k) = q(j, k) - 0.02*(w(j + 1) - w(j - 1))
+        end do
+      end do
+
+      csum = 0.0
+      do kk = 1, nk
+        csum = csum + q(3, kk)
+      end do
+      print *, 'cmhog checksum', csum
+      end

@@ -1,0 +1,37 @@
+program flo52
+! FLO52 kernel: transonic-flow multigrid smoothing plus a residual sum.
+! Like ARC2D everything is linear and straight-line; PFA's aggressive
+! code generation gives it the edge (the second PFA-wins code).
+      integer ni, nj, ncyc
+      parameter (ni = 110, nj = 110, ncyc = 3)
+      real wq(ni, nj), dw(ni, nj)
+      real res
+
+      do j0 = 1, nj
+        do i0 = 1, ni
+          wq(i0, j0) = (i0*1.0)/(j0 + 3)
+          dw(i0, j0) = 0.0
+        end do
+      end do
+
+      do nc = 1, ncyc
+        do j = 2, nj - 1
+          do i = 2, ni - 1
+            dw(i, j) = 0.25*(wq(i - 1, j) + wq(i + 1, j) + wq(i, j - 1) + wq(i, j + 1)) - wq(i, j)
+          end do
+        end do
+        do j = 2, nj - 1
+          do i = 2, ni - 1
+            wq(i, j) = wq(i, j) + 0.6*dw(i, j)
+          end do
+        end do
+      end do
+
+      res = 0.0
+      do jj = 2, nj - 1
+        do ii = 2, ni - 1
+          res = res + dw(ii, jj)*dw(ii, jj)
+        end do
+      end do
+      print *, 'flo52 residual', res
+      end

@@ -1,0 +1,41 @@
+program hydro2d
+! HYDRO2D kernel: Navier-Stokes flux sweep needing a privatized work
+! row, plus the timestep MAX reduction (which both compilers handle --
+! it is a scalar reduction).
+      integer nj, nk, nsteps
+      parameter (nj = 350, nk = 120, nsteps = 2)
+      real ro(nj, nk), vx(nj, nk)
+      real wr(nj)
+      real dtm, csum
+
+      do k0 = 1, nk
+        do j0 = 1, nj
+          ro(j0, k0) = 1.0 + 0.001*j0
+          vx(j0, k0) = 0.02*k0 - 0.01*j0
+        end do
+      end do
+
+      do nc = 1, nsteps
+        do k = 1, nk
+          do j = 1, nj
+            wr(j) = ro(j, k)*vx(j, k)
+          end do
+          do j = 2, nj - 1
+            ro(j, k) = ro(j, k) - 0.05*(wr(j + 1) - wr(j - 1))
+          end do
+        end do
+        dtm = 0.0
+        do k = 1, nk
+          do j = 1, nj
+            dtm = max(dtm, abs(vx(j, k)))
+          end do
+        end do
+        vx(1, 1) = vx(1, 1) + dtm*0.001
+      end do
+
+      csum = 0.0
+      do kk = 1, nk
+        csum = csum + ro(nj/2, kk)
+      end do
+      print *, 'hydro2d checksum', csum
+      end

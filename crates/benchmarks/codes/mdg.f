@@ -1,0 +1,31 @@
+program mdg
+! MDG kernel: pairwise molecular forces. The force array F is updated
+! through histogram (single-address and pair-symmetric) reductions:
+! only a compiler that parallelizes ARRAY reductions can run the outer
+! loop concurrently.
+      integer nm
+      parameter (nm = 150)
+      real x(nm), f(nm)
+      real rs, gg, eps, fsum
+
+      eps = 0.01
+      do i0 = 1, nm
+        x(i0) = i0*0.37
+        f(i0) = 0.0
+      end do
+
+      do i = 1, nm
+        do j = 1, nm
+          rs = x(i) - x(j)
+          gg = rs/(rs*rs + eps)
+          f(i) = f(i) + gg
+          f(j) = f(j) - gg
+        end do
+      end do
+
+      fsum = 0.0
+      do ii = 1, nm
+        fsum = fsum + f(ii)*f(ii)
+      end do
+      print *, 'mdg checksum', fsum
+      end

@@ -1,0 +1,44 @@
+program ocean
+! OCEAN kernel: the FTRVMT/109 nest of Figure 3. The middle loop's
+! stride (258*X) exceeds the outer loop's stride (129), so the outer
+! loop is parallel only after the range test permutes the nest; the
+! second reference is offset by 129*X, separating it from the first by
+! total-range disjointness. 44% of OCEAN's serial time.
+      integer nx, zmax, asize
+      parameter (nx = 8, zmax = 60)
+      parameter (asize = 258*nx*zmax + 258*nx + 129*nx + 130)
+      real a(asize)
+      integer z(nx), x
+      real csum
+
+! X is the paper's symbolic grid factor: in the real code it arrives
+! from input, so no amount of constant propagation can make the
+! subscripts linear. Model that with a guarded definition (the fact
+! X = NX never reaches the analyzer as a constant) plus the assertion
+! interprocedural analysis would have provided.
+      x = 0
+      if (asize .gt. 0) then
+        x = nx
+      end if
+!$assert (x .ge. 1)
+!$assert (x .le. nx)
+
+      do k0 = 1, x
+        z(k0) = zmax - 20 + mod(k0*7, 20)
+      end do
+
+      do k = 0, x - 1
+        do j = 0, z(k + 1)
+          do i = 0, 128
+            a(258*x*j + 129*k + i + 1) = i*0.5 + j
+            a(258*x*j + 129*k + i + 1 + 129*x) = i*0.25 - j
+          end do
+        end do
+      end do
+
+      csum = 0.0
+      do ii = 1, asize
+        csum = csum + a(ii)
+      end do
+      print *, 'ocean checksum', csum
+      end

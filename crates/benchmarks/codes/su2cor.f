@@ -1,0 +1,33 @@
+program su2cor
+! SU2COR kernel: Monte-Carlo lattice update addressed through an
+! induction variable whose recurrence spans two loop levels. Polaris'
+! generalized induction substitution linearizes it; the baseline's
+! "simple induction" cannot (the increment sits in an inner loop).
+      integer ns, n, tot
+      parameter (ns = 40, n = 600, tot = ns*n)
+      real u(tot), g(n)
+      integer s
+      integer k
+      real csum
+
+      do i0 = 1, n
+        g(i0) = 1.0/(3 + mod(i0, 7))
+      end do
+      do i0 = 1, tot
+        u(i0) = 0.5
+      end do
+
+      k = 0
+      do s = 1, ns
+        do i = 1, n
+          k = k + 1
+          u(k) = u(k)*0.99 + g(i)
+        end do
+      end do
+
+      csum = 0.0
+      do ii = 1, tot
+        csum = csum + u(ii)
+      end do
+      print *, 'su2cor checksum', csum
+      end

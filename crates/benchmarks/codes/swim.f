@@ -1,0 +1,43 @@
+program swim
+! SWIM kernel: shallow-water stencil updates. The U/V update needs a
+! privatized work row (flux row reused per latitude), which only
+! Polaris provides; the P update is plain linear and both handle it.
+      integer m, n, nsteps
+      parameter (m = 130, n = 130, nsteps = 2)
+      real u(m, n), v(m, n), pp(m, n)
+      real fl(m)
+      real csum
+
+      do j0 = 1, n
+        do i0 = 1, m
+          u(i0, j0) = 0.01*i0
+          v(i0, j0) = 0.01*j0
+          pp(i0, j0) = 50.0 + 0.1*(i0 + j0)
+        end do
+      end do
+
+      do nc = 1, nsteps
+        do j = 2, n - 1
+          do i = 1, m
+            fl(i) = u(i, j)*pp(i, j)
+          end do
+          do i = 2, m - 1
+            u(i, j) = u(i, j) - 0.05*(fl(i + 1) - fl(i - 1))
+            v(i, j) = v(i, j) - 0.05*(pp(i, j + 1) - pp(i, j - 1))
+          end do
+        end do
+        do j = 2, n - 1
+          do i = 2, m - 1
+            pp(i, j) = pp(i, j) - 0.1*(u(i + 1, j) - u(i - 1, j) + v(i, j + 1) - v(i, j - 1))
+          end do
+        end do
+      end do
+
+      csum = 0.0
+      do jj = 1, n
+        do ii = 1, m
+          csum = csum + pp(ii, jj)
+        end do
+      end do
+      print *, 'swim checksum', csum
+      end

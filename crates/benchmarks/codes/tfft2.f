@@ -1,0 +1,46 @@
+program tfft2
+! TFFT2 kernel: a batch of in-place radix-2 transforms, each in a
+! privatized workspace W. The butterfly indices are symbolic (powers of
+! two), so the copy-in/copy-out privatization of W -- proven against
+! W's declared bounds -- is the only path to parallelism.
+      integer nt, len
+      parameter (nt = 48, len = 64)
+      real f(nt*len), w(len)
+      integer t, b
+      integer le, le2, i1, i2
+      real t1, t2, csum
+
+      do i0 = 1, nt*len
+        f(i0) = mod(i0, 17)*0.25
+      end do
+
+      do t = 1, nt
+        do i = 1, len
+          w(i) = f(i + (t - 1)*len)
+        end do
+        le = 2
+        do istage = 1, 6
+          le2 = le/2
+          do b = 0, len/le - 1
+            do j = 1, le2
+              i1 = b*le + j
+              i2 = i1 + le2
+              t1 = w(i1) + w(i2)
+              t2 = w(i1) - w(i2)
+              w(i1) = t1
+              w(i2) = t2*0.7071
+            end do
+          end do
+          le = le*2
+        end do
+        do i = 1, len
+          f(i + (t - 1)*len) = w(i)
+        end do
+      end do
+
+      csum = 0.0
+      do ii = 1, nt*len
+        csum = csum + f(ii)
+      end do
+      print *, 'tfft2 checksum', csum
+      end

@@ -1,0 +1,49 @@
+program tomcatv
+! TOMCATV kernel: mesh generation sweeps whose hot bodies are full of
+! conditionals (clamping). Both compilers find the same parallelism;
+! PFA's aggressive back end backfires on the conditional-laden bodies
+! (one of the two codes the paper calls out).
+      integer n, niter
+      parameter (n = 120, niter = 3)
+      real xx(n, n), yy(n, n), rxm(n, n)
+      real csum, d
+
+      do j0 = 1, n
+        do i0 = 1, n
+          xx(i0, j0) = i0*0.3 + j0*0.01
+          yy(i0, j0) = j0*0.3 - i0*0.01
+          rxm(i0, j0) = 0.0
+        end do
+      end do
+
+      do it = 1, niter
+        do j = 2, n - 1
+          do i = 2, n - 1
+            d = xx(i + 1, j) - 2.0*xx(i, j) + xx(i - 1, j)
+            if (d .gt. 0.5) then
+              d = 0.5
+            else if (d .lt. -0.5) then
+              d = -0.5
+            end if
+            rxm(i, j) = d + 0.25*(yy(i, j + 1) - yy(i, j - 1))
+          end do
+        end do
+        do j = 2, n - 1
+          do i = 2, n - 1
+            if (rxm(i, j) .gt. 0.0) then
+              xx(i, j) = xx(i, j) + 0.1*rxm(i, j)
+            else
+              xx(i, j) = xx(i, j) + 0.05*rxm(i, j)
+            end if
+          end do
+        end do
+      end do
+
+      csum = 0.0
+      do jj = 1, n
+        do ii = 1, n
+          csum = csum + xx(ii, jj)
+        end do
+      end do
+      print *, 'tomcatv checksum', csum
+      end

@@ -1,0 +1,35 @@
+program track
+! TRACK kernel: the NLFILT/300 loop of Figure 6. The scatter index
+! array is recomputed before every invocation and forms a permutation
+! 90% of the time; the remaining invocations collide, the PD test
+! fails, and the loop re-executes serially.
+      integer n, ninv
+      parameter (n = 2048, ninv = 10)
+      real h(n), g(n)
+      integer key(n)
+      real csum
+
+      do i0 = 1, n
+        g(i0) = 1.0 + mod(i0, 9)*0.05
+        h(i0) = 0.0
+      end do
+
+      do inv = 1, ninv
+        do i = 1, n
+          if (mod(inv, 10) .eq. 0) then
+            key(i) = mod(i, n/2) + 1
+          else
+            key(i) = mod(i*77 + inv, n) + 1
+          end if
+        end do
+        do i = 1, n
+          h(key(i)) = g(i)*1.01 + inv*0.1
+        end do
+      end do
+
+      csum = 0.0
+      do ii = 1, n
+        csum = csum + h(ii)
+      end do
+      print *, 'track checksum', csum
+      end

@@ -1,0 +1,37 @@
+program trfd
+! TRFD kernel: integral transformation (the paper's OLDA/100 nest,
+! Figure 2). Cascaded induction variables X0 -> X feed a triangular
+! loop nest; after substitution the subscript of A is nonlinear in the
+! loop indices and only the range test can prove the outer loop
+! parallel. Roughly 70% of TRFD's serial time lives here.
+      integer m, n, nvir
+      parameter (m = 60, n = 48)
+      parameter (nvir = m*(n**2 + n)/2)
+      real a(nvir), v(n, n)
+      integer x, x0
+      real xsum
+
+      do i0 = 1, n
+        do j0 = 1, n
+          v(i0, j0) = 1.0/(i0 + j0)
+        end do
+      end do
+
+      x0 = 0
+      do i = 0, m - 1
+        x = x0
+        do j = 0, n - 1
+          do k = 0, j - 1
+            x = x + 1
+            a(x) = v(j + 1, k + 1)*2.0 + v(k + 1, j + 1)
+          end do
+        end do
+        x0 = x0 + (n**2 + n)/2
+      end do
+
+      xsum = 0.0
+      do ii = 1, nvir
+        xsum = xsum + a(ii)
+      end do
+      print *, 'trfd checksum', xsum
+      end

@@ -1,0 +1,33 @@
+program wave5
+! WAVE5 kernel: a particle-in-cell scatter through a runtime index
+! array. No compile-time test can disambiguate V(IPOS(P)); Polaris
+! parallelizes it speculatively with the PD test (the indices happen to
+! form a permutation, so speculation succeeds every time).
+      integer ng, nsteps
+      parameter (ng = 2048, nsteps = 3)
+      real v(ng), e(ng), q(ng)
+      integer p
+      integer ipos(ng)
+      real csum
+
+      do i0 = 1, ng
+        q(i0) = 1.0 + mod(i0, 3)*0.1
+        v(i0) = 0.0
+        ipos(i0) = mod(i0*77, ng) + 1
+      end do
+
+      do nc = 1, nsteps
+        do i = 1, ng
+          e(i) = 0.5*q(i) + 0.001*i + nc*0.01
+        end do
+        do p = 1, ng
+          v(ipos(p)) = e(p)*q(p) + nc*0.5
+        end do
+      end do
+
+      csum = 0.0
+      do ii = 1, ng
+        csum = csum + v(ii)
+      end do
+      print *, 'wave5 checksum', csum
+      end

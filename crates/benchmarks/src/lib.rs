@@ -1,0 +1,160 @@
+//! # polaris-benchmarks — the evaluation suite
+//!
+//! Mini-application kernels standing in for the 16 codes of the paper's
+//! Table 1 plus TRACK (Figure 6). Each kernel is written in F-Mini and
+//! reproduces the *loop idioms* the paper reports for its code — the
+//! quantities that drive Figure 7 (see DESIGN.md for the substitution
+//! argument and `EXPERIMENTS.md` for paper-vs-measured).
+//!
+//! Every kernel prints a checksum, which the test suite uses to verify
+//! that both compilers' outputs compute the same result as the original
+//! program, and that the machine's adversarial validation passes.
+
+use polaris_ir::Program;
+
+/// Where the original code came from (Table 1's "Origin" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    Perfect,
+    Spec,
+    Ncsa,
+}
+
+impl Origin {
+    pub fn label(self) -> &'static str {
+        match self {
+            Origin::Perfect => "PERFECT",
+            Origin::Spec => "SPEC",
+            Origin::Ncsa => "NCSA",
+        }
+    }
+}
+
+/// What the paper's Figure 7 shape expects of each code, used by the
+/// test suite as a coarse oracle on compiler behaviour (not on exact
+/// speedup values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// Polaris clearly ahead (its headline techniques gate the hot loop).
+    PolarisWins,
+    /// Both do well (linear code); PFA's back end may give it the edge.
+    BothGood,
+    /// Both stuck near 1 (no exploitable parallelism).
+    BothFlat,
+    /// Polaris wins through the run-time (LRPD) test.
+    PolarisRuntime,
+}
+
+/// One benchmark kernel.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    pub name: &'static str,
+    pub origin: Origin,
+    pub source: &'static str,
+    /// Lines of code the *paper* reports for the full application.
+    pub paper_loc: u32,
+    /// Serial time (seconds) the paper reports.
+    pub paper_serial_s: f64,
+    /// Which technique gates the hot loop (documentation + reports).
+    pub hot_idiom: &'static str,
+    pub expectation: Expectation,
+}
+
+impl Benchmark {
+    /// Parse the kernel into IR.
+    pub fn program(&self) -> Program {
+        polaris_ir::parse(self.source)
+            .unwrap_or_else(|e| panic!("benchmark {} does not parse: {e}", self.name))
+    }
+
+    /// Lines of code of *our* kernel.
+    pub fn loc(&self) -> usize {
+        self.source.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+}
+
+macro_rules! bench {
+    ($name:literal, $file:literal, $origin:expr, $loc:expr, $ser:expr, $idiom:literal, $exp:expr) => {
+        Benchmark {
+            name: $name,
+            origin: $origin,
+            source: include_str!(concat!("../codes/", $file)),
+            paper_loc: $loc,
+            paper_serial_s: $ser,
+            hot_idiom: $idiom,
+            expectation: $exp,
+        }
+    };
+}
+
+/// The sixteen Table-1 codes, in the paper's order.
+pub fn all() -> Vec<Benchmark> {
+    use Expectation::*;
+    use Origin::*;
+    vec![
+        bench!("APPLU", "applu.f", Spec, 3870, 1203.0, "wavefront recurrence (serial)", BothFlat),
+        bench!("APPSP", "appsp.f", Spec, 4439, 1241.0, "parallel systems, conditional bodies", BothGood),
+        bench!("ARC2D", "arc2d.f", Perfect, 4694, 215.0, "dense linear sweeps", BothGood),
+        bench!("BDNA", "bdna.f", Perfect, 4887, 56.0, "compaction idiom + array privatization", PolarisWins),
+        bench!("CMHOG", "cmhog.f", Ncsa, 11826, 2333.0, "privatized flux row", PolarisWins),
+        bench!("CLOUD3D", "cloud3d.f", Ncsa, 9813, 20404.0, "column recurrences, tiny loops", BothFlat),
+        bench!("FLO52", "flo52.f", Perfect, 2370, 38.0, "dense linear smoothing", BothGood),
+        bench!("HYDRO2D", "hydro2d.f", Spec, 4292, 1474.0, "privatized work row + MAX reduction", PolarisWins),
+        bench!("MDG", "mdg.f", Perfect, 1430, 178.0, "histogram reductions", PolarisWins),
+        bench!("OCEAN", "ocean.f", Perfect, 3288, 118.0, "range test with loop permutation (Fig. 3)", PolarisWins),
+        bench!("SU2COR", "su2cor.f", Spec, 2332, 779.0, "generalized (cross-loop) induction", PolarisWins),
+        bench!("SWIM", "swim.f", Spec, 429, 1106.0, "privatized flux row", PolarisWins),
+        bench!("TFFT2", "tfft2.f", Spec, 642, 946.0, "workspace privatization (declared-bounds)", PolarisWins),
+        bench!("TOMCATV", "tomcatv.f", Spec, 190, 1327.0, "parallel sweeps, conditional bodies", BothGood),
+        bench!("TRFD", "trfd.f", Perfect, 580, 20.0, "cascaded induction + range test (Fig. 2)", PolarisWins),
+        bench!("WAVE5", "wave5.f", Spec, 7764, 788.0, "subscripted subscripts -> LRPD", PolarisRuntime),
+    ]
+}
+
+/// The TRACK kernel (Figure 6's NLFILT/300 loop).
+pub fn track() -> Benchmark {
+    bench!(
+        "TRACK",
+        "track.f",
+        Origin::Perfect,
+        3700,
+        30.0,
+        "partially parallel loop, PD test (Fig. 6)",
+        Expectation::PolarisRuntime
+    )
+}
+
+/// Look a benchmark up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    let upper = name.to_ascii_uppercase();
+    if upper == "TRACK" {
+        return Some(track());
+    }
+    all().into_iter().find(|b| b.name == upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sixteen_parse_and_validate() {
+        let benches = all();
+        assert_eq!(benches.len(), 16);
+        for b in &benches {
+            let p = b.program();
+            polaris_ir::validate::validate_program(&p)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(b.loc() > 20, "{} suspiciously small", b.name);
+        }
+        let t = track();
+        polaris_ir::validate::validate_program(&t.program()).unwrap();
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("trfd").is_some());
+        assert!(by_name("TRACK").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,13 @@
+#[test]
+fn ablated_induction_config_is_sound() {
+    // The "generalized induction OFF" ablation produced a *higher* TRFD
+    // speedup (cheap unexpanded subscripts + reduction-handled lastvalue);
+    // make sure that configuration is semantically sound.
+    let b = polaris_benchmarks::by_name("TRFD").unwrap();
+    let mut opts = polaris_core::PassOptions::polaris();
+    opts.induction = polaris_core::InductionMode::Simple;
+    let mut p = b.program();
+    let rep = polaris_core::compile(&mut p, &opts).unwrap();
+    for l in &rep.loops { println!("{} par={} red={:?} reason={:?}", l.label, l.parallel, l.reductions, l.serial_reason); }
+    polaris_machine::run_validated(&p, &polaris_machine::MachineConfig::challenge_8()).unwrap();
+}

@@ -1,0 +1,34 @@
+//! Diagnostic (run with --nocapture): per-benchmark compiler decisions
+//! and simulated speedups for both pipelines.
+use polaris_core::PassOptions;
+use polaris_machine::{run, run_serial, CodegenModel, MachineConfig};
+
+#[test]
+#[ignore]
+fn diag_all() {
+    for b in polaris_benchmarks::all().into_iter().chain([polaris_benchmarks::track()]) {
+        let mut pol = b.program();
+        let rep_p = polaris_core::compile(&mut pol, &PassOptions::polaris()).unwrap();
+        let mut vfa = b.program();
+        let rep_v = polaris_core::compile(&mut vfa, &PassOptions::vfa()).unwrap();
+        let serial = run_serial(&b.program()).unwrap();
+        let rp = run(&pol, &MachineConfig::challenge_8()).unwrap();
+        let rv = run(&vfa, &MachineConfig::challenge_8().with_codegen(CodegenModel::aggressive())).unwrap();
+        let sp = serial.cycles as f64 / rp.cycles as f64;
+        let sv = serial.cycles as f64 / rv.cycles as f64;
+        println!("=== {} serial={}Mcy polaris={:.2}x vfa={:.2}x", b.name, serial.cycles/1_000_000, sp, sv);
+        assert_eq!(serial.output, rp.output, "{} polaris output", b.name);
+        assert_eq!(serial.output, rv.output, "{} vfa output", b.name);
+        for l in &rep_p.loops {
+            println!("  P {} par={} spec={} priv={:?} red={:?} reason={:?}", l.label, l.parallel, l.speculative, l.private, l.reductions, l.serial_reason);
+        }
+        for l in &rep_v.loops {
+            println!("  V {} par={} reason={:?}", l.label, l.parallel, l.serial_reason);
+        }
+        let mut hot: Vec<_> = rp.loops.iter().collect();
+        hot.sort_by_key(|(_, s)| std::cmp::Reverse(s.cycles));
+        for (lbl, st) in hot.iter().take(4) {
+            println!("  cycles {} {} par_inv={} spec={}/{}", lbl, st.cycles, st.parallel_invocations, st.spec_success, st.spec_fail);
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Banerjee's inequalities with direction vectors.
+//!
+//! The representative of the "very accurate and efficient" classical
+//! tests the paper describes — and the baseline the range test is
+//! compared against: it "require[s] the loop bounds and array subscripts
+//! to be represented as a linear (affine) function of loop index
+//! variables" with *integer constant* coefficients, and in the
+//! directed form "may test as many as O(3^n) direction vectors".
+//!
+//! The question answered is whether `f(i₁..iₙ) = g(i′₁..i′ₙ)` can hold
+//! under a direction constraint per common loop (`<`, `=`, `>` or `*`),
+//! by bounding `h = f - g` over the constrained iteration space: if
+//! `0 ∉ [min h, max h]` the direction vector carries no dependence.
+
+use super::{DdStats, Dir};
+
+/// One common loop of the pair: coefficient of the loop variable in each
+/// reference and the (numeric) loop bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Coupled {
+    /// Coefficient in the first (source) reference.
+    pub a: i128,
+    /// Coefficient in the second (sink) reference.
+    pub b: i128,
+    pub lo: i128,
+    pub hi: i128,
+}
+
+/// A loop enclosing only one of the two references (always direction
+/// `*`, one free variable).
+#[derive(Debug, Clone, Copy)]
+pub struct Free {
+    pub c: i128,
+    pub lo: i128,
+    pub hi: i128,
+}
+
+fn pos(x: i128) -> i128 {
+    x.max(0)
+}
+
+fn neg(x: i128) -> i128 {
+    (-x).max(0)
+}
+
+/// `[min, max]` of `c * x` for `x ∈ [lo, hi]` (requires `lo <= hi`).
+fn free_bounds(c: i128, lo: i128, hi: i128) -> (i128, i128) {
+    (pos(c) * lo - neg(c) * hi, pos(c) * hi - neg(c) * lo)
+}
+
+/// `[min, max]` of `a*i - b*i'` for `i, i' ∈ [lo, hi]` under `dir`.
+/// Returns `None` when the constraint is infeasible (e.g. `<` in a
+/// single-iteration loop) — an infeasible vector carries no dependence.
+fn coupled_bounds(t: &Coupled, dir: Dir) -> Option<(i128, i128)> {
+    let Coupled { a, b, lo, hi } = *t;
+    if lo > hi {
+        return None; // empty loop: no iterations at all
+    }
+    match dir {
+        Dir::Any => {
+            let (min_a, max_a) = free_bounds(a, lo, hi);
+            let (min_b, max_b) = free_bounds(-b, lo, hi);
+            Some((min_a + min_b, max_a + max_b))
+        }
+        Dir::Eq => Some(free_bounds(a - b, lo, hi)),
+        Dir::Lt => {
+            // i < i' :  L <= i <= i'-1,  L+1 <= i' <= U
+            if lo + 1 > hi {
+                return None;
+            }
+            // max: inner max over i of a*i is pos(a)*(i'-1) - neg(a)*L
+            //   φ(i') = (pos(a) - b)*i' - pos(a) - neg(a)*L, i' in [L+1, U]
+            let ca = pos(a) - b;
+            let max =
+                pos(ca) * hi - neg(ca) * (lo + 1) - pos(a) - neg(a) * lo;
+            // min: inner min over i of a*i is pos(a)*L - neg(a)*(i'-1)
+            //   ψ(i') = (-neg(a) - b)*i' + neg(a) + pos(a)*L
+            let cb = -neg(a) - b;
+            let min =
+                pos(cb) * (lo + 1) - neg(cb) * hi + neg(a) + pos(a) * lo;
+            Some((min, max))
+        }
+        Dir::Gt => {
+            // a*i - b*i' with i > i'  ==  -(b*j - a*j') with j < j'
+            let swapped = Coupled { a: b, b: a, lo, hi };
+            let (min, max) = coupled_bounds(&swapped, Dir::Lt)?;
+            Some((-max, -min))
+        }
+    }
+}
+
+/// Does the direction vector `dirs` (one entry per `common` loop) admit
+/// a solution of `h = c0 + Σ coupled + Σ free = 0`? `false` = proven
+/// independent for this vector.
+pub fn vector_dependence_possible(
+    c0: i128,
+    common: &[Coupled],
+    dirs: &[Dir],
+    free: &[Free],
+    stats: &DdStats,
+) -> bool {
+    debug_assert_eq!(common.len(), dirs.len());
+    stats.banerjee_vectors.set(stats.banerjee_vectors.get() + 1);
+    let mut min = c0;
+    let mut max = c0;
+    for (t, d) in common.iter().zip(dirs) {
+        match coupled_bounds(t, *d) {
+            Some((lo, hi)) => {
+                min += lo;
+                max += hi;
+            }
+            None => return false, // infeasible constraint: no dependence
+        }
+    }
+    for f in free {
+        if f.lo > f.hi {
+            return false;
+        }
+        let (lo, hi) = free_bounds(f.c, f.lo, f.hi);
+        min += lo;
+        max += hi;
+    }
+    min <= 0 && 0 <= max
+}
+
+/// Can the pair carry a dependence at common-loop position `carrier`?
+/// Tests the vector family (=, ..., =, <|>, *, ..., *), hierarchically
+/// refining `*` entries while any refinement might still prove
+/// independence. Returns `false` iff *no* leaf vector admits a solution
+/// — a proof that loop `carrier` carries no dependence between the pair.
+pub fn carried_dependence_possible(
+    c0: i128,
+    common: &[Coupled],
+    carrier: usize,
+    free: &[Free],
+    stats: &DdStats,
+) -> bool {
+    debug_assert!(carrier < common.len());
+    for cdir in [Dir::Lt, Dir::Gt] {
+        let mut dirs: Vec<Dir> = Vec::with_capacity(common.len());
+        for k in 0..common.len() {
+            dirs.push(if k < carrier {
+                Dir::Eq
+            } else if k == carrier {
+                cdir
+            } else {
+                Dir::Any
+            });
+        }
+        if refine(c0, common, &mut dirs, carrier + 1, free, stats) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Hierarchical refinement: returns `true` if some fully-refined vector
+/// still admits a dependence.
+fn refine(
+    c0: i128,
+    common: &[Coupled],
+    dirs: &mut Vec<Dir>,
+    next: usize,
+    free: &[Free],
+    stats: &DdStats,
+) -> bool {
+    if !vector_dependence_possible(c0, common, dirs, free, stats) {
+        return false; // this whole subtree is independent
+    }
+    // Find the next `Any` to refine.
+    let split = (next..dirs.len()).find(|&k| dirs[k] == Dir::Any);
+    let Some(split) = split else {
+        return true; // leaf vector still possibly dependent
+    };
+    for d in [Dir::Lt, Dir::Eq, Dir::Gt] {
+        dirs[split] = d;
+        if refine(c0, common, dirs, split + 1, free, stats) {
+            dirs[split] = Dir::Any;
+            return true;
+        }
+    }
+    dirs[split] = Dir::Any;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn st() -> DdStats {
+        DdStats::new()
+    }
+
+    #[test]
+    fn disjoint_halves_independent() {
+        // A(i) vs A(i' + 100), i,i' in [1,50]: h = i - i' - 100 < 0 always.
+        let common = [Coupled { a: 1, b: 1, lo: 1, hi: 50 }];
+        let stats = st();
+        assert!(!carried_dependence_possible(-100, &common, 0, &[], &stats));
+    }
+
+    #[test]
+    fn same_subscript_carries_nothing() {
+        // A(i) write vs A(i) write: h = i - i' = 0 under '<' impossible.
+        let common = [Coupled { a: 1, b: 1, lo: 1, hi: 100 }];
+        let stats = st();
+        assert!(!carried_dependence_possible(0, &common, 0, &[], &stats));
+    }
+
+    #[test]
+    fn shifted_subscript_carries() {
+        // A(i) vs A(i'-1): i = i' - 1 has solutions with i < i'.
+        let common = [Coupled { a: 1, b: 1, lo: 1, hi: 100 }];
+        let stats = st();
+        assert!(carried_dependence_possible(1, &common, 0, &[], &stats));
+    }
+
+    #[test]
+    fn outer_carries_inner_does_not() {
+        // A(i, j) vs A(i'-1, j'): outer carries (distance 1), and for the
+        // inner loop as carrier (outer '='), i = i'-1 with i = i' is
+        // impossible → inner independent.
+        let common = [
+            Coupled { a: 1, b: 1, lo: 1, hi: 10 }, // i coefficient (dim collapsed)
+        ];
+        // Model the 2-d case with linearized subscripts: f = 100 i + j,
+        // g = 100 i' - 100 + j'.
+        let common2 = [
+            Coupled { a: 100, b: 100, lo: 1, hi: 10 },
+            Coupled { a: 1, b: 1, lo: 1, hi: 50 },
+        ];
+        let stats = st();
+        let _ = common;
+        assert!(carried_dependence_possible(100, &common2, 0, &[], &stats));
+        assert!(!carried_dependence_possible(100, &common2, 1, &[], &stats));
+    }
+
+    #[test]
+    fn stride_two_independent() {
+        // A(2i) vs A(2i'+1): h = 2(i-i') - 1; for any carried direction
+        // (i != i') the interval excludes 0, so directed Banerjee proves
+        // it — and the GCD test proves it for every direction at once.
+        let common = [Coupled { a: 2, b: 2, lo: 1, hi: 10 }];
+        let stats = st();
+        assert!(!carried_dependence_possible(-1, &common, 0, &[], &stats));
+        assert!(super::super::gcd::independent(
+            polaris_symbolic::Rat::int(0),
+            &[polaris_symbolic::Rat::int(2)],
+            polaris_symbolic::Rat::int(1),
+            &[polaris_symbolic::Rat::int(2)],
+            &stats
+        ));
+    }
+
+    #[test]
+    fn free_variable_widens() {
+        // f = i, g = i' + k (k in [0, 5] only under g's nest):
+        // h = i - i' - k; carried at loop 0? i < i', i - i' in [-9, -1],
+        // minus k in [-5, 0] → h in [-14, -1]: never 0 → independent!
+        let common = [Coupled { a: 1, b: 1, lo: 1, hi: 10 }];
+        let free = [Free { c: -1, lo: 0, hi: 5 }];
+        let stats = st();
+        // only testing '<' side here by construction: '>' side gives
+        // i - i' in [1, 9] minus k in [-5,0] → [−4, 9] contains 0 → dep.
+        assert!(carried_dependence_possible(0, &common, 0, &free, &stats));
+        // with a shift making both directions safe:
+        assert!(!carried_dependence_possible(-100, &common, 0, &free, &stats));
+    }
+
+    #[test]
+    fn counts_vectors() {
+        let stats = st();
+        let common = [
+            Coupled { a: 1, b: 1, lo: 1, hi: 4 },
+            Coupled { a: 7, b: 7, lo: 1, hi: 4 },
+            Coupled { a: 31, b: 31, lo: 1, hi: 4 },
+        ];
+        let _ = carried_dependence_possible(1, &common, 0, &[], &stats);
+        assert!(stats.banerjee_vectors.get() > 2, "refinement should recurse");
+    }
+
+    #[test]
+    fn empty_loop_is_independent() {
+        let common = [Coupled { a: 1, b: 1, lo: 5, hi: 4 }];
+        let stats = st();
+        assert!(!carried_dependence_possible(0, &common, 0, &[], &stats));
+    }
+
+    // ---- brute force oracles ------------------------------------------
+
+    fn brute_force_vector(
+        c0: i128,
+        common: &[Coupled],
+        dirs: &[Dir],
+        free: &[Free],
+    ) -> bool {
+        // enumerate all (i, i') per common loop and x per free var
+        fn rec_common(
+            k: usize,
+            c0: i128,
+            common: &[Coupled],
+            dirs: &[Dir],
+            free: &[Free],
+            acc: i128,
+        ) -> bool {
+            if k == common.len() {
+                return rec_free(0, c0, free, acc);
+            }
+            let t = common[k];
+            for i in t.lo..=t.hi {
+                for ip in t.lo..=t.hi {
+                    let ok = match dirs[k] {
+                        Dir::Any => true,
+                        Dir::Lt => i < ip,
+                        Dir::Eq => i == ip,
+                        Dir::Gt => i > ip,
+                    };
+                    if ok && rec_common(k + 1, c0, common, dirs, free, acc + t.a * i - t.b * ip)
+                    {
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        fn rec_free(k: usize, c0: i128, free: &[Free], acc: i128) -> bool {
+            if k == free.len() {
+                return c0 + acc == 0;
+            }
+            let f = free[k];
+            (f.lo..=f.hi).any(|x| rec_free(k + 1, c0, free, acc + f.c * x))
+        }
+        rec_common(0, c0, common, dirs, free, 0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// The Banerjee interval must CONTAIN every value h takes, so a
+        /// "no dependence" verdict must agree with brute force.
+        #[test]
+        fn prop_vector_test_is_sound(
+            a in -4i128..5, b in -4i128..5, lo in -3i128..3, len in 0i128..4,
+            c0 in -20i128..20, dir_idx in 0usize..4,
+        ) {
+            let dir = [Dir::Any, Dir::Lt, Dir::Eq, Dir::Gt][dir_idx];
+            let common = [Coupled { a, b, lo, hi: lo + len }];
+            let stats = st();
+            let verdict = vector_dependence_possible(c0, &common, &[dir], &[], &stats);
+            let truth = brute_force_vector(c0, &common, &[dir], &[]);
+            // verdict=false must imply truth=false (soundness).
+            prop_assert!(verdict || !truth, "unsound: said independent but {c0} {a} {b} solvable");
+        }
+
+        /// For single-variable terms the Banerjee bound is exact, so the
+        /// verdict should equal brute force (completeness check).
+        #[test]
+        fn prop_single_loop_exact(
+            a in -4i128..5, b in -4i128..5, lo in -3i128..3, len in 0i128..4,
+            c0 in -10i128..10, dir_idx in 0usize..4,
+        ) {
+            let dir = [Dir::Any, Dir::Lt, Dir::Eq, Dir::Gt][dir_idx];
+            let common = [Coupled { a, b, lo, hi: lo + len }];
+            let stats = st();
+            let verdict = vector_dependence_possible(c0, &common, &[dir], &[], &stats);
+            let truth = brute_force_vector(c0, &common, &[dir], &[]);
+            // With one coupled term the real-valued extrema are attained
+            // at integer points, but an interior zero of a non-unit-
+            // coefficient term may not be integer: only soundness is
+            // exact in general. For equal unit coefficients (the common
+            // `A(i±c)` case) the test is exact.
+            if a == b && a.abs() <= 1 {
+                prop_assert_eq!(verdict, truth);
+            } else {
+                prop_assert!(verdict || !truth);
+            }
+        }
+
+        /// Carried-dependence enumeration is sound against brute force
+        /// over both < and > leaves.
+        #[test]
+        fn prop_carried_sound(
+            a1 in -3i128..4, b1 in -3i128..4,
+            a2 in -3i128..4, b2 in -3i128..4,
+            c0 in -12i128..12,
+        ) {
+            let common = [
+                Coupled { a: a1, b: b1, lo: 0, hi: 3 },
+                Coupled { a: a2, b: b2, lo: 0, hi: 3 },
+            ];
+            let stats = st();
+            let verdict = carried_dependence_possible(c0, &common, 0, &[], &stats);
+            let lt = brute_force_vector(c0, &common, &[Dir::Lt, Dir::Any], &[]);
+            let gt = brute_force_vector(c0, &common, &[Dir::Gt, Dir::Any], &[]);
+            prop_assert!(verdict || !(lt || gt), "unsound carried verdict");
+        }
+    }
+}

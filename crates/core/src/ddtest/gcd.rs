@@ -1,0 +1,81 @@
+//! The GCD dependence test.
+//!
+//! For subscripts `f(i...) = a0 + Σ a_k i_k` and `g(i'...) = b0 + Σ b_k
+//! i'_k`, an integer solution of `f = g` requires
+//! `gcd(a_1.., b_1..) | (b0 - a0)`. If it does not divide, the accesses
+//! can never alias and the pair is independent (for every direction).
+//! Bounds are ignored, so "divides" proves nothing.
+
+use super::DdStats;
+use polaris_symbolic::rat::gcd as gcd128;
+use polaris_symbolic::Rat;
+
+/// Returns `true` if the GCD test *proves independence* of
+/// `a0 + Σ a_k x_k  =  b0 + Σ b_k y_k` (distinct iteration variables on
+/// each side). Coefficients must be integers (rationals with unit
+/// denominator); anything else returns `false` (no proof).
+pub fn independent(a0: Rat, a: &[Rat], b0: Rat, b: &[Rat], stats: &DdStats) -> bool {
+    stats.gcd_tests.set(stats.gcd_tests.get() + 1);
+    let Some(c0) = a0.checked_sub(b0).and_then(|d| d.as_integer()) else {
+        return false;
+    };
+    let mut g: i128 = 0;
+    for c in a.iter().chain(b.iter()) {
+        match c.as_integer() {
+            Some(v) => g = gcd128(g, v),
+            None => return false,
+        }
+    }
+    if g == 0 {
+        // No index dependence at all: alias iff constants are equal.
+        return c0 != 0;
+    }
+    c0 % g != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i128) -> Rat {
+        Rat::int(v)
+    }
+
+    #[test]
+    fn classic_even_odd() {
+        // A(2i) vs A(2i'+1): 2i - 2i' = 1 has no integer solution.
+        let stats = DdStats::new();
+        assert!(independent(r(0), &[r(2)], r(1), &[r(2)], &stats));
+        assert_eq!(stats.gcd_tests.get(), 1);
+    }
+
+    #[test]
+    fn divisible_is_no_proof() {
+        // A(2i) vs A(2i'): trivially aliases at i = i'.
+        let stats = DdStats::new();
+        assert!(!independent(r(0), &[r(2)], r(0), &[r(2)], &stats));
+    }
+
+    #[test]
+    fn constant_subscripts() {
+        let stats = DdStats::new();
+        // A(3) vs A(5): never alias
+        assert!(independent(r(3), &[], r(5), &[], &stats));
+        // A(4) vs A(4): alias
+        assert!(!independent(r(4), &[], r(4), &[], &stats));
+    }
+
+    #[test]
+    fn rational_coefficients_give_up() {
+        let stats = DdStats::new();
+        let half = Rat::new(1, 2).unwrap();
+        assert!(!independent(r(0), &[half], r(1), &[r(2)], &stats));
+    }
+
+    #[test]
+    fn multi_loop() {
+        // A(4i + 2j) vs A(4i' + 2j' + 1): gcd 2 does not divide 1.
+        let stats = DdStats::new();
+        assert!(independent(r(0), &[r(4), r(2)], r(1), &[r(4), r(2)], &stats));
+    }
+}

@@ -1,0 +1,67 @@
+//! Data-dependence tests (§3.3).
+//!
+//! Three tests are implemented:
+//!
+//! * [`gcd`] — the classic GCD test on linear (affine, integer-
+//!   coefficient) subscripts; a cheap filter.
+//! * [`banerjee`] — Banerjee's inequalities with direction vectors,
+//!   the representative "current compiler" test the paper contrasts the
+//!   range test against. Requires linear subscripts and (for precision)
+//!   constant loop bounds; tests up to `O(3^n)` direction vectors and
+//!   counts them, which the complexity ablation reports.
+//! * [`range_test`] — the symbolic range test of Blume & Eigenmann,
+//!   which handles nonlinear and symbolic subscripts via min/max range
+//!   comparison, monotonicity by forward differences, and loop
+//!   permutation (§3.3.1).
+//!
+//! All tests answer the same question: *can array accesses `f` and `g`
+//! refer to the same element in two different iterations of a given
+//! loop* (outer loops fixed, inner loops arbitrary)? `false` ("no") is a
+//! proof; `true` means "maybe" and keeps the loop serial unless another
+//! technique applies.
+
+pub mod banerjee;
+pub mod gcd;
+pub mod range_test;
+
+use std::cell::Cell;
+
+/// Instrumentation counters shared by the tests. The paper's complexity
+/// claim — the range test examines `O(n²)` direction vectors where
+/// Banerjee-with-directions may examine `O(3ⁿ)` — is measured through
+/// these (see the `ablation` harness).
+#[derive(Debug, Default)]
+pub struct DdStats {
+    /// Individual Banerjee direction-vector trials.
+    pub banerjee_vectors: Cell<u64>,
+    /// GCD test invocations.
+    pub gcd_tests: Cell<u64>,
+    /// Range-test pair probes (one per loop/pair/permutation attempt).
+    pub range_probes: Cell<u64>,
+    /// Range-test successes that required a loop permutation.
+    pub permutations_used: Cell<u64>,
+}
+
+impl DdStats {
+    pub fn new() -> DdStats {
+        DdStats::default()
+    }
+
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.banerjee_vectors.get(),
+            self.gcd_tests.get(),
+            self.range_probes.get(),
+            self.permutations_used.get(),
+        )
+    }
+}
+
+/// A direction in a Banerjee direction vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    Any,
+    Lt,
+    Eq,
+    Gt,
+}

@@ -1,0 +1,461 @@
+//! The Range Test (§3.3.1) — symbolic, nonlinear data dependence testing.
+//!
+//! "We mark a loop as parallel if we can prove that the range of elements
+//! accessed by an iteration of that loop does not overlap with the range
+//! of elements accessed by other iterations."
+//!
+//! For a tested loop with index `i` and a pair of references `f`, `g`
+//! (at least one a write), the per-dimension access ranges
+//! `[f_min(i), f_max(i)]` are computed by eliminating the *inner* loop
+//! variables of each reference through the monotonicity machinery of
+//! `polaris-symbolic` (forward differences → substitute the bound). The
+//! pair carries no dependence at the tested loop if consecutive executed
+//! iterations' ranges are separated and the range endpoints move
+//! monotonically with the execution order — checked in both ascending
+//! and descending orientations.
+//!
+//! When the direct test fails, the **loop permutation** step of the
+//! paper is applied: an inner loop `J` common to both references is
+//! "hoisted" above the tested loop (think of it as permuting the
+//! direction vectors tested): if `J` itself carries no dependence (with
+//! the tested loop eliminated like an inner loop) *and* the tested loop
+//! carries none for each fixed `J`, the tested loop is independent.
+//! This is exactly what the OCEAN/FTRVMT nest of Figure 3 needs.
+
+use super::DdStats;
+use polaris_symbolic::bounds::{min_max_over, sign};
+use polaris_symbolic::poly::{Atom, Poly};
+use polaris_symbolic::{RangeEnv, Range};
+
+/// A loop that encloses a reference inside the tested loop.
+#[derive(Debug, Clone)]
+pub struct InnerLoop {
+    pub var: String,
+    pub lo: Poly,
+    pub hi: Poly,
+    pub step: i64,
+}
+
+impl InnerLoop {
+    /// The iteration range of the loop variable as an interval
+    /// (bounds swapped for negative steps).
+    fn value_range(&self) -> Range {
+        if self.step >= 0 {
+            Range::new(Some(self.lo.clone()), Some(self.hi.clone()))
+        } else {
+            Range::new(Some(self.hi.clone()), Some(self.lo.clone()))
+        }
+    }
+}
+
+/// One array reference: per-dimension subscript polynomials plus the
+/// inner loops enclosing it (outermost first).
+#[derive(Debug, Clone)]
+pub struct RefSpec {
+    pub subs: Vec<Poly>,
+    pub inner: Vec<InnerLoop>,
+}
+
+/// Access range of one subscript dimension after eliminating the
+/// reference's inner loops: `(min(i), max(i))` with the tested variable
+/// (and outer symbols) left symbolic.
+fn dim_range(
+    r: &RefSpec,
+    dim: usize,
+    env: &RangeEnv,
+) -> (Option<Poly>, Option<Poly>) {
+    let mut env = env.clone();
+    for il in &r.inner {
+        env.set_fresh(il.var.clone(), il.value_range());
+    }
+    // Eliminate innermost-first.
+    let atoms: Vec<Atom> =
+        r.inner.iter().rev().map(|il| Atom::var(il.var.clone())).collect();
+    min_max_over(&r.subs[dim], &atoms, &env)
+}
+
+/// Is `p(i + step) - p(i)` provably `>= 0` (monotone non-decreasing in
+/// execution order)?
+fn nondecr_exec(p: &Poly, var: &str, step: i64, env: &RangeEnv) -> bool {
+    step_diff(p, var, step).map(|d| sign(&d, env).is_nonneg()).unwrap_or(false)
+}
+
+fn nonincr_exec(p: &Poly, var: &str, step: i64, env: &RangeEnv) -> bool {
+    step_diff(p, var, step).map(|d| sign(&d, env).is_nonpos()).unwrap_or(false)
+}
+
+fn step_diff(p: &Poly, var: &str, step: i64) -> Option<Poly> {
+    let next = Poly::var(var).checked_add(&Poly::int(step as i128))?;
+    p.subst_var(var, &next)?.checked_sub(p)
+}
+
+fn at_next(p: &Poly, var: &str, step: i64) -> Option<Poly> {
+    let next = Poly::var(var).checked_add(&Poly::int(step as i128))?;
+    p.subst_var(var, &next)
+}
+
+/// Direct range test for one dimension: either the two references'
+/// *total* ranges over the whole tested loop are disjoint, or
+/// consecutive executed iterations' ranges are separated with endpoints
+/// moving monotonically.
+fn dim_independent(
+    f: &RefSpec,
+    g: &RefSpec,
+    dim: usize,
+    var: &str,
+    step: i64,
+    self_loop: &InnerLoop,
+    env: &RangeEnv,
+) -> bool {
+    let (fmin, fmax) = dim_range(f, dim, env);
+    let (gmin, gmax) = dim_range(g, dim, env);
+    let (Some(fmin), Some(fmax), Some(gmin), Some(gmax)) = (fmin, fmax, gmin, gmax) else {
+        return false;
+    };
+    let lt = |a: &Poly, b: &Poly| match b.checked_sub(a) {
+        Some(d) => sign(&d, env).is_pos(),
+        None => false,
+    };
+    // Total disjointness: if f's whole footprint over every iteration of
+    // the tested loop lies strictly beside g's, no pair of iterations
+    // can conflict (this is what separates OCEAN's two references, whose
+    // constant offset exceeds the tested loop's whole span).
+    {
+        let total = |r: &RefSpec| -> (Option<Poly>, Option<Poly>) {
+            let mut wide = r.clone();
+            wide.inner.push(self_loop.clone());
+            dim_range(&wide, dim, env)
+        };
+        if let ((Some(ftl), Some(fth)), (Some(gtl), Some(gth))) = (total(f), total(g)) {
+            if lt(&fth, &gtl) || lt(&gth, &ftl) {
+                return true;
+            }
+        }
+    }
+    // Ascending in execution order: each iteration's range lies strictly
+    // below the next iteration's.
+    let asc = || -> Option<bool> {
+        Some(
+            lt(&fmax, &at_next(&gmin, var, step)?)
+                && lt(&gmax, &at_next(&fmin, var, step)?)
+                && nondecr_exec(&gmin, var, step, env)
+                && nondecr_exec(&fmin, var, step, env),
+        )
+    };
+    // Descending: each iteration's range lies strictly above the next's.
+    let desc = || -> Option<bool> {
+        Some(
+            lt(&at_next(&gmax, var, step)?, &fmin)
+                && lt(&at_next(&fmax, var, step)?, &gmin)
+                && nonincr_exec(&gmax, var, step, env)
+                && nonincr_exec(&fmax, var, step, env),
+        )
+    };
+    asc().unwrap_or(false) || desc().unwrap_or(false)
+}
+
+/// The full range test for a pair of references at the tested loop.
+///
+/// * `var`/`step` — the tested loop's index and (constant) step,
+/// * `self_loop` — the tested loop's own bounds (needed when a
+///   permutation demotes it to inner position),
+/// * `env` — ranges valid inside the tested loop (its own variable
+///   included), from range propagation,
+/// * `allow_permutation` — whether to attempt the §3.3.1 permutation
+///   step on failure.
+///
+/// Returns `true` iff the pair provably carries **no** dependence at the
+/// tested loop.
+pub fn no_carried_dependence(
+    f: &RefSpec,
+    g: &RefSpec,
+    var: &str,
+    step: i64,
+    self_loop: &InnerLoop,
+    env: &RangeEnv,
+    stats: &DdStats,
+    allow_permutation: bool,
+) -> bool {
+    debug_assert_eq!(f.subs.len(), g.subs.len(), "rank mismatch");
+    if step == 0 {
+        return false;
+    }
+    stats.range_probes.set(stats.range_probes.get() + 1);
+    // Direct test, any dimension suffices.
+    for dim in 0..f.subs.len() {
+        if dim_independent(f, g, dim, var, step, self_loop, env) {
+            return true;
+        }
+    }
+    if !allow_permutation {
+        return false;
+    }
+    // Permutation: hoist a common inner loop J above the tested loop.
+    let pivots: Vec<String> = f
+        .inner
+        .iter()
+        .filter(|il| g.inner.iter().any(|jl| jl.var == il.var))
+        .map(|il| il.var.clone())
+        .collect();
+    for pivot in pivots {
+        let fj = f.inner.iter().find(|il| il.var == pivot).unwrap().clone();
+        let gj = g.inner.iter().find(|il| il.var == pivot).unwrap().clone();
+        if fj.step != gj.step {
+            continue;
+        }
+        // (a) J carries nothing: demote the tested loop to inner.
+        let demote = |r: &RefSpec, j: &InnerLoop| RefSpec {
+            subs: r.subs.clone(),
+            inner: std::iter::once(self_loop.clone())
+                .chain(r.inner.iter().filter(|il| il.var != j.var).cloned())
+                .collect(),
+        };
+        let fa = demote(f, &fj);
+        let ga = demote(g, &gj);
+        let mut env_a = env.clone();
+        env_a.set_fresh(pivot.clone(), fj.value_range());
+        let mut ok_a = false;
+        for dim in 0..f.subs.len() {
+            if dim_independent(&fa, &ga, dim, &pivot, fj.step, &fj, &env_a) {
+                ok_a = true;
+                break;
+            }
+        }
+        if !ok_a {
+            continue;
+        }
+        // (b) the tested loop carries nothing for each fixed J.
+        let strip = |r: &RefSpec, j: &InnerLoop| RefSpec {
+            subs: r.subs.clone(),
+            inner: r.inner.iter().filter(|il| il.var != j.var).cloned().collect(),
+        };
+        let fb = strip(f, &fj);
+        let gb = strip(g, &gj);
+        let mut env_b = env.clone();
+        env_b.set_fresh(pivot.clone(), fj.value_range());
+        for dim in 0..f.subs.len() {
+            if dim_independent(&fb, &gb, dim, var, step, self_loop, &env_b) {
+                stats.permutations_used.set(stats.permutations_used.get() + 1);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_symbolic::poly::DivPolicy;
+
+    fn p(src: &str) -> Poly {
+        let full = format!("program t\ninteger z(1000)\nx = {src}\nend\n");
+        let prog = polaris_ir::parse(&full).unwrap();
+        match &prog.units[0].body.0[0].kind {
+            polaris_ir::StmtKind::Assign { rhs, .. } => {
+                Poly::from_expr(rhs, DivPolicy::Exact).unwrap()
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn il(var: &str, lo: &str, hi: &str) -> InnerLoop {
+        InnerLoop { var: var.into(), lo: p(lo), hi: p(hi), step: 1 }
+    }
+
+    fn simple_ref(sub: &str, inner: Vec<InnerLoop>) -> RefSpec {
+        RefSpec { subs: vec![p(sub)], inner }
+    }
+
+    fn stats() -> DdStats {
+        DdStats::new()
+    }
+
+    #[test]
+    fn identity_subscript_is_independent() {
+        // A(i) = ... : trivially no carried dependence.
+        let f = simple_ref("i", vec![]);
+        let env = {
+            let mut e = RangeEnv::new();
+            e.assume_nonempty_loop("I", &polaris_ir::Expr::int(1), &polaris_ir::Expr::var("N"));
+            e
+        };
+        let sl = il("I", "1", "n");
+        assert!(no_carried_dependence(&f, &f, "I", 1, &sl, &env, &stats(), true));
+    }
+
+    #[test]
+    fn offset_pair_is_dependent() {
+        // A(i) vs A(i+1): carried.
+        let f = simple_ref("i", vec![]);
+        let g = simple_ref("i + 1", vec![]);
+        let env = {
+            let mut e = RangeEnv::new();
+            e.assume_nonempty_loop("I", &polaris_ir::Expr::int(1), &polaris_ir::Expr::var("N"));
+            e
+        };
+        let sl = il("I", "1", "n");
+        assert!(!no_carried_dependence(&f, &g, "I", 1, &sl, &env, &stats(), true));
+    }
+
+    #[test]
+    fn symbolic_stride_independent() {
+        // A(n*i + j), j in [0, n-1]: blocks of size n, disjoint per i —
+        // the symbolic case linear tests cannot do.
+        let f = simple_ref("n*i + j", vec![il("J", "0", "n - 1")]);
+        let mut env = RangeEnv::new();
+        env.assume_nonempty_loop("I", &polaris_ir::Expr::int(0), &polaris_ir::Expr::var("M"));
+        env.assume_cond(&polaris_ir::Expr::bin(
+            polaris_ir::BinOp::Ge,
+            polaris_ir::Expr::var("N"),
+            polaris_ir::Expr::int(1),
+        ));
+        let sl = il("I", "0", "m");
+        assert!(no_carried_dependence(&f, &f, "I", 1, &sl, &env, &stats(), false));
+    }
+
+    #[test]
+    fn trfd_outer_loop_parallel() {
+        // Figure 2 closed form: f = (i*(n^2+n) + j^2 - j)/2 + k + 1,
+        // j in [0, n-1], k in [0, j-1]. The outermost I loop carries
+        // nothing (the worked example of §3.3.1).
+        let f = simple_ref(
+            "(i*(n**2+n) + j**2 - j)/2 + k + 1",
+            vec![il("J", "0", "n - 1"), il("K", "0", "j - 1")],
+        );
+        let mut env = RangeEnv::new();
+        env.assume_nonempty_loop("I", &polaris_ir::Expr::int(0), &polaris_ir::Expr::sub(polaris_ir::Expr::var("M"), polaris_ir::Expr::int(1)));
+        // analyzing the body assumes the J loop runs: n >= 1
+        env.assume_cond(&polaris_ir::Expr::bin(
+            polaris_ir::BinOp::Ge,
+            polaris_ir::Expr::var("N"),
+            polaris_ir::Expr::int(1),
+        ));
+        let sl = il("I", "0", "m - 1");
+        let st = stats();
+        assert!(no_carried_dependence(&f, &f, "I", 1, &sl, &env, &st, true));
+    }
+
+    #[test]
+    fn trfd_middle_and_inner_loops_parallel() {
+        // Same subscript, testing J (inner K eliminated, I symbolic) and
+        // K (no inner loops, I and J symbolic).
+        let env = {
+            let mut e = RangeEnv::new();
+            e.assume_cond(&polaris_ir::Expr::bin(
+                polaris_ir::BinOp::Ge,
+                polaris_ir::Expr::var("N"),
+                polaris_ir::Expr::int(1),
+            ));
+            // J's own range while testing J:
+            e.set_fresh("J", Range::new(Some(p("0")), Some(p("n - 1"))));
+            e
+        };
+        let fj = simple_ref(
+            "(i*(n**2+n) + j**2 - j)/2 + k + 1",
+            vec![il("K", "0", "j - 1")],
+        );
+        let slj = il("J", "0", "n - 1");
+        assert!(no_carried_dependence(&fj, &fj, "J", 1, &slj, &env, &stats(), true));
+
+        let mut env_k = env.clone();
+        env_k.set_fresh("K", Range::new(Some(p("0")), Some(p("j - 1"))));
+        let fk = simple_ref("(i*(n**2+n) + j**2 - j)/2 + k + 1", vec![]);
+        let slk = il("K", "0", "j - 1");
+        assert!(no_carried_dependence(&fk, &fk, "K", 1, &slk, &env_k, &stats(), true));
+    }
+
+    #[test]
+    fn ocean_ftrvmt_needs_permutation() {
+        // Figure 3: A(258*X*J + 129*K + I + 1) and the +129*X variant,
+        // nest K (outer, tested), J, I. Direct test on K fails (the
+        // middle loop's stride 258*X interleaves); permuting J above K
+        // succeeds.
+        let subs = "258*x*j + 129*k + i + 1";
+        let inner = vec![il("J", "0", "zk"), il("I", "0", "128")];
+        let f = RefSpec { subs: vec![p(subs)], inner: inner.clone() };
+        let g = RefSpec { subs: vec![p("258*x*j + 129*k + i + 1 + 129*x")], inner };
+        let mut env = RangeEnv::new();
+        env.set_fresh("K", Range::new(Some(p("0")), Some(p("x - 1"))));
+        env.assume_cond(&polaris_ir::Expr::bin(
+            polaris_ir::BinOp::Ge,
+            polaris_ir::Expr::var("X"),
+            polaris_ir::Expr::int(1),
+        ));
+        env.assume_cond(&polaris_ir::Expr::bin(
+            polaris_ir::BinOp::Ge,
+            polaris_ir::Expr::var("ZK"),
+            polaris_ir::Expr::int(0),
+        ));
+        let sl = il("K", "0", "x - 1");
+        let st = stats();
+        // without permutation: fails
+        assert!(!no_carried_dependence(&f, &f, "K", 1, &sl, &env, &st, false));
+        assert!(!no_carried_dependence(&f, &g, "K", 1, &sl, &env, &st, false));
+        // with permutation: both pairs pass
+        assert!(no_carried_dependence(&f, &f, "K", 1, &sl, &env, &st, true));
+        assert!(no_carried_dependence(&f, &g, "K", 1, &sl, &env, &st, true));
+        assert!(st.permutations_used.get() >= 1);
+    }
+
+    #[test]
+    fn multidim_one_dimension_suffices_and_invariant_dim_does_not() {
+        // B(i, q) with q loop-invariant: dimension 1 proves independence.
+        let f = RefSpec { subs: vec![p("i"), p("q")], inner: vec![] };
+        let mut env = RangeEnv::new();
+        env.assume_nonempty_loop("I", &polaris_ir::Expr::int(1), &polaris_ir::Expr::var("N"));
+        let sl = il("I", "1", "n");
+        assert!(no_carried_dependence(&f, &f, "I", 1, &sl, &env, &stats(), true));
+        // B(q, q): no dimension varies → cannot prove (and indeed every
+        // iteration hits the same element).
+        let h = RefSpec { subs: vec![p("q"), p("q")], inner: vec![] };
+        assert!(!no_carried_dependence(&h, &h, "I", 1, &sl, &env, &stats(), true));
+    }
+
+    #[test]
+    fn negative_step_loop() {
+        // DO I = N, 1, -1 writing A(I): independent.
+        let f = simple_ref("i", vec![]);
+        let mut env = RangeEnv::new();
+        env.set_fresh("I", Range::new(Some(p("1")), Some(p("n"))));
+        let sl = InnerLoop { var: "I".into(), lo: p("n"), hi: p("1"), step: -1 };
+        assert!(no_carried_dependence(&f, &f, "I", -1, &sl, &env, &stats(), true));
+        // and A(I) vs A(I+1) still dependent
+        let g = simple_ref("i + 1", vec![]);
+        assert!(!no_carried_dependence(&f, &g, "I", -1, &sl, &env, &stats(), true));
+    }
+
+    #[test]
+    fn subscripted_subscript_defeats_the_test() {
+        // A(Z(I)): opaque subscript — compile-time analysis cannot prove
+        // independence (this is §3.5's motivation).
+        let f = simple_ref("z(i)", vec![]);
+        let mut env = RangeEnv::new();
+        env.assume_nonempty_loop("I", &polaris_ir::Expr::int(1), &polaris_ir::Expr::var("N"));
+        let sl = il("I", "1", "n");
+        assert!(!no_carried_dependence(&f, &f, "I", 1, &sl, &env, &stats(), true));
+    }
+
+    #[test]
+    fn strided_write_with_gap() {
+        // A(2*i) vs A(2*i - 1): ranges {2i} and {2i-1} — ascending check:
+        // fmax(i)=2i < gmin(i+1)=2i+1 ✓ and gmax(i)=2i-1 < fmin(i+1)=2i+2 ✓
+        let f = simple_ref("2*i", vec![]);
+        let g = simple_ref("2*i - 1", vec![]);
+        let mut env = RangeEnv::new();
+        env.assume_nonempty_loop("I", &polaris_ir::Expr::int(1), &polaris_ir::Expr::var("N"));
+        let sl = il("I", "1", "n");
+        assert!(no_carried_dependence(&f, &g, "I", 1, &sl, &env, &stats(), true));
+    }
+
+    #[test]
+    fn overlapping_inner_ranges_dependent() {
+        // A(i + j), j in [0, 5]: iteration i covers [i, i+5], overlaps
+        // iteration i+1.
+        let f = simple_ref("i + j", vec![il("J", "0", "5")]);
+        let mut env = RangeEnv::new();
+        env.assume_nonempty_loop("I", &polaris_ir::Expr::int(1), &polaris_ir::Expr::var("N"));
+        let sl = il("I", "1", "n");
+        assert!(!no_carried_dependence(&f, &f, "I", 1, &sl, &env, &stats(), true));
+    }
+}

@@ -1,0 +1,777 @@
+//! The per-loop dependence driver: combines the dependence tests (§3.3),
+//! privatization (§3.4), reduction validation (§3.2) and the run-time
+//! test fallback (§3.5) into a parallel / speculative / serial decision
+//! for every `DO` loop, and annotates the IR with the result.
+
+use crate::ddtest::{banerjee, gcd, range_test, DdStats};
+use crate::privatize;
+use crate::rangeprop;
+use crate::reduction;
+use crate::PassOptions;
+use polaris_ir::expr::Expr;
+use polaris_ir::stmt::{DoLoop, ParallelInfo, SpecInfo, StmtId, StmtKind, StmtList};
+use polaris_ir::visit::{collect_iteration_accesses, find_serializing_stmt, Access};
+use polaris_ir::ProgramUnit;
+use polaris_symbolic::poly::{DivPolicy, Poly};
+use polaris_symbolic::{Rat, RangeEnv};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Outcome for one loop (also used by the evaluation harness).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopReport {
+    pub label: String,
+    pub unit: String,
+    /// Proven parallel at compile time.
+    pub parallel: bool,
+    /// Chosen for run-time (speculative) parallelization.
+    pub speculative: bool,
+    /// Reason the loop stayed serial.
+    pub serial_reason: Option<String>,
+    pub private: Vec<String>,
+    pub copy_out: Vec<String>,
+    pub reductions: Vec<String>,
+}
+
+/// Analyze every loop of `unit` and attach [`ParallelInfo`] annotations.
+pub fn analyze_unit(
+    unit: &mut ProgramUnit,
+    opts: &PassOptions,
+    stats: &DdStats,
+) -> Vec<LoopReport> {
+    // Phase 1 (read-only): decide per loop label.
+    let mut decisions: BTreeMap<String, (ParallelInfo, LoopReport)> = BTreeMap::new();
+    {
+        let mut env = RangeEnv::new();
+        seed_params(unit, &mut env);
+        let unit_ref: &ProgramUnit = unit;
+        analyze_list(&unit_ref.body, unit_ref, &mut env, opts, stats, &mut decisions);
+    }
+    // Phase 2: apply annotations.
+    let mut reports: Vec<LoopReport> = Vec::new();
+    unit.body.walk_mut(&mut |s| {
+        if let StmtKind::Do(d) = &mut s.kind {
+            if let Some((info, report)) = decisions.remove(&d.label) {
+                d.par = info;
+                reports.push(report);
+            }
+        }
+    });
+    reports.sort_by(|a, b| a.label.cmp(&b.label));
+    reports
+}
+
+fn seed_params(unit: &ProgramUnit, env: &mut RangeEnv) {
+    use polaris_ir::symbol::SymKind;
+    for sym in unit.symbols.iter() {
+        if let SymKind::Parameter(value) = &sym.kind {
+            if let Some(p) = Poly::from_expr(value, DivPolicy::Opaque) {
+                env.set_fresh(sym.name.clone(), polaris_symbolic::Range::exact(p));
+            }
+        }
+    }
+}
+
+/// Recursive walk mirroring [`crate::rangeprop`]'s abstract execution.
+fn analyze_list(
+    list: &StmtList,
+    unit: &ProgramUnit,
+    env: &mut RangeEnv,
+    opts: &PassOptions,
+    stats: &DdStats,
+    out: &mut BTreeMap<String, (ParallelInfo, LoopReport)>,
+) {
+    for s in list {
+        match &s.kind {
+            StmtKind::Do(d) => {
+                for v in rangeprop::assigned_vars(&d.body) {
+                    env.invalidate(&v);
+                }
+                env.invalidate(&d.var);
+                let mut body_env = env.clone();
+                rangeprop::assume_loop_header(
+                    &mut body_env,
+                    &d.var,
+                    &d.init,
+                    &d.limit,
+                    d.step.as_ref(),
+                );
+                let decision = analyze_loop(d, s.id, unit, &body_env, opts, stats);
+                out.insert(d.label.clone(), decision);
+                analyze_list(&d.body, unit, &mut body_env, opts, stats, out);
+            }
+            StmtKind::IfBlock { arms, else_body } => {
+                for arm in arms {
+                    let mut arm_env = env.clone();
+                    arm_env.assume_cond(&arm.cond);
+                    analyze_list(&arm.body, unit, &mut arm_env, opts, stats, out);
+                }
+                let mut else_env = env.clone();
+                analyze_list(else_body, unit, &mut else_env, opts, stats, out);
+                let mut killed: BTreeSet<String> = BTreeSet::new();
+                for arm in arms {
+                    killed.extend(rangeprop::assigned_vars(&arm.body));
+                }
+                killed.extend(rangeprop::assigned_vars(else_body));
+                for v in killed {
+                    env.invalidate(&v);
+                }
+            }
+            StmtKind::Assign { lhs, rhs, .. } => {
+                env.invalidate(lhs.name());
+                if lhs.subs().is_empty() {
+                    if let Some(p) = Poly::from_expr(rhs, DivPolicy::Opaque) {
+                        if !p.mentions_var(lhs.name()) {
+                            env.set_fresh(lhs.name(), polaris_symbolic::Range::exact(p));
+                        }
+                    }
+                }
+            }
+            StmtKind::Assert { cond } => env.assume_cond(cond),
+            StmtKind::Call { args, .. } => {
+                for a in args {
+                    match a {
+                        Expr::Var(n) => env.invalidate(n),
+                        Expr::Index { array, .. } => env.invalidate(array),
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn serial(
+    d: &DoLoop,
+    unit: &ProgramUnit,
+    reason: impl Into<String>,
+) -> (ParallelInfo, LoopReport) {
+    let reason = reason.into();
+    let info = ParallelInfo { serial_reason: Some(reason.clone()), ..Default::default() };
+    let report = LoopReport {
+        label: d.label.clone(),
+        unit: unit.name.clone(),
+        parallel: false,
+        speculative: false,
+        serial_reason: Some(reason),
+        private: Vec::new(),
+        copy_out: Vec::new(),
+        reductions: Vec::new(),
+    };
+    (info, report)
+}
+
+/// Decide one loop. `env` holds ranges valid inside the body.
+fn analyze_loop(
+    d: &DoLoop,
+    loop_id: StmtId,
+    unit: &ProgramUnit,
+    env: &RangeEnv,
+    opts: &PassOptions,
+    stats: &DdStats,
+) -> (ParallelInfo, LoopReport) {
+    if let Some(why) = find_serializing_stmt(&d.body) {
+        return serial(d, unit, why);
+    }
+    let Some(step) = d.step_expr().simplified().as_int() else {
+        return serial(d, unit, "non-constant loop step");
+    };
+    if step == 0 {
+        return serial(d, unit, "zero loop step");
+    }
+
+    // Idiom facts local to an iteration.
+    let mut env = env.clone();
+    let _compactions = privatize::recognize_compactions(&d.body, &mut env);
+
+    let accesses = collect_iteration_accesses(d);
+    let mut reductions = reduction::validated_reductions(d);
+    if !opts.array_reductions {
+        reductions.retain(|r| {
+            // keep scalar reductions only
+            accesses.iter().filter(|a| a.name == r.var).all(|a| a.subs.is_empty())
+        });
+    }
+    if !opts.reductions {
+        reductions.clear();
+    }
+    let reduction_vars: BTreeSet<String> = reductions.iter().map(|r| r.var.clone()).collect();
+
+    let inner_do_vars: BTreeSet<String> = {
+        let mut s = BTreeSet::new();
+        d.body.walk(&mut |st| {
+            if let StmtKind::Do(inner) = &st.kind {
+                s.insert(inner.var.clone());
+            }
+        });
+        s
+    };
+
+    let mut private: Vec<String> = Vec::new();
+    let mut copy_out: Vec<String> = Vec::new();
+
+    // --- scalars -----------------------------------------------------------
+    let scalar_writes: BTreeSet<String> = accesses
+        .iter()
+        .filter(|a| a.is_write && a.is_scalar())
+        .map(|a| a.name.clone())
+        .collect();
+    for name in &scalar_writes {
+        if inner_do_vars.contains(name) {
+            private.push(name.clone());
+            continue;
+        }
+        if reduction_vars.contains(name) {
+            continue;
+        }
+        if opts.scalar_privatization && privatize::scalar_privatizable(d, name) {
+            if privatize::live_after(unit, loop_id, name) {
+                if privatize::scalar_write_unconditional(d, name) {
+                    private.push(name.clone());
+                    copy_out.push(name.clone());
+                } else {
+                    return serial(
+                        d,
+                        unit,
+                        format!("scalar `{name}` live after loop with conditional final write"),
+                    );
+                }
+            } else {
+                private.push(name.clone());
+            }
+        } else {
+            return serial(d, unit, format!("scalar recurrence on `{name}`"));
+        }
+    }
+
+    // --- arrays ------------------------------------------------------------
+    let array_names: BTreeSet<String> = accesses
+        .iter()
+        .filter(|a| !a.is_scalar())
+        .map(|a| a.name.clone())
+        .collect();
+    let mut speculative_tracked: Vec<String> = Vec::new();
+    let mut dropped_reductions: Vec<String> = Vec::new();
+    for name in &array_names {
+        // has_write must consider *all* accesses: reduction flags are
+        // only meaningful when the reduction validated for this loop
+        // (stale flags must not make the array look read-only).
+        let has_write = accesses.iter().any(|a| a.name == *name && a.is_write);
+        if !has_write {
+            continue; // read-only array
+        }
+        // If any access of this array was flagged as a reduction but the
+        // reduction did not validate, the flags are stale for this loop —
+        // include those accesses too. Subscripts are resolved through
+        // in-iteration scalar reaching definitions up front so both the
+        // dependence tests and the speculation trigger see through
+        // `IP = IPOS(P); V(IP) = ...` forms.
+        let refs: Vec<Access> = accesses
+            .iter()
+            .filter(|a| a.name == *name)
+            .map(|a| {
+                let mut a2 = (*a).clone();
+                a2.subs = privatize::resolve_scalar_subscripts(&accesses, &a2);
+                a2
+            })
+            .collect();
+        let refs: Vec<&Access> = refs.iter().collect();
+
+        if pairs_independent(d, &refs, step, &env, opts, stats) {
+            // Proven independent outright: "the data-dependence pass
+            // later ... removes the flags for those statements which it
+            // can prove have no loop-carried dependences" (§3.2) — a
+            // plain DOALL beats paying the reduction merge.
+            if reduction_vars.contains(name) {
+                dropped_reductions.push(name.clone());
+            }
+            continue;
+        }
+        if reduction_vars.contains(name) {
+            continue; // validated reduction: handled by merge at run time
+        }
+        let declared: Option<Vec<(Poly, Poly)>> = unit.symbols.get(name).and_then(|sym| {
+            sym.dims()
+                .iter()
+                .map(|dim| {
+                    Some((
+                        Poly::from_expr(&dim.lo, DivPolicy::Opaque)?,
+                        Poly::from_expr(&dim.hi, DivPolicy::Opaque)?,
+                    ))
+                })
+                .collect()
+        });
+        let priv_ok = opts.array_privatization
+            && privatize::array_privatizable_with_decl(d, name, &env, declared.as_deref())
+                .is_ok();
+        if priv_ok
+            && !privatize::live_after(unit, loop_id, name) {
+                private.push(name.clone());
+                continue;
+            }
+            // privatizable but the values escape: fall through to the
+            // run-time test, which handles copy-out, before giving up.
+        // Speculate only when the opaque accesses sit directly in this
+        // loop's body (the innermost enclosing loop of the scatter):
+        // speculating an enclosing loop would re-test the same elements
+        // across outer iterations and fail spuriously.
+        if opts.speculation
+            && has_subscripted_subscript(&refs)
+            && refs.iter().all(|a| a.ctx.is_empty())
+        {
+            speculative_tracked.push(name.clone());
+            continue;
+        }
+        if priv_ok {
+            return serial(d, unit, format!("array `{name}` privatizable but live after loop"));
+        }
+        return serial(d, unit, format!("possible carried dependence on array `{name}`"));
+    }
+
+    // --- assemble ------------------------------------------------------------
+    private.sort();
+    private.dedup();
+    copy_out.sort();
+    copy_out.dedup();
+    // Reductions only matter if the variable is actually updated here,
+    // and proven-independent arrays do not need the reduction transform.
+    let reductions: Vec<_> = reductions
+        .into_iter()
+        .filter(|r| accesses.iter().any(|a| a.name == r.var && a.is_write))
+        .filter(|r| !dropped_reductions.contains(&r.var))
+        .collect();
+    let red_names: Vec<String> =
+        reductions.iter().map(|r| format!("{}:{}", r.op.fortran(), r.var)).collect();
+
+    if !speculative_tracked.is_empty() {
+        let info = ParallelInfo {
+            parallel: false,
+            private: private.clone(),
+            copy_out: copy_out.clone(),
+            reductions: reductions.clone(),
+            speculative: Some(SpecInfo {
+                tracked: speculative_tracked.clone(),
+                privatized: Vec::new(),
+            }),
+            lastvalue: Vec::new(),
+            serial_reason: None,
+        };
+        let report = LoopReport {
+            label: d.label.clone(),
+            unit: unit.name.clone(),
+            parallel: false,
+            speculative: true,
+            serial_reason: None,
+            private,
+            copy_out,
+            reductions: red_names,
+        };
+        return (info, report);
+    }
+
+    let info = ParallelInfo {
+        parallel: true,
+        private: private.clone(),
+        copy_out: copy_out.clone(),
+        reductions,
+        speculative: None,
+        lastvalue: Vec::new(),
+        serial_reason: None,
+    };
+    let report = LoopReport {
+        label: d.label.clone(),
+        unit: unit.name.clone(),
+        parallel: true,
+        speculative: false,
+        serial_reason: None,
+        private,
+        copy_out,
+        reductions: red_names,
+    };
+    (info, report)
+}
+
+/// Does any reference use an array element as a subscript (the §3.5
+/// trigger for run-time testing)?
+fn has_subscripted_subscript(refs: &[&Access]) -> bool {
+    refs.iter().any(|a| a.subs.iter().any(|s| !s.arrays().is_empty()))
+}
+
+/// Are all (write, any) pairs of `refs` (subscripts pre-resolved)
+/// independent at loop `d`?
+fn pairs_independent(
+    d: &DoLoop,
+    refs: &[&Access],
+    step: i64,
+    env: &RangeEnv,
+    opts: &PassOptions,
+    stats: &DdStats,
+) -> bool {
+    let self_loop = match loop_as_inner(d, step) {
+        Some(sl) => sl,
+        None => return false,
+    };
+    for (i, w) in refs.iter().enumerate() {
+        if !w.is_write {
+            continue;
+        }
+        for (j, o) in refs.iter().enumerate() {
+            if j < i && o.is_write {
+                continue; // (w2, w1) already tested as (w1, w2)
+            }
+            if !pair_independent(d, w, o, step, &self_loop, env, opts, stats) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn loop_as_inner(d: &DoLoop, step: i64) -> Option<range_test::InnerLoop> {
+    Some(range_test::InnerLoop {
+        var: d.var.clone(),
+        lo: Poly::from_expr(&d.init, DivPolicy::Exact)?,
+        hi: Poly::from_expr(&d.limit, DivPolicy::Exact)?,
+        step,
+    })
+}
+
+fn access_refspec(a: &Access) -> Option<range_test::RefSpec> {
+    let mut inner = Vec::new();
+    for c in &a.ctx {
+        inner.push(range_test::InnerLoop {
+            var: c.var.clone(),
+            lo: Poly::from_expr(&c.init, DivPolicy::Exact)?,
+            hi: Poly::from_expr(&c.limit, DivPolicy::Exact)?,
+            step: c.step.simplified().as_int()?,
+        });
+    }
+    let mut subs = Vec::new();
+    for s in &a.subs {
+        subs.push(Poly::from_expr(s, DivPolicy::Exact)?);
+    }
+    Some(range_test::RefSpec { subs, inner })
+}
+
+fn pair_independent(
+    d: &DoLoop,
+    f: &Access,
+    g: &Access,
+    step: i64,
+    self_loop: &range_test::InnerLoop,
+    env: &RangeEnv,
+    opts: &PassOptions,
+    stats: &DdStats,
+) -> bool {
+    let (Some(fr), Some(gr)) = (access_refspec(f), access_refspec(g)) else {
+        return false;
+    };
+    if opts.range_test
+        && range_test::no_carried_dependence(
+            &fr,
+            &gr,
+            &d.var,
+            step,
+            self_loop,
+            env,
+            stats,
+            opts.permutation,
+        )
+    {
+        return true;
+    }
+    if opts.linear_tests && linear_pair_independent(d, f, g, &fr, &gr, stats) {
+        return true;
+    }
+    false
+}
+
+/// GCD + Banerjee on one pair. Requires linear subscripts with constant
+/// coefficients; unknown bounds become wide sentinels (sound: the real
+/// iteration space is a subset).
+fn linear_pair_independent(
+    d: &DoLoop,
+    f: &Access,
+    g: &Access,
+    fr: &range_test::RefSpec,
+    gr: &range_test::RefSpec,
+    stats: &DdStats,
+) -> bool {
+    const WIDE: i128 = 1 << 24;
+    let bounds = |il: &range_test::InnerLoop| -> (i128, i128) {
+        let lo = il.lo.as_constant().and_then(|r| r.as_integer()).unwrap_or(-WIDE);
+        let hi = il.hi.as_constant().and_then(|r| r.as_integer()).unwrap_or(WIDE);
+        if il.step < 0 {
+            (hi, lo)
+        } else {
+            (lo, hi)
+        }
+    };
+    // Variable universe: tested loop first, then f's ctx; g's ctx loops
+    // with matching names are "common", the rest are free.
+    for dim in 0..fr.subs.len() {
+        let fvars: Vec<String> =
+            std::iter::once(d.var.clone()).chain(f.ctx.iter().map(|c| c.var.clone())).collect();
+        let gvars: Vec<String> =
+            std::iter::once(d.var.clone()).chain(g.ctx.iter().map(|c| c.var.clone())).collect();
+        let Some((frest, fco)) = fr.subs[dim].linear_in(&fvars) else { continue };
+        let Some((grest, gco)) = gr.subs[dim].linear_in(&gvars) else { continue };
+        // The non-index parts must cancel to a constant.
+        let Some(diff) = frest.checked_sub(&grest) else { continue };
+        let Some(c0) = diff.as_constant().and_then(|r| r.as_integer()) else {
+            continue;
+        };
+        // GCD quick test.
+        let fr_rats: Vec<Rat> = fco.clone();
+        let gr_rats: Vec<Rat> = gco.clone();
+        if gcd::independent(Rat::int(c0), &fr_rats, Rat::ZERO, &gr_rats, stats) {
+            return true;
+        }
+        // Banerjee: common = tested loop + ctx loops sharing names.
+        let step_ok = |il: &range_test::InnerLoop| il.step.abs() == 1;
+        let mut common = Vec::new();
+        let mut free = Vec::new();
+        let to_int = |r: &Rat| r.as_integer();
+        let Some(a0) = to_int(&fco[0]) else { continue };
+        let Some(b0) = to_int(&gco[0]) else { continue };
+        // tested loop bounds
+        let dl = loop_as_inner(d, if d.step_expr().simplified().as_int().unwrap_or(1) < 0 { -1 } else { 1 });
+        let Some(dl) = dl else { continue };
+        if !step_ok(&dl) {
+            continue;
+        }
+        let (lo, hi) = bounds(&dl);
+        common.push(banerjee::Coupled { a: a0, b: b0, lo, hi });
+        let mut bad = false;
+        // f's ctx loops
+        for (k, c) in f.ctx.iter().enumerate() {
+            let Some(a) = to_int(&fco[k + 1]) else { bad = true; break };
+            let gk = g.ctx.iter().position(|gc| gc.var == c.var);
+            let il = &fr.inner[k];
+            if !step_ok(il) {
+                bad = true;
+                break;
+            }
+            let (lo, hi) = bounds(il);
+            match gk {
+                Some(gi) => {
+                    let Some(b) = to_int(&gco[gi + 1]) else { bad = true; break };
+                    common.push(banerjee::Coupled { a, b, lo, hi });
+                }
+                None => {
+                    if a != 0 {
+                        free.push(banerjee::Free { c: a, lo, hi });
+                    }
+                }
+            }
+        }
+        if bad {
+            continue;
+        }
+        // g-only ctx loops
+        for (k, c) in g.ctx.iter().enumerate() {
+            if f.ctx.iter().any(|fc| fc.var == c.var) {
+                continue;
+            }
+            let Some(b) = to_int(&gco[k + 1]) else { bad = true; break };
+            let il = &gr.inner[k];
+            if !step_ok(il) {
+                bad = true;
+                break;
+            }
+            let (lo, hi) = bounds(il);
+            if b != 0 {
+                free.push(banerjee::Free { c: -b, lo, hi });
+            }
+        }
+        if bad {
+            continue;
+        }
+        if !banerjee::carried_dependence_possible(c0, &common, 0, &free, stats) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PassOptions;
+
+    fn analyze(src: &str, opts: &PassOptions) -> (polaris_ir::Program, Vec<LoopReport>) {
+        let mut p = polaris_ir::parse(src).unwrap();
+        crate::constprop::run(&mut p);
+        let stats = DdStats::new();
+        let mut reports = Vec::new();
+        for unit in &mut p.units {
+            reports.extend(analyze_unit(unit, opts, &stats));
+        }
+        (p, reports)
+    }
+
+    fn report<'a>(reports: &'a [LoopReport], frag: &str) -> &'a LoopReport {
+        reports
+            .iter()
+            .find(|r| r.label.contains(frag))
+            .unwrap_or_else(|| panic!("no loop labelled like {frag}: {reports:?}"))
+    }
+
+    #[test]
+    fn independent_loop_is_parallel() {
+        let src = "program t\nreal a(100)\ndo i = 1, 100\n  a(i) = i * 2.0\nend do\nend\n";
+        let (_, r) = analyze(src, &PassOptions::polaris());
+        assert!(r[0].parallel, "{r:?}");
+    }
+
+    #[test]
+    fn recurrence_is_serial() {
+        let src = "program t\nreal a(101)\ndo i = 1, 100\n  a(i) = a(i+1) + 1.0\nend do\nend\n";
+        let (_, r) = analyze(src, &PassOptions::polaris());
+        assert!(!r[0].parallel);
+        assert!(r[0].serial_reason.as_deref().unwrap().contains("A"));
+    }
+
+    #[test]
+    fn scalar_temp_privatized() {
+        let src = "program t\nreal a(100), b(100)\ndo i = 1, 100\n  t = a(i) * 2.0\n  b(i) = t + 1.0\nend do\nend\n";
+        let (p, r) = analyze(src, &PassOptions::polaris());
+        assert!(r[0].parallel);
+        assert_eq!(r[0].private, vec!["T"]);
+        // annotation landed on the IR
+        let d = p.units[0].body.loops()[0];
+        assert!(d.par.parallel);
+        assert_eq!(d.par.private, vec!["T"]);
+    }
+
+    #[test]
+    fn reduction_validated_and_annotated() {
+        let src = "program t\nreal a(100)\ns = 0.0\ndo i = 1, 100\n  s = s + a(i)\nend do\nprint *, s\nend\n";
+        let mut p = polaris_ir::parse(src).unwrap();
+        crate::reduction::flag_reductions(&mut p);
+        let stats = DdStats::new();
+        let opts = PassOptions::polaris();
+        let mut reports = Vec::new();
+        for unit in &mut p.units {
+            reports.extend(analyze_unit(unit, &opts, &stats));
+        }
+        assert!(reports[0].parallel, "{reports:?}");
+        assert_eq!(reports[0].reductions, vec!["+:S"]);
+    }
+
+    #[test]
+    fn io_serializes() {
+        let src = "program t\nreal a(10)\ndo i = 1, 10\n  print *, a(i)\nend do\nend\n";
+        let (_, r) = analyze(src, &PassOptions::polaris());
+        assert!(!r[0].parallel);
+        assert!(r[0].serial_reason.as_deref().unwrap().contains("I/O"));
+    }
+
+    #[test]
+    fn nonlinear_subscript_needs_range_test() {
+        // A(n*i + j) dense blocks: Polaris parallel; VFA (linear only) serial.
+        let src = "program t\nreal a(10000)\n!$assert (n >= 1)\ndo i = 0, 99\n  do j = 1, n\n    a(n*i + j) = 1.0\n  end do\nend do\nend\n";
+        let (_, r) = analyze(src, &PassOptions::polaris());
+        assert!(report(&r, "do4").parallel, "{r:?}");
+        let (_, r2) = analyze(src, &PassOptions::vfa());
+        assert!(!report(&r2, "do4").parallel, "{r2:?}");
+    }
+
+    #[test]
+    fn linear_case_handled_by_both() {
+        let src = "program t\nreal a(100,100)\ndo i = 1, 100\n  do j = 1, 100\n    a(i, j) = 1.0\n  end do\nend do\nend\n";
+        let (_, r) = analyze(src, &PassOptions::polaris());
+        assert!(r.iter().all(|x| x.parallel), "{r:?}");
+        let (_, r2) = analyze(src, &PassOptions::vfa());
+        assert!(r2.iter().all(|x| x.parallel), "{r2:?}");
+    }
+
+    #[test]
+    fn vfa_banerjee_proves_constant_bounds_case() {
+        // A(i) = A(i + 200): distance exceeds the iteration count.
+        let src = "program t\nreal a(400)\ndo i = 1, 100\n  a(i) = a(i + 200)\nend do\nend\n";
+        let (_, r) = analyze(src, &PassOptions::vfa());
+        assert!(r[0].parallel, "{r:?}");
+    }
+
+    #[test]
+    fn subscripted_subscript_goes_speculative() {
+        let src = "program t\nreal a(100)\ninteger key(100)\ndo i = 1, 100\n  a(key(i)) = a(key(i)) + 1.0\nend do\nend\n";
+        // make it not look like a reduction: different sides
+        let src2 = "program t\nreal a(100), b(100)\ninteger key(100)\ndo i = 1, 100\n  a(key(i)) = b(i)\nend do\nprint *, a(1)\nend\n";
+        let _ = src;
+        let (p, r) = analyze(src2, &PassOptions::polaris());
+        assert!(r[0].speculative, "{r:?}");
+        let d = p.units[0].body.loops()[0];
+        assert_eq!(d.par.speculative.as_ref().unwrap().tracked, vec!["A"]);
+        // VFA has no run-time fallback
+        let (_, r2) = analyze(src2, &PassOptions::vfa());
+        assert!(!r2[0].speculative && !r2[0].parallel);
+    }
+
+    #[test]
+    fn array_privatization_gates_outer_loop() {
+        let src = "program t\nreal a(100), b(100,100), c(100,100)\ninteger m\nm = 60\ndo i = 1, 100\n  do j = 1, m\n    a(j) = b(i, j)\n  end do\n  do k = 1, m\n    c(i, k) = a(k) * 2.0\n  end do\nend do\nend\n";
+        let (_, r) = analyze(src, &PassOptions::polaris());
+        let outer = report(&r, "do5");
+        assert!(outer.parallel, "{r:?}");
+        assert!(outer.private.contains(&"A".to_string()));
+        // VFA cannot privatize arrays
+        let (_, r2) = analyze(src, &PassOptions::vfa());
+        assert!(!report(&r2, "do5").parallel);
+    }
+
+    #[test]
+    fn live_after_blocks_array_privatization() {
+        let src = "program t\nreal a(100), b(100,100), c(100,100)\ninteger m\nm = 60\ndo i = 1, 100\n  do j = 1, m\n    a(j) = b(i, j)\n  end do\n  do k = 1, m\n    c(i, k) = a(k) * 2.0\n  end do\nend do\nprint *, a(1)\nend\n";
+        let (_, r) = analyze(src, &PassOptions::polaris());
+        let outer = report(&r, "do5");
+        assert!(!outer.parallel);
+        assert!(outer.serial_reason.as_deref().unwrap().contains("live after"));
+    }
+
+    #[test]
+    fn copy_out_for_live_scalar() {
+        let src = "program t\nreal a(100), b(100)\ndo i = 1, 100\n  t = a(i)\n  b(i) = t\nend do\nprint *, t\nend\n";
+        let (_, r) = analyze(src, &PassOptions::polaris());
+        assert!(r[0].parallel, "{r:?}");
+        assert_eq!(r[0].copy_out, vec!["T"]);
+    }
+
+    #[test]
+    fn inner_loop_vars_are_private() {
+        let src = "program t\nreal a(100,100)\ndo i = 1, 100\n  do j = 1, 100\n    a(i, j) = 1.0\n  end do\nend do\nend\n";
+        let (_, r) = analyze(src, &PassOptions::polaris());
+        let outer = report(&r, "do3");
+        assert!(outer.private.contains(&"J".to_string()));
+    }
+
+    #[test]
+    fn triangular_symbolic_loop_parallel() {
+        // the induction-produced TRFD form, outer loop
+        let src = "program t\nreal a(100000)\ninteger x\n!$assert (n >= 1)\nx = 0\ndo i = 0, m - 1\n  do j = 0, n - 1\n    do k = 0, j - 1\n      a(k + 1 + (i*(n**2+n) + j**2 - j)/2) = 1.0\n    end do\n  end do\nend do\nend\n";
+        let (_, r) = analyze(src, &PassOptions::polaris());
+        assert!(r.iter().all(|x| x.parallel), "{r:?}");
+        let (_, r2) = analyze(src, &PassOptions::vfa());
+        // VFA's linear tests legitimately prove the *innermost* loop
+        // (coefficient 1 on K, outer loops "="); the symbolic outer
+        // loops — where the real speedup lives — stay serial.
+        assert!(!report(&r2, "do6").parallel, "{r2:?}");
+        assert!(!report(&r2, "do7").parallel, "{r2:?}");
+    }
+
+    #[test]
+    fn ocean_figure3_parallel_via_permutation() {
+        let src = "program t\nreal a(2000000)\ninteger x, zz(200)\n!$assert (x >= 1)\n!$assert (nn >= 0)\ndo k = 0, x - 1\n  do j = 0, nn\n    do i = 0, 128\n      a(258*x*j + 129*k + i + 1) = 1.0\n      a(258*x*j + 129*k + i + 1 + 129*x) = 2.0\n    end do\n  end do\nend do\nend\n";
+        let stats = DdStats::new();
+        let mut p = polaris_ir::parse(src).unwrap();
+        crate::constprop::run(&mut p);
+        let opts = PassOptions::polaris();
+        let mut reports = Vec::new();
+        for unit in &mut p.units {
+            reports.extend(analyze_unit(unit, &opts, &stats));
+        }
+        assert!(reports.iter().all(|x| x.parallel), "{reports:?}");
+        assert!(stats.permutations_used.get() >= 1);
+    }
+}

@@ -1,0 +1,938 @@
+//! Generalized induction variable substitution (§3.2).
+//!
+//! Implements the paper's three-step algorithm:
+//!
+//! 1. **Locate candidates** — scalars incremented (unconditionally) by
+//!    loop-invariant expressions, enclosing loop indices, or *other
+//!    candidate induction variables* (cascaded inductions).
+//! 2. **Compute closed forms** — the per-iteration increment is summed
+//!    "across the iteration space of the enclosing loop"; inner loops are
+//!    handled by recursive descent, and triangular nests fall out of the
+//!    symbolic Faulhaber summation in `polaris-symbolic`.
+//! 3. **Substitute** every use with the closed form at the loop header
+//!    plus the increments accumulated up to the point of use, then delete
+//!    the recurrence statements and assign the *last value* after the
+//!    loop (guarded by the loop's non-emptiness when that is not provable).
+//!
+//! Multiplicative inductions (`K = K * c`) are also removed in the simple
+//! single-statement form, producing `K * c**(i - lo)` closed forms, per
+//! the paper's note that "multiplicative inductions are solved as well".
+//!
+//! A zero-or-positive trip count must be provable (via range propagation)
+//! before an inner loop's accumulated increment is folded into a closed
+//! form; otherwise the candidate is rejected — Faulhaber's formulas
+//! extrapolate to negative sums for negative trips, which would be
+//! unsound.
+
+use crate::rangeprop::{assigned_vars, assume_loop_header};
+use polaris_ir::expr::{BinOp, Expr, LValue};
+use polaris_ir::stmt::{DoLoop, Stmt, StmtId, StmtKind, StmtList};
+use polaris_ir::types::DataType;
+use polaris_ir::{Program, ProgramUnit};
+use polaris_symbolic::poly::{DivPolicy, Poly};
+use polaris_symbolic::sum::{prefix_sum, sum_over};
+use polaris_symbolic::{prove_ge, RangeEnv};
+use std::collections::BTreeSet;
+
+/// Statistics reported by the pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InductionStats {
+    /// Additive induction variables removed.
+    pub additive_removed: usize,
+    /// Multiplicative induction variables removed.
+    pub multiplicative_removed: usize,
+    /// Last-value assignments inserted after loops.
+    pub lastvalues_inserted: usize,
+}
+
+/// Run induction substitution on every unit (generalized mode).
+pub fn run(program: &mut Program) -> InductionStats {
+    run_with(program, InductionMode::Generalized)
+}
+
+/// Run with an explicit recognition mode.
+pub fn run_with(program: &mut Program, mode: InductionMode) -> InductionStats {
+    let mut stats = InductionStats::default();
+    if mode == InductionMode::Off {
+        return stats;
+    }
+    for unit in &mut program.units {
+        let s = run_unit_with(unit, mode);
+        stats.additive_removed += s.additive_removed;
+        stats.multiplicative_removed += s.multiplicative_removed;
+        stats.lastvalues_inserted += s.lastvalues_inserted;
+    }
+    stats
+}
+
+/// Run on one unit (generalized mode).
+pub fn run_unit(unit: &mut ProgramUnit) -> InductionStats {
+    run_unit_with(unit, InductionMode::Generalized)
+}
+
+/// Run on one unit with an explicit mode.
+pub fn run_unit_with(unit: &mut ProgramUnit, mode: InductionMode) -> InductionStats {
+    let mut body = std::mem::take(&mut unit.body);
+    let mut pass =
+        Pass { unit, stats: InductionStats::default(), deleted: BTreeSet::new(), mode };
+    let mut env = RangeEnv::new();
+    seed_env(pass.unit, &mut env);
+    pass.process_list(&mut body, &mut env);
+    remove_deleted(&mut body, &pass.deleted);
+    let stats = pass.stats;
+    unit.body = body;
+    stats
+}
+
+fn seed_env(unit: &ProgramUnit, env: &mut RangeEnv) {
+    use polaris_ir::symbol::SymKind;
+    for sym in unit.symbols.iter() {
+        if let SymKind::Parameter(value) = &sym.kind {
+            if let Some(p) = Poly::from_expr(value, DivPolicy::Opaque) {
+                env.set_fresh(sym.name.clone(), polaris_symbolic::Range::exact(p));
+            }
+        }
+    }
+}
+
+struct Pass<'a> {
+    unit: &'a mut ProgramUnit,
+    stats: InductionStats,
+    deleted: BTreeSet<StmtId>,
+    mode: InductionMode,
+}
+
+/// How aggressive induction recognition should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InductionMode {
+    /// Do nothing.
+    Off,
+    /// "Current compilers" (per the paper): only constant increments
+    /// placed directly in the loop body — no cascaded inductions, no
+    /// triangular/inner-loop accumulation. Used by the VFA baseline.
+    Simple,
+    /// The full §3.2 algorithm.
+    Generalized,
+}
+
+/// An additive increment statement `K = K + e` (with `e` pre-converted).
+struct Increment {
+    conditional: bool,
+    /// Directly in the processed loop's body (not inside an inner DO)?
+    top_level: bool,
+    expr: Expr,
+}
+
+impl<'a> Pass<'a> {
+    /// Walk a statement list, processing every loop found (outermost
+    /// first), maintaining a range environment for trip-count proofs.
+    fn process_list(&mut self, list: &mut StmtList, env: &mut RangeEnv) {
+        let mut i = 0usize;
+        while i < list.0.len() {
+            match &mut list.0[i].kind {
+                StmtKind::Do(_) => {
+                    // Process the loop's own candidates first, then recurse.
+                    let lastvalues = {
+                        let d = match &mut list.0[i].kind {
+                            StmtKind::Do(d) => d,
+                            _ => unreachable!(),
+                        };
+                        self.process_loop(d, env)
+                    };
+                    // Recurse into the (substituted) body for inner loops
+                    // with their own candidates.
+                    {
+                        let d = match &mut list.0[i].kind {
+                            StmtKind::Do(d) => d,
+                            _ => unreachable!(),
+                        };
+                        for v in assigned_vars(&d.body) {
+                            env.invalidate(&v);
+                        }
+                        env.invalidate(&d.var.clone());
+                        let mut inner_env = env.clone();
+                        assume_loop_header(
+                            &mut inner_env,
+                            &d.var.clone(),
+                            &d.init.clone(),
+                            &d.limit.clone(),
+                            d.step.as_ref(),
+                        );
+                        let mut inner_body = std::mem::take(&mut d.body);
+                        self.process_list(&mut inner_body, &mut inner_env);
+                        let d = match &mut list.0[i].kind {
+                            StmtKind::Do(d) => d,
+                            _ => unreachable!(),
+                        };
+                        d.body = inner_body;
+                    }
+                    // Insert last-value statements after the loop.
+                    let n = lastvalues.len();
+                    for (k, s) in lastvalues.into_iter().enumerate() {
+                        list.0.insert(i + 1 + k, s);
+                    }
+                    i += 1 + n;
+                }
+                StmtKind::IfBlock { .. } => {
+                    // Loops under IFs are processed with the arm condition
+                    // assumed.
+                    if let StmtKind::IfBlock { arms, else_body } = &mut list.0[i].kind {
+                        for arm in arms.iter_mut() {
+                            let mut arm_env = env.clone();
+                            arm_env.assume_cond(&arm.cond);
+                            // borrow gymnastics: temporarily move body
+                            let mut b = std::mem::take(&mut arm.body);
+                            // self is reborrowed inside; safe since arm.body detached
+                            Self::process_detached(self, &mut b, &mut arm_env);
+                            arm.body = b;
+                        }
+                        let mut b = std::mem::take(else_body);
+                        let mut e2 = env.clone();
+                        Self::process_detached(self, &mut b, &mut e2);
+                        *else_body = b;
+                    }
+                    // Conditional assignments invalidate facts.
+                    if let StmtKind::IfBlock { arms, else_body } = &list.0[i].kind {
+                        let mut killed: BTreeSet<String> = BTreeSet::new();
+                        for arm in arms {
+                            killed.extend(assigned_vars(&arm.body));
+                        }
+                        killed.extend(assigned_vars(else_body));
+                        for v in killed {
+                            env.invalidate(&v);
+                        }
+                    }
+                    i += 1;
+                }
+                StmtKind::Assign { lhs, rhs, .. } => {
+                    let name = lhs.name().to_string();
+                    let scalar = lhs.subs().is_empty();
+                    let rhs_c = rhs.clone();
+                    env.invalidate(&name);
+                    if scalar {
+                        if let Some(p) = Poly::from_expr(&rhs_c, DivPolicy::Opaque) {
+                            if !p.mentions_var(&name) {
+                                env.set_fresh(&name, polaris_symbolic::Range::exact(p));
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                StmtKind::Assert { cond } => {
+                    let c = cond.clone();
+                    env.assume_cond(&c);
+                    i += 1;
+                }
+                StmtKind::Call { args, .. } => {
+                    let names: Vec<String> = args
+                        .iter()
+                        .filter_map(|a| match a {
+                            Expr::Var(n) => Some(n.clone()),
+                            Expr::Index { array, .. } => Some(array.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    for n in names {
+                        env.invalidate(&n);
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    fn process_detached(pass: &mut Pass<'a>, list: &mut StmtList, env: &mut RangeEnv) {
+        pass.process_list(list, env);
+    }
+
+    /// Process the candidates of one loop; returns last-value statements
+    /// to insert after it.
+    fn process_loop(&mut self, d: &mut DoLoop, env: &mut RangeEnv) -> Vec<Stmt> {
+        // Only unit-step loops are substituted (normalization could relax
+        // this; the evaluation suite does not need it).
+        if d.step_expr().simplified().as_int() != Some(1) {
+            return Vec::new();
+        }
+        let mut body_env = env.clone();
+        assume_loop_header(&mut body_env, &d.var, &d.init, &d.limit, d.step.as_ref());
+
+        let mut lastvalues = Vec::new();
+        let candidates = self.find_candidates(d);
+        for k in candidates {
+            if let Some(lv) = self.process_additive(d, &k, &body_env, env) {
+                lastvalues.extend(lv);
+            }
+        }
+        if self.mode == InductionMode::Generalized {
+            if let Some(lv) = self.process_multiplicative(d) {
+                lastvalues.extend(lv);
+            }
+        }
+        remove_deleted(&mut d.body, &self.deleted);
+        lastvalues
+    }
+
+    // ---- step 1: candidate location ------------------------------------
+
+    /// Candidates of loop `d`, topologically ordered so that a cascaded
+    /// induction's base variables come first.
+    fn find_candidates(&self, d: &DoLoop) -> Vec<String> {
+        let assigned = assigned_vars(&d.body);
+        let do_vars = do_vars_of(&d.body);
+        let mut cands: Vec<(String, Vec<String>)> = Vec::new(); // (name, deps)
+        'vars: for name in &assigned {
+            if do_vars.contains(name) || *name == d.var {
+                continue;
+            }
+            if self.unit.symbols.type_of(name) != DataType::Integer
+                || self.unit.symbols.is_array(name)
+            {
+                continue;
+            }
+            let incs = collect_increments(&d.body, name, &self.deleted);
+            let Some(incs) = incs else { continue };
+            if incs.is_empty() {
+                continue;
+            }
+            let mut deps = Vec::new();
+            for inc in &incs {
+                if inc.conditional {
+                    continue 'vars;
+                }
+                if self.mode == InductionMode::Simple
+                    && (!inc.top_level || inc.expr.simplified().as_int().is_none())
+                {
+                    continue 'vars;
+                }
+                if inc.expr.references(name) {
+                    continue 'vars;
+                }
+                // The increment must be a polynomial whose symbols are
+                // loop indices, other assigned scalars (candidate deps),
+                // or loop invariants.
+                let Some(p) = Poly::from_expr(&inc.expr, DivPolicy::Exact) else {
+                    continue 'vars;
+                };
+                for v in p.vars() {
+                    if assigned.contains(&v) && !do_vars.contains(&v) && v != d.var {
+                        deps.push(v);
+                    }
+                }
+                // Opaque atoms must not mention anything assigned in the
+                // body (array loads of mutated arrays etc.).
+                for atom in p.atoms() {
+                    if let polaris_symbolic::poly::Atom::Opaque { expr, .. } = &atom {
+                        for a in assigned.iter() {
+                            if expr.references(a) {
+                                continue 'vars;
+                            }
+                        }
+                    }
+                }
+            }
+            cands.push((name.clone(), deps));
+        }
+        // Keep only candidates whose deps are themselves candidates.
+        loop {
+            let names: BTreeSet<String> = cands.iter().map(|(n, _)| n.clone()).collect();
+            let before = cands.len();
+            cands.retain(|(_, deps)| deps.iter().all(|d| names.contains(d)));
+            if cands.len() == before {
+                break;
+            }
+        }
+        // Topological order (deps first); cycles dropped.
+        let mut order: Vec<String> = Vec::new();
+        let mut remaining = cands;
+        while !remaining.is_empty() {
+            let ready: Vec<usize> = remaining
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, deps))| deps.iter().all(|d| order.contains(d)))
+                .map(|(i, _)| i)
+                .collect();
+            if ready.is_empty() {
+                break; // cycle: drop the rest
+            }
+            for i in ready.into_iter().rev() {
+                let (n, _) = remaining.remove(i);
+                order.push(n);
+            }
+        }
+        order
+    }
+
+    // ---- steps 2 and 3: closed forms and substitution --------------------
+
+    /// Process one additive candidate of loop `d`. Returns the last-value
+    /// statements on success, `None` if the candidate was rejected.
+    fn process_additive(
+        &mut self,
+        d: &mut DoLoop,
+        k: &str,
+        env: &RangeEnv,
+        outer_env: &RangeEnv,
+    ) -> Option<Vec<Stmt>> {
+        let lo = Poly::from_expr(&d.init, DivPolicy::Exact)?;
+        let hi = Poly::from_expr(&d.limit, DivPolicy::Exact)?;
+        // Per-iteration increment as a function of the loop variable.
+        let inc = increment_of_list(&d.body, k, &self.deleted, env)?;
+        if inc.mentions_var(k) {
+            return None;
+        }
+        // Value at the top of iteration v: K0 + Σ_{v'=lo}^{v-1} inc(v').
+        let header_val = Poly::var(k).checked_add(&prefix_sum(&inc, &d.var, &lo, &Poly::var(&d.var))?)?;
+        // Trial-substitute into a clone first so a mid-way failure cannot
+        // leave the loop half-transformed (the IR-consistency discipline).
+        let mut trial = d.body.clone();
+        let mut trial_deleted = self.deleted.clone();
+        substitute_in_list(&mut trial, k, &header_val, &mut trial_deleted, env)?;
+        // Commit.
+        d.body = trial;
+        let newly_deleted: Vec<StmtId> =
+            trial_deleted.difference(&self.deleted).copied().collect();
+        self.stats.additive_removed += 1;
+        self.deleted = trial_deleted;
+        debug_assert!(!newly_deleted.is_empty(), "candidate had no increments?");
+
+        // Last value after the loop: K = K + Σ_{v=lo}^{hi} inc(v),
+        // guarded when the loop may be empty.
+        let total = sum_over(&inc, &d.var, &lo, &hi)?;
+        let total_expr = total.to_expr().simplified();
+        let assign = Stmt::new(
+            self.unit.fresh_stmt_id(),
+            0,
+            StmtKind::Assign {
+                lhs: LValue::Var(k.to_string()),
+                rhs: Expr::add(Expr::var(k), total_expr).simplified(),
+                reduction: None,
+            },
+        );
+        self.stats.lastvalues_inserted += 1;
+        let lo_m1 = lo.checked_sub(&Poly::int(1))?;
+        let stmt = if prove_ge(&hi, &lo_m1, outer_env) {
+            assign
+        } else {
+            // IF (init <= limit) K = K + total
+            Stmt::new(
+                self.unit.fresh_stmt_id(),
+                0,
+                StmtKind::IfBlock {
+                    arms: vec![polaris_ir::stmt::IfArm {
+                        cond: Expr::bin(BinOp::Le, d.init.clone(), d.limit.clone()),
+                        body: StmtList(vec![assign]),
+                    }],
+                    else_body: StmtList::new(),
+                },
+            )
+        };
+        Some(vec![stmt])
+    }
+
+    /// Simple multiplicative inductions: a single unconditional
+    /// `K = K * c` (constant `c`) directly in the loop body.
+    fn process_multiplicative(&mut self, d: &mut DoLoop) -> Option<Vec<Stmt>> {
+        // Find the candidate.
+        let mut target: Option<(usize, String, Expr)> = None;
+        for (idx, s) in d.body.0.iter().enumerate() {
+            if let StmtKind::Assign { lhs: LValue::Var(name), rhs, .. } = &s.kind {
+                let pats = [
+                    Expr::mul(Expr::var(name.clone()), Expr::Wildcard(0)),
+                    Expr::mul(Expr::Wildcard(0), Expr::var(name.clone())),
+                ];
+                for pat in pats {
+                    if let Some(b) = polaris_ir::pattern::match_expr(&pat, rhs) {
+                        let c = &b[&0];
+                        if c.as_int().is_some() && !c.references(name) {
+                            if target.is_some() {
+                                return None; // only the single-statement form
+                            }
+                            target = Some((idx, name.clone(), c.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        let (idx, name, c) = target?;
+        if self.unit.symbols.type_of(&name) != DataType::Integer {
+            return None;
+        }
+        // Any other assignment to the variable disqualifies it, as does a
+        // DO loop or IF containing an assignment to it.
+        let mut writes = 0usize;
+        d.body.walk(&mut |s| {
+            if let StmtKind::Assign { lhs, .. } = &s.kind {
+                if lhs.name() == name {
+                    writes += 1;
+                }
+            }
+        });
+        if writes != 1 {
+            return None;
+        }
+        // exponent before the statement: (v - lo); after: (v - lo + 1)
+        let lo = d.init.clone();
+        let expo_before = Expr::sub(Expr::var(&d.var), lo.clone()).simplified();
+        let expo_after =
+            Expr::add(Expr::sub(Expr::var(&d.var), lo.clone()), Expr::int(1)).simplified();
+        let value_at = |expo: &Expr| {
+            Expr::mul(Expr::var(&name), Expr::bin(BinOp::Pow, c.clone(), expo.clone())).simplified()
+        };
+        let before = value_at(&expo_before);
+        let after = value_at(&expo_after);
+        for (i, s) in d.body.0.iter_mut().enumerate() {
+            let replacement = if i <= idx { &before } else { &after };
+            // Uses in the increment statement itself are deleted with it.
+            if i == idx {
+                continue;
+            }
+            polaris_ir::stmt::map_stmt_exprs(s, &mut |e| match &e {
+                Expr::Var(n) if *n == name => replacement.clone(),
+                _ => e,
+            });
+        }
+        let del_id = d.body.0[idx].id;
+        self.deleted.insert(del_id);
+        self.stats.multiplicative_removed += 1;
+        // Last value: K = K * c ** trip, guarded by non-emptiness.
+        let trip = Expr::add(
+            Expr::sub(d.limit.clone(), d.init.clone()),
+            Expr::int(1),
+        )
+        .simplified();
+        let assign = Stmt::new(
+            self.unit.fresh_stmt_id(),
+            0,
+            StmtKind::Assign {
+                lhs: LValue::Var(name.clone()),
+                rhs: Expr::mul(Expr::var(&name), Expr::bin(BinOp::Pow, c, trip)).simplified(),
+                reduction: None,
+            },
+        );
+        self.stats.lastvalues_inserted += 1;
+        let guarded = Stmt::new(
+            self.unit.fresh_stmt_id(),
+            0,
+            StmtKind::IfBlock {
+                arms: vec![polaris_ir::stmt::IfArm {
+                    cond: Expr::bin(BinOp::Le, d.init.clone(), d.limit.clone()),
+                    body: StmtList(vec![assign]),
+                }],
+                else_body: StmtList::new(),
+            },
+        );
+        Some(vec![guarded])
+    }
+}
+
+/// All DO-loop variables appearing in `list` (any depth).
+fn do_vars_of(list: &StmtList) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    list.walk(&mut |s| {
+        if let StmtKind::Do(d) = &s.kind {
+            out.insert(d.var.clone());
+        }
+    });
+    out
+}
+
+/// Recognize `K = K + e` / `K = e + K` / `K = K - e`; returns `e` with
+/// subtraction folded into a negation.
+fn recognize_increment(name: &str, rhs: &Expr) -> Option<Expr> {
+    use polaris_ir::pattern::match_expr;
+    let k = Expr::var(name);
+    if let Some(b) = match_expr(&Expr::add(k.clone(), Expr::Wildcard(0)), rhs) {
+        return Some(b[&0].clone());
+    }
+    if let Some(b) = match_expr(&Expr::add(Expr::Wildcard(0), k.clone()), rhs) {
+        return Some(b[&0].clone());
+    }
+    if let Some(b) = match_expr(&Expr::sub(k, Expr::Wildcard(0)), rhs) {
+        return Some(Expr::neg(b[&0].clone()).simplified());
+    }
+    None
+}
+
+/// Collect the increment statements for `name` in `list`. Returns `None`
+/// if `name` has a non-increment assignment anywhere in the list.
+fn collect_increments(
+    list: &StmtList,
+    name: &str,
+    deleted: &BTreeSet<StmtId>,
+) -> Option<Vec<Increment>> {
+    let mut out = Vec::new();
+    let mut ok = true;
+    fn rec(
+        list: &StmtList,
+        name: &str,
+        deleted: &BTreeSet<StmtId>,
+        conditional: bool,
+        top_level: bool,
+        out: &mut Vec<Increment>,
+        ok: &mut bool,
+    ) {
+        for s in list {
+            if deleted.contains(&s.id) {
+                continue;
+            }
+            match &s.kind {
+                StmtKind::Assign { lhs, rhs, .. }
+                    if lhs.name() == name && lhs.subs().is_empty() => {
+                        match recognize_increment(name, rhs) {
+                            Some(e) => out.push(Increment { conditional, top_level, expr: e }),
+                            None => *ok = false,
+                        }
+                    }
+                StmtKind::Do(d) => rec(&d.body, name, deleted, conditional, false, out, ok),
+                StmtKind::IfBlock { arms, else_body } => {
+                    for arm in arms {
+                        rec(&arm.body, name, deleted, true, false, out, ok);
+                    }
+                    rec(else_body, name, deleted, true, false, out, ok);
+                }
+                StmtKind::Call { args, .. } => {
+                    for a in args {
+                        if a.references(name) {
+                            *ok = false;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    rec(list, name, deleted, false, true, &mut out, &mut ok);
+    if ok {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Pure scan: the total increment of `name` accumulated by one execution
+/// of `list`, as a polynomial in the enclosing loop variables. Inner
+/// loops contribute their closed-form sums; a non-negative trip count
+/// must be provable under `env`.
+fn increment_of_list(
+    list: &StmtList,
+    name: &str,
+    deleted: &BTreeSet<StmtId>,
+    env: &RangeEnv,
+) -> Option<Poly> {
+    let mut inc = Poly::zero();
+    for s in list {
+        if deleted.contains(&s.id) {
+            continue;
+        }
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs, .. }
+                if lhs.name() == name && lhs.subs().is_empty() => {
+                    let e = recognize_increment(name, rhs)?;
+                    inc = inc.checked_add(&Poly::from_expr(&e, DivPolicy::Exact)?)?;
+                }
+            StmtKind::Do(d) => {
+                let mut inner_env = env.clone();
+                assume_loop_header(&mut inner_env, &d.var, &d.init, &d.limit, d.step.as_ref());
+                let delta = increment_of_list(&d.body, name, deleted, &inner_env)?;
+                if !delta.is_zero() {
+                    if d.step_expr().simplified().as_int() != Some(1) {
+                        return None;
+                    }
+                    let lo = Poly::from_expr(&d.init, DivPolicy::Exact)?;
+                    let hi = Poly::from_expr(&d.limit, DivPolicy::Exact)?;
+                    // Guard against negative-trip extrapolation.
+                    let lo_m1 = lo.checked_sub(&Poly::int(1))?;
+                    if !prove_ge(&hi, &lo_m1, env) {
+                        return None;
+                    }
+                    inc = inc.checked_add(&sum_over(&delta, &d.var, &lo, &hi)?)?;
+                }
+            }
+            StmtKind::IfBlock { .. } => {
+                // Candidates have no conditional increments (validated).
+            }
+            _ => {}
+        }
+    }
+    Some(inc)
+}
+
+/// Substitute every use of `name` in `list` with its closed-form value,
+/// deleting increment statements. `current` is the symbolic value of the
+/// variable at entry to `list`. Returns the total increment of the list.
+fn substitute_in_list(
+    list: &mut StmtList,
+    name: &str,
+    current: &Poly,
+    deleted: &mut BTreeSet<StmtId>,
+    env: &RangeEnv,
+) -> Option<Poly> {
+    let mut inc = Poly::zero();
+    for s in list.0.iter_mut() {
+        if deleted.contains(&s.id) {
+            continue;
+        }
+        let value = current.checked_add(&inc)?;
+        match &mut s.kind {
+            StmtKind::Assign { lhs, rhs, .. } => {
+                if lhs.name() == name && lhs.subs().is_empty() {
+                    let e = recognize_increment(name, rhs)?;
+                    // Uses *inside* the increment expression of other
+                    // variables were already substituted (dependency
+                    // order); the statement is deleted whole.
+                    inc = inc.checked_add(&Poly::from_expr(&e, DivPolicy::Exact)?)?;
+                    deleted.insert(s.id);
+                } else {
+                    let value_expr = value.to_expr();
+                    polaris_ir::stmt::map_stmt_exprs(s, &mut |e| match &e {
+                        Expr::Var(n) if n == name => value_expr.clone(),
+                        _ => e,
+                    });
+                }
+            }
+            StmtKind::Do(d) => {
+                // Bounds see the value at loop entry.
+                let value_expr = value.to_expr();
+                let subst = &mut |e: Expr| match &e {
+                    Expr::Var(n) if n == name => value_expr.clone(),
+                    _ => e,
+                };
+                d.init = d.init.map(subst);
+                d.limit = d.limit.map(subst);
+                if let Some(step) = &mut d.step {
+                    *step = step.map(subst);
+                }
+                let mut inner_env = env.clone();
+                assume_loop_header(&mut inner_env, &d.var, &d.init, &d.limit, d.step.as_ref());
+                let delta = increment_of_list(&d.body, name, deleted, &inner_env)?;
+                if delta.is_zero() {
+                    substitute_in_list(&mut d.body, name, &value, deleted, &inner_env)?;
+                } else {
+                    if d.step_expr().simplified().as_int() != Some(1) {
+                        return None;
+                    }
+                    let lo = Poly::from_expr(&d.init, DivPolicy::Exact)?;
+                    let hi = Poly::from_expr(&d.limit, DivPolicy::Exact)?;
+                    let lo_m1 = lo.checked_sub(&Poly::int(1))?;
+                    if !prove_ge(&hi, &lo_m1, env) {
+                        return None;
+                    }
+                    // Value at the top of inner iteration j.
+                    let at_j = value
+                        .checked_add(&prefix_sum(&delta, &d.var, &lo, &Poly::var(&d.var))?)?;
+                    substitute_in_list(&mut d.body, name, &at_j, deleted, &inner_env)?;
+                    inc = inc.checked_add(&sum_over(&delta, &d.var, &lo, &hi)?)?;
+                }
+            }
+            StmtKind::IfBlock { arms, else_body } => {
+                let value_expr = value.to_expr();
+                for arm in arms.iter_mut() {
+                    arm.cond = arm.cond.map(&mut |e| match &e {
+                        Expr::Var(n) if n == name => value_expr.clone(),
+                        _ => e,
+                    });
+                    // No increments inside (validated): plain substitution.
+                    substitute_uses(&mut arm.body, name, &value_expr);
+                }
+                substitute_uses(else_body, name, &value_expr);
+            }
+            _ => {
+                let value_expr = value.to_expr();
+                polaris_ir::stmt::map_stmt_exprs(s, &mut |e| match &e {
+                    Expr::Var(n) if n == name => value_expr.clone(),
+                    _ => e,
+                });
+            }
+        }
+    }
+    Some(inc)
+}
+
+fn substitute_uses(list: &mut StmtList, name: &str, value: &Expr) {
+    list.map_exprs(&mut |e| match &e {
+        Expr::Var(n) if n == name => value.clone(),
+        _ => e,
+    });
+}
+
+/// Physically remove statements marked deleted.
+fn remove_deleted(list: &mut StmtList, deleted: &BTreeSet<StmtId>) {
+    list.0.retain(|s| !deleted.contains(&s.id));
+    for s in list.0.iter_mut() {
+        match &mut s.kind {
+            StmtKind::Do(d) => remove_deleted(&mut d.body, deleted),
+            StmtKind::IfBlock { arms, else_body } => {
+                for arm in arms {
+                    remove_deleted(&mut arm.body, deleted);
+                }
+                remove_deleted(else_body, deleted);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_ir::printer::print_program;
+
+    fn transform(src: &str) -> (polaris_ir::Program, InductionStats) {
+        let mut p = polaris_ir::parse(src).unwrap();
+        crate::constprop::run(&mut p);
+        let stats = run(&mut p);
+        // The driver re-runs constant propagation after induction so
+        // entry values (K = 0) fold into the closed forms.
+        crate::constprop::run(&mut p);
+        polaris_ir::validate::validate_program(&p)
+            .unwrap_or_else(|e| panic!("invalid after induction: {e}\n{}", print_program(&p)));
+        (p, stats)
+    }
+
+    fn body_text(p: &polaris_ir::Program) -> String {
+        print_program(p)
+    }
+
+    #[test]
+    fn simple_induction_removed() {
+        let src = "program t\nreal a(100)\nk = 0\ndo i = 1, n\n  k = k + 1\n  a(k) = 1.0\nend do\nend\n";
+        let (p, stats) = transform(src);
+        let out = body_text(&p);
+        assert_eq!(stats.additive_removed, 1);
+        // K=K+1 deleted; use replaced by K + I - 1 => with K=0 folded: I (constprop ran first: K=0 propagated)
+        assert!(!out.contains("K = K+1"), "{out}");
+        assert!(out.contains("A(I)") || out.contains("A(0+I)") || out.contains("A(I-1+1)"), "{out}");
+        // last value after loop
+        assert!(out.contains("K = "), "{out}");
+    }
+
+    #[test]
+    fn figure2_trfd_form() {
+        // The paper's TRFD/OLDA nest (0-based as in Figure 2).
+        let src = "program t\nreal a(100000)\ninteger x, x0\nx0 = 0\ndo i = 0, m - 1\n  x = x0\n  do j = 0, n - 1\n    do k = 0, j - 1\n      x = x + 1\n      a(x) = 1.0\n    end do\n  end do\n  x0 = x0 + (n**2 + n)/2\nend do\nend\n";
+        let (p, stats) = transform(src);
+        let out = body_text(&p);
+        // X0's recurrence and X's recurrence both removed.
+        assert!(stats.additive_removed >= 2, "{stats:?}\n{out}");
+        assert!(!out.contains("X = X+1"), "{out}");
+        assert!(!out.contains("X0 = X0+"), "{out}");
+        // Subscript contains the triangular closed form j^2 - j over 2
+        // plus k (modulo formatting).
+        assert!(out.contains("J**2-J") || out.contains("J*J-J") || out.contains("J**2"), "{out}");
+    }
+
+    #[test]
+    fn cascaded_inductions() {
+        // K2 incremented by K1, K1 by 1 (Figure 1 flavor).
+        let src = "program t\nreal b(10000)\ninteger k1, k2\nk1 = 0\nk2 = 0\ndo i = 1, n\n  k1 = k1 + 1\n  k2 = k2 + k1\n  b(k2) = 1.0\nend do\nend\n";
+        let (p, stats) = transform(src);
+        let out = body_text(&p);
+        assert_eq!(stats.additive_removed, 2, "{out}");
+        assert!(!out.contains("K2 = K2+"), "{out}");
+        // closed form of k2 at iteration i is (i^2+i)/2 (k1=k2=0 entry)
+        assert!(out.contains("I**2") || out.contains("I*I"), "{out}");
+    }
+
+    #[test]
+    fn triangular_inner_loop() {
+        let src = "program t\nreal a(10000)\ninteger x\nx = 0\ndo j = 1, n\n  do k = 1, j\n    x = x + 1\n    a(x) = 2.0\n  end do\nend do\nend\n";
+        let (p, stats) = transform(src);
+        let out = body_text(&p);
+        assert_eq!(stats.additive_removed, 1);
+        // prefix over j of trip j = (j^2-j)/2; plus (k - 1) + 1 = k
+        assert!(out.contains("(-J+J**2+2*K)/2"), "{out}");
+        assert!(!out.contains("X = X+1"), "{out}");
+    }
+
+    #[test]
+    fn conditional_increment_rejected() {
+        let src = "program t\ninteger k\nk = 0\ndo i = 1, n\n  if (i > 3) then\n    k = k + 1\n  end if\n  a(i) = k\nend do\nend\n";
+        let src = &src.replace("a(i)", "a(i)"); // keep shape
+        let full = format!("program t\nreal a(100)\ninteger k\nk = 0\ndo i = 1, n\n  if (i > 3) then\n    k = k + 1\n  end if\n  a(i) = k\nend do\nend\n");
+        let _ = src;
+        let (p, stats) = transform(&full);
+        assert_eq!(stats.additive_removed, 0);
+        let out = body_text(&p);
+        assert!(out.contains("K = K+1"), "{out}");
+    }
+
+    #[test]
+    fn non_increment_assignment_rejected() {
+        let src = "program t\nreal a(100)\ninteger k\ndo i = 1, n\n  k = i * 2\n  k = k + 1\n  a(i) = k\nend do\nend\n";
+        let (_, stats) = transform(src);
+        assert_eq!(stats.additive_removed, 0);
+    }
+
+    #[test]
+    fn increment_by_mutated_scalar_rejected() {
+        // K incremented by M, but M changes inside the loop (not a candidate
+        // itself because its own assignment is not an increment).
+        let src = "program t\nreal a(100)\ninteger k, m\nk = 0\ndo i = 1, n\n  m = i * i - m\n  k = k + m\n  a(i) = k\nend do\nend\n";
+        let (_, stats) = transform(src);
+        assert_eq!(stats.additive_removed, 0);
+    }
+
+    #[test]
+    fn lastvalue_guarded_when_trip_unknown() {
+        // n unknown: trip could be zero → guarded last value.
+        let src = "program t\nreal a(100)\ninteger k\nk = 0\ndo i = 1, n\n  k = k + 2\n  a(i) = k\nend do\nm = k\nend\n";
+        let (p, stats) = transform(src);
+        assert_eq!(stats.lastvalues_inserted, 1);
+        let out = body_text(&p);
+        assert!(out.contains("IF (1 .LE. N) THEN"), "{out}");
+        assert!(out.contains("K = K+2*N") || out.contains("K = 2*N"), "{out}");
+    }
+
+    #[test]
+    fn lastvalue_unguarded_when_trip_provable() {
+        let src = "program t\nreal a(100)\ninteger n, k\nparameter (n = 10)\nk = 0\ndo i = 1, n\n  k = k + 2\n  a(i) = k\nend do\nm = k\nend\n";
+        let (p, _) = transform(src);
+        let out = body_text(&p);
+        assert!(!out.contains("IF (1 .LE."), "{out}");
+        // k = 0 folded by constprop, last value = 0 + 2*10
+        assert!(out.contains("K = K+20") || out.contains("K = 20"), "{out}");
+    }
+
+    #[test]
+    fn multiplicative_induction() {
+        let src = "program t\nreal a(100)\ninteger k\nk = 1\ndo i = 1, 8\n  a(i) = k\n  k = k * 2\nend do\nend\n";
+        let (p, stats) = transform(src);
+        assert_eq!(stats.multiplicative_removed, 1);
+        let out = body_text(&p);
+        assert!(!out.contains("K = K*2"), "{out}");
+        assert!(out.contains("2**"), "{out}");
+    }
+
+    #[test]
+    fn use_before_and_after_increment_offsets() {
+        let src = "program t\nreal a(100), b(100)\ninteger k\nk = 0\ndo i = 1, 10\n  a(i) = k\n  k = k + 1\n  b(i) = k\nend do\nend\n";
+        let (p, _) = transform(src);
+        let out = body_text(&p);
+        // before the increment: K + (i-1) [=i-1 with k0=0]; after: K + i [=i]
+        assert!(out.contains("A(I) = I-1") || out.contains("A(I) = -1+I"), "{out}");
+        assert!(out.contains("B(I) = I"), "{out}");
+    }
+
+    #[test]
+    fn induction_in_inner_loop_only() {
+        // K re-initialized each outer iteration: candidate of the inner
+        // loop (after recursion), not the outer.
+        let src = "program t\nreal a(10,10)\ninteger k\ndo i = 1, 10\n  k = 0\n  do j = 1, 10\n    k = k + 1\n    a(i, k) = 1.0\n  end do\nend do\nend\n";
+        let (p, stats) = transform(src);
+        assert_eq!(stats.additive_removed, 1);
+        let out = body_text(&p);
+        assert!(out.contains("A(I, K+J)") || out.contains("A(I, J)"), "{out}");
+    }
+
+    #[test]
+    fn loop_bounds_using_induction_var() {
+        let src = "program t\nreal a(100)\ninteger k\nk = 0\ndo i = 1, 5\n  k = k + 2\n  do j = 1, k\n    a(j) = 1.0\n  end do\nend do\nend\n";
+        // K's use in the inner bound must be substituted with the value
+        // *after* the increment (2*i with k0=0).
+        let (p, stats) = transform(src);
+        assert_eq!(stats.additive_removed, 1);
+        let out = body_text(&p);
+        assert!(out.contains("DO J = 1, 2*I") || out.contains("DO J = 1, K+2*I"), "{out}");
+    }
+}

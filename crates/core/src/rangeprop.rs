@@ -1,0 +1,361 @@
+//! Flow-sensitive range propagation (§3.3.1, "range propagation").
+//!
+//! Builds the [`RangeEnv`] that holds "symbolic lower and upper bounds
+//! for each variable" at a given program point, by abstractly executing
+//! the structured control flow from the start of the unit to the point:
+//!
+//! * `PARAMETER` constants contribute exact values,
+//! * unconditional scalar assignments contribute exact symbolic values
+//!   (`MP = M*P` makes `MP`'s range `[M*P, M*P]` — this is the
+//!   flow-sensitive def-use information the paper obtains from its GSA
+//!   form; Figure 4's proof falls out of it),
+//! * `!$ASSERT` directives and enclosing `IF` conditions tighten ranges,
+//! * enclosing `DO` headers contribute loop-variable intervals *and* the
+//!   non-emptiness fact `init <= limit`,
+//! * any re-assignment invalidates facts that mention the variable —
+//!   including facts established before an enclosing loop for variables
+//!   modified by earlier iterations of that loop.
+
+use polaris_ir::expr::Expr;
+use polaris_ir::stmt::{Stmt, StmtId, StmtKind, StmtList};
+use polaris_ir::symbol::SymKind;
+use polaris_ir::ProgramUnit;
+use polaris_symbolic::poly::{DivPolicy, Poly};
+use polaris_symbolic::{Range, RangeEnv};
+use std::collections::BTreeSet;
+
+/// The environment holding just before statement `target` executes
+/// (on the path that reaches it). If `target` is not found the
+/// environment reflects the end of the unit.
+pub fn env_before(unit: &ProgramUnit, target: StmtId) -> RangeEnv {
+    let mut env = RangeEnv::new();
+    seed_parameters(unit, &mut env);
+    walk(&unit.body, target, &mut env);
+    env
+}
+
+/// The environment valid inside the body of the `DO` loop with statement
+/// id `loop_id`: everything from [`env_before`] plus the loop variable's
+/// interval and the non-emptiness fact.
+pub fn env_in_loop(unit: &ProgramUnit, loop_id: StmtId) -> RangeEnv {
+    let mut env = env_before(unit, loop_id);
+    if let Some(stmt) = unit.body.find_stmt(loop_id) {
+        if let StmtKind::Do(d) = &stmt.kind {
+            assume_loop_header(&mut env, d.var.as_str(), &d.init, &d.limit, d.step.as_ref());
+        }
+    }
+    env
+}
+
+/// Add a loop header's facts to an environment, handling negative
+/// constant steps by swapping the bounds.
+pub fn assume_loop_header(
+    env: &mut RangeEnv,
+    var: &str,
+    init: &Expr,
+    limit: &Expr,
+    step: Option<&Expr>,
+) {
+    env.invalidate(var);
+    let step_val = step.and_then(|s| s.simplified().as_int()).unwrap_or(1);
+    if step_val >= 0 {
+        env.assume_nonempty_loop(var, init, limit);
+    } else {
+        env.assume_nonempty_loop(var, limit, init);
+    }
+}
+
+fn seed_parameters(unit: &ProgramUnit, env: &mut RangeEnv) {
+    for sym in unit.symbols.iter() {
+        if let SymKind::Parameter(value) = &sym.kind {
+            if let Some(p) = Poly::from_expr(value, DivPolicy::Opaque) {
+                env.set_fresh(sym.name.clone(), Range::exact(p));
+            }
+        }
+    }
+}
+
+/// Walk `list` applying effects until `target` is reached.
+/// Returns true if the target was found (walk stops there).
+fn walk(list: &StmtList, target: StmtId, env: &mut RangeEnv) -> bool {
+    for s in list {
+        if s.id == target {
+            return true;
+        }
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs, .. } => {
+                apply_assign(env, lhs.name(), lhs.subs().is_empty(), rhs);
+            }
+            StmtKind::Assert { cond } => env.assume_cond(cond),
+            StmtKind::Do(d) => {
+                let inside = contains(&d.body, target);
+                // Earlier iterations may already have run: every variable
+                // the body assigns is unknown at this point.
+                for v in assigned_vars(&d.body) {
+                    env.invalidate(&v);
+                }
+                env.invalidate(&d.var);
+                if inside {
+                    assume_loop_header(env, &d.var, &d.init, &d.limit, d.step.as_ref());
+                    if walk(&d.body, target, env) {
+                        return true;
+                    }
+                    // target was reported inside but not found: defensive
+                    return true;
+                }
+            }
+            StmtKind::IfBlock { arms, else_body } => {
+                let mut found_in = None;
+                for (i, arm) in arms.iter().enumerate() {
+                    if contains(&arm.body, target) {
+                        found_in = Some(i);
+                        break;
+                    }
+                }
+                let in_else = found_in.is_none() && contains(else_body, target);
+                if let Some(i) = found_in {
+                    env.assume_cond(&arms[i].cond);
+                    walk(&arms[i].body, target, env);
+                    return true;
+                }
+                if in_else {
+                    // On the else path all arm conditions are false; use
+                    // the negation when it is a simple relation.
+                    for arm in arms {
+                        if let Expr::Bin { op, lhs, rhs } = &arm.cond {
+                            if let Some(neg) = op.negate() {
+                                env.assume_cond(&Expr::bin(
+                                    neg,
+                                    (**lhs).clone(),
+                                    (**rhs).clone(),
+                                ));
+                            }
+                        }
+                    }
+                    walk(else_body, target, env);
+                    return true;
+                }
+                // Not inside: arms execute conditionally; kill their effects.
+                for arm in arms {
+                    for v in assigned_vars(&arm.body) {
+                        env.invalidate(&v);
+                    }
+                }
+                for v in assigned_vars(else_body) {
+                    env.invalidate(&v);
+                }
+            }
+            StmtKind::Call { args, .. } => {
+                // By-reference semantics: arguments may be modified.
+                for a in args {
+                    match a {
+                        Expr::Var(n) => env.invalidate(n),
+                        Expr::Index { array, .. } => env.invalidate(array),
+                        _ => {}
+                    }
+                }
+            }
+            StmtKind::Print { .. }
+            | StmtKind::Return
+            | StmtKind::Stop
+            | StmtKind::Continue => {}
+        }
+    }
+    false
+}
+
+fn apply_assign(env: &mut RangeEnv, name: &str, is_scalar: bool, rhs: &Expr) {
+    if !is_scalar {
+        // Array element store: kills whole-array value facts only.
+        env.invalidate(name);
+        return;
+    }
+    env.invalidate(name);
+    if let Some(p) = Poly::from_expr(rhs, DivPolicy::Opaque) {
+        if !p.mentions_var(name) {
+            env.set_fresh(name, Range::exact(p));
+        }
+    }
+}
+
+/// Does `list` (recursively) contain statement `target`?
+pub fn contains(list: &StmtList, target: StmtId) -> bool {
+    let mut found = false;
+    list.walk(&mut |s| {
+        if s.id == target {
+            found = true;
+        }
+    });
+    found
+}
+
+/// All variable / array names assigned anywhere within `list`
+/// (including loop variables and CALL arguments).
+pub fn assigned_vars(list: &StmtList) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    list.walk(&mut |s| match &s.kind {
+        StmtKind::Assign { lhs, .. } => {
+            out.insert(lhs.name().to_string());
+        }
+        StmtKind::Do(d) => {
+            out.insert(d.var.clone());
+        }
+        StmtKind::Call { args, .. } => {
+            for a in args {
+                match a {
+                    Expr::Var(n) => {
+                        out.insert(n.clone());
+                    }
+                    Expr::Index { array, .. } => {
+                        out.insert(array.clone());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        _ => {}
+    });
+    out
+}
+
+/// Convenience: the statement (clone) with id `target`, plus whether it
+/// is a DO loop.
+pub fn find_stmt(unit: &ProgramUnit, target: StmtId) -> Option<Stmt> {
+    unit.body.find_stmt(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaris_symbolic::{prove_ge, sign, Sign};
+
+    fn unit_of(src: &str) -> ProgramUnit {
+        let full = format!("program t\n{src}\nend\n");
+        polaris_ir::parse(&full).unwrap().units.remove(0)
+    }
+
+    fn poly(src: &str) -> Poly {
+        let u = unit_of(&format!("xtmp = {src}"));
+        match &u.body.0[0].kind {
+            StmtKind::Assign { rhs, .. } => Poly::from_expr(rhs, DivPolicy::Exact).unwrap(),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Find the first loop's statement id.
+    fn first_loop_id(u: &ProgramUnit) -> StmtId {
+        let mut id = None;
+        u.body.walk(&mut |s| {
+            if id.is_none() && matches!(s.kind, StmtKind::Do(_)) {
+                id = Some(s.id);
+            }
+        });
+        id.unwrap()
+    }
+
+    #[test]
+    fn parameters_are_exact() {
+        let u = unit_of("integer n\nparameter (n = 64)\ndo i = 1, n\n x = i\nend do");
+        let env = env_before(&u, first_loop_id(&u));
+        assert_eq!(env.get("N").unwrap().as_exact(), Some(&Poly::int(64)));
+    }
+
+    #[test]
+    fn figure4_global_defuse_proof() {
+        // Paper Figure 4: MP = M*P before the loop; prove MP >= M*P.
+        let u = unit_of("mp = m*p\ndo i = 1, 10\n  x = i\nend do");
+        let env = env_before(&u, first_loop_id(&u));
+        assert!(prove_ge(&poly("mp"), &poly("m*p"), &env));
+    }
+
+    #[test]
+    fn reassignment_invalidates() {
+        let u = unit_of("mp = m*p\nm = m + 1\ndo i = 1, 10\n  x = i\nend do");
+        let env = env_before(&u, first_loop_id(&u));
+        // M changed after MP's def: the fact MP = M*P (with the *new* M)
+        // no longer holds.
+        assert!(!prove_ge(&poly("mp"), &poly("m*p"), &env));
+    }
+
+    #[test]
+    fn loop_body_assignments_kill_prior_facts() {
+        let u = unit_of("k = 5\ndo i = 1, 10\n  k = k + 1\n  do j = 1, k\n    x = j\n  end do\nend do");
+        // At the inner loop, K is not 5 anymore (earlier iterations of I
+        // incremented it).
+        let mut inner = None;
+        u.body.walk(&mut |s| {
+            if let StmtKind::Do(d) = &s.kind {
+                if d.var == "J" {
+                    inner = Some(s.id);
+                }
+            }
+        });
+        let env = env_before(&u, inner.unwrap());
+        assert_eq!(env.get("K").and_then(|r| r.as_exact().cloned()), None);
+    }
+
+    #[test]
+    fn enclosing_loop_gives_range_and_nonemptiness() {
+        let u = unit_of("do j = 0, n - 1\n  do k = 0, j - 1\n    x = k\n  end do\nend do");
+        let mut inner = None;
+        u.body.walk(&mut |s| {
+            if let StmtKind::Do(d) = &s.kind {
+                if d.var == "K" {
+                    inner = Some(s.id);
+                }
+            }
+        });
+        let env = env_in_loop(&u, inner.unwrap());
+        // Inside the K loop: j >= 0, n >= 1 (outer nonempty), k <= j-1,
+        // and the paper's n^2 + n > 0 follows.
+        assert_eq!(sign(&poly("n"), &env), Sign::Pos);
+        assert_eq!(sign(&poly("n**2 + n"), &env), Sign::Pos);
+        assert!(prove_ge(&poly("j"), &poly("k + 1"), &env));
+    }
+
+    #[test]
+    fn if_condition_assumed_inside_arm() {
+        let u = unit_of("if (n > 3) then\n  do i = 1, n\n    x = i\n  end do\nend if");
+        let env = env_in_loop(&u, first_loop_id(&u));
+        assert_eq!(sign(&poly("n - 4"), &env).is_nonneg(), true);
+    }
+
+    #[test]
+    fn else_branch_assumes_negation() {
+        let u = unit_of("if (n > 3) then\n  y = 1\nelse\n  do i = 1, 2\n    x = i\n  end do\nend if");
+        let env = env_in_loop(&u, first_loop_id(&u));
+        // on the else path n <= 3
+        assert!(sign(&poly("n - 4"), &env).is_neg());
+    }
+
+    #[test]
+    fn assert_directive_contributes() {
+        let u = unit_of("!$assert (m >= 2)\ndo i = 1, m\n  x = i\nend do");
+        let env = env_before(&u, first_loop_id(&u));
+        assert!(sign(&poly("m - 1"), &env).is_pos());
+    }
+
+    #[test]
+    fn negative_step_swaps_bounds() {
+        let u = unit_of("do i = 10, 2, -2\n  x = i\nend do");
+        let env = env_in_loop(&u, first_loop_id(&u));
+        assert!(prove_ge(&poly("i"), &poly("2"), &env));
+        assert!(prove_ge(&poly("10"), &poly("i"), &env));
+    }
+
+    #[test]
+    fn call_invalidates_arguments() {
+        let u = unit_of("k = 7\ncall mangle(k)\ndo i = 1, 3\n  x = i\nend do");
+        let env = env_before(&u, first_loop_id(&u));
+        assert_eq!(env.get("K").and_then(|r| r.as_exact().cloned()), None);
+    }
+
+    #[test]
+    fn trfd_x0_seed() {
+        // X0 = 0 before the TRFD nest: exact value visible at the loop.
+        let u = unit_of("x0 = 0\ndo i = 0, m - 1\n  x0 = x0 + 1\nend do");
+        // before the loop X0 = 0...
+        let env = env_before(&u, first_loop_id(&u));
+        assert_eq!(env.get("X0").unwrap().as_exact(), Some(&Poly::int(0)));
+    }
+}

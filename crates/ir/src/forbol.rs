@@ -1,0 +1,266 @@
+//! A rewrite-rule engine over the Wildcard pattern matcher — the
+//! analogue of **Forbol**, the "higher-level tool for pattern matching
+//! and replacement" the paper says was built on the Polaris `Wildcard`
+//! class (Weatherford's CSRD report 1350).
+//!
+//! A [`RuleSet`] is an ordered collection of `lhs → rhs` rules with
+//! optional *guards* (predicates over the bindings). [`RuleSet::normalize`]
+//! applies the rules bottom-up to a fixpoint with a rewrite budget. The
+//! engine ships with [`algebra_rules`], a set of algebraic cleanups used
+//! to keep transformed programs readable (the same service Polaris'
+//! structural simplifier performed on substituted closed forms).
+
+use crate::expr::Expr;
+use crate::pattern::{instantiate, match_expr, Bindings};
+
+/// A guard decides whether a matched rule may fire.
+pub type Guard = fn(&Bindings) -> bool;
+
+/// One rewrite rule: `lhs → rhs` with an optional guard.
+pub struct RewriteRule {
+    pub name: &'static str,
+    pub lhs: Expr,
+    pub rhs: Expr,
+    pub guard: Option<Guard>,
+}
+
+impl RewriteRule {
+    pub fn new(name: &'static str, lhs: Expr, rhs: Expr) -> RewriteRule {
+        RewriteRule { name, lhs, rhs, guard: None }
+    }
+
+    pub fn guarded(name: &'static str, lhs: Expr, rhs: Expr, guard: Guard) -> RewriteRule {
+        RewriteRule { name, lhs, rhs, guard: Some(guard) }
+    }
+
+    /// Try to rewrite `e` at the root.
+    pub fn try_rewrite(&self, e: &Expr) -> Option<Expr> {
+        let bindings = match_expr(&self.lhs, e)?;
+        if let Some(g) = self.guard {
+            if !g(&bindings) {
+                return None;
+            }
+        }
+        Some(instantiate(&self.rhs, &bindings))
+    }
+}
+
+/// An ordered rule collection applied to a fixpoint.
+pub struct RuleSet {
+    pub rules: Vec<RewriteRule>,
+}
+
+impl RuleSet {
+    pub fn new(rules: Vec<RewriteRule>) -> RuleSet {
+        RuleSet { rules }
+    }
+
+    /// Rewrite `e` bottom-up, repeating until no rule fires or the
+    /// budget is exhausted. Returns the normal form and the number of
+    /// rewrites performed.
+    pub fn normalize(&self, e: &Expr, budget: usize) -> (Expr, usize) {
+        let mut cur = e.clone();
+        let mut fired_total = 0usize;
+        for _ in 0..budget {
+            let mut fired = 0usize;
+            cur = cur.map(&mut |node| {
+                for rule in &self.rules {
+                    if let Some(out) = rule.try_rewrite(&node) {
+                        fired += 1;
+                        return out;
+                    }
+                }
+                node
+            });
+            fired_total += fired;
+            if fired == 0 {
+                break;
+            }
+        }
+        (cur, fired_total)
+    }
+}
+
+fn w(id: u32) -> Expr {
+    Expr::Wildcard(id)
+}
+
+/// Algebraic cleanup rules beyond the built-in constant folder:
+/// cancellation, factoring of common unit offsets, and double-negation
+/// through subtraction. Conservative: every rule is an identity over the
+/// rationals and over Fortran integer arithmetic.
+pub fn algebra_rules() -> RuleSet {
+    RuleSet::new(vec![
+        // x - x -> 0
+        RewriteRule::new("sub-self", Expr::sub(w(0), w(0)), Expr::Int(0)),
+        // x + (-y) -> x - y
+        RewriteRule::new(
+            "add-neg",
+            Expr::add(w(0), Expr::neg(w(1))),
+            Expr::sub(w(0), w(1)),
+        ),
+        // x - (-y) -> x + y
+        RewriteRule::new(
+            "sub-neg",
+            Expr::sub(w(0), Expr::neg(w(1))),
+            Expr::add(w(0), w(1)),
+        ),
+        // (x + c) - c -> x   (same wildcard twice: non-linear pattern)
+        RewriteRule::new(
+            "peel-offset",
+            Expr::sub(Expr::add(w(0), w(1)), w(1)),
+            w(0),
+        ),
+        // c*x + d*x -> handled only for identical subtrees: x*y + x*z -> x*(y+z)
+        RewriteRule::new(
+            "factor-left",
+            Expr::add(Expr::mul(w(0), w(1)), Expr::mul(w(0), w(2))),
+            Expr::mul(w(0), Expr::add(w(1), w(2))),
+        ),
+        // x*1 and 1*x are folded by the IR simplifier; mirror for -1:
+        RewriteRule::new("mul-neg-one", Expr::mul(w(0), Expr::Int(-1)), Expr::neg(w(0))),
+        RewriteRule::new("neg-one-mul", Expr::mul(Expr::Int(-1), w(0)), Expr::neg(w(0))),
+        // (x/c)*c -> x is NOT an integer identity (truncation); guard a
+        // safe special case c = 1 handled by the folder; exclude here.
+        // MAX(x, x) -> x, MIN(x, x) -> x
+        RewriteRule::new("max-self", Expr::call("MAX", vec![w(0), w(0)]), w(0)),
+        RewriteRule::new("min-self", Expr::call("MIN", vec![w(0), w(0)]), w(0)),
+        // ABS(ABS(x)) -> ABS(x)
+        RewriteRule::new(
+            "abs-abs",
+            Expr::call("ABS", vec![Expr::call("ABS", vec![w(0)])]),
+            Expr::call("ABS", vec![w(0)]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    fn v(n: &str) -> Expr {
+        Expr::var(n)
+    }
+
+    #[test]
+    fn sub_self_cancels() {
+        let rules = algebra_rules();
+        let e = Expr::sub(Expr::add(v("I"), v("J")), Expr::add(v("I"), v("J")));
+        let (out, fired) = rules.normalize(&e, 8);
+        assert_eq!(out, Expr::Int(0));
+        assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn peel_offset_nonlinear_match() {
+        let rules = algebra_rules();
+        // (K + N*2) - N*2 -> K
+        let off = Expr::mul(v("N"), Expr::int(2));
+        let e = Expr::sub(Expr::add(v("K"), off.clone()), off);
+        let (out, _) = rules.normalize(&e, 8);
+        assert_eq!(out, v("K"));
+    }
+
+    #[test]
+    fn factoring_combines_terms() {
+        let rules = algebra_rules();
+        // I*N + I*M -> I*(N+M)
+        let e = Expr::add(Expr::mul(v("I"), v("N")), Expr::mul(v("I"), v("M")));
+        let (out, _) = rules.normalize(&e, 8);
+        assert_eq!(out, Expr::mul(v("I"), Expr::add(v("N"), v("M"))));
+    }
+
+    #[test]
+    fn chains_to_fixpoint() {
+        let rules = algebra_rules();
+        // (X - (-Y)) - Y  ->  (X + Y) - Y  ->  X
+        let e = Expr::sub(Expr::sub(v("X"), Expr::neg(v("Y"))), v("Y"));
+        let (out, fired) = rules.normalize(&e, 8);
+        assert_eq!(out, v("X"));
+        assert_eq!(fired, 2);
+    }
+
+    #[test]
+    fn guarded_rule_respects_guard() {
+        fn only_vars(b: &Bindings) -> bool {
+            matches!(b.get(&0), Some(Expr::Var(_)))
+        }
+        let rule = RewriteRule::guarded(
+            "demo",
+            Expr::mul(w(0), Expr::Int(0)),
+            Expr::Int(0),
+            only_vars,
+        );
+        assert!(rule.try_rewrite(&Expr::mul(v("A"), Expr::Int(0))).is_some());
+        assert!(rule
+            .try_rewrite(&Expr::mul(Expr::index("B", vec![v("I")]), Expr::Int(0)))
+            .is_none());
+    }
+
+    #[test]
+    fn budget_bounds_runaway_rulesets() {
+        // a deliberately looping rule x + y -> y + x
+        let looping = RuleSet::new(vec![RewriteRule::new(
+            "swap",
+            Expr::add(w(0), w(1)),
+            Expr::add(w(1), w(0)),
+        )]);
+        let e = Expr::add(v("A"), v("B"));
+        let (_, fired) = looping.normalize(&e, 5);
+        assert_eq!(fired, 5, "budget must cap the loop");
+    }
+
+    #[test]
+    fn max_min_abs_idempotence() {
+        let rules = algebra_rules();
+        let e = Expr::call("MAX", vec![v("T"), v("T")]);
+        assert_eq!(rules.normalize(&e, 4).0, v("T"));
+        let e = Expr::call("ABS", vec![Expr::call("ABS", vec![v("Q")])]);
+        assert_eq!(rules.normalize(&e, 4).0, Expr::call("ABS", vec![v("Q")]));
+    }
+
+    #[test]
+    fn rules_are_semantics_preserving_on_samples() {
+        // numeric spot-check: evaluate before/after over a grid
+        let rules = algebra_rules();
+        let exprs = [
+            Expr::sub(Expr::add(v("I"), v("J")), v("J")),
+            Expr::add(Expr::mul(v("I"), v("J")), Expr::mul(v("I"), Expr::int(3))),
+            Expr::sub(v("I"), Expr::neg(v("J"))),
+            Expr::mul(v("I"), Expr::Int(-1)),
+        ];
+        for e in exprs {
+            let (out, _) = rules.normalize(&e, 8);
+            for i in -3i64..4 {
+                for j in -3i64..4 {
+                    let eval = |ex: &Expr| -> i64 { eval_int(ex, i, j) };
+                    assert_eq!(eval(&e), eval(&out), "{e} vs {out} at i={i}, j={j}");
+                }
+            }
+        }
+    }
+
+    fn eval_int(e: &Expr, i: i64, j: i64) -> i64 {
+        match e {
+            Expr::Int(v) => *v,
+            Expr::Var(n) if n == "I" => i,
+            Expr::Var(n) if n == "J" => j,
+            Expr::Un { op: crate::expr::UnOp::Neg, arg } => -eval_int(arg, i, j),
+            Expr::Bin { op, lhs, rhs } => {
+                let (a, b) = (eval_int(lhs, i, j), eval_int(rhs, i, j));
+                match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    _ => panic!("unsupported in test"),
+                }
+            }
+            Expr::Call { name, args } if name == "MAX" => {
+                args.iter().map(|a| eval_int(a, i, j)).max().unwrap()
+            }
+            Expr::Call { name, args } if name == "ABS" => eval_int(&args[0], i, j).abs(),
+            other => panic!("unsupported in test: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Wildcard pattern matching over expressions — the analogue of the
+//! Polaris `Wildcard` class and the "Forbol" pattern-matching layer.
+//!
+//! A *pattern* is an ordinary [`Expr`] that may contain
+//! [`Expr::Wildcard`] nodes. Matching a pattern against a ground
+//! expression either fails or produces [`Bindings`] from wildcard ids to
+//! the matched subtrees; equal ids must bind structurally equal subtrees
+//! (non-linear patterns), which is exactly what reduction recognition
+//! needs for `A(σ) = A(σ) + β`.
+
+use crate::expr::Expr;
+use std::collections::BTreeMap;
+
+/// Wildcard-id → matched subtree.
+pub type Bindings = BTreeMap<u32, Expr>;
+
+/// Match `pattern` against `expr`, extending `bindings` on success.
+///
+/// Returns `true` iff the whole of `expr` matches. On failure the
+/// bindings may contain partial entries; callers should treat them as
+/// garbage (use [`match_expr`] for a fresh map).
+pub fn match_into(pattern: &Expr, expr: &Expr, bindings: &mut Bindings) -> bool {
+    match (pattern, expr) {
+        (Expr::Wildcard(id), e) => match bindings.get(id) {
+            Some(prev) => prev == e,
+            None => {
+                bindings.insert(*id, e.clone());
+                true
+            }
+        },
+        (Expr::Int(a), Expr::Int(b)) => a == b,
+        (Expr::Real(a), Expr::Real(b)) => a == b,
+        (Expr::Logical(a), Expr::Logical(b)) => a == b,
+        (Expr::Str(a), Expr::Str(b)) => a == b,
+        (Expr::Var(a), Expr::Var(b)) => a == b,
+        (Expr::Index { array: a, subs: sa }, Expr::Index { array: b, subs: sb }) => {
+            a == b && sa.len() == sb.len() && zip_all(sa, sb, bindings)
+        }
+        (Expr::Call { name: a, args: aa }, Expr::Call { name: b, args: ab }) => {
+            a == b && aa.len() == ab.len() && zip_all(aa, ab, bindings)
+        }
+        (Expr::Un { op: oa, arg: pa }, Expr::Un { op: ob, arg: ea }) => {
+            oa == ob && match_into(pa, ea, bindings)
+        }
+        (Expr::Bin { op: oa, lhs: pl, rhs: pr }, Expr::Bin { op: ob, lhs: el, rhs: er }) => {
+            oa == ob && match_into(pl, el, bindings) && match_into(pr, er, bindings)
+        }
+        _ => false,
+    }
+}
+
+fn zip_all(pats: &[Expr], exprs: &[Expr], bindings: &mut Bindings) -> bool {
+    pats.iter().zip(exprs).all(|(p, e)| match_into(p, e, bindings))
+}
+
+/// Match at the root; returns the bindings on success.
+pub fn match_expr(pattern: &Expr, expr: &Expr) -> Option<Bindings> {
+    let mut b = Bindings::new();
+    if match_into(pattern, expr, &mut b) {
+        Some(b)
+    } else {
+        None
+    }
+}
+
+/// Instantiate a pattern: replace each wildcard with its binding.
+/// Unbound wildcards are left in place.
+pub fn instantiate(pattern: &Expr, bindings: &Bindings) -> Expr {
+    pattern.map(&mut |e| match e {
+        Expr::Wildcard(id) => bindings.get(&id).cloned().unwrap_or(Expr::Wildcard(id)),
+        other => other,
+    })
+}
+
+/// A rewrite rule `lhs → rhs` in the style of Forbol.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    pub lhs: Expr,
+    pub rhs: Expr,
+}
+
+impl Rule {
+    pub fn new(lhs: Expr, rhs: Expr) -> Rule {
+        Rule { lhs, rhs }
+    }
+
+    /// Apply the rule at every position of `expr` (bottom-up, one pass).
+    /// Returns the rewritten expression and how many sites fired.
+    pub fn apply(&self, expr: &Expr) -> (Expr, usize) {
+        let mut count = 0usize;
+        let out = expr.map(&mut |e| {
+            if let Some(b) = match_expr(&self.lhs, &e) {
+                count += 1;
+                instantiate(&self.rhs, &b)
+            } else {
+                e
+            }
+        });
+        (out, count)
+    }
+}
+
+/// Search `expr` for the first subtree matching `pattern` (pre-order).
+pub fn find_first(pattern: &Expr, expr: &Expr) -> Option<Bindings> {
+    let mut found: Option<Bindings> = None;
+    expr.for_each(&mut |e| {
+        if found.is_none() {
+            if let Some(b) = match_expr(pattern, e) {
+                found = Some(b);
+            }
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+
+    fn w(id: u32) -> Expr {
+        Expr::Wildcard(id)
+    }
+
+    #[test]
+    fn simple_binding() {
+        // pattern: _0 + 1   expr: K + 1
+        let pat = Expr::add(w(0), Expr::int(1));
+        let e = Expr::add(Expr::var("K"), Expr::int(1));
+        let b = match_expr(&pat, &e).unwrap();
+        assert_eq!(b[&0], Expr::var("K"));
+    }
+
+    #[test]
+    fn nonlinear_pattern_requires_equal_subtrees() {
+        // pattern: _0 = _0 + _1 models a reduction RHS shape _0 + _1
+        let pat = Expr::add(w(0), w(0));
+        assert!(match_expr(&pat, &Expr::add(Expr::var("X"), Expr::var("X"))).is_some());
+        assert!(match_expr(&pat, &Expr::add(Expr::var("X"), Expr::var("Y"))).is_none());
+    }
+
+    #[test]
+    fn reduction_shape_with_array_subscripts() {
+        // A(_0) + _1 matched against A(2*I) + B(I)
+        let pat = Expr::add(Expr::index("A", vec![w(0)]), w(1));
+        let e = Expr::add(
+            Expr::index("A", vec![Expr::mul(Expr::int(2), Expr::var("I"))]),
+            Expr::index("B", vec![Expr::var("I")]),
+        );
+        let b = match_expr(&pat, &e).unwrap();
+        assert_eq!(b[&0], Expr::mul(Expr::int(2), Expr::var("I")));
+    }
+
+    #[test]
+    fn mismatched_operator_fails() {
+        let pat = Expr::add(w(0), w(1));
+        assert!(match_expr(&pat, &Expr::sub(Expr::var("A"), Expr::var("B"))).is_none());
+    }
+
+    #[test]
+    fn instantiate_replaces_bound_only() {
+        let mut b = Bindings::new();
+        b.insert(0, Expr::var("I"));
+        let pat = Expr::add(w(0), w(1));
+        let out = instantiate(&pat, &b);
+        assert_eq!(out, Expr::add(Expr::var("I"), Expr::Wildcard(1)));
+    }
+
+    #[test]
+    fn rule_rewrites_everywhere() {
+        // x*1 -> x  via rule _0 * 1 -> _0
+        let rule = Rule::new(Expr::mul(w(0), Expr::int(1)), w(0));
+        let e = Expr::add(
+            Expr::mul(Expr::var("A"), Expr::int(1)),
+            Expr::mul(Expr::var("B"), Expr::int(1)),
+        );
+        let (out, n) = rule.apply(&e);
+        assert_eq!(n, 2);
+        assert_eq!(out, Expr::add(Expr::var("A"), Expr::var("B")));
+    }
+
+    #[test]
+    fn find_first_searches_subtrees() {
+        let pat = Expr::bin(BinOp::Mul, w(0), Expr::var("N"));
+        let e = Expr::add(Expr::int(1), Expr::mul(Expr::var("I"), Expr::var("N")));
+        let b = find_first(&pat, &e).unwrap();
+        assert_eq!(b[&0], Expr::var("I"));
+    }
+}

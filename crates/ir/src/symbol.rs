@@ -1,0 +1,238 @@
+//! Symbols and symbol tables.
+
+use crate::expr::Expr;
+use crate::types::DataType;
+use std::collections::BTreeMap;
+
+/// One dimension of an array declaration: `lo:hi` (F-Mini default `1:hi`).
+///
+/// Bounds may be symbolic expressions (`A(N, M)`), which is precisely what
+/// forces the symbolic region analysis of §3.4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dim {
+    pub lo: Expr,
+    pub hi: Expr,
+}
+
+impl Dim {
+    pub fn upto(hi: Expr) -> Dim {
+        Dim { lo: Expr::Int(1), hi }
+    }
+
+    /// Constant extent if both bounds are integer literals.
+    pub fn const_extent(&self) -> Option<i64> {
+        let lo = self.lo.simplified().as_int()?;
+        let hi = self.hi.simplified().as_int()?;
+        Some((hi - lo + 1).max(0))
+    }
+}
+
+/// What kind of object a symbol denotes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymKind {
+    /// A scalar variable.
+    Scalar,
+    /// An array with its declared dimensions.
+    Array(Vec<Dim>),
+    /// A named constant with its defining expression (`PARAMETER`).
+    Parameter(Expr),
+    /// A subroutine/function name visible in this unit.
+    External,
+}
+
+/// A declared (or implicitly typed) symbol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Symbol {
+    pub name: String,
+    pub ty: DataType,
+    pub kind: SymKind,
+    /// Name of the COMMON block this symbol lives in, if any.
+    pub common: Option<String>,
+    /// True if the symbol is a dummy argument of its unit.
+    pub is_arg: bool,
+}
+
+impl Symbol {
+    pub fn scalar(name: impl Into<String>, ty: DataType) -> Symbol {
+        Symbol { name: name.into(), ty, kind: SymKind::Scalar, common: None, is_arg: false }
+    }
+
+    pub fn array(name: impl Into<String>, ty: DataType, dims: Vec<Dim>) -> Symbol {
+        Symbol { name: name.into(), ty, kind: SymKind::Array(dims), common: None, is_arg: false }
+    }
+
+    pub fn parameter(name: impl Into<String>, ty: DataType, value: Expr) -> Symbol {
+        Symbol {
+            name: name.into(),
+            ty,
+            kind: SymKind::Parameter(value),
+            common: None,
+            is_arg: false,
+        }
+    }
+
+    pub fn is_array(&self) -> bool {
+        matches!(self.kind, SymKind::Array(_))
+    }
+
+    pub fn dims(&self) -> &[Dim] {
+        match &self.kind {
+            SymKind::Array(d) => d,
+            _ => &[],
+        }
+    }
+
+    /// Rank (0 for scalars).
+    pub fn rank(&self) -> usize {
+        self.dims().len()
+    }
+}
+
+/// Per-unit symbol table.
+///
+/// Uses a `BTreeMap` so iteration (and therefore unparsing, pass output and
+/// test expectations) is deterministic — the HPC-guide equivalent of
+/// avoiding hash-iteration nondeterminism in a compiler.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SymbolTable {
+    map: BTreeMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Insert or replace a symbol (name is upper-cased).
+    pub fn insert(&mut self, mut sym: Symbol) {
+        sym.name = sym.name.to_ascii_uppercase();
+        self.map.insert(sym.name.clone(), sym);
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Symbol> {
+        self.map.get(&name.to_ascii_uppercase())
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Symbol> {
+        self.map.get_mut(&name.to_ascii_uppercase())
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    pub fn remove(&mut self, name: &str) -> Option<Symbol> {
+        self.map.remove(&name.to_ascii_uppercase())
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Symbol> {
+        self.map.values()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The declared or implicit type of `name` (Fortran implicit rules
+    /// apply to undeclared identifiers).
+    pub fn type_of(&self, name: &str) -> DataType {
+        match self.get(name) {
+            Some(s) => s.ty,
+            None => DataType::implicit_for(name),
+        }
+    }
+
+    /// True if `name` names an array in this table.
+    pub fn is_array(&self, name: &str) -> bool {
+        self.get(name).map(|s| s.is_array()).unwrap_or(false)
+    }
+
+    /// The `PARAMETER` value of `name`, if it is one.
+    pub fn parameter_value(&self, name: &str) -> Option<&Expr> {
+        match &self.get(name)?.kind {
+            SymKind::Parameter(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Generate a name not currently in the table, of the form
+    /// `{base}_{k}` — used by the inliner's renaming and by pass-created
+    /// temporaries.
+    pub fn unique_name(&self, base: &str) -> String {
+        let base = base.to_ascii_uppercase();
+        if !self.contains(&base) {
+            return base;
+        }
+        for k in 1.. {
+            let cand = format!("{base}_{k}");
+            if !self.contains(&cand) {
+                return cand;
+            }
+        }
+        unreachable!()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_normalizes_case_and_lookup_is_insensitive() {
+        let mut t = SymbolTable::new();
+        t.insert(Symbol::scalar("foo", DataType::Real));
+        assert!(t.contains("FOO"));
+        assert!(t.contains("foo"));
+        assert_eq!(t.get("Foo").unwrap().name, "FOO");
+    }
+
+    #[test]
+    fn type_of_falls_back_to_implicit() {
+        let t = SymbolTable::new();
+        assert_eq!(t.type_of("I"), DataType::Integer);
+        assert_eq!(t.type_of("X"), DataType::Real);
+    }
+
+    #[test]
+    fn unique_name_skips_existing() {
+        let mut t = SymbolTable::new();
+        t.insert(Symbol::scalar("K", DataType::Integer));
+        t.insert(Symbol::scalar("K_1", DataType::Integer));
+        assert_eq!(t.unique_name("K"), "K_2");
+        assert_eq!(t.unique_name("Z"), "Z");
+    }
+
+    #[test]
+    fn dims_and_rank() {
+        let a = Symbol::array(
+            "A",
+            DataType::Real,
+            vec![Dim::upto(Expr::int(10)), Dim::upto(Expr::var("N"))],
+        );
+        assert_eq!(a.rank(), 2);
+        assert_eq!(a.dims()[0].const_extent(), Some(10));
+        assert_eq!(a.dims()[1].const_extent(), None);
+    }
+
+    #[test]
+    fn parameter_value_access() {
+        let mut t = SymbolTable::new();
+        t.insert(Symbol::parameter("N", DataType::Integer, Expr::int(64)));
+        assert_eq!(t.parameter_value("N"), Some(&Expr::int(64)));
+        assert_eq!(t.parameter_value("M"), None);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut t = SymbolTable::new();
+        for n in ["Z", "A", "M"] {
+            t.insert(Symbol::scalar(n, DataType::Real));
+        }
+        let names: Vec<_> = t.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["A", "M", "Z"]);
+    }
+}

@@ -1,0 +1,362 @@
+//! Program well-formedness validation — the `p_assert` layer.
+//!
+//! Polaris ran "extensive error checking throughout the system through the
+//! liberal use of assertions" and refused to let a transformation leave
+//! the IR "in a state that does not correspond to proper Fortran syntax".
+//! Passes in `polaris-core` call [`validate_program`] after mutating the
+//! IR (in debug builds and in every test) so a transformation bug
+//! surfaces at the point of damage rather than as a downstream
+//! miscompile.
+
+use crate::error::{CompileError, Result};
+use crate::expr::Expr;
+use crate::program::{Program, ProgramUnit, UnitKind};
+use crate::stmt::{Stmt, StmtKind};
+use crate::symbol::SymKind;
+use crate::types::DataType;
+use std::collections::BTreeSet;
+
+/// Validate a whole program; the first problem found is returned.
+pub fn validate_program(program: &Program) -> Result<()> {
+    let mut names = BTreeSet::new();
+    if program.units.is_empty() {
+        return Err(CompileError::validate("program has no units"));
+    }
+    let mains = program.units.iter().filter(|u| u.is_main()).count();
+    if mains > 1 {
+        return Err(CompileError::validate("more than one PROGRAM unit"));
+    }
+    for unit in &program.units {
+        if !names.insert(unit.name.clone()) {
+            return Err(CompileError::validate(format!("duplicate unit `{}`", unit.name)));
+        }
+        validate_unit(unit)?;
+    }
+    Ok(())
+}
+
+/// Validate a single unit.
+pub fn validate_unit(unit: &ProgramUnit) -> Result<()> {
+    // Dummy arguments must be declared.
+    for arg in &unit.args {
+        if unit.symbols.get(arg).is_none() {
+            return Err(CompileError::validate(format!(
+                "unit {}: dummy argument `{arg}` is undeclared",
+                unit.name
+            )));
+        }
+    }
+    if matches!(unit.kind, UnitKind::Program) && !unit.args.is_empty() {
+        return Err(CompileError::validate("PROGRAM unit cannot take arguments"));
+    }
+    // Unique statement ids.
+    let mut ids = BTreeSet::new();
+    let mut dup = None;
+    unit.body.walk(&mut |s| {
+        if !ids.insert(s.id) && dup.is_none() {
+            dup = Some(s.id);
+        }
+    });
+    if let Some(id) = dup {
+        return Err(CompileError::validate(format!(
+            "unit {}: duplicate statement id {id}",
+            unit.name
+        )));
+    }
+    if let Some(&max) = ids.iter().map(|i| &i.0).max() {
+        if max >= unit.stmt_id_watermark() {
+            return Err(CompileError::validate(format!(
+                "unit {}: statement id {max} >= fresh-id watermark {} (id discipline violated)",
+                unit.name,
+                unit.stmt_id_watermark()
+            )));
+        }
+    }
+    // Per-statement checks.
+    let mut err: Option<CompileError> = None;
+    let mut loop_stack: Vec<String> = Vec::new();
+    validate_stmts(unit, &unit.body.0, &mut loop_stack, &mut err);
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok(())
+}
+
+fn validate_stmts(
+    unit: &ProgramUnit,
+    stmts: &[Stmt],
+    loop_stack: &mut Vec<String>,
+    err: &mut Option<CompileError>,
+) {
+    for s in stmts {
+        if err.is_some() {
+            return;
+        }
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs, .. } => {
+                check_lvalue(unit, s, lhs.name(), lhs.subs(), err);
+                check_expr(unit, s, rhs, err);
+                for sub in lhs.subs() {
+                    check_expr(unit, s, sub, err);
+                }
+                // F77 forbids assigning to an active DO variable.
+                if lhs.subs().is_empty() && loop_stack.iter().any(|v| v == lhs.name()) {
+                    *err = Some(
+                        CompileError::validate(format!(
+                            "unit {}: assignment to active DO variable `{}`",
+                            unit.name,
+                            lhs.name()
+                        ))
+                        .with_line(s.line),
+                    );
+                }
+            }
+            StmtKind::Do(d) => {
+                if unit.symbols.type_of(&d.var) != DataType::Integer {
+                    *err = Some(
+                        CompileError::validate(format!(
+                            "unit {}: DO variable `{}` is not INTEGER",
+                            unit.name, d.var
+                        ))
+                        .with_line(s.line),
+                    );
+                    return;
+                }
+                if unit.symbols.is_array(&d.var) {
+                    *err = Some(
+                        CompileError::validate(format!(
+                            "unit {}: DO variable `{}` is an array",
+                            unit.name, d.var
+                        ))
+                        .with_line(s.line),
+                    );
+                    return;
+                }
+                check_expr(unit, s, &d.init, err);
+                check_expr(unit, s, &d.limit, err);
+                if let Some(step) = &d.step {
+                    check_expr(unit, s, step, err);
+                    if step.simplified().as_int() == Some(0) {
+                        *err = Some(
+                            CompileError::validate(format!(
+                                "unit {}: DO loop `{}` has zero step",
+                                unit.name, d.label
+                            ))
+                            .with_line(s.line),
+                        );
+                        return;
+                    }
+                }
+                loop_stack.push(d.var.clone());
+                validate_stmts(unit, &d.body.0, loop_stack, err);
+                loop_stack.pop();
+            }
+            StmtKind::IfBlock { arms, else_body } => {
+                for arm in arms {
+                    check_expr(unit, s, &arm.cond, err);
+                    validate_stmts(unit, &arm.body.0, loop_stack, err);
+                }
+                validate_stmts(unit, &else_body.0, loop_stack, err);
+            }
+            StmtKind::Call { args, .. } => {
+                for a in args {
+                    check_expr(unit, s, a, err);
+                }
+            }
+            StmtKind::Print { items } => {
+                for a in items {
+                    check_expr(unit, s, a, err);
+                }
+            }
+            StmtKind::Assert { cond } => check_expr(unit, s, cond, err),
+            StmtKind::Return | StmtKind::Stop | StmtKind::Continue => {}
+        }
+    }
+}
+
+fn check_lvalue(
+    unit: &ProgramUnit,
+    s: &Stmt,
+    name: &str,
+    subs: &[Expr],
+    err: &mut Option<CompileError>,
+) {
+    if err.is_some() {
+        return;
+    }
+    match unit.symbols.get(name) {
+        Some(sym) => match &sym.kind {
+            SymKind::Array(dims) => {
+                if subs.is_empty() {
+                    *err = Some(
+                        CompileError::validate(format!(
+                            "unit {}: whole-array assignment to `{name}`",
+                            unit.name
+                        ))
+                        .with_line(s.line),
+                    );
+                } else if subs.len() != dims.len() {
+                    *err = Some(
+                        CompileError::validate(format!(
+                            "unit {}: `{name}` has rank {} but is subscripted with {} indices",
+                            unit.name,
+                            dims.len(),
+                            subs.len()
+                        ))
+                        .with_line(s.line),
+                    );
+                }
+            }
+            SymKind::Parameter(_) => {
+                *err = Some(
+                    CompileError::validate(format!(
+                        "unit {}: assignment to PARAMETER `{name}`",
+                        unit.name
+                    ))
+                    .with_line(s.line),
+                );
+            }
+            SymKind::Scalar => {
+                if !subs.is_empty() {
+                    *err = Some(
+                        CompileError::validate(format!(
+                            "unit {}: scalar `{name}` used with subscripts",
+                            unit.name
+                        ))
+                        .with_line(s.line),
+                    );
+                }
+            }
+            SymKind::External => {
+                *err = Some(
+                    CompileError::validate(format!(
+                        "unit {}: assignment to external `{name}`",
+                        unit.name
+                    ))
+                    .with_line(s.line),
+                );
+            }
+        },
+        None => {
+            *err = Some(
+                CompileError::validate(format!(
+                    "unit {}: assignment to undeclared symbol `{name}` (implicit declaration \
+                     should have happened at parse time)",
+                    unit.name
+                ))
+                .with_line(s.line),
+            );
+        }
+    }
+}
+
+fn check_expr(unit: &ProgramUnit, s: &Stmt, e: &Expr, err: &mut Option<CompileError>) {
+    if err.is_some() {
+        return;
+    }
+    e.for_each(&mut |node| {
+        if err.is_some() {
+            return;
+        }
+        match node {
+            Expr::Index { array, subs } => {
+                if let Some(sym) = unit.symbols.get(array) {
+                    if let SymKind::Array(dims) = &sym.kind {
+                        if subs.len() != dims.len() {
+                            *err = Some(
+                                CompileError::validate(format!(
+                                    "unit {}: `{array}` has rank {} but is subscripted with {}",
+                                    unit.name,
+                                    dims.len(),
+                                    subs.len()
+                                ))
+                                .with_line(s.line),
+                            );
+                        }
+                    } else {
+                        *err = Some(
+                            CompileError::validate(format!(
+                                "unit {}: `{array}` subscripted but not an array",
+                                unit.name
+                            ))
+                            .with_line(s.line),
+                        );
+                    }
+                }
+            }
+            Expr::Wildcard(id) => {
+                *err = Some(
+                    CompileError::validate(format!(
+                        "unit {}: wildcard _W{id} escaped into program text",
+                        unit.name
+                    ))
+                    .with_line(s.line),
+                );
+            }
+            _ => {}
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Result<()> {
+        let p = crate::parse(src)?;
+        validate_program(&p)
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        check("program p\ninteger n\nparameter (n=4)\nreal a(n)\ndo i=1,n\na(i)=i\nend do\nend\n")
+            .unwrap();
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let e = check("program p\nreal a(4,4)\na(1) = 0.0\nend\n").unwrap_err();
+        assert!(e.message.contains("rank"), "{e}");
+    }
+
+    #[test]
+    fn assignment_to_do_variable_rejected() {
+        let e = check("program p\ndo i = 1, 4\n  i = 2\nend do\nend\n").unwrap_err();
+        assert!(e.message.contains("DO variable"), "{e}");
+    }
+
+    #[test]
+    fn real_do_variable_rejected() {
+        let e = check("program p\nreal x\ndo x = 1, 4\n  y = x\nend do\nend\n").unwrap_err();
+        assert!(e.message.contains("not INTEGER"), "{e}");
+    }
+
+    #[test]
+    fn parameter_assignment_rejected() {
+        let e = check("program p\ninteger n\nparameter (n=4)\nn = 5\nend\n").unwrap_err();
+        assert!(e.message.contains("PARAMETER"), "{e}");
+    }
+
+    #[test]
+    fn zero_step_rejected() {
+        let e = check("program p\ndo i = 1, 4, 0\n  y = x\nend do\nend\n").unwrap_err();
+        assert!(e.message.contains("zero step"), "{e}");
+    }
+
+    #[test]
+    fn two_program_units_rejected() {
+        let src = "program a\nx=1\nend\n";
+        let mut p = crate::parse(src).unwrap();
+        let mut second = p.units[0].clone();
+        second.name = "B".into();
+        p.units.push(second);
+        let e = validate_program(&p).unwrap_err();
+        assert!(e.message.contains("more than one PROGRAM"), "{e}");
+    }
+
+    #[test]
+    fn scalar_with_subscripts_rejected() {
+        let e = check("program p\nreal x\nx(1) = 2.0\nend\n").unwrap_err();
+        assert!(e.message.contains("rank") || e.message.contains("scalar"), "{e}");
+    }
+}

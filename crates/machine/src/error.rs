@@ -1,0 +1,53 @@
+//! Machine errors.
+
+use std::fmt;
+
+/// Errors raised while lowering or executing a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// The main unit still contains a CALL the machine cannot execute
+    /// (the machine runs post-inlining programs).
+    UnresolvedCall(String),
+    /// An array's declared dimensions are not compile-time constants.
+    NonConstantDims(String),
+    /// Subscript outside the declared bounds.
+    OutOfBounds { array: String, index: i64, len: usize },
+    /// Type mismatch the frontend failed to reject.
+    Type(String),
+    /// STOP executed (not an error; surfaced as control flow).
+    Stopped,
+    /// Division by zero.
+    DivByZero,
+    /// Program has no main unit.
+    NoMain,
+    /// Validation: parallel execution diverged from sequential.
+    ValidationMismatch(String),
+    /// Lowering hit an unsupported construct.
+    Unsupported(String),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::UnresolvedCall(n) => {
+                write!(f, "machine cannot execute CALL to `{n}` (run the inliner first)")
+            }
+            MachineError::NonConstantDims(n) => {
+                write!(f, "array `{n}` has non-constant dimensions at load time")
+            }
+            MachineError::OutOfBounds { array, index, len } => {
+                write!(f, "subscript {index} out of bounds for `{array}` (size {len})")
+            }
+            MachineError::Type(m) => write!(f, "type error: {m}"),
+            MachineError::Stopped => write!(f, "STOP"),
+            MachineError::DivByZero => write!(f, "division by zero"),
+            MachineError::NoMain => write!(f, "program has no PROGRAM unit"),
+            MachineError::ValidationMismatch(m) => {
+                write!(f, "parallel execution diverged from sequential: {m}")
+            }
+            MachineError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}

@@ -1,0 +1,1210 @@
+//! The interpreter and the simulated multiprocessor.
+
+use crate::cost::Schedule;
+use crate::error::MachineError;
+use crate::lower::{lower, Image, Intr, RExpr, RLoop, RPar, RRed, RRef, RStmt};
+use crate::shadow::ShadowSim;
+use crate::value::{scalar_approx_eq, ArrData, ArrObj, Scalar, V};
+use crate::MachineConfig;
+use polaris_ir::expr::{BinOp, RedOp, UnOp};
+use polaris_ir::Program;
+use std::collections::BTreeMap;
+
+/// Per-loop execution statistics (keyed by loop label).
+#[derive(Debug, Clone, Default)]
+pub struct LoopExecStats {
+    pub invocations: u64,
+    pub parallel_invocations: u64,
+    pub spec_success: u64,
+    pub spec_fail: u64,
+    /// Cycles charged to this loop (all invocations, at this nesting).
+    pub cycles: u64,
+}
+
+/// Result of one program run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub cycles: u64,
+    pub output: Vec<String>,
+    pub loops: BTreeMap<String, LoopExecStats>,
+}
+
+impl RunResult {
+    /// Simulated seconds at 150 MHz.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / 150.0e6
+    }
+
+    /// A per-loop profile listing (hottest first) in the style of the
+    /// Polaris compilation/execution listings the paper's evaluation
+    /// methodology is built on (`NLFILT/300`-style naming).
+    pub fn profile(&self) -> String {
+        use std::fmt::Write as _;
+        let mut rows: Vec<(&String, &LoopExecStats)> = self.loops.iter().collect();
+        rows.sort_by_key(|(_, s)| std::cmp::Reverse(s.cycles));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>6} {:>8} {:>8} {:>11}",
+            "loop", "cycles", "%", "invocs", "par", "spec(ok/no)"
+        );
+        for (label, st) in rows {
+            let pct = if self.cycles > 0 {
+                100.0 * st.cycles as f64 / self.cycles as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>12} {:>5.1}% {:>8} {:>8} {:>6}/{}",
+                label,
+                st.cycles,
+                pct,
+                st.invocations,
+                st.parallel_invocations,
+                st.spec_success,
+                st.spec_fail
+            );
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Normal,
+    Stop,
+}
+
+const POISON_I: i64 = -8_888_888_887;
+
+struct Interp<'a> {
+    cfg: &'a MachineConfig,
+    scalars: Vec<Scalar>,
+    arrays: Vec<ArrObj>,
+    cycles: u64,
+    in_parallel: bool,
+    adversarial: bool,
+    output: Vec<String>,
+    loops: BTreeMap<String, LoopExecStats>,
+    /// Active speculative tracking: (array slot, shadow).
+    spec: Vec<(usize, ShadowSim)>,
+    spec_iter: u32,
+}
+
+impl<'a> Interp<'a> {
+    fn new(image: &Image, cfg: &'a MachineConfig, adversarial: bool) -> Interp<'a> {
+        Interp {
+            cfg,
+            scalars: image.scalars.clone(),
+            arrays: image.arrays.clone(),
+            cycles: 0,
+            in_parallel: false,
+            adversarial,
+            output: Vec::new(),
+            loops: BTreeMap::new(),
+            spec: Vec::new(),
+            spec_iter: 0,
+        }
+    }
+
+    // ---- expression evaluation -------------------------------------------
+
+    fn eval(&mut self, e: &RExpr) -> Result<V, MachineError> {
+        let c = &self.cfg.cost;
+        match e {
+            RExpr::I(v) => Ok(V::I(*v)),
+            RExpr::R(v) => Ok(V::R(*v)),
+            RExpr::B(v) => Ok(V::B(*v)),
+            RExpr::Str(_) => Err(MachineError::Type("string outside PRINT".into())),
+            RExpr::Load(slot) => {
+                self.cycles += c.scalar;
+                Ok(self.scalars[*slot].get())
+            }
+            RExpr::Elem(arr, subs) => {
+                let idx = self.element_index(*arr, subs)?;
+                self.cycles += self.cfg.cost.memory;
+                if !self.spec.is_empty() {
+                    let t = self.spec_iter;
+                    let mark = self.cfg.cost.spec_mark;
+                    if let Some((_, sh)) = self.spec.iter_mut().find(|(a, _)| a == arr) {
+                        sh.on_read(idx, t);
+                        self.cycles += mark;
+                    }
+                }
+                Ok(self.arrays[*arr].data.get(idx))
+            }
+            RExpr::Un(op, arg) => {
+                let v = self.eval(arg)?;
+                self.cycles += c.alu;
+                match op {
+                    UnOp::Neg => Ok(match v {
+                        V::I(x) => V::I(-x),
+                        V::R(x) => V::R(-x),
+                        V::B(_) => return Err(MachineError::Type("negated logical".into())),
+                    }),
+                    UnOp::Not => Ok(V::B(!v.as_b()?)),
+                }
+            }
+            RExpr::Bin(op, lhs, rhs) => {
+                let a = self.eval(lhs)?;
+                let b = self.eval(rhs)?;
+                self.binop(*op, a, b)
+            }
+            RExpr::Intrin(intr, args) => {
+                let vals: Vec<V> =
+                    args.iter().map(|a| self.eval(a)).collect::<Result<Vec<_>, _>>()?;
+                self.intrinsic(*intr, &vals)
+            }
+        }
+    }
+
+    fn element_index(&mut self, arr: usize, subs: &[RExpr]) -> Result<usize, MachineError> {
+        let mut idxs = Vec::with_capacity(subs.len());
+        for s in subs {
+            idxs.push(self.eval(s)?.as_i()?);
+        }
+        self.arrays[arr].flatten(&idxs)
+    }
+
+    fn binop(&mut self, op: BinOp, a: V, b: V) -> Result<V, MachineError> {
+        let c = &self.cfg.cost;
+        match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow => {
+                // Back ends strength-reduce small constant powers
+                // (x**2 -> x*x) and power-of-two divides (the paper's
+                // §3.2 code-expansion remark assumes exactly this);
+                // charge accordingly.
+                self.cycles += match op {
+                    BinOp::Mul => c.mul,
+                    BinOp::Div => match b {
+                        V::I(d) if d > 0 && (d & (d - 1)) == 0 => c.alu,
+                        _ => c.div,
+                    },
+                    BinOp::Pow => match b {
+                        V::I(k) if (0..=3).contains(&k) => c.mul * (k.max(1) as u64),
+                        _ => c.intrinsic,
+                    },
+                    _ => c.alu,
+                };
+                if a.is_real() || b.is_real() {
+                    let (x, y) = (a.as_r()?, b.as_r()?);
+                    Ok(V::R(match op {
+                        BinOp::Add => x + y,
+                        BinOp::Sub => x - y,
+                        BinOp::Mul => x * y,
+                        BinOp::Div => x / y,
+                        BinOp::Pow => x.powf(y),
+                        _ => unreachable!(),
+                    }))
+                } else {
+                    let (x, y) = (a.as_i()?, b.as_i()?);
+                    Ok(V::I(match op {
+                        BinOp::Add => x.wrapping_add(y),
+                        BinOp::Sub => x.wrapping_sub(y),
+                        BinOp::Mul => x.wrapping_mul(y),
+                        BinOp::Div => {
+                            if y == 0 {
+                                return Err(MachineError::DivByZero);
+                            }
+                            x.wrapping_div(y)
+                        }
+                        BinOp::Pow => int_pow(x, y),
+                        _ => unreachable!(),
+                    }))
+                }
+            }
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                self.cycles += c.alu;
+                let r = if a.is_real() || b.is_real() {
+                    let (x, y) = (a.as_r()?, b.as_r()?);
+                    match op {
+                        BinOp::Lt => x < y,
+                        BinOp::Le => x <= y,
+                        BinOp::Gt => x > y,
+                        BinOp::Ge => x >= y,
+                        BinOp::Eq => x == y,
+                        BinOp::Ne => x != y,
+                        _ => unreachable!(),
+                    }
+                } else {
+                    let (x, y) = (a.as_i()?, b.as_i()?);
+                    match op {
+                        BinOp::Lt => x < y,
+                        BinOp::Le => x <= y,
+                        BinOp::Gt => x > y,
+                        BinOp::Ge => x >= y,
+                        BinOp::Eq => x == y,
+                        BinOp::Ne => x != y,
+                        _ => unreachable!(),
+                    }
+                };
+                Ok(V::B(r))
+            }
+            BinOp::And => {
+                self.cycles += c.alu;
+                Ok(V::B(a.as_b()? && b.as_b()?))
+            }
+            BinOp::Or => {
+                self.cycles += c.alu;
+                Ok(V::B(a.as_b()? || b.as_b()?))
+            }
+        }
+    }
+
+    fn intrinsic(&mut self, intr: Intr, vals: &[V]) -> Result<V, MachineError> {
+        let c = &self.cfg.cost;
+        let cheap = matches!(
+            intr,
+            Intr::Mod | Intr::Max | Intr::Min | Intr::Abs | Intr::Int | Intr::Nint | Intr::ToReal | Intr::Sign
+        );
+        self.cycles += if cheap { c.mul } else { c.intrinsic };
+        let arity = |n: usize| -> Result<(), MachineError> {
+            if vals.len() == n {
+                Ok(())
+            } else {
+                Err(MachineError::Type(format!("intrinsic arity {n} expected")))
+            }
+        };
+        let any_real = vals.iter().any(|v| v.is_real());
+        Ok(match intr {
+            Intr::Mod => {
+                arity(2)?;
+                if any_real {
+                    let (x, y) = (vals[0].as_r()?, vals[1].as_r()?);
+                    V::R(x % y)
+                } else {
+                    let (x, y) = (vals[0].as_i()?, vals[1].as_i()?);
+                    if y == 0 {
+                        return Err(MachineError::DivByZero);
+                    }
+                    V::I(x % y)
+                }
+            }
+            Intr::Max | Intr::Min => {
+                if vals.is_empty() {
+                    return Err(MachineError::Type("MAX/MIN need arguments".into()));
+                }
+                if any_real {
+                    let mut acc = vals[0].as_r()?;
+                    for v in &vals[1..] {
+                        let x = v.as_r()?;
+                        acc = if intr == Intr::Max { acc.max(x) } else { acc.min(x) };
+                    }
+                    V::R(acc)
+                } else {
+                    let mut acc = vals[0].as_i()?;
+                    for v in &vals[1..] {
+                        let x = v.as_i()?;
+                        acc = if intr == Intr::Max { acc.max(x) } else { acc.min(x) };
+                    }
+                    V::I(acc)
+                }
+            }
+            Intr::Abs => {
+                arity(1)?;
+                match vals[0] {
+                    V::I(x) => V::I(x.abs()),
+                    V::R(x) => V::R(x.abs()),
+                    V::B(_) => return Err(MachineError::Type("ABS of logical".into())),
+                }
+            }
+            Intr::Sign => {
+                arity(2)?;
+                if any_real {
+                    let (x, y) = (vals[0].as_r()?, vals[1].as_r()?);
+                    V::R(x.abs() * if y < 0.0 { -1.0 } else { 1.0 })
+                } else {
+                    let (x, y) = (vals[0].as_i()?, vals[1].as_i()?);
+                    V::I(x.abs() * if y < 0 { -1 } else { 1 })
+                }
+            }
+            Intr::Sqrt => {
+                arity(1)?;
+                V::R(vals[0].as_r()?.sqrt())
+            }
+            Intr::Sin => {
+                arity(1)?;
+                V::R(vals[0].as_r()?.sin())
+            }
+            Intr::Cos => {
+                arity(1)?;
+                V::R(vals[0].as_r()?.cos())
+            }
+            Intr::Tan => {
+                arity(1)?;
+                V::R(vals[0].as_r()?.tan())
+            }
+            Intr::Exp => {
+                arity(1)?;
+                V::R(vals[0].as_r()?.exp())
+            }
+            Intr::Log => {
+                arity(1)?;
+                V::R(vals[0].as_r()?.ln())
+            }
+            Intr::Atan => {
+                arity(1)?;
+                V::R(vals[0].as_r()?.atan())
+            }
+            Intr::Int => {
+                arity(1)?;
+                V::I(vals[0].as_i()?)
+            }
+            Intr::Nint => {
+                arity(1)?;
+                V::I(vals[0].as_r()?.round() as i64)
+            }
+            Intr::ToReal => {
+                arity(1)?;
+                V::R(vals[0].as_r()?)
+            }
+        })
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn run_list(&mut self, stmts: &[RStmt]) -> Result<Flow, MachineError> {
+        for s in stmts {
+            match self.run_stmt(s)? {
+                Flow::Normal => {}
+                Flow::Stop => return Ok(Flow::Stop),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn run_stmt(&mut self, s: &RStmt) -> Result<Flow, MachineError> {
+        match s {
+            RStmt::AssignS(slot, rhs) => {
+                let v = self.eval(rhs)?;
+                self.cycles += self.cfg.cost.scalar;
+                self.scalars[*slot].set(v)?;
+                Ok(Flow::Normal)
+            }
+            RStmt::AssignE(arr, subs, rhs) => {
+                let v = self.eval(rhs)?;
+                let idx = self.element_index(*arr, subs)?;
+                self.cycles += self.cfg.cost.memory;
+                if !self.spec.is_empty() {
+                    let t = self.spec_iter;
+                    let mark = self.cfg.cost.spec_mark;
+                    if let Some((_, sh)) = self.spec.iter_mut().find(|(a, _)| a == arr) {
+                        sh.on_write(idx, t);
+                        self.cycles += mark;
+                    }
+                }
+                self.arrays[*arr].data.set(idx, v)?;
+                Ok(Flow::Normal)
+            }
+            RStmt::Do(l) => self.run_loop(l),
+            RStmt::If(arms, else_body) => {
+                for (cond, body) in arms {
+                    self.cycles += self.cfg.cost.branch;
+                    if self.eval(cond)?.as_b()? {
+                        return self.run_list(body);
+                    }
+                }
+                self.run_list(else_body)
+            }
+            RStmt::Print(items) => {
+                let mut line = String::new();
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        line.push(' ');
+                    }
+                    match item {
+                        RExpr::Str(s) => line.push_str(s),
+                        other => match self.eval(other)? {
+                            V::I(v) => line.push_str(&v.to_string()),
+                            V::R(v) => line.push_str(&format!("{v:.6E}")),
+                            V::B(v) => line.push_str(if v { "T" } else { "F" }),
+                        },
+                    }
+                }
+                self.output.push(line);
+                Ok(Flow::Normal)
+            }
+            RStmt::Stop => Ok(Flow::Stop),
+        }
+    }
+
+    /// The iteration values of a loop (evaluated once, F77 semantics).
+    fn iteration_values(&mut self, l: &RLoop) -> Result<Vec<i64>, MachineError> {
+        let init = self.eval(&l.init)?.as_i()?;
+        let limit = self.eval(&l.limit)?.as_i()?;
+        let step = match &l.step {
+            Some(s) => self.eval(s)?.as_i()?,
+            None => 1,
+        };
+        if step == 0 {
+            return Err(MachineError::Type(format!("zero step in {}", l.label)));
+        }
+        let mut out = Vec::new();
+        let mut v = init;
+        while (step > 0 && v <= limit) || (step < 0 && v >= limit) {
+            out.push(v);
+            v += step;
+        }
+        Ok(out)
+    }
+
+    fn run_loop(&mut self, l: &RLoop) -> Result<Flow, MachineError> {
+        let iters = self.iteration_values(l)?;
+        let entry = self.loops.entry(l.label.clone()).or_default();
+        entry.invocations += 1;
+        let loop_start = self.cycles;
+
+        let concurrent = !self.in_parallel && self.cfg.procs > 1;
+        let flow = if l.par.parallel && concurrent && !self.adversarial {
+            self.run_parallel(l, &iters)?
+        } else if !l.par.spec_arrays.is_empty() && concurrent && !self.adversarial {
+            self.run_speculative(l, &iters)?
+        } else if l.par.parallel && self.adversarial && !self.in_parallel {
+            self.run_adversarial(l, &iters)?
+        } else {
+            self.run_serial_loop(l, &iters)?
+        };
+        let spent = self.cycles - loop_start;
+        let entry = self.loops.entry(l.label.clone()).or_default();
+        entry.cycles += spent;
+        // F77 semantics: the loop variable holds the first value past the
+        // limit after the loop completes — and this must hold regardless
+        // of execution order (the variable is implicitly private).
+        if flow == Flow::Normal {
+            let step = match &l.step {
+                Some(s) => self.eval(s)?.as_i()?,
+                None => 1,
+            };
+            let beyond = match iters.last() {
+                Some(&last) => last + step,
+                None => self.eval(&l.init)?.as_i()?,
+            };
+            self.scalars[l.var].set(V::I(beyond))?;
+        }
+        Ok(flow)
+    }
+
+    fn run_one_iteration(&mut self, l: &RLoop, v: i64) -> Result<Flow, MachineError> {
+        self.cycles += self.cfg.cost.loop_iter;
+        self.scalars[l.var].set(V::I(v))?;
+        let b0 = self.cycles;
+        let flow = self.run_list(&l.body)?;
+        if l.innermost && self.cfg.codegen.enabled {
+            let delta = self.cycles - b0;
+            self.cycles = b0 + self.cfg.codegen.scale(delta, l.has_conditional);
+        }
+        Ok(flow)
+    }
+
+    fn run_serial_loop(&mut self, l: &RLoop, iters: &[i64]) -> Result<Flow, MachineError> {
+        for &v in iters {
+            if self.run_one_iteration(l, v)? == Flow::Stop {
+                return Ok(Flow::Stop);
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    /// Which processor executes iteration `idx` of `trip` iterations?
+    fn proc_of(&self, idx: usize, trip: usize) -> usize {
+        match self.cfg.schedule {
+            Schedule::Static => {
+                let per = trip.div_ceil(self.cfg.procs).max(1);
+                (idx / per).min(self.cfg.procs - 1)
+            }
+            Schedule::Dynamic { chunk } => (idx / chunk.max(1)) % self.cfg.procs,
+        }
+    }
+
+    fn run_parallel(&mut self, l: &RLoop, iters: &[i64]) -> Result<Flow, MachineError> {
+        let c0 = self.cycles;
+        let trip = iters.len();
+        let mut buckets = vec![0u64; self.cfg.procs];
+        self.in_parallel = true;
+        let mut flow = Flow::Normal;
+        for (idx, &v) in iters.iter().enumerate() {
+            let b0 = self.cycles;
+            flow = self.run_one_iteration(l, v)?;
+            buckets[self.proc_of(idx, trip)] += self.cycles - b0;
+            if flow == Flow::Stop {
+                break;
+            }
+        }
+        self.in_parallel = false;
+        self.cycles = c0;
+        // Run-time profitability guard (the generated code wraps the
+        // parallel region in an IF, as both PFA and Polaris did): a loop
+        // whose total work cannot amortize the fork runs serially.
+        let total: u64 = buckets.iter().sum();
+        if total < 2 * self.cfg.cost.fork_join {
+            self.cycles += total + self.cfg.cost.branch;
+            return Ok(flow);
+        }
+        let mut charged = self.cfg.cost.fork_join + buckets.iter().copied().max().unwrap_or(0);
+        if let Schedule::Dynamic { chunk } = self.cfg.schedule {
+            charged += (trip.div_ceil(chunk.max(1)) as u64) * self.cfg.cost.dispatch;
+        }
+        charged += self.merge_costs(&l.par);
+        self.cycles += charged;
+        let entry = self.loops.entry(l.label.clone()).or_default();
+        entry.parallel_invocations += 1;
+        Ok(flow)
+    }
+
+    fn merge_costs(&self, par: &RPar) -> u64 {
+        let c = &self.cfg.cost;
+        let mut total = 0u64;
+        for red in &par.reductions {
+            total += match red.target {
+                RRef::Scalar(_) => self.cfg.procs as u64 * c.reduction_merge,
+                RRef::Array(a) => self.arrays[a].data.len() as u64 * c.reduction_merge,
+            };
+        }
+        for &a in &par.private_arrays {
+            total += self.arrays[a].data.len() as u64 * c.private_setup;
+        }
+        total
+    }
+
+    fn run_speculative(&mut self, l: &RLoop, iters: &[i64]) -> Result<Flow, MachineError> {
+        debug_assert!(self.spec.is_empty(), "nested speculation");
+        for &a in &l.par.spec_arrays {
+            self.spec.push((a, ShadowSim::new(self.arrays[a].data.len())));
+        }
+        let c0 = self.cycles;
+        let trip = iters.len();
+        let mut buckets = vec![0u64; self.cfg.procs];
+        self.in_parallel = true;
+        let mut flow = Flow::Normal;
+        for (idx, &v) in iters.iter().enumerate() {
+            self.spec_iter = idx as u32;
+            let b0 = self.cycles;
+            flow = self.run_one_iteration(l, v)?;
+            let t = self.spec_iter;
+            for (_, sh) in self.spec.iter_mut() {
+                sh.end_iteration(t);
+            }
+            buckets[self.proc_of(idx, trip)] += self.cycles - b0;
+            if flow == Flow::Stop {
+                break;
+            }
+        }
+        self.in_parallel = false;
+        self.cycles = c0;
+
+        let shadows = std::mem::take(&mut self.spec);
+        let success = shadows.iter().all(|(_, sh)| sh.verdict().plain_ok());
+        let tracked_elems: u64 = shadows.iter().map(|(_, sh)| sh.len() as u64).sum();
+        let marks_done: u64 = shadows.iter().map(|(_, sh)| sh.marks_done).sum();
+        let analysis = tracked_elems * self.cfg.cost.spec_analysis / self.cfg.procs as u64
+            + self.cfg.cost.fork_join / 2;
+        let attempt = self.cfg.cost.fork_join
+            + buckets.iter().copied().max().unwrap_or(0)
+            + analysis
+            + self.merge_costs(&l.par);
+        let entry = self.loops.entry(l.label.clone()).or_default();
+        if success {
+            self.cycles += attempt;
+            entry.spec_success += 1;
+            entry.parallel_invocations += 1;
+        } else {
+            // Failed speculation: the attempt is wasted, the loop then
+            // re-executes sequentially (values are already correct — the
+            // simulator executed in order — only the cost is charged).
+            // Marking cycles belong to the failed attempt, not to the
+            // sequential re-execution, so they are subtracted here.
+            let total: u64 = buckets.iter().sum();
+            let marking = (marks_done * self.cfg.cost.spec_mark).min(total);
+            let sequential = total - marking;
+            self.cycles += attempt + sequential;
+            entry.spec_fail += 1;
+        }
+        Ok(flow)
+    }
+
+    /// Adversarial validation: iterate in reverse with real privatization
+    /// and reduction semantics. If the compiler's annotations are wrong,
+    /// the final state differs from sequential execution.
+    fn run_adversarial(&mut self, l: &RLoop, iters: &[i64]) -> Result<Flow, MachineError> {
+        // stash shared state of private vars
+        let saved_scalars: Vec<(usize, Scalar)> =
+            l.par.private_scalars.iter().map(|&s| (s, self.scalars[s])).collect();
+        let saved_arrays: Vec<(usize, ArrData)> = l
+            .par
+            .private_arrays
+            .iter()
+            .map(|&a| (a, self.arrays[a].data.clone()))
+            .collect();
+        // reduction setup
+        let mut red_state: Vec<(RRed, RedAccum)> = Vec::new();
+        for red in &l.par.reductions {
+            red_state.push((red.clone(), RedAccum::identity(red, self)));
+        }
+
+        self.in_parallel = true;
+        let mut flow = Flow::Normal;
+        let last = iters.last().copied();
+        let mut copy_out_values: Vec<(usize, Scalar)> = Vec::new();
+        for &v in iters.iter().rev() {
+            // poison privates
+            for &s in &l.par.private_scalars {
+                self.scalars[s] = poison_scalar(self.scalars[s]);
+            }
+            for &a in &l.par.private_arrays {
+                poison_array(&mut self.arrays[a].data);
+            }
+            // reduction slots start at identity each iteration
+            for (red, _) in &red_state {
+                set_identity(red, self);
+            }
+            flow = self.run_one_iteration(l, v)?;
+            // fold partials
+            for (red, accum) in red_state.iter_mut() {
+                accum.fold(red, self);
+            }
+            if Some(v) == last {
+                for &s in &l.par.copy_out_scalars {
+                    copy_out_values.push((s, self.scalars[s]));
+                }
+            }
+            if flow == Flow::Stop {
+                break;
+            }
+        }
+        self.in_parallel = false;
+        // restore privates
+        for (s, v) in saved_scalars {
+            self.scalars[s] = v;
+        }
+        for (a, d) in saved_arrays {
+            self.arrays[a].data = d;
+        }
+        // reductions: shared := shared op total
+        for (red, accum) in red_state {
+            accum.commit(&red, self)?;
+        }
+        // copy-out wins over the restored value
+        for (s, v) in copy_out_values {
+            self.scalars[s] = v;
+        }
+        Ok(flow)
+    }
+}
+
+fn int_pow(base: i64, exp: i64) -> i64 {
+    if exp < 0 {
+        return if base.abs() == 1 {
+            if exp % 2 == 0 {
+                1
+            } else {
+                base
+            }
+        } else {
+            0
+        };
+    }
+    let mut acc: i64 = 1;
+    for _ in 0..exp {
+        acc = acc.wrapping_mul(base);
+    }
+    acc
+}
+
+fn poison_scalar(s: Scalar) -> Scalar {
+    match s {
+        Scalar::I(_) => Scalar::I(POISON_I),
+        Scalar::R(_) => Scalar::R(f64::NAN),
+        Scalar::B(_) => Scalar::B(false),
+    }
+}
+
+fn poison_array(d: &mut ArrData) {
+    match d {
+        ArrData::I(v) => v.fill(POISON_I),
+        ArrData::R(v) => v.fill(f64::NAN),
+        ArrData::B(v) => v.fill(false),
+    }
+}
+
+/// Accumulated reduction partials during adversarial execution.
+enum RedAccum {
+    Scalar { initial: Scalar, total: f64, total_i: i64, any: bool },
+    Array { initial: ArrData, totals_r: Vec<f64>, totals_i: Vec<i64> },
+}
+
+impl RedAccum {
+    fn identity(red: &RRed, interp: &Interp<'_>) -> RedAccum {
+        match red.target {
+            RRef::Scalar(s) => RedAccum::Scalar {
+                initial: interp.scalars[s],
+                total: red_identity_r(red.op),
+                total_i: red_identity_i(red.op),
+                any: false,
+            },
+            RRef::Array(a) => {
+                let n = interp.arrays[a].data.len();
+                RedAccum::Array {
+                    initial: interp.arrays[a].data.clone(),
+                    totals_r: vec![red_identity_r(red.op); n],
+                    totals_i: vec![red_identity_i(red.op); n],
+                }
+            }
+        }
+    }
+
+    fn fold(&mut self, red: &RRed, interp: &mut Interp<'_>) {
+        match (self, red.target) {
+            (RedAccum::Scalar { total, total_i, any, .. }, RRef::Scalar(s)) => {
+                match interp.scalars[s] {
+                    Scalar::R(v) => *total = red_apply_r(red.op, *total, v),
+                    Scalar::I(v) => *total_i = red_apply_i(red.op, *total_i, v),
+                    Scalar::B(_) => {}
+                }
+                *any = true;
+            }
+            (RedAccum::Array { totals_r, totals_i, .. }, RRef::Array(a)) => {
+                match &interp.arrays[a].data {
+                    ArrData::R(vals) => {
+                        for (t, v) in totals_r.iter_mut().zip(vals) {
+                            *t = red_apply_r(red.op, *t, *v);
+                        }
+                    }
+                    ArrData::I(vals) => {
+                        for (t, v) in totals_i.iter_mut().zip(vals) {
+                            *t = red_apply_i(red.op, *t, *v);
+                        }
+                    }
+                    ArrData::B(_) => {}
+                }
+            }
+            _ => unreachable!("reduction target shape mismatch"),
+        }
+    }
+
+    fn commit(self, red: &RRed, interp: &mut Interp<'_>) -> Result<(), MachineError> {
+        match (self, red.target) {
+            (RedAccum::Scalar { initial, total, total_i, any }, RRef::Scalar(s)) => {
+                if !any {
+                    interp.scalars[s] = initial;
+                    return Ok(());
+                }
+                interp.scalars[s] = match initial {
+                    Scalar::R(v) => Scalar::R(red_apply_r(red.op, v, total)),
+                    Scalar::I(v) => Scalar::I(red_apply_i(red.op, v, total_i)),
+                    b => b,
+                };
+                Ok(())
+            }
+            (RedAccum::Array { initial, totals_r, totals_i }, RRef::Array(a)) => {
+                let merged = match initial {
+                    ArrData::R(vals) => ArrData::R(
+                        vals.iter()
+                            .zip(&totals_r)
+                            .map(|(v, t)| red_apply_r(red.op, *v, *t))
+                            .collect(),
+                    ),
+                    ArrData::I(vals) => ArrData::I(
+                        vals.iter()
+                            .zip(&totals_i)
+                            .map(|(v, t)| red_apply_i(red.op, *v, *t))
+                            .collect(),
+                    ),
+                    b => b,
+                };
+                interp.arrays[a].data = merged;
+                Ok(())
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn set_identity(red: &RRed, interp: &mut Interp<'_>) {
+    match red.target {
+        RRef::Scalar(s) => {
+            interp.scalars[s] = match interp.scalars[s] {
+                Scalar::R(_) => Scalar::R(red_identity_r(red.op)),
+                Scalar::I(_) => Scalar::I(red_identity_i(red.op)),
+                b => b,
+            };
+        }
+        RRef::Array(a) => match &mut interp.arrays[a].data {
+            ArrData::R(v) => v.fill(red_identity_r(red.op)),
+            ArrData::I(v) => v.fill(red_identity_i(red.op)),
+            ArrData::B(_) => {}
+        },
+    }
+}
+
+fn red_identity_r(op: RedOp) -> f64 {
+    match op {
+        RedOp::Sum => 0.0,
+        RedOp::Product => 1.0,
+        RedOp::Max => f64::NEG_INFINITY,
+        RedOp::Min => f64::INFINITY,
+    }
+}
+
+fn red_identity_i(op: RedOp) -> i64 {
+    match op {
+        RedOp::Sum => 0,
+        RedOp::Product => 1,
+        RedOp::Max => i64::MIN,
+        RedOp::Min => i64::MAX,
+    }
+}
+
+fn red_apply_r(op: RedOp, a: f64, b: f64) -> f64 {
+    match op {
+        RedOp::Sum => a + b,
+        RedOp::Product => a * b,
+        RedOp::Max => a.max(b),
+        RedOp::Min => a.min(b),
+    }
+}
+
+fn red_apply_i(op: RedOp, a: i64, b: i64) -> i64 {
+    match op {
+        RedOp::Sum => a.wrapping_add(b),
+        RedOp::Product => a.wrapping_mul(b),
+        RedOp::Max => a.max(b),
+        RedOp::Min => a.min(b),
+    }
+}
+
+// ---- public entry points ---------------------------------------------
+
+/// Run `program` on the simulated machine.
+pub fn run(program: &Program, cfg: &MachineConfig) -> Result<RunResult, MachineError> {
+    let image = lower(program)?;
+    let mut interp = Interp::new(&image, cfg, false);
+    interp.run_list(&image.code)?;
+    Ok(RunResult { cycles: interp.cycles, output: interp.output, loops: interp.loops })
+}
+
+/// Run serially (annotations have no effect; the serial reference time).
+pub fn run_serial(program: &Program) -> Result<RunResult, MachineError> {
+    run(program, &MachineConfig::serial())
+}
+
+/// Validate the compiler's parallelization: execute sequentially, then
+/// adversarially (parallel loops in reverse order with real
+/// privatization/reduction semantics), and compare the final memory
+/// state and output. Returns the two results on success.
+pub fn run_validated(
+    program: &Program,
+    cfg: &MachineConfig,
+) -> Result<(RunResult, RunResult), MachineError> {
+    let image = lower(program)?;
+    let serial_cfg = MachineConfig::serial();
+    let mut seq = Interp::new(&image, &serial_cfg, false);
+    seq.run_list(&image.code)?;
+    let mut adv = Interp::new(&image, cfg, true);
+    adv.run_list(&image.code)?;
+
+    // Variables privatized without copy-out have unspecified values after
+    // a parallel loop: exclude them from the comparison. (If a later use
+    // actually depended on them, the dependence driver would have
+    // demanded copy-out or refused privatization; a poisoned value that
+    // *does* flow somewhere observable still trips the comparison there.)
+    let (skip_scalars, skip_arrays) = private_without_copyout(&image.code);
+
+    const TOL: f64 = 1e-6;
+    for (i, (a, b)) in seq.scalars.iter().zip(&adv.scalars).enumerate() {
+        if skip_scalars.contains(&i) {
+            continue;
+        }
+        if !scalar_approx_eq(a, b, TOL) {
+            return Err(MachineError::ValidationMismatch(format!(
+                "scalar `{}`: sequential {a:?} vs adversarial {b:?}",
+                image.scalar_names[i]
+            )));
+        }
+    }
+    for (i, (sa, aa)) in seq.arrays.iter().zip(&adv.arrays).enumerate() {
+        if skip_arrays.contains(&i) {
+            continue;
+        }
+        if !sa.data.approx_eq(&aa.data, TOL) {
+            return Err(MachineError::ValidationMismatch(format!(
+                "array `{}` differs between sequential and adversarial runs",
+                sa.name
+            )));
+        }
+    }
+    if !outputs_match(&seq.output, &adv.output, TOL) {
+        return Err(MachineError::ValidationMismatch(format!(
+            "program output differs:\n  seq: {:?}\n  adv: {:?}",
+            seq.output, adv.output
+        )));
+    }
+    Ok((
+        RunResult { cycles: seq.cycles, output: seq.output, loops: seq.loops },
+        RunResult { cycles: adv.cycles, output: adv.output, loops: adv.loops },
+    ))
+}
+
+/// Slots privatized (without copy-out) in any loop of the code.
+fn private_without_copyout(code: &[RStmt]) -> (Vec<usize>, Vec<usize>) {
+    let mut scalars = Vec::new();
+    let mut arrays = Vec::new();
+    fn walk(code: &[RStmt], scalars: &mut Vec<usize>, arrays: &mut Vec<usize>) {
+        for s in code {
+            match s {
+                RStmt::Do(l) => {
+                    for &p in &l.par.private_scalars {
+                        if !l.par.copy_out_scalars.contains(&p) {
+                            scalars.push(p);
+                        }
+                    }
+                    arrays.extend(l.par.private_arrays.iter().copied());
+                    walk(&l.body, scalars, arrays);
+                }
+                RStmt::If(arms, e) => {
+                    for (_, b) in arms {
+                        walk(b, scalars, arrays);
+                    }
+                    walk(e, scalars, arrays);
+                }
+                _ => {}
+            }
+        }
+    }
+    walk(code, &mut scalars, &mut arrays);
+    (scalars, arrays)
+}
+
+fn outputs_match(a: &[String], b: &[String], tol: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).all(|(x, y)| {
+        if x == y {
+            return true;
+        }
+        let tx: Vec<&str> = x.split_whitespace().collect();
+        let ty: Vec<&str> = y.split_whitespace().collect();
+        tx.len() == ty.len()
+            && tx.iter().zip(&ty).all(|(u, v)| {
+                if u == v {
+                    return true;
+                }
+                match (u.parse::<f64>(), v.parse::<f64>()) {
+                    (Ok(fu), Ok(fv)) => {
+                        let scale = fu.abs().max(fv.abs()).max(1.0);
+                        (fu - fv).abs() <= tol * scale
+                    }
+                    _ => false,
+                }
+            })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Program {
+        polaris_ir::parse(src).unwrap()
+    }
+
+    #[test]
+    fn sequential_semantics() {
+        let p = parse(
+            "program t\nreal a(10)\ns = 0.0\ndo i = 1, 10\n  a(i) = i * 2.0\n  s = s + a(i)\nend do\nprint *, 'sum', s\nend\n",
+        );
+        let r = run_serial(&p).unwrap();
+        assert_eq!(r.output.len(), 1);
+        assert!(r.output[0].contains("sum"));
+        assert!(r.output[0].contains("1.100000E2"), "{:?}", r.output);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn stop_halts() {
+        let p = parse("program t\nx = 1.0\nstop\ny = 2.0\nprint *, y\nend\n");
+        let r = run_serial(&p).unwrap();
+        assert!(r.output.is_empty());
+    }
+
+    #[test]
+    fn if_else_and_intrinsics() {
+        let p = parse(
+            "program t\nx = -3.5\nif (x < 0.0) then\n  y = abs(x)\nelse\n  y = sqrt(x)\nend if\nprint *, y, max(1, 2, 3), mod(7, 3)\nend\n",
+        );
+        let r = run_serial(&p).unwrap();
+        assert!(r.output[0].contains("3.500000E0"), "{:?}", r.output);
+        assert!(r.output[0].contains('3'));
+        assert!(r.output[0].contains('1'));
+    }
+
+    #[test]
+    fn parallel_loop_faster_than_serial() {
+        let src = "program t\nreal a(10000)\n!$polaris doall\ndo i = 1, 10000\n  a(i) = i * 2.0 + 1.0\nend do\nprint *, a(5000)\nend\n";
+        let p = parse(src);
+        let serial = run_serial(&p).unwrap();
+        let par = run(&p, &MachineConfig::challenge_8()).unwrap();
+        assert_eq!(serial.output, par.output);
+        let speedup = serial.cycles as f64 / par.cycles as f64;
+        assert!(speedup > 4.0, "speedup {speedup} too low ({} vs {})", serial.cycles, par.cycles);
+        assert!(speedup <= 8.0, "speedup {speedup} exceeds processor count");
+    }
+
+    #[test]
+    fn fork_join_overhead_hurts_tiny_loops() {
+        let src = "program t\nreal a(4)\ndo k = 1, 2000\n!$polaris doall\ndo i = 1, 4\n  a(i) = i * 1.0\nend do\nend do\nprint *, a(1)\nend\n";
+        let p = parse(src);
+        let serial = run_serial(&p).unwrap();
+        let par = run(&p, &MachineConfig::challenge_8()).unwrap();
+        assert!(par.cycles > serial.cycles, "tiny parallel loops must lose");
+    }
+
+    #[test]
+    fn loop_stats_recorded() {
+        let src = "program t\nreal a(5000)\n!$polaris doall\ndo i = 1, 5000\n  a(i) = 1.0\nend do\nend\n";
+        let p = parse(src);
+        let r = run(&p, &MachineConfig::challenge_8()).unwrap();
+        let (label, stats) = r.loops.iter().next().unwrap();
+        assert!(label.contains("do"));
+        assert_eq!(stats.invocations, 1);
+        assert_eq!(stats.parallel_invocations, 1);
+    }
+
+    #[test]
+    fn nested_parallel_only_outer_counts() {
+        let src = "program t\nreal a(40,40)\n!$polaris doall private(J)\ndo i = 1, 40\n!$polaris doall\ndo j = 1, 40\n  a(i,j) = 1.0\nend do\nend do\nend\n";
+        let p = parse(src);
+        let r = run(&p, &MachineConfig::challenge_8()).unwrap();
+        let outer: Vec<_> = r.loops.values().collect();
+        let total_parallel: u64 = outer.iter().map(|s| s.parallel_invocations).sum();
+        // outer once; inner 40 invocations all serial
+        assert_eq!(total_parallel, 1, "{:?}", r.loops);
+    }
+
+    #[test]
+    fn validation_passes_for_correct_privatization() {
+        let src = "program t\nreal a(100), b(100)\ndo k = 1, 100\n  b(k) = k * 1.0\nend do\n!$polaris doall private(T)\ndo i = 1, 100\n  t = b(i) * 2.0\n  a(i) = t + 1.0\nend do\nprint *, a(7)\nend\n";
+        let p = parse(src);
+        run_validated(&p, &MachineConfig::challenge_8()).unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bogus_parallel_annotation() {
+        // A(i) = A(i-1) + 1 marked parallel: reverse-order execution
+        // produces different values.
+        let src = "program t\nreal a(101)\na(1) = 1.0\n!$polaris doall\ndo i = 2, 101\n  a(i) = a(i-1) + 1.0\nend do\nprint *, a(101)\nend\n";
+        let p = parse(src);
+        let err = run_validated(&p, &MachineConfig::challenge_8()).unwrap_err();
+        assert!(matches!(err, MachineError::ValidationMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn validation_catches_missing_privatization() {
+        // T is carried shared state but marked parallel without PRIVATE.
+        let src = "program t\nreal a(100), b(100)\n!$polaris doall\ndo i = 1, 100\n  t = b(i)\n  a(i) = t\nend do\nprint *, a(3)\nend\n";
+        let p = parse(src);
+        // in reverse order T still gets the right value per iteration —
+        // this one is actually correct even unprivatized... make T truly
+        // cross-iteration: read T before writing it.
+        let src2 = "program t\nreal a(100), b(100)\ndo k = 1, 100\n  b(k) = k * 1.0\nend do\nt = 0.0\n!$polaris doall\ndo i = 1, 100\n  a(i) = t\n  t = b(i)\nend do\nprint *, a(3)\nend\n";
+        let p2 = parse(src2);
+        let _ = p;
+        let err = run_validated(&p2, &MachineConfig::challenge_8()).unwrap_err();
+        assert!(matches!(err, MachineError::ValidationMismatch(_)));
+    }
+
+    #[test]
+    fn validation_reduction_semantics() {
+        let src = "program t\nreal b(1000)\ndo k = 1, 1000\n  b(k) = k * 0.5\nend do\ns = 100.0\n!$polaris doall reduction(+:S)\ndo i = 1, 1000\n  s = s + b(i)\nend do\nprint *, s\nend\n";
+        let p = parse(src);
+        let (seq, adv) = run_validated(&p, &MachineConfig::challenge_8()).unwrap();
+        assert_eq!(seq.output.len(), 1);
+        assert_eq!(adv.output.len(), 1);
+    }
+
+    #[test]
+    fn validation_max_reduction() {
+        let src = "program t\nreal b(500)\ndo k = 1, 500\n  b(k) = mod(k * 37, 101) * 1.0\nend do\nt = -1.0\n!$polaris doall reduction(MAX:T)\ndo i = 1, 500\n  t = max(t, b(i))\nend do\nprint *, t\nend\n";
+        let p = parse(src);
+        run_validated(&p, &MachineConfig::challenge_8()).unwrap();
+    }
+
+    #[test]
+    fn validation_lastprivate() {
+        let src = "program t\nreal a(50), b(50)\ndo k = 1, 50\n  b(k) = k * 1.0\nend do\n!$polaris doall private(T) lastprivate(T)\ndo i = 1, 50\n  t = b(i)\n  a(i) = t\nend do\nprint *, t\nend\n";
+        let p = parse(src);
+        let (seq, _) = run_validated(&p, &MachineConfig::challenge_8()).unwrap();
+        assert!(seq.output[0].contains("5.000000E1"), "{:?}", seq.output);
+    }
+
+    #[test]
+    fn speculative_success_and_failure_costs() {
+        // parallel access pattern (permutation via coprime stride)
+        let ok = "program t\nreal a(128)\ninteger key(128)\ndo k = 1, 128\n  key(k) = mod(k * 77, 128) + 1\nend do\n!$polaris doall speculative(A)\ndo i = 1, 128\n  a(key(i)) = i * 1.0\nend do\nprint *, a(1)\nend\n";
+        let p = parse(ok);
+        let r = run(&p, &MachineConfig::challenge_8()).unwrap();
+        let spec_loop = r.loops.values().find(|s| s.spec_success > 0);
+        assert!(spec_loop.is_some(), "{:?}", r.loops);
+
+        // colliding pattern: speculation fails, loop charged sequential+test
+        let bad = "program t\nreal a(128)\ninteger key(128)\ndo k = 1, 128\n  key(k) = mod(k, 7) + 1\nend do\n!$polaris doall speculative(A)\ndo i = 1, 128\n  a(key(i)) = a(key(i)) + 1.0\nend do\nprint *, a(1)\nend\n";
+        let p2 = parse(bad);
+        let r2 = run(&p2, &MachineConfig::challenge_8()).unwrap();
+        assert!(r2.loops.values().any(|s| s.spec_fail > 0), "{:?}", r2.loops);
+        // failed speculation must cost more than plain serial execution
+        let serial = run_serial(&p2).unwrap();
+        assert!(r2.cycles > serial.cycles);
+        // but values are still correct
+        assert_eq!(r2.output, serial.output);
+    }
+
+    #[test]
+    fn dynamic_scheduling_balances_triangular_loops() {
+        // triangular work: static blocks are imbalanced, dynamic wins
+        let src = "program t\nreal a(400,400)\n!$polaris doall private(J)\ndo i = 1, 400\n  do j = 1, i\n    a(j, i) = 1.0\n  end do\nend do\nend\n";
+        let p = parse(src);
+        let static_r = run(&p, &MachineConfig::challenge_8()).unwrap();
+        let mut cfg = MachineConfig::challenge_8();
+        cfg.schedule = Schedule::Dynamic { chunk: 4 };
+        let dyn_r = run(&p, &cfg).unwrap();
+        assert!(
+            dyn_r.cycles < static_r.cycles,
+            "dynamic {} should beat static {}",
+            dyn_r.cycles,
+            static_r.cycles
+        );
+    }
+
+    #[test]
+    fn codegen_model_changes_cost_only() {
+        let src = "program t\nreal a(5000)\ndo i = 1, 5000\n  a(i) = i * 3.0\nend do\nprint *, a(17)\nend\n";
+        let p = parse(src);
+        let plain = run_serial(&p).unwrap();
+        let cfg = MachineConfig::serial().with_codegen(crate::cost::CodegenModel::aggressive());
+        let agg = run(&p, &cfg).unwrap();
+        assert_eq!(plain.output, agg.output);
+        assert!(agg.cycles < plain.cycles, "straight-line bonus expected");
+        // conditional body: penalty
+        let src2 = "program t\nreal a(5000)\ndo i = 1, 5000\n  if (mod(i, 2) == 0) then\n    a(i) = 1.0\n  else\n    a(i) = 2.0\n  end if\nend do\nprint *, a(17)\nend\n";
+        let p2 = parse(src2);
+        let plain2 = run_serial(&p2).unwrap();
+        let agg2 = run(&p2, &cfg).unwrap();
+        assert!(agg2.cycles > plain2.cycles, "conditional penalty expected");
+    }
+
+    #[test]
+    fn out_of_bounds_is_caught() {
+        let p = parse("program t\nreal a(10)\nk = 11\na(k) = 1.0\nend\n");
+        assert!(matches!(run_serial(&p), Err(MachineError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn integer_semantics() {
+        let p = parse(
+            "program t\ni = 7\nj = 2\nprint *, i/j, mod(i,j), i**3, (-2)**3\nend\n",
+        );
+        let r = run_serial(&p).unwrap();
+        assert_eq!(r.output[0], "3 1 343 -8");
+    }
+}

@@ -1,0 +1,157 @@
+//! Shadow-array simulation for speculative loops inside the machine.
+//!
+//! Mirrors the marking rules of `polaris-runtime`'s LRPD implementation
+//! (the real threaded one); here the marking is performed by the
+//! interpreter while it executes the loop, and the verdict feeds the
+//! cost model: a failed test charges the attempt plus sequential
+//! re-execution (§3.5.3).
+
+const NEVER: u32 = u32::MAX;
+
+/// Per-array shadow state.
+#[derive(Debug, Clone)]
+pub struct ShadowSim {
+    write_epoch: Vec<u32>,
+    read_epoch: Vec<u32>,
+    aw: Vec<bool>,
+    ar: Vec<bool>,
+    np: Vec<bool>,
+    writes: u64,
+    reads_buf: Vec<usize>,
+    /// Number of marking operations performed (for the cost model).
+    pub marks_done: u64,
+}
+
+/// Outcome of the simulated PD test for one array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecVerdict {
+    pub flow_anti: bool,
+    pub output_dep: bool,
+    pub not_privatizable: bool,
+}
+
+impl SpecVerdict {
+    /// Valid as a plain doall.
+    pub fn plain_ok(&self) -> bool {
+        !self.flow_anti && !self.output_dep && !self.not_privatizable
+    }
+}
+
+impl ShadowSim {
+    pub fn new(n: usize) -> ShadowSim {
+        ShadowSim {
+            write_epoch: vec![NEVER; n],
+            read_epoch: vec![NEVER; n],
+            aw: vec![false; n],
+            ar: vec![false; n],
+            np: vec![false; n],
+            writes: 0,
+            reads_buf: Vec::new(),
+            marks_done: 0,
+        }
+    }
+
+    pub fn on_read(&mut self, idx: usize, t: u32) {
+        self.marks_done += 1;
+        if self.write_epoch[idx] == t {
+            return;
+        }
+        if self.read_epoch[idx] != t {
+            self.read_epoch[idx] = t;
+            self.reads_buf.push(idx);
+        }
+    }
+
+    pub fn on_write(&mut self, idx: usize, t: u32) {
+        self.marks_done += 1;
+        if self.write_epoch[idx] != t {
+            self.writes += 1;
+            self.aw[idx] = true;
+            if self.read_epoch[idx] == t {
+                self.np[idx] = true;
+            }
+            self.write_epoch[idx] = t;
+        }
+    }
+
+    pub fn end_iteration(&mut self, t: u32) {
+        for &idx in &self.reads_buf {
+            if self.write_epoch[idx] != t {
+                self.ar[idx] = true;
+            }
+        }
+        self.reads_buf.clear();
+    }
+
+    pub fn verdict(&self) -> SpecVerdict {
+        let marks = self.aw.iter().filter(|b| **b).count() as u64;
+        let flow_anti = self.aw.iter().zip(&self.ar).any(|(w, r)| *w && *r);
+        let not_privatizable = self.aw.iter().zip(&self.np).any(|(w, p)| *w && *p);
+        SpecVerdict { flow_anti, output_dep: self.writes != marks, not_privatizable }
+    }
+
+    pub fn len(&self) -> usize {
+        self.aw.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.aw.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_pattern_passes() {
+        let mut s = ShadowSim::new(8);
+        for t in 0..8u32 {
+            s.on_write(t as usize, t);
+            s.end_iteration(t);
+        }
+        assert!(s.verdict().plain_ok());
+    }
+
+    #[test]
+    fn cross_iteration_read_fails() {
+        let mut s = ShadowSim::new(8);
+        s.on_write(3, 0);
+        s.end_iteration(0);
+        s.on_read(3, 1);
+        s.end_iteration(1);
+        let v = s.verdict();
+        assert!(v.flow_anti);
+        assert!(!v.plain_ok());
+    }
+
+    #[test]
+    fn overwrite_is_output_dep() {
+        let mut s = ShadowSim::new(4);
+        s.on_write(2, 0);
+        s.end_iteration(0);
+        s.on_write(2, 5);
+        s.end_iteration(5);
+        let v = s.verdict();
+        assert!(v.output_dep && !v.flow_anti);
+    }
+
+    #[test]
+    fn write_then_read_same_iteration_ok() {
+        let mut s = ShadowSim::new(4);
+        s.on_write(1, 0);
+        s.on_read(1, 0);
+        s.end_iteration(0);
+        assert!(s.verdict().plain_ok());
+    }
+
+    #[test]
+    fn read_then_write_same_iteration_is_np() {
+        let mut s = ShadowSim::new(4);
+        s.on_read(1, 0);
+        s.on_write(1, 0);
+        s.end_iteration(0);
+        let v = s.verdict();
+        assert!(v.not_privatizable);
+    }
+}

@@ -1,0 +1,214 @@
+//! Run-time values and storage.
+
+use crate::error::MachineError;
+
+/// A scalar run-time value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum V {
+    I(i64),
+    R(f64),
+    B(bool),
+}
+
+impl V {
+    pub fn as_i(self) -> Result<i64, MachineError> {
+        match self {
+            V::I(v) => Ok(v),
+            V::R(v) => Ok(v as i64),
+            V::B(_) => Err(MachineError::Type("logical used as integer".into())),
+        }
+    }
+
+    pub fn as_r(self) -> Result<f64, MachineError> {
+        match self {
+            V::I(v) => Ok(v as f64),
+            V::R(v) => Ok(v),
+            V::B(_) => Err(MachineError::Type("logical used as real".into())),
+        }
+    }
+
+    pub fn as_b(self) -> Result<bool, MachineError> {
+        match self {
+            V::B(v) => Ok(v),
+            _ => Err(MachineError::Type("numeric used as logical".into())),
+        }
+    }
+
+    pub fn is_real(self) -> bool {
+        matches!(self, V::R(_))
+    }
+}
+
+/// A scalar storage slot (typed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    I(i64),
+    R(f64),
+    B(bool),
+}
+
+impl Scalar {
+    pub fn get(self) -> V {
+        match self {
+            Scalar::I(v) => V::I(v),
+            Scalar::R(v) => V::R(v),
+            Scalar::B(v) => V::B(v),
+        }
+    }
+
+    /// Store with Fortran assignment conversion.
+    pub fn set(&mut self, v: V) -> Result<(), MachineError> {
+        match self {
+            Scalar::I(slot) => *slot = v.as_i()?,
+            Scalar::R(slot) => *slot = v.as_r()?,
+            Scalar::B(slot) => *slot = v.as_b()?,
+        }
+        Ok(())
+    }
+}
+
+/// Array element storage (column-major, flattened).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrData {
+    I(Vec<i64>),
+    R(Vec<f64>),
+    B(Vec<bool>),
+}
+
+impl ArrData {
+    pub fn len(&self) -> usize {
+        match self {
+            ArrData::I(v) => v.len(),
+            ArrData::R(v) => v.len(),
+            ArrData::B(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn get(&self, idx: usize) -> V {
+        match self {
+            ArrData::I(v) => V::I(v[idx]),
+            ArrData::R(v) => V::R(v[idx]),
+            ArrData::B(v) => V::B(v[idx]),
+        }
+    }
+
+    pub fn set(&mut self, idx: usize, v: V) -> Result<(), MachineError> {
+        match self {
+            ArrData::I(s) => s[idx] = v.as_i()?,
+            ArrData::R(s) => s[idx] = v.as_r()?,
+            ArrData::B(s) => s[idx] = v.as_b()?,
+        }
+        Ok(())
+    }
+
+    /// Approximate equality for validation (reductions reassociate).
+    pub fn approx_eq(&self, other: &ArrData, tol: f64) -> bool {
+        match (self, other) {
+            (ArrData::I(a), ArrData::I(b)) => a == b,
+            (ArrData::B(a), ArrData::B(b)) => a == b,
+            (ArrData::R(a), ArrData::R(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| {
+                        let scale = x.abs().max(y.abs()).max(1.0);
+                        (x - y).abs() <= tol * scale
+                    })
+            }
+            _ => false,
+        }
+    }
+}
+
+/// An array object: declared lower bounds + per-dimension extents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrObj {
+    pub name: String,
+    pub lows: Vec<i64>,
+    pub extents: Vec<i64>,
+    pub data: ArrData,
+}
+
+impl ArrObj {
+    /// Column-major flatten; bounds-checked.
+    pub fn flatten(&self, subs: &[i64]) -> Result<usize, MachineError> {
+        debug_assert_eq!(subs.len(), self.lows.len());
+        let mut off: i64 = 0;
+        let mut stride: i64 = 1;
+        for ((s, lo), ext) in subs.iter().zip(&self.lows).zip(&self.extents) {
+            let z = s - lo;
+            if z < 0 || z >= *ext {
+                return Err(MachineError::OutOfBounds {
+                    array: self.name.clone(),
+                    index: *s,
+                    len: *ext as usize,
+                });
+            }
+            off += z * stride;
+            stride *= ext;
+        }
+        Ok(off as usize)
+    }
+}
+
+/// Scalar approximate equality for validation.
+pub fn scalar_approx_eq(a: &Scalar, b: &Scalar, tol: f64) -> bool {
+    match (a, b) {
+        (Scalar::R(x), Scalar::R(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= tol * scale
+        }
+        _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_follow_fortran() {
+        assert_eq!(V::R(2.9).as_i().unwrap(), 2); // truncation
+        assert_eq!(V::I(3).as_r().unwrap(), 3.0);
+        assert!(V::I(1).as_b().is_err());
+    }
+
+    #[test]
+    fn column_major_flatten() {
+        let a = ArrObj {
+            name: "A".into(),
+            lows: vec![1, 1],
+            extents: vec![10, 5],
+            data: ArrData::R(vec![0.0; 50]),
+        };
+        assert_eq!(a.flatten(&[1, 1]).unwrap(), 0);
+        assert_eq!(a.flatten(&[2, 1]).unwrap(), 1); // first dim fastest
+        assert_eq!(a.flatten(&[1, 2]).unwrap(), 10);
+        assert!(a.flatten(&[11, 1]).is_err());
+        assert!(a.flatten(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn nonunit_lower_bounds() {
+        let a = ArrObj {
+            name: "A".into(),
+            lows: vec![0],
+            extents: vec![4],
+            data: ArrData::I(vec![0; 4]),
+        };
+        assert_eq!(a.flatten(&[0]).unwrap(), 0);
+        assert_eq!(a.flatten(&[3]).unwrap(), 3);
+        assert!(a.flatten(&[4]).is_err());
+    }
+
+    #[test]
+    fn approx_eq_tolerates_roundoff() {
+        let a = ArrData::R(vec![1.0, 2.0]);
+        let b = ArrData::R(vec![1.0 + 1e-12, 2.0]);
+        assert!(a.approx_eq(&b, 1e-9));
+        let c = ArrData::R(vec![1.1, 2.0]);
+        assert!(!a.approx_eq(&c, 1e-9));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property: the F-Mini interpreter agrees with a direct Rust oracle on
+//! randomly generated straight-line arithmetic and small loop nests.
+
+use polaris_machine::run_serial;
+use proptest::prelude::*;
+
+/// A tiny expression AST mirrored in both worlds.
+#[derive(Debug, Clone)]
+enum E {
+    Int(i64),
+    VarI,
+    VarJ,
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Mod(Box<E>, Box<E>),
+    Max(Box<E>, Box<E>),
+    Abs(Box<E>),
+}
+
+impl E {
+    fn fortran(&self) -> String {
+        match self {
+            E::Int(v) => {
+                if *v < 0 {
+                    format!("({v})")
+                } else {
+                    v.to_string()
+                }
+            }
+            E::VarI => "i".into(),
+            E::VarJ => "j".into(),
+            E::Add(a, b) => format!("({} + {})", a.fortran(), b.fortran()),
+            E::Sub(a, b) => format!("({} - {})", a.fortran(), b.fortran()),
+            E::Mul(a, b) => format!("({} * {})", a.fortran(), b.fortran()),
+            E::Div(a, b) => format!("({} / {})", a.fortran(), b.fortran()),
+            E::Mod(a, b) => format!("mod({}, {})", a.fortran(), b.fortran()),
+            E::Max(a, b) => format!("max({}, {})", a.fortran(), b.fortran()),
+            E::Abs(a) => format!("abs({})", a.fortran()),
+        }
+    }
+
+    /// Fortran semantics: truncating integer division; MOD with the
+    /// sign of the dividend. Division/mod by zero is avoided by mapping
+    /// zero divisors to one (both sides identically).
+    fn eval(&self, i: i64, j: i64) -> i64 {
+        match self {
+            E::Int(v) => *v,
+            E::VarI => i,
+            E::VarJ => j,
+            E::Add(a, b) => a.eval(i, j).wrapping_add(b.eval(i, j)),
+            E::Sub(a, b) => a.eval(i, j).wrapping_sub(b.eval(i, j)),
+            E::Mul(a, b) => a.eval(i, j).wrapping_mul(b.eval(i, j)),
+            E::Div(a, b) => {
+                let d = b.eval(i, j);
+                let d = if d == 0 { 1 } else { d };
+                a.eval(i, j).wrapping_div(d)
+            }
+            E::Mod(a, b) => {
+                let d = b.eval(i, j);
+                let d = if d == 0 { 1 } else { d };
+                a.eval(i, j) % d
+            }
+            E::Max(a, b) => a.eval(i, j).max(b.eval(i, j)),
+            E::Abs(a) => a.eval(i, j).abs(),
+        }
+    }
+
+    /// Guard divisions: rewrite `x / y` as `x / max(1, abs(y))` so both
+    /// worlds share the non-zero-divisor convention.
+    fn guard_divs(self) -> E {
+        match self {
+            E::Div(a, b) => E::Div(
+                Box::new(a.guard_divs()),
+                Box::new(E::Max(
+                    Box::new(E::Int(1)),
+                    Box::new(E::Abs(Box::new(b.guard_divs()))),
+                )),
+            ),
+            E::Mod(a, b) => E::Mod(
+                Box::new(a.guard_divs()),
+                Box::new(E::Max(
+                    Box::new(E::Int(1)),
+                    Box::new(E::Abs(Box::new(b.guard_divs()))),
+                )),
+            ),
+            E::Add(a, b) => E::Add(Box::new(a.guard_divs()), Box::new(b.guard_divs())),
+            E::Sub(a, b) => E::Sub(Box::new(a.guard_divs()), Box::new(b.guard_divs())),
+            E::Mul(a, b) => E::Mul(Box::new(a.guard_divs()), Box::new(b.guard_divs())),
+            E::Max(a, b) => E::Max(Box::new(a.guard_divs()), Box::new(b.guard_divs())),
+            E::Abs(a) => E::Abs(Box::new(a.guard_divs())),
+            leaf => leaf,
+        }
+    }
+}
+
+fn e_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(E::Int),
+        Just(E::VarI),
+        Just(E::VarJ),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mod(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| E::Max(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn interpreter_matches_rust_oracle(raw in e_strategy(), ni in 1i64..6, nj in 1i64..5) {
+        let e = raw.guard_divs();
+        let text = e.fortran();
+        // sum the expression over a small nest and compare totals
+        let src = format!(
+            "program t\ninteger total\ntotal = 0\ndo i = 1, {ni}\n  do j = 1, {nj}\n    total = total + ({text})\n  end do\nend do\nprint *, total\nend\n"
+        );
+        let r = run_serial(&polaris_ir::parse(&src).unwrap())
+            .unwrap_or_else(|err| panic!("machine error {err} on\n{src}"));
+        let mut expect: i64 = 0;
+        for i in 1..=ni {
+            for j in 1..=nj {
+                expect = expect.wrapping_add(e.eval(i, j));
+            }
+        }
+        prop_assert_eq!(r.output[0].clone(), expect.to_string(), "src:\n{}", src);
+    }
+
+    #[test]
+    fn real_arithmetic_matches_oracle(vals in proptest::collection::vec(-100i32..100, 1..20)) {
+        // running sum + product-style updates on f64, matching Rust
+        let n = vals.len();
+        let mut body = String::new();
+        for (k, v) in vals.iter().enumerate() {
+            body.push_str(&format!("  b({}) = {}.0 / 4.0\n", k + 1, v));
+        }
+        let src = format!(
+            "program t\nreal b({n})\nreal s\n{body}s = 0.0\ndo i = 1, {n}\n  s = s + b(i)*b(i) - b(i)*0.5\nend do\nprint *, s\nend\n"
+        );
+        let r = run_serial(&polaris_ir::parse(&src).unwrap()).unwrap();
+        let mut s = 0f64;
+        for v in &vals {
+            let b = *v as f64 / 4.0;
+            s += b * b - b * 0.5;
+        }
+        let got: f64 = r.output[0].parse().unwrap();
+        // PRINT uses 7 significant digits ({:.6E}); compare at that precision
+        prop_assert!((got - s).abs() <= 5e-6 * s.abs().max(1.0), "got {} want {}", got, s);
+    }
+}

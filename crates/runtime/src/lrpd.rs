@@ -1,0 +1,712 @@
+//! The Privatizing-Doall / LRPD test and the speculative executor.
+
+use std::time::{Duration, Instant};
+
+/// How loop bodies touch the shared array under test. The same body
+/// closure runs speculatively (buffered view) and sequentially
+/// (pass-through view), which guarantees both executions perform the
+/// same computation.
+pub trait ArrayView<T> {
+    fn read(&mut self, idx: usize) -> T;
+    fn write(&mut self, idx: usize, value: T);
+
+    /// A *reduction update* `A(idx) = A(idx) + value`. During
+    /// speculative execution the update accumulates into a per-thread
+    /// partial (committed on success); the LRPD test validates that
+    /// reduced elements are touched by reduction updates only. The
+    /// sequential view applies it directly.
+    fn reduce_add(&mut self, idx: usize, value: T);
+}
+
+/// Result of a speculative execution attempt.
+#[derive(Debug, Clone)]
+pub struct SpecOutcome {
+    /// The loop was fully parallel as a plain doall.
+    pub parallel_valid: bool,
+    /// The loop was fully parallel with the array privatized
+    /// (output dependences forgiven, §3.5.2).
+    pub privatized_valid: bool,
+    /// `any(A_w ∧ A_r)` — flow/anti dependence.
+    pub flow_anti: bool,
+    /// `w_A != m_A` — output dependence.
+    pub output_dep: bool,
+    /// `any(A_w ∧ A_np)` — read-before-write in an iteration.
+    pub not_privatizable: bool,
+    /// A reduced element was also read/written outside reduction updates
+    /// (`any(A_x ∧ (A_w ∨ A_r))` in LRPD terms).
+    pub reduction_conflict: bool,
+    /// Elements updated through [`ArrayView::reduce_add`].
+    pub reduced: u64,
+    /// Total first-writes per (element, iteration).
+    pub writes: u64,
+    /// Elements marked in `A_w`.
+    pub marks: u64,
+    /// Whether the buffered values were committed.
+    pub committed: bool,
+    /// Wall-clock of the speculative execution (marking included).
+    pub exec_time: Duration,
+    /// Wall-clock of merge + analysis + commit (the "PD test" overhead,
+    /// `T_pdt` in §3.5.3).
+    pub test_time: Duration,
+}
+
+impl SpecOutcome {
+    /// Did the speculation succeed under the requested mode?
+    pub fn success(&self) -> bool {
+        self.committed
+    }
+}
+
+const NEVER: u32 = u32::MAX;
+
+/// Per-thread shadow state for one array.
+struct ThreadShadow<T> {
+    read_epoch: Vec<u32>,
+    write_epoch: Vec<u32>,
+    aw: Vec<bool>,
+    ar: Vec<bool>,
+    np: Vec<bool>,
+    /// Touched by a reduction update (the LRPD `A_x` shadow).
+    rx: Vec<bool>,
+    values: Vec<T>,
+    /// Per-thread reduction partials.
+    partial: Vec<T>,
+    last_write_iter: Vec<u32>,
+    writes: u64,
+    /// Elements first-read in the current iteration (tentative `A_r`).
+    reads_buf: Vec<usize>,
+}
+
+impl<T: Copy + Default> ThreadShadow<T> {
+    fn new(n: usize) -> ThreadShadow<T> {
+        ThreadShadow {
+            read_epoch: vec![NEVER; n],
+            write_epoch: vec![NEVER; n],
+            aw: vec![false; n],
+            ar: vec![false; n],
+            np: vec![false; n],
+            values: vec![T::default(); n],
+            rx: vec![false; n],
+            partial: vec![T::default(); n],
+            last_write_iter: vec![NEVER; n],
+            writes: 0,
+            reads_buf: Vec::new(),
+        }
+    }
+
+    /// Commit the tentative `A_r` marks of iteration `t`: a read really
+    /// was "never written in this iteration" if no write followed.
+    fn end_iteration(&mut self, t: u32) {
+        for &idx in &self.reads_buf {
+            if self.write_epoch[idx] != t {
+                self.ar[idx] = true;
+            }
+        }
+        self.reads_buf.clear();
+    }
+}
+
+/// The view used during speculative execution: writes are buffered,
+/// reads prefer the iteration's own writes, shadow marks are maintained.
+struct SpecView<'a, T> {
+    original: &'a [T],
+    shadow: &'a mut ThreadShadow<T>,
+    iter: u32,
+}
+
+impl<'a, T: Copy + Default + std::ops::Add<Output = T>> ArrayView<T> for SpecView<'a, T> {
+    fn read(&mut self, idx: usize) -> T {
+        let t = self.iter;
+        if self.shadow.write_epoch[idx] == t {
+            return self.shadow.values[idx];
+        }
+        if self.shadow.read_epoch[idx] != t {
+            self.shadow.read_epoch[idx] = t;
+            self.shadow.reads_buf.push(idx);
+        }
+        self.original[idx]
+    }
+
+    fn write(&mut self, idx: usize, value: T) {
+        let t = self.iter;
+        if self.shadow.write_epoch[idx] != t {
+            // first write of this iteration
+            self.shadow.writes += 1;
+            self.shadow.aw[idx] = true;
+            if self.shadow.read_epoch[idx] == t {
+                self.shadow.np[idx] = true;
+            }
+            self.shadow.write_epoch[idx] = t;
+        }
+        self.shadow.values[idx] = value;
+        self.shadow.last_write_iter[idx] = t;
+    }
+
+    fn reduce_add(&mut self, idx: usize, value: T) {
+        self.shadow.rx[idx] = true;
+        self.shadow.partial[idx] = self.shadow.partial[idx] + value;
+    }
+}
+
+/// Pass-through view for sequential (re-)execution.
+struct DirectView<'a, T> {
+    data: &'a mut [T],
+}
+
+impl<'a, T: Copy + std::ops::Add<Output = T>> ArrayView<T> for DirectView<'a, T> {
+    fn read(&mut self, idx: usize) -> T {
+        self.data[idx]
+    }
+
+    fn write(&mut self, idx: usize, value: T) {
+        self.data[idx] = value;
+    }
+
+    fn reduce_add(&mut self, idx: usize, value: T) {
+        self.data[idx] = self.data[idx] + value;
+    }
+}
+
+/// Execute the loop sequentially (used for re-execution after a failed
+/// speculation, and as the test oracle).
+pub fn run_sequential<T, F>(data: &mut [T], n_iters: usize, body: F)
+where
+    T: Copy + std::ops::Add<Output = T>,
+    F: Fn(usize, &mut dyn ArrayView<T>),
+{
+    let mut view = DirectView { data };
+    for i in 0..n_iters {
+        body(i, &mut view);
+    }
+}
+
+/// Speculatively execute `body` for iterations `0..n_iters` as a doall
+/// over `n_threads` threads, applying the PD test to accesses on `data`.
+///
+/// `privatized` selects the §3.5.2 acceptance rule: with privatization,
+/// output dependences are forgiven (last-value commit resolves them).
+/// Values are committed to `data` only on success; on failure `data` is
+/// untouched and the caller should fall back to [`run_sequential`].
+pub fn speculative_doall<T, F>(
+    data: &mut [T],
+    n_iters: usize,
+    n_threads: usize,
+    privatized: bool,
+    body: F,
+) -> SpecOutcome
+where
+    T: Copy + Default + Send + Sync + std::ops::Add<Output = T>,
+    F: Fn(usize, &mut dyn ArrayView<T>) + Sync,
+{
+    let n = data.len();
+    let n_threads = n_threads.max(1);
+    let t_exec = Instant::now();
+
+    // --- speculative parallel execution with marking -------------------
+    let mut shadows: Vec<ThreadShadow<T>> = Vec::with_capacity(n_threads);
+    {
+        let data_ref: &[T] = data;
+        let body_ref = &body;
+        let results: Vec<ThreadShadow<T>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for tid in 0..n_threads {
+                handles.push(scope.spawn(move |_| {
+                    let mut shadow = ThreadShadow::<T>::new(n);
+                    // block distribution, matching the machine model
+                    let per = n_iters.div_ceil(n_threads);
+                    let lo = tid * per;
+                    let hi = ((tid + 1) * per).min(n_iters);
+                    for it in lo..hi {
+                        let t = it as u32;
+                        {
+                            let mut view =
+                                SpecView { original: data_ref, shadow: &mut shadow, iter: t };
+                            body_ref(it, &mut view);
+                        }
+                        shadow.end_iteration(t);
+                    }
+                    shadow
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("speculative worker panicked");
+        shadows.extend(results);
+    }
+    let exec_time = t_exec.elapsed();
+
+    // --- parallel merge + analysis (the PD test proper) ------------------
+    let t_test = Instant::now();
+    let writes: u64 = shadows.iter().map(|s| s.writes).sum();
+    let mut aw = vec![false; n];
+    let mut rx = vec![false; n];
+    let mut flow_anti = false;
+    let mut not_priv = false;
+    let mut reduction_conflict = false;
+    let mut marks: u64 = 0;
+    let mut reduced: u64 = 0;
+    {
+        // Disjoint element ranges merged concurrently: O(a/p + log p).
+        let chunk = n.div_ceil(n_threads).max(1);
+        let shadows_ref = &shadows;
+        let pieces: Vec<(u64, u64, bool, bool, bool, Vec<bool>, Vec<bool>)> =
+            crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for c in 0..n_threads {
+                let lo = c * chunk;
+                let hi = ((c + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                handles.push(scope.spawn(move |_| {
+                    let mut marks = 0u64;
+                    let mut reduced = 0u64;
+                    let mut fa = false;
+                    let mut np = false;
+                    let mut rc = false;
+                    let mut aw_piece = vec![false; hi - lo];
+                    let mut rx_piece = vec![false; hi - lo];
+                    for idx in lo..hi {
+                        let w = shadows_ref.iter().any(|s| s.aw[idx]);
+                        let r = shadows_ref.iter().any(|s| s.ar[idx]);
+                        let p = shadows_ref.iter().any(|s| s.np[idx]);
+                        let x = shadows_ref.iter().any(|s| s.rx[idx]);
+                        if w {
+                            marks += 1;
+                            aw_piece[idx - lo] = true;
+                            if r {
+                                fa = true;
+                            }
+                            if p {
+                                np = true;
+                            }
+                        }
+                        if x {
+                            reduced += 1;
+                            rx_piece[idx - lo] = true;
+                            if w || r {
+                                rc = true;
+                            }
+                        }
+                    }
+                    (marks, reduced, fa, np, rc, aw_piece, rx_piece)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("merge worker panicked");
+        let mut cursor = 0usize;
+        for (m, red, fa, np, rc, piece, rx_piece) in pieces {
+            marks += m;
+            reduced += red;
+            flow_anti |= fa;
+            not_priv |= np;
+            reduction_conflict |= rc;
+            aw[cursor..cursor + piece.len()].copy_from_slice(&piece);
+            rx[cursor..cursor + rx_piece.len()].copy_from_slice(&rx_piece);
+            cursor += piece.len();
+        }
+    }
+    let output_dep = writes != marks;
+    let parallel_valid = !flow_anti && !not_priv && !output_dep && !reduction_conflict;
+    let privatized_valid = !flow_anti && !not_priv && !reduction_conflict;
+    let success = if privatized { privatized_valid } else { parallel_valid };
+
+    // --- commit ------------------------------------------------------------
+    if success {
+        let chunk = n.div_ceil(n_threads).max(1);
+        let shadows_ref = &shadows;
+        let aw_ref = &aw;
+        let mut data_chunks: Vec<&mut [T]> = data.chunks_mut(chunk).collect();
+        crossbeam::thread::scope(|scope| {
+            for (c, chunk_data) in data_chunks.iter_mut().enumerate() {
+                let lo = c * chunk;
+                let chunk_data: &mut [T] = chunk_data;
+                let rx_ref = &rx;
+                scope.spawn(move |_| {
+                    for (off, slot) in chunk_data.iter_mut().enumerate() {
+                        let idx = lo + off;
+                        if aw_ref[idx] {
+                            // value written by the globally last iteration
+                            let mut best_iter = NEVER;
+                            let mut best_val = None;
+                            for s in shadows_ref {
+                                let it = s.last_write_iter[idx];
+                                if it != NEVER && (best_iter == NEVER || it > best_iter) {
+                                    best_iter = it;
+                                    best_val = Some(s.values[idx]);
+                                }
+                            }
+                            if let Some(v) = best_val {
+                                *slot = v;
+                            }
+                        }
+                        if rx_ref[idx] {
+                            // fold the per-thread reduction partials
+                            let mut acc = *slot;
+                            for s in shadows_ref {
+                                acc = acc + s.partial[idx];
+                            }
+                            *slot = acc;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("commit worker panicked");
+    }
+    let test_time = t_test.elapsed();
+
+    SpecOutcome {
+        parallel_valid,
+        privatized_valid,
+        flow_anti,
+        output_dep,
+        not_privatizable: not_priv,
+        reduction_conflict,
+        reduced,
+        writes,
+        marks,
+        committed: success,
+        exec_time,
+        test_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// fully parallel: every iteration writes its own element
+    #[test]
+    fn disjoint_writes_pass_and_commit() {
+        let mut data = vec![0i64; 64];
+        let out = speculative_doall(&mut data, 64, 4, false, |i, v| {
+            v.write(i, i as i64 * 3);
+        });
+        assert!(out.parallel_valid && out.committed, "{out:?}");
+        assert!(!out.flow_anti && !out.output_dep && !out.not_privatizable);
+        assert_eq!(data[10], 30);
+        assert_eq!(out.writes, 64);
+        assert_eq!(out.marks, 64);
+    }
+
+    #[test]
+    fn flow_dependence_fails_and_preserves_data() {
+        let mut data: Vec<i64> = (0..64).collect();
+        let orig = data.clone();
+        let out = speculative_doall(&mut data, 63, 4, false, |i, v| {
+            let prev = v.read(i);
+            v.write(i + 1, prev + 1);
+        });
+        assert!(!out.parallel_valid, "{out:?}");
+        assert!(out.flow_anti);
+        assert!(!out.committed);
+        assert_eq!(data, orig, "failed speculation must not disturb the array");
+        // sequential re-execution completes the work
+        run_sequential(&mut data, 63, |i, v| {
+            let prev = v.read(i);
+            v.write(i + 1, prev + 1);
+        });
+        assert_eq!(data[63], 63);
+    }
+
+    #[test]
+    fn output_dependence_fails_plain_but_passes_privatized() {
+        // every iteration writes element 0: output deps only
+        let mut data = vec![0i64; 8];
+        let out = speculative_doall(&mut data, 100, 4, false, |_, v| {
+            v.write(0, 7);
+        });
+        assert!(!out.parallel_valid && out.output_dep && !out.flow_anti, "{out:?}");
+        let out2 = speculative_doall(&mut data, 100, 4, true, |i, v| {
+            v.write(0, i as i64);
+        });
+        assert!(out2.privatized_valid && out2.committed, "{out2:?}");
+        // last-value semantics: iteration 99 wins
+        assert_eq!(data[0], 99);
+    }
+
+    #[test]
+    fn write_then_read_same_iteration_is_private() {
+        // classic privatizable temp: each iteration writes A(0..4) then
+        // reads them. Plain doall has output deps; privatized passes.
+        let mut data = vec![0i64; 5];
+        let body = |i: usize, v: &mut dyn ArrayView<i64>| {
+            for k in 0..5 {
+                v.write(k, (i + k) as i64);
+            }
+            let mut s = 0;
+            for k in 0..5 {
+                s += v.read(k);
+            }
+            v.write(0, s);
+        };
+        let out = speculative_doall(&mut data, 16, 4, true, body);
+        assert!(out.privatized_valid && out.committed, "{out:?}");
+        assert!(!out.not_privatizable);
+        // matches sequential
+        let mut seq = vec![0i64; 5];
+        run_sequential(&mut seq, 16, body);
+        assert_eq!(data, seq);
+    }
+
+    #[test]
+    fn read_before_write_not_privatizable() {
+        let mut data = vec![1i64; 8];
+        let out = speculative_doall(&mut data, 8, 4, true, |i, v| {
+            let x = v.read(3); // read first...
+            v.write(3, x + i as i64); // ...then write: A_np
+        });
+        assert!(out.not_privatizable, "{out:?}");
+        assert!(!out.privatized_valid && !out.committed);
+    }
+
+    #[test]
+    fn read_only_array_always_passes() {
+        let mut data: Vec<i64> = (0..32).collect();
+        let out = speculative_doall(&mut data, 32, 4, false, |i, v| {
+            let _ = v.read(i % 32);
+            let _ = v.read((i * 7) % 32);
+        });
+        assert!(out.parallel_valid, "{out:?}");
+        assert_eq!(out.marks, 0);
+        assert_eq!(out.writes, 0);
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread_verdict() {
+        let body = |i: usize, v: &mut dyn ArrayView<i64>| {
+            v.write(i % 10, i as i64);
+        };
+        let mut d1 = vec![0i64; 10];
+        let mut d2 = vec![0i64; 10];
+        let o1 = speculative_doall(&mut d1, 40, 1, true, body);
+        let o2 = speculative_doall(&mut d2, 40, 7, true, body);
+        assert_eq!(o1.privatized_valid, o2.privatized_valid);
+        assert_eq!(o1.writes, o2.writes);
+        assert_eq!(o1.marks, o2.marks);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn indirection_through_permutation_is_parallel() {
+        // A(P(i)) = i with P a permutation — the paper's motivating
+        // "access pattern is a function of the input data" case.
+        let n = 128usize;
+        let perm: Vec<usize> = (0..n).map(|i| (i * 77 + 13) % n).collect();
+        // 77 is coprime with 128: a permutation
+        let mut data = vec![0i64; n];
+        let out = speculative_doall(&mut data, n, 8, false, |i, v| {
+            v.write(perm[i], i as i64);
+        });
+        assert!(out.parallel_valid && out.committed, "{out:?}");
+        for i in 0..n {
+            assert_eq!(data[perm[i]], i as i64);
+        }
+    }
+
+    #[test]
+    fn colliding_indirection_is_caught() {
+        let n = 64usize;
+        let idx: Vec<usize> = (0..n).map(|i| i / 2).collect(); // collisions
+        let mut data = vec![0i64; n];
+        let out = speculative_doall(&mut data, n, 4, false, |i, v| {
+            v.write(idx[i], i as i64);
+        });
+        assert!(out.output_dep, "{out:?}");
+        assert!(!out.parallel_valid);
+    }
+
+    // ---- reduction speculation (the "R" in LRPD) -----------------------
+
+    #[test]
+    fn histogram_reduction_validates_and_commits() {
+        // colliding indices, but every touch is a reduction update:
+        // valid, and the committed totals match sequential execution.
+        let n = 32usize;
+        let iters = 400usize;
+        let key: Vec<usize> = (0..iters).map(|i| (i * 7) % n).collect();
+        let mut data = vec![0f64; n];
+        let body = |i: usize, v: &mut dyn ArrayView<f64>| {
+            v.reduce_add(key[i], (i % 5) as f64 + 0.5);
+        };
+        let out = speculative_doall(&mut data, iters, 4, false, body);
+        assert!(out.parallel_valid && out.committed, "{out:?}");
+        assert!(out.reduced as usize <= n && out.reduced > 0);
+        assert!(!out.reduction_conflict);
+        let mut seq = vec![0f64; n];
+        run_sequential(&mut seq, iters, body);
+        for (a, b) in data.iter().zip(&seq) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mixing_reduction_and_plain_write_fails() {
+        let mut data = vec![0f64; 8];
+        let out = speculative_doall(&mut data, 16, 4, true, |i, v| {
+            v.reduce_add(3, 1.0);
+            if i == 7 {
+                v.write(3, 99.0); // same element written non-reductively
+            }
+        });
+        assert!(out.reduction_conflict, "{out:?}");
+        assert!(!out.committed);
+        assert!(data.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn reading_a_reduced_element_fails() {
+        let mut data = vec![1f64; 8];
+        let out = speculative_doall(&mut data, 16, 4, true, |_, v| {
+            let x = v.read(2);
+            v.reduce_add(2, x * 0.0 + 1.0);
+        });
+        assert!(out.reduction_conflict, "{out:?}");
+        assert!(!out.committed);
+    }
+
+    #[test]
+    fn reductions_coexist_with_disjoint_writes() {
+        let n = 64usize;
+        let mut data = vec![0f64; n];
+        let body = |i: usize, v: &mut dyn ArrayView<f64>| {
+            v.write(i, i as f64); // disjoint plain writes
+            v.reduce_add(0, 1.0); // histogram cell 0... wait: cell 0 is
+                                  // also written by iteration 0 -> conflict
+        };
+        let out = speculative_doall(&mut data, n, 4, false, body);
+        assert!(out.reduction_conflict, "cell 0 both written and reduced: {out:?}");
+        // move the reduction target outside the written range:
+        let mut d2 = vec![0f64; n + 1];
+        let body2 = |i: usize, v: &mut dyn ArrayView<f64>| {
+            v.write(i, i as f64);
+            v.reduce_add(n, 1.0);
+        };
+        let out2 = speculative_doall(&mut d2, n, 4, false, body2);
+        assert!(out2.parallel_valid && out2.committed, "{out2:?}");
+        assert_eq!(d2[n], n as f64);
+        let mut seq = vec![0f64; n + 1];
+        run_sequential(&mut seq, n, body2);
+        assert_eq!(d2, seq);
+    }
+
+    // ---- property: verdicts and values against a brute-force oracle ----
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Read(usize),
+        Write(usize),
+    }
+
+    fn apply_ops(ops: &[Vec<Op>]) -> impl Fn(usize, &mut dyn ArrayView<i64>) + Sync + '_ {
+        move |i: usize, v: &mut dyn ArrayView<i64>| {
+            let mut acc = i as i64;
+            for op in &ops[i] {
+                match op {
+                    Op::Read(idx) => acc = acc.wrapping_add(v.read(*idx)),
+                    Op::Write(idx) => v.write(*idx, acc),
+                }
+            }
+        }
+    }
+
+    /// Oracle: is the loop fully parallel as a plain doall (every
+    /// element touched by a write is touched by exactly one iteration,
+    /// and never read by another)?
+    fn oracle(ops: &[Vec<Op>], n_elems: usize) -> (bool, bool) {
+        let n_iters = ops.len();
+        let mut writers: Vec<Vec<usize>> = vec![Vec::new(); n_elems];
+        let mut cross_readers: Vec<Vec<usize>> = vec![Vec::new(); n_elems];
+        let mut read_before_write: Vec<bool> = vec![false; n_elems];
+        for (it, seq) in ops.iter().enumerate() {
+            let mut written = vec![false; n_elems];
+            let mut read_first = vec![false; n_elems];
+            let mut read_any = vec![false; n_elems];
+            for op in seq {
+                match op {
+                    Op::Read(i) => {
+                        if !written[*i] {
+                            read_first[*i] = true;
+                        }
+                        read_any[*i] = true;
+                    }
+                    Op::Write(i) => written[*i] = true,
+                }
+            }
+            for e in 0..n_elems {
+                if written[e] {
+                    writers[e].push(it);
+                    if read_first[e] {
+                        read_before_write[e] = true;
+                    }
+                }
+                if read_any[e] && !written[e] {
+                    cross_readers[e].push(it);
+                }
+            }
+        }
+        let _ = n_iters;
+        let mut flow_anti = false;
+        let mut output = false;
+        let mut not_priv = false;
+        for e in 0..n_elems {
+            if writers[e].is_empty() {
+                continue;
+            }
+            if !cross_readers[e].is_empty() {
+                flow_anti = true;
+            }
+            if writers[e].len() > 1 {
+                output = true;
+            }
+            if read_before_write[e] {
+                not_priv = true;
+            }
+        }
+        (
+            !flow_anti && !output && !not_priv,
+            !flow_anti && !not_priv,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_verdict_matches_oracle(
+            seed in proptest::collection::vec(
+                proptest::collection::vec((0usize..2, 0usize..6), 0..5),
+                1..10,
+            )
+        ) {
+            let n_elems = 6usize;
+            let ops: Vec<Vec<Op>> = seed
+                .iter()
+                .map(|seq| {
+                    seq.iter()
+                        .map(|(k, i)| if *k == 0 { Op::Read(*i) } else { Op::Write(*i) })
+                        .collect()
+                })
+                .collect();
+            let (want_plain, want_priv) = oracle(&ops, n_elems);
+            let mut d1 = vec![0i64; n_elems];
+            let body = apply_ops(&ops);
+            let out = speculative_doall(&mut d1, ops.len(), 3, false, &body);
+            prop_assert_eq!(out.parallel_valid, want_plain, "plain verdict mismatch {:?}", out);
+            let mut d2 = vec![0i64; n_elems];
+            let out2 = speculative_doall(&mut d2, ops.len(), 3, true, &body);
+            prop_assert_eq!(out2.privatized_valid, want_priv, "priv verdict mismatch {:?}", out2);
+            // When committed, results must equal sequential execution.
+            if out2.committed {
+                let mut seq = vec![0i64; n_elems];
+                run_sequential(&mut seq, ops.len(), &body);
+                prop_assert_eq!(d2, seq);
+            } else {
+                prop_assert_eq!(d2, vec![0i64; n_elems], "failed spec must not mutate");
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The range environment: "symbolic lower and upper bounds for each
+//! variable at each point of the program" (§3.3.1, *range propagation*).
+//!
+//! A [`RangeEnv`] is built by walking a unit's structured control flow:
+//! `PARAMETER` statements contribute exact values, `DO` headers
+//! contribute loop-variable intervals, `IF`/`!$ASSERT` conditions tighten
+//! bounds on their true paths. The *elimination order* records nesting:
+//! variables added later (inner loops) are eliminated first when
+//! computing bounds, so substituted bounds only mention outer variables —
+//! the well-founded order that makes the recursion in [`crate::bounds`]
+//! terminate.
+
+use crate::poly::{Atom, DivPolicy, Poly};
+use crate::range::Range;
+use polaris_ir::expr::{BinOp, Expr};
+use std::collections::BTreeMap;
+
+/// Symbolic variable ranges, ordered for elimination.
+#[derive(Debug, Clone, Default)]
+pub struct RangeEnv {
+    ranges: BTreeMap<String, Range>,
+    /// Elimination priority: eliminate from the back (inner scopes first).
+    order: Vec<String>,
+    /// Ranges for the *values stored in* whole arrays, registered by
+    /// idiom recognizers (e.g. the BDNA compaction idiom proves
+    /// `IND(1:P) ∈ [1, I-1]`). Keyed by array name.
+    array_values: BTreeMap<String, Range>,
+}
+
+impl RangeEnv {
+    pub fn new() -> RangeEnv {
+        RangeEnv::default()
+    }
+
+    /// Set (or refine) the range of a scalar variable.
+    pub fn set(&mut self, var: impl Into<String>, range: Range) {
+        let var = var.into().to_ascii_uppercase();
+        match self.ranges.get(&var) {
+            Some(existing) => {
+                let refined = existing.refine(&range);
+                self.ranges.insert(var, refined);
+            }
+            None => {
+                self.order.push(var.clone());
+                self.ranges.insert(var, range);
+            }
+        }
+    }
+
+    /// Replace a variable's range outright (used when entering a new
+    /// scope for the same name, e.g. a reused loop index).
+    pub fn set_fresh(&mut self, var: impl Into<String>, range: Range) {
+        let var = var.into().to_ascii_uppercase();
+        if !self.ranges.contains_key(&var) {
+            self.order.push(var.clone());
+        }
+        self.ranges.insert(var, range);
+    }
+
+    pub fn get(&self, var: &str) -> Option<&Range> {
+        self.ranges.get(&var.to_ascii_uppercase())
+    }
+
+    /// Remove a variable (leaving a loop's scope).
+    pub fn remove(&mut self, var: &str) {
+        let var = var.to_ascii_uppercase();
+        self.ranges.remove(&var);
+        self.order.retain(|v| v != &var);
+    }
+
+    /// Kill every fact that becomes stale when `var` is reassigned: the
+    /// variable's own range, any range whose bounds mention it, and any
+    /// registered array-value range mentioning it. This is what makes the
+    /// flow-sensitive range propagation of `polaris-core` sound.
+    pub fn invalidate(&mut self, var: &str) {
+        let var = var.to_ascii_uppercase();
+        let stale: Vec<String> = self
+            .ranges
+            .iter()
+            .filter(|(name, r)| {
+                *name == &var
+                    || r.lo.as_ref().map(|p| p.mentions_var(&var)).unwrap_or(false)
+                    || r.hi.as_ref().map(|p| p.mentions_var(&var)).unwrap_or(false)
+            })
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in stale {
+            self.remove(&name);
+        }
+        self.array_values.retain(|name, r| {
+            name != &var
+                && !r.lo.as_ref().map(|p| p.mentions_var(&var)).unwrap_or(false)
+                && !r.hi.as_ref().map(|p| p.mentions_var(&var)).unwrap_or(false)
+        });
+    }
+
+    /// Elimination order, innermost (latest) last.
+    pub fn order(&self) -> &[String] {
+        &self.order
+    }
+
+    /// Register value bounds for the elements of `array`.
+    pub fn set_array_values(&mut self, array: impl Into<String>, range: Range) {
+        self.array_values.insert(array.into().to_ascii_uppercase(), range);
+    }
+
+    /// Assume `lo <= var <= hi` from a `DO var = lo, hi` header with
+    /// positive step (bounds swapped by the caller for negative step).
+    /// Bounds are converted with [`DivPolicy::Opaque`] — loop bounds in
+    /// source text cannot be assumed exact divisions.
+    pub fn assume_loop(&mut self, var: &str, init: &Expr, limit: &Expr) {
+        let lo = Poly::from_expr(init, DivPolicy::Opaque);
+        let hi = Poly::from_expr(limit, DivPolicy::Opaque);
+        self.set_fresh(var, Range::new(lo, hi));
+    }
+
+    /// Assume both the loop-variable range of `DO var = init, limit` *and*
+    /// the fact that the loop body executes (`init <= limit`), which is
+    /// the valid assumption when the analysis target lives inside the
+    /// body. This is what licenses the paper's `n >= 1` reasoning for a
+    /// `DO J = 0, N-1` nest.
+    pub fn assume_nonempty_loop(&mut self, var: &str, init: &Expr, limit: &Expr) {
+        self.assume_loop(var, init, limit);
+        self.assume_cond(&Expr::bin(BinOp::Le, init.clone(), limit.clone()));
+    }
+
+    /// Assume a boolean condition holds (the true edge of an IF or an
+    /// `!$ASSERT`). Conjunctions recurse; relations where one side is a
+    /// bare variable tighten that variable's range; everything else is
+    /// ignored (conservative).
+    pub fn assume_cond(&mut self, cond: &Expr) {
+        match cond {
+            Expr::Bin { op: BinOp::And, lhs, rhs } => {
+                self.assume_cond(lhs);
+                self.assume_cond(rhs);
+            }
+            Expr::Bin { op, lhs, rhs } if op.is_relational() => {
+                self.assume_relation(*op, lhs, rhs);
+            }
+            _ => {}
+        }
+    }
+
+    fn assume_relation(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) {
+        // Normalize to `d >= 0` (or `> 0` / `== 0`) with d = lhs - rhs in
+        // the direction implied by `op`, then solve the (linear,
+        // integer-coefficient) occurrences of each variable in d. This
+        // derives `N >= 1` from `0 <= N - 1`, which is how analyzing a
+        // loop body lets us assume the loop is non-empty.
+        let (l, r) = match (
+            Poly::from_expr(lhs, DivPolicy::Opaque),
+            Poly::from_expr(rhs, DivPolicy::Opaque),
+        ) {
+            (Some(l), Some(r)) => (l, r),
+            _ => return,
+        };
+        let one = Poly::int(1);
+        // Rewrite strict integer inequalities as non-strict ones.
+        let (d, exact) = match op {
+            BinOp::Ge => (l.checked_sub(&r), false),
+            BinOp::Gt => (l.checked_sub(&r).and_then(|d| d.checked_sub(&one)), false),
+            BinOp::Le => (r.checked_sub(&l), false),
+            BinOp::Lt => (r.checked_sub(&l).and_then(|d| d.checked_sub(&one)), false),
+            BinOp::Eq => (l.checked_sub(&r), true),
+            _ => return,
+        };
+        let Some(d) = d else { return };
+        // d >= 0 (and d <= 0 too, when exact). Solve for each variable
+        // that occurs linearly with a constant coefficient.
+        for v in d.vars() {
+            let Some(parts) = d.by_powers_of(&v) else { continue };
+            if parts.len() != 2 {
+                continue;
+            }
+            let Some(c) = parts[1].as_constant() else { continue };
+            if c.is_zero() {
+                continue;
+            }
+            // c*v + rest >= 0  ⇒  v >= -rest/c (c>0)  or  v <= -rest/c (c<0)
+            let Some(inv) = crate::rat::Rat::new(-c.den(), c.num()) else { continue };
+            let Some(bound) = parts[0].checked_scale(inv) else { continue };
+            if bound.mentions_var(&v) {
+                continue;
+            }
+            if exact {
+                self.set(&v, Range::exact(bound));
+            } else if c.signum() > 0 {
+                self.set(&v, Range::at_least(bound));
+            } else {
+                self.set(&v, Range::at_most(bound));
+            }
+        }
+    }
+
+    /// Range of an arbitrary atom: variables use their tracked range;
+    /// `MOD(x, c)` with positive constant `c` is `[0, c-1]`; an array
+    /// reference uses registered whole-array value bounds; anything else
+    /// is unknown.
+    pub fn atom_range(&self, atom: &Atom) -> Range {
+        match atom {
+            Atom::Var(n) => self.get(n).cloned().unwrap_or_default(),
+            Atom::Opaque { expr, .. } => match expr.as_ref() {
+                Expr::Call { name, args } if name == "MOD" && args.len() == 2 => {
+                    match args[1].simplified().as_int() {
+                        Some(c) if c > 0 => Range::consts(0, (c - 1) as i128),
+                        _ => Range::unknown(),
+                    }
+                }
+                Expr::Index { array, .. } => {
+                    self.array_values.get(array).cloned().unwrap_or_default()
+                }
+                _ => Range::unknown(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_assumption_sets_bounds() {
+        let mut env = RangeEnv::new();
+        env.assume_loop("I", &Expr::int(1), &Expr::var("N"));
+        let r = env.get("I").unwrap();
+        assert_eq!(r.lo, Some(Poly::int(1)));
+        assert_eq!(r.hi, Some(Poly::var("N")));
+        assert_eq!(env.order(), &["I".to_string()]);
+    }
+
+    #[test]
+    fn conditions_tighten() {
+        let mut env = RangeEnv::new();
+        // (n >= 1) .and. (n < 100)
+        let cond = Expr::bin(
+            BinOp::And,
+            Expr::bin(BinOp::Ge, Expr::var("N"), Expr::int(1)),
+            Expr::bin(BinOp::Lt, Expr::var("N"), Expr::int(100)),
+        );
+        env.assume_cond(&cond);
+        let r = env.get("N").unwrap();
+        assert_eq!(r.lo, Some(Poly::int(1)));
+        assert_eq!(r.hi, Some(Poly::int(99)));
+    }
+
+    #[test]
+    fn swapped_relation_sides() {
+        let mut env = RangeEnv::new();
+        // 3 <= k   means  k >= 3
+        env.assume_cond(&Expr::bin(BinOp::Le, Expr::int(3), Expr::var("K")));
+        assert_eq!(env.get("K").unwrap().lo, Some(Poly::int(3)));
+    }
+
+    #[test]
+    fn equality_gives_exact_range() {
+        let mut env = RangeEnv::new();
+        env.assume_cond(&Expr::bin(BinOp::Eq, Expr::var("M"), Expr::var("N")));
+        assert_eq!(env.get("M").unwrap().as_exact(), Some(&Poly::var("N")));
+    }
+
+    #[test]
+    fn mod_atom_range() {
+        let env = RangeEnv::new();
+        let atom = Atom::opaque(Expr::call("MOD", vec![Expr::var("X"), Expr::int(8)]));
+        let r = env.atom_range(&atom);
+        assert_eq!(r.const_bounds().unwrap().1, crate::rat::Rat::int(7));
+    }
+
+    #[test]
+    fn array_value_ranges() {
+        let mut env = RangeEnv::new();
+        env.set_array_values("IND", Range::consts(1, 99));
+        let atom = Atom::opaque(Expr::index("IND", vec![Expr::var("L")]));
+        assert_eq!(env.atom_range(&atom), Range::consts(1, 99));
+        // unrelated array unknown
+        let other = Atom::opaque(Expr::index("FOO", vec![Expr::var("L")]));
+        assert!(env.atom_range(&other).is_unknown());
+    }
+
+    #[test]
+    fn remove_pops_order() {
+        let mut env = RangeEnv::new();
+        env.assume_loop("I", &Expr::int(1), &Expr::int(10));
+        env.assume_loop("J", &Expr::int(1), &Expr::var("I"));
+        env.remove("J");
+        assert_eq!(env.order(), &["I".to_string()]);
+        assert!(env.get("J").is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! # polaris-symbolic — the symbolic analysis engine
+//!
+//! Implements the symbolic machinery behind §3.3 of the Polaris paper:
+//!
+//! * exact rational arithmetic ([`rat::Rat`]),
+//! * canonical multivariate polynomials over program variables with
+//!   *opaque atoms* for non-polynomial subexpressions ([`poly::Poly`]),
+//! * closed-form summation over iteration spaces (Faulhaber's formulas,
+//!   [`sum::sum_over`]) — the engine of induction-variable substitution,
+//! * symbolic ranges and **range propagation** ([`range`], [`env`]) —
+//!   "the determination of symbolic lower and upper bounds for each
+//!   variable at each point of the program",
+//! * expression comparison "by computing the sign of the minimum and
+//!   maximum of the difference of the two expressions" and monotonicity
+//!   via forward differences ([`bounds`]).
+//!
+//! ## Exact-division convention
+//!
+//! Closed forms of induction variables contain exact integer divisions
+//! (`(I*(N**2+N)+J**2-J)/2` in the paper's TRFD example — always even, so
+//! the division is exact). [`poly::Poly::from_expr`] therefore offers a
+//! [`poly::DivPolicy::Exact`] mode that folds division by an integer
+//! constant into rational coefficients. This mirrors what Polaris does
+//! when it reasons about its own generated subscripts. Divisions that the
+//! caller cannot vouch for are kept as opaque atoms
+//! ([`poly::DivPolicy::Opaque`]), which keeps general range propagation
+//! conservative.
+
+pub mod bounds;
+pub mod env;
+pub mod poly;
+pub mod range;
+pub mod rat;
+pub mod sum;
+
+pub use bounds::{min_max, prove_ge, prove_gt, prove_le, prove_lt, sign, Sign};
+pub use env::RangeEnv;
+pub use poly::{DivPolicy, Poly};
+pub use range::Range;
+pub use rat::Rat;

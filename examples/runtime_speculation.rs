@@ -1,0 +1,82 @@
+//! §3.5 with real threads: the Privatizing-Doall (LRPD) test from
+//! `polaris-runtime`, applied to loops whose access patterns are a
+//! function of the input data.
+//!
+//! ```sh
+//! cargo run --release --example runtime_speculation
+//! ```
+
+use polaris::runtime::{run_sequential, speculative_doall, ArrayView};
+
+fn main() {
+    let n = 1 << 14;
+    let threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4);
+
+    // Case 1: an input-dependent permutation — fully parallel, but no
+    // compile-time test can know that.
+    let perm: Vec<usize> = (0..n).map(|i| (i * 77 + 13) % n).collect();
+    let mut data = vec![0f64; n];
+    let out = speculative_doall(&mut data, n, threads, false, |i, v| {
+        v.write(perm[i], (i as f64).sqrt());
+    });
+    println!(
+        "permutation scatter: success={} (flow/anti={}, output={}, np={})",
+        out.success(),
+        out.flow_anti,
+        out.output_dep,
+        out.not_privatizable
+    );
+    println!(
+        "  exec {:?}, pd-test {:?}, {} writes / {} marks",
+        out.exec_time, out.test_time, out.writes, out.marks
+    );
+    assert!(out.success());
+
+    // Case 2: colliding indices — the PD test detects the output
+    // dependence, nothing is committed, and we fall back to sequential.
+    let collide: Vec<usize> = (0..n).map(|i| i % (n / 4)).collect();
+    let mut data2 = vec![0f64; n];
+    let out2 = speculative_doall(&mut data2, n, threads, false, |i, v| {
+        v.write(collide[i], i as f64);
+    });
+    println!();
+    println!(
+        "colliding scatter: success={} (output dependence={})",
+        out2.success(),
+        out2.output_dep
+    );
+    assert!(!out2.success());
+    assert!(data2.iter().all(|&x| x == 0.0), "failed speculation must not commit");
+    run_sequential(&mut data2, n, |i, v| {
+        v.write(collide[i], i as f64);
+    });
+    println!("  re-executed sequentially; final element = {}", data2[0]);
+
+    // Case 3: per-iteration scratch usage — not a plain doall (output
+    // dependences on the scratch), but valid when privatized, which the
+    // same test verifies at run time.
+    let mut scratch = vec![0f64; 8];
+    let body = |i: usize, v: &mut dyn ArrayView<f64>| {
+        for k in 0..8 {
+            v.write(k, (i + k) as f64);
+        }
+        let mut acc = 0.0;
+        for k in 0..8 {
+            acc += v.read(k);
+        }
+        v.write(0, acc);
+    };
+    let plain = speculative_doall(&mut scratch, 64, threads, false, body);
+    let mut scratch2 = vec![0f64; 8];
+    let privatized = speculative_doall(&mut scratch2, 64, threads, true, body);
+    println!();
+    println!(
+        "scratch array: plain doall valid={}, privatized valid={}",
+        plain.parallel_valid, privatized.privatized_valid
+    );
+    assert!(!plain.parallel_valid && privatized.privatized_valid);
+    let mut reference = vec![0f64; 8];
+    run_sequential(&mut reference, 64, body);
+    assert_eq!(scratch2, reference, "last-value commit matches sequential");
+    println!("  committed values match sequential execution");
+}

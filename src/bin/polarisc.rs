@@ -1,0 +1,152 @@
+//! `polarisc` — the command-line driver, playing the role of the
+//! original compiler's front door: read F-Mini source, restructure,
+//! print the annotated program, optionally execute it on the simulated
+//! multiprocessor.
+//!
+//! ```text
+//! polarisc [OPTIONS] FILE.f
+//!   --vfa           use the PFA-like baseline pipeline instead of Polaris
+//!   --report        print the per-loop analysis report
+//!   --run           execute on the simulated machine and print speedup
+//!   --procs N       processor count for --run (default 8)
+//!   --validate      run the adversarial validation after --run
+//!   --profile       print the per-loop execution profile after --run
+//!   --quiet         suppress the annotated source
+//! ```
+
+use polaris::{parallelize, MachineConfig, PassOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut file: Option<String> = None;
+    let mut vfa = false;
+    let mut report = false;
+    let mut run = false;
+    let mut validate = false;
+    let mut profile = false;
+    let mut quiet = false;
+    let mut procs = 8usize;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--vfa" => vfa = true,
+            "--report" => report = true,
+            "--run" => run = true,
+            "--validate" => validate = true,
+            "--profile" => profile = true,
+            "--quiet" => quiet = true,
+            "--procs" => {
+                procs = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--procs needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: polarisc [--vfa] [--report] [--run] [--procs N] [--validate] [--quiet] FILE.f");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => file = Some(other.to_string()),
+            other => {
+                eprintln!("unknown option `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("usage: polarisc [--vfa] [--report] [--run] [--procs N] [--validate] [--quiet] FILE.f");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("polarisc: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = if vfa { PassOptions::vfa() } else { PassOptions::polaris() };
+    let out = match parallelize(&source, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("polarisc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !quiet {
+        print!("{}", out.annotated_source);
+    }
+    if report {
+        eprintln!();
+        eprintln!(
+            "pipeline: {} call sites inlined, {} inductions removed, {} reductions flagged",
+            out.report.inline.call_sites_expanded,
+            out.report.induction.additive_removed + out.report.induction.multiplicative_removed,
+            out.report.reductions_flagged
+        );
+        for l in &out.report.loops {
+            let verdict = if l.parallel {
+                "PARALLEL".to_string()
+            } else if l.speculative {
+                "SPECULATIVE".to_string()
+            } else {
+                format!("serial ({})", l.serial_reason.as_deref().unwrap_or("?"))
+            };
+            let mut extra = String::new();
+            if !l.private.is_empty() {
+                extra.push_str(&format!(" private={:?}", l.private));
+            }
+            if !l.reductions.is_empty() {
+                extra.push_str(&format!(" reductions={:?}", l.reductions));
+            }
+            eprintln!("  {:<24} {verdict}{extra}", l.label);
+        }
+    }
+    if run {
+        let original = polaris_ir::parse(&source).expect("already parsed once");
+        let serial = match polaris_machine::run_serial(&original) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("polarisc: serial execution failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cfg = MachineConfig::challenge_8().with_procs(procs);
+        let parallel = match polaris_machine::run(&out.program, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("polarisc: parallel execution failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!();
+        for line in &parallel.output {
+            println!("{line}");
+        }
+        eprintln!(
+            "serial {:.3}s  parallel({procs} procs) {:.3}s  speedup {:.2}x",
+            serial.seconds(),
+            parallel.seconds(),
+            serial.cycles as f64 / parallel.cycles as f64
+        );
+        if profile {
+            eprintln!();
+            eprint!("{}", parallel.profile());
+        }
+        if serial.output != parallel.output {
+            eprintln!("polarisc: OUTPUT MISMATCH between serial and parallel runs!");
+            return ExitCode::FAILURE;
+        }
+        if validate {
+            match polaris_machine::run_validated(&out.program, &cfg) {
+                Ok(_) => eprintln!("validation: adversarial execution matches sequential"),
+                Err(e) => {
+                    eprintln!("validation FAILED: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,159 @@
+//! End-to-end integration across all crates: source → pipeline →
+//! simulated machine → adversarial validation, including the inliner
+//! path with multi-unit programs.
+
+use polaris::{parallelize, parallelize_and_run, MachineConfig, PassOptions};
+
+#[test]
+fn multi_unit_program_inlines_and_parallelizes() {
+    let src = "
+      program main
+      integer n
+      parameter (n = 4000)
+      real grid(n), rhs(n)
+      real nrm
+      call setup(grid, rhs, n)
+      call smooth(grid, rhs, n)
+      nrm = vnorm(grid, n)
+      print *, 'norm', nrm
+      end
+
+      subroutine setup(g, r, n)
+      integer n
+      real g(n), r(n)
+      do i = 1, n
+        g(i) = 0.0
+        r(i) = 1.0/i
+      end do
+      end
+
+      subroutine smooth(g, r, n)
+      integer n
+      real g(n), r(n)
+      real t
+      do i = 2, n - 1
+        t = r(i)*0.5
+        g(i) = t + r(i - 1)*0.25 + r(i + 1)*0.25
+      end do
+      end
+
+      real function vnorm(g, n)
+      integer n
+      real g(n)
+      vnorm = g(2)*g(2)
+      return
+      end
+";
+    let (serial, parallel, out) =
+        parallelize_and_run(src, &PassOptions::polaris(), &MachineConfig::challenge_8()).unwrap();
+    assert_eq!(out.report.inline.call_sites_expanded, 2);
+    assert_eq!(out.report.inline.function_calls_expanded, 1);
+    assert!(out.report.parallel_loops() >= 2, "{:#?}", out.report.loops);
+    assert_eq!(serial.output, parallel.output);
+    assert!(parallel.cycles < serial.cycles);
+    polaris::machine::run_validated(&out.program, &MachineConfig::challenge_8()).unwrap();
+}
+
+#[test]
+fn annotated_output_is_reanalyzable_fixpoint() {
+    // print → parse → analyze must reach the same verdicts: the
+    // unparser/parser round-trip preserves the analysis-relevant facts.
+    for name in ["TRFD", "OCEAN", "BDNA", "MDG", "SWIM"] {
+        let b = polaris::benchmarks::by_name(name).unwrap();
+        let first = parallelize(b.source, &PassOptions::polaris()).unwrap();
+        let second = parallelize(&first.annotated_source, &PassOptions::polaris()).unwrap();
+        assert_eq!(
+            first.report.parallel_loops(),
+            second.report.parallel_loops(),
+            "{name}: verdict drift after round-trip"
+        );
+        assert_eq!(
+            first.report.speculative_loops(),
+            second.report.speculative_loops(),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn speculative_program_runs_correctly_under_both_outcomes() {
+    // one invocation succeeds, one fails: results must match serial in
+    // both cases (commit vs rollback+reexec are both exercised).
+    let src = "
+      program twoway
+      integer n
+      parameter (n = 512)
+      real h(n), g(n)
+      integer key(n)
+      do i = 1, n
+        g(i) = i*0.25
+      end do
+      do inv = 1, 2
+        do i = 1, n
+          if (inv .eq. 1) then
+            key(i) = mod(i*77, n) + 1
+          else
+            key(i) = mod(i, n/4) + 1
+          end if
+        end do
+        do i = 1, n
+          h(key(i)) = g(i) + inv*10.0
+        end do
+      end do
+      print *, h(1), h(n/4)
+      end
+";
+    let (serial, parallel, out) =
+        parallelize_and_run(src, &PassOptions::polaris(), &MachineConfig::challenge_8()).unwrap();
+    assert_eq!(out.report.speculative_loops(), 1, "{:#?}", out.report.loops);
+    assert_eq!(serial.output, parallel.output);
+    let spec_stats: Vec<_> = parallel
+        .loops
+        .values()
+        .filter(|s| s.spec_success + s.spec_fail > 0)
+        .collect();
+    assert_eq!(spec_stats.len(), 1);
+    assert_eq!(spec_stats[0].spec_success, 1);
+    assert_eq!(spec_stats[0].spec_fail, 1);
+}
+
+#[test]
+fn vfa_and_polaris_agree_on_results_everywhere() {
+    // Different parallelization, same semantics: both pipelines'
+    // outputs and the original program agree on every benchmark.
+    for b in polaris::benchmarks::all() {
+        let serial = polaris::machine::run_serial(&b.program()).unwrap();
+        for opts in [PassOptions::polaris(), PassOptions::vfa()] {
+            let out = parallelize(b.source, &opts).unwrap();
+            let r = polaris::machine::run(&out.program, &MachineConfig::challenge_8()).unwrap();
+            assert_eq!(serial.output, r.output, "{}", b.name);
+        }
+    }
+}
+
+#[test]
+fn cli_binary_smoke() {
+    use std::io::Write;
+    let dir = std::env::temp_dir().join("polarisc_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("demo.f");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(
+        f,
+        "program demo\nreal a(5000)\ndo i = 1, 5000\n  a(i) = i*2.0\nend do\nprint *, a(42)\nend"
+    )
+    .unwrap();
+    drop(f);
+    let exe = env!("CARGO_BIN_EXE_polarisc");
+    let out = std::process::Command::new(exe)
+        .args(["--report", "--run", "--validate", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("!$POLARIS DOALL"), "{stdout}");
+    assert!(stderr.contains("PARALLEL"), "{stderr}");
+    assert!(stderr.contains("speedup"), "{stderr}");
+    assert!(stderr.contains("validation"), "{stderr}");
+}

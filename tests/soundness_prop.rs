@@ -1,0 +1,183 @@
+//! Compiler soundness property test: random loop nests are compiled
+//! with the full Polaris pipeline and then executed **adversarially**
+//! (parallel loops in reverse order with real privatization/reduction
+//! semantics and poisoned private storage). If the dependence driver
+//! ever claims parallelism it cannot justify, the final memory state
+//! diverges from sequential execution and this test fails.
+//!
+//! The generator mixes the idioms the passes actually target: affine
+//! array writes with offsets, read-modify chains, scalar temporaries,
+//! sum reductions, conditional writes, and inner loops.
+
+use proptest::prelude::*;
+
+/// One statement template for the loop body.
+#[derive(Debug, Clone)]
+enum BodyStmt {
+    /// `A(a*i + c) = <expr>`
+    Write { a: i64, c: i64 },
+    /// `A(a*i + c) = A(a2*i + c2) + 1.0` — potential cross-iteration flow
+    ReadWrite { a: i64, c: i64, a2: i64, c2: i64 },
+    /// `T = B(i) * 2.0 ; A(a*i + c) = T` — privatizable temp
+    Temp { a: i64, c: i64 },
+    /// `S = S + A(a*i + c)` — sum reduction
+    Reduce { a: i64, c: i64 },
+    /// `IF (B(i) > 0.5) A(a*i + c) = B(i)` — conditional write
+    CondWrite { a: i64, c: i64 },
+    /// inner loop `DO j = 1, 4: A(a*i + j + c) = B(j)` — region write
+    Inner { a: i64, c: i64 },
+}
+
+const N_ITERS: i64 = 16;
+const ASIZE: i64 = 120;
+
+impl BodyStmt {
+    fn emit(&self, out: &mut String) {
+        match self {
+            BodyStmt::Write { a, c } => {
+                out.push_str(&format!("  a({a}*i + {c}) = b(i) + 1.0\n"));
+            }
+            BodyStmt::ReadWrite { a, c, a2, c2 } => {
+                out.push_str(&format!("  a({a}*i + {c}) = a({a2}*i + {c2}) + 1.0\n"));
+            }
+            BodyStmt::Temp { a, c } => {
+                out.push_str("  t = b(i) * 2.0\n");
+                out.push_str(&format!("  a({a}*i + {c}) = t\n"));
+            }
+            BodyStmt::Reduce { a, c } => {
+                out.push_str(&format!("  s = s + a({a}*i + {c})\n"));
+            }
+            BodyStmt::CondWrite { a, c } => {
+                out.push_str(&format!("  if (b(i) > 0.5) a({a}*i + {c}) = b(i)\n"));
+            }
+            BodyStmt::Inner { a, c } => {
+                out.push_str("  do j = 1, 4\n");
+                out.push_str(&format!("    a({a}*i + j + {c}) = b(j)\n"));
+                out.push_str("  end do\n");
+            }
+        }
+    }
+}
+
+/// Keep every generated subscript inside [1, ASIZE] for i in [1, N_ITERS]
+/// (and j in [1,4]).
+fn clamp(a: i64, c: i64, extra: i64) -> (i64, i64) {
+    let a = a.rem_euclid(4); // 0..3
+    let max_wo_c = a * N_ITERS + extra;
+    let c = 1 + c.rem_euclid((ASIZE - max_wo_c).max(1));
+    (a, c)
+}
+
+fn stmt_strategy() -> impl Strategy<Value = BodyStmt> {
+    let coef = -8i64..8;
+    let off = 0i64..128;
+    prop_oneof![
+        (coef.clone(), off.clone()).prop_map(|(a, c)| {
+            let (a, c) = clamp(a, c, 0);
+            BodyStmt::Write { a, c }
+        }),
+        (coef.clone(), off.clone(), coef.clone(), off.clone()).prop_map(|(a, c, a2, c2)| {
+            let (a, c) = clamp(a, c, 0);
+            let (a2, c2) = clamp(a2, c2, 0);
+            BodyStmt::ReadWrite { a, c, a2, c2 }
+        }),
+        (coef.clone(), off.clone()).prop_map(|(a, c)| {
+            let (a, c) = clamp(a, c, 0);
+            BodyStmt::Temp { a, c }
+        }),
+        (coef.clone(), off.clone()).prop_map(|(a, c)| {
+            let (a, c) = clamp(a, c, 0);
+            BodyStmt::Reduce { a, c }
+        }),
+        (coef.clone(), off.clone()).prop_map(|(a, c)| {
+            let (a, c) = clamp(a, c, 0);
+            BodyStmt::CondWrite { a, c }
+        }),
+        (coef, off).prop_map(|(a, c)| {
+            let (a, c) = clamp(a, c, 4);
+            BodyStmt::Inner { a, c }
+        }),
+    ]
+}
+
+fn program_from(stmts: &[BodyStmt]) -> String {
+    let mut src = String::new();
+    src.push_str("program fuzz\n");
+    src.push_str(&format!("real a({ASIZE}), b({ASIZE})\n"));
+    src.push_str("real s, t\n");
+    src.push_str(&format!("do k = 1, {ASIZE}\n  a(k) = k*0.125\n  b(k) = 1.0/k\nend do\n"));
+    src.push_str("s = 0.0\n");
+    src.push_str(&format!("do i = 1, {N_ITERS}\n"));
+    for s in stmts {
+        s.emit(&mut src);
+    }
+    src.push_str("end do\n");
+    // make everything observable
+    src.push_str(&format!("print *, s, a(1), a({}), a({ASIZE})\n", ASIZE / 2));
+    src.push_str("w = 0.0\n");
+    src.push_str(&format!("do k = 1, {ASIZE}\n  w = w + a(k)\nend do\n"));
+    src.push_str("print *, 'sum', w\nend\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn compiled_programs_survive_adversarial_validation(
+        stmts in proptest::collection::vec(stmt_strategy(), 1..5)
+    ) {
+        let src = program_from(&stmts);
+        let out = polaris::parallelize(&src, &polaris::PassOptions::polaris())
+            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        let cfg = polaris::MachineConfig::challenge_8();
+        // adversarial validation: reverse-order parallel execution must
+        // match sequential semantics exactly
+        polaris::machine::run_validated(&out.program, &cfg).unwrap_or_else(|e| {
+            panic!("UNSOUND parallelization: {e}\n--- source ---\n{src}\n--- annotated ---\n{}",
+                   out.annotated_source)
+        });
+    }
+
+    #[test]
+    fn vfa_is_also_sound(
+        stmts in proptest::collection::vec(stmt_strategy(), 1..5)
+    ) {
+        let src = program_from(&stmts);
+        let out = polaris::parallelize(&src, &polaris::PassOptions::vfa())
+            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        polaris::machine::run_validated(&out.program, &polaris::MachineConfig::challenge_8())
+            .unwrap_or_else(|e| {
+                panic!("UNSOUND baseline parallelization: {e}\n{src}\n{}", out.annotated_source)
+            });
+    }
+}
+
+/// Deterministic regression shapes that once looked risky.
+#[test]
+fn known_tricky_shapes_are_sound() {
+    let cases = [
+        // same-cell accumulation without reduction form
+        "do i = 1, 16\n  a(5) = a(5) + b(i)\nend do",
+        // write overlapping its own read range through an inner loop
+        "do i = 1, 16\n  do j = 1, 4\n    a(i + j) = a(i) + 1.0\n  end do\nend do",
+        // coupled strides
+        "do i = 1, 16\n  a(2*i) = b(i)\n  a(2*i + 1) = a(2*i) * 0.5\nend do",
+        // reduction mixed with an independent write
+        "do i = 1, 16\n  s = s + b(i)\n  a(i) = s*0.0 + b(i)\nend do",
+        // temp used before definition on one path only
+        "do i = 1, 16\n  if (b(i) > 0.2) t = b(i)\n  a(i) = t\nend do",
+        // zero-coefficient writes (every iteration hits the same cell)
+        "do i = 1, 16\n  a(7) = b(i)\nend do",
+    ];
+    for body in cases {
+        let src = format!(
+            "program t\nreal a(64), b(64)\nreal s, t\nt = 0.5\ns = 0.0\n\
+             do k = 1, 64\n  a(k) = k*0.5\n  b(k) = 1.0/k\nend do\n{body}\n\
+             print *, s, a(1), a(7), a(33)\nend\n"
+        );
+        let out = polaris::parallelize(&src, &polaris::PassOptions::polaris()).unwrap();
+        polaris::machine::run_validated(&out.program, &polaris::MachineConfig::challenge_8())
+            .unwrap_or_else(|e| panic!("{e}\n{src}\n{}", out.annotated_source));
+    }
+}
