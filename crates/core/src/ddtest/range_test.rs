@@ -166,6 +166,7 @@ fn dim_independent(
 ///
 /// Returns `true` iff the pair provably carries **no** dependence at the
 /// tested loop.
+#[allow(clippy::too_many_arguments)]
 pub fn no_carried_dependence(
     f: &RefSpec,
     g: &RefSpec,

@@ -453,6 +453,7 @@ fn access_refspec(a: &Access) -> Option<range_test::RefSpec> {
     Some(range_test::RefSpec { subs, inner })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn pair_independent(
     d: &DoLoop,
     f: &Access,

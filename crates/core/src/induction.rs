@@ -309,13 +309,24 @@ impl<'a> Pass<'a> {
                     continue 'vars;
                 }
                 // The increment must be a polynomial whose symbols are
-                // loop indices, other assigned scalars (candidate deps),
-                // or loop invariants.
+                // this loop's index, other assigned scalars (candidate
+                // deps), or loop invariants. An *inner* loop's index is
+                // none of these: its value varies across one iteration of
+                // `d`, so an increment mentioning it has no single
+                // per-iteration value here — such increments are only
+                // sound to substitute when the inner loop itself is
+                // processed (innermost-first, cascading outward).
                 let Some(p) = Poly::from_expr(&inc.expr, DivPolicy::Exact) else {
                     continue 'vars;
                 };
                 for v in p.vars() {
-                    if assigned.contains(&v) && !do_vars.contains(&v) && v != d.var {
+                    if v == d.var {
+                        continue;
+                    }
+                    if do_vars.contains(&v) {
+                        continue 'vars;
+                    }
+                    if assigned.contains(&v) {
                         deps.push(v);
                     }
                 }
@@ -847,11 +858,8 @@ mod tests {
 
     #[test]
     fn conditional_increment_rejected() {
-        let src = "program t\ninteger k\nk = 0\ndo i = 1, n\n  if (i > 3) then\n    k = k + 1\n  end if\n  a(i) = k\nend do\nend\n";
-        let src = &src.replace("a(i)", "a(i)"); // keep shape
-        let full = format!("program t\nreal a(100)\ninteger k\nk = 0\ndo i = 1, n\n  if (i > 3) then\n    k = k + 1\n  end if\n  a(i) = k\nend do\nend\n");
-        let _ = src;
-        let (p, stats) = transform(&full);
+        let full = "program t\nreal a(100)\ninteger k\nk = 0\ndo i = 1, n\n  if (i > 3) then\n    k = k + 1\n  end if\n  a(i) = k\nend do\nend\n";
+        let (p, stats) = transform(full);
         assert_eq!(stats.additive_removed, 0);
         let out = body_text(&p);
         assert!(out.contains("K = K+1"), "{out}");

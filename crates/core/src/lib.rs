@@ -32,6 +32,7 @@ pub mod gsa;
 pub mod induction;
 pub mod inline;
 pub mod normalize;
+pub mod pipeline;
 pub mod privatize;
 pub mod rangeprop;
 pub mod reduction;
@@ -39,6 +40,7 @@ pub mod reduction;
 pub use ddtest::DdStats;
 pub use deps::LoopReport;
 pub use induction::InductionMode;
+pub use pipeline::{FaultPlan, Pipeline, StageOutcome, StageReport, STAGE_NAMES};
 
 use polaris_ir::error::Result;
 use polaris_ir::Program;
@@ -72,6 +74,9 @@ pub struct PassOptions {
     pub array_privatization: bool,
     /// §3.5 mark unanalyzable loops for run-time (LRPD) testing.
     pub speculation: bool,
+    /// Deterministic fault injection for exercising the pipeline's
+    /// rollback paths (empty in both presets).
+    pub faults: FaultPlan,
 }
 
 impl PassOptions {
@@ -91,6 +96,7 @@ impl PassOptions {
             scalar_privatization: true,
             array_privatization: true,
             speculation: true,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -112,7 +118,14 @@ impl PassOptions {
             scalar_privatization: true,
             array_privatization: false,
             speculation: false,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// This configuration with the given fault plan (testing convenience).
+    pub fn with_faults(mut self, faults: FaultPlan) -> PassOptions {
+        self.faults = faults;
+        self
     }
 }
 
@@ -128,6 +141,8 @@ pub struct CompileReport {
     pub loops: Vec<LoopReport>,
     /// (banerjee direction vectors, gcd tests, range probes, permutations)
     pub dd_counters: (u64, u64, u64, u64),
+    /// Per-stage outcomes from the fault-isolating pipeline, in run order.
+    pub stages: Vec<StageReport>,
 }
 
 impl CompileReport {
@@ -142,58 +157,35 @@ impl CompileReport {
     pub fn loop_report(&self, frag: &str) -> Option<&LoopReport> {
         self.loops.iter().find(|l| l.label.contains(frag))
     }
+
+    /// The stage entry with the given [`STAGE_NAMES`] name.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// True when at least one stage was rolled back: the compile finished,
+    /// but with reduced transformation/analysis coverage.
+    pub fn degraded(&self) -> bool {
+        self.stages.iter().any(|s| s.rolled_back())
+    }
+
+    /// Names of stages that were rolled back, in run order.
+    pub fn rolled_back_stages(&self) -> Vec<&'static str> {
+        self.stages.iter().filter(|s| s.rolled_back()).map(|s| s.name).collect()
+    }
 }
 
 /// Run the full restructuring pipeline in place.
 ///
-/// The program is validated before and after; a transformation that
-/// produced ill-formed IR is a bug, reported as an error rather than
-/// silently compiled (the `p_assert` discipline).
+/// The input program is validated up front (an invalid input is a hard
+/// error), then every pass runs as an isolated stage of the
+/// fault-isolating [`Pipeline`]: snapshotted, `catch_unwind`-guarded, and
+/// re-validated at each boundary, with rollback on any misbehaviour — the
+/// `p_assert` discipline. A rolled-back stage degrades the compile (see
+/// [`CompileReport::degraded`]) but never aborts it and never lets
+/// ill-formed IR escape.
 pub fn compile(program: &mut Program, opts: &PassOptions) -> Result<CompileReport> {
-    polaris_ir::validate::validate_program(program)?;
-    let mut report = CompileReport::default();
-
-    if opts.inline {
-        report.inline = inline::inline_all(program)?;
-    }
-    if opts.constprop {
-        report.constprop = constprop::run(program);
-    }
-    if opts.normalize {
-        report.normalize = normalize::run(program);
-    }
-    report.induction = induction::run_with(program, opts.induction);
-    if opts.constprop {
-        // fold induction entry values (K = 0) into the closed forms
-        let more = constprop::run(program);
-        report.constprop.parameters_folded += more.parameters_folded;
-        report.constprop.constants_propagated += more.constants_propagated;
-    }
-    if opts.dce {
-        report.dce = dce::run(program);
-    }
-    if opts.reductions {
-        report.reductions_flagged = reduction::flag_reductions(program);
-    }
-
-    let stats = DdStats::new();
-    let mut loops = Vec::new();
-    if opts.inline {
-        // Analyze only the call-free main unit; callees survive for
-        // selective code generation but are not reported.
-        if let Some(main) = program.main_mut() {
-            loops.extend(deps::analyze_unit(main, opts, &stats));
-        }
-    } else {
-        for unit in &mut program.units {
-            loops.extend(deps::analyze_unit(unit, opts, &stats));
-        }
-    }
-    report.loops = loops;
-    report.dd_counters = stats.snapshot();
-
-    polaris_ir::validate::validate_program(program)?;
-    Ok(report)
+    Pipeline::standard(opts).run(program, opts)
 }
 
 /// Convenience: parse, compile with the Polaris configuration, return

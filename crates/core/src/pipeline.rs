@@ -1,0 +1,497 @@
+//! Fault-isolating pass pipeline (the paper's `p_assert` discipline made
+//! operational).
+//!
+//! Polaris ran internal consistency checks after every transformation so a
+//! buggy pass was caught at the point of damage instead of being silently
+//! compiled. This module goes one step further: each pass runs as a named
+//! [`Stage`] under [`std::panic::catch_unwind`] with a snapshot of the
+//! [`Program`] (and of the in-progress [`CompileReport`]) taken first, and
+//! the IR is re-validated at every stage boundary. A stage that panics,
+//! returns an error, or leaves ill-formed IR is *rolled back*: the snapshot
+//! is restored, a structured diagnostic is recorded in the report, and the
+//! remaining passes still run. The worst case is a degraded compile — fewer
+//! loops parallelized — never an ill-formed program and never an aborted
+//! compiler.
+//!
+//! [`FaultPlan`] provides deterministic fault injection ("panic in pass X
+//! on unit Y") so every rollback path is testable; the benchmark fault
+//! sweep and the differential fuzz harness drive it.
+
+use crate::{constprop, dce, deps, induction, inline, normalize, reduction};
+use crate::{CompileReport, DdStats, PassOptions};
+use polaris_ir::error::Result;
+use polaris_ir::Program;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Names of the standard pipeline stages, in execution order. These are the
+/// strings [`FaultPlan`] and `polarisc --diag` refer to.
+pub const STAGE_NAMES: [&str; 8] = [
+    "inline",
+    "constprop",
+    "normalize",
+    "induction",
+    "constprop-fold",
+    "dce",
+    "reduction",
+    "analyze",
+];
+
+/// What happened to one stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageOutcome {
+    /// Ran to completion and the result validated.
+    Ok,
+    /// Disabled by the active [`PassOptions`]; the program was not touched.
+    Skipped,
+    /// Panicked, errored, or produced ill-formed IR; the pre-stage snapshot
+    /// was restored. The payload says why.
+    RolledBack { reason: String },
+}
+
+/// Per-stage entry in the [`CompileReport`].
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    pub name: &'static str,
+    pub outcome: StageOutcome,
+    pub duration: Duration,
+    /// Statement-count change across the stage (0 for skipped/rolled-back).
+    pub ir_delta: i64,
+}
+
+impl StageReport {
+    pub fn rolled_back(&self) -> bool {
+        matches!(self.outcome, StageOutcome::RolledBack { .. })
+    }
+
+    pub fn ran_ok(&self) -> bool {
+        self.outcome == StageOutcome::Ok
+    }
+}
+
+/// Deterministic fault injection: make named stages panic, optionally only
+/// when a given program unit is present. Wired through [`PassOptions`] so
+/// rollback paths can be exercised from any entry point.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    points: Vec<FaultPoint>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// Stage name, one of [`STAGE_NAMES`].
+    pub stage: String,
+    /// Restrict the fault to programs containing this unit (case-insensitive).
+    pub unit: Option<String>,
+}
+
+impl FaultPlan {
+    /// No injected faults (the default).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Panic when `stage` runs.
+    pub fn panic_in(stage: impl Into<String>) -> FaultPlan {
+        FaultPlan { points: vec![FaultPoint { stage: stage.into(), unit: None }] }
+    }
+
+    /// Panic when `stage` runs on a program containing `unit`.
+    pub fn panic_in_unit(stage: impl Into<String>, unit: impl Into<String>) -> FaultPlan {
+        FaultPlan { points: vec![FaultPoint { stage: stage.into(), unit: Some(unit.into()) }] }
+    }
+
+    /// Add a further fault point.
+    pub fn and_panic_in(mut self, stage: impl Into<String>) -> FaultPlan {
+        self.points.push(FaultPoint { stage: stage.into(), unit: None });
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The fault point armed for this stage on this program, if any.
+    pub fn armed_for(&self, stage: &str, program: &Program) -> Option<&FaultPoint> {
+        self.points.iter().find(|p| {
+            p.stage == stage
+                && p.unit.as_deref().is_none_or(|u| {
+                    program.units.iter().any(|pu| pu.name.eq_ignore_ascii_case(u))
+                })
+        })
+    }
+
+    /// Panic if a fault point is armed for this stage (called inside the
+    /// pipeline's `catch_unwind` region, so the panic becomes a rollback).
+    pub fn fire(&self, stage: &str, program: &Program) {
+        if let Some(point) = self.armed_for(stage, program) {
+            match &point.unit {
+                Some(unit) => panic!("injected fault: stage `{stage}` on unit `{unit}`"),
+                None => panic!("injected fault: stage `{stage}`"),
+            }
+        }
+    }
+}
+
+type StageFn = fn(&mut Program, &PassOptions, &mut CompileReport) -> Result<()>;
+
+struct Stage {
+    name: &'static str,
+    enabled: bool,
+    run: StageFn,
+}
+
+/// The fault-isolating pass driver. See the module docs for the contract.
+pub struct Pipeline {
+    stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// The standard restructuring pipeline, with stages enabled according
+    /// to `opts` (same pass order `compile` has always used).
+    pub fn standard(opts: &PassOptions) -> Pipeline {
+        Pipeline {
+            stages: vec![
+                Stage { name: "inline", enabled: opts.inline, run: stage_inline },
+                Stage { name: "constprop", enabled: opts.constprop, run: stage_constprop },
+                Stage { name: "normalize", enabled: opts.normalize, run: stage_normalize },
+                Stage { name: "induction", enabled: true, run: stage_induction },
+                Stage { name: "constprop-fold", enabled: opts.constprop, run: stage_constprop_fold },
+                Stage { name: "dce", enabled: opts.dce, run: stage_dce },
+                Stage { name: "reduction", enabled: opts.reductions, run: stage_reduction },
+                Stage { name: "analyze", enabled: true, run: stage_analyze },
+            ],
+        }
+    }
+
+    /// Run every stage in place over `program`.
+    ///
+    /// The input must be well-formed — an invalid *input* is the caller's
+    /// bug and reports as a hard error. After that, per-stage failures are
+    /// contained: snapshot, run under `catch_unwind`, validate, and roll
+    /// back on any misbehaviour, then continue with the remaining stages.
+    pub fn run(&self, program: &mut Program, opts: &PassOptions) -> Result<CompileReport> {
+        polaris_ir::validate::validate_program(program)?;
+        let mut report = CompileReport::default();
+
+        for stage in &self.stages {
+            if !stage.enabled {
+                report.stages.push(StageReport {
+                    name: stage.name,
+                    outcome: StageOutcome::Skipped,
+                    duration: Duration::ZERO,
+                    ir_delta: 0,
+                });
+                continue;
+            }
+
+            let program_snapshot = program.clone();
+            let report_snapshot = report.clone();
+            let size_before = ir_size(program);
+            let started = Instant::now();
+
+            let run_result = with_silent_panics(|| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    opts.faults.fire(stage.name, program);
+                    (stage.run)(program, opts, &mut report)
+                }))
+            });
+            let duration = started.elapsed();
+
+            let failure = match run_result {
+                Ok(Ok(())) => polaris_ir::validate::validate_program(program)
+                    .err()
+                    .map(|e| format!("post-stage validation failed: {e}")),
+                Ok(Err(e)) => Some(format!("pass error: {e}")),
+                Err(payload) => Some(format!("panic: {}", panic_message(payload.as_ref()))),
+            };
+
+            match failure {
+                None => {
+                    report.stages.push(StageReport {
+                        name: stage.name,
+                        outcome: StageOutcome::Ok,
+                        duration,
+                        ir_delta: ir_size(program) as i64 - size_before as i64,
+                    });
+                }
+                Some(reason) => {
+                    *program = program_snapshot;
+                    report = report_snapshot;
+                    report.stages.push(StageReport {
+                        name: stage.name,
+                        outcome: StageOutcome::RolledBack { reason },
+                        duration,
+                        ir_delta: 0,
+                    });
+                }
+            }
+        }
+
+        Ok(report)
+    }
+}
+
+thread_local! {
+    static SILENCE_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+static PANIC_HOOK: std::sync::Once = std::sync::Once::new();
+
+/// Run `f` with the default panic hook muted *on this thread only*: a
+/// stage panic is a contained, reported event (it becomes a
+/// `RolledBack` outcome), so the hook's "thread panicked" banner and
+/// backtrace are pure noise. Panics on other threads — including
+/// genuine test failures running concurrently — still print normally,
+/// because the installed hook defers to the previous one unless the
+/// current thread is inside this guard.
+fn with_silent_panics<T>(f: impl FnOnce() -> T) -> T {
+    PANIC_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SILENCE_PANICS.with(|s| s.get()) {
+                prev(info);
+            }
+        }));
+    });
+    SILENCE_PANICS.with(|s| s.set(true));
+    let out = f();
+    SILENCE_PANICS.with(|s| s.set(false));
+    out
+}
+
+/// Total statement count across all units — the size metric behind
+/// [`StageReport::ir_delta`].
+pub fn ir_size(program: &Program) -> usize {
+    let mut n = 0usize;
+    for unit in &program.units {
+        unit.body.walk(&mut |_| n += 1);
+    }
+    n
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn stage_inline(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport) -> Result<()> {
+    report.inline = inline::inline_all(program)?;
+    Ok(())
+}
+
+fn stage_constprop(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport) -> Result<()> {
+    report.constprop = constprop::run(program);
+    Ok(())
+}
+
+fn stage_normalize(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport) -> Result<()> {
+    report.normalize = normalize::run(program);
+    Ok(())
+}
+
+fn stage_induction(program: &mut Program, opts: &PassOptions, report: &mut CompileReport) -> Result<()> {
+    report.induction = induction::run_with(program, opts.induction);
+    Ok(())
+}
+
+fn stage_constprop_fold(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport) -> Result<()> {
+    // fold induction entry values (K = 0) into the closed forms
+    let more = constprop::run(program);
+    report.constprop.parameters_folded += more.parameters_folded;
+    report.constprop.constants_propagated += more.constants_propagated;
+    Ok(())
+}
+
+fn stage_dce(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport) -> Result<()> {
+    report.dce = dce::run(program);
+    Ok(())
+}
+
+fn stage_reduction(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport) -> Result<()> {
+    report.reductions_flagged = reduction::flag_reductions(program);
+    Ok(())
+}
+
+fn stage_analyze(
+    program: &mut Program,
+    opts: &PassOptions,
+    report: &mut CompileReport,
+) -> Result<()> {
+    let stats = DdStats::new();
+    let mut loops = Vec::new();
+    if opts.inline {
+        // Analyze only the call-free main unit; callees survive for
+        // selective code generation but are not reported. (If the inline
+        // stage itself was rolled back, main may still contain CALLs — the
+        // dependence driver then conservatively serializes those loops.)
+        if let Some(main) = program.main_mut() {
+            loops.extend(deps::analyze_unit(main, opts, &stats));
+        }
+    } else {
+        for unit in &mut program.units {
+            loops.extend(deps::analyze_unit(unit, opts, &stats));
+        }
+    }
+    report.loops = loops;
+    report.dd_counters = stats.snapshot();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_compile;
+
+    const TRFD: &str = "program trfd\n\
+                        real a(100000)\n\
+                        integer x, x0\n\
+                        !$assert (n >= 1)\n\
+                        x0 = 0\n\
+                        do i = 0, m - 1\n\
+                        \x20 x = x0\n\
+                        \x20 do j = 0, n - 1\n\
+                        \x20   do k = 0, j - 1\n\
+                        \x20     x = x + 1\n\
+                        \x20     a(x) = 1.0\n\
+                        \x20   end do\n\
+                        \x20 end do\n\
+                        \x20 x0 = x0 + (n**2 + n)/2\n\
+                        end do\n\
+                        end\n";
+
+    #[test]
+    fn clean_compile_reports_every_stage_ok() {
+        let (program, report) =
+            parse_and_compile(TRFD, &PassOptions::polaris()).unwrap();
+        assert_eq!(report.stages.len(), STAGE_NAMES.len());
+        for (stage, name) in report.stages.iter().zip(STAGE_NAMES) {
+            assert_eq!(stage.name, name);
+            assert!(stage.ran_ok(), "{stage:?}");
+        }
+        assert!(!report.degraded());
+        polaris_ir::validate::validate_program(&program).unwrap();
+    }
+
+    #[test]
+    fn injected_panic_rolls_back_and_remaining_passes_still_parallelize_trfd() {
+        let opts = PassOptions::polaris().with_faults(FaultPlan::panic_in("dce"));
+        let (program, report) = parse_and_compile(TRFD, &opts).unwrap();
+        let dce = report.stage("dce").unwrap();
+        assert!(dce.rolled_back(), "{dce:?}");
+        match &dce.outcome {
+            StageOutcome::RolledBack { reason } => {
+                assert!(reason.contains("injected fault"), "{reason}")
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(report.degraded());
+        assert_eq!(report.rolled_back_stages(), vec!["dce"]);
+        // The paper's headline result must survive the dead stage: all
+        // three TRFD loops still come out parallel.
+        assert_eq!(report.parallel_loops(), 3, "{:#?}", report.loops);
+        polaris_ir::validate::validate_program(&program).unwrap();
+    }
+
+    #[test]
+    fn every_stage_fault_degrades_but_never_aborts() {
+        for stage in STAGE_NAMES {
+            let opts = PassOptions::polaris().with_faults(FaultPlan::panic_in(stage));
+            let (program, report) = parse_and_compile(TRFD, &opts)
+                .unwrap_or_else(|e| panic!("compile aborted with fault in `{stage}`: {e}"));
+            assert!(
+                report.stage(stage).unwrap().rolled_back(),
+                "fault in `{stage}` did not roll back"
+            );
+            polaris_ir::validate::validate_program(&program)
+                .unwrap_or_else(|e| panic!("ill-formed output with fault in `{stage}`: {e}"));
+        }
+    }
+
+    #[test]
+    fn disabled_stages_are_skipped_and_faults_there_never_fire() {
+        // VFA disables inlining; a fault planted in the inline stage must
+        // be unreachable.
+        let opts = PassOptions::vfa().with_faults(FaultPlan::panic_in("inline"));
+        let (_, report) = parse_and_compile(TRFD, &opts).unwrap();
+        assert_eq!(report.stage("inline").unwrap().outcome, StageOutcome::Skipped);
+        assert!(!report.degraded());
+    }
+
+    #[test]
+    fn unit_scoped_faults_fire_only_on_matching_programs() {
+        let opts = PassOptions::polaris()
+            .with_faults(FaultPlan::panic_in_unit("constprop", "ELSEWHERE"));
+        let (_, report) = parse_and_compile(TRFD, &opts).unwrap();
+        assert!(!report.degraded(), "fault for an absent unit fired");
+
+        let opts = PassOptions::polaris()
+            .with_faults(FaultPlan::panic_in_unit("constprop", "trfd"));
+        let (_, report) = parse_and_compile(TRFD, &opts).unwrap();
+        assert_eq!(report.rolled_back_stages(), vec!["constprop"]);
+    }
+
+    #[test]
+    fn stage_that_leaves_ill_formed_ir_is_rolled_back() {
+        // A custom pipeline whose middle stage corrupts the IR (arguments
+        // on a PROGRAM unit are rejected by the validator).
+        fn corrupt(program: &mut Program, _: &PassOptions, _: &mut CompileReport) -> Result<()> {
+            program.units[0].args.push("BOGUS".into());
+            Ok(())
+        }
+        let pipeline = Pipeline {
+            stages: vec![
+                Stage { name: "constprop", enabled: true, run: stage_constprop },
+                Stage { name: "induction", enabled: true, run: corrupt },
+                Stage { name: "analyze", enabled: true, run: stage_analyze },
+            ],
+        };
+        let mut program = polaris_ir::parse(TRFD).unwrap();
+        let report = pipeline.run(&mut program, &PassOptions::polaris()).unwrap();
+        let bad = report.stage("induction").unwrap();
+        match &bad.outcome {
+            StageOutcome::RolledBack { reason } => {
+                assert!(reason.contains("validation failed"), "{reason}")
+            }
+            other => panic!("expected rollback, got {other:?}"),
+        }
+        assert_eq!(bad.ir_delta, 0);
+        polaris_ir::validate::validate_program(&program).unwrap();
+        // the later analyze stage still ran on the restored program
+        assert!(report.stage("analyze").unwrap().ran_ok());
+    }
+
+    #[test]
+    fn ir_delta_tracks_statement_growth() {
+        // Inlining a callee into main grows the statement count.
+        let src = "program t\n\
+                   real v(1000)\n\
+                   call fill(v, 1000)\n\
+                   print *, v(1)\n\
+                   end\n\
+                   subroutine fill(a, n)\n\
+                   real a(n)\n\
+                   integer n\n\
+                   do i = 1, n\n\
+                   \x20 a(i) = i * 2.0\n\
+                   end do\n\
+                   end\n";
+        let (_, report) = parse_and_compile(src, &PassOptions::polaris()).unwrap();
+        assert!(report.stage("inline").unwrap().ir_delta > 0, "{:?}", report.stages);
+    }
+
+    #[test]
+    fn fault_plan_builder_and_queries() {
+        let plan = FaultPlan::panic_in("dce").and_panic_in("analyze");
+        assert!(!plan.is_empty());
+        let program = polaris_ir::parse(TRFD).unwrap();
+        assert!(plan.armed_for("dce", &program).is_some());
+        assert!(plan.armed_for("analyze", &program).is_some());
+        assert!(plan.armed_for("inline", &program).is_none());
+        assert!(FaultPlan::none().is_empty());
+    }
+}

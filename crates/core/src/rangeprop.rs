@@ -317,7 +317,7 @@ mod tests {
     fn if_condition_assumed_inside_arm() {
         let u = unit_of("if (n > 3) then\n  do i = 1, n\n    x = i\n  end do\nend if");
         let env = env_in_loop(&u, first_loop_id(&u));
-        assert_eq!(sign(&poly("n - 4"), &env).is_nonneg(), true);
+        assert!(sign(&poly("n - 4"), &env).is_nonneg());
     }
 
     #[test]

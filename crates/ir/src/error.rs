@@ -16,6 +16,8 @@ pub struct CompileError {
     pub stage: Stage,
     /// 1-based source line, when known.
     pub line: Option<u32>,
+    /// 1-based source column, when known.
+    pub col: Option<u32>,
     /// Human-readable description.
     pub message: String,
 }
@@ -33,24 +35,30 @@ pub enum Stage {
 
 impl CompileError {
     pub fn lex(line: u32, message: impl Into<String>) -> Self {
-        CompileError { stage: Stage::Lex, line: Some(line), message: message.into() }
+        CompileError { stage: Stage::Lex, line: Some(line), col: None, message: message.into() }
     }
 
     pub fn parse(line: u32, message: impl Into<String>) -> Self {
-        CompileError { stage: Stage::Parse, line: Some(line), message: message.into() }
+        CompileError { stage: Stage::Parse, line: Some(line), col: None, message: message.into() }
     }
 
     pub fn validate(message: impl Into<String>) -> Self {
-        CompileError { stage: Stage::Validate, line: None, message: message.into() }
+        CompileError { stage: Stage::Validate, line: None, col: None, message: message.into() }
     }
 
     pub fn transform(message: impl Into<String>) -> Self {
-        CompileError { stage: Stage::Transform, line: None, message: message.into() }
+        CompileError { stage: Stage::Transform, line: None, col: None, message: message.into() }
     }
 
     /// Attach a source line if none is recorded yet.
     pub fn with_line(mut self, line: u32) -> Self {
         self.line.get_or_insert(line);
+        self
+    }
+
+    /// Attach a source column (builder style).
+    pub fn at_col(mut self, col: u32) -> Self {
+        self.col = Some(col);
         self
     }
 }
@@ -63,9 +71,12 @@ impl fmt::Display for CompileError {
             Stage::Validate => "validate",
             Stage::Transform => "transform",
         };
-        match self.line {
-            Some(line) => write!(f, "{stage} error at line {line}: {}", self.message),
-            None => write!(f, "{stage} error: {}", self.message),
+        match (self.line, self.col) {
+            (Some(line), Some(col)) => {
+                write!(f, "{stage} error at line {line}, col {col}: {}", self.message)
+            }
+            (Some(line), None) => write!(f, "{stage} error at line {line}: {}", self.message),
+            _ => write!(f, "{stage} error: {}", self.message),
         }
     }
 }

@@ -180,22 +180,30 @@ impl Expr {
         Expr::Un { op, arg: Box::new(arg) }
     }
 
+    // Static builder shorthands, deliberately named after the operators
+    // they build (they take two operands, not `self`, so the std ops
+    // traits do not apply).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(lhs: Expr, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Add, lhs, rhs)
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Sub, lhs, rhs)
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Mul, lhs, rhs)
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn div(lhs: Expr, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Div, lhs, rhs)
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(arg: Expr) -> Expr {
         Expr::un(UnOp::Neg, arg)
     }

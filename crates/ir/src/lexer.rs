@@ -36,13 +36,15 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                 .unwrap_or(false);
         let directive_payload = if let Some(rest) = trimmed.strip_prefix("!$") {
             Some(rest)
-        } else { trimmed.strip_prefix("c$").or_else(|| trimmed.strip_prefix("C$")).map(|rest| rest) };
+        } else { trimmed.strip_prefix("c$").or_else(|| trimmed.strip_prefix("C$")) };
         if let Some(payload) = directive_payload {
+            let col = (line.len() - trimmed.len() + 1) as u32;
             toks.push(Token {
                 kind: Tok::Directive(payload.trim().to_ascii_uppercase()),
                 line: line_no,
+                col,
             });
-            toks.push(Token { kind: Tok::Newline, line: line_no });
+            toks.push(Token { kind: Tok::Newline, line: line_no, col: line_len_col(line) });
             continue;
         }
         if trimmed.starts_with('!') || is_fixed_comment {
@@ -67,12 +69,17 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
         } else {
             pending_continuation = false;
             toks.extend(line_toks);
-            toks.push(Token { kind: Tok::Newline, line: line_no });
+            toks.push(Token { kind: Tok::Newline, line: line_no, col: line_len_col(line) });
         }
     }
     let last_line = source.lines().count() as u32;
-    toks.push(Token { kind: Tok::Eof, line: last_line.max(1) });
+    toks.push(Token { kind: Tok::Eof, line: last_line.max(1), col: 1 });
     Ok(toks)
+}
+
+/// Column just past the end of `line` (where its Newline token sits).
+fn line_len_col(line: &str) -> u32 {
+    line.chars().count() as u32 + 1
 }
 
 fn lex_line(line: &str, line_no: u32) -> Result<Vec<Token>> {
@@ -80,16 +87,19 @@ fn lex_line(line: &str, line_no: u32) -> Result<Vec<Token>> {
     let bytes: Vec<char> = line.chars().collect();
     let n = bytes.len();
     let mut i = 0usize;
-    let push = |toks: &mut Vec<Token>, kind: Tok| toks.push(Token { kind, line: line_no });
+    let push = |toks: &mut Vec<Token>, kind: Tok, col: usize| {
+        toks.push(Token { kind, line: line_no, col: (col + 1) as u32 })
+    };
     while i < n {
         let c = bytes[i];
+        let start = i;
         match c {
             ' ' | '\t' | '\r' => i += 1,
             '!' => break, // trailing comment
             '&' => {
                 // continuation marker; represent as a pseudo-identifier the
                 // caller strips when it is the last token.
-                push(&mut toks, Tok::Ident("&".into()));
+                push(&mut toks, Tok::Ident("&".into()), start);
                 i += 1;
             }
             '\'' => {
@@ -112,76 +122,77 @@ fn lex_line(line: &str, line_no: u32) -> Result<Vec<Token>> {
                     }
                 }
                 if !closed {
-                    return Err(CompileError::lex(line_no, "unterminated character literal"));
+                    return Err(CompileError::lex(line_no, "unterminated character literal")
+                        .at_col((start + 1) as u32));
                 }
-                push(&mut toks, Tok::Str(s));
+                push(&mut toks, Tok::Str(s), start);
             }
             '+' => {
-                push(&mut toks, Tok::Plus);
+                push(&mut toks, Tok::Plus, start);
                 i += 1;
             }
             '-' => {
-                push(&mut toks, Tok::Minus);
+                push(&mut toks, Tok::Minus, start);
                 i += 1;
             }
             '*' => {
                 if i + 1 < n && bytes[i + 1] == '*' {
-                    push(&mut toks, Tok::Pow);
+                    push(&mut toks, Tok::Pow, start);
                     i += 2;
                 } else {
-                    push(&mut toks, Tok::Star);
+                    push(&mut toks, Tok::Star, start);
                     i += 1;
                 }
             }
             '/' => {
                 if i + 1 < n && bytes[i + 1] == '=' {
-                    push(&mut toks, Tok::Ne);
+                    push(&mut toks, Tok::Ne, start);
                     i += 2;
                 } else {
-                    push(&mut toks, Tok::Slash);
+                    push(&mut toks, Tok::Slash, start);
                     i += 1;
                 }
             }
             '(' => {
-                push(&mut toks, Tok::LParen);
+                push(&mut toks, Tok::LParen, start);
                 i += 1;
             }
             ')' => {
-                push(&mut toks, Tok::RParen);
+                push(&mut toks, Tok::RParen, start);
                 i += 1;
             }
             ',' => {
-                push(&mut toks, Tok::Comma);
+                push(&mut toks, Tok::Comma, start);
                 i += 1;
             }
             ':' => {
-                push(&mut toks, Tok::Colon);
+                push(&mut toks, Tok::Colon, start);
                 i += 1;
             }
             '=' => {
                 if i + 1 < n && bytes[i + 1] == '=' {
-                    push(&mut toks, Tok::EqEq);
+                    push(&mut toks, Tok::EqEq, start);
                     i += 2;
                 } else {
-                    push(&mut toks, Tok::Assign);
+                    push(&mut toks, Tok::Assign, start);
                     i += 1;
                 }
             }
             '<' => {
                 if i + 1 < n && bytes[i + 1] == '=' {
-                    push(&mut toks, Tok::Le);
+                    push(&mut toks, Tok::Le, start);
                     i += 2;
                 } else {
-                    push(&mut toks, Tok::Lt);
+                    push(&mut toks, Tok::Lt, start);
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < n && bytes[i + 1] == '=' {
-                    push(&mut toks, Tok::Ge);
+                    push(&mut toks, Tok::Ge, start);
                     i += 2;
                 } else {
-                    push(&mut toks, Tok::Gt);
+                    push(&mut toks, Tok::Gt, start);
                     i += 1;
                 }
             }
@@ -189,8 +200,8 @@ fn lex_line(line: &str, line_no: u32) -> Result<Vec<Token>> {
                 // Either a dotted operator (.LT., .AND., .TRUE. …) or a
                 // real literal like `.5`.
                 if i + 1 < n && bytes[i + 1].is_ascii_digit() {
-                    let (tok, used) = lex_number(&bytes[i..], line_no)?;
-                    push(&mut toks, tok);
+                    let (tok, used) = lex_number(&bytes[i..], line_no, start)?;
+                    push(&mut toks, tok, start);
                     i += used;
                 } else {
                     let mut j = i + 1;
@@ -203,7 +214,8 @@ fn lex_line(line: &str, line_no: u32) -> Result<Vec<Token>> {
                         return Err(CompileError::lex(
                             line_no,
                             format!("malformed dotted operator `.{word}`"),
-                        ));
+                        )
+                        .at_col((start + 1) as u32));
                     }
                     let kind = match word.as_str() {
                         "LT" => Tok::Lt,
@@ -221,16 +233,17 @@ fn lex_line(line: &str, line_no: u32) -> Result<Vec<Token>> {
                             return Err(CompileError::lex(
                                 line_no,
                                 format!("unknown dotted operator `.{word}.`"),
-                            ))
+                            )
+                            .at_col((start + 1) as u32))
                         }
                     };
-                    push(&mut toks, kind);
+                    push(&mut toks, kind, start);
                     i = j + 1;
                 }
             }
             c if c.is_ascii_digit() => {
-                let (tok, used) = lex_number(&bytes[i..], line_no)?;
-                push(&mut toks, tok);
+                let (tok, used) = lex_number(&bytes[i..], line_no, start)?;
+                push(&mut toks, tok, start);
                 i += used;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -239,10 +252,11 @@ fn lex_line(line: &str, line_no: u32) -> Result<Vec<Token>> {
                     s.push(bytes[i].to_ascii_uppercase());
                     i += 1;
                 }
-                push(&mut toks, Tok::Ident(s));
+                push(&mut toks, Tok::Ident(s), start);
             }
             other => {
-                return Err(CompileError::lex(line_no, format!("unexpected character `{other}`")))
+                return Err(CompileError::lex(line_no, format!("unexpected character `{other}`"))
+                    .at_col((start + 1) as u32))
             }
         }
     }
@@ -253,7 +267,7 @@ fn lex_line(line: &str, line_no: u32) -> Result<Vec<Token>> {
 ///
 /// A number is *real* if it contains `.`, `E`/`D` exponent, or both.
 /// Returns the token and the number of characters consumed.
-fn lex_number(chars: &[char], line_no: u32) -> Result<(Tok, usize)> {
+fn lex_number(chars: &[char], line_no: u32, col: usize) -> Result<(Tok, usize)> {
     let n = chars.len();
     let mut i = 0usize;
     let mut text = String::new();
@@ -299,12 +313,12 @@ fn lex_number(chars: &[char], line_no: u32) -> Result<(Tok, usize)> {
     if is_real {
         let v: f64 = text
             .parse()
-            .map_err(|_| CompileError::lex(line_no, format!("bad real literal `{text}`")))?;
+            .map_err(|_| CompileError::lex(line_no, format!("bad real literal `{text}`")).at_col((col + 1) as u32))?;
         Ok((Tok::Real(v), i))
     } else {
         let v: i64 = text
             .parse()
-            .map_err(|_| CompileError::lex(line_no, format!("bad integer literal `{text}`")))?;
+            .map_err(|_| CompileError::lex(line_no, format!("bad integer literal `{text}`")).at_col((col + 1) as u32))?;
         Ok((Tok::Int(v), i))
     }
 }

@@ -22,11 +22,20 @@ pub struct Parser {
     next_id: u32,
     /// Directive pending attachment to the next DO loop.
     pending_par: Option<ParallelInfo>,
+    /// Current expression nesting depth (recursion guard).
+    depth: u32,
 }
+
+/// Deepest expression nesting accepted before the parser reports an
+/// error instead of risking a stack overflow (an abort no caller could
+/// contain). Nesting arises from parentheses, unary chains and the
+/// right-recursive `**`. Each level costs ~8 recursive-descent frames,
+/// so the limit must stay well inside a 2 MiB test-thread stack.
+const MAX_EXPR_DEPTH: u32 = 64;
 
 impl Parser {
     pub fn new(source: &str) -> Result<Parser> {
-        Ok(Parser { toks: lex(source)?, pos: 0, next_id: 0, pending_par: None })
+        Ok(Parser { toks: lex(source)?, pos: 0, next_id: 0, pending_par: None, depth: 0 })
     }
 
     // ----- token plumbing -------------------------------------------------
@@ -45,6 +54,10 @@ impl Parser {
 
     fn line(&self) -> u32 {
         self.toks[self.pos].line
+    }
+
+    fn col(&self) -> u32 {
+        self.toks[self.pos].col
     }
 
     fn bump(&mut self) -> Tok {
@@ -71,16 +84,17 @@ impl Parser {
             Err(CompileError::parse(
                 self.line(),
                 format!("expected `{kind}`, found `{}`", self.peek()),
-            ))
+            )
+            .at_col(self.col()))
         }
     }
 
     fn expect_ident(&mut self) -> Result<String> {
+        let (line, col) = (self.line(), self.col());
         match self.bump() {
             Tok::Ident(s) => Ok(s),
-            other => {
-                Err(CompileError::parse(self.line(), format!("expected identifier, found `{other}`")))
-            }
+            other => Err(CompileError::parse(line, format!("expected identifier, found `{other}`"))
+                .at_col(col)),
         }
     }
 
@@ -105,7 +119,8 @@ impl Parser {
             Err(CompileError::parse(
                 self.line(),
                 format!("expected `{kw}`, found `{}`", self.peek()),
-            ))
+            )
+            .at_col(self.col()))
         }
     }
 
@@ -119,7 +134,8 @@ impl Parser {
             other => Err(CompileError::parse(
                 self.line(),
                 format!("expected end of statement, found `{other}`"),
-            )),
+            )
+            .at_col(self.col())),
         }
     }
 
@@ -228,7 +244,8 @@ impl Parser {
         Err(CompileError::parse(
             self.line(),
             format!("expected PROGRAM/SUBROUTINE/FUNCTION, found `{}`", self.peek()),
-        ))
+        )
+        .at_col(self.col()))
     }
 
     fn parse_arg_list(&mut self) -> Result<Vec<String>> {
@@ -649,7 +666,21 @@ impl Parser {
     // ----- expressions ------------------------------------------------------
 
     pub fn parse_expr(&mut self) -> Result<Expr> {
-        self.parse_or()
+        self.descend()?;
+        let r = self.parse_or();
+        self.depth -= 1;
+        r
+    }
+
+    /// Recursion guard shared by every self-recursive expression rule.
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.depth -= 1;
+            return Err(CompileError::parse(self.line(), "expression nesting too deep")
+                .at_col(self.col()));
+        }
+        Ok(())
     }
 
     fn parse_or(&mut self) -> Result<Expr> {
@@ -672,8 +703,10 @@ impl Parser {
 
     fn parse_not(&mut self) -> Result<Expr> {
         if self.eat(&Tok::Not) {
-            let arg = self.parse_not()?;
-            Ok(Expr::un(UnOp::Not, arg))
+            self.descend()?;
+            let arg = self.parse_not();
+            self.depth -= 1;
+            Ok(Expr::un(UnOp::Not, arg?))
         } else {
             self.parse_relational()
         }
@@ -741,18 +774,21 @@ impl Parser {
         let base = self.parse_primary()?;
         if self.eat(&Tok::Pow) {
             // `**` is right-associative; `-` binds tighter on the exponent.
+            self.descend()?;
             let exp = if self.eat(&Tok::Minus) {
-                Self::negate(self.parse_power()?)
+                self.parse_power().map(Self::negate)
             } else {
-                self.parse_power()?
+                self.parse_power()
             };
-            Ok(Expr::bin(BinOp::Pow, base, exp))
+            self.depth -= 1;
+            Ok(Expr::bin(BinOp::Pow, base, exp?))
         } else {
             Ok(base)
         }
     }
 
     fn parse_primary(&mut self) -> Result<Expr> {
+        let (line, col) = (self.line(), self.col());
         match self.bump() {
             Tok::Int(v) => Ok(Expr::Int(v)),
             Tok::Real(v) => Ok(Expr::Real(v)),
@@ -764,7 +800,12 @@ impl Parser {
                 self.expect(&Tok::RParen)?;
                 Ok(e)
             }
-            Tok::Minus => Ok(Self::negate(self.parse_primary()?)),
+            Tok::Minus => {
+                self.descend()?;
+                let inner = self.parse_primary();
+                self.depth -= 1;
+                Ok(Self::negate(inner?))
+            }
             Tok::Ident(name) => {
                 if self.eat(&Tok::LParen) {
                     let mut args = Vec::new();
@@ -790,9 +831,11 @@ impl Parser {
                     Ok(Expr::Var(name))
                 }
             }
-            other => {
-                Err(CompileError::parse(self.line(), format!("unexpected token `{other}` in expression")))
-            }
+            other => Err(CompileError::parse(
+                line,
+                format!("unexpected token `{other}` in expression"),
+            )
+            .at_col(col)),
         }
     }
 }
@@ -1121,6 +1164,36 @@ mod tests {
         let labels: Vec<_> = u.body.loops().iter().map(|d| d.label.clone()).collect();
         assert_eq!(labels.len(), 2);
         assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn deep_paren_nesting_is_an_error_not_a_stack_overflow() {
+        for pathological in [
+            format!("program p\nx = {}1{}\nend\n", "(".repeat(20_000), ")".repeat(20_000)),
+            format!("program p\nx = 1{}\nend\n", "**1".repeat(20_000)),
+            format!("program p\nx = {}1\nend\n", "-(".repeat(20_000)),
+            format!("program p\nif ({}y) x = 1\nend\n", ".not.".repeat(20_000)),
+        ] {
+            let err = crate::parse(&pathological).unwrap_err();
+            assert!(
+                err.message.contains("nesting too deep") || err.message.contains("unexpected"),
+                "{err}"
+            );
+        }
+        // ...while reasonable nesting still parses
+        let fine = format!("program p\nx = {}1{}\nend\n", "(".repeat(50), ")".repeat(50));
+        assert!(crate::parse(&fine).is_ok());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        // the dangling `+` is reported at the end of ITS line, not the next
+        let err = crate::parse("program p\nx = 1 +\ny = 2\nend\n").unwrap_err();
+        assert_eq!(err.line, Some(2), "{err}");
+        assert!(err.col.is_some(), "{err}");
+        let err = crate::parse("program p\nx = ,\nend\n").unwrap_err();
+        assert_eq!(err.line, Some(2), "{err}");
+        assert_eq!(err.col, Some(5), "{err}");
     }
 
     #[test]

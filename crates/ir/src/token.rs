@@ -2,11 +2,12 @@
 
 use std::fmt;
 
-/// A lexical token with its source line.
+/// A lexical token with its source position (1-based line and column).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     pub kind: Tok,
     pub line: u32,
+    pub col: u32,
 }
 
 /// Token kinds. Keywords are lexed as `Ident` and classified by the

@@ -67,7 +67,7 @@ proptest! {
     }
 }
 
-/// Whole-program structural round-trip on generated loop nests.
+// Whole-program structural round-trip on generated loop nests.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -24,6 +24,14 @@ pub enum MachineError {
     ValidationMismatch(String),
     /// Lowering hit an unsupported construct.
     Unsupported(String),
+    /// The execution step budget ([`crate::MachineConfig::fuel`]) ran
+    /// out: the program did not terminate within `limit` steps. This is
+    /// how a miscompile that produces an infinite loop surfaces as a
+    /// reported error instead of a hang.
+    FuelExhausted { limit: u64 },
+    /// Lowering would allocate more array storage than the configured
+    /// memory cap allows.
+    MemoryCapExceeded { need: usize, cap: usize },
 }
 
 impl fmt::Display for MachineError {
@@ -46,6 +54,12 @@ impl fmt::Display for MachineError {
                 write!(f, "parallel execution diverged from sequential: {m}")
             }
             MachineError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+            MachineError::FuelExhausted { limit } => {
+                write!(f, "execution fuel exhausted after {limit} steps (non-terminating program?)")
+            }
+            MachineError::MemoryCapExceeded { need, cap } => {
+                write!(f, "program needs {need} array elements, exceeding the memory cap of {cap}")
+            }
         }
     }
 }

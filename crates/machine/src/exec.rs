@@ -2,7 +2,7 @@
 
 use crate::cost::Schedule;
 use crate::error::MachineError;
-use crate::lower::{lower, Image, Intr, RExpr, RLoop, RPar, RRed, RRef, RStmt};
+use crate::lower::{lower_with_cap, Image, Intr, RExpr, RLoop, RPar, RRed, RRef, RStmt};
 use crate::shadow::ShadowSim;
 use crate::value::{scalar_approx_eq, ArrData, ArrObj, Scalar, V};
 use crate::MachineConfig;
@@ -83,6 +83,10 @@ struct Interp<'a> {
     scalars: Vec<Scalar>,
     arrays: Vec<ArrObj>,
     cycles: u64,
+    /// Monotonic statement/iteration counter for the fuel budget.
+    /// Separate from `cycles`, which the codegen model and parallel
+    /// scheduling rewind and rescale.
+    steps: u64,
     in_parallel: bool,
     adversarial: bool,
     output: Vec<String>,
@@ -99,6 +103,7 @@ impl<'a> Interp<'a> {
             scalars: image.scalars.clone(),
             arrays: image.arrays.clone(),
             cycles: 0,
+            steps: 0,
             in_parallel: false,
             adversarial,
             output: Vec::new(),
@@ -374,7 +379,22 @@ impl<'a> Interp<'a> {
         Ok(Flow::Normal)
     }
 
+    /// Charge one unit of execution fuel (one statement or loop
+    /// iteration). The budget is a straight monotonic counter — unlike
+    /// `cycles` it is never rewound by the codegen model or parallel
+    /// bucket accounting, so it bounds *work done*, not simulated time.
+    fn charge_step(&mut self) -> Result<(), MachineError> {
+        self.steps += 1;
+        if let Some(limit) = self.cfg.fuel {
+            if self.steps > limit {
+                return Err(MachineError::FuelExhausted { limit });
+            }
+        }
+        Ok(())
+    }
+
     fn run_stmt(&mut self, s: &RStmt) -> Result<Flow, MachineError> {
+        self.charge_step()?;
         match s {
             RStmt::AssignS(slot, rhs) => {
                 let v = self.eval(rhs)?;
@@ -440,11 +460,31 @@ impl<'a> Interp<'a> {
         if step == 0 {
             return Err(MachineError::Type(format!("zero step in {}", l.label)));
         }
-        let mut out = Vec::new();
+        // Pre-check the trip count analytically against the remaining fuel
+        // *before* materializing the iteration vector: a miscompiled bound
+        // like `DO I = 1, 2000000000` must fail fast with FuelExhausted,
+        // not allocate gigabytes first.
+        let trip: u128 = if (step > 0 && init <= limit) || (step < 0 && init >= limit) {
+            ((limit as i128 - init as i128) / step as i128) as u128 + 1
+        } else {
+            0
+        };
+        if let Some(fuel) = self.cfg.fuel {
+            let remaining = fuel.saturating_sub(self.steps);
+            if trip > u128::from(remaining) {
+                return Err(MachineError::FuelExhausted { limit: fuel });
+            }
+        }
+        let mut out = Vec::with_capacity(trip.min(1 << 20) as usize);
         let mut v = init;
         while (step > 0 && v <= limit) || (step < 0 && v >= limit) {
             out.push(v);
-            v += step;
+            // The next value is unrepresentable only when it would also be
+            // past the limit, so stopping here preserves F77 semantics.
+            match v.checked_add(step) {
+                Some(nv) => v = nv,
+                None => break,
+            }
         }
         Ok(out)
     }
@@ -486,6 +526,7 @@ impl<'a> Interp<'a> {
     }
 
     fn run_one_iteration(&mut self, l: &RLoop, v: i64) -> Result<Flow, MachineError> {
+        self.charge_step()?;
         self.cycles += self.cfg.cost.loop_iter;
         self.scalars[l.var].set(V::I(v))?;
         let b0 = self.cycles;
@@ -877,7 +918,7 @@ fn red_apply_i(op: RedOp, a: i64, b: i64) -> i64 {
 
 /// Run `program` on the simulated machine.
 pub fn run(program: &Program, cfg: &MachineConfig) -> Result<RunResult, MachineError> {
-    let image = lower(program)?;
+    let image = lower_with_cap(program, cfg.memory_cap)?;
     let mut interp = Interp::new(&image, cfg, false);
     interp.run_list(&image.code)?;
     Ok(RunResult { cycles: interp.cycles, output: interp.output, loops: interp.loops })
@@ -896,8 +937,10 @@ pub fn run_validated(
     program: &Program,
     cfg: &MachineConfig,
 ) -> Result<(RunResult, RunResult), MachineError> {
-    let image = lower(program)?;
-    let serial_cfg = MachineConfig::serial();
+    let image = lower_with_cap(program, cfg.memory_cap)?;
+    let mut serial_cfg = MachineConfig::serial();
+    serial_cfg.fuel = cfg.fuel;
+    serial_cfg.memory_cap = cfg.memory_cap;
     let mut seq = Interp::new(&image, &serial_cfg, false);
     seq.run_list(&image.code)?;
     let mut adv = Interp::new(&image, cfg, true);
@@ -975,7 +1018,11 @@ fn private_without_copyout(code: &[RStmt]) -> (Vec<usize>, Vec<usize>) {
     (scalars, arrays)
 }
 
-fn outputs_match(a: &[String], b: &[String], tol: f64) -> bool {
+/// Line-by-line output comparison with a relative tolerance on numeric
+/// fields (formatted REALs may differ in the last digits between
+/// differently-associated reductions). Public for the differential fuzz
+/// harness.
+pub fn outputs_match(a: &[String], b: &[String], tol: f64) -> bool {
     if a.len() != b.len() {
         return false;
     }

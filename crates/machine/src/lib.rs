@@ -48,6 +48,15 @@ pub struct MachineConfig {
     pub cost: CostModel,
     pub schedule: Schedule,
     pub codegen: CodegenModel,
+    /// Execution step budget. `None` = unlimited. When set, the
+    /// interpreter charges one unit per statement / loop iteration and
+    /// aborts with [`MachineError::FuelExhausted`] once the budget is
+    /// spent — a miscompiled non-terminating program becomes a reported
+    /// error instead of a hang.
+    pub fuel: Option<u64>,
+    /// Cap on total array elements lowering may allocate. `None` =
+    /// the built-in per-array safety limit only.
+    pub memory_cap: Option<usize>,
 }
 
 impl MachineConfig {
@@ -58,6 +67,8 @@ impl MachineConfig {
             cost: CostModel::default(),
             schedule: Schedule::Static,
             codegen: CodegenModel::none(),
+            fuel: None,
+            memory_cap: None,
         }
     }
 
@@ -68,6 +79,8 @@ impl MachineConfig {
             cost: CostModel::default(),
             schedule: Schedule::Static,
             codegen: CodegenModel::none(),
+            fuel: None,
+            memory_cap: None,
         }
     }
 
@@ -78,6 +91,16 @@ impl MachineConfig {
 
     pub fn with_codegen(mut self, codegen: CodegenModel) -> MachineConfig {
         self.codegen = codegen;
+        self
+    }
+
+    pub fn with_fuel(mut self, fuel: u64) -> MachineConfig {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    pub fn with_memory_cap(mut self, elements: usize) -> MachineConfig {
+        self.memory_cap = Some(elements);
         self
     }
 

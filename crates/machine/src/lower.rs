@@ -124,12 +124,24 @@ struct Lowerer<'a> {
 
 /// Lower the main unit of `program` into an [`Image`].
 pub fn lower(program: &Program) -> Result<Image, MachineError> {
+    lower_with_cap(program, None)
+}
+
+/// Lower the main unit, refusing to allocate more than `cap` total array
+/// elements when a cap is given (the built-in per-array safety limit
+/// still applies either way).
+pub fn lower_with_cap(program: &Program, cap: Option<usize>) -> Result<Image, MachineError> {
     let main = program.main().ok_or(MachineError::NoMain)?;
-    lower_unit(main)
+    lower_unit_with_cap(main, cap)
 }
 
 /// Lower one unit (normally the inlined main).
 pub fn lower_unit(unit: &ProgramUnit) -> Result<Image, MachineError> {
+    lower_unit_with_cap(unit, None)
+}
+
+/// [`lower_unit`] with an optional cap on total array elements.
+pub fn lower_unit_with_cap(unit: &ProgramUnit, cap: Option<usize>) -> Result<Image, MachineError> {
     let mut l = Lowerer {
         unit,
         scalar_ids: BTreeMap::new(),
@@ -160,6 +172,7 @@ pub fn lower_unit(unit: &ProgramUnit) -> Result<Image, MachineError> {
         }
     }
     // Allocate storage.
+    let mut allocated: usize = 0;
     for sym in unit.symbols.iter() {
         match &sym.kind {
             SymKind::Scalar => {
@@ -193,6 +206,12 @@ pub fn lower_unit(unit: &ProgramUnit) -> Result<Image, MachineError> {
                         "array `{}` too large for the simulator ({total} elements)",
                         sym.name
                     )));
+                }
+                allocated = allocated.saturating_add(total as usize);
+                if let Some(cap) = cap {
+                    if allocated > cap {
+                        return Err(MachineError::MemoryCapExceeded { need: allocated, cap });
+                    }
                 }
                 let data = match sym.ty {
                     DataType::Integer => ArrData::I(vec![0; total as usize]),

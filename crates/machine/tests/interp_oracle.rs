@@ -157,3 +157,80 @@ proptest! {
         prop_assert!((got - s).abs() <= 5e-6 * s.abs().max(1.0), "got {} want {}", got, s);
     }
 }
+
+// ---- hard execution limits -------------------------------------------------
+//
+// The interpreter is the oracle for every differential test in the
+// repo, so a miscompile that turns a bounded loop into an unbounded one
+// must surface as a reported error, never a hang or a crash.
+
+#[test]
+fn effectively_infinite_loop_stops_at_the_fuel_limit() {
+    let src = "program spin\n\
+               integer s\n\
+               s = 0\n\
+               do i = 1, 1000000000\n\
+                 do j = 1, 1000000000\n\
+                   s = s + 1\n\
+                 end do\n\
+               end do\n\
+               print *, s\n\
+               end\n";
+    let p = polaris_ir::parse(src).unwrap();
+    let cfg = polaris_machine::MachineConfig::serial().with_fuel(50_000);
+    match polaris_machine::run(&p, &cfg) {
+        Err(polaris_machine::MachineError::FuelExhausted { limit }) => assert_eq!(limit, 50_000),
+        other => panic!("expected FuelExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn unlimited_config_still_runs_large_bounded_loops() {
+    // No fuel configured: the same shape with sane bounds completes.
+    let src = "program ok\n\
+               integer s\n\
+               s = 0\n\
+               do i = 1, 1000\n\
+                 s = s + 1\n\
+               end do\n\
+               print *, s\n\
+               end\n";
+    let p = polaris_ir::parse(src).unwrap();
+    let r = run_serial(&p).unwrap();
+    assert_eq!(r.output, vec!["1000".to_string()]);
+}
+
+#[test]
+fn out_of_bounds_subscript_is_a_machine_error_not_a_panic() {
+    let src = "program oob\n\
+               real a(8)\n\
+               do i = 1, 9\n\
+                 a(i) = 1.0\n\
+               end do\n\
+               print *, a(1)\n\
+               end\n";
+    let p = polaris_ir::parse(src).unwrap();
+    match run_serial(&p) {
+        Err(polaris_machine::MachineError::OutOfBounds { array, index, len }) => {
+            assert_eq!(array, "A");
+            assert_eq!(index, 9);
+            assert_eq!(len, 8);
+        }
+        other => panic!("expected OutOfBounds, got {other:?}"),
+    }
+}
+
+#[test]
+fn negative_subscript_is_a_machine_error_not_a_panic() {
+    let src = "program oob\n\
+               real a(8)\n\
+               i = 0\n\
+               a(i - 2) = 1.0\n\
+               print *, a(1)\n\
+               end\n";
+    let p = polaris_ir::parse(src).unwrap();
+    match run_serial(&p) {
+        Err(polaris_machine::MachineError::OutOfBounds { index, .. }) => assert_eq!(index, -2),
+        other => panic!("expected OutOfBounds, got {other:?}"),
+    }
+}

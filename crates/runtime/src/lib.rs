@@ -33,4 +33,6 @@
 
 pub mod lrpd;
 
-pub use lrpd::{run_sequential, speculative_doall, ArrayView, SpecOutcome};
+pub use lrpd::{
+    run_sequential, speculative_doall, speculative_doall_faulty, ArrayView, SpecOutcome,
+};

@@ -43,6 +43,10 @@ pub struct SpecOutcome {
     pub marks: u64,
     /// Whether the buffered values were committed.
     pub committed: bool,
+    /// A speculative worker thread panicked. The attempt is treated
+    /// exactly like a failed PD test: nothing is committed and the
+    /// caller falls back to [`run_sequential`].
+    pub worker_panicked: bool,
     /// Wall-clock of the speculative execution (marking included).
     pub exec_time: Duration,
     /// Wall-clock of merge + analysis + commit (the "PD test" overhead,
@@ -198,16 +202,43 @@ where
     T: Copy + Default + Send + Sync + std::ops::Add<Output = T>,
     F: Fn(usize, &mut dyn ArrayView<T>) + Sync,
 {
+    speculative_doall_faulty(data, n_iters, n_threads, privatized, None, body)
+}
+
+/// [`speculative_doall`] with deterministic fault injection: when
+/// `fail_at` is `Some(k)`, the worker that owns iteration `k` panics
+/// just before executing it. Used to exercise the isolation guarantee —
+/// a crashed speculative worker must surface as a failed speculation
+/// ([`SpecOutcome::worker_panicked`], `committed == false`, `data`
+/// untouched), never as a crash of the caller or a partial commit.
+pub fn speculative_doall_faulty<T, F>(
+    data: &mut [T],
+    n_iters: usize,
+    n_threads: usize,
+    privatized: bool,
+    fail_at: Option<usize>,
+    body: F,
+) -> SpecOutcome
+where
+    T: Copy + Default + Send + Sync + std::ops::Add<Output = T>,
+    F: Fn(usize, &mut dyn ArrayView<T>) + Sync,
+{
     let n = data.len();
     let n_threads = n_threads.max(1);
     let t_exec = Instant::now();
 
     // --- speculative parallel execution with marking -------------------
+    // Workers run under the scope's isolation: a panicking worker is
+    // detected at join and poisons the whole attempt, exactly like a
+    // failed PD test. The shared array is read-only here, so a dead
+    // worker cannot have left partial state anywhere but in its own
+    // (discarded) shadow.
     let mut shadows: Vec<ThreadShadow<T>> = Vec::with_capacity(n_threads);
+    let mut worker_panicked = false;
     {
         let data_ref: &[T] = data;
         let body_ref = &body;
-        let results: Vec<ThreadShadow<T>> = crossbeam::thread::scope(|scope| {
+        let joined = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for tid in 0..n_threads {
                 handles.push(scope.spawn(move |_| {
@@ -217,6 +248,9 @@ where
                     let lo = tid * per;
                     let hi = ((tid + 1) * per).min(n_iters);
                     for it in lo..hi {
+                        if fail_at == Some(it) {
+                            panic!("injected fault: speculative worker {tid} at iteration {it}");
+                        }
                         let t = it as u32;
                         {
                             let mut view =
@@ -228,12 +262,38 @@ where
                     shadow
                 }));
             }
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("speculative worker panicked");
-        shadows.extend(results);
+            handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+        });
+        match joined {
+            Ok(results) => {
+                for r in results {
+                    match r {
+                        Ok(shadow) => shadows.push(shadow),
+                        Err(_) => worker_panicked = true,
+                    }
+                }
+            }
+            Err(_) => worker_panicked = true,
+        }
     }
     let exec_time = t_exec.elapsed();
+    if worker_panicked {
+        return SpecOutcome {
+            parallel_valid: false,
+            privatized_valid: false,
+            flow_anti: false,
+            output_dep: false,
+            not_privatizable: false,
+            reduction_conflict: false,
+            reduced: 0,
+            writes: 0,
+            marks: 0,
+            committed: false,
+            worker_panicked: true,
+            exec_time,
+            test_time: Duration::ZERO,
+        };
+    }
 
     // --- parallel merge + analysis (the PD test proper) ------------------
     let t_test = Instant::now();
@@ -247,9 +307,12 @@ where
     let mut reduced: u64 = 0;
     {
         // Disjoint element ranges merged concurrently: O(a/p + log p).
+        // Per-range merge result: (marks, reduced, flow_anti, not_priv,
+        // reduction_conflict, aw piece, rx piece).
+        type MergePiece = (u64, u64, bool, bool, bool, Vec<bool>, Vec<bool>);
         let chunk = n.div_ceil(n_threads).max(1);
         let shadows_ref = &shadows;
-        let pieces: Vec<(u64, u64, bool, bool, bool, Vec<bool>, Vec<bool>)> =
+        let pieces: Vec<MergePiece> =
             crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for c in 0..n_threads {
@@ -368,6 +431,7 @@ where
         writes,
         marks,
         committed: success,
+        worker_panicked: false,
         exec_time,
         test_time,
     }
@@ -410,6 +474,50 @@ mod tests {
             v.write(i + 1, prev + 1);
         });
         assert_eq!(data[63], 63);
+    }
+
+    #[test]
+    fn crashed_worker_fails_speculation_and_serial_fallback_recovers() {
+        // A perfectly parallel loop, but one worker dies mid-flight: the
+        // attempt must report worker_panicked with nothing committed, and
+        // the standard failed-speculation path (sequential re-execution)
+        // must still produce the right answer.
+        let body = |i: usize, v: &mut dyn ArrayView<i64>| {
+            v.write(i, i as i64 * 3);
+        };
+        let mut data = vec![0i64; 64];
+        let out = speculative_doall_faulty(&mut data, 64, 4, false, Some(17), body);
+        assert!(out.worker_panicked, "{out:?}");
+        assert!(!out.committed && !out.parallel_valid && !out.privatized_valid);
+        assert_eq!(data, vec![0i64; 64], "crashed speculation must not disturb the array");
+        if !out.success() {
+            run_sequential(&mut data, 64, body);
+        }
+        assert_eq!(data[21], 63);
+    }
+
+    #[test]
+    fn fault_in_every_worker_slot_is_isolated() {
+        // Whichever worker the doomed iteration lands on, the caller
+        // never sees the panic and the data is never partially written.
+        for fail_at in [0usize, 15, 16, 31, 47, 63] {
+            let mut data = vec![7i64; 64];
+            let out = speculative_doall_faulty(&mut data, 64, 4, true, Some(fail_at), |i, v| {
+                v.write(i, 0);
+            });
+            assert!(out.worker_panicked && !out.committed, "fail_at={fail_at}: {out:?}");
+            assert_eq!(data, vec![7i64; 64], "fail_at={fail_at}");
+        }
+    }
+
+    #[test]
+    fn fault_outside_iteration_space_is_inert() {
+        let mut data = vec![0i64; 8];
+        let out = speculative_doall_faulty(&mut data, 8, 2, false, Some(100), |i, v| {
+            v.write(i, 1);
+        });
+        assert!(!out.worker_panicked && out.committed, "{out:?}");
+        assert_eq!(data, vec![1i64; 8]);
     }
 
     #[test]

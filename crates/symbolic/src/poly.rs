@@ -237,6 +237,87 @@ impl Poly {
         self.terms.keys().map(|m| m.degree_in(&var)).max().unwrap_or(0)
     }
 
+    /// Is `self / c` an integer for *every* integer assignment of this
+    /// polynomial's atoms?
+    ///
+    /// Decided by finite enumeration, not a heuristic: with `D` the lcm
+    /// of the coefficient denominators, `D*self` has integer
+    /// coefficients, so `self`'s value modulo `c` is periodic in each
+    /// atom with period `D*|c|` — checking the full residue grid is
+    /// exhaustive. Returns `false` (the caller must stay conservative)
+    /// when `c` is not a nonzero integer or the grid is too large to
+    /// enumerate.
+    pub fn exactly_divisible_by(&self, c: Rat) -> bool {
+        let Some(c) = c.as_integer() else { return false };
+        if c == 0 {
+            return false;
+        }
+        let c = c.abs();
+        // lcm of coefficient denominators.
+        let mut d: i128 = 1;
+        for coeff in self.terms.values() {
+            let g = crate::rat::gcd(d, coeff.den());
+            match (d / g).checked_mul(coeff.den()) {
+                Some(v) => d = v,
+                None => return false,
+            }
+        }
+        if c == 1 && d == 1 {
+            return true; // integer coefficients, dividing by one
+        }
+        let period = match d.checked_mul(c) {
+            Some(p) => p,
+            None => return false,
+        };
+        let atoms: Vec<Atom> = self.atoms().into_iter().collect();
+        let mut grid: i128 = 1;
+        for _ in &atoms {
+            grid = grid.saturating_mul(period);
+            if grid > 4096 {
+                return false;
+            }
+        }
+        let mut point = vec![0i128; atoms.len()];
+        loop {
+            match self.eval_at(&atoms, &point) {
+                Some(v) if v.is_integer() && v.num() % c == 0 => {}
+                _ => return false,
+            }
+            // Odometer over the residue grid.
+            let mut carry = true;
+            for digit in point.iter_mut() {
+                *digit += 1;
+                if *digit < period {
+                    carry = false;
+                    break;
+                }
+                *digit = 0;
+            }
+            if carry {
+                return true;
+            }
+        }
+    }
+
+    /// Evaluate at an integer point (`point[i]` is the value of
+    /// `atoms[i]`); `None` on overflow or an atom missing from `atoms`.
+    fn eval_at(&self, atoms: &[Atom], point: &[i128]) -> Option<Rat> {
+        let mut acc = Rat::ZERO;
+        for (mon, coeff) in &self.terms {
+            let mut term = *coeff;
+            for (a, pow) in &mon.0 {
+                let idx = atoms.iter().position(|x| x == a)?;
+                let mut p: i128 = 1;
+                for _ in 0..*pow {
+                    p = p.checked_mul(point[idx])?;
+                }
+                term = term.checked_mul(Rat::int(p))?;
+            }
+            acc = acc.checked_add(term)?;
+        }
+        Some(acc)
+    }
+
     /// Does the polynomial contain opaque atoms mentioning `var`? Such
     /// occurrences cannot be reasoned about by substitution.
     pub fn var_hidden_in_opaque(&self, var: &str) -> bool {
@@ -505,8 +586,20 @@ impl Poly {
                         let rp = r()?;
                         match (policy, rp.as_constant()) {
                             (DivPolicy::Exact, Some(c)) if !c.is_zero() => {
-                                let inv = Rat::new(c.den(), c.num())?;
-                                l()?.checked_scale(inv)?
+                                // F-Mini `/` on integers truncates, so folding
+                                // into rational coefficients is only sound when
+                                // the division is exact for EVERY integer value
+                                // of the operands — `(v*v - v)/2` qualifies,
+                                // `(n - 1)/2` does not. Unverifiable divisions
+                                // stay opaque (a plain integer unknown), which
+                                // downstream analyses handle conservatively.
+                                let lp = l()?;
+                                if lp.exactly_divisible_by(c) {
+                                    let inv = Rat::new(c.den(), c.num())?;
+                                    lp.checked_scale(inv)?
+                                } else {
+                                    Poly::opaque(e.clone())
+                                }
                             }
                             _ => Poly::opaque(e.clone()),
                         }
@@ -652,12 +745,41 @@ mod tests {
         let exact = Poly::from_expr(&rhs, DivPolicy::Exact).unwrap();
         assert_eq!(exact.atoms().len(), 1);
         assert!(matches!(exact.atoms().iter().next().unwrap(), Atom::Opaque { .. }));
-        // n/2 is folded only under Exact
+        // n/2 truncates for odd n, so it must stay opaque even under
+        // Exact (Exact only folds divisions provable exact for every
+        // integer assignment).
         let by2 = polaris_ir::Expr::div(polaris_ir::Expr::var("N"), polaris_ir::Expr::int(2));
         let e = Poly::from_expr(&by2, DivPolicy::Exact).unwrap();
-        assert_eq!(e, Poly::var("N").checked_scale(Rat::new(1, 2).unwrap()).unwrap());
+        assert!(e.atoms().iter().any(|a| matches!(a, Atom::Opaque { .. })));
         let o = Poly::from_expr(&by2, DivPolicy::Opaque).unwrap();
         assert!(o.atoms().iter().any(|a| matches!(a, Atom::Opaque { .. })));
+        // (n*n + n)/2 is always even-over-two: folds under Exact.
+        let tri = polaris_ir::Expr::div(
+            polaris_ir::Expr::add(
+                polaris_ir::Expr::mul(polaris_ir::Expr::var("N"), polaris_ir::Expr::var("N")),
+                polaris_ir::Expr::var("N"),
+            ),
+            polaris_ir::Expr::int(2),
+        );
+        let t = Poly::from_expr(&tri, DivPolicy::Exact).unwrap();
+        assert!(t.atoms().iter().all(|a| matches!(a, Atom::Var(_))));
+    }
+
+    #[test]
+    fn exact_divisibility_is_verified_not_assumed() {
+        // Exhaustive residue check: (v*v - v)/2 is integer for all v…
+        assert!(p("v**2 - v").exactly_divisible_by(Rat::int(2)));
+        // …but (v - 1)/2 and v/2 are not.
+        assert!(!p("v - 1").exactly_divisible_by(Rat::int(2)));
+        assert!(!p("v").exactly_divisible_by(Rat::int(2)));
+        // Multivariate: n*(n+1) + j*(j-1) is even for all n, j.
+        assert!(p("n*(n+1) + j*(j-1)").exactly_divisible_by(Rat::int(2)));
+        assert!(!p("n*(n+1) + j").exactly_divisible_by(Rat::int(2)));
+        // Constants.
+        assert!(p("6").exactly_divisible_by(Rat::int(3)));
+        assert!(!p("7").exactly_divisible_by(Rat::int(3)));
+        // Division by zero is never exact.
+        assert!(!p("6").exactly_divisible_by(Rat::ZERO));
     }
 
     #[test]

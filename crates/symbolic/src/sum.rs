@@ -24,10 +24,10 @@ fn power_sum_coeffs(k: u32) -> Vec<Rat> {
     let kk = k as i128;
     let mut coeffs = vec![Rat::ZERO; (k + 2) as usize];
     let inv = Rat::new(1, kk + 1).expect("k+1 > 0");
-    for j in 0..=k as usize {
+    for (j, bj) in bernoulli.iter().enumerate().take(k as usize + 1) {
         let c = binomial(kk + 1, j as i128);
         let term = Rat::int(c)
-            .checked_mul(bernoulli[j])
+            .checked_mul(*bj)
             .and_then(|t| t.checked_mul(inv))
             .expect("power-sum coefficients stay small");
         let power = (k + 1) as usize - j;

@@ -7,56 +7,100 @@
 //! polarisc [OPTIONS] FILE.f
 //!   --vfa           use the PFA-like baseline pipeline instead of Polaris
 //!   --report        print the per-loop analysis report
+//!   --diag          print the per-stage pipeline diagnostics table
 //!   --run           execute on the simulated machine and print speedup
-//!   --procs N       processor count for --run (default 8)
+//!   --procs N       processor count for --run (default 8, must be >= 1)
+//!   --fuel N        execution step budget for --run (default unlimited)
 //!   --validate      run the adversarial validation after --run
 //!   --profile       print the per-loop execution profile after --run
+//!   --strict        treat a degraded pipeline (rolled-back stage) as failure
 //!   --quiet         suppress the annotated source
+//!   --inject-fault STAGE
+//!                   deliberately panic inside the named pipeline stage
+//!                   (testing aid: exercises rollback and the degraded
+//!                   exit path end to end)
 //! ```
+//!
+//! Exit codes: `0` success, `1` failure (bad input, compile error,
+//! execution error, output mismatch), `2` success but *degraded* — one
+//! or more pipeline stages panicked and were rolled back, so the output
+//! is correct but possibly less optimized. `--strict` turns `2` into
+//! `1` for CI gates that want full optimization or nothing.
 
-use polaris::{parallelize, MachineConfig, PassOptions};
+use polaris::{MachineConfig, PassOptions};
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: polarisc [--vfa] [--report] [--diag] [--run] [--procs N] \
+                     [--fuel N] [--validate] [--profile] [--strict] [--quiet] FILE.f";
+
+const EXIT_DEGRADED: u8 = 2;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut file: Option<String> = None;
     let mut vfa = false;
     let mut report = false;
+    let mut diag = false;
     let mut run = false;
     let mut validate = false;
     let mut profile = false;
+    let mut strict = false;
     let mut quiet = false;
     let mut procs = 8usize;
+    let mut fuel: Option<u64> = None;
+    let mut inject: Vec<String> = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--vfa" => vfa = true,
             "--report" => report = true,
+            "--diag" => diag = true,
             "--run" => run = true,
             "--validate" => validate = true,
             "--profile" => profile = true,
+            "--strict" => strict = true,
             "--quiet" => quiet = true,
             "--procs" => {
                 procs = match args.next().and_then(|v| v.parse().ok()) {
                     Some(n) => n,
                     None => {
-                        eprintln!("--procs needs a number");
+                        eprintln!("polarisc: --procs needs a number");
                         return ExitCode::FAILURE;
                     }
+                };
+                if procs < 1 {
+                    eprintln!("polarisc: --procs must be at least 1 (got {procs})");
+                    return ExitCode::FAILURE;
                 }
             }
+            "--fuel" => {
+                fuel = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(0) | None => {
+                        eprintln!("polarisc: --fuel needs a positive step count");
+                        return ExitCode::FAILURE;
+                    }
+                    some => some,
+                }
+            }
+            "--inject-fault" => match args.next() {
+                Some(stage) => inject.push(stage),
+                None => {
+                    eprintln!("polarisc: --inject-fault needs a stage name");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: polarisc [--vfa] [--report] [--run] [--procs N] [--validate] [--quiet] FILE.f");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other if !other.starts_with('-') => file = Some(other.to_string()),
             other => {
-                eprintln!("unknown option `{other}`");
+                eprintln!("polarisc: unknown option `{other}`");
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(file) = file else {
-        eprintln!("usage: polarisc [--vfa] [--report] [--run] [--procs N] [--validate] [--quiet] FILE.f");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
     let source = match std::fs::read_to_string(&file) {
@@ -66,26 +110,51 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let opts = if vfa { PassOptions::vfa() } else { PassOptions::polaris() };
-    let out = match parallelize(&source, &opts) {
-        Ok(o) => o,
+
+    // Parse exactly once; the untransformed program is kept as the
+    // serial reference and the transformed copy goes through the
+    // pipeline.
+    let original = match polaris_ir::parse(&source) {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("polarisc: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let mut opts = if vfa { PassOptions::vfa() } else { PassOptions::polaris() };
+    if !inject.is_empty() {
+        let known = polaris::core::pipeline::STAGE_NAMES;
+        let mut plan = polaris::core::pipeline::FaultPlan::none();
+        for stage in &inject {
+            if !known.contains(&stage.as_str()) {
+                eprintln!("polarisc: unknown stage `{stage}` (stages: {})", known.join(", "));
+                return ExitCode::FAILURE;
+            }
+            plan = plan.and_panic_in(stage.clone());
+        }
+        opts = opts.with_faults(plan);
+    }
+    let mut program = original.clone();
+    let rep = match polaris::core::compile(&mut program, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("polarisc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     if !quiet {
-        print!("{}", out.annotated_source);
+        print!("{}", polaris_ir::printer::print_program(&program));
     }
     if report {
         eprintln!();
         eprintln!(
             "pipeline: {} call sites inlined, {} inductions removed, {} reductions flagged",
-            out.report.inline.call_sites_expanded,
-            out.report.induction.additive_removed + out.report.induction.multiplicative_removed,
-            out.report.reductions_flagged
+            rep.inline.call_sites_expanded,
+            rep.induction.additive_removed + rep.induction.multiplicative_removed,
+            rep.reductions_flagged
         );
-        for l in &out.report.loops {
+        for l in &rep.loops {
             let verdict = if l.parallel {
                 "PARALLEL".to_string()
             } else if l.speculative {
@@ -103,17 +172,41 @@ fn main() -> ExitCode {
             eprintln!("  {:<24} {verdict}{extra}", l.label);
         }
     }
+    if diag {
+        eprintln!();
+        eprintln!("{:<16} {:<12} {:>10} {:>9}", "stage", "outcome", "ir delta", "time");
+        for s in &rep.stages {
+            let outcome = match &s.outcome {
+                polaris::core::StageOutcome::Ok => "ok".to_string(),
+                polaris::core::StageOutcome::Skipped => "skipped".to_string(),
+                polaris::core::StageOutcome::RolledBack { reason } => {
+                    format!("ROLLED BACK ({reason})")
+                }
+            };
+            eprintln!(
+                "{:<16} {:<12} {:>+10} {:>8.1?}",
+                s.name, outcome, s.ir_delta, s.duration
+            );
+        }
+    }
+
     if run {
-        let original = polaris_ir::parse(&source).expect("already parsed once");
-        let serial = match polaris_machine::run_serial(&original) {
+        let serial_cfg = match fuel {
+            Some(f) => MachineConfig::serial().with_fuel(f),
+            None => MachineConfig::serial(),
+        };
+        let serial = match polaris_machine::run(&original, &serial_cfg) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("polarisc: serial execution failed: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        let cfg = MachineConfig::challenge_8().with_procs(procs);
-        let parallel = match polaris_machine::run(&out.program, &cfg) {
+        let mut cfg = MachineConfig::challenge_8().with_procs(procs);
+        if let Some(f) = fuel {
+            cfg = cfg.with_fuel(f);
+        }
+        let parallel = match polaris_machine::run(&program, &cfg) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("polarisc: parallel execution failed: {e}");
@@ -139,7 +232,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         if validate {
-            match polaris_machine::run_validated(&out.program, &cfg) {
+            match polaris_machine::run_validated(&program, &cfg) {
                 Ok(_) => eprintln!("validation: adversarial execution matches sequential"),
                 Err(e) => {
                     eprintln!("validation FAILED: {e}");
@@ -147,6 +240,16 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+
+    if rep.degraded() {
+        let rolled = rep.rolled_back_stages().join(", ");
+        if strict {
+            eprintln!("polarisc: pipeline degraded (rolled back: {rolled}); failing under --strict");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("polarisc: warning: pipeline degraded (rolled back: {rolled})");
+        return ExitCode::from(EXIT_DEGRADED);
     }
     ExitCode::SUCCESS
 }

@@ -36,6 +36,8 @@
 //! | [`machine`] (`polaris-machine`) | §4 — the simulated multiprocessor and validation harness |
 //! | [`benchmarks`] (`polaris-benchmarks`) | §4.1 — the 16 Table-1 kernels plus TRACK |
 
+pub mod fuzz;
+
 pub use polaris_benchmarks as benchmarks;
 pub use polaris_core as core;
 pub use polaris_ir as ir;

@@ -1,0 +1,275 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds without network access, so this crate implements the
+//! subset of criterion's API that the `polaris-bench` targets use, with a
+//! real (if simple) measurement loop: warm-up, time-boxed sampling, and a
+//! mean/min/max report with optional throughput. It is intentionally small —
+//! no statistics machinery, plots, or baselines — but `cargo bench` produces
+//! usable numbers and `cargo test` (which runs `harness = false` bench
+//! binaries once) completes quickly because sampling is time-capped.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-sample cap so a single bench function cannot stall a `cargo test` run.
+const TEST_MODE_SAMPLES: usize = 1;
+
+/// Upper bound on the wall-clock time spent sampling one bench function.
+const SAMPLE_TIME_CAP: Duration = Duration::from_millis(1500);
+
+/// How work amounts are reported per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> String {
+        id.id
+    }
+}
+
+/// Measurement loop handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    max_samples: usize,
+}
+
+impl Bencher {
+    fn new(max_samples: usize) -> Self {
+        Bencher { samples: Vec::new(), max_samples }
+    }
+
+    /// Time `routine` repeatedly until the sample budget is exhausted.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // warm-up run, untimed
+        std::hint::black_box(routine());
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples && started.elapsed() < SAMPLE_TIME_CAP {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; only `routine` is timed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples && started.elapsed() < SAMPLE_TIME_CAP {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = if self.criterion.test_mode { TEST_MODE_SAMPLES } else { self.sample_size };
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        self.report(&id.into(), &b.samples);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let samples = if self.criterion.test_mode { TEST_MODE_SAMPLES } else { self.sample_size };
+        let mut b = Bencher::new(samples);
+        f(&mut b, input);
+        self.report(&String::from(id), &b.samples);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{:<28} (no samples)", self.name, id);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                format!("  {:>10.1} MiB/s", n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<28} time: [{:>10.3?} {:>10.3?} {:>10.3?}]{}  ({} samples)",
+            self.name,
+            id,
+            min,
+            mean,
+            max,
+            rate,
+            samples.len()
+        );
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs `harness = false` bench binaries once to check
+        // they work; keep that path to a single sample per function. Real
+        // criterion honours the `--test` flag the same way.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmarking group `{name}`");
+        BenchmarkGroup { criterion: self, name, sample_size: 50, throughput: None }
+    }
+
+    /// Ungrouped convenience entry point (criterion parity).
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Collect bench functions into a single runner function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_function("inc", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &p| {
+            b.iter(|| p * 2)
+        });
+        group.finish();
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut b = Bencher::new(3);
+        let mut setups = 0usize;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        // one warm-up + up to three timed samples
+        assert!(setups >= 2);
+        assert!(b.samples.len() <= 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(String::from(BenchmarkId::new("f", 8)), "f/8");
+        assert_eq!(String::from(BenchmarkId::from_parameter(8)), "8");
+    }
+}

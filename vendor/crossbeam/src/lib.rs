@@ -1,0 +1,112 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! This workspace is built in environments with no access to crates.io, so
+//! the handful of `crossbeam` APIs the runtime actually uses are provided
+//! here on top of `std::thread::scope` (stable since Rust 1.63). Only the
+//! surface consumed by `polaris-runtime` is implemented:
+//!
+//! - [`thread::scope`] returning `Result<R, payload>` (an unjoined panicking
+//!   child surfaces as `Err`, exactly like crossbeam's contract)
+//! - [`thread::Scope::spawn`] whose closure receives a `&Scope` argument
+//! - [`thread::ScopedJoinHandle::join`]
+
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope for spawning threads that borrow from the enclosing stack
+    /// frame. Mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread. Mirrors `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. As in crossbeam, the closure receives a
+        /// reference to the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Create a scope, run `f` inside it, and join all threads spawned in it.
+    ///
+    /// Returns `Err(panic_payload)` if any spawned thread panicked without
+    /// being joined explicitly (crossbeam's behaviour); `std`'s scope would
+    /// re-raise that panic at scope exit, so it is caught here and converted.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicUsize::new(0);
+        let counter_ref = &counter;
+        let out = thread::scope(|s| {
+            let hs: Vec<_> = (0..4)
+                .map(|k| {
+                    s.spawn(move |_| {
+                        counter_ref.fetch_add(k, Ordering::SeqCst);
+                        k * 2
+                    })
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(out, 12);
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn joined_panic_is_an_err_on_the_handle() {
+        let out = thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        });
+        assert!(out.unwrap());
+    }
+
+    #[test]
+    fn unjoined_panic_surfaces_as_scope_err() {
+        let out = thread::scope(|s| {
+            s.spawn(|_| panic!("unjoined"));
+        });
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let got = thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 41usize).join().unwrap() + 1).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(got, 42);
+    }
+}

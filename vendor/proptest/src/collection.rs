@@ -1,0 +1,58 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generate vectors of values from `element` with lengths in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty length range for collection::vec");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn lengths_and_elements_respect_bounds() {
+        let s = vec(0i64..5, 1..4);
+        let mut rng = TestRng::new(23);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            seen[v.len() - 1] = true;
+            assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+        assert!(seen.iter().all(|b| *b), "not all lengths generated: {seen:?}");
+    }
+
+    #[test]
+    fn nests_cleanly() {
+        let s = vec(vec((0usize..2, 0usize..6), 0..5), 1..10);
+        let mut rng = TestRng::new(29);
+        let v = s.new_value(&mut rng);
+        assert!(!v.is_empty() && v.len() < 10);
+        for inner in v {
+            assert!(inner.len() < 5);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds in environments without crates.io access, so this
+//! crate reimplements the subset of proptest used by the test suite:
+//! strategies ([`strategy::Strategy`], ranges, tuples, [`strategy::Just`],
+//! string literals, [`strategy::any`], [`collection::vec`],
+//! `prop_recursive`), the [`proptest!`]/[`prop_oneof!`] macros, and the
+//! `prop_assert*` family.
+//!
+//! Semantics differ from real proptest in two deliberate ways: cases are
+//! generated from a deterministic per-test seed (reproducible everywhere,
+//! no persistence files), and failing cases are reported without shrinking.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Choose between alternative strategies (optionally `weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $item:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($item))),+
+        ])
+    };
+    ($($item:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($item)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let runner = $crate::test_runner::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for(case);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat =
+                            $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property `{}` failed on case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        runner.cases(),
+                        err
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", l, r),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", l, r),
+            ));
+        }
+    }};
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn generated_values_obey_strategies(
+            a in -10i64..10,
+            (lo, hi) in (0i32..5, 5i32..9),
+            name in prop_oneof!["X", "Y"],
+            flag in any::<bool>(),
+            v in crate::collection::vec(0usize..4, 1..6),
+        ) {
+            prop_assert!((-10..10).contains(&a));
+            prop_assert!(lo < hi, "lo {} hi {}", lo, hi);
+            prop_assert!(name == "X" || name == "Y");
+            prop_assert_eq!(flag, flag);
+            prop_assert!(!v.is_empty() && v.len() < 6);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..3) {
+            prop_assert!(x < 3);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_context() {
+        let caught = std::panic::catch_unwind(|| {
+            proptest! {
+                #[allow(unused)]
+                fn inner(x in 0i64..4) {
+                    prop_assert!(x < 2, "saw {}", x);
+                }
+            }
+            inner();
+        });
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("failed on case"), "{msg}");
+        assert!(msg.contains("saw"), "{msg}");
+    }
+}

@@ -1,0 +1,328 @@
+//! Value-generation strategies: the (non-shrinking) core of the proptest
+//! API surface this workspace uses.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+/// Something that can produce random values of a given type.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Type-erase into a cloneable, reference-counted strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let strategy = self;
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| strategy.new_value(rng)))
+    }
+
+    /// Build recursive structures: `self` generates leaves, and `recurse`
+    /// wraps an inner strategy into one producing the next layer. Depth is
+    /// strictly bounded by `depth`, so generation always terminates. The
+    /// `desired_size`/`expected_branch_size` hints are accepted for API
+    /// compatibility but not needed by this bounded construction.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            let layer = recurse(current).boxed();
+            // Bias toward the recursive layer so trees are usually non-trivial
+            // while leaves stay reachable at every level.
+            current = Union::weighted(vec![(1, base.clone()), (2, layer)]).boxed();
+        }
+        current
+    }
+}
+
+/// A cloneable type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.new_value(rng))
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between strategies of a common value type; backs
+/// `prop_oneof!` and the recursion ladder in `prop_recursive`.
+pub struct Union<T> {
+    entries: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(items: Vec<BoxedStrategy<T>>) -> Union<T> {
+        Union::weighted(items.into_iter().map(|s| (1, s)).collect())
+    }
+
+    pub fn weighted(entries: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!entries.is_empty(), "prop_oneof! needs at least one alternative");
+        let total_weight = entries.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+        Union { entries, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strategy) in &self.entries {
+            if pick < *weight as u64 {
+                return strategy.new_value(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                // Two's-complement wrap-around gives the span for both
+                // signed and unsigned operands.
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128).wrapping_add(rng.below_u128(span)) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as u128)
+                    .wrapping_sub(*self.start() as u128)
+                    .wrapping_add(1);
+                if span == 0 {
+                    // span wrapped to zero: the range covers the whole
+                    // 128-bit domain, so any draw is uniform
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    return wide as $t;
+                }
+                (*self.start() as u128).wrapping_add(rng.below_u128(span)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+/// String literals act as constant strategies producing themselves (real
+/// proptest treats them as regexes; the literals used in this workspace are
+/// all plain strings, for which the two behaviours coincide).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, _rng: &mut TestRng) -> String {
+        (*self).to_string()
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// See [`any`].
+pub struct Any<A>(PhantomData<A>);
+
+/// The canonical strategy for `A` (`any::<bool>()` et al.).
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn new_value(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..2000 {
+            let v = (-50i64..50).new_value(&mut rng);
+            assert!((-50..50).contains(&v));
+            let u = (1u32..6).new_value(&mut rng);
+            assert!((1..6).contains(&u));
+            let w = (-4i128..5).new_value(&mut rng);
+            assert!((-4..5).contains(&w));
+            let z = (0usize..=3).new_value(&mut rng);
+            assert!(z <= 3);
+        }
+    }
+
+    #[test]
+    fn ranges_reach_both_endpoints() {
+        let mut rng = TestRng::new(11);
+        let vals: Vec<i64> = (0..500).map(|_| (0i64..4).new_value(&mut rng)).collect();
+        for want in 0..4 {
+            assert!(vals.contains(&want), "never generated {want}");
+        }
+    }
+
+    #[test]
+    fn map_union_just_and_tuples_compose() {
+        let mut rng = TestRng::new(9);
+        let s = Union::new(vec![
+            Just(1i64).boxed(),
+            (10i64..20).prop_map(|v| v * 2).boxed(),
+        ]);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!(v == 1 || (20..40).contains(&v), "{v}");
+        }
+        let t = ((0i64..3), Just("x"), any::<bool>());
+        let (a, b, _c) = t.new_value(&mut rng);
+        assert!((0..3).contains(&a));
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn str_literal_is_constant_string() {
+        let mut rng = TestRng::new(1);
+        assert_eq!(Strategy::new_value(&"I", &mut rng), "I");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_nest() {
+        #[derive(Debug)]
+        enum T {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0i64..10).prop_map(T::Leaf).prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::new(17);
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            max_depth = max_depth.max(depth(&s.new_value(&mut rng)));
+        }
+        assert!(max_depth >= 2, "recursion never fired (max depth {max_depth})");
+        assert!(max_depth <= 3, "depth bound violated ({max_depth})");
+    }
+}
