@@ -9,39 +9,210 @@
 //! * PFA edges ahead on a small number of codes thanks to its more
 //!   aggressive back end — and that same back end hurts it on the
 //!   conditional-heavy APPSP and TOMCATV despite equal parallelism.
+//!
+//! Alongside the simulated numbers, every kernel is also executed on
+//! the **real-thread backend** (`ExecMode::Threaded`, static schedule)
+//! and the serial interpreter, and their wall clocks are shown so the
+//! cycle model can be compared against reality on this host.
+//!
+//! ```text
+//! figure7 [--json [PATH]] [--only NAME,NAME,...] [--threads N]
+//!   --json [PATH]  also write a machine-readable perf trajectory
+//!                  (default PATH: BENCH_figure7.json)
+//!   --only LIST    restrict to a comma-separated subset of kernels
+//!   --threads N    thread count for the real-thread column (default 8)
+//! ```
 
-use polaris_bench::{bar, speedups};
+use polaris_bench::{bar, speedups, threaded_row, SpeedupRow, ThreadedRow};
+use std::process::ExitCode;
 
-fn main() {
+const SCHEMA: &str = "polaris-bench/figure7/v1";
+
+fn main() -> ExitCode {
+    let mut json_path: Option<String> = None;
+    let mut only: Option<Vec<String>> = None;
+    let mut threads = 8usize;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => {
+                let path = match args.peek() {
+                    Some(p) if !p.starts_with("--") => args.next().unwrap(),
+                    _ => "BENCH_figure7.json".to_string(),
+                };
+                json_path = Some(path);
+            }
+            "--only" => match args.next() {
+                Some(list) => {
+                    only = Some(list.split(',').map(|s| s.trim().to_uppercase()).collect())
+                }
+                None => {
+                    eprintln!("figure7: --only needs a comma-separated kernel list");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => {
+                threads = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(0) | None => {
+                        eprintln!("figure7: --threads needs a positive count");
+                        return ExitCode::FAILURE;
+                    }
+                    Some(n) => n,
+                };
+            }
+            other => {
+                eprintln!("figure7: unknown option `{other}`");
+                eprintln!("usage: figure7 [--json [PATH]] [--only NAME,NAME,...] [--threads N]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let benches: Vec<_> = polaris_benchmarks::all()
+        .into_iter()
+        .filter(|b| only.as_ref().is_none_or(|names| names.iter().any(|n| n == b.name)))
+        .collect();
+    if benches.is_empty() {
+        eprintln!("figure7: --only matched no kernels");
+        return ExitCode::FAILURE;
+    }
+    let total = benches.len();
+
     println!("Figure 7: Speedup on 8 processors — Polaris vs VFA (PFA-like baseline)");
     println!();
-    println!("{:<9} {:>8} {:>8}   0        2        4        6        8", "Program", "Polaris", "VFA");
-    println!("{:-<76}", "");
+    println!(
+        "{:<9} {:>8} {:>8} {:>11} {:>9}   0        2        4        6        8",
+        "Program", "Polaris", "VFA", "serial(ms)", "thr(ms)"
+    );
+    println!("{:-<96}", "");
     let mut wins_p = 0;
     let mut wins_v = 0;
-    let mut rows = Vec::new();
-    for b in polaris_benchmarks::all() {
-        let row = speedups(&b, 8);
-        println!("{:<9} {:>7.2}x {:>7.2}x   P|{}", row.name, row.polaris, row.vfa, bar(row.polaris, 8.0));
-        println!("{:<9} {:>8} {:>8}   V|{}", "", "", "", bar(row.vfa, 8.0));
+    let mut rows: Vec<(SpeedupRow, ThreadedRow)> = Vec::new();
+    for b in &benches {
+        let row = speedups(b, 8);
+        let thr = threaded_row(b, threads);
+        println!(
+            "{:<9} {:>7.2}x {:>7.2}x {:>11.2} {:>9.2}   P|{}",
+            row.name,
+            row.polaris,
+            row.vfa,
+            thr.serial_wall.as_secs_f64() * 1e3,
+            thr.threaded_wall.as_secs_f64() * 1e3,
+            bar(row.polaris, 8.0)
+        );
+        println!("{:<9} {:>8} {:>8} {:>11} {:>9}   V|{}", "", "", "", "", "", bar(row.vfa, 8.0));
         if row.polaris > row.vfa * 1.02 {
             wins_p += 1;
         } else if row.vfa > row.polaris * 1.02 {
             wins_v += 1;
         }
-        rows.push(row);
+        rows.push((row, thr));
     }
-    println!("{:-<76}", "");
-    let geo = |f: &dyn Fn(&polaris_bench::SpeedupRow) -> f64| -> f64 {
+    println!("{:-<96}", "");
+    let geo = |f: &dyn Fn(&(SpeedupRow, ThreadedRow)) -> f64| -> f64 {
         (rows.iter().map(|r| f(r).ln()).sum::<f64>() / rows.len() as f64).exp()
     };
+    let geo_polaris = geo(&|r| r.0.polaris);
+    let geo_vfa = geo(&|r| r.0.vfa);
+    let geo_real = geo(&|r| r.1.real_speedup());
     println!(
-        "geometric mean: Polaris {:.2}x   VFA {:.2}x",
-        geo(&|r| r.polaris),
-        geo(&|r| r.vfa)
+        "geometric mean: Polaris {geo_polaris:.2}x   VFA {geo_vfa:.2}x   \
+         real-thread wall {geo_real:.2}x"
     );
     println!(
-        "Polaris clearly ahead on {wins_p} of 16 codes; baseline ahead on {wins_v} \
+        "Polaris clearly ahead on {wins_p} of {total} codes; baseline ahead on {wins_v} \
          (paper: PFA ahead on 2)."
     );
+    let cores = host_cores();
+    if cores < threads {
+        println!(
+            "(real-thread column ran {threads} workers on {cores} core(s); \
+             wall speedup reflects overhead, not scaling)"
+        );
+    }
+
+    if let Some(path) = json_path {
+        let doc = render_json(&rows, threads, cores, geo_polaris, geo_vfa, geo_real);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("figure7: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no serde): one
+/// object per kernel plus run metadata and geomeans, written with a
+/// stable key order so diffs between trajectory files stay readable.
+fn render_json(
+    rows: &[(SpeedupRow, ThreadedRow)],
+    threads: usize,
+    cores: usize,
+    geo_polaris: f64,
+    geo_vfa: f64,
+    geo_real: f64,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str("  \"procs\": 8,\n");
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!("  \"host_cores\": {cores},\n"));
+    s.push_str("  \"kernels\": [\n");
+    for (i, (row, thr)) in rows.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", json_escape(row.name)));
+        s.push_str(&format!("      \"serial_cycles\": {},\n", row.serial_cycles));
+        s.push_str(&format!("      \"sim_speedup_polaris\": {},\n", json_f64(row.polaris)));
+        s.push_str(&format!("      \"sim_speedup_vfa\": {},\n", json_f64(row.vfa)));
+        s.push_str(&format!(
+            "      \"serial_wall_ms\": {},\n",
+            json_f64(thr.serial_wall.as_secs_f64() * 1e3)
+        ));
+        s.push_str(&format!(
+            "      \"threaded_wall_ms\": {},\n",
+            json_f64(thr.threaded_wall.as_secs_f64() * 1e3)
+        ));
+        s.push_str(&format!("      \"real_speedup\": {},\n", json_f64(thr.real_speedup())));
+        s.push_str(&format!(
+            "      \"sim_vs_real\": {},\n",
+            json_f64(thr.sim_speedup() / thr.real_speedup().max(1e-9))
+        ));
+        s.push_str(&format!("      \"checksum\": \"fnv1a:{:016x}\"\n", thr.checksum));
+        s.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"geomean\": {\n");
+    s.push_str(&format!("    \"sim_polaris\": {},\n", json_f64(geo_polaris)));
+    s.push_str(&format!("    \"sim_vfa\": {},\n", json_f64(geo_vfa)));
+    s.push_str(&format!("    \"real_threads\": {}\n", json_f64(geo_real)));
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Finite-only float formatting (JSON has no NaN/Infinity literals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }

@@ -19,7 +19,8 @@
 
 use polaris_core::{compile, CompileReport, PassOptions};
 use polaris_ir::Program;
-use polaris_machine::{run, run_serial, CodegenModel, MachineConfig};
+use polaris_machine::{run, run_serial, CodegenModel, MachineConfig, Schedule};
+use std::time::Duration;
 
 /// Compile a benchmark with the given options, returning the program
 /// and report (panics on compile errors — harness context).
@@ -62,6 +63,70 @@ pub fn speedups(b: &polaris_benchmarks::Benchmark, procs: usize) -> SpeedupRow {
         polaris: serial.cycles as f64 / rp.cycles as f64,
         vfa: serial.cycles as f64 / rv.cycles as f64,
     }
+}
+
+/// Real-thread measurement of one Polaris-compiled benchmark: wall
+/// times of the serial interpreter and of `ExecMode::Threaded` with a
+/// static schedule, plus a checksum of the (identical) printed output.
+/// The output equality assertion inside is the same contract the
+/// equivalence tests enforce — a harness run that diverged would panic
+/// rather than report bogus numbers.
+#[derive(Debug, Clone)]
+pub struct ThreadedRow {
+    pub name: &'static str,
+    pub serial_wall: Duration,
+    pub threaded_wall: Duration,
+    /// Simulated cycle counts (kept alongside the wall clocks so the
+    /// model-vs-reality ratio can be reported per kernel).
+    pub serial_cycles: u64,
+    pub threaded_sim_cycles: u64,
+    /// FNV-1a over the printed output lines.
+    pub checksum: u64,
+}
+
+impl ThreadedRow {
+    /// Wall-clock speedup of the threaded backend over the serial
+    /// interpreter (below 1.0 = real threads were slower).
+    pub fn real_speedup(&self) -> f64 {
+        self.serial_wall.as_secs_f64() / self.threaded_wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Speedup the cycle model predicts for the same run.
+    pub fn sim_speedup(&self) -> f64 {
+        self.serial_cycles as f64 / self.threaded_sim_cycles as f64
+    }
+}
+
+/// Run one benchmark serially and on real threads, asserting identical
+/// output (see `ThreadedRow`).
+pub fn threaded_row(b: &polaris_benchmarks::Benchmark, threads: usize) -> ThreadedRow {
+    let serial = run_serial(&b.program()).unwrap();
+    let (pol, _) = compile_bench(b, &PassOptions::polaris());
+    let thr = run(&pol, &MachineConfig::threaded(threads, Schedule::Static)).unwrap();
+    assert_eq!(serial.output, thr.output, "{}: threaded output mismatch", b.name);
+    ThreadedRow {
+        name: b.name,
+        serial_wall: serial.wall,
+        threaded_wall: thr.wall,
+        serial_cycles: serial.cycles,
+        threaded_sim_cycles: thr.cycles,
+        checksum: fnv1a(&thr.output),
+    }
+}
+
+/// 64-bit FNV-1a over output lines (newline-delimited), the checksum
+/// recorded in `BENCH_figure7.json`.
+pub fn fnv1a(lines: &[String]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    for line in lines {
+        for &byte in line.as_bytes().iter().chain(b"\n") {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
 }
 
 /// Speedup of a Polaris-compiled benchmark at a processor count

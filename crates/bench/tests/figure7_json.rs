@@ -1,0 +1,261 @@
+//! `figure7 --json` must emit a well-formed, schema-stable
+//! `BENCH_figure7.json`. The workspace has no JSON dependency, so the
+//! writer is hand-rolled — this test parses its output with a small
+//! strict JSON grammar checker (objects/arrays/strings/numbers, no
+//! trailing commas, full-input consumption) and then checks the
+//! trajectory schema: required top-level keys, one record per requested
+//! kernel, and an `fnv1a:`-prefixed 64-bit checksum per record.
+
+use std::process::Command;
+
+/// Minimal strict JSON well-formedness checker. Returns Err with a byte
+/// offset on the first violation.
+struct Json<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Json<'a> {
+    fn check(text: &'a str) -> Result<(), String> {
+        let mut p = Json { s: text.as_bytes(), i: 0 };
+        p.ws();
+        p.value()?;
+        p.ws();
+        if p.i != p.s.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(())
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b'n') => self.literal("null"),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    let esc = self.peek().ok_or("dangling escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                        b'u' => {
+                            for _ in 0..4 {
+                                let h = self.peek().ok_or("short \\u escape")?;
+                                if !h.is_ascii_hexdigit() {
+                                    return Err(format!("bad \\u escape at byte {}", self.i));
+                                }
+                                self.i += 1;
+                            }
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                }
+                c if c < 0x20 => return Err(format!("raw control char at byte {}", self.i)),
+                _ => {}
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| {
+            let s = p.i;
+            while p.peek().is_some_and(|c| c.is_ascii_digit()) {
+                p.i += 1;
+            }
+            p.i > s
+        };
+        if !digits(self) {
+            return Err(format!("bad number at byte {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !digits(self) {
+                return Err(format!("bad fraction at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.i += 1;
+            }
+            if !digits(self) {
+                return Err(format!("bad exponent at byte {start}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn figure7_json_is_well_formed_and_schema_complete() {
+    let dir = std::env::temp_dir().join("figure7_json_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_figure7.json");
+    let _ = std::fs::remove_file(&path);
+
+    // A two-kernel subset keeps the test fast while exercising the
+    // whole pipeline: simulated speedups, threaded wall clocks, JSON.
+    let out = Command::new(env!("CARGO_BIN_EXE_figure7"))
+        .args(["--json", path.to_str().unwrap(), "--only", "TRFD,SWIM", "--threads", "4"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "figure7 failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let doc = std::fs::read_to_string(&path).unwrap();
+    Json::check(&doc).unwrap_or_else(|e| panic!("malformed JSON: {e}\n--- document ---\n{doc}"));
+
+    // Schema: top-level metadata and geomeans present.
+    for key in [
+        "\"schema\": \"polaris-bench/figure7/v1\"",
+        "\"procs\":",
+        "\"threads\": 4",
+        "\"host_cores\":",
+        "\"kernels\":",
+        "\"geomean\":",
+        "\"sim_polaris\":",
+        "\"sim_vfa\":",
+        "\"real_threads\":",
+    ] {
+        assert!(doc.contains(key), "missing `{key}` in:\n{doc}");
+    }
+    // One record per requested kernel, each with the full field set.
+    for name in ["TRFD", "SWIM"] {
+        assert!(doc.contains(&format!("\"name\": \"{name}\"")), "no record for {name}:\n{doc}");
+    }
+    for field in [
+        "\"serial_cycles\":",
+        "\"sim_speedup_polaris\":",
+        "\"sim_speedup_vfa\":",
+        "\"serial_wall_ms\":",
+        "\"threaded_wall_ms\":",
+        "\"real_speedup\":",
+        "\"sim_vs_real\":",
+        "\"checksum\": \"fnv1a:",
+    ] {
+        assert_eq!(
+            doc.matches(field).count(),
+            2,
+            "field `{field}` should appear once per kernel:\n{doc}"
+        );
+    }
+    // Checksums are 16 lowercase hex digits after the prefix.
+    for (i, _) in doc.match_indices("fnv1a:") {
+        let hex = &doc[i + 6..i + 22];
+        assert!(
+            hex.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()),
+            "bad checksum payload `{hex}`"
+        );
+    }
+}
+
+#[test]
+fn figure7_rejects_unknown_kernels_and_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_figure7"))
+        .args(["--only", "NOSUCH"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("matched no kernels"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_figure7")).args(["--bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+}

@@ -32,6 +32,9 @@ pub enum MachineError {
     /// Lowering would allocate more array storage than the configured
     /// memory cap allows.
     MemoryCapExceeded { need: usize, cap: usize },
+    /// A worker thread of the real-thread backend died without reporting
+    /// a result (it panicked). The parallel loop's effects are discarded.
+    WorkerPanicked { loop_label: String },
 }
 
 impl fmt::Display for MachineError {
@@ -59,6 +62,9 @@ impl fmt::Display for MachineError {
             }
             MachineError::MemoryCapExceeded { need, cap } => {
                 write!(f, "program needs {need} array elements, exceeding the memory cap of {cap}")
+            }
+            MachineError::WorkerPanicked { loop_label } => {
+                write!(f, "a worker thread panicked while executing parallel loop {loop_label}")
             }
         }
     }

@@ -5,10 +5,13 @@ use crate::error::MachineError;
 use crate::lower::{lower_with_cap, Image, Intr, RExpr, RLoop, RPar, RRed, RRef, RStmt};
 use crate::shadow::ShadowSim;
 use crate::value::{scalar_approx_eq, ArrData, ArrObj, Scalar, V};
-use crate::MachineConfig;
+use crate::{ExecMode, MachineConfig};
 use polaris_ir::expr::{BinOp, RedOp, UnOp};
 use polaris_ir::Program;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Per-loop execution statistics (keyed by loop label).
 #[derive(Debug, Clone, Default)]
@@ -27,6 +30,10 @@ pub struct RunResult {
     pub cycles: u64,
     pub output: Vec<String>,
     pub loops: BTreeMap<String, LoopExecStats>,
+    /// Host wall-clock time of the whole run. For `ExecMode::Simulated`
+    /// this is just interpreter overhead; for `ExecMode::Threaded` it is
+    /// the real parallel execution time the perf trajectory records.
+    pub wall: Duration,
 }
 
 impl RunResult {
@@ -71,33 +78,45 @@ impl RunResult {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Stop,
 }
 
 const POISON_I: i64 = -8_888_888_887;
 
-struct Interp<'a> {
-    cfg: &'a MachineConfig,
-    scalars: Vec<Scalar>,
-    arrays: Vec<ArrObj>,
-    cycles: u64,
+pub(crate) struct Interp<'a> {
+    pub(crate) cfg: &'a MachineConfig,
+    pub(crate) scalars: Vec<Scalar>,
+    pub(crate) arrays: Vec<ArrObj>,
+    pub(crate) cycles: u64,
     /// Monotonic statement/iteration counter for the fuel budget.
     /// Separate from `cycles`, which the codegen model and parallel
     /// scheduling rewind and rescale.
     steps: u64,
-    in_parallel: bool,
+    pub(crate) in_parallel: bool,
     adversarial: bool,
-    output: Vec<String>,
-    loops: BTreeMap<String, LoopExecStats>,
+    pub(crate) output: Vec<String>,
+    pub(crate) loops: BTreeMap<String, LoopExecStats>,
     /// Active speculative tracking: (array slot, shadow).
     spec: Vec<(usize, ShadowSim)>,
     spec_iter: u32,
+    /// Global fuel counter shared between the main thread and threaded
+    /// workers, so `--fuel` bounds total work across all threads.
+    pub(crate) shared_steps: Option<Arc<AtomicU64>>,
+    /// Persistent worker pool, created lazily on the first threaded loop.
+    pub(crate) pool: Option<crate::threaded::ThreadPool>,
+    /// Per-label shareable loop bodies for the threaded backend (cloned
+    /// once, then handed to workers as `Arc`s on every invocation).
+    pub(crate) tcache: BTreeMap<String, crate::threaded::SharedLoop>,
 }
 
 impl<'a> Interp<'a> {
     fn new(image: &Image, cfg: &'a MachineConfig, adversarial: bool) -> Interp<'a> {
+        let shared_steps = match cfg.exec_mode {
+            ExecMode::Threaded { .. } => Some(Arc::new(AtomicU64::new(0))),
+            ExecMode::Simulated => None,
+        };
         Interp {
             cfg,
             scalars: image.scalars.clone(),
@@ -110,6 +129,36 @@ impl<'a> Interp<'a> {
             loops: BTreeMap::new(),
             spec: Vec::new(),
             spec_iter: 0,
+            shared_steps,
+            pool: None,
+            tcache: BTreeMap::new(),
+        }
+    }
+
+    /// A worker-side interpreter executing chunks of one parallel loop.
+    /// It starts from snapshots of the parent's state and never spawns
+    /// further threads (`in_parallel` stays set).
+    pub(crate) fn for_worker(
+        cfg: &'a MachineConfig,
+        scalars: Vec<Scalar>,
+        arrays: Vec<ArrObj>,
+        shared_steps: Option<Arc<AtomicU64>>,
+    ) -> Interp<'a> {
+        Interp {
+            cfg,
+            scalars,
+            arrays,
+            cycles: 0,
+            steps: 0,
+            in_parallel: true,
+            adversarial: false,
+            output: Vec::new(),
+            loops: BTreeMap::new(),
+            spec: Vec::new(),
+            spec_iter: 0,
+            shared_steps,
+            pool: None,
+            tcache: BTreeMap::new(),
         }
     }
 
@@ -384,6 +433,17 @@ impl<'a> Interp<'a> {
     /// `cycles` it is never rewound by the codegen model or parallel
     /// bucket accounting, so it bounds *work done*, not simulated time.
     fn charge_step(&mut self) -> Result<(), MachineError> {
+        if let Some(shared) = &self.shared_steps {
+            // Threaded mode: all threads draw from one global budget.
+            let done = shared.fetch_add(1, Ordering::Relaxed) + 1;
+            self.steps = done;
+            if let Some(limit) = self.cfg.fuel {
+                if done > limit {
+                    return Err(MachineError::FuelExhausted { limit });
+                }
+            }
+            return Ok(());
+        }
         self.steps += 1;
         if let Some(limit) = self.cfg.fuel {
             if self.steps > limit {
@@ -414,7 +474,7 @@ impl<'a> Interp<'a> {
                         self.cycles += mark;
                     }
                 }
-                self.arrays[*arr].data.set(idx, v)?;
+                Arc::make_mut(&mut self.arrays[*arr].data).set(idx, v)?;
                 Ok(Flow::Normal)
             }
             RStmt::Do(l) => self.run_loop(l),
@@ -495,9 +555,15 @@ impl<'a> Interp<'a> {
         entry.invocations += 1;
         let loop_start = self.cycles;
 
-        let concurrent = !self.in_parallel && self.cfg.procs > 1;
+        let concurrent = !self.in_parallel && self.cfg.exec_procs() > 1;
         let flow = if l.par.parallel && concurrent && !self.adversarial {
-            self.run_parallel(l, &iters)?
+            match self.cfg.exec_mode {
+                // Speculative loops stay on the simulated path even in
+                // threaded mode (run_speculative, below); only loops the
+                // pipeline *proved* parallel go to real threads.
+                ExecMode::Threaded { .. } => crate::threaded::run_threaded_loop(self, l, &iters)?,
+                ExecMode::Simulated => self.run_parallel(l, &iters)?,
+            }
         } else if !l.par.spec_arrays.is_empty() && concurrent && !self.adversarial {
             self.run_speculative(l, &iters)?
         } else if l.par.parallel && self.adversarial && !self.in_parallel {
@@ -525,7 +591,7 @@ impl<'a> Interp<'a> {
         Ok(flow)
     }
 
-    fn run_one_iteration(&mut self, l: &RLoop, v: i64) -> Result<Flow, MachineError> {
+    pub(crate) fn run_one_iteration(&mut self, l: &RLoop, v: i64) -> Result<Flow, MachineError> {
         self.charge_step()?;
         self.cycles += self.cfg.cost.loop_iter;
         self.scalars[l.var].set(V::I(v))?;
@@ -538,7 +604,7 @@ impl<'a> Interp<'a> {
         Ok(flow)
     }
 
-    fn run_serial_loop(&mut self, l: &RLoop, iters: &[i64]) -> Result<Flow, MachineError> {
+    pub(crate) fn run_serial_loop(&mut self, l: &RLoop, iters: &[i64]) -> Result<Flow, MachineError> {
         for &v in iters {
             if self.run_one_iteration(l, v)? == Flow::Stop {
                 return Ok(Flow::Stop);
@@ -593,7 +659,7 @@ impl<'a> Interp<'a> {
         Ok(flow)
     }
 
-    fn merge_costs(&self, par: &RPar) -> u64 {
+    pub(crate) fn merge_costs(&self, par: &RPar) -> u64 {
         let c = &self.cfg.cost;
         let mut total = 0u64;
         for red in &par.reductions {
@@ -671,7 +737,7 @@ impl<'a> Interp<'a> {
         // stash shared state of private vars
         let saved_scalars: Vec<(usize, Scalar)> =
             l.par.private_scalars.iter().map(|&s| (s, self.scalars[s])).collect();
-        let saved_arrays: Vec<(usize, ArrData)> = l
+        let saved_arrays: Vec<(usize, Arc<ArrData>)> = l
             .par
             .private_arrays
             .iter()
@@ -760,8 +826,8 @@ fn poison_scalar(s: Scalar) -> Scalar {
     }
 }
 
-fn poison_array(d: &mut ArrData) {
-    match d {
+fn poison_array(d: &mut Arc<ArrData>) {
+    match Arc::make_mut(d) {
         ArrData::I(v) => v.fill(POISON_I),
         ArrData::R(v) => v.fill(f64::NAN),
         ArrData::B(v) => v.fill(false),
@@ -771,7 +837,7 @@ fn poison_array(d: &mut ArrData) {
 /// Accumulated reduction partials during adversarial execution.
 enum RedAccum {
     Scalar { initial: Scalar, total: f64, total_i: i64, any: bool },
-    Array { initial: ArrData, totals_r: Vec<f64>, totals_i: Vec<i64> },
+    Array { initial: Arc<ArrData>, totals_r: Vec<f64>, totals_i: Vec<i64> },
 }
 
 impl RedAccum {
@@ -805,7 +871,7 @@ impl RedAccum {
                 *any = true;
             }
             (RedAccum::Array { totals_r, totals_i, .. }, RRef::Array(a)) => {
-                match &interp.arrays[a].data {
+                match interp.arrays[a].data.as_ref() {
                     ArrData::R(vals) => {
                         for (t, v) in totals_r.iter_mut().zip(vals) {
                             *t = red_apply_r(red.op, *t, *v);
@@ -838,7 +904,7 @@ impl RedAccum {
                 Ok(())
             }
             (RedAccum::Array { initial, totals_r, totals_i }, RRef::Array(a)) => {
-                let merged = match initial {
+                let merged = match initial.as_ref() {
                     ArrData::R(vals) => ArrData::R(
                         vals.iter()
                             .zip(&totals_r)
@@ -851,9 +917,12 @@ impl RedAccum {
                             .map(|(v, t)| red_apply_i(red.op, *v, *t))
                             .collect(),
                     ),
-                    b => b,
+                    ArrData::B(_) => {
+                        interp.arrays[a].data = initial;
+                        return Ok(());
+                    }
                 };
-                interp.arrays[a].data = merged;
+                interp.arrays[a].data = Arc::new(merged);
                 Ok(())
             }
             _ => unreachable!(),
@@ -870,7 +939,7 @@ fn set_identity(red: &RRed, interp: &mut Interp<'_>) {
                 b => b,
             };
         }
-        RRef::Array(a) => match &mut interp.arrays[a].data {
+        RRef::Array(a) => match Arc::make_mut(&mut interp.arrays[a].data) {
             ArrData::R(v) => v.fill(red_identity_r(red.op)),
             ArrData::I(v) => v.fill(red_identity_i(red.op)),
             ArrData::B(_) => {}
@@ -878,7 +947,7 @@ fn set_identity(red: &RRed, interp: &mut Interp<'_>) {
     }
 }
 
-fn red_identity_r(op: RedOp) -> f64 {
+pub(crate) fn red_identity_r(op: RedOp) -> f64 {
     match op {
         RedOp::Sum => 0.0,
         RedOp::Product => 1.0,
@@ -887,7 +956,7 @@ fn red_identity_r(op: RedOp) -> f64 {
     }
 }
 
-fn red_identity_i(op: RedOp) -> i64 {
+pub(crate) fn red_identity_i(op: RedOp) -> i64 {
     match op {
         RedOp::Sum => 0,
         RedOp::Product => 1,
@@ -896,7 +965,7 @@ fn red_identity_i(op: RedOp) -> i64 {
     }
 }
 
-fn red_apply_r(op: RedOp, a: f64, b: f64) -> f64 {
+pub(crate) fn red_apply_r(op: RedOp, a: f64, b: f64) -> f64 {
     match op {
         RedOp::Sum => a + b,
         RedOp::Product => a * b,
@@ -905,7 +974,7 @@ fn red_apply_r(op: RedOp, a: f64, b: f64) -> f64 {
     }
 }
 
-fn red_apply_i(op: RedOp, a: i64, b: i64) -> i64 {
+pub(crate) fn red_apply_i(op: RedOp, a: i64, b: i64) -> i64 {
     match op {
         RedOp::Sum => a.wrapping_add(b),
         RedOp::Product => a.wrapping_mul(b),
@@ -916,12 +985,19 @@ fn red_apply_i(op: RedOp, a: i64, b: i64) -> i64 {
 
 // ---- public entry points ---------------------------------------------
 
-/// Run `program` on the simulated machine.
+/// Run `program` on the machine (simulated or real-threaded per
+/// `cfg.exec_mode`).
 pub fn run(program: &Program, cfg: &MachineConfig) -> Result<RunResult, MachineError> {
+    let t0 = Instant::now();
     let image = lower_with_cap(program, cfg.memory_cap)?;
     let mut interp = Interp::new(&image, cfg, false);
     interp.run_list(&image.code)?;
-    Ok(RunResult { cycles: interp.cycles, output: interp.output, loops: interp.loops })
+    Ok(RunResult {
+        cycles: interp.cycles,
+        output: interp.output,
+        loops: interp.loops,
+        wall: t0.elapsed(),
+    })
 }
 
 /// Run serially (annotations have no effect; the serial reference time).
@@ -941,10 +1017,14 @@ pub fn run_validated(
     let mut serial_cfg = MachineConfig::serial();
     serial_cfg.fuel = cfg.fuel;
     serial_cfg.memory_cap = cfg.memory_cap;
+    let t_seq = Instant::now();
     let mut seq = Interp::new(&image, &serial_cfg, false);
     seq.run_list(&image.code)?;
+    let seq_wall = t_seq.elapsed();
+    let t_adv = Instant::now();
     let mut adv = Interp::new(&image, cfg, true);
     adv.run_list(&image.code)?;
+    let adv_wall = t_adv.elapsed();
 
     // Variables privatized without copy-out have unspecified values after
     // a parallel loop: exclude them from the comparison. (If a later use
@@ -983,8 +1063,8 @@ pub fn run_validated(
         )));
     }
     Ok((
-        RunResult { cycles: seq.cycles, output: seq.output, loops: seq.loops },
-        RunResult { cycles: adv.cycles, output: adv.output, loops: adv.loops },
+        RunResult { cycles: seq.cycles, output: seq.output, loops: seq.loops, wall: seq_wall },
+        RunResult { cycles: adv.cycles, output: adv.output, loops: adv.loops, wall: adv_wall },
     ))
 }
 

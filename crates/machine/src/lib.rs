@@ -34,11 +34,30 @@ pub mod error;
 pub mod exec;
 pub mod lower;
 pub mod shadow;
+pub mod threaded;
 pub mod value;
 
 pub use cost::{CodegenModel, CostModel, Schedule};
 pub use error::MachineError;
 pub use exec::{run, run_serial, run_validated, LoopExecStats, RunResult};
+
+/// How `PARALLEL DO` loops are executed.
+///
+/// * `Simulated` — the historical mode: iterations run sequentially on
+///   the interpreter thread and a cycle cost model charges them to
+///   per-processor buckets, reproducing the paper's Challenge numbers.
+/// * `Threaded` — loops the pipeline proved parallel are chunked over
+///   the iteration space and executed by a persistent pool of real OS
+///   threads ([`threaded`]), with per-worker private copies and a
+///   deterministic chunk-ordered tree merge for reductions. Results
+///   (output, final memory) are required to match serial execution;
+///   the simulated cycle accounting is still maintained so speedup
+///   *models* stay comparable across modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    Simulated,
+    Threaded { procs: usize, schedule: Schedule },
+}
 
 /// Simulated machine configuration.
 #[derive(Debug, Clone)]
@@ -52,11 +71,14 @@ pub struct MachineConfig {
     /// interpreter charges one unit per statement / loop iteration and
     /// aborts with [`MachineError::FuelExhausted`] once the budget is
     /// spent — a miscompiled non-terminating program becomes a reported
-    /// error instead of a hang.
+    /// error instead of a hang. In threaded mode the budget is a global
+    /// atomic counter drawn on by every worker thread.
     pub fuel: Option<u64>,
     /// Cap on total array elements lowering may allocate. `None` =
     /// the built-in per-array safety limit only.
     pub memory_cap: Option<usize>,
+    /// Parallel-loop execution backend (default: `Simulated`).
+    pub exec_mode: ExecMode,
 }
 
 impl MachineConfig {
@@ -69,6 +91,7 @@ impl MachineConfig {
             codegen: CodegenModel::none(),
             fuel: None,
             memory_cap: None,
+            exec_mode: ExecMode::Simulated,
         }
     }
 
@@ -81,12 +104,57 @@ impl MachineConfig {
             codegen: CodegenModel::none(),
             fuel: None,
             memory_cap: None,
+            exec_mode: ExecMode::Simulated,
+        }
+    }
+
+    /// Real-thread execution with `procs` worker threads. Also sets the
+    /// simulated `procs`/`schedule` to the same values so cost-model
+    /// accounting (and the speculative fallback path) stays consistent
+    /// with what actually runs.
+    pub fn threaded(procs: usize, schedule: Schedule) -> MachineConfig {
+        MachineConfig {
+            procs: procs.max(1),
+            cost: CostModel::default(),
+            schedule,
+            codegen: CodegenModel::none(),
+            fuel: None,
+            memory_cap: None,
+            exec_mode: ExecMode::Threaded { procs: procs.max(1), schedule },
         }
     }
 
     pub fn with_procs(mut self, procs: usize) -> MachineConfig {
         self.procs = procs;
+        if let ExecMode::Threaded { procs: ref mut p, .. } = self.exec_mode {
+            *p = procs.max(1);
+        }
         self
+    }
+
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> MachineConfig {
+        self.exec_mode = mode;
+        if let ExecMode::Threaded { procs, schedule } = mode {
+            self.procs = procs.max(1);
+            self.schedule = schedule;
+        }
+        self
+    }
+
+    /// Worker count of the active execution backend.
+    pub fn exec_procs(&self) -> usize {
+        match self.exec_mode {
+            ExecMode::Simulated => self.procs,
+            ExecMode::Threaded { procs, .. } => procs,
+        }
+    }
+
+    /// Schedule of the active execution backend.
+    pub fn exec_schedule(&self) -> Schedule {
+        match self.exec_mode {
+            ExecMode::Simulated => self.schedule,
+            ExecMode::Threaded { schedule, .. } => schedule,
+        }
     }
 
     pub fn with_codegen(mut self, codegen: CodegenModel) -> MachineConfig {

@@ -220,7 +220,12 @@ pub fn lower_unit_with_cap(unit: &ProgramUnit, cap: Option<usize>) -> Result<Ima
                 };
                 let id = l.arrays.len();
                 l.array_ids.insert(sym.name.clone(), id);
-                l.arrays.push(ArrObj { name: sym.name.clone(), lows, extents, data });
+                l.arrays.push(ArrObj {
+                    name: sym.name.clone(),
+                    lows,
+                    extents,
+                    data: std::sync::Arc::new(data),
+                });
             }
             SymKind::Parameter(_) | SymKind::External => {}
         }

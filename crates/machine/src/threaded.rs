@@ -1,0 +1,933 @@
+//! Real-thread execution backend for `PARALLEL DO` loops.
+//!
+//! The simulated machine (`exec::run_parallel`) charges iterations to
+//! per-processor cycle buckets but executes them sequentially. This
+//! module is the other half of the story: loops the pipeline *proved*
+//! parallel are lowered to chunked iteration-space work lists and
+//! executed by a persistent pool of OS threads, the way the paper's SGI
+//! backend consumed Polaris directives.
+//!
+//! Correctness contract — results must be **deterministic and identical
+//! to serial execution** even though execution order is not:
+//!
+//! * Every worker starts from a copy-on-write snapshot of the shared
+//!   state (scalars are copied; arrays share storage via `Arc` until
+//!   first write). Privatized variables are thereby trivially private.
+//! * Reductions are accumulated **per chunk** (the target is reset to
+//!   the identity at chunk start and the partial captured at chunk end)
+//!   and merged on the main thread in chunk-index order by a fixed-shape
+//!   binary tree ([`tree_merge_r`]), so the floating-point association
+//!   is a function of the chunk plan alone — not of thread timing. The
+//!   same program at the same thread count always produces bit-identical
+//!   results; *across* thread counts, sums may differ from serial by
+//!   reassociation roundoff (see the tolerance notes in the tests).
+//! * Shared arrays are committed by diffing each worker's copy against
+//!   the pre-fork snapshot (bit-level comparison, so `-0.0` vs `0.0` and
+//!   NaN payloads are preserved) and applying only written elements, in
+//!   worker order. A correctly-parallelized loop writes disjoint
+//!   elements, so the order cannot matter; if a miscompile makes writes
+//!   collide, the equivalence tests catch the divergence.
+//! * Worker output (PRINT) and copy-out scalars are committed in chunk
+//!   order; errors are reported for the smallest failing iteration
+//!   index, matching what sequential execution would hit first.
+//! * Loops whose body contains `STOP` fall back to exact serial
+//!   execution (a mid-loop STOP must suppress later iterations), and
+//!   speculative loops stay on the simulated LRPD path.
+//!
+//! Simulated cycle accounting is maintained alongside real execution
+//! (per-chunk cycle deltas are assigned to buckets exactly like the
+//! simulator's `proc_of`), so `--diag`-style speedup *models* remain
+//! comparable between `ExecMode::Simulated` and `ExecMode::Threaded`.
+
+use crate::cost::Schedule;
+use crate::error::MachineError;
+use crate::exec::{red_apply_i, red_apply_r, red_identity_i, red_identity_r, Flow, Interp};
+use crate::lower::{RLoop, RRef, RStmt};
+use crate::value::{ArrData, ArrObj, Scalar};
+use crate::{ExecMode, MachineConfig};
+use polaris_ir::expr::RedOp;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+// ---- the persistent worker pool --------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of OS threads fed from one shared job queue. It is
+/// created lazily on the first threaded loop of a run and lives for the
+/// whole run, so per-loop fork cost is a channel send, not a spawn.
+pub struct ThreadPool {
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    pub fn new(threads: usize) -> ThreadPool {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("polaris-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => return, // a job panicked while holding the lock
+                        };
+                        match job {
+                            Ok(job) => {
+                                // A panicking job must not take the pool
+                                // down: swallow it here; the main thread
+                                // notices the missing result.
+                                let _ = catch_unwind(AssertUnwindSafe(job));
+                            }
+                            Err(_) => return, // pool dropped
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool { tx: Some(tx), workers }
+    }
+
+    pub fn submit(&self, job: Job) {
+        self.tx
+            .as_ref()
+            .expect("pool is live")
+            .send(job)
+            .expect("worker threads alive");
+    }
+
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // disconnect: workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+// ---- chunk plans ------------------------------------------------------
+
+/// How the iteration space `0..trip` is cut into chunks. Chunk `k`
+/// covers `bounds(k)`; the mapping is a pure function of `(trip,
+/// schedule, procs)` so every run — and the simulator's `proc_of` —
+/// agrees on it.
+#[derive(Debug, Clone, Copy)]
+enum ChunkPlan {
+    /// One contiguous block per worker (chunk k belongs to worker k).
+    Block { trip: usize, procs: usize },
+    /// Fixed-size chunks claimed dynamically (self-scheduling).
+    SelfSched { trip: usize, chunk: usize },
+}
+
+impl ChunkPlan {
+    fn new(trip: usize, procs: usize, schedule: Schedule) -> ChunkPlan {
+        match schedule {
+            Schedule::Static => ChunkPlan::Block { trip, procs },
+            Schedule::Dynamic { chunk } => ChunkPlan::SelfSched { trip, chunk: chunk.max(1) },
+        }
+    }
+
+    fn n_chunks(&self) -> usize {
+        match *self {
+            ChunkPlan::Block { procs, .. } => procs,
+            ChunkPlan::SelfSched { trip, chunk } => trip.div_ceil(chunk),
+        }
+    }
+
+    fn bounds(&self, k: usize) -> (usize, usize) {
+        match *self {
+            ChunkPlan::Block { trip, procs } => {
+                let per = trip.div_ceil(procs).max(1);
+                ((k * per).min(trip), ((k + 1) * per).min(trip))
+            }
+            ChunkPlan::SelfSched { trip, chunk } => ((k * chunk).min(trip), ((k + 1) * chunk).min(trip)),
+        }
+    }
+
+    /// Index of the chunk containing the final iteration (`trip-1`).
+    fn last_chunk(&self) -> usize {
+        match *self {
+            ChunkPlan::Block { trip, procs } => {
+                let per = trip.div_ceil(procs).max(1);
+                ((trip.saturating_sub(1)) / per).min(procs - 1)
+            }
+            ChunkPlan::SelfSched { trip, chunk } => trip.saturating_sub(1) / chunk,
+        }
+    }
+
+    /// Simulated processor bucket a chunk's cycles are charged to —
+    /// kept identical to `exec::Interp::proc_of`'s iteration mapping.
+    fn bucket_of(&self, k: usize) -> usize {
+        match *self {
+            ChunkPlan::Block { procs, .. } => k.min(procs - 1),
+            ChunkPlan::SelfSched { .. } => k, // caller takes `% procs`
+        }
+    }
+}
+
+// ---- shared loop cache ------------------------------------------------
+
+/// A loop body made shareable across threads, cached per label so the
+/// clone happens once per program run, not once per invocation.
+#[derive(Clone)]
+pub struct SharedLoop {
+    pub l: Arc<RLoop>,
+    /// Body contains STOP somewhere: fall back to serial execution.
+    pub has_stop: bool,
+}
+
+fn body_has_stop(stmts: &[RStmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        RStmt::Stop => true,
+        RStmt::Do(l) => body_has_stop(&l.body),
+        RStmt::If(arms, e) => arms.iter().any(|(_, b)| body_has_stop(b)) || body_has_stop(e),
+        _ => false,
+    })
+}
+
+// ---- worker-side results ---------------------------------------------
+
+/// A reduction partial accumulated over one chunk.
+#[derive(Debug, Clone)]
+enum RedPartial {
+    R(f64),
+    I(i64),
+    ArrR(Vec<f64>),
+    ArrI(Vec<i64>),
+    /// Logical target: reductions do not apply, nothing to merge.
+    None,
+}
+
+#[derive(Debug, Clone)]
+struct ChunkOut {
+    k: usize,
+    cycles: u64,
+    output: Vec<String>,
+    /// One partial per `l.par.reductions` entry, in order.
+    partials: Vec<RedPartial>,
+    /// Copy-out scalar values captured after the final iteration
+    /// (only set on the chunk containing it).
+    copy_out: Option<Vec<(usize, Scalar)>>,
+}
+
+struct WorkerOut {
+    wid: usize,
+    arrays: Vec<ArrObj>,
+    loops: BTreeMap<String, crate::exec::LoopExecStats>,
+    chunks: Vec<ChunkOut>,
+    /// First failing iteration index and its error, if any.
+    err: Option<(usize, MachineError)>,
+}
+
+/// Everything a worker needs, owned, so the job closure is `'static`.
+struct WorkerTask {
+    wid: usize,
+    l: Arc<RLoop>,
+    iters: Arc<Vec<i64>>,
+    plan: ChunkPlan,
+    queue: Arc<AtomicUsize>,
+    cfg: MachineConfig,
+    scalars: Vec<Scalar>,
+    arrays: Vec<ArrObj>,
+    shared_steps: Option<Arc<AtomicU64>>,
+}
+
+fn worker_run(task: WorkerTask) -> WorkerOut {
+    let WorkerTask { wid, l, iters, plan, queue, cfg, scalars, arrays, shared_steps } = task;
+    let mut it = Interp::for_worker(&cfg, scalars, arrays, shared_steps);
+    let mut chunks: Vec<ChunkOut> = Vec::new();
+    let mut err: Option<(usize, MachineError)> = None;
+    let n_chunks = plan.n_chunks();
+    let last_chunk = plan.last_chunk();
+    let mut block_done = false;
+    loop {
+        let k = match plan {
+            // Block: worker k owns exactly chunk k.
+            ChunkPlan::Block { .. } => {
+                if block_done {
+                    break;
+                }
+                block_done = true;
+                wid
+            }
+            // Self-scheduling: claim the next chunk index.
+            ChunkPlan::SelfSched { .. } => queue.fetch_add(1, Ordering::Relaxed),
+        };
+        if k >= n_chunks {
+            break;
+        }
+        let (start, end) = plan.bounds(k);
+        if start >= end {
+            continue;
+        }
+        let c0 = it.cycles;
+        let out0 = it.output.len();
+        for red in &l.par.reductions {
+            reset_to_identity(&mut it, red.op, red.target);
+        }
+        let mut chunk_err: Option<(usize, MachineError)> = None;
+        for idx in start..end {
+            match it.run_one_iteration(&l, iters[idx]) {
+                Ok(Flow::Normal) => {}
+                // STOP bodies never reach the threaded path (serial
+                // fallback), but surface it as an error defensively
+                // rather than silently dropping iterations.
+                Ok(Flow::Stop) => {
+                    chunk_err = Some((idx, MachineError::Stopped));
+                    break;
+                }
+                Err(e) => {
+                    chunk_err = Some((idx, e));
+                    break;
+                }
+            }
+        }
+        let partials = l
+            .par
+            .reductions
+            .iter()
+            .map(|red| capture_partial(&it, red.target))
+            .collect();
+        let copy_out = if k == last_chunk && chunk_err.is_none() {
+            Some(l.par.copy_out_scalars.iter().map(|&s| (s, it.scalars[s])).collect())
+        } else {
+            None
+        };
+        chunks.push(ChunkOut {
+            k,
+            cycles: it.cycles - c0,
+            output: it.output.split_off(out0),
+            partials,
+            copy_out,
+        });
+        if let Some((idx, e)) = chunk_err {
+            err = Some((idx, e));
+            break;
+        }
+    }
+    WorkerOut { wid, arrays: it.arrays, loops: it.loops, chunks, err }
+}
+
+fn reset_to_identity(it: &mut Interp<'_>, op: RedOp, target: RRef) {
+    match target {
+        RRef::Scalar(s) => {
+            it.scalars[s] = match it.scalars[s] {
+                Scalar::R(_) => Scalar::R(red_identity_r(op)),
+                Scalar::I(_) => Scalar::I(red_identity_i(op)),
+                b => b,
+            };
+        }
+        RRef::Array(a) => match Arc::make_mut(&mut it.arrays[a].data) {
+            ArrData::R(v) => v.fill(red_identity_r(op)),
+            ArrData::I(v) => v.fill(red_identity_i(op)),
+            ArrData::B(_) => {}
+        },
+    }
+}
+
+fn capture_partial(it: &Interp<'_>, target: RRef) -> RedPartial {
+    match target {
+        RRef::Scalar(s) => match it.scalars[s] {
+            Scalar::R(v) => RedPartial::R(v),
+            Scalar::I(v) => RedPartial::I(v),
+            Scalar::B(_) => RedPartial::None,
+        },
+        RRef::Array(a) => match it.arrays[a].data.as_ref() {
+            ArrData::R(v) => RedPartial::ArrR(v.clone()),
+            ArrData::I(v) => RedPartial::ArrI(v.clone()),
+            ArrData::B(_) => RedPartial::None,
+        },
+    }
+}
+
+// ---- deterministic tree merge ----------------------------------------
+
+/// Merge partials pairwise in a fixed-shape binary tree:
+/// `[a,b,c,d,e]` → `[(a∘b),(c∘d),e]` → `[((a∘b)∘(c∘d)),e]` → result.
+/// The association depends only on the *number and order* of partials
+/// (chunk-index order), never on thread completion order.
+pub fn tree_merge_r(mut vals: Vec<f64>, op: RedOp) -> Option<f64> {
+    while vals.len() > 1 {
+        vals = vals
+            .chunks(2)
+            .map(|p| if p.len() == 2 { red_apply_r(op, p[0], p[1]) } else { p[0] })
+            .collect();
+    }
+    vals.pop()
+}
+
+/// Integer variant of [`tree_merge_r`]. Sum/product use wrapping
+/// arithmetic, which is fully associative, so any tree shape gives the
+/// exact serial answer; min/max are associative outright.
+pub fn tree_merge_i(mut vals: Vec<i64>, op: RedOp) -> Option<i64> {
+    while vals.len() > 1 {
+        vals = vals
+            .chunks(2)
+            .map(|p| if p.len() == 2 { red_apply_i(op, p[0], p[1]) } else { p[0] })
+            .collect();
+    }
+    vals.pop()
+}
+
+// ---- array diff-merge -------------------------------------------------
+
+/// Apply to `dst` every element where `theirs` differs from `base`.
+/// Bit-level comparison for reals so `-0.0` vs `0.0` writes and NaN
+/// payloads survive the round trip.
+fn merge_diff(dst: &mut ArrData, theirs: &ArrData, base: &ArrData) {
+    match (dst, theirs, base) {
+        (ArrData::R(d), ArrData::R(t), ArrData::R(b)) => {
+            for i in 0..d.len() {
+                if t[i].to_bits() != b[i].to_bits() {
+                    d[i] = t[i];
+                }
+            }
+        }
+        (ArrData::I(d), ArrData::I(t), ArrData::I(b)) => {
+            for i in 0..d.len() {
+                if t[i] != b[i] {
+                    d[i] = t[i];
+                }
+            }
+        }
+        (ArrData::B(d), ArrData::B(t), ArrData::B(b)) => {
+            for i in 0..d.len() {
+                if t[i] != b[i] {
+                    d[i] = t[i];
+                }
+            }
+        }
+        _ => unreachable!("array type changed during execution"),
+    }
+}
+
+// ---- the main-thread driver ------------------------------------------
+
+/// Execute one `PARALLEL DO` on the worker pool. Called from
+/// `Interp::run_loop` when `cfg.exec_mode` is `Threaded`.
+pub(crate) fn run_threaded_loop(
+    interp: &mut Interp<'_>,
+    l: &RLoop,
+    iters: &[i64],
+) -> Result<Flow, MachineError> {
+    let trip = iters.len();
+    if trip == 0 {
+        return Ok(Flow::Normal);
+    }
+    let (procs, schedule) = match interp.cfg.exec_mode {
+        ExecMode::Threaded { procs, schedule } => (procs.max(1), schedule),
+        ExecMode::Simulated => unreachable!("threaded driver in simulated mode"),
+    };
+
+    // STOP in the body means later iterations must not run at all:
+    // only exact serial execution preserves that.
+    let shared = cached_loop(interp, l);
+    if shared.has_stop {
+        return interp.run_serial_loop(l, iters);
+    }
+
+    let pool_threads = interp.pool.as_ref().map(|p| p.threads());
+    debug_assert!(pool_threads.is_none() || pool_threads == Some(procs));
+    let plan = ChunkPlan::new(trip, procs, schedule);
+    let iters_arc = Arc::new(iters.to_vec());
+    let queue = Arc::new(AtomicUsize::new(0));
+    let snapshot: Vec<Arc<ArrData>> = interp.arrays.iter().map(|a| Arc::clone(&a.data)).collect();
+
+    let (tx, rx) = mpsc::channel::<WorkerOut>();
+    {
+        let pool = interp
+            .pool
+            .get_or_insert_with(|| ThreadPool::new(procs));
+        for wid in 0..procs {
+            let task = WorkerTask {
+                wid,
+                l: Arc::clone(&shared.l),
+                iters: Arc::clone(&iters_arc),
+                plan,
+                queue: Arc::clone(&queue),
+                cfg: interp.cfg.clone(),
+                scalars: interp.scalars.clone(),
+                arrays: interp.arrays.clone(),
+                shared_steps: interp.shared_steps.clone(),
+            };
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                let out = worker_run(task);
+                let _ = tx.send(out);
+            }));
+        }
+    }
+    drop(tx);
+    let mut results: Vec<WorkerOut> = rx.iter().collect();
+    if results.len() < procs {
+        return Err(MachineError::WorkerPanicked { loop_label: l.label.clone() });
+    }
+    results.sort_by_key(|w| w.wid);
+
+    // Deterministic error: the smallest failing iteration index is what
+    // sequential execution would have hit first.
+    if let Some((_, e)) = results
+        .iter()
+        .filter_map(|w| w.err.clone())
+        .min_by_key(|(idx, _)| *idx)
+    {
+        return Err(e);
+    }
+
+    let mut chunks: Vec<ChunkOut> = results.iter().flat_map(|w| w.chunks.iter().cloned()).collect();
+    chunks.sort_by_key(|c| c.k);
+
+    // -- simulated cycle accounting (mirrors exec::run_parallel) --------
+    let c = &interp.cfg.cost;
+    let total: u64 = chunks.iter().map(|ch| ch.cycles).sum();
+    if total < 2 * c.fork_join {
+        interp.cycles += total + c.branch;
+    } else {
+        let mut buckets = vec![0u64; procs];
+        for ch in &chunks {
+            buckets[plan.bucket_of(ch.k) % procs] += ch.cycles;
+        }
+        let mut charged = c.fork_join + buckets.iter().copied().max().unwrap_or(0);
+        if let Schedule::Dynamic { .. } = schedule {
+            charged += plan.n_chunks() as u64 * c.dispatch;
+        }
+        charged += interp.merge_costs(&l.par);
+        interp.cycles += charged;
+    }
+
+    // -- merge nested-loop stats ----------------------------------------
+    for w in &results {
+        for (label, st) in &w.loops {
+            let e = interp.loops.entry(label.clone()).or_default();
+            e.invocations += st.invocations;
+            e.parallel_invocations += st.parallel_invocations;
+            e.spec_success += st.spec_success;
+            e.spec_fail += st.spec_fail;
+            e.cycles += st.cycles;
+        }
+    }
+
+    // -- commit shared arrays (diff vs snapshot, worker order) ----------
+    let mut skip = vec![false; interp.arrays.len()];
+    for &a in &l.par.private_arrays {
+        skip[a] = true;
+    }
+    for red in &l.par.reductions {
+        if let RRef::Array(a) = red.target {
+            skip[a] = true;
+        }
+    }
+    for w in &results {
+        for (i, wa) in w.arrays.iter().enumerate() {
+            if skip[i] || Arc::ptr_eq(&wa.data, &snapshot[i]) {
+                continue;
+            }
+            if Arc::ptr_eq(&interp.arrays[i].data, &snapshot[i]) {
+                // First writer: its copy differs from the snapshot only
+                // where it wrote, so adopt it wholesale.
+                interp.arrays[i].data = Arc::clone(&wa.data);
+            } else {
+                merge_diff(Arc::make_mut(&mut interp.arrays[i].data), &wa.data, &snapshot[i]);
+            }
+        }
+    }
+
+    // -- reductions: chunk-ordered tree merge ---------------------------
+    for (r, red) in l.par.reductions.iter().enumerate() {
+        match red.target {
+            RRef::Scalar(s) => {
+                let rs: Vec<f64> = chunks
+                    .iter()
+                    .filter_map(|ch| match ch.partials[r] {
+                        RedPartial::R(v) => Some(v),
+                        _ => None,
+                    })
+                    .collect();
+                let is: Vec<i64> = chunks
+                    .iter()
+                    .filter_map(|ch| match ch.partials[r] {
+                        RedPartial::I(v) => Some(v),
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(total) = tree_merge_r(rs, red.op) {
+                    if let Scalar::R(v) = interp.scalars[s] {
+                        interp.scalars[s] = Scalar::R(red_apply_r(red.op, v, total));
+                    }
+                }
+                if let Some(total) = tree_merge_i(is, red.op) {
+                    if let Scalar::I(v) = interp.scalars[s] {
+                        interp.scalars[s] = Scalar::I(red_apply_i(red.op, v, total));
+                    }
+                }
+            }
+            RRef::Array(a) => {
+                let parts_r: Vec<&Vec<f64>> = chunks
+                    .iter()
+                    .filter_map(|ch| match &ch.partials[r] {
+                        RedPartial::ArrR(v) => Some(v),
+                        _ => None,
+                    })
+                    .collect();
+                let parts_i: Vec<&Vec<i64>> = chunks
+                    .iter()
+                    .filter_map(|ch| match &ch.partials[r] {
+                        RedPartial::ArrI(v) => Some(v),
+                        _ => None,
+                    })
+                    .collect();
+                match Arc::make_mut(&mut interp.arrays[a].data) {
+                    ArrData::R(base) => {
+                        for (j, slot) in base.iter_mut().enumerate() {
+                            let col: Vec<f64> = parts_r.iter().map(|p| p[j]).collect();
+                            if let Some(total) = tree_merge_r(col, red.op) {
+                                *slot = red_apply_r(red.op, *slot, total);
+                            }
+                        }
+                    }
+                    ArrData::I(base) => {
+                        for (j, slot) in base.iter_mut().enumerate() {
+                            let col: Vec<i64> = parts_i.iter().map(|p| p[j]).collect();
+                            if let Some(total) = tree_merge_i(col, red.op) {
+                                *slot = red_apply_i(red.op, *slot, total);
+                            }
+                        }
+                    }
+                    ArrData::B(_) => {}
+                }
+            }
+        }
+    }
+
+    // -- copy-out (lastprivate) and output, in chunk order --------------
+    for ch in &chunks {
+        if let Some(vals) = &ch.copy_out {
+            for &(s, v) in vals {
+                interp.scalars[s] = v;
+            }
+        }
+    }
+    for ch in &mut chunks {
+        interp.output.append(&mut ch.output);
+    }
+
+    let entry = interp.loops.entry(l.label.clone()).or_default();
+    entry.parallel_invocations += 1;
+    Ok(Flow::Normal)
+}
+
+fn cached_loop(interp: &mut Interp<'_>, l: &RLoop) -> SharedLoop {
+    interp
+        .tcache
+        .entry(l.label.clone())
+        .or_insert_with(|| SharedLoop {
+            l: Arc::new(l.clone()),
+            has_stop: body_has_stop(&l.body),
+        })
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny deterministic PRNG (SplitMix64) for the adversarial-order
+    /// tests; the machine crate deliberately has no dev-dependencies on
+    /// the fuzz harness.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        fn f64(&mut self) -> f64 {
+            (self.next() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Documented tolerance for floating-point reduction reassociation:
+    /// merging P partials in a different association than the serial
+    /// left fold perturbs a sum of N well-scaled terms by at most a few
+    /// ULPs per level, far below 1e-12 relative for the sizes tested.
+    const FP_REL_TOL: f64 = 1e-12;
+
+    fn rel_err(a: f64, b: f64) -> f64 {
+        (a - b).abs() / a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn tree_merge_matches_serial_fold_within_tolerance() {
+        let mut rng = Rng(42);
+        for n in [1usize, 2, 3, 7, 8, 64, 1000] {
+            let vals: Vec<f64> = (0..n).map(|_| rng.f64() * 100.0).collect();
+            let serial: f64 = vals.iter().fold(0.0, |a, v| a + v);
+            let tree = tree_merge_r(vals.clone(), RedOp::Sum).unwrap();
+            assert!(
+                rel_err(serial, tree) <= FP_REL_TOL,
+                "n={n}: serial {serial} vs tree {tree}"
+            );
+            // max/min are exact under any association
+            let serial_max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(tree_merge_r(vals.clone(), RedOp::Max).unwrap(), serial_max);
+        }
+    }
+
+    #[test]
+    fn integer_tree_merge_is_exact() {
+        let mut rng = Rng(7);
+        for n in [1usize, 5, 17, 256] {
+            let vals: Vec<i64> = (0..n).map(|_| (rng.next() % 1000) as i64 - 500).collect();
+            let serial: i64 = vals.iter().fold(0i64, |a, v| a.wrapping_add(*v));
+            assert_eq!(tree_merge_i(vals.clone(), RedOp::Sum).unwrap(), serial);
+            let serial_prod: i64 = vals.iter().fold(1i64, |a, v| a.wrapping_mul(*v));
+            assert_eq!(tree_merge_i(vals.clone(), RedOp::Product).unwrap(), serial_prod);
+            assert_eq!(tree_merge_i(vals.clone(), RedOp::Min).unwrap(), *vals.iter().min().unwrap());
+        }
+    }
+
+    /// Chunks complete in adversarial (shuffled) order, but the merge
+    /// consumes them by chunk index — the result must be bit-identical
+    /// no matter the completion order.
+    #[test]
+    fn seeded_adversarial_completion_order_is_bit_stable() {
+        let mut rng = Rng(0xDEAD_BEEF);
+        let n = 37;
+        let partials: Vec<(usize, f64)> =
+            (0..n).map(|k| (k, rng.f64() * 10.0 - 5.0)).collect();
+        let reference = tree_merge_r(partials.iter().map(|(_, v)| *v).collect(), RedOp::Sum).unwrap();
+        for seed in 0..50u64 {
+            let mut shuffled = partials.clone();
+            let mut r = Rng(seed);
+            // Fisher-Yates with the seeded generator
+            for i in (1..shuffled.len()).rev() {
+                let j = (r.next() % (i as u64 + 1)) as usize;
+                shuffled.swap(i, j);
+            }
+            // what the driver does: sort by chunk index, then merge
+            shuffled.sort_by_key(|(k, _)| *k);
+            let merged =
+                tree_merge_r(shuffled.iter().map(|(_, v)| *v).collect(), RedOp::Sum).unwrap();
+            assert_eq!(merged.to_bits(), reference.to_bits(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tree_merge_empty_and_singleton() {
+        assert_eq!(tree_merge_r(vec![], RedOp::Sum), None);
+        assert_eq!(tree_merge_r(vec![3.5], RedOp::Sum), Some(3.5));
+        assert_eq!(tree_merge_i(vec![], RedOp::Max), None);
+        assert_eq!(tree_merge_i(vec![-9], RedOp::Max), Some(-9));
+    }
+
+    #[test]
+    fn chunk_plans_cover_iteration_space_exactly_once() {
+        for trip in [0usize, 1, 3, 7, 8, 9, 100] {
+            for procs in [1usize, 2, 4, 8] {
+                for plan in [
+                    ChunkPlan::new(trip, procs, Schedule::Static),
+                    ChunkPlan::new(trip, procs, Schedule::Dynamic { chunk: 3 }),
+                ] {
+                    let mut seen = vec![0u32; trip];
+                    for k in 0..plan.n_chunks() {
+                        let (s, e) = plan.bounds(k);
+                        for slot in &mut seen[s..e] {
+                            *slot += 1;
+                        }
+                    }
+                    assert!(seen.iter().all(|&c| c == 1), "trip={trip} procs={procs} {plan:?}");
+                    if trip > 0 {
+                        let (s, e) = plan.bounds(plan.last_chunk());
+                        assert!(s <= trip - 1 && trip - 1 < e, "last_chunk misses final iter");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_diff_is_bitwise() {
+        let base = ArrData::R(vec![0.0, 1.0, f64::NAN, 2.0]);
+        // worker wrote -0.0 over 0.0 (bitwise change, value-equal)
+        let theirs = ArrData::R(vec![-0.0, 1.0, f64::NAN, 5.0]);
+        let mut dst = base.clone();
+        merge_diff(&mut dst, &theirs, &base);
+        match dst {
+            ArrData::R(v) => {
+                assert!(v[0].to_bits() == (-0.0f64).to_bits());
+                assert_eq!(v[1], 1.0);
+                assert!(v[2].is_nan()); // untouched NaN stays
+                assert_eq!(v[3], 5.0);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // ---- whole-program equivalence through the public entry points ----
+
+    fn parse(src: &str) -> polaris_ir::Program {
+        polaris_ir::parse(src).unwrap()
+    }
+
+    fn run_both(src: &str, procs: usize, schedule: Schedule) -> (Vec<String>, Vec<String>) {
+        let p = parse(src);
+        let serial = crate::exec::run_serial(&p).unwrap();
+        let threaded = crate::exec::run(&p, &MachineConfig::threaded(procs, schedule)).unwrap();
+        (serial.output, threaded.output)
+    }
+
+    #[test]
+    fn threaded_doall_matches_serial() {
+        let src = "program t\nreal a(10000)\n!$polaris doall\ndo i = 1, 10000\n  a(i) = i * 2.0 + 1.0\nend do\nprint *, a(1), a(5000), a(10000)\nend\n";
+        for procs in [2, 4, 8] {
+            let (s, t) = run_both(src, procs, Schedule::Static);
+            assert_eq!(s, t, "procs={procs}");
+        }
+        let (s, t) = run_both(src, 8, Schedule::Dynamic { chunk: 16 });
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn threaded_privatization_and_lastprivate() {
+        let src = "program t\nreal a(500), b(500)\ndo k = 1, 500\n  b(k) = k * 1.0\nend do\n!$polaris doall private(T) lastprivate(T)\ndo i = 1, 500\n  t = b(i) * 2.0\n  a(i) = t + 1.0\nend do\nprint *, a(7), a(499), t\nend\n";
+        let (s, t) = run_both(src, 8, Schedule::Static);
+        assert_eq!(s, t);
+        let (s, t) = run_both(src, 3, Schedule::Dynamic { chunk: 7 });
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn threaded_scalar_reduction_within_tolerance() {
+        // A positive, well-scaled sum: the chunked tree association may
+        // differ from the serial left fold by reassociation roundoff
+        // only, far below the 1e-6 printed precision (see FP_REL_TOL).
+        let src = "program t\nreal b(2000)\ndo k = 1, 2000\n  b(k) = k * 0.25\nend do\ns = 100.0\n!$polaris doall reduction(+:S)\ndo i = 1, 2000\n  s = s + b(i)\nend do\nprint *, s\nend\n";
+        let p = parse(src);
+        let serial = crate::exec::run_serial(&p).unwrap();
+        for procs in [2, 4, 8] {
+            let t = crate::exec::run(&p, &MachineConfig::threaded(procs, Schedule::Static)).unwrap();
+            assert!(
+                crate::exec::outputs_match(&serial.output, &t.output, FP_REL_TOL),
+                "procs={procs}: {:?} vs {:?}",
+                serial.output,
+                t.output
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_max_reduction_is_exact() {
+        let src = "program t\nreal b(777)\ndo k = 1, 777\n  b(k) = mod(k * 37, 101) * 1.0\nend do\nt = -1.0\n!$polaris doall reduction(MAX:T)\ndo i = 1, 777\n  t = max(t, b(i))\nend do\nprint *, t\nend\n";
+        for procs in [2, 8] {
+            let (s, t) = run_both(src, procs, Schedule::Static);
+            assert_eq!(s, t, "max reduction must be exact at {procs} procs");
+        }
+    }
+
+    #[test]
+    fn threaded_dynamic_schedule_is_run_to_run_deterministic() {
+        // Self-scheduling assigns chunks to threads nondeterministically;
+        // the committed results must still be bit-identical across runs.
+        let src = "program t\nreal a(300,300)\ns = 0.0\n!$polaris doall private(J) reduction(+:S)\ndo i = 1, 300\n  do j = 1, i\n    a(j, i) = i * 1.0 + j\n    s = s + a(j, i)\n  end do\nend do\nprint *, s, a(1,1), a(150,300)\nend\n";
+        let p = parse(src);
+        let cfg = MachineConfig::threaded(8, Schedule::Dynamic { chunk: 4 });
+        let first = crate::exec::run(&p, &cfg).unwrap();
+        for _ in 0..5 {
+            let again = crate::exec::run(&p, &cfg).unwrap();
+            assert_eq!(first.output, again.output, "dynamic schedule leaked nondeterminism");
+        }
+    }
+
+    #[test]
+    fn threaded_stop_in_body_falls_back_to_serial() {
+        let src = "program t\nreal a(100)\n!$polaris doall\ndo i = 1, 100\n  a(i) = i * 1.0\n  if (i == 13) then\n    stop\n  end if\nend do\nprint *, a(1)\nend\n";
+        let p = parse(src);
+        let serial = crate::exec::run_serial(&p).unwrap();
+        let t = crate::exec::run(&p, &MachineConfig::threaded(8, Schedule::Static)).unwrap();
+        // STOP at i=13 suppresses the PRINT in both modes
+        assert_eq!(serial.output, t.output);
+        assert!(t.output.is_empty());
+    }
+
+    #[test]
+    fn threaded_print_inside_parallel_loop_keeps_iteration_order() {
+        let src = "program t\n!$polaris doall\ndo i = 1, 64\n  print *, 'iter', i\nend do\nend\n";
+        let (s, t) = run_both(src, 8, Schedule::Static);
+        assert_eq!(s, t);
+        let (s, t) = run_both(src, 4, Schedule::Dynamic { chunk: 3 });
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn threaded_out_of_bounds_is_reported() {
+        let src = "program t\nreal a(50)\ninteger key(100)\ndo k = 1, 100\n  key(k) = k\nend do\n!$polaris doall\ndo i = 1, 100\n  a(key(i)) = i * 1.0\nend do\nend\n";
+        let p = parse(src);
+        let serial_err = crate::exec::run_serial(&p).unwrap_err();
+        let err = crate::exec::run(&p, &MachineConfig::threaded(4, Schedule::Static)).unwrap_err();
+        // the smallest failing iteration (i=51) determines the error
+        assert_eq!(serial_err, err);
+    }
+
+    #[test]
+    fn threaded_fuel_budget_is_global() {
+        let src = "program t\nreal a(100000)\n!$polaris doall\ndo i = 1, 100000\n  a(i) = i * 1.0\nend do\nend\n";
+        let p = parse(src);
+        let cfg = MachineConfig::threaded(4, Schedule::Static).with_fuel(500);
+        let err = crate::exec::run(&p, &cfg).unwrap_err();
+        assert!(matches!(err, MachineError::FuelExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn threaded_nested_parallel_runs_inner_serial() {
+        let src = "program t\nreal a(40,40)\n!$polaris doall private(J)\ndo i = 1, 40\n!$polaris doall\ndo j = 1, 40\n  a(i,j) = i * 100.0 + j\nend do\nend do\nprint *, a(3,5), a(40,40)\nend\n";
+        let (s, t) = run_both(src, 8, Schedule::Static);
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn threaded_array_reduction_matches_serial() {
+        // histogram-style array reduction
+        let src = "program t\ninteger h(10)\ninteger key(1000)\ndo k = 1, 1000\n  key(k) = mod(k * 7, 10) + 1\nend do\n!$polaris doall reduction(+:H)\ndo i = 1, 1000\n  h(key(i)) = h(key(i)) + 1\nend do\nprint *, h(1), h(5), h(10)\nend\n";
+        for procs in [2, 8] {
+            let (s, t) = run_both(src, procs, Schedule::Static);
+            assert_eq!(s, t, "integer array reduction must be exact");
+        }
+    }
+
+    #[test]
+    fn threaded_loop_var_has_final_value_after_loop() {
+        let src = "program t\nreal a(100)\n!$polaris doall\ndo i = 1, 100\n  a(i) = 1.0\nend do\nprint *, i\nend\n";
+        let (s, t) = run_both(src, 8, Schedule::Static);
+        assert_eq!(s, t);
+        assert_eq!(t, vec!["101".to_string()]);
+    }
+
+    #[test]
+    fn pool_survives_panicking_job() {
+        let pool = ThreadPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(|| panic!("boom")));
+        let tx2 = tx.clone();
+        pool.submit(Box::new(move || {
+            tx2.send(41).unwrap();
+        }));
+        pool.submit(Box::new(move || {
+            tx.send(1).unwrap();
+        }));
+        let sum: i32 = rx.iter().take(2).sum();
+        assert_eq!(sum, 42);
+    }
+}

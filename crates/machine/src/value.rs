@@ -1,6 +1,7 @@
 //! Run-time values and storage.
 
 use crate::error::MachineError;
+use std::sync::Arc;
 
 /// A scalar run-time value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,12 +124,19 @@ impl ArrData {
 }
 
 /// An array object: declared lower bounds + per-dimension extents.
+///
+/// Element storage is behind an `Arc` so the threaded backend can hand
+/// each worker a copy-on-write snapshot: arrays the worker never writes
+/// stay shared (an `Arc` clone), and `Arc::ptr_eq` against the pre-fork
+/// snapshot tells the merge step exactly which arrays were touched.
+/// Writes go through `Arc::make_mut`, which is a refcount check on the
+/// hot path when the storage is unshared (the serial/simulated case).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArrObj {
     pub name: String,
     pub lows: Vec<i64>,
     pub extents: Vec<i64>,
-    pub data: ArrData,
+    pub data: Arc<ArrData>,
 }
 
 impl ArrObj {
@@ -181,7 +189,7 @@ mod tests {
             name: "A".into(),
             lows: vec![1, 1],
             extents: vec![10, 5],
-            data: ArrData::R(vec![0.0; 50]),
+            data: Arc::new(ArrData::R(vec![0.0; 50])),
         };
         assert_eq!(a.flatten(&[1, 1]).unwrap(), 0);
         assert_eq!(a.flatten(&[2, 1]).unwrap(), 1); // first dim fastest
@@ -196,7 +204,7 @@ mod tests {
             name: "A".into(),
             lows: vec![0],
             extents: vec![4],
-            data: ArrData::I(vec![0; 4]),
+            data: Arc::new(ArrData::I(vec![0; 4])),
         };
         assert_eq!(a.flatten(&[0]).unwrap(), 0);
         assert_eq!(a.flatten(&[3]).unwrap(), 3);

@@ -7,9 +7,15 @@
 //! polarisc [OPTIONS] FILE.f
 //!   --vfa           use the PFA-like baseline pipeline instead of Polaris
 //!   --report        print the per-loop analysis report
-//!   --diag          print the per-stage pipeline diagnostics table
-//!   --run           execute on the simulated machine and print speedup
-//!   --procs N       processor count for --run (default 8, must be >= 1)
+//!   --diag          print the per-stage pipeline diagnostics table and
+//!                   the simulated speedup at --procs processors
+//!   --run           execute on the machine and print speedup
+//!   --procs N       processor count for --run/--diag (default 8, >= 1)
+//!   --exec-mode M   parallel-loop backend for --run: `simulated`
+//!                   (default; cycle-model multiprocessor) or `threaded`
+//!                   (real OS threads, chunked scheduling)
+//!   --threads N     worker threads for --exec-mode threaded
+//!                   (default: the --procs value)
 //!   --fuel N        execution step budget for --run (default unlimited)
 //!   --validate      run the adversarial validation after --run
 //!   --profile       print the per-loop execution profile after --run
@@ -27,10 +33,12 @@
 //! is correct but possibly less optimized. `--strict` turns `2` into
 //! `1` for CI gates that want full optimization or nothing.
 
+use polaris::machine::Schedule;
 use polaris::{MachineConfig, PassOptions};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: polarisc [--vfa] [--report] [--diag] [--run] [--procs N] \
+                     [--exec-mode simulated|threaded] [--threads N] \
                      [--fuel N] [--validate] [--profile] [--strict] [--quiet] FILE.f";
 
 const EXIT_DEGRADED: u8 = 2;
@@ -47,6 +55,8 @@ fn main() -> ExitCode {
     let mut strict = false;
     let mut quiet = false;
     let mut procs = 8usize;
+    let mut threaded = false;
+    let mut threads: Option<usize> = None;
     let mut fuel: Option<u64> = None;
     let mut inject: Vec<String> = Vec::new();
     while let Some(a) = args.next() {
@@ -71,6 +81,26 @@ fn main() -> ExitCode {
                     eprintln!("polarisc: --procs must be at least 1 (got {procs})");
                     return ExitCode::FAILURE;
                 }
+            }
+            "--exec-mode" => match args.next().as_deref() {
+                Some("simulated") => threaded = false,
+                Some("threaded") => threaded = true,
+                other => {
+                    eprintln!(
+                        "polarisc: --exec-mode needs `simulated` or `threaded` (got {})",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => {
+                threads = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(0) | None => {
+                        eprintln!("polarisc: --threads needs a positive count");
+                        return ExitCode::FAILURE;
+                    }
+                    some => some,
+                };
             }
             "--fuel" => {
                 fuel = match args.next().and_then(|v| v.parse().ok()) {
@@ -188,6 +218,27 @@ fn main() -> ExitCode {
                 s.name, outcome, s.ir_delta, s.duration
             );
         }
+        // Simulated speedup of the restructured program at the requested
+        // processor count. (--procs used to be accepted here but never
+        // consulted; the diagnostics always reflected the 8-proc
+        // default.)
+        let diag_fuel = fuel.unwrap_or(50_000_000);
+        let serial_cfg = MachineConfig::serial().with_fuel(diag_fuel);
+        let par_cfg = MachineConfig::challenge_8().with_procs(procs).with_fuel(diag_fuel);
+        match (
+            polaris_machine::run(&original, &serial_cfg),
+            polaris_machine::run(&program, &par_cfg),
+        ) {
+            (Ok(serial), Ok(parallel)) => eprintln!(
+                "simulated speedup @ {procs} procs: {:.2}x ({} -> {} cycles)",
+                serial.cycles as f64 / parallel.cycles as f64,
+                serial.cycles,
+                parallel.cycles
+            ),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("simulated speedup @ {procs} procs: n/a ({e})")
+            }
+        }
     }
 
     if run {
@@ -202,7 +253,11 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let mut cfg = MachineConfig::challenge_8().with_procs(procs);
+        let mut cfg = if threaded {
+            MachineConfig::threaded(threads.unwrap_or(procs), Schedule::Static)
+        } else {
+            MachineConfig::challenge_8().with_procs(procs)
+        };
         if let Some(f) = fuel {
             cfg = cfg.with_fuel(f);
         }
@@ -217,12 +272,22 @@ fn main() -> ExitCode {
         for line in &parallel.output {
             println!("{line}");
         }
-        eprintln!(
-            "serial {:.3}s  parallel({procs} procs) {:.3}s  speedup {:.2}x",
-            serial.seconds(),
-            parallel.seconds(),
-            serial.cycles as f64 / parallel.cycles as f64
-        );
+        if threaded {
+            let n = threads.unwrap_or(procs);
+            eprintln!(
+                "serial {:.3}s(sim)  threaded({n} threads) wall {:.3}ms  simulated-model speedup {:.2}x",
+                serial.seconds(),
+                parallel.wall.as_secs_f64() * 1e3,
+                serial.cycles as f64 / parallel.cycles as f64
+            );
+        } else {
+            eprintln!(
+                "serial {:.3}s  parallel({procs} procs) {:.3}s  speedup {:.2}x",
+                serial.seconds(),
+                parallel.seconds(),
+                serial.cycles as f64 / parallel.cycles as f64
+            );
+        }
         if profile {
             eprintln!();
             eprint!("{}", parallel.profile());

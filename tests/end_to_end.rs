@@ -157,3 +157,81 @@ fn cli_binary_smoke() {
     assert!(stderr.contains("speedup"), "{stderr}");
     assert!(stderr.contains("validation"), "{stderr}");
 }
+
+/// Regression test for the `--diag`/`--procs` wiring: `--procs` was
+/// validated but the diagnostics never consulted it, so `--diag` showed
+/// the same (8-proc) numbers whatever the user asked for. The reported
+/// simulated speedup must now differ between 2 and 8 processors on a
+/// clearly parallel program, and the diag output must name the
+/// requested processor count.
+#[test]
+fn cli_diag_reports_speedup_at_requested_procs() {
+    use std::io::Write;
+    let dir = std::env::temp_dir().join("polarisc_diag_procs");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("par.f");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(
+        f,
+        "program par\nreal a(20000)\ndo i = 1, 20000\n  a(i) = i*2.0\nend do\nprint *, a(42)\nend"
+    )
+    .unwrap();
+    drop(f);
+    let exe = env!("CARGO_BIN_EXE_polarisc");
+    let speedup_at = |procs: &str| -> f64 {
+        let out = std::process::Command::new(exe)
+            .args(["--quiet", "--diag", "--procs", procs, path.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let line = stderr
+            .lines()
+            .find(|l| l.contains(&format!("simulated speedup @ {procs} procs:")))
+            .unwrap_or_else(|| panic!("no speedup line for {procs} procs in:\n{stderr}"));
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_suffix('x').and_then(|v| v.parse().ok()))
+            .unwrap_or_else(|| panic!("unparsable speedup line: {line}"))
+    };
+    let at2 = speedup_at("2");
+    let at8 = speedup_at("8");
+    assert!(
+        at8 > at2 * 1.5,
+        "--procs must drive the diag speedup model: got {at2}x @2 vs {at8}x @8"
+    );
+    assert!(at2 > 1.2 && at2 <= 2.0, "2-proc speedup out of range: {at2}");
+}
+
+/// `--run --exec-mode threaded` executes on real threads and reports a
+/// wall-clock measurement; output must match the simulated-mode run.
+#[test]
+fn cli_threaded_exec_mode_runs_and_matches() {
+    use std::io::Write;
+    let dir = std::env::temp_dir().join("polarisc_threaded");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("red.f");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(
+        f,
+        "program red\nreal a(10000)\ns = 0.0\ndo i = 1, 10000\n  a(i) = i*1.0\nend do\ndo i = 1, 10000\n  s = s + a(i)\nend do\nprint *, s\nend"
+    )
+    .unwrap();
+    drop(f);
+    let exe = env!("CARGO_BIN_EXE_polarisc");
+    let run = |extra: &[&str]| {
+        let mut args = vec!["--quiet", "--run"];
+        args.extend_from_slice(extra);
+        args.push(path.to_str().unwrap());
+        let out = std::process::Command::new(exe).args(&args).output().unwrap();
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (sim_out, _) = run(&[]);
+    let (thr_out, thr_err) = run(&["--exec-mode", "threaded", "--threads", "3"]);
+    assert_eq!(sim_out, thr_out, "threaded output diverges from simulated");
+    assert!(thr_err.contains("threaded(3 threads)"), "{thr_err}");
+    assert!(thr_err.contains("wall"), "{thr_err}");
+}

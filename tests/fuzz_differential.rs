@@ -57,6 +57,63 @@ fn differential(seeds: std::ops::Range<u64>) {
     }
 }
 
+/// Equivalence property for the real-thread backend: every corpus
+/// program, compiled by the full pipeline, must print **bit-identical**
+/// checksums under `ExecMode::Threaded` at 2, 4 and 8 threads as the
+/// serial interpreter produces. Exact string equality — not the numeric
+/// tolerance used elsewhere — is intentional: the chunk-ordered tree
+/// merge makes threaded results deterministic, and its reassociation
+/// roundoff sits far below the 1e-6 printed precision, so any observed
+/// difference is a real bug (lost update, racy commit, wrong
+/// privatization), not noise.
+fn threaded_equivalence(seeds: std::ops::Range<u64>) {
+    use polaris_machine::Schedule;
+    for seed in seeds {
+        let src = generate_program(seed);
+        let reference = serial_reference(&src, seed);
+        let out = polaris::parallelize(&src, &PassOptions::polaris())
+            .unwrap_or_else(|e| panic!("seed {seed}: compile: {e}\n{src}"));
+        for threads in [2usize, 4, 8] {
+            let cfg = MachineConfig::threaded(threads, Schedule::Static).with_fuel(FUEL);
+            let threaded = polaris_machine::run(&out.program, &cfg)
+                .unwrap_or_else(|e| panic!("seed {seed} @ {threads} threads: {e}\n{src}"));
+            assert_eq!(
+                reference,
+                threaded.output,
+                "seed {seed}: serial vs {threads}-thread output mismatch\n--- source ---\n{src}"
+            );
+        }
+        // one self-scheduled configuration per seed as well
+        let cfg = MachineConfig::threaded(4, Schedule::Dynamic { chunk: 3 }).with_fuel(FUEL);
+        let threaded = polaris_machine::run(&out.program, &cfg)
+            .unwrap_or_else(|e| panic!("seed {seed} (dynamic): {e}\n{src}"));
+        assert_eq!(
+            reference, threaded.output,
+            "seed {seed}: serial vs self-scheduled output mismatch\n--- source ---\n{src}"
+        );
+    }
+}
+
+#[test]
+fn corpus_threaded_equivalence_seeds_0_64() {
+    threaded_equivalence(0..64);
+}
+
+#[test]
+fn corpus_threaded_equivalence_seeds_64_128() {
+    threaded_equivalence(64..128);
+}
+
+#[test]
+fn corpus_threaded_equivalence_seeds_128_192() {
+    threaded_equivalence(128..192);
+}
+
+#[test]
+fn corpus_threaded_equivalence_seeds_192_256() {
+    threaded_equivalence(192..256);
+}
+
 #[test]
 fn corpus_differential_seeds_0_64() {
     differential(0..64);

@@ -1,0 +1,38 @@
+      PROGRAM APPLU
+      INTEGER N
+      INTEGER NSWEEP
+      REAL R(160, 160)
+      INTEGER SW
+      REAL U(160, 160)
+      PARAMETER (N = 160)
+      PARAMETER (NSWEEP = 3)
+!$POLARIS DOALL PRIVATE(I0)
+        DO J0 = 1, 160
+!$POLARIS DOALL
+          DO I0 = 1, 160
+            U(I0, J0) = 0.0
+            R(I0, J0) = 1.0/(I0+J0)
+          END DO
+        END DO
+!$POLARIS DOALL
+        DO J0 = 1, 160
+          U(1, J0) = 1.0
+        END DO
+!$POLARIS DOALL
+        DO I0 = 1, 160
+          U(I0, 1) = 1.0
+        END DO
+        DO SW = 1, 3
+          DO J = 2, 160
+            DO I = 2, 160
+              U(I, J) = 0.45*(U(I-1, J)+U(I, J-1))+R(I, J)
+            END DO
+          END DO
+        END DO
+        CSUM = 0.0
+!$POLARIS DOALL REDUCTION(+:CSUM)
+        DO JJ = 1, 160
+          CSUM = CSUM+U(160, JJ)
+        END DO
+        PRINT *, 'applu checksum', CSUM
+      END

@@ -1,0 +1,42 @@
+      PROGRAM APPSP
+      REAL D(90, 120)
+      INTEGER N
+      INTEGER NSYS
+      REAL RHS(90, 120)
+      INTEGER S
+      INTEGER S0
+      INTEGER SS
+      PARAMETER (N = 90)
+      PARAMETER (NSYS = 120)
+!$POLARIS DOALL PRIVATE(I0)
+        DO S0 = 1, 120
+!$POLARIS DOALL
+          DO I0 = 1, 90
+            D(I0, S0) = 2.0+MOD(I0+S0, 5)*0.1
+            RHS(I0, S0) = 1.0/(I0+S0)
+          END DO
+        END DO
+!$POLARIS DOALL PRIVATE(I, PIV)
+        DO S = 1, 120
+          DO I = 2, 90
+            PIV = D(I-1, S)
+            IF (PIV .LT. 0.5) THEN
+              PIV = 0.5
+            END IF
+            D(I, S) = D(I, S)-0.3/PIV
+            RHS(I, S) = RHS(I, S)-0.3*RHS(I-1, S)/PIV
+          END DO
+!$POLARIS DOALL
+          DO I = 1, 90
+            IF (D(I, S) .GT. 0.0) THEN
+              RHS(I, S) = RHS(I, S)/D(I, S)
+            END IF
+          END DO
+        END DO
+        CSUM = 0.0
+!$POLARIS DOALL REDUCTION(+:CSUM)
+        DO SS = 1, 120
+          CSUM = CSUM+RHS(90, SS)
+        END DO
+        PRINT *, 'appsp checksum', CSUM
+      END

@@ -1,0 +1,43 @@
+      PROGRAM ARC2D
+      INTEGER JMAX
+      INTEGER KMAX
+      INTEGER NSTEPS
+      REAL P(120, 120)
+      REAL W(120, 120)
+      PARAMETER (JMAX = 120)
+      PARAMETER (KMAX = 120)
+      PARAMETER (NSTEPS = 3)
+!$POLARIS DOALL PRIVATE(J0)
+        DO K0 = 1, 120
+!$POLARIS DOALL
+          DO J0 = 1, 120
+            P(J0, K0) = 1.0/(J0+K0)
+            W(J0, K0) = 0.0
+          END DO
+        END DO
+        DO NN = 1, 3
+!$POLARIS DOALL PRIVATE(J)
+          DO K = 2, 119
+!$POLARIS DOALL
+            DO J = 2, 119
+              W(J, K) = 0.25*(P(J-1, K)+P(J+1, K)+P(J, K-1)+P(J, K+1))
+            END DO
+          END DO
+!$POLARIS DOALL PRIVATE(J)
+          DO K = 2, 119
+!$POLARIS DOALL
+            DO J = 2, 119
+              P(J, K) = P(J, K)*0.2+W(J, K)*0.8
+            END DO
+          END DO
+        END DO
+        CSUM = 0.0
+!$POLARIS DOALL PRIVATE(JJ) REDUCTION(+:CSUM)
+        DO KK = 1, 120
+!$POLARIS DOALL REDUCTION(+:CSUM)
+          DO JJ = 1, 120
+            CSUM = CSUM+P(JJ, KK)
+          END DO
+        END DO
+        PRINT *, 'arc2d checksum', CSUM
+      END

@@ -1,0 +1,47 @@
+      PROGRAM BDNA
+      REAL A(220)
+      INTEGER IND(220)
+      INTEGER N
+      INTEGER P
+      REAL X(220, 220)
+      REAL Y(220, 220)
+      PARAMETER (N = 220)
+!$POLARIS DOALL PRIVATE(J0)
+        DO I0 = 1, 220
+!$POLARIS DOALL
+          DO J0 = 1, 220
+            X(I0, J0) = 1.0/(I0+2*J0)
+            Y(I0, J0) = 1.0/(2*I0+J0)
+          END DO
+        END DO
+!$POLARIS DOALL PRIVATE(A, IND, J, K, L, M, P, R)
+        DO I = 2, 220
+!$POLARIS DOALL PRIVATE(R)
+          DO J = 1, I-1
+            IND(J) = 0
+            A(J) = X(I, J)-Y(I, J)
+            R = A(J)+0.05
+            IF (R .LT. 0.9) THEN
+              IND(J) = 1
+            END IF
+          END DO
+          P = 0
+          DO K = 1, I-1
+            IF (IND(K) .NE. 0) THEN
+              P = P+1
+              IND(P) = K
+            END IF
+          END DO
+!$POLARIS DOALL PRIVATE(M)
+          DO L = 1, P
+            M = IND(L)
+            X(I, L) = A(M)+1.5
+          END DO
+        END DO
+        FSUM = 0.0
+!$POLARIS DOALL REDUCTION(+:FSUM)
+        DO II = 1, 220
+          FSUM = FSUM+X(220, II)
+        END DO
+        PRINT *, 'bdna checksum', FSUM
+      END

@@ -1,0 +1,41 @@
+      PROGRAM CLOUD3D
+      INTEGER C
+      INTEGER C0
+      INTEGER NCOL
+      INTEGER NSTEPS
+      INTEGER NZ
+      REAL S(60, 24)
+      INTEGER STEP
+      REAL TGT(24)
+      INTEGER Z
+      INTEGER Z0
+      INTEGER ZZ
+      PARAMETER (NCOL = 60)
+      PARAMETER (NSTEPS = 40)
+      PARAMETER (NZ = 24)
+!$POLARIS DOALL PRIVATE(C0)
+        DO Z0 = 1, 24
+          TGT(Z0) = 0.5+0.01*Z0
+!$POLARIS DOALL
+          DO C0 = 1, 60
+            S(C0, Z0) = 0.3+0.001*C0
+          END DO
+        END DO
+        DO STEP = 1, 40
+!$POLARIS DOALL
+          DO Z = 1, 24
+            TGT(Z) = TGT(Z)*0.999+0.001*Z
+          END DO
+          DO C = 2, 60
+            DO Z = 2, 24
+              S(C, Z) = S(C, Z-1)*0.7+S(C-1, Z)*0.1+TGT(Z)*0.2
+            END DO
+          END DO
+        END DO
+        CSUM = 0.0
+!$POLARIS DOALL REDUCTION(+:CSUM)
+        DO ZZ = 1, 24
+          CSUM = CSUM+S(7, ZZ)
+        END DO
+        PRINT *, 'cloud3d checksum', CSUM
+      END

@@ -1,0 +1,32 @@
+      PROGRAM CMHOG
+      INTEGER NJ
+      INTEGER NK
+      REAL Q(400, 300)
+      REAL W(400)
+      PARAMETER (NJ = 400)
+      PARAMETER (NK = 300)
+!$POLARIS DOALL PRIVATE(J0)
+        DO K0 = 1, 300
+!$POLARIS DOALL
+          DO J0 = 1, 400
+            Q(J0, K0) = 1.0+0.01*MOD(J0+K0, 13)
+          END DO
+        END DO
+!$POLARIS DOALL PRIVATE(J, W)
+        DO K = 1, 300
+!$POLARIS DOALL
+          DO J = 1, 400
+            W(J) = Q(J, K)*1.02+0.3
+          END DO
+!$POLARIS DOALL
+          DO J = 2, 399
+            Q(J, K) = Q(J, K)-0.02*(W(J+1)-W(J-1))
+          END DO
+        END DO
+        CSUM = 0.0
+!$POLARIS DOALL REDUCTION(+:CSUM)
+        DO KK = 1, 300
+          CSUM = CSUM+Q(3, KK)
+        END DO
+        PRINT *, 'cmhog checksum', CSUM
+      END

@@ -1,0 +1,43 @@
+      PROGRAM FLO52
+      REAL DW(110, 110)
+      INTEGER NCYC
+      INTEGER NI
+      INTEGER NJ
+      REAL WQ(110, 110)
+      PARAMETER (NCYC = 3)
+      PARAMETER (NI = 110)
+      PARAMETER (NJ = 110)
+!$POLARIS DOALL PRIVATE(I0)
+        DO J0 = 1, 110
+!$POLARIS DOALL
+          DO I0 = 1, 110
+            WQ(I0, J0) = I0*1.0/(J0+3)
+            DW(I0, J0) = 0.0
+          END DO
+        END DO
+        DO NC = 1, 3
+!$POLARIS DOALL PRIVATE(I)
+          DO J = 2, 109
+!$POLARIS DOALL
+            DO I = 2, 109
+              DW(I, J) = 0.25*(WQ(I-1, J)+WQ(I+1, J)+WQ(I, J-1)+WQ(I, J+1))-WQ(I, J)
+            END DO
+          END DO
+!$POLARIS DOALL PRIVATE(I)
+          DO J = 2, 109
+!$POLARIS DOALL
+            DO I = 2, 109
+              WQ(I, J) = WQ(I, J)+0.6*DW(I, J)
+            END DO
+          END DO
+        END DO
+        RES = 0.0
+!$POLARIS DOALL PRIVATE(II) REDUCTION(+:RES)
+        DO JJ = 2, 109
+!$POLARIS DOALL REDUCTION(+:RES)
+          DO II = 2, 109
+            RES = RES+DW(II, JJ)*DW(II, JJ)
+          END DO
+        END DO
+        PRINT *, 'flo52 residual', RES
+      END

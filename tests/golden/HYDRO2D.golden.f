@@ -1,0 +1,47 @@
+      PROGRAM HYDRO2D
+      INTEGER NJ
+      INTEGER NK
+      INTEGER NSTEPS
+      REAL RO(350, 120)
+      REAL VX(350, 120)
+      REAL WR(350)
+      PARAMETER (NJ = 350)
+      PARAMETER (NK = 120)
+      PARAMETER (NSTEPS = 2)
+!$POLARIS DOALL PRIVATE(J0)
+        DO K0 = 1, 120
+!$POLARIS DOALL
+          DO J0 = 1, 350
+            RO(J0, K0) = 1.0+0.001*J0
+            VX(J0, K0) = 0.02*K0-0.01*J0
+          END DO
+        END DO
+        DO NC = 1, 2
+!$POLARIS DOALL PRIVATE(J, WR)
+          DO K = 1, 120
+!$POLARIS DOALL
+            DO J = 1, 350
+              WR(J) = RO(J, K)*VX(J, K)
+            END DO
+!$POLARIS DOALL
+            DO J = 2, 349
+              RO(J, K) = RO(J, K)-0.05*(WR(J+1)-WR(J-1))
+            END DO
+          END DO
+          DTM = 0.0
+!$POLARIS DOALL PRIVATE(J) REDUCTION(MAX:DTM)
+          DO K = 1, 120
+!$POLARIS DOALL REDUCTION(MAX:DTM)
+            DO J = 1, 350
+              DTM = MAX(DTM, ABS(VX(J, K)))
+            END DO
+          END DO
+          VX(1, 1) = VX(1, 1)+DTM*0.001
+        END DO
+        CSUM = 0.0
+!$POLARIS DOALL REDUCTION(+:CSUM)
+        DO KK = 1, 120
+          CSUM = CSUM+RO(175, KK)
+        END DO
+        PRINT *, 'hydro2d checksum', CSUM
+      END

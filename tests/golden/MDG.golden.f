@@ -1,0 +1,27 @@
+      PROGRAM MDG
+      REAL F(150)
+      INTEGER NM
+      REAL X(150)
+      PARAMETER (NM = 150)
+!$POLARIS DOALL
+        DO I0 = 1, 150
+          X(I0) = I0*0.37
+          F(I0) = 0.0
+        END DO
+!$POLARIS DOALL PRIVATE(GG, J, RS) REDUCTION(+:F[])
+        DO I = 1, 150
+!$POLARIS DOALL PRIVATE(GG, RS) REDUCTION(+:F[])
+          DO J = 1, 150
+            RS = X(I)-X(J)
+            GG = RS/(RS*RS+0.01)
+            F(I) = F(I)+GG
+            F(J) = F(J)-GG
+          END DO
+        END DO
+        FSUM = 0.0
+!$POLARIS DOALL REDUCTION(+:FSUM)
+        DO II = 1, 150
+          FSUM = FSUM+F(II)*F(II)
+        END DO
+        PRINT *, 'mdg checksum', FSUM
+      END

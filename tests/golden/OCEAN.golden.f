@@ -1,0 +1,38 @@
+      PROGRAM OCEAN
+      REAL A(127066)
+      INTEGER ASIZE
+      INTEGER NX
+      INTEGER X
+      INTEGER Z(8)
+      INTEGER ZMAX
+      PARAMETER (ASIZE = 127066)
+      PARAMETER (NX = 8)
+      PARAMETER (ZMAX = 60)
+        X = 0
+        IF (.TRUE.) THEN
+          X = 8
+        END IF
+!$ASSERT (X .GE. 1)
+!$ASSERT (X .LE. 8)
+!$POLARIS DOALL
+        DO K0 = 1, X
+          Z(K0) = 40+MOD(K0*7, 20)
+        END DO
+!$POLARIS DOALL PRIVATE(I, J)
+        DO K = 0, X-1
+!$POLARIS DOALL PRIVATE(I)
+          DO J = 0, Z(K+1)
+!$POLARIS DOALL
+            DO I = 0, 128
+              A(258*X*J+129*K+I+1) = I*0.5+J
+              A(258*X*J+129*K+I+1+129*X) = I*0.25-J
+            END DO
+          END DO
+        END DO
+        CSUM = 0.0
+!$POLARIS DOALL REDUCTION(+:CSUM)
+        DO II = 1, 127066
+          CSUM = CSUM+A(II)
+        END DO
+        PRINT *, 'ocean checksum', CSUM
+      END

@@ -1,0 +1,32 @@
+      PROGRAM SU2COR
+      REAL G(600)
+      INTEGER N
+      INTEGER NS
+      INTEGER S
+      INTEGER TOT
+      REAL U(24000)
+      PARAMETER (N = 600)
+      PARAMETER (NS = 40)
+      PARAMETER (TOT = 24000)
+!$POLARIS DOALL
+        DO I0 = 1, 600
+          G(I0) = 1.0/(3+MOD(I0, 7))
+        END DO
+!$POLARIS DOALL
+        DO I0 = 1, 24000
+          U(I0) = 0.5
+        END DO
+!$POLARIS DOALL PRIVATE(I)
+        DO S = 1, 40
+!$POLARIS DOALL
+          DO I = 1, 600
+            U(-600+I+600*S) = U(-600+I+600*S)*0.99+G(I)
+          END DO
+        END DO
+        CSUM = 0.0
+!$POLARIS DOALL REDUCTION(+:CSUM)
+        DO II = 1, 24000
+          CSUM = CSUM+U(II)
+        END DO
+        PRINT *, 'su2cor checksum', CSUM
+      END

@@ -1,0 +1,51 @@
+      PROGRAM SWIM
+      REAL FL(130)
+      INTEGER M
+      INTEGER N
+      INTEGER NSTEPS
+      REAL PP(130, 130)
+      REAL U(130, 130)
+      REAL V(130, 130)
+      PARAMETER (M = 130)
+      PARAMETER (N = 130)
+      PARAMETER (NSTEPS = 2)
+!$POLARIS DOALL PRIVATE(I0)
+        DO J0 = 1, 130
+!$POLARIS DOALL
+          DO I0 = 1, 130
+            U(I0, J0) = 0.01*I0
+            V(I0, J0) = 0.01*J0
+            PP(I0, J0) = 50.0+0.1*(I0+J0)
+          END DO
+        END DO
+        DO NC = 1, 2
+!$POLARIS DOALL PRIVATE(FL, I)
+          DO J = 2, 129
+!$POLARIS DOALL
+            DO I = 1, 130
+              FL(I) = U(I, J)*PP(I, J)
+            END DO
+!$POLARIS DOALL
+            DO I = 2, 129
+              U(I, J) = U(I, J)-0.05*(FL(I+1)-FL(I-1))
+              V(I, J) = V(I, J)-0.05*(PP(I, J+1)-PP(I, J-1))
+            END DO
+          END DO
+!$POLARIS DOALL PRIVATE(I)
+          DO J = 2, 129
+!$POLARIS DOALL
+            DO I = 2, 129
+              PP(I, J) = PP(I, J)-0.1*(U(I+1, J)-U(I-1, J)+V(I, J+1)-V(I, J-1))
+            END DO
+          END DO
+        END DO
+        CSUM = 0.0
+!$POLARIS DOALL PRIVATE(II) REDUCTION(+:CSUM)
+        DO JJ = 1, 130
+!$POLARIS DOALL REDUCTION(+:CSUM)
+          DO II = 1, 130
+            CSUM = CSUM+PP(II, JJ)
+          END DO
+        END DO
+        PRINT *, 'swim checksum', CSUM
+      END

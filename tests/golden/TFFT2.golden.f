@@ -1,0 +1,45 @@
+      PROGRAM TFFT2
+      INTEGER B
+      REAL F(3072)
+      INTEGER LEN
+      INTEGER NT
+      INTEGER T
+      REAL W(64)
+      PARAMETER (LEN = 64)
+      PARAMETER (NT = 48)
+!$POLARIS DOALL
+        DO I0 = 1, 3072
+          F(I0) = MOD(I0, 17)*0.25
+        END DO
+!$POLARIS DOALL PRIVATE(B, I, I1, I2, ISTAGE, J, LE2, T1, T2, W)
+        DO T = 1, 48
+!$POLARIS DOALL
+          DO I = 1, 64
+            W(I) = F(I+(T-1)*64)
+          END DO
+          DO ISTAGE = 1, 6
+            LE2 = 2*2**(ISTAGE-1)/2
+            DO B = 0, 64/(2*2**(ISTAGE-1))-1
+!$POLARIS DOALL PRIVATE(I1, I2, T1, T2)
+              DO J = 1, LE2
+                I1 = B*(2*2**(ISTAGE-1))+J
+                I2 = I1+LE2
+                T1 = W(I1)+W(I2)
+                T2 = W(I1)-W(I2)
+                W(I1) = T1
+                W(I2) = T2*0.7071
+              END DO
+            END DO
+          END DO
+!$POLARIS DOALL
+          DO I = 1, 64
+            F(I+(T-1)*64) = W(I)
+          END DO
+        END DO
+        CSUM = 0.0
+!$POLARIS DOALL REDUCTION(+:CSUM)
+        DO II = 1, 3072
+          CSUM = CSUM+F(II)
+        END DO
+        PRINT *, 'tfft2 checksum', CSUM
+      END

@@ -1,0 +1,53 @@
+      PROGRAM TOMCATV
+      INTEGER N
+      INTEGER NITER
+      REAL RXM(120, 120)
+      REAL XX(120, 120)
+      REAL YY(120, 120)
+      PARAMETER (N = 120)
+      PARAMETER (NITER = 3)
+!$POLARIS DOALL PRIVATE(I0)
+        DO J0 = 1, 120
+!$POLARIS DOALL
+          DO I0 = 1, 120
+            XX(I0, J0) = I0*0.3+J0*0.01
+            YY(I0, J0) = J0*0.3-I0*0.01
+            RXM(I0, J0) = 0.0
+          END DO
+        END DO
+        DO IT = 1, 3
+!$POLARIS DOALL PRIVATE(D, I)
+          DO J = 2, 119
+!$POLARIS DOALL PRIVATE(D)
+            DO I = 2, 119
+              D = XX(I+1, J)-2.0*XX(I, J)+XX(I-1, J)
+              IF (D .GT. 0.5) THEN
+                D = 0.5
+              ELSE IF (D .LT. -0.5) THEN
+                D = -0.5
+              END IF
+              RXM(I, J) = D+0.25*(YY(I, J+1)-YY(I, J-1))
+            END DO
+          END DO
+!$POLARIS DOALL PRIVATE(I)
+          DO J = 2, 119
+!$POLARIS DOALL
+            DO I = 2, 119
+              IF (RXM(I, J) .GT. 0.0) THEN
+                XX(I, J) = XX(I, J)+0.1*RXM(I, J)
+              ELSE
+                XX(I, J) = XX(I, J)+0.05*RXM(I, J)
+              END IF
+            END DO
+          END DO
+        END DO
+        CSUM = 0.0
+!$POLARIS DOALL PRIVATE(II) REDUCTION(+:CSUM)
+        DO JJ = 1, 120
+!$POLARIS DOALL REDUCTION(+:CSUM)
+          DO II = 1, 120
+            CSUM = CSUM+XX(II, JJ)
+          END DO
+        END DO
+        PRINT *, 'tomcatv checksum', CSUM
+      END

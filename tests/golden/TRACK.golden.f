@@ -1,0 +1,34 @@
+      PROGRAM TRACK
+      REAL G(2048)
+      REAL H(2048)
+      INTEGER KEY(2048)
+      INTEGER N
+      INTEGER NINV
+      PARAMETER (N = 2048)
+      PARAMETER (NINV = 10)
+!$POLARIS DOALL
+        DO I0 = 1, 2048
+          G(I0) = 1.0+MOD(I0, 9)*0.05
+          H(I0) = 0.0
+        END DO
+        DO INV = 1, 10
+!$POLARIS DOALL
+          DO I = 1, 2048
+            IF (MOD(INV, 10) .EQ. 0) THEN
+              KEY(I) = MOD(I, 1024)+1
+            ELSE
+              KEY(I) = MOD(I*77+INV, 2048)+1
+            END IF
+          END DO
+!$POLARIS DOALL SPECULATIVE(H)
+          DO I = 1, 2048
+            H(KEY(I)) = G(I)*1.01+INV*0.1
+          END DO
+        END DO
+        CSUM = 0.0
+!$POLARIS DOALL REDUCTION(+:CSUM)
+        DO II = 1, 2048
+          CSUM = CSUM+H(II)
+        END DO
+        PRINT *, 'track checksum', CSUM
+      END

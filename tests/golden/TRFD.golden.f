@@ -1,0 +1,37 @@
+      PROGRAM TRFD
+      REAL A(70560)
+      INTEGER M
+      INTEGER N
+      INTEGER NVIR
+      REAL V(48, 48)
+      INTEGER X
+      INTEGER X0
+      PARAMETER (M = 60)
+      PARAMETER (N = 48)
+      PARAMETER (NVIR = 70560)
+!$POLARIS DOALL PRIVATE(J0)
+        DO I0 = 1, 48
+!$POLARIS DOALL
+          DO J0 = 1, 48
+            V(I0, J0) = 1.0/(I0+J0)
+          END DO
+        END DO
+!$POLARIS DOALL PRIVATE(J, K, X)
+        DO I = 0, 59
+          X = 1176*I
+!$POLARIS DOALL PRIVATE(K)
+          DO J = 0, 47
+!$POLARIS DOALL
+            DO K = 0, J-1
+              A((2-J+J**2+2*K+2*X)/2) = V(J+1, K+1)*2.0+V(K+1, J+1)
+            END DO
+          END DO
+          X = X+1128
+        END DO
+        XSUM = 0.0
+!$POLARIS DOALL REDUCTION(+:XSUM)
+        DO II = 1, 70560
+          XSUM = XSUM+A(II)
+        END DO
+        PRINT *, 'trfd checksum', XSUM
+      END

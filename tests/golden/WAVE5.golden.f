@@ -1,0 +1,33 @@
+      PROGRAM WAVE5
+      REAL E(2048)
+      INTEGER IPOS(2048)
+      INTEGER NG
+      INTEGER NSTEPS
+      INTEGER P
+      REAL Q(2048)
+      REAL V(2048)
+      PARAMETER (NG = 2048)
+      PARAMETER (NSTEPS = 3)
+!$POLARIS DOALL
+        DO I0 = 1, 2048
+          Q(I0) = 1.0+MOD(I0, 3)*0.1
+          V(I0) = 0.0
+          IPOS(I0) = MOD(I0*77, 2048)+1
+        END DO
+        DO NC = 1, 3
+!$POLARIS DOALL
+          DO I = 1, 2048
+            E(I) = 0.5*Q(I)+0.001*I+NC*0.01
+          END DO
+!$POLARIS DOALL SPECULATIVE(V)
+          DO P = 1, 2048
+            V(IPOS(P)) = E(P)*Q(P)+NC*0.5
+          END DO
+        END DO
+        CSUM = 0.0
+!$POLARIS DOALL REDUCTION(+:CSUM)
+        DO II = 1, 2048
+          CSUM = CSUM+V(II)
+        END DO
+        PRINT *, 'wave5 checksum', CSUM
+      END

@@ -1,0 +1,114 @@
+//! Golden-file snapshot tests: the pretty-printed restructured output
+//! of every benchmark kernel is committed under `tests/golden/`, so any
+//! drift in the pass pipeline (a loop gaining or losing a PARALLEL
+//! directive, a changed privatization set, different induction
+//! rewriting) shows up as a reviewable diff instead of a silent
+//! behavior change.
+//!
+//! Regeneration: `UPDATE_GOLDEN=1 cargo test --test golden_kernels`
+//! rewrites the snapshots from the current pipeline; commit the diff if
+//! (and only if) the change is intentional.
+
+use polaris::benchmarks::{all, track};
+use polaris::{parallelize, PassOptions};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn restructured(name: &str, source: &str) -> String {
+    let out = parallelize(source, &PassOptions::polaris())
+        .unwrap_or_else(|e| panic!("{name}: compile: {e}"));
+    assert!(
+        !out.report.degraded(),
+        "{name}: pipeline degraded while producing golden output: {:?}",
+        out.report.rolled_back_stages()
+    );
+    polaris::ir::printer::print_program(&out.program)
+}
+
+#[test]
+fn restructured_kernels_match_golden_snapshots() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    if update {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let mut mismatches = Vec::new();
+    for b in all().into_iter().chain([track()]) {
+        let got = restructured(b.name, b.source);
+        let path = dir.join(format!("{}.golden.f", b.name));
+        if update {
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: missing golden file {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test golden_kernels`",
+                b.name,
+                path.display()
+            )
+        });
+        if got != want {
+            mismatches.push(format!(
+                "--- {} drifted from {} ---\n{}",
+                b.name,
+                path.display(),
+                diff_excerpt(&want, &got)
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} kernel(s) drifted from their golden snapshots \
+         (UPDATE_GOLDEN=1 regenerates if intentional):\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn golden_snapshots_cover_all_kernels_exactly() {
+    // No stale snapshots for kernels that no longer exist, and none
+    // missing — the directory is exactly the 17 current kernels.
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        // regeneration run: the sibling test is rewriting the directory
+        return;
+    }
+    let mut expected: Vec<String> = all()
+        .into_iter()
+        .chain([track()])
+        .map(|b| format!("{}.golden.f", b.name))
+        .collect();
+    expected.sort();
+    let mut present: Vec<String> = std::fs::read_dir(golden_dir())
+        .expect("tests/golden exists (run UPDATE_GOLDEN=1 once)")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".golden.f"))
+        .collect();
+    present.sort();
+    assert_eq!(expected, present);
+}
+
+/// First few differing lines, for a readable failure message.
+fn diff_excerpt(want: &str, got: &str) -> String {
+    let mut out = String::new();
+    let mut shown = 0;
+    for (i, (w, g)) in want.lines().zip(got.lines()).enumerate() {
+        if w != g {
+            out.push_str(&format!("line {}:\n  golden: {w}\n  actual: {g}\n", i + 1));
+            shown += 1;
+            if shown == 5 {
+                out.push_str("  ...\n");
+                break;
+            }
+        }
+    }
+    let (wl, gl) = (want.lines().count(), got.lines().count());
+    if wl != gl {
+        out.push_str(&format!("line counts differ: golden {wl} vs actual {gl}\n"));
+    }
+    out
+}
