@@ -1,0 +1,57 @@
+//! Per-kernel dependence-oracle precision table (EXPERIMENTS.md §
+//! "Oracle-measured precision of the range test").
+//!
+//! For every Table-1 kernel plus TRACK, compile with the full Polaris
+//! pipeline, run the instrumented serial interpreter, and cross-check
+//! every claim. Printed twice: with the stock options and with run-time
+//! speculation (LRPD) disabled, which forces the loops only the
+//! run-time test can claim back to serial and lets the oracle measure
+//! how much dynamic parallelism the *static* tests leave on the table.
+//!
+//! `cargo run --release -p polaris-bench --example oracle_table`
+
+use polaris_bench::compile_bench;
+use polaris_core::PassOptions;
+
+fn table(title: &str, opts: &PassOptions) {
+    println!("## {title}");
+    println!(
+        "{:<8} {:>7} {:>12} {:>12}  misses by pass",
+        "kernel", "serial", "compl.miss", "priv.miss"
+    );
+    let (mut serial, mut compl, mut privm) = (0, 0, 0);
+    let mut by_pass = std::collections::BTreeMap::new();
+    let track = polaris_benchmarks::track();
+    for b in polaris_benchmarks::all().iter().chain(std::iter::once(&track)) {
+        let (p, rep) = compile_bench(b, opts);
+        let r = polaris_machine::audit(&p, &rep)
+            .unwrap_or_else(|e| panic!("{}: oracle: {e}", b.name));
+        assert!(!r.has_violations(), "{}: soundness violation", b.name);
+        serial += r.serial_loops_exercised();
+        compl += r.completeness_misses();
+        privm += r.privatizable_misses();
+        let mbp = r.misses_by_pass();
+        for (k, v) in &mbp {
+            *by_pass.entry(*k).or_insert(0) += v;
+        }
+        println!(
+            "{:<8} {:>7} {:>12} {:>12}  {:?}",
+            b.name,
+            r.serial_loops_exercised(),
+            r.completeness_misses(),
+            r.privatizable_misses(),
+            mbp
+        );
+    }
+    println!(
+        "{:<8} {:>7} {:>12} {:>12}  {:?}\n",
+        "TOTAL", serial, compl, privm, by_pass
+    );
+}
+
+fn main() {
+    table("Polaris (stock options)", &PassOptions::polaris());
+    let mut no_spec = PassOptions::polaris();
+    no_spec.speculation = false;
+    table("Polaris, speculation (LRPD) disabled", &no_spec);
+}

@@ -23,10 +23,44 @@
 //!   --threads N    thread count for the real-thread column (default 8)
 //! ```
 
-use polaris_bench::{bar, speedups, threaded_row, SpeedupRow, ThreadedRow};
+use polaris_bench::{bar, oracle_report, speedups, threaded_row, SpeedupRow, ThreadedRow};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const SCHEMA: &str = "polaris-bench/figure7/v1";
+const SCHEMA: &str = "polaris-bench/figure7/v2";
+
+/// Dependence-oracle results aggregated over the kernels in the run:
+/// how often the compiler's serial verdicts are contradicted by the
+/// dynamic behaviour (completeness), attributed per pass; soundness
+/// violations are a hard harness failure.
+#[derive(Default)]
+struct OracleAgg {
+    violations: usize,
+    serial_loops: usize,
+    completeness_misses: usize,
+    privatizable_misses: usize,
+    misses_by_pass: BTreeMap<&'static str, usize>,
+}
+
+impl OracleAgg {
+    fn add(&mut self, r: &polaris_runtime::OracleReport) {
+        self.violations += r.violations().count();
+        self.serial_loops += r.serial_loops_exercised();
+        self.completeness_misses += r.completeness_misses();
+        self.privatizable_misses += r.privatizable_misses();
+        for (pass, n) in r.misses_by_pass() {
+            *self.misses_by_pass.entry(pass).or_default() += n;
+        }
+    }
+
+    fn miss_rate(&self) -> f64 {
+        if self.serial_loops == 0 {
+            0.0
+        } else {
+            self.completeness_misses as f64 / self.serial_loops as f64
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let mut json_path: Option<String> = None;
@@ -88,9 +122,11 @@ fn main() -> ExitCode {
     let mut wins_p = 0;
     let mut wins_v = 0;
     let mut rows: Vec<(SpeedupRow, ThreadedRow)> = Vec::new();
+    let mut oracle = OracleAgg::default();
     for b in &benches {
         let row = speedups(b, 8);
         let thr = threaded_row(b, threads);
+        oracle.add(&oracle_report(b));
         println!(
             "{:<9} {:>7.2}x {:>7.2}x {:>11.2} {:>9.2}   P|{}",
             row.name,
@@ -123,6 +159,18 @@ fn main() -> ExitCode {
         "Polaris clearly ahead on {wins_p} of {total} codes; baseline ahead on {wins_v} \
          (paper: PFA ahead on 2)."
     );
+    println!(
+        "oracle: {} soundness violation(s); {} of {} exercised serial loops dynamically \
+         independent (completeness-miss rate {:.3})",
+        oracle.violations,
+        oracle.completeness_misses,
+        oracle.serial_loops,
+        oracle.miss_rate()
+    );
+    if oracle.violations > 0 {
+        eprintln!("figure7: the dependence oracle observed a race in a PARALLEL loop");
+        return ExitCode::FAILURE;
+    }
     let cores = host_cores();
     if cores < threads {
         println!(
@@ -132,7 +180,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        let doc = render_json(&rows, threads, cores, geo_polaris, geo_vfa, geo_real);
+        let doc = render_json(&rows, &oracle, threads, cores, geo_polaris, geo_vfa, geo_real);
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("figure7: cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -151,6 +199,7 @@ fn host_cores() -> usize {
 /// stable key order so diffs between trajectory files stay readable.
 fn render_json(
     rows: &[(SpeedupRow, ThreadedRow)],
+    oracle: &OracleAgg,
     threads: usize,
     cores: usize,
     geo_polaris: f64,
@@ -187,6 +236,21 @@ fn render_json(
         s.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
     }
     s.push_str("  ],\n");
+    s.push_str("  \"oracle\": {\n");
+    s.push_str(&format!("    \"violations\": {},\n", oracle.violations));
+    s.push_str(&format!("    \"serial_loops_exercised\": {},\n", oracle.serial_loops));
+    s.push_str(&format!("    \"completeness_misses\": {},\n", oracle.completeness_misses));
+    s.push_str(&format!("    \"privatizable_misses\": {},\n", oracle.privatizable_misses));
+    s.push_str(&format!("    \"miss_rate\": {},\n", json_f64(oracle.miss_rate())));
+    s.push_str("    \"misses_by_pass\": {");
+    for (i, (pass, n)) in oracle.misses_by_pass.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{}\": {}", json_escape(pass), n));
+    }
+    s.push_str("}\n");
+    s.push_str("  },\n");
     s.push_str("  \"geomean\": {\n");
     s.push_str(&format!("    \"sim_polaris\": {},\n", json_f64(geo_polaris)));
     s.push_str(&format!("    \"sim_vfa\": {},\n", json_f64(geo_vfa)));

@@ -33,6 +33,16 @@ pub fn compile_bench(
     (p, rep)
 }
 
+/// Audit a benchmark's parallelization with the run-time dependence
+/// oracle: compile with the full Polaris pipeline, execute serially with
+/// the trace attached, and cross-check every claim (see
+/// `polaris_machine::oracle`). Panics on compile/run errors — harness
+/// context.
+pub fn oracle_report(b: &polaris_benchmarks::Benchmark) -> polaris_runtime::OracleReport {
+    let (p, rep) = compile_bench(b, &PassOptions::polaris());
+    polaris_machine::audit(&p, &rep).unwrap_or_else(|e| panic!("{}: oracle: {e}", b.name))
+}
+
 /// Measured speedups of one benchmark under both compilers.
 #[derive(Debug, Clone)]
 pub struct SpeedupRow {

@@ -204,11 +204,18 @@ fn figure7_json_is_well_formed_and_schema_complete() {
 
     // Schema: top-level metadata and geomeans present.
     for key in [
-        "\"schema\": \"polaris-bench/figure7/v1\"",
+        "\"schema\": \"polaris-bench/figure7/v2\"",
         "\"procs\":",
         "\"threads\": 4",
         "\"host_cores\":",
         "\"kernels\":",
+        "\"oracle\":",
+        "\"violations\": 0",
+        "\"serial_loops_exercised\":",
+        "\"completeness_misses\":",
+        "\"privatizable_misses\":",
+        "\"miss_rate\":",
+        "\"misses_by_pass\":",
         "\"geomean\":",
         "\"sim_polaris\":",
         "\"sim_vfa\":",

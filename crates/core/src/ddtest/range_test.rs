@@ -459,4 +459,71 @@ mod tests {
         let sl = il("I", "1", "n");
         assert!(!no_carried_dependence(&f, &f, "I", 1, &sl, &env, &stats(), true));
     }
+
+    #[test]
+    fn negative_stride_subscripts() {
+        let mut env = RangeEnv::new();
+        env.assume_nonempty_loop("I", &polaris_ir::Expr::int(1), &polaris_ir::Expr::var("N"));
+        let sl = il("I", "1", "n");
+        // A(-2*i) vs A(-2*i - 1): the footprints march downward with a
+        // gap — the descending orientation must prove independence.
+        let f = simple_ref("-2*i", vec![]);
+        let g = simple_ref("-2*i - 1", vec![]);
+        assert!(no_carried_dependence(&f, &g, "I", 1, &sl, &env, &stats(), true));
+        // A(-i) vs A(-i - 1): f(i+1) = g(i) — a real carried dependence;
+        // the same machinery must refuse.
+        let f = simple_ref("-i", vec![]);
+        let g = simple_ref("-i - 1", vec![]);
+        assert!(!no_carried_dependence(&f, &g, "I", 1, &sl, &env, &stats(), true));
+    }
+
+    #[test]
+    fn zero_step_is_conservative() {
+        // A degenerate zero-step tested loop never separates iterations:
+        // even the identity subscript must stay conservative (the
+        // interpreter rejects such loops; the test must not pre-bless
+        // them as parallel).
+        let f = simple_ref("i", vec![]);
+        let mut env = RangeEnv::new();
+        env.assume_nonempty_loop("I", &polaris_ir::Expr::int(1), &polaris_ir::Expr::var("N"));
+        let sl = il("I", "1", "n");
+        assert!(!no_carried_dependence(&f, &f, "I", 0, &sl, &env, &stats(), true));
+    }
+
+    #[test]
+    fn zero_trip_inner_loop() {
+        let mut env = RangeEnv::new();
+        env.assume_nonempty_loop("I", &polaris_ir::Expr::int(1), &polaris_ir::Expr::var("N"));
+        let sl = il("I", "1", "n");
+        // A(i + j) with j in [1, 0]: the inner loop never runs, so the
+        // reference touches nothing — vacuous independence is sound and
+        // the inverted bounds must not confuse (or crash) the test.
+        let f = simple_ref("i + j", vec![il("J", "1", "0")]);
+        assert!(no_carried_dependence(&f, &f, "I", 1, &sl, &env, &stats(), true));
+        // j in [m, 0] with unconstrained m: the loop may or may not run,
+        // and when it runs the footprint [i+m, i] can reach arbitrarily
+        // far down — must stay conservative.
+        let g = simple_ref("i + j", vec![il("J", "m", "0")]);
+        assert!(!no_carried_dependence(&g, &g, "I", 1, &sl, &env, &stats(), true));
+    }
+
+    #[test]
+    fn symbolic_lower_bound_crossing_zero() {
+        // A(6*i + j), j in [m, 5]: iteration i's footprint is
+        // [6i+m, 6i+5]. With m unconstrained (it may be negative, and
+        // the footprint then reaches into earlier iterations' blocks)
+        // the test must stay conservative; once m >= 0 is known the
+        // blocks are disjoint and it must prove independence.
+        let f = simple_ref("6*i + j", vec![il("J", "m", "5")]);
+        let sl = il("I", "1", "n");
+        let mut env = RangeEnv::new();
+        env.assume_nonempty_loop("I", &polaris_ir::Expr::int(1), &polaris_ir::Expr::var("N"));
+        assert!(!no_carried_dependence(&f, &f, "I", 1, &sl, &env, &stats(), true));
+        env.assume_cond(&polaris_ir::Expr::bin(
+            polaris_ir::BinOp::Ge,
+            polaris_ir::Expr::var("M"),
+            polaris_ir::Expr::int(0),
+        ));
+        assert!(no_carried_dependence(&f, &f, "I", 1, &sl, &env, &stats(), true));
+    }
 }

@@ -9,7 +9,7 @@ use crate::rangeprop;
 use crate::reduction;
 use crate::PassOptions;
 use polaris_ir::expr::Expr;
-use polaris_ir::stmt::{DoLoop, ParallelInfo, SpecInfo, StmtId, StmtKind, StmtList};
+use polaris_ir::stmt::{DoLoop, LoopId, ParallelInfo, SpecInfo, StmtId, StmtKind, StmtList};
 use polaris_ir::visit::{collect_iteration_accesses, find_serializing_stmt, Access};
 use polaris_ir::ProgramUnit;
 use polaris_symbolic::poly::{DivPolicy, Poly};
@@ -20,6 +20,9 @@ use std::collections::{BTreeMap, BTreeSet};
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoopReport {
     pub label: String,
+    /// Provenance id of the loop (see [`polaris_ir::stmt::LoopId`]); the
+    /// key the run-time dependence oracle joins observations on.
+    pub loop_id: LoopId,
     pub unit: String,
     /// Proven parallel at compile time.
     pub parallel: bool,
@@ -38,8 +41,10 @@ pub fn analyze_unit(
     opts: &PassOptions,
     stats: &DdStats,
 ) -> Vec<LoopReport> {
-    // Phase 1 (read-only): decide per loop label.
-    let mut decisions: BTreeMap<String, (ParallelInfo, LoopReport)> = BTreeMap::new();
+    // Phase 1 (read-only): decide per loop, keyed by provenance id
+    // (labels are human-readable but inlining can in principle produce
+    // collisions; LoopId is the uniqueness-checked key).
+    let mut decisions: BTreeMap<LoopId, (ParallelInfo, LoopReport)> = BTreeMap::new();
     {
         let mut env = RangeEnv::new();
         seed_params(unit, &mut env);
@@ -50,7 +55,7 @@ pub fn analyze_unit(
     let mut reports: Vec<LoopReport> = Vec::new();
     unit.body.walk_mut(&mut |s| {
         if let StmtKind::Do(d) = &mut s.kind {
-            if let Some((info, report)) = decisions.remove(&d.label) {
+            if let Some((info, report)) = decisions.remove(&d.loop_id) {
                 d.par = info;
                 reports.push(report);
             }
@@ -78,7 +83,7 @@ fn analyze_list(
     env: &mut RangeEnv,
     opts: &PassOptions,
     stats: &DdStats,
-    out: &mut BTreeMap<String, (ParallelInfo, LoopReport)>,
+    out: &mut BTreeMap<LoopId, (ParallelInfo, LoopReport)>,
 ) {
     for s in list {
         match &s.kind {
@@ -96,7 +101,7 @@ fn analyze_list(
                     d.step.as_ref(),
                 );
                 let decision = analyze_loop(d, s.id, unit, &body_env, opts, stats);
-                out.insert(d.label.clone(), decision);
+                out.insert(d.loop_id, decision);
                 analyze_list(&d.body, unit, &mut body_env, opts, stats, out);
             }
             StmtKind::IfBlock { arms, else_body } => {
@@ -150,6 +155,7 @@ fn serial(
     let info = ParallelInfo { serial_reason: Some(reason.clone()), ..Default::default() };
     let report = LoopReport {
         label: d.label.clone(),
+        loop_id: d.loop_id,
         unit: unit.name.clone(),
         parallel: false,
         speculative: false,
@@ -164,7 +170,7 @@ fn serial(
 /// Decide one loop. `env` holds ranges valid inside the body.
 fn analyze_loop(
     d: &DoLoop,
-    loop_id: StmtId,
+    stmt_id: StmtId,
     unit: &ProgramUnit,
     env: &RangeEnv,
     opts: &PassOptions,
@@ -225,7 +231,7 @@ fn analyze_loop(
             continue;
         }
         if opts.scalar_privatization && privatize::scalar_privatizable(d, name) {
-            if privatize::live_after(unit, loop_id, name) {
+            if privatize::live_after(unit, stmt_id, name) {
                 if privatize::scalar_write_unconditional(d, name) {
                     private.push(name.clone());
                     copy_out.push(name.clone());
@@ -305,7 +311,7 @@ fn analyze_loop(
             && privatize::array_privatizable_with_decl(d, name, &env, declared.as_deref())
                 .is_ok();
         if priv_ok
-            && !privatize::live_after(unit, loop_id, name) {
+            && !privatize::live_after(unit, stmt_id, name) {
                 private.push(name.clone());
                 continue;
             }
@@ -358,6 +364,7 @@ fn analyze_loop(
         };
         let report = LoopReport {
             label: d.label.clone(),
+            loop_id: d.loop_id,
             unit: unit.name.clone(),
             parallel: false,
             speculative: true,
@@ -380,6 +387,7 @@ fn analyze_loop(
     };
     let report = LoopReport {
         label: d.label.clone(),
+        loop_id: d.loop_id,
         unit: unit.name.clone(),
         parallel: true,
         speculative: false,

@@ -386,13 +386,17 @@ fn instantiate(
         }
     }
 
-    // Fresh statement ids and loop labels for the spliced statements.
+    // Fresh statement ids, loop labels, and loop provenance ids for the
+    // spliced statements: a callee loop expanded at two call sites yields
+    // two distinct loops, so each copy needs its own LoopId (the per-unit
+    // uniqueness invariant validate_unit enforces).
     let site = caller.stmt_id_watermark();
     let mut body = work.body;
     body.walk_mut(&mut |s| {
         s.id = caller.fresh_stmt_id();
         if let StmtKind::Do(d) = &mut s.kind {
             d.label = format!("{}@{}", d.label, site);
+            d.loop_id = polaris_ir::stmt::LoopId(s.id.0);
         }
     });
     Ok(body)

@@ -484,6 +484,87 @@ mod tests {
         assert!(report.stage("inline").unwrap().ir_delta > 0, "{:?}", report.stages);
     }
 
+    /// `armed_for` must match stage names *exactly* — the table contains
+    /// the prefix pair `constprop` / `constprop-fold`, so a
+    /// substring/prefix comparison would arm the wrong stage.
+    #[test]
+    fn armed_for_matches_every_stage_name_exactly() {
+        let program = polaris_ir::parse(TRFD).unwrap();
+        for armed in STAGE_NAMES {
+            let plan = FaultPlan::panic_in(armed);
+            for probe in STAGE_NAMES {
+                assert_eq!(
+                    plan.armed_for(probe, &program).is_some(),
+                    probe == armed,
+                    "plan for `{armed}` wrongly armed (or not armed) at `{probe}`"
+                );
+            }
+        }
+    }
+
+    /// After any single-stage rollback the LoopId provenance invariants
+    /// must hold: ids stay unique per unit (the oracle's join key) and
+    /// every per-loop verdict in the report references a loop that
+    /// actually exists in the surviving program — a stale id would make
+    /// the run-time oracle silently drop the claim.
+    #[test]
+    fn rollback_preserves_loop_id_provenance_for_every_stage() {
+        // A caller/callee pair: the inline stage splices the callee loop
+        // into main under a *fresh* id, which is exactly the path that
+        // could leave duplicates or dangling references when unwound.
+        let src = "program t\n\
+                   real v(1000)\n\
+                   s = 0.0\n\
+                   call fill(v, 1000)\n\
+                   do i = 1, 1000\n\
+                   \x20 s = s + v(i)\n\
+                   end do\n\
+                   print *, s\n\
+                   end\n\
+                   subroutine fill(a, n)\n\
+                   real a(n)\n\
+                   integer n\n\
+                   do i = 1, n\n\
+                   \x20 a(i) = i * 2.0\n\
+                   end do\n\
+                   end\n";
+        for stage in STAGE_NAMES {
+            let opts = PassOptions::polaris().with_faults(FaultPlan::panic_in(stage));
+            let (program, report) = parse_and_compile(src, &opts)
+                .unwrap_or_else(|e| panic!("compile aborted with fault in `{stage}`: {e}"));
+            assert!(
+                report.stage(stage).unwrap().rolled_back(),
+                "fault in `{stage}` did not roll back"
+            );
+            for unit in &program.units {
+                let mut seen = std::collections::BTreeSet::new();
+                unit.body.walk(&mut |s| {
+                    if let Some(d) = s.as_do() {
+                        assert!(
+                            seen.insert(d.loop_id),
+                            "duplicate loop id {} in unit {} after `{stage}` rollback",
+                            d.loop_id,
+                            unit.name
+                        );
+                    }
+                });
+            }
+            for lr in &report.loops {
+                let unit = program
+                    .units
+                    .iter()
+                    .find(|u| u.name == lr.unit)
+                    .unwrap_or_else(|| panic!("report names missing unit {}", lr.unit));
+                assert!(
+                    unit.body.loops().iter().any(|d| d.loop_id == lr.loop_id),
+                    "report references stale loop id {} ({}) after `{stage}` rollback",
+                    lr.loop_id,
+                    lr.label
+                );
+            }
+        }
+    }
+
     #[test]
     fn fault_plan_builder_and_queries() {
         let plan = FaultPlan::panic_in("dce").and_panic_in("analyze");

@@ -6,7 +6,7 @@
 
 use crate::expr::{Expr, LValue};
 use crate::program::ProgramUnit;
-use crate::stmt::{DoLoop, IfArm, ParallelInfo, Stmt, StmtKind, StmtList};
+use crate::stmt::{DoLoop, IfArm, LoopId, ParallelInfo, Stmt, StmtKind, StmtList};
 
 /// Build an assignment statement with a fresh id.
 pub fn assign(unit: &mut ProgramUnit, lhs: LValue, rhs: Expr) -> Stmt {
@@ -39,6 +39,7 @@ pub fn do_loop(
             body: StmtList(body),
             par: ParallelInfo::default(),
             label,
+            loop_id: LoopId(id.0),
         })),
     )
 }

@@ -11,7 +11,9 @@ use crate::error::{CompileError, Result};
 use crate::expr::{is_intrinsic, BinOp, Expr, LValue, RedOp, UnOp};
 use crate::lexer::lex;
 use crate::program::{CommonBlock, Program, ProgramUnit, UnitKind};
-use crate::stmt::{DoLoop, IfArm, ParallelInfo, Reduction, SpecInfo, Stmt, StmtId, StmtKind, StmtList};
+use crate::stmt::{
+    DoLoop, IfArm, LoopId, ParallelInfo, Reduction, SpecInfo, Stmt, StmtId, StmtKind, StmtList,
+};
 use crate::symbol::{Dim, Symbol};
 use crate::token::{Tok, Token};
 use crate::types::DataType;
@@ -599,10 +601,14 @@ impl Parser {
         }
         self.eol()?;
         let label = format!("{unit_name}_do{line}");
+        let id = self.fresh_id();
+        // The loop's provenance id is derived from its own (unit-unique)
+        // statement id, so no second counter is needed.
+        let loop_id = LoopId(id.0);
         Ok(Stmt::new(
-            self.fresh_id(),
+            id,
             line,
-            StmtKind::Do(Box::new(DoLoop { var, init, limit, step, body, par, label })),
+            StmtKind::Do(Box::new(DoLoop { var, init, limit, step, body, par, label, loop_id })),
         ))
     }
 

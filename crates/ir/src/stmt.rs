@@ -26,6 +26,27 @@ impl fmt::Display for StmtId {
     }
 }
 
+/// Stable provenance identity of a `DO` loop within a
+/// [`crate::ProgramUnit`].
+///
+/// Unlike the human-readable [`DoLoop::label`], which passes may rewrite
+/// (inlining suffixes the expansion site), a `LoopId` is assigned once —
+/// at parse time or when a pass synthesizes/splices a loop — and then
+/// survives every transformation untouched. It is the join key between
+/// compile-time verdicts ([`ParallelInfo`], `LoopReport`) and run-time
+/// observations (the machine's dependence oracle), so the invariants are
+/// strict: ids are unique per unit (enforced by
+/// [`crate::validate::validate_unit`]) and a transformed loop keeps the
+/// id of the source loop it descends from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct LoopId(pub u32);
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
 /// A statement: id + source line + kind.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Stmt {
@@ -164,6 +185,9 @@ pub struct DoLoop {
     /// evaluation harness can report per-loop results like the paper's
     /// `NLFILT/300` notation.
     pub label: String,
+    /// Stable provenance id (see [`LoopId`]): the join key between this
+    /// loop's compile-time verdict and run-time observations of it.
+    pub loop_id: LoopId,
 }
 
 impl DoLoop {
@@ -419,6 +443,7 @@ mod tests {
                 body,
                 par: ParallelInfo::default(),
                 label: "T_do1".into(),
+                loop_id: LoopId(1),
             })),
         )
     }
@@ -446,6 +471,7 @@ mod tests {
                 body: StmtList(vec![inner]),
                 par: ParallelInfo::default(),
                 label: "T_do0".into(),
+                loop_id: LoopId(10),
             })),
         );
         let list = StmtList(vec![outer]);

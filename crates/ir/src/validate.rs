@@ -72,6 +72,26 @@ pub fn validate_unit(unit: &ProgramUnit) -> Result<()> {
             )));
         }
     }
+    // Unique loop provenance ids. Every pass must either keep a loop's
+    // `LoopId` or assign a fresh one when it clones the loop (inlining);
+    // a duplicate means run-time observations could be attributed to the
+    // wrong compile-time verdict, so it is rejected — inside the
+    // pipeline this rolls the offending stage back.
+    let mut loop_ids = BTreeSet::new();
+    let mut dup_loop = None;
+    unit.body.walk(&mut |s| {
+        if let Some(d) = s.as_do() {
+            if !loop_ids.insert(d.loop_id) && dup_loop.is_none() {
+                dup_loop = Some((d.loop_id, d.label.clone()));
+            }
+        }
+    });
+    if let Some((id, label)) = dup_loop {
+        return Err(CompileError::validate(format!(
+            "unit {}: duplicate loop id {id} (at loop `{label}`)",
+            unit.name
+        )));
+    }
     // Per-statement checks.
     let mut err: Option<CompileError> = None;
     let mut loop_stack: Vec<String> = Vec::new();

@@ -109,6 +109,9 @@ pub(crate) struct Interp<'a> {
     /// Per-label shareable loop bodies for the threaded backend (cloned
     /// once, then handed to workers as `Arc`s on every invocation).
     pub(crate) tcache: BTreeMap<String, crate::threaded::SharedLoop>,
+    /// Dependence-oracle trace (see [`crate::oracle`]); attached only by
+    /// [`run_traced`], on serial runs. `None` costs one branch per hook.
+    oracle: Option<Box<crate::oracle::OracleState>>,
 }
 
 impl<'a> Interp<'a> {
@@ -132,6 +135,7 @@ impl<'a> Interp<'a> {
             shared_steps,
             pool: None,
             tcache: BTreeMap::new(),
+            oracle: None,
         }
     }
 
@@ -159,6 +163,7 @@ impl<'a> Interp<'a> {
             shared_steps,
             pool: None,
             tcache: BTreeMap::new(),
+            oracle: None,
         }
     }
 
@@ -173,11 +178,17 @@ impl<'a> Interp<'a> {
             RExpr::Str(_) => Err(MachineError::Type("string outside PRINT".into())),
             RExpr::Load(slot) => {
                 self.cycles += c.scalar;
+                if let Some(o) = self.oracle.as_deref_mut() {
+                    o.scalar_read(*slot);
+                }
                 Ok(self.scalars[*slot].get())
             }
             RExpr::Elem(arr, subs) => {
                 let idx = self.element_index(*arr, subs)?;
                 self.cycles += self.cfg.cost.memory;
+                if let Some(o) = self.oracle.as_deref_mut() {
+                    o.array_read(*arr, idx);
+                }
                 if !self.spec.is_empty() {
                     let t = self.spec_iter;
                     let mark = self.cfg.cost.spec_mark;
@@ -459,6 +470,9 @@ impl<'a> Interp<'a> {
             RStmt::AssignS(slot, rhs) => {
                 let v = self.eval(rhs)?;
                 self.cycles += self.cfg.cost.scalar;
+                if let Some(o) = self.oracle.as_deref_mut() {
+                    o.scalar_write(*slot);
+                }
                 self.scalars[*slot].set(v)?;
                 Ok(Flow::Normal)
             }
@@ -473,6 +487,9 @@ impl<'a> Interp<'a> {
                         sh.on_write(idx, t);
                         self.cycles += mark;
                     }
+                }
+                if let Some(o) = self.oracle.as_deref_mut() {
+                    o.array_write(*arr, idx);
                 }
                 Arc::make_mut(&mut self.arrays[*arr].data).set(idx, v)?;
                 Ok(Flow::Normal)
@@ -554,6 +571,12 @@ impl<'a> Interp<'a> {
         let entry = self.loops.entry(l.label.clone()).or_default();
         entry.invocations += 1;
         let loop_start = self.cycles;
+        // Oracle frame: pushed after the bound expressions are evaluated
+        // (those reads belong to the enclosing loops, not this one).
+        let n_scalars = self.scalars.len();
+        if let Some(o) = self.oracle.as_deref_mut() {
+            o.enter_loop(l.loop_id, &l.label, n_scalars);
+        }
 
         let concurrent = !self.in_parallel && self.cfg.exec_procs() > 1;
         let flow = if l.par.parallel && concurrent && !self.adversarial {
@@ -571,6 +594,9 @@ impl<'a> Interp<'a> {
         } else {
             self.run_serial_loop(l, &iters)?
         };
+        if let Some(o) = self.oracle.as_deref_mut() {
+            o.exit_loop();
+        }
         let spent = self.cycles - loop_start;
         let entry = self.loops.entry(l.label.clone()).or_default();
         entry.cycles += spent;
@@ -605,7 +631,10 @@ impl<'a> Interp<'a> {
     }
 
     pub(crate) fn run_serial_loop(&mut self, l: &RLoop, iters: &[i64]) -> Result<Flow, MachineError> {
-        for &v in iters {
+        for (idx, &v) in iters.iter().enumerate() {
+            if let Some(o) = self.oracle.as_deref_mut() {
+                o.begin_iteration(idx as u64);
+            }
             if self.run_one_iteration(l, v)? == Flow::Stop {
                 return Ok(Flow::Stop);
             }
@@ -1003,6 +1032,20 @@ pub fn run(program: &Program, cfg: &MachineConfig) -> Result<RunResult, MachineE
 /// Run serially (annotations have no effect; the serial reference time).
 pub fn run_serial(program: &Program) -> Result<RunResult, MachineError> {
     run(program, &MachineConfig::serial())
+}
+
+/// Run `image` serially with the dependence-oracle trace attached and
+/// return the collected per-loop observations. `cfg` must be a serial
+/// configuration — program order *is* the thing being traced.
+pub(crate) fn run_traced(
+    image: &Image,
+    cfg: &MachineConfig,
+) -> Result<crate::oracle::OracleState, MachineError> {
+    debug_assert_eq!(cfg.exec_procs(), 1, "oracle traces require serial execution");
+    let mut interp = Interp::new(image, cfg, false);
+    interp.oracle = Some(Box::new(crate::oracle::OracleState::new()));
+    interp.run_list(&image.code)?;
+    Ok(*interp.oracle.take().expect("oracle state survives the run"))
 }
 
 /// Validate the compiler's parallelization: execute sequentially, then

@@ -33,6 +33,7 @@ pub mod cost;
 pub mod error;
 pub mod exec;
 pub mod lower;
+pub mod oracle;
 pub mod shadow;
 pub mod threaded;
 pub mod value;
@@ -40,6 +41,7 @@ pub mod value;
 pub use cost::{CodegenModel, CostModel, Schedule};
 pub use error::MachineError;
 pub use exec::{run, run_serial, run_validated, LoopExecStats, RunResult};
+pub use oracle::{audit, audit_with};
 
 /// How `PARALLEL DO` loops are executed.
 ///

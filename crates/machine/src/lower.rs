@@ -86,6 +86,10 @@ pub struct RLoop {
     pub body: Vec<RStmt>,
     pub par: RPar,
     pub label: String,
+    /// Compile-time provenance id, carried verbatim from the IR loop
+    /// this RLoop was lowered from; the dependence oracle joins its
+    /// run-time observations to `CompileReport` verdicts on this key.
+    pub loop_id: polaris_ir::stmt::LoopId,
     /// No DO loops inside (codegen model applies here).
     pub innermost: bool,
     /// Contains an IF (codegen model penalty).
@@ -308,6 +312,7 @@ impl<'a> Lowerer<'a> {
                     body,
                     par,
                     label: d.label.clone(),
+                    loop_id: d.loop_id,
                     innermost,
                     has_conditional,
                 }))

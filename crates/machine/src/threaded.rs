@@ -751,7 +751,7 @@ mod tests {
                     assert!(seen.iter().all(|&c| c == 1), "trip={trip} procs={procs} {plan:?}");
                     if trip > 0 {
                         let (s, e) = plan.bounds(plan.last_chunk());
-                        assert!(s <= trip - 1 && trip - 1 < e, "last_chunk misses final iter");
+                        assert!(s < trip && trip - 1 < e, "last_chunk misses final iter");
                     }
                 }
             }

@@ -32,7 +32,12 @@
 //! behaviour claimed in §3.5.2.
 
 pub mod lrpd;
+pub mod verdict;
 
 pub use lrpd::{
     run_sequential, speculative_doall, speculative_doall_faulty, ArrayView, SpecOutcome,
+};
+pub use verdict::{
+    judge, ClaimKind, DepKind, DepObservation, LoopClaim, LoopObservation, LoopVerdict,
+    OracleReport, Violation,
 };

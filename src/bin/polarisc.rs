@@ -10,6 +10,11 @@
 //!   --diag          print the per-stage pipeline diagnostics table and
 //!                   the simulated speedup at --procs processors
 //!   --run           execute on the machine and print speedup
+//!   --oracle        execute serially with the dependence oracle attached
+//!                   and audit every PARALLEL claim against the observed
+//!                   cross-iteration dependences; prints the JSON report
+//!                   to stdout (implies --quiet so stdout stays valid
+//!                   JSON) and exits 2 on a soundness violation
 //!   --procs N       processor count for --run/--diag (default 8, >= 1)
 //!   --exec-mode M   parallel-loop backend for --run: `simulated`
 //!                   (default; cycle-model multiprocessor) or `threaded`
@@ -30,14 +35,16 @@
 //! Exit codes: `0` success, `1` failure (bad input, compile error,
 //! execution error, output mismatch), `2` success but *degraded* — one
 //! or more pipeline stages panicked and were rolled back, so the output
-//! is correct but possibly less optimized. `--strict` turns `2` into
-//! `1` for CI gates that want full optimization or nothing.
+//! is correct but possibly less optimized — or, under `--oracle`, a
+//! published PARALLEL claim contradicted by an observed dependence.
+//! `--strict` turns `2` into `1` for CI gates that want full
+//! optimization or nothing.
 
 use polaris::machine::Schedule;
 use polaris::{MachineConfig, PassOptions};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: polarisc [--vfa] [--report] [--diag] [--run] [--procs N] \
+const USAGE: &str = "usage: polarisc [--vfa] [--report] [--diag] [--run] [--oracle] [--procs N] \
                      [--exec-mode simulated|threaded] [--threads N] \
                      [--fuel N] [--validate] [--profile] [--strict] [--quiet] FILE.f";
 
@@ -50,6 +57,7 @@ fn main() -> ExitCode {
     let mut report = false;
     let mut diag = false;
     let mut run = false;
+    let mut oracle = false;
     let mut validate = false;
     let mut profile = false;
     let mut strict = false;
@@ -65,6 +73,10 @@ fn main() -> ExitCode {
             "--report" => report = true,
             "--diag" => diag = true,
             "--run" => run = true,
+            "--oracle" => {
+                oracle = true;
+                quiet = true;
+            }
             "--validate" => validate = true,
             "--profile" => profile = true,
             "--strict" => strict = true,
@@ -304,6 +316,32 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        }
+    }
+
+    if oracle {
+        let mut cfg = MachineConfig::serial();
+        cfg.fuel = fuel;
+        let audit = match polaris_machine::audit_with(&program, &rep, &cfg) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("polarisc: oracle execution failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", audit.to_json());
+        if audit.has_violations() {
+            for v in audit.violations() {
+                eprintln!(
+                    "polarisc: ORACLE VIOLATION in {} ({} dependence on `{}`): {}",
+                    v.label, v.dep.kind, v.dep.var, v.detail
+                );
+            }
+            if strict {
+                eprintln!("polarisc: soundness violation; failing under --strict");
+                return ExitCode::FAILURE;
+            }
+            return ExitCode::from(EXIT_DEGRADED);
         }
     }
 

@@ -1,0 +1,93 @@
+//! Golden-file snapshot tests for the `polarisc` CLI surfaces that CI
+//! and downstream tooling consume: the `--diag` per-stage diagnostics
+//! table and the `--oracle` JSON audit report, on MDG (histogram
+//! reductions, fully parallel) and TRACK (the partially parallel
+//! PD-test loop). Timing columns are normalized before comparison; the
+//! cycle counts, stage outcomes, IR deltas, and the entire oracle JSON
+//! are deterministic.
+//!
+//! Regeneration: `UPDATE_GOLDEN=1 cargo test --test golden_cli`
+//! rewrites the snapshots; commit the diff if (and only if) the change
+//! is intentional.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn kernel(file: &str) -> String {
+    repo().join("crates/benchmarks/codes").join(file).to_str().unwrap().to_string()
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    repo().join("tests/golden").join(name)
+}
+
+/// Run polarisc, asserting it exits 0 (no violation, not degraded).
+fn polarisc(args: &[&str]) -> (String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_polarisc")).args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "polarisc {args:?} exited {:?}\n--- stderr ---\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (String::from_utf8_lossy(&out.stdout).into_owned(), String::from_utf8_lossy(&out.stderr).into_owned())
+}
+
+/// Replace the wall-clock duration column of `--diag` stage rows with a
+/// stable `<time>` token. Row layout is fixed-width: name(16) sp
+/// outcome(12) sp delta(10) sp duration — everything before the
+/// duration is deterministic.
+fn normalize_diag(stderr: &str) -> String {
+    let mut out = String::new();
+    for line in stderr.lines() {
+        let is_stage_row =
+            polaris::core::pipeline::STAGE_NAMES.iter().any(|s| line.starts_with(s));
+        if is_stage_row && line.len() > 40 {
+            out.push_str(line[..40].trim_end());
+            out.push_str(" <time>\n");
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn check_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test golden_cli`",
+            path.display()
+        )
+    });
+    assert!(
+        got == want,
+        "{name} drifted from its golden snapshot (UPDATE_GOLDEN=1 regenerates if intentional)\n\
+         --- want ---\n{want}\n--- got ---\n{got}"
+    );
+}
+
+#[test]
+fn diag_table_matches_golden_for_mdg_and_track() {
+    for (kern, golden) in [("mdg.f", "MDG.diag.txt"), ("track.f", "TRACK.diag.txt")] {
+        let (_, stderr) = polarisc(&["--diag", "--quiet", &kernel(kern)]);
+        check_golden(golden, &normalize_diag(&stderr));
+    }
+}
+
+#[test]
+fn oracle_json_matches_golden_for_mdg_and_track() {
+    for (kern, golden) in [("mdg.f", "MDG.oracle.json"), ("track.f", "TRACK.oracle.json")] {
+        let (stdout, _) = polarisc(&["--oracle", &kernel(kern)]);
+        check_golden(golden, &stdout);
+    }
+}

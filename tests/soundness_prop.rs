@@ -26,6 +26,17 @@ enum BodyStmt {
     CondWrite { a: i64, c: i64 },
     /// inner loop `DO j = 1, 4: A(a*i + j + c) = B(j)` — region write
     Inner { a: i64, c: i64 },
+    /// coupled 2-D subscripts over the nest: `M(i, j) = M(i, j) + B(j)`
+    /// (or the transposed access `M(j, i)`), both loop variables live in
+    /// one reference
+    Coupled { transpose: bool },
+    /// `A(kk*i + c) = B(i)` — symbolic stride: `kk` is only known at run
+    /// time (assigned under a data-dependent branch), so the dependence
+    /// tests must reason symbolically or stay conservative
+    SymStride { c: i64 },
+    /// wrap-around induction chain: `A(i + c) = B(jwrap); jwrap = i` —
+    /// the read sees the *previous* iteration's induction value
+    WrapAround { c: i64 },
 }
 
 const N_ITERS: i64 = 16;
@@ -54,6 +65,22 @@ impl BodyStmt {
                 out.push_str("  do j = 1, 4\n");
                 out.push_str(&format!("    a({a}*i + j + {c}) = b(j)\n"));
                 out.push_str("  end do\n");
+            }
+            BodyStmt::Coupled { transpose } => {
+                out.push_str("  do j = 1, 4\n");
+                if *transpose {
+                    out.push_str("    m(j, i) = m(j, i) + b(j)\n");
+                } else {
+                    out.push_str("    m(i, j) = m(i, j) + b(j)\n");
+                }
+                out.push_str("  end do\n");
+            }
+            BodyStmt::SymStride { c } => {
+                out.push_str(&format!("  a(kk*i + {c}) = b(i)\n"));
+            }
+            BodyStmt::WrapAround { c } => {
+                out.push_str(&format!("  a(i + {c}) = b(jwrap) + 1.0\n"));
+                out.push_str("  jwrap = i\n");
             }
         }
     }
@@ -93,19 +120,29 @@ fn stmt_strategy() -> impl Strategy<Value = BodyStmt> {
             let (a, c) = clamp(a, c, 0);
             BodyStmt::CondWrite { a, c }
         }),
-        (coef, off).prop_map(|(a, c)| {
+        (coef, off.clone()).prop_map(|(a, c)| {
             let (a, c) = clamp(a, c, 4);
             BodyStmt::Inner { a, c }
         }),
+        any::<bool>().prop_map(|transpose| BodyStmt::Coupled { transpose }),
+        // kk is at most 3 at run time: keep kk*i + c inside the array
+        off.clone()
+            .prop_map(|c| BodyStmt::SymStride { c: 1 + c.rem_euclid(ASIZE - 3 * N_ITERS) }),
+        off.prop_map(|c| BodyStmt::WrapAround { c: 1 + c.rem_euclid(ASIZE - N_ITERS) }),
     ]
 }
 
 fn program_from(stmts: &[BodyStmt]) -> String {
     let mut src = String::new();
     src.push_str("program fuzz\n");
-    src.push_str(&format!("real a({ASIZE}), b({ASIZE})\n"));
+    src.push_str(&format!("real a({ASIZE}), b({ASIZE}), m(20, 20)\n"));
     src.push_str("real s, t\n");
     src.push_str(&format!("do k = 1, {ASIZE}\n  a(k) = k*0.125\n  b(k) = 1.0/k\nend do\n"));
+    src.push_str("do k1 = 1, 20\n  do k2 = 1, 20\n    m(k1, k2) = k1*0.5 + k2\n  end do\nend do\n");
+    // Runtime-only stride for SymStride: the branch depends on array
+    // data, so constant propagation cannot fold `kk`.
+    src.push_str("kk = 3\nif (b(1) > 0.0) kk = 2\n");
+    src.push_str("jwrap = 1\n");
     src.push_str("s = 0.0\n");
     src.push_str(&format!("do i = 1, {N_ITERS}\n"));
     for s in stmts {
@@ -114,6 +151,7 @@ fn program_from(stmts: &[BodyStmt]) -> String {
     src.push_str("end do\n");
     // make everything observable
     src.push_str(&format!("print *, s, a(1), a({}), a({ASIZE})\n", ASIZE / 2));
+    src.push_str("print *, m(3, 3), m(4, 7), jwrap\n");
     src.push_str("w = 0.0\n");
     src.push_str(&format!("do k = 1, {ASIZE}\n  w = w + a(k)\nend do\n"));
     src.push_str("print *, 'sum', w\nend\n");
@@ -137,6 +175,25 @@ proptest! {
             panic!("UNSOUND parallelization: {e}\n--- source ---\n{src}\n--- annotated ---\n{}",
                    out.annotated_source)
         });
+    }
+
+    /// Every generated program must also be oracle-clean: the serial
+    /// traced execution may not observe any cross-iteration dependence
+    /// that contradicts a published PARALLEL claim.
+    #[test]
+    fn generated_programs_are_oracle_clean(
+        stmts in proptest::collection::vec(stmt_strategy(), 1..5)
+    ) {
+        let src = program_from(&stmts);
+        let out = polaris::parallelize(&src, &polaris::PassOptions::polaris())
+            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        let report = polaris::machine::audit(&out.program, &out.report)
+            .unwrap_or_else(|e| panic!("oracle run failed: {e}\n{src}"));
+        prop_assert!(
+            !report.has_violations(),
+            "oracle observed a race in a PARALLEL loop\n--- source ---\n{}\n--- annotated ---\n{}\n--- violations ---\n{:#?}",
+            src, out.annotated_source, report.violations().collect::<Vec<_>>()
+        );
     }
 
     #[test]
