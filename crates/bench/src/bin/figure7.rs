@@ -23,11 +23,15 @@
 //!   --threads N    thread count for the real-thread column (default 8)
 //! ```
 
-use polaris_bench::{bar, oracle_report, speedups, threaded_row, SpeedupRow, ThreadedRow};
+use polaris_bench::{
+    bar, obs_breakdown, oracle_report, speedups, threaded_row, ObsBreakdown, SpeedupRow,
+    ThreadedRow,
+};
+use polaris_core::PassOptions;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const SCHEMA: &str = "polaris-bench/figure7/v2";
+const SCHEMA: &str = "polaris-bench/figure7/v3";
 
 /// Dependence-oracle results aggregated over the kernels in the run:
 /// how often the compiler's serial verdicts are contradicted by the
@@ -121,11 +125,12 @@ fn main() -> ExitCode {
     println!("{:-<96}", "");
     let mut wins_p = 0;
     let mut wins_v = 0;
-    let mut rows: Vec<(SpeedupRow, ThreadedRow)> = Vec::new();
+    let mut rows: Vec<(SpeedupRow, ThreadedRow, ObsBreakdown)> = Vec::new();
     let mut oracle = OracleAgg::default();
     for b in &benches {
         let row = speedups(b, 8);
         let thr = threaded_row(b, threads);
+        let obs = obs_breakdown(b, &PassOptions::polaris());
         oracle.add(&oracle_report(b));
         println!(
             "{:<9} {:>7.2}x {:>7.2}x {:>11.2} {:>9.2}   P|{}",
@@ -142,10 +147,10 @@ fn main() -> ExitCode {
         } else if row.vfa > row.polaris * 1.02 {
             wins_v += 1;
         }
-        rows.push((row, thr));
+        rows.push((row, thr, obs));
     }
     println!("{:-<96}", "");
-    let geo = |f: &dyn Fn(&(SpeedupRow, ThreadedRow)) -> f64| -> f64 {
+    let geo = |f: &dyn Fn(&(SpeedupRow, ThreadedRow, ObsBreakdown)) -> f64| -> f64 {
         (rows.iter().map(|r| f(r).ln()).sum::<f64>() / rows.len() as f64).exp()
     };
     let geo_polaris = geo(&|r| r.0.polaris);
@@ -198,7 +203,7 @@ fn host_cores() -> usize {
 /// object per kernel plus run metadata and geomeans, written with a
 /// stable key order so diffs between trajectory files stay readable.
 fn render_json(
-    rows: &[(SpeedupRow, ThreadedRow)],
+    rows: &[(SpeedupRow, ThreadedRow, ObsBreakdown)],
     oracle: &OracleAgg,
     threads: usize,
     cores: usize,
@@ -213,7 +218,7 @@ fn render_json(
     s.push_str(&format!("  \"threads\": {threads},\n"));
     s.push_str(&format!("  \"host_cores\": {cores},\n"));
     s.push_str("  \"kernels\": [\n");
-    for (i, (row, thr)) in rows.iter().enumerate() {
+    for (i, (row, thr, obs)) in rows.iter().enumerate() {
         s.push_str("    {\n");
         s.push_str(&format!("      \"name\": \"{}\",\n", json_escape(row.name)));
         s.push_str(&format!("      \"serial_cycles\": {},\n", row.serial_cycles));
@@ -232,7 +237,29 @@ fn render_json(
             "      \"sim_vs_real\": {},\n",
             json_f64(thr.sim_speedup() / thr.real_speedup().max(1e-9))
         ));
-        s.push_str(&format!("      \"checksum\": \"fnv1a:{:016x}\"\n", thr.checksum));
+        s.push_str(&format!("      \"checksum\": \"fnv1a:{:016x}\",\n", thr.checksum));
+        // Schema v3: per-kernel compile-time and counter breakdown from
+        // the observability recorder (pass times in real µs; counters
+        // are the stable dotted names from `polaris_obs::Counter`).
+        s.push_str("      \"obs\": {\n");
+        s.push_str(&format!("        \"compile_us\": {},\n", obs.compile_us));
+        s.push_str("        \"passes\": {");
+        for (j, (pass, us)) in obs.passes.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {us}", json_escape(pass)));
+        }
+        s.push_str("},\n");
+        s.push_str("        \"counters\": {");
+        for (j, (name, v)) in obs.counters.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {v}", json_escape(name)));
+        }
+        s.push_str("}\n");
+        s.push_str("      }\n");
         s.push_str(if i + 1 == rows.len() { "    }\n" } else { "    },\n" });
     }
     s.push_str("  ],\n");

@@ -20,6 +20,7 @@
 use polaris_core::{compile, CompileReport, PassOptions};
 use polaris_ir::Program;
 use polaris_machine::{run, run_serial, CodegenModel, MachineConfig, Schedule};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Compile a benchmark with the given options, returning the program
@@ -41,6 +42,42 @@ pub fn compile_bench(
 pub fn oracle_report(b: &polaris_benchmarks::Benchmark) -> polaris_runtime::OracleReport {
     let (p, rep) = compile_bench(b, &PassOptions::polaris());
     polaris_machine::audit(&p, &rep).unwrap_or_else(|e| panic!("{}: oracle: {e}", b.name))
+}
+
+/// Per-kernel compile-time observability breakdown: where the pipeline
+/// spent its time (per pass, real microseconds from the monotonic
+/// recorder clock) and what the typed counters observed — the Figure 7
+/// ablation attribution data (`BENCH_figure7.json` schema v3 `obs`
+/// block).
+#[derive(Debug, Clone)]
+pub struct ObsBreakdown {
+    /// Total wall time of the `compile` root span, µs.
+    pub compile_us: u64,
+    /// `(stage name, total µs)` in pipeline run order.
+    pub passes: Vec<(&'static str, u64)>,
+    /// Typed-counter snapshot (stable dotted name → value).
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+/// Compile a benchmark with a monotonic [`polaris_obs::Recorder`]
+/// attached and aggregate the trace into an [`ObsBreakdown`] (panics on
+/// compile errors — harness context).
+pub fn obs_breakdown(b: &polaris_benchmarks::Benchmark, opts: &PassOptions) -> ObsBreakdown {
+    let rec = polaris_obs::Recorder::monotonic();
+    let mut p = b.program();
+    polaris_core::compile_recorded(&mut p, opts, &rec)
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let spans = polaris_obs::aggregate_spans(&rec.events());
+    let span_us = |name: String| spans.get(&("compile", name)).map_or(0, |a| a.total_us);
+    let passes = polaris_core::pipeline::STAGE_NAMES
+        .iter()
+        .map(|&name| (name, span_us(format!("pass:{name}"))))
+        .collect();
+    ObsBreakdown {
+        compile_us: span_us("compile".to_string()),
+        passes,
+        counters: rec.counters(),
+    }
 }
 
 /// Measured speedups of one benchmark under both compilers.

@@ -204,7 +204,7 @@ fn figure7_json_is_well_formed_and_schema_complete() {
 
     // Schema: top-level metadata and geomeans present.
     for key in [
-        "\"schema\": \"polaris-bench/figure7/v2\"",
+        "\"schema\": \"polaris-bench/figure7/v3\"",
         "\"procs\":",
         "\"threads\": 4",
         "\"host_cores\":",
@@ -236,6 +236,14 @@ fn figure7_json_is_well_formed_and_schema_complete() {
         "\"real_speedup\":",
         "\"sim_vs_real\":",
         "\"checksum\": \"fnv1a:",
+        // schema v3: per-kernel compile-time/counter breakdown block
+        "\"obs\":",
+        "\"compile_us\":",
+        "\"passes\":",
+        "\"counters\":",
+        "\"compile.loops.total\":",
+        "\"compile.dd.range.run\":",
+        "\"inline\":",
     ] {
         assert_eq!(
             doc.matches(field).count(),

@@ -40,6 +40,20 @@ pub struct DdStats {
     pub range_probes: Cell<u64>,
     /// Range-test successes that required a loop permutation.
     pub permutations_used: Cell<u64>,
+    /// Range-test *queries*: one per access pair the driver asks the
+    /// range test about (`run = proved + disproved + abstained`; a
+    /// single query may issue several `range_probes` internally).
+    pub range_tests_run: Cell<u64>,
+    /// Queries where the range test proved independence.
+    pub range_proved: Cell<u64>,
+    /// Queries where the range test ran but could not prove independence.
+    pub range_disproved: Cell<u64>,
+    /// Queries the range test abstained from (subscripts or loop bounds
+    /// outside its symbolic fragment).
+    pub range_abstained: Cell<u64>,
+    /// Range facts propagated into the analysis environment (loop
+    /// headers assumed, assignments forwarded, assertions applied).
+    pub ranges_propagated: Cell<u64>,
 }
 
 impl DdStats {
@@ -53,6 +67,17 @@ impl DdStats {
             self.gcd_tests.get(),
             self.range_probes.get(),
             self.permutations_used.get(),
+        )
+    }
+
+    /// Range-test query outcomes as `(run, proved, disproved, abstained)`;
+    /// the first component always equals the sum of the other three.
+    pub fn range_outcomes(&self) -> (u64, u64, u64, u64) {
+        (
+            self.range_tests_run.get(),
+            self.range_proved.get(),
+            self.range_disproved.get(),
+            self.range_abstained.get(),
         )
     }
 }

@@ -41,17 +41,32 @@ pub fn analyze_unit(
     opts: &PassOptions,
     stats: &DdStats,
 ) -> Vec<LoopReport> {
+    analyze_unit_recorded(unit, opts, stats, &polaris_obs::Recorder::disabled())
+}
+
+/// [`analyze_unit`] with an observability [`polaris_obs::Recorder`]
+/// attached: emits a `unit:<name>` span enclosing a `loop:<label>` span
+/// (carrying the loop's [`LoopId`]) per analyzed loop.
+pub fn analyze_unit_recorded(
+    unit: &mut ProgramUnit,
+    opts: &PassOptions,
+    stats: &DdStats,
+    rec: &polaris_obs::Recorder,
+) -> Vec<LoopReport> {
+    let _unit_span =
+        rec.span_with("compile", format!("unit:{}", unit.name), 1, None, Some(unit.name.clone()));
     // Phase 1 (read-only): decide per loop, keyed by provenance id
     // (labels are human-readable but inlining can in principle produce
     // collisions; LoopId is the uniqueness-checked key).
     let mut decisions: BTreeMap<LoopId, (ParallelInfo, LoopReport)> = BTreeMap::new();
     {
         let mut env = RangeEnv::new();
-        seed_params(unit, &mut env);
+        seed_params(unit, &mut env, stats);
         let unit_ref: &ProgramUnit = unit;
-        analyze_list(&unit_ref.body, unit_ref, &mut env, opts, stats, &mut decisions);
+        analyze_list(&unit_ref.body, unit_ref, &mut env, opts, stats, rec, &mut decisions);
     }
-    // Phase 2: apply annotations.
+    // Phase 2: apply annotations. (`unit_span` closes by drop when the
+    // function returns, after the reports are assembled.)
     let mut reports: Vec<LoopReport> = Vec::new();
     unit.body.walk_mut(&mut |s| {
         if let StmtKind::Do(d) = &mut s.kind {
@@ -65,15 +80,20 @@ pub fn analyze_unit(
     reports
 }
 
-fn seed_params(unit: &ProgramUnit, env: &mut RangeEnv) {
+fn seed_params(unit: &ProgramUnit, env: &mut RangeEnv, stats: &DdStats) {
     use polaris_ir::symbol::SymKind;
     for sym in unit.symbols.iter() {
         if let SymKind::Parameter(value) = &sym.kind {
             if let Some(p) = Poly::from_expr(value, DivPolicy::Opaque) {
                 env.set_fresh(sym.name.clone(), polaris_symbolic::Range::exact(p));
+                bump(&stats.ranges_propagated);
             }
         }
     }
+}
+
+fn bump(c: &std::cell::Cell<u64>) {
+    c.set(c.get() + 1);
 }
 
 /// Recursive walk mirroring [`crate::rangeprop`]'s abstract execution.
@@ -83,6 +103,7 @@ fn analyze_list(
     env: &mut RangeEnv,
     opts: &PassOptions,
     stats: &DdStats,
+    rec: &polaris_obs::Recorder,
     out: &mut BTreeMap<LoopId, (ParallelInfo, LoopReport)>,
 ) {
     for s in list {
@@ -100,18 +121,23 @@ fn analyze_list(
                     &d.limit,
                     d.step.as_ref(),
                 );
+                bump(&stats.ranges_propagated);
+                // The loop span covers the nested walk too, so inner
+                // loops appear as children of their enclosing loop.
+                let loop_span = rec.loop_span("compile", &d.label, d.loop_id);
                 let decision = analyze_loop(d, s.id, unit, &body_env, opts, stats);
                 out.insert(d.loop_id, decision);
-                analyze_list(&d.body, unit, &mut body_env, opts, stats, out);
+                analyze_list(&d.body, unit, &mut body_env, opts, stats, rec, out);
+                loop_span.end();
             }
             StmtKind::IfBlock { arms, else_body } => {
                 for arm in arms {
                     let mut arm_env = env.clone();
                     arm_env.assume_cond(&arm.cond);
-                    analyze_list(&arm.body, unit, &mut arm_env, opts, stats, out);
+                    analyze_list(&arm.body, unit, &mut arm_env, opts, stats, rec, out);
                 }
                 let mut else_env = env.clone();
-                analyze_list(else_body, unit, &mut else_env, opts, stats, out);
+                analyze_list(else_body, unit, &mut else_env, opts, stats, rec, out);
                 let mut killed: BTreeSet<String> = BTreeSet::new();
                 for arm in arms {
                     killed.extend(rangeprop::assigned_vars(&arm.body));
@@ -127,11 +153,15 @@ fn analyze_list(
                     if let Some(p) = Poly::from_expr(rhs, DivPolicy::Opaque) {
                         if !p.mentions_var(lhs.name()) {
                             env.set_fresh(lhs.name(), polaris_symbolic::Range::exact(p));
+                            bump(&stats.ranges_propagated);
                         }
                     }
                 }
             }
-            StmtKind::Assert { cond } => env.assume_cond(cond),
+            StmtKind::Assert { cond } => {
+                env.assume_cond(cond);
+                bump(&stats.ranges_propagated);
+            }
             StmtKind::Call { args, .. } => {
                 for a in args {
                     match a {
@@ -472,11 +502,21 @@ fn pair_independent(
     opts: &PassOptions,
     stats: &DdStats,
 ) -> bool {
-    let (Some(fr), Some(gr)) = (access_refspec(f), access_refspec(g)) else {
+    let (fr, gr) = (access_refspec(f), access_refspec(g));
+    // Range-test query accounting: every pair the driver asks about is a
+    // `run`, partitioned into proved / disproved / abstained (the last
+    // when the subscripts or bounds fall outside the symbolic fragment).
+    if opts.range_test {
+        bump(&stats.range_tests_run);
+        if fr.is_none() || gr.is_none() {
+            bump(&stats.range_abstained);
+        }
+    }
+    let (Some(fr), Some(gr)) = (fr, gr) else {
         return false;
     };
-    if opts.range_test
-        && range_test::no_carried_dependence(
+    if opts.range_test {
+        if range_test::no_carried_dependence(
             &fr,
             &gr,
             &d.var,
@@ -485,9 +525,11 @@ fn pair_independent(
             env,
             stats,
             opts.permutation,
-        )
-    {
-        return true;
+        ) {
+            bump(&stats.range_proved);
+            return true;
+        }
+        bump(&stats.range_disproved);
     }
     if opts.linear_tests && linear_pair_independent(d, f, g, &fr, &gr, stats) {
         return true;

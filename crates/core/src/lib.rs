@@ -141,6 +141,11 @@ pub struct CompileReport {
     pub loops: Vec<LoopReport>,
     /// (banerjee direction vectors, gcd tests, range probes, permutations)
     pub dd_counters: (u64, u64, u64, u64),
+    /// Range-test query outcomes: (run, proved, disproved, abstained);
+    /// `run` always equals the sum of the other three.
+    pub dd_range: (u64, u64, u64, u64),
+    /// Range facts propagated into the analysis environment.
+    pub ranges_propagated: u64,
     /// Per-stage outcomes from the fault-isolating pipeline, in run order.
     pub stages: Vec<StageReport>,
 }
@@ -188,11 +193,35 @@ pub fn compile(program: &mut Program, opts: &PassOptions) -> Result<CompileRepor
     Pipeline::standard(opts).run(program, opts)
 }
 
+/// [`compile`] with an observability [`polaris_obs::Recorder`] attached:
+/// a `compile` root span encloses per-pass, per-unit and per-loop spans,
+/// and the report's statistics are mirrored into typed counters (see
+/// `polaris_obs::Counter`). `compile` itself is exactly this with
+/// `Recorder::disabled()`.
+pub fn compile_recorded(
+    program: &mut Program,
+    opts: &PassOptions,
+    rec: &polaris_obs::Recorder,
+) -> Result<CompileReport> {
+    Pipeline::standard(opts).run_recorded(program, opts, rec)
+}
+
 /// Convenience: parse, compile with the Polaris configuration, return
 /// the transformed program and the report.
 pub fn parse_and_compile(source: &str, opts: &PassOptions) -> Result<(Program, CompileReport)> {
     let mut program = polaris_ir::parse(source)?;
     let report = compile(&mut program, opts)?;
+    Ok((program, report))
+}
+
+/// [`parse_and_compile`] with an observability recorder attached.
+pub fn parse_and_compile_recorded(
+    source: &str,
+    opts: &PassOptions,
+    rec: &polaris_obs::Recorder,
+) -> Result<(Program, CompileReport)> {
+    let mut program = polaris_ir::parse(source)?;
+    let report = compile_recorded(&mut program, opts, rec)?;
     Ok((program, report))
 }
 

@@ -21,6 +21,7 @@ use crate::{constprop, dce, deps, induction, inline, normalize, reduction};
 use crate::{CompileReport, DdStats, PassOptions};
 use polaris_ir::error::Result;
 use polaris_ir::Program;
+use polaris_obs::{Counter, Recorder};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -133,7 +134,7 @@ impl FaultPlan {
     }
 }
 
-type StageFn = fn(&mut Program, &PassOptions, &mut CompileReport) -> Result<()>;
+type StageFn = fn(&mut Program, &PassOptions, &mut CompileReport, &Recorder) -> Result<()>;
 
 struct Stage {
     name: &'static str,
@@ -171,8 +172,23 @@ impl Pipeline {
     /// contained: snapshot, run under `catch_unwind`, validate, and roll
     /// back on any misbehaviour, then continue with the remaining stages.
     pub fn run(&self, program: &mut Program, opts: &PassOptions) -> Result<CompileReport> {
+        self.run_recorded(program, opts, &Recorder::disabled())
+    }
+
+    /// [`Pipeline::run`] with an observability [`Recorder`] attached: a
+    /// `compile` root span encloses one `pass:<name>` span per enabled
+    /// stage, and the report's counters are mirrored into the recorder
+    /// after the last stage. With `Recorder::disabled()` (what `run`
+    /// passes) every hook is a no-op.
+    pub fn run_recorded(
+        &self,
+        program: &mut Program,
+        opts: &PassOptions,
+        rec: &Recorder,
+    ) -> Result<CompileReport> {
         polaris_ir::validate::validate_program(program)?;
         let mut report = CompileReport::default();
+        let compile_span = rec.span("compile", "compile");
 
         for stage in &self.stages {
             if !stage.enabled {
@@ -188,15 +204,17 @@ impl Pipeline {
             let program_snapshot = program.clone();
             let report_snapshot = report.clone();
             let size_before = ir_size(program);
+            let stage_span = rec.span("compile", format!("pass:{}", stage.name));
             let started = Instant::now();
 
             let run_result = with_silent_panics(|| {
                 catch_unwind(AssertUnwindSafe(|| {
                     opts.faults.fire(stage.name, program);
-                    (stage.run)(program, opts, &mut report)
+                    (stage.run)(program, opts, &mut report, rec)
                 }))
             });
             let duration = started.elapsed();
+            stage_span.end();
 
             let failure = match run_result {
                 Ok(Ok(())) => polaris_ir::validate::validate_program(program)
@@ -228,8 +246,64 @@ impl Pipeline {
             }
         }
 
+        record_compile_counters(rec, program, &report);
+        compile_span.end();
         Ok(report)
     }
+}
+
+/// Mirror the final [`CompileReport`] into the recorder's typed counters
+/// so the metrics document and the report can never disagree. The
+/// compile-side loop partition is exclusive — speculative, else parallel,
+/// else serial — and always sums to `compile.loops.total`.
+fn record_compile_counters(rec: &Recorder, program: &Program, report: &CompileReport) {
+    if !rec.is_enabled() {
+        return;
+    }
+    rec.count(Counter::InlineSplices, report.inline.call_sites_expanded as u64);
+    rec.count(
+        Counter::InductionSubstitutions,
+        (report.induction.additive_removed + report.induction.multiplicative_removed) as u64,
+    );
+    rec.count(Counter::ReductionsRecognized, report.reductions_flagged as u64);
+
+    let (banerjee, gcd, probes, perms) = report.dd_counters;
+    rec.count(Counter::BanerjeeVectors, banerjee);
+    rec.count(Counter::GcdTests, gcd);
+    rec.count(Counter::RangeProbes, probes);
+    rec.count(Counter::PermutationsUsed, perms);
+    let (run, proved, disproved, abstained) = report.dd_range;
+    rec.count(Counter::RangeTestsRun, run);
+    rec.count(Counter::RangeProved, proved);
+    rec.count(Counter::RangeDisproved, disproved);
+    rec.count(Counter::RangeAbstained, abstained);
+    rec.count(Counter::RangesPropagated, report.ranges_propagated);
+
+    let mut parallel = 0u64;
+    let mut speculative = 0u64;
+    let mut serial = 0u64;
+    let mut arrays_privatized = 0u64;
+    for lr in &report.loops {
+        if lr.speculative {
+            speculative += 1;
+        } else if lr.parallel {
+            parallel += 1;
+        } else {
+            serial += 1;
+        }
+        if let Some(unit) = program.units.iter().find(|u| u.name == lr.unit) {
+            arrays_privatized += lr
+                .private
+                .iter()
+                .filter(|name| unit.symbols.get(name).is_some_and(|s| s.rank() > 0))
+                .count() as u64;
+        }
+    }
+    rec.count(Counter::CompileLoopsParallel, parallel);
+    rec.count(Counter::CompileLoopsSpeculative, speculative);
+    rec.count(Counter::CompileLoopsSerial, serial);
+    rec.count(Counter::CompileLoopsTotal, report.loops.len() as u64);
+    rec.count(Counter::ArraysPrivatized, arrays_privatized);
 }
 
 thread_local! {
@@ -279,27 +353,27 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn stage_inline(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport) -> Result<()> {
+fn stage_inline(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport, _rec: &Recorder) -> Result<()> {
     report.inline = inline::inline_all(program)?;
     Ok(())
 }
 
-fn stage_constprop(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport) -> Result<()> {
+fn stage_constprop(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport, _rec: &Recorder) -> Result<()> {
     report.constprop = constprop::run(program);
     Ok(())
 }
 
-fn stage_normalize(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport) -> Result<()> {
+fn stage_normalize(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport, _rec: &Recorder) -> Result<()> {
     report.normalize = normalize::run(program);
     Ok(())
 }
 
-fn stage_induction(program: &mut Program, opts: &PassOptions, report: &mut CompileReport) -> Result<()> {
+fn stage_induction(program: &mut Program, opts: &PassOptions, report: &mut CompileReport, _rec: &Recorder) -> Result<()> {
     report.induction = induction::run_with(program, opts.induction);
     Ok(())
 }
 
-fn stage_constprop_fold(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport) -> Result<()> {
+fn stage_constprop_fold(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport, _rec: &Recorder) -> Result<()> {
     // fold induction entry values (K = 0) into the closed forms
     let more = constprop::run(program);
     report.constprop.parameters_folded += more.parameters_folded;
@@ -307,12 +381,12 @@ fn stage_constprop_fold(program: &mut Program, _opts: &PassOptions, report: &mut
     Ok(())
 }
 
-fn stage_dce(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport) -> Result<()> {
+fn stage_dce(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport, _rec: &Recorder) -> Result<()> {
     report.dce = dce::run(program);
     Ok(())
 }
 
-fn stage_reduction(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport) -> Result<()> {
+fn stage_reduction(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport, _rec: &Recorder) -> Result<()> {
     report.reductions_flagged = reduction::flag_reductions(program);
     Ok(())
 }
@@ -321,6 +395,7 @@ fn stage_analyze(
     program: &mut Program,
     opts: &PassOptions,
     report: &mut CompileReport,
+    rec: &Recorder,
 ) -> Result<()> {
     let stats = DdStats::new();
     let mut loops = Vec::new();
@@ -330,15 +405,17 @@ fn stage_analyze(
         // stage itself was rolled back, main may still contain CALLs — the
         // dependence driver then conservatively serializes those loops.)
         if let Some(main) = program.main_mut() {
-            loops.extend(deps::analyze_unit(main, opts, &stats));
+            loops.extend(deps::analyze_unit_recorded(main, opts, &stats, rec));
         }
     } else {
         for unit in &mut program.units {
-            loops.extend(deps::analyze_unit(unit, opts, &stats));
+            loops.extend(deps::analyze_unit_recorded(unit, opts, &stats, rec));
         }
     }
     report.loops = loops;
     report.dd_counters = stats.snapshot();
+    report.dd_range = stats.range_outcomes();
+    report.ranges_propagated = stats.ranges_propagated.get();
     Ok(())
 }
 
@@ -439,7 +516,7 @@ mod tests {
     fn stage_that_leaves_ill_formed_ir_is_rolled_back() {
         // A custom pipeline whose middle stage corrupts the IR (arguments
         // on a PROGRAM unit are rejected by the validator).
-        fn corrupt(program: &mut Program, _: &PassOptions, _: &mut CompileReport) -> Result<()> {
+        fn corrupt(program: &mut Program, _: &PassOptions, _: &mut CompileReport, _: &Recorder) -> Result<()> {
             program.units[0].args.push("BOGUS".into());
             Ok(())
         }

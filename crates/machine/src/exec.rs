@@ -112,6 +112,11 @@ pub(crate) struct Interp<'a> {
     /// Dependence-oracle trace (see [`crate::oracle`]); attached only by
     /// [`run_traced`], on serial runs. `None` costs one branch per hook.
     oracle: Option<Box<crate::oracle::OracleState>>,
+    /// Observability recorder (see [`polaris_obs`]); disabled by default,
+    /// attached by [`run_recorded`]. Workers always carry a disabled
+    /// handle — chunk events are recorded post-join on the driver thread
+    /// so the trace stays deterministic.
+    pub(crate) recorder: polaris_obs::Recorder,
 }
 
 impl<'a> Interp<'a> {
@@ -136,6 +141,7 @@ impl<'a> Interp<'a> {
             pool: None,
             tcache: BTreeMap::new(),
             oracle: None,
+            recorder: polaris_obs::Recorder::disabled(),
         }
     }
 
@@ -164,6 +170,7 @@ impl<'a> Interp<'a> {
             pool: None,
             tcache: BTreeMap::new(),
             oracle: None,
+            recorder: polaris_obs::Recorder::disabled(),
         }
     }
 
@@ -579,7 +586,9 @@ impl<'a> Interp<'a> {
         }
 
         let concurrent = !self.in_parallel && self.cfg.exec_procs() > 1;
+        let loop_span = self.recorder.loop_span("exec", &l.label, l.loop_id);
         let flow = if l.par.parallel && concurrent && !self.adversarial {
+            self.count_loop_mode(polaris_obs::Counter::ExecLoopsParallel);
             match self.cfg.exec_mode {
                 // Speculative loops stay on the simulated path even in
                 // threaded mode (run_speculative, below); only loops the
@@ -588,12 +597,16 @@ impl<'a> Interp<'a> {
                 ExecMode::Simulated => self.run_parallel(l, &iters)?,
             }
         } else if !l.par.spec_arrays.is_empty() && concurrent && !self.adversarial {
+            self.count_loop_mode(polaris_obs::Counter::ExecLoopsSpeculative);
             self.run_speculative(l, &iters)?
         } else if l.par.parallel && self.adversarial && !self.in_parallel {
+            self.count_loop_mode(polaris_obs::Counter::ExecLoopsAdversarial);
             self.run_adversarial(l, &iters)?
         } else {
+            self.count_loop_mode(polaris_obs::Counter::ExecLoopsSerial);
             self.run_serial_loop(l, &iters)?
         };
+        loop_span.end();
         if let Some(o) = self.oracle.as_deref_mut() {
             o.exit_loop();
         }
@@ -615,6 +628,16 @@ impl<'a> Interp<'a> {
             self.scalars[l.var].set(V::I(beyond))?;
         }
         Ok(flow)
+    }
+
+    /// One dispatch decision for a lowered loop: bump the per-mode counter
+    /// and the total, so `exec.loops.{parallel,speculative,serial,adversarial}`
+    /// always partition `exec.loops.total`.
+    fn count_loop_mode(&self, mode: polaris_obs::Counter) {
+        if self.recorder.is_enabled() {
+            self.recorder.count(mode, 1);
+            self.recorder.count(polaris_obs::Counter::ExecLoopsTotal, 1);
+        }
     }
 
     pub(crate) fn run_one_iteration(&mut self, l: &RLoop, v: i64) -> Result<Flow, MachineError> {
@@ -744,6 +767,7 @@ impl<'a> Interp<'a> {
             self.cycles += attempt;
             entry.spec_success += 1;
             entry.parallel_invocations += 1;
+            self.recorder.count(polaris_obs::Counter::LrpdPass, 1);
         } else {
             // Failed speculation: the attempt is wasted, the loop then
             // re-executes sequentially (values are already correct — the
@@ -755,6 +779,7 @@ impl<'a> Interp<'a> {
             let sequential = total - marking;
             self.cycles += attempt + sequential;
             entry.spec_fail += 1;
+            self.recorder.count(polaris_obs::Counter::LrpdFail, 1);
         }
         Ok(flow)
     }
@@ -1021,6 +1046,33 @@ pub fn run(program: &Program, cfg: &MachineConfig) -> Result<RunResult, MachineE
     let image = lower_with_cap(program, cfg.memory_cap)?;
     let mut interp = Interp::new(&image, cfg, false);
     interp.run_list(&image.code)?;
+    Ok(RunResult {
+        cycles: interp.cycles,
+        output: interp.output,
+        loops: interp.loops,
+        wall: t0.elapsed(),
+    })
+}
+
+/// [`run`] with an observability [`polaris_obs::Recorder`] attached: an
+/// `exec` root span encloses a `loop:<label>` span (carrying the loop's
+/// provenance [`polaris_ir::stmt::LoopId`]) per loop invocation, and the
+/// dispatch decisions, LRPD verdicts and threaded-backend work are
+/// mirrored into typed counters. `run` is exactly this with
+/// `Recorder::disabled()`.
+pub fn run_recorded(
+    program: &Program,
+    cfg: &MachineConfig,
+    rec: &polaris_obs::Recorder,
+) -> Result<RunResult, MachineError> {
+    let t0 = Instant::now();
+    let image = lower_with_cap(program, cfg.memory_cap)?;
+    let mut interp = Interp::new(&image, cfg, false);
+    interp.recorder = rec.clone();
+    let exec_span = rec.span("exec", "exec");
+    let run_result = interp.run_list(&image.code);
+    exec_span.end();
+    run_result?;
     Ok(RunResult {
         cycles: interp.cycles,
         output: interp.output,

@@ -40,8 +40,8 @@ pub mod value;
 
 pub use cost::{CodegenModel, CostModel, Schedule};
 pub use error::MachineError;
-pub use exec::{run, run_serial, run_validated, LoopExecStats, RunResult};
-pub use oracle::{audit, audit_with};
+pub use exec::{run, run_recorded, run_serial, run_validated, LoopExecStats, RunResult};
+pub use oracle::{audit, audit_recorded, audit_with};
 
 /// How `PARALLEL DO` loops are executed.
 ///

@@ -362,13 +362,29 @@ pub fn audit_with(
     report: &CompileReport,
     cfg: &MachineConfig,
 ) -> Result<OracleReport, MachineError> {
+    audit_recorded(program, report, cfg, &polaris_obs::Recorder::disabled())
+}
+
+/// [`audit_with`] with an observability [`polaris_obs::Recorder`]
+/// attached: the traced run is wrapped in an `oracle` span and the
+/// violation count is mirrored into `oracle.violations`.
+pub fn audit_recorded(
+    program: &Program,
+    report: &CompileReport,
+    cfg: &MachineConfig,
+    rec: &polaris_obs::Recorder,
+) -> Result<OracleReport, MachineError> {
     let mut serial = MachineConfig::serial();
     serial.fuel = cfg.fuel;
     serial.memory_cap = cfg.memory_cap;
+    let oracle_span = rec.span("oracle", "audit");
     let image = lower_with_cap(program, serial.memory_cap)?;
     let trace = exec::run_traced(&image, &serial)?;
     let observations = trace.observations(&image);
-    Ok(judge(&claims_from(program, report), &observations))
+    let verdict = judge(&claims_from(program, report), &observations);
+    oracle_span.end();
+    rec.count(polaris_obs::Counter::OracleViolations, verdict.violations().count() as u64);
+    Ok(verdict)
 }
 
 #[cfg(test)]

@@ -382,15 +382,18 @@ pub fn tree_merge_i(mut vals: Vec<i64>, op: RedOp) -> Option<i64> {
 
 // ---- array diff-merge -------------------------------------------------
 
-/// Apply to `dst` every element where `theirs` differs from `base`.
-/// Bit-level comparison for reals so `-0.0` vs `0.0` writes and NaN
-/// payloads survive the round trip.
-fn merge_diff(dst: &mut ArrData, theirs: &ArrData, base: &ArrData) {
+/// Apply to `dst` every element where `theirs` differs from `base`, and
+/// return the number of bytes written (the `exec.threaded.merge_bytes`
+/// contribution). Bit-level comparison for reals so `-0.0` vs `0.0`
+/// writes and NaN payloads survive the round trip.
+fn merge_diff(dst: &mut ArrData, theirs: &ArrData, base: &ArrData) -> u64 {
+    let mut changed = 0u64;
     match (dst, theirs, base) {
         (ArrData::R(d), ArrData::R(t), ArrData::R(b)) => {
             for i in 0..d.len() {
                 if t[i].to_bits() != b[i].to_bits() {
                     d[i] = t[i];
+                    changed += 8;
                 }
             }
         }
@@ -398,6 +401,7 @@ fn merge_diff(dst: &mut ArrData, theirs: &ArrData, base: &ArrData) {
             for i in 0..d.len() {
                 if t[i] != b[i] {
                     d[i] = t[i];
+                    changed += 8;
                 }
             }
         }
@@ -405,10 +409,25 @@ fn merge_diff(dst: &mut ArrData, theirs: &ArrData, base: &ArrData) {
             for i in 0..d.len() {
                 if t[i] != b[i] {
                     d[i] = t[i];
+                    changed += 1;
                 }
             }
         }
         _ => unreachable!("array type changed during execution"),
+    }
+    changed
+}
+
+/// Bytes a wholesale-adopted worker copy changed relative to the
+/// snapshot — the observability-only twin of [`merge_diff`] (no write).
+fn diff_bytes(theirs: &ArrData, base: &ArrData) -> u64 {
+    match (theirs, base) {
+        (ArrData::R(t), ArrData::R(b)) => {
+            8 * t.iter().zip(b).filter(|(x, y)| x.to_bits() != y.to_bits()).count() as u64
+        }
+        (ArrData::I(t), ArrData::I(b)) => 8 * t.iter().zip(b).filter(|(x, y)| x != y).count() as u64,
+        (ArrData::B(t), ArrData::B(b)) => t.iter().zip(b).filter(|(x, y)| x != y).count() as u64,
+        _ => 0,
     }
 }
 
@@ -487,6 +506,22 @@ pub(crate) fn run_threaded_loop(
 
     let mut chunks: Vec<ChunkOut> = results.iter().flat_map(|w| w.chunks.iter().cloned()).collect();
     chunks.sort_by_key(|c| c.k);
+    let mut merge_bytes = 0u64;
+
+    // Observability: chunk spans are emitted here, post-join and sorted
+    // by chunk index, *not* from the workers — the trace must not depend
+    // on thread interleaving. The tid encodes the bucket (worker lane)
+    // the plan assigned the chunk to.
+    if interp.recorder.is_enabled() {
+        interp.recorder.count(polaris_obs::Counter::ThreadedChunks, chunks.len() as u64);
+        for ch in &chunks {
+            let tid = 1 + (plan.bucket_of(ch.k) % procs) as u32;
+            interp
+                .recorder
+                .span_with("exec", format!("chunk:{}", ch.k), tid, Some(l.loop_id), None)
+                .end();
+        }
+    }
 
     // -- simulated cycle accounting (mirrors exec::run_parallel) --------
     let c = &interp.cfg.cost;
@@ -536,9 +571,13 @@ pub(crate) fn run_threaded_loop(
             if Arc::ptr_eq(&interp.arrays[i].data, &snapshot[i]) {
                 // First writer: its copy differs from the snapshot only
                 // where it wrote, so adopt it wholesale.
+                if interp.recorder.is_enabled() {
+                    merge_bytes += diff_bytes(&wa.data, &snapshot[i]);
+                }
                 interp.arrays[i].data = Arc::clone(&wa.data);
             } else {
-                merge_diff(Arc::make_mut(&mut interp.arrays[i].data), &wa.data, &snapshot[i]);
+                merge_bytes +=
+                    merge_diff(Arc::make_mut(&mut interp.arrays[i].data), &wa.data, &snapshot[i]);
             }
         }
     }
@@ -564,11 +603,13 @@ pub(crate) fn run_threaded_loop(
                 if let Some(total) = tree_merge_r(rs, red.op) {
                     if let Scalar::R(v) = interp.scalars[s] {
                         interp.scalars[s] = Scalar::R(red_apply_r(red.op, v, total));
+                        merge_bytes += 8;
                     }
                 }
                 if let Some(total) = tree_merge_i(is, red.op) {
                     if let Scalar::I(v) = interp.scalars[s] {
                         interp.scalars[s] = Scalar::I(red_apply_i(red.op, v, total));
+                        merge_bytes += 8;
                     }
                 }
             }
@@ -593,6 +634,7 @@ pub(crate) fn run_threaded_loop(
                             let col: Vec<f64> = parts_r.iter().map(|p| p[j]).collect();
                             if let Some(total) = tree_merge_r(col, red.op) {
                                 *slot = red_apply_r(red.op, *slot, total);
+                                merge_bytes += 8;
                             }
                         }
                     }
@@ -601,6 +643,7 @@ pub(crate) fn run_threaded_loop(
                             let col: Vec<i64> = parts_i.iter().map(|p| p[j]).collect();
                             if let Some(total) = tree_merge_i(col, red.op) {
                                 *slot = red_apply_i(red.op, *slot, total);
+                                merge_bytes += 8;
                             }
                         }
                     }
@@ -615,12 +658,14 @@ pub(crate) fn run_threaded_loop(
         if let Some(vals) = &ch.copy_out {
             for &(s, v) in vals {
                 interp.scalars[s] = v;
+                merge_bytes += 8;
             }
         }
     }
     for ch in &mut chunks {
         interp.output.append(&mut ch.output);
     }
+    interp.recorder.count(polaris_obs::Counter::ThreadedMergeBytes, merge_bytes);
 
     let entry = interp.loops.entry(l.label.clone()).or_default();
     entry.parallel_invocations += 1;

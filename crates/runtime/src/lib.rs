@@ -35,7 +35,8 @@ pub mod lrpd;
 pub mod verdict;
 
 pub use lrpd::{
-    run_sequential, speculative_doall, speculative_doall_faulty, ArrayView, SpecOutcome,
+    run_sequential, speculative_doall, speculative_doall_faulty, speculative_doall_recorded,
+    ArrayView, SpecOutcome,
 };
 pub use verdict::{
     judge, ClaimKind, DepKind, DepObservation, LoopClaim, LoopObservation, LoopVerdict,

@@ -205,6 +205,33 @@ where
     speculative_doall_faulty(data, n_iters, n_threads, privatized, None, body)
 }
 
+/// [`speculative_doall`] with an observability [`polaris_obs::Recorder`]
+/// attached: the attempt runs inside an `lrpd` span and the verdict is
+/// mirrored into the `lrpd.pass` / `lrpd.fail` counters.
+pub fn speculative_doall_recorded<T, F>(
+    data: &mut [T],
+    n_iters: usize,
+    n_threads: usize,
+    privatized: bool,
+    rec: &polaris_obs::Recorder,
+    body: F,
+) -> SpecOutcome
+where
+    T: Copy + Default + Send + Sync + std::ops::Add<Output = T>,
+    F: Fn(usize, &mut dyn ArrayView<T>) + Sync,
+{
+    let span = rec.span("lrpd", "speculative_doall");
+    let outcome = speculative_doall_faulty(data, n_iters, n_threads, privatized, None, body);
+    span.end();
+    let verdict = if outcome.success() {
+        polaris_obs::Counter::LrpdPass
+    } else {
+        polaris_obs::Counter::LrpdFail
+    };
+    rec.count(verdict, 1);
+    outcome
+}
+
 /// [`speculative_doall`] with deterministic fault injection: when
 /// `fail_at` is `Some(k)`, the worker that owns iteration `k` panics
 /// just before executing it. Used to exercise the isolation guarantee —

@@ -26,6 +26,16 @@
 //!   --profile       print the per-loop execution profile after --run
 //!   --strict        treat a degraded pipeline (rolled-back stage) as failure
 //!   --quiet         suppress the annotated source
+//!   --trace PATH    record an observability trace of the compile (and of
+//!                   --run / --oracle) and write it to PATH in Chrome
+//!                   trace-event format (load in chrome://tracing or Perfetto)
+//!   --metrics       print the observability counters/spans as a JSON
+//!                   metrics document on stdout (implies --quiet and
+//!                   suppresses --run's program-output echo, so stdout is
+//!                   exactly the document)
+//!   --clock MODE    observability clock: `monotonic` (default; real
+//!                   microseconds) or `virtual` (deterministic tick per
+//!                   event — two identical runs give byte-identical traces)
 //!   --inject-fault STAGE
 //!                   deliberately panic inside the named pipeline stage
 //!                   (testing aid: exercises rollback and the degraded
@@ -46,7 +56,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: polarisc [--vfa] [--report] [--diag] [--run] [--oracle] [--procs N] \
                      [--exec-mode simulated|threaded] [--threads N] \
-                     [--fuel N] [--validate] [--profile] [--strict] [--quiet] FILE.f";
+                     [--fuel N] [--validate] [--profile] [--strict] [--quiet] \
+                     [--trace PATH] [--metrics] [--clock monotonic|virtual] FILE.f";
 
 const EXIT_DEGRADED: u8 = 2;
 
@@ -67,6 +78,9 @@ fn main() -> ExitCode {
     let mut threads: Option<usize> = None;
     let mut fuel: Option<u64> = None;
     let mut inject: Vec<String> = Vec::new();
+    let mut trace_path: Option<String> = None;
+    let mut metrics = false;
+    let mut clock = polaris::obs::ClockMode::Monotonic;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--vfa" => vfa = true,
@@ -123,6 +137,28 @@ fn main() -> ExitCode {
                     some => some,
                 }
             }
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(path),
+                None => {
+                    eprintln!("polarisc: --trace needs an output path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics" => {
+                metrics = true;
+                quiet = true;
+            }
+            "--clock" => match args.next().as_deref() {
+                Some("monotonic") => clock = polaris::obs::ClockMode::Monotonic,
+                Some("virtual") => clock = polaris::obs::ClockMode::Virtual,
+                other => {
+                    eprintln!(
+                        "polarisc: --clock needs `monotonic` or `virtual` (got {})",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             "--inject-fault" => match args.next() {
                 Some(stage) => inject.push(stage),
                 None => {
@@ -176,8 +212,17 @@ fn main() -> ExitCode {
         }
         opts = opts.with_faults(plan);
     }
+    // One recorder for the whole invocation: compile, execution and the
+    // oracle audit all land in the same trace/metrics document. Disabled
+    // (every hook a no-op) unless --trace or --metrics asked for it.
+    let rec = if trace_path.is_some() || metrics {
+        polaris::obs::Recorder::with_clock(clock)
+    } else {
+        polaris::obs::Recorder::disabled()
+    };
+
     let mut program = original.clone();
-    let rep = match polaris::core::compile(&mut program, &opts) {
+    let rep = match polaris::core::compile_recorded(&mut program, &opts, &rec) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("polarisc: {e}");
@@ -273,7 +318,7 @@ fn main() -> ExitCode {
         if let Some(f) = fuel {
             cfg = cfg.with_fuel(f);
         }
-        let parallel = match polaris_machine::run(&program, &cfg) {
+        let parallel = match polaris_machine::run_recorded(&program, &cfg, &rec) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("polarisc: parallel execution failed: {e}");
@@ -281,8 +326,10 @@ fn main() -> ExitCode {
             }
         };
         eprintln!();
-        for line in &parallel.output {
-            println!("{line}");
+        if !metrics {
+            for line in &parallel.output {
+                println!("{line}");
+            }
         }
         if threaded {
             let n = threads.unwrap_or(procs);
@@ -319,10 +366,11 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut oracle_exit: Option<ExitCode> = None;
     if oracle {
         let mut cfg = MachineConfig::serial();
         cfg.fuel = fuel;
-        let audit = match polaris_machine::audit_with(&program, &rep, &cfg) {
+        let audit = match polaris_machine::audit_recorded(&program, &rep, &cfg, &rec) {
             Ok(a) => a,
             Err(e) => {
                 eprintln!("polarisc: oracle execution failed: {e}");
@@ -337,12 +385,28 @@ fn main() -> ExitCode {
                     v.label, v.dep.kind, v.dep.var, v.detail
                 );
             }
-            if strict {
+            oracle_exit = Some(if strict {
                 eprintln!("polarisc: soundness violation; failing under --strict");
-                return ExitCode::FAILURE;
-            }
-            return ExitCode::from(EXIT_DEGRADED);
+                ExitCode::FAILURE
+            } else {
+                ExitCode::from(EXIT_DEGRADED)
+            });
         }
+    }
+
+    // Emit the observability documents before the exit-code decisions so
+    // a degraded compile or an oracle violation still leaves a trace.
+    if let Some(path) = &trace_path {
+        if let Err(e) = std::fs::write(path, rec.chrome_trace_json()) {
+            eprintln!("polarisc: cannot write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if metrics {
+        println!("{}", rec.metrics_json());
+    }
+    if let Some(code) = oracle_exit {
+        return code;
     }
 
     if rep.degraded() {

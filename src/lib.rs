@@ -35,6 +35,7 @@
 //! | [`runtime`] (`polaris-runtime`) | §3.5 — the threaded LRPD / Privatizing-Doall test |
 //! | [`machine`] (`polaris-machine`) | §4 — the simulated multiprocessor and validation harness |
 //! | [`benchmarks`] (`polaris-benchmarks`) | §4.1 — the 16 Table-1 kernels plus TRACK |
+//! | [`obs`] (`polaris-obs`) | observability: spans, typed counters, chrome-trace / metrics export |
 
 pub mod fuzz;
 
@@ -42,6 +43,7 @@ pub use polaris_benchmarks as benchmarks;
 pub use polaris_core as core;
 pub use polaris_ir as ir;
 pub use polaris_machine as machine;
+pub use polaris_obs as obs;
 pub use polaris_runtime as runtime;
 pub use polaris_symbolic as symbolic;
 

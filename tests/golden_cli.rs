@@ -1,10 +1,12 @@
 //! Golden-file snapshot tests for the `polarisc` CLI surfaces that CI
 //! and downstream tooling consume: the `--diag` per-stage diagnostics
-//! table and the `--oracle` JSON audit report, on MDG (histogram
-//! reductions, fully parallel) and TRACK (the partially parallel
-//! PD-test loop). Timing columns are normalized before comparison; the
-//! cycle counts, stage outcomes, IR deltas, and the entire oracle JSON
-//! are deterministic.
+//! table, the `--oracle` JSON audit report, and the observability
+//! documents (`--trace` Chrome trace and `--metrics` JSON, under the
+//! deterministic `--clock virtual`), on MDG (histogram reductions,
+//! fully parallel) and TRACK (the partially parallel PD-test loop).
+//! Timing columns of `--diag` are normalized before comparison; the
+//! cycle counts, stage outcomes, IR deltas, the oracle JSON, and the
+//! virtual-clock trace/metrics documents are deterministic.
 //!
 //! Regeneration: `UPDATE_GOLDEN=1 cargo test --test golden_cli`
 //! rewrites the snapshots; commit the diff if (and only if) the change
@@ -76,6 +78,43 @@ fn check_golden(name: &str, got: &str) {
     );
 }
 
+/// Regression: an empty, blank-only, or comment-only source file must
+/// produce a "no program unit" diagnostic and exit 1 — not exit 0 with
+/// no output.
+#[test]
+fn empty_or_comment_only_source_is_a_no_program_unit_error() {
+    let dir = std::env::temp_dir().join("polarisc_empty_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, contents) in [
+        ("empty.f", ""),
+        ("blank.f", "\n\n\n"),
+        ("comment_only.f", "! header comment\n* fixed-form comment\n\n! trailing\n"),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        let out = Command::new(env!("CARGO_BIN_EXE_polarisc"))
+            .arg(path.to_str().unwrap())
+            .output()
+            .unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{name}: expected exit 1, got {:?}\n--- stderr ---\n{stderr}",
+            out.status.code()
+        );
+        assert!(
+            stderr.contains("no program unit"),
+            "{name}: missing `no program unit` diagnostic\n--- stderr ---\n{stderr}"
+        );
+        assert!(
+            out.stdout.is_empty(),
+            "{name}: expected empty stdout, got:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
 #[test]
 fn diag_table_matches_golden_for_mdg_and_track() {
     for (kern, golden) in [("mdg.f", "MDG.diag.txt"), ("track.f", "TRACK.diag.txt")] {
@@ -89,5 +128,45 @@ fn oracle_json_matches_golden_for_mdg_and_track() {
     for (kern, golden) in [("mdg.f", "MDG.oracle.json"), ("track.f", "TRACK.oracle.json")] {
         let (stdout, _) = polarisc(&["--oracle", &kernel(kern)]);
         check_golden(golden, &stdout);
+    }
+}
+
+/// Observability snapshots: the Chrome trace of a full compile +
+/// simulated run under the deterministic virtual clock. Determinism is
+/// pinned twice over — an explicit double-run byte-identity assertion,
+/// and the golden compare.
+#[test]
+fn virtual_clock_trace_matches_golden_for_mdg_and_track() {
+    let dir = std::env::temp_dir().join("polarisc_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (kern, golden) in [("mdg.f", "MDG.trace.json"), ("track.f", "TRACK.trace.json")] {
+        let run = |tag: &str| -> String {
+            let path = dir.join(format!("{golden}.{tag}"));
+            let _ = polarisc(&[
+                "--trace",
+                path.to_str().unwrap(),
+                "--clock",
+                "virtual",
+                "--run",
+                "--quiet",
+                &kernel(kern),
+            ]);
+            std::fs::read_to_string(&path).unwrap()
+        };
+        let (first, second) = (run("a"), run("b"));
+        assert_eq!(first, second, "{kern}: virtual-clock trace not byte-identical across runs");
+        check_golden(golden, &first);
+    }
+}
+
+/// Same for the metrics document (`--metrics` makes stdout exactly the
+/// JSON document, so the snapshot is the whole stdout).
+#[test]
+fn virtual_clock_metrics_match_golden_for_mdg_and_track() {
+    for (kern, golden) in [("mdg.f", "MDG.metrics.json"), ("track.f", "TRACK.metrics.json")] {
+        let (first, _) = polarisc(&["--metrics", "--clock", "virtual", "--run", &kernel(kern)]);
+        let (second, _) = polarisc(&["--metrics", "--clock", "virtual", "--run", &kernel(kern)]);
+        assert_eq!(first, second, "{kern}: virtual-clock metrics not byte-identical across runs");
+        check_golden(golden, &first);
     }
 }
