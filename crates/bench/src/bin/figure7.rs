@@ -24,14 +24,14 @@
 //! ```
 
 use polaris_bench::{
-    bar, obs_breakdown, oracle_report, speedups, threaded_row, ObsBreakdown, SpeedupRow,
-    ThreadedRow,
+    bar, obs_breakdown, oracle_report, speedups, threaded_row, verify_row, ObsBreakdown,
+    SpeedupRow, ThreadedRow, VerifyRow,
 };
 use polaris_core::PassOptions;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const SCHEMA: &str = "polaris-bench/figure7/v3";
+const SCHEMA: &str = "polaris-bench/figure7/v4";
 
 /// Dependence-oracle results aggregated over the kernels in the run:
 /// how often the compiler's serial verdicts are contradicted by the
@@ -63,6 +63,38 @@ impl OracleAgg {
         } else {
             self.completeness_misses as f64 / self.serial_loops as f64
         }
+    }
+}
+
+/// Static-verification results aggregated over the kernels in the run
+/// (schema v4 `verify` block): inter-pass invariant totals, static race
+/// verdicts, and the static-vs-oracle agreement. A soundness failure —
+/// static `clean` contradicted by an observed dynamic dependence — is a
+/// hard harness failure, same as an oracle violation.
+#[derive(Default)]
+struct VerifyAgg {
+    invariants_checked: u64,
+    invariant_violations: u64,
+    parallel_claims: usize,
+    clean: usize,
+    needs_privatization: usize,
+    potential_race: usize,
+    compared: usize,
+    precision_misses: usize,
+    soundness_failures: usize,
+}
+
+impl VerifyAgg {
+    fn add(&mut self, r: &VerifyRow) {
+        self.invariants_checked += r.invariants_checked;
+        self.invariant_violations += r.invariant_violations;
+        self.parallel_claims += r.parallel_claims;
+        self.clean += r.clean;
+        self.needs_privatization += r.needs_privatization;
+        self.potential_race += r.potential_race;
+        self.compared += r.compared;
+        self.precision_misses += r.precision_misses;
+        self.soundness_failures += r.soundness_failures;
     }
 }
 
@@ -127,11 +159,13 @@ fn main() -> ExitCode {
     let mut wins_v = 0;
     let mut rows: Vec<(SpeedupRow, ThreadedRow, ObsBreakdown)> = Vec::new();
     let mut oracle = OracleAgg::default();
+    let mut verify = VerifyAgg::default();
     for b in &benches {
         let row = speedups(b, 8);
         let thr = threaded_row(b, threads);
         let obs = obs_breakdown(b, &PassOptions::polaris());
         oracle.add(&oracle_report(b));
+        verify.add(&verify_row(b));
         println!(
             "{:<9} {:>7.2}x {:>7.2}x {:>11.2} {:>9.2}   P|{}",
             row.name,
@@ -176,6 +210,30 @@ fn main() -> ExitCode {
         eprintln!("figure7: the dependence oracle observed a race in a PARALLEL loop");
         return ExitCode::FAILURE;
     }
+    println!(
+        "verify: {} invariant check(s), {} violation(s); static race verdicts over {} \
+         PARALLEL claim(s): {} clean / {} needs-privatization / {} potential-race; \
+         agreement over {} claim(s): {} precision miss(es), {} soundness failure(s)",
+        verify.invariants_checked,
+        verify.invariant_violations,
+        verify.parallel_claims,
+        verify.clean,
+        verify.needs_privatization,
+        verify.potential_race,
+        verify.compared,
+        verify.precision_misses,
+        verify.soundness_failures
+    );
+    if verify.soundness_failures > 0 {
+        eprintln!(
+            "figure7: static race detector called a loop clean that the oracle saw violate"
+        );
+        return ExitCode::FAILURE;
+    }
+    if verify.invariant_violations > 0 {
+        eprintln!("figure7: the inter-pass verifier caught ill-formed IR during compilation");
+        return ExitCode::FAILURE;
+    }
     let cores = host_cores();
     if cores < threads {
         println!(
@@ -185,7 +243,8 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        let doc = render_json(&rows, &oracle, threads, cores, geo_polaris, geo_vfa, geo_real);
+        let doc =
+            render_json(&rows, &oracle, &verify, threads, cores, geo_polaris, geo_vfa, geo_real);
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("figure7: cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -202,9 +261,11 @@ fn host_cores() -> usize {
 /// Hand-rolled JSON (the workspace deliberately has no serde): one
 /// object per kernel plus run metadata and geomeans, written with a
 /// stable key order so diffs between trajectory files stay readable.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     rows: &[(SpeedupRow, ThreadedRow, ObsBreakdown)],
     oracle: &OracleAgg,
+    verify: &VerifyAgg,
     threads: usize,
     cores: usize,
     geo_polaris: f64,
@@ -277,6 +338,25 @@ fn render_json(
         s.push_str(&format!("\"{}\": {}", json_escape(pass), n));
     }
     s.push_str("}\n");
+    s.push_str("  },\n");
+    // Schema v4: the static-verification block — inter-pass invariant
+    // totals, race verdicts over every PARALLEL claim, and the
+    // static-vs-oracle agreement (soundness failures must be zero; the
+    // binary exits FAILURE before writing this document otherwise).
+    s.push_str("  \"verify\": {\n");
+    s.push_str(&format!("    \"invariants_checked\": {},\n", verify.invariants_checked));
+    s.push_str(&format!("    \"invariant_violations\": {},\n", verify.invariant_violations));
+    s.push_str("    \"race\": {\n");
+    s.push_str(&format!("      \"parallel_claims\": {},\n", verify.parallel_claims));
+    s.push_str(&format!("      \"clean\": {},\n", verify.clean));
+    s.push_str(&format!("      \"needs_privatization\": {},\n", verify.needs_privatization));
+    s.push_str(&format!("      \"potential_race\": {}\n", verify.potential_race));
+    s.push_str("    },\n");
+    s.push_str("    \"agreement\": {\n");
+    s.push_str(&format!("      \"compared\": {},\n", verify.compared));
+    s.push_str(&format!("      \"precision_misses\": {},\n", verify.precision_misses));
+    s.push_str(&format!("      \"soundness_failures\": {}\n", verify.soundness_failures));
+    s.push_str("    }\n");
     s.push_str("  },\n");
     s.push_str("  \"geomean\": {\n");
     s.push_str(&format!("    \"sim_polaris\": {},\n", json_f64(geo_polaris)));

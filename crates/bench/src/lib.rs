@@ -44,6 +44,53 @@ pub fn oracle_report(b: &polaris_benchmarks::Benchmark) -> polaris_runtime::Orac
     polaris_machine::audit(&p, &rep).unwrap_or_else(|e| panic!("{}: oracle: {e}", b.name))
 }
 
+/// Per-kernel static-verification summary: inter-pass invariant totals,
+/// static race verdicts over the lowered plan, and the static-vs-oracle
+/// agreement (the Figure 7 schema-v4 `verify` block).
+#[derive(Debug, Clone, Default)]
+pub struct VerifyRow {
+    pub invariants_checked: u64,
+    pub invariant_violations: u64,
+    pub parallel_claims: usize,
+    pub clean: usize,
+    pub needs_privatization: usize,
+    pub potential_race: usize,
+    /// PARALLEL claims joined against the runtime oracle.
+    pub compared: usize,
+    /// Static abstained, oracle ran clean (detector conservative).
+    pub precision_misses: usize,
+    /// Static said clean, oracle observed a violation. Must be zero.
+    pub soundness_failures: usize,
+}
+
+/// Compile a benchmark once, run [`polaris_verify::verify_compiled`]
+/// over the result, audit it with the runtime oracle, and cross-check
+/// the two (panics on compile/run errors or on ill-formed final IR —
+/// harness context).
+pub fn verify_row(b: &polaris_benchmarks::Benchmark) -> VerifyRow {
+    let (p, rep) = compile_bench(b, &PassOptions::polaris());
+    let v = polaris_verify::verify_compiled(&p, &rep);
+    assert!(v.final_violations.is_empty(), "{}: {:?}", b.name, v.final_violations);
+    let mut row = VerifyRow {
+        invariants_checked: v.invariants_checked,
+        invariant_violations: v.invariant_violations,
+        ..VerifyRow::default()
+    };
+    if let Some(race) = &v.race {
+        row.parallel_claims = race.parallel_claims();
+        row.clean = race.count(polaris_verify::RaceVerdict::Clean);
+        row.needs_privatization = race.count(polaris_verify::RaceVerdict::NeedsPrivatization);
+        row.potential_race = race.count(polaris_verify::RaceVerdict::PotentialRace);
+        let oracle = polaris_machine::audit(&p, &rep)
+            .unwrap_or_else(|e| panic!("{}: oracle: {e}", b.name));
+        let a = polaris_verify::agreement(race, &oracle);
+        row.compared = a.compared;
+        row.precision_misses = a.precision_misses.len();
+        row.soundness_failures = a.soundness_failures.len();
+    }
+    row
+}
+
 /// Per-kernel compile-time observability breakdown: where the pipeline
 /// spent its time (per pass, real microseconds from the monotonic
 /// recorder clock) and what the typed counters observed — the Figure 7

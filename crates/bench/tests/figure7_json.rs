@@ -204,7 +204,7 @@ fn figure7_json_is_well_formed_and_schema_complete() {
 
     // Schema: top-level metadata and geomeans present.
     for key in [
-        "\"schema\": \"polaris-bench/figure7/v3\"",
+        "\"schema\": \"polaris-bench/figure7/v4\"",
         "\"procs\":",
         "\"threads\": 4",
         "\"host_cores\":",
@@ -216,6 +216,19 @@ fn figure7_json_is_well_formed_and_schema_complete() {
         "\"privatizable_misses\":",
         "\"miss_rate\":",
         "\"misses_by_pass\":",
+        // schema v4: static-verification aggregate block
+        "\"verify\":",
+        "\"invariants_checked\":",
+        "\"invariant_violations\": 0",
+        "\"race\":",
+        "\"parallel_claims\":",
+        "\"clean\":",
+        "\"needs_privatization\":",
+        "\"potential_race\":",
+        "\"agreement\":",
+        "\"compared\":",
+        "\"precision_misses\":",
+        "\"soundness_failures\": 0",
         "\"geomean\":",
         "\"sim_polaris\":",
         "\"sim_vfa\":",

@@ -40,7 +40,10 @@ pub mod reduction;
 pub use ddtest::DdStats;
 pub use deps::LoopReport;
 pub use induction::InductionMode;
-pub use pipeline::{FaultPlan, Pipeline, StageOutcome, StageReport, STAGE_NAMES};
+pub use pipeline::{
+    CorruptKind, FaultKind, FaultPlan, Pipeline, StageOutcome, StageReport, VerifyStats,
+    STAGE_NAMES,
+};
 
 use polaris_ir::error::Result;
 use polaris_ir::Program;
@@ -148,6 +151,10 @@ pub struct CompileReport {
     pub ranges_propagated: u64,
     /// Per-stage outcomes from the fault-isolating pipeline, in run order.
     pub stages: Vec<StageReport>,
+    /// Inter-pass verifier totals: invariant checks run at stage
+    /// boundaries and violations caught (each violation rolled a stage
+    /// back).
+    pub verify: VerifyStats,
 }
 
 impl CompileReport {

@@ -70,12 +70,45 @@ impl StageReport {
     }
 }
 
-/// Deterministic fault injection: make named stages panic, optionally only
-/// when a given program unit is present. Wired through [`PassOptions`] so
-/// rollback paths can be exercised from any entry point.
+/// Deterministic fault injection: make named stages panic or corrupt the
+/// IR they produce, optionally only when a given program unit is present.
+/// Wired through [`PassOptions`] so rollback paths can be exercised from
+/// any entry point.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FaultPlan {
     points: Vec<FaultPoint>,
+}
+
+/// How an armed [`FaultPoint`] misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the stage body (caught by `catch_unwind`).
+    Panic,
+    /// Let the stage complete, then silently damage its output IR — the
+    /// post-stage verifier, not the unwinder, must catch this one.
+    Corrupt(CorruptKind),
+}
+
+/// The specific IR damage a [`FaultKind::Corrupt`] point inflicts,
+/// matched one-to-one to an invariant in
+/// [`polaris_ir::validate::INVARIANTS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// Give a second loop the [`polaris_ir::stmt::LoopId`] of the first
+    /// (violates `loop-id-provenance`).
+    DuplicateLoopId,
+    /// Drop the symbol-table entry of an assigned array (violates
+    /// `symbol-use`).
+    DanglingSymbol,
+    /// Flip a scalar arithmetic assignment target to LOGICAL (violates
+    /// `type-agreement`).
+    TypePun,
+}
+
+impl CorruptKind {
+    /// All corruption kinds, for sweep-style tests.
+    pub const ALL: [CorruptKind; 3] =
+        [CorruptKind::DuplicateLoopId, CorruptKind::DanglingSymbol, CorruptKind::TypePun];
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +117,8 @@ pub struct FaultPoint {
     pub stage: String,
     /// Restrict the fault to programs containing this unit (case-insensitive).
     pub unit: Option<String>,
+    /// What the fault does when it fires.
+    pub kind: FaultKind,
 }
 
 impl FaultPlan {
@@ -94,17 +129,37 @@ impl FaultPlan {
 
     /// Panic when `stage` runs.
     pub fn panic_in(stage: impl Into<String>) -> FaultPlan {
-        FaultPlan { points: vec![FaultPoint { stage: stage.into(), unit: None }] }
+        FaultPlan {
+            points: vec![FaultPoint { stage: stage.into(), unit: None, kind: FaultKind::Panic }],
+        }
     }
 
     /// Panic when `stage` runs on a program containing `unit`.
     pub fn panic_in_unit(stage: impl Into<String>, unit: impl Into<String>) -> FaultPlan {
-        FaultPlan { points: vec![FaultPoint { stage: stage.into(), unit: Some(unit.into()) }] }
+        FaultPlan {
+            points: vec![FaultPoint {
+                stage: stage.into(),
+                unit: Some(unit.into()),
+                kind: FaultKind::Panic,
+            }],
+        }
+    }
+
+    /// Corrupt the IR after `stage` completes (the stage itself succeeds;
+    /// the post-stage invariant check must detect the damage).
+    pub fn corrupt_in(stage: impl Into<String>, kind: CorruptKind) -> FaultPlan {
+        FaultPlan {
+            points: vec![FaultPoint {
+                stage: stage.into(),
+                unit: None,
+                kind: FaultKind::Corrupt(kind),
+            }],
+        }
     }
 
     /// Add a further fault point.
     pub fn and_panic_in(mut self, stage: impl Into<String>) -> FaultPlan {
-        self.points.push(FaultPoint { stage: stage.into(), unit: None });
+        self.points.push(FaultPoint { stage: stage.into(), unit: None, kind: FaultKind::Panic });
         self
     }
 
@@ -122,13 +177,104 @@ impl FaultPlan {
         })
     }
 
-    /// Panic if a fault point is armed for this stage (called inside the
-    /// pipeline's `catch_unwind` region, so the panic becomes a rollback).
+    /// Panic if a [`FaultKind::Panic`] point is armed for this stage
+    /// (called inside the pipeline's `catch_unwind` region, so the panic
+    /// becomes a rollback).
     pub fn fire(&self, stage: &str, program: &Program) {
         if let Some(point) = self.armed_for(stage, program) {
+            if point.kind != FaultKind::Panic {
+                return;
+            }
             match &point.unit {
                 Some(unit) => panic!("injected fault: stage `{stage}` on unit `{unit}`"),
                 None => panic!("injected fault: stage `{stage}`"),
+            }
+        }
+    }
+
+    /// Apply an armed [`FaultKind::Corrupt`] point's damage to the IR.
+    /// Called after the stage body succeeds, still inside the guarded
+    /// region, so the post-stage verifier is what must notice.
+    pub fn corrupt_after(&self, stage: &str, program: &mut Program) {
+        let kind = match self.armed_for(stage, program) {
+            Some(FaultPoint { kind: FaultKind::Corrupt(k), .. }) => *k,
+            _ => return,
+        };
+        apply_corruption(kind, program);
+    }
+}
+
+/// Inflict `kind`'s damage on the first eligible site in the program.
+/// No-op when no site qualifies (e.g. fewer than two loops for
+/// [`CorruptKind::DuplicateLoopId`]).
+fn apply_corruption(kind: CorruptKind, program: &mut Program) {
+    use polaris_ir::expr::{Expr, LValue};
+    use polaris_ir::stmt::StmtKind;
+    use polaris_ir::types::DataType;
+    match kind {
+        CorruptKind::DuplicateLoopId => {
+            for unit in &mut program.units {
+                let mut first = None;
+                let mut done = false;
+                unit.body.walk_mut(&mut |s| {
+                    if done {
+                        return;
+                    }
+                    if let Some(d) = s.as_do_mut() {
+                        match first {
+                            None => first = Some(d.loop_id),
+                            Some(id) => {
+                                d.loop_id = id;
+                                done = true;
+                            }
+                        }
+                    }
+                });
+                if done {
+                    return;
+                }
+            }
+        }
+        CorruptKind::DanglingSymbol => {
+            for unit in &mut program.units {
+                let mut victim = None;
+                unit.body.walk(&mut |s| {
+                    if victim.is_none() {
+                        if let StmtKind::Assign { lhs: LValue::Index { array, .. }, .. } = &s.kind {
+                            victim = Some(array.clone());
+                        }
+                    }
+                });
+                if let Some(name) = victim {
+                    unit.symbols.remove(&name);
+                    return;
+                }
+            }
+        }
+        CorruptKind::TypePun => {
+            for unit in &mut program.units {
+                let mut victim = None;
+                unit.body.walk(&mut |s| {
+                    if victim.is_none() {
+                        if let StmtKind::Assign { lhs: LValue::Var(name), rhs, .. } = &s.kind {
+                            let arithmetic_rhs = matches!(rhs, Expr::Int(_) | Expr::Real(_))
+                                || matches!(rhs, Expr::Bin { op, .. } if op.is_arithmetic());
+                            let scalar_arith = unit
+                                .symbols
+                                .get(name)
+                                .is_some_and(|sym| sym.rank() == 0 && sym.ty != DataType::Logical);
+                            if arithmetic_rhs && scalar_arith {
+                                victim = Some(name.clone());
+                            }
+                        }
+                    }
+                });
+                if let Some(name) = victim {
+                    if let Some(sym) = unit.symbols.get_mut(&name) {
+                        sym.ty = DataType::Logical;
+                    }
+                    return;
+                }
             }
         }
     }
@@ -189,6 +335,10 @@ impl Pipeline {
         polaris_ir::validate::validate_program(program)?;
         let mut report = CompileReport::default();
         let compile_span = rec.span("compile", "compile");
+        // Verify statistics live outside `report` while the loop runs: a
+        // rollback restores the report snapshot, and the check that
+        // *caused* the rollback must still be counted.
+        let mut verify = VerifyStats::default();
 
         for stage in &self.stages {
             if !stage.enabled {
@@ -210,16 +360,18 @@ impl Pipeline {
             let run_result = with_silent_panics(|| {
                 catch_unwind(AssertUnwindSafe(|| {
                     opts.faults.fire(stage.name, program);
-                    (stage.run)(program, opts, &mut report, rec)
+                    let out = (stage.run)(program, opts, &mut report, rec);
+                    if out.is_ok() {
+                        opts.faults.corrupt_after(stage.name, program);
+                    }
+                    out
                 }))
             });
             let duration = started.elapsed();
             stage_span.end();
 
             let failure = match run_result {
-                Ok(Ok(())) => polaris_ir::validate::validate_program(program)
-                    .err()
-                    .map(|e| format!("post-stage validation failed: {e}")),
+                Ok(Ok(())) => check_stage_output(stage.name, program, rec, &mut verify),
                 Ok(Err(e)) => Some(format!("pass error: {e}")),
                 Err(payload) => Some(format!("panic: {}", panic_message(payload.as_ref()))),
             };
@@ -246,9 +398,55 @@ impl Pipeline {
             }
         }
 
+        report.verify = verify;
         record_compile_counters(rec, program, &report);
         compile_span.end();
         Ok(report)
+    }
+}
+
+/// What the inter-pass verifier did over one compile: how many invariant
+/// checks ran (one per invariant in
+/// [`polaris_ir::validate::INVARIANTS`] per verified stage boundary) and
+/// how many violations were caught (each one names a stage and triggers
+/// its rollback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerifyStats {
+    pub invariants_checked: u64,
+    pub violations: u64,
+}
+
+/// Run the full invariant set over the IR a stage just produced. Returns
+/// the rollback reason when the IR is ill-formed, naming the violated
+/// invariant. The checker itself runs under `catch_unwind`: corrupt IR
+/// could make the structural walks (e.g. CFG construction) panic, and a
+/// verifier crash on damaged input is itself proof of damage, not a
+/// reason to abort the compile.
+fn check_stage_output(
+    stage: &str,
+    program: &Program,
+    rec: &Recorder,
+    verify: &mut VerifyStats,
+) -> Option<String> {
+    let span = rec.span("verify", format!("verify:{stage}"));
+    let outcome = with_silent_panics(|| {
+        catch_unwind(AssertUnwindSafe(|| polaris_ir::validate::check_program(program)))
+    });
+    span.end();
+    verify.invariants_checked += polaris_ir::validate::INVARIANTS.len() as u64;
+    match outcome {
+        Ok(violations) if violations.is_empty() => None,
+        Ok(violations) => {
+            verify.violations += violations.len() as u64;
+            Some(format!("post-stage validation failed: {}", violations[0]))
+        }
+        Err(payload) => {
+            verify.violations += 1;
+            Some(format!(
+                "post-stage validation failed: verifier panicked: {}",
+                panic_message(payload.as_ref())
+            ))
+        }
     }
 }
 
@@ -304,6 +502,9 @@ fn record_compile_counters(rec: &Recorder, program: &Program, report: &CompileRe
     rec.count(Counter::CompileLoopsSerial, serial);
     rec.count(Counter::CompileLoopsTotal, report.loops.len() as u64);
     rec.count(Counter::ArraysPrivatized, arrays_privatized);
+
+    rec.count(Counter::VerifyInvariantChecks, report.verify.invariants_checked);
+    rec.count(Counter::VerifyInvariantViolations, report.verify.violations);
 }
 
 thread_local! {
@@ -452,6 +653,72 @@ mod tests {
         }
         assert!(!report.degraded());
         polaris_ir::validate::validate_program(&program).unwrap();
+        // Every enabled stage boundary ran the full invariant set.
+        assert_eq!(
+            report.verify.invariants_checked,
+            (STAGE_NAMES.len() * polaris_ir::validate::INVARIANTS.len()) as u64,
+        );
+        assert_eq!(report.verify.violations, 0);
+    }
+
+    /// A source where every [`CorruptKind`] finds a target after every
+    /// stage: two live loops (ids to duplicate), an array store that is
+    /// later read (symbol to dangle), and a live scalar assignment with
+    /// a literal rhs (type to pun).
+    const TWO_LOOPS: &str = "program t\n\
+                             real v(1000)\n\
+                             s = 0.0\n\
+                             do i = 1, 1000\n\
+                             \x20 v(i) = i * 2.0\n\
+                             end do\n\
+                             do i = 1, 1000\n\
+                             \x20 s = s + v(i)\n\
+                             end do\n\
+                             print *, s\n\
+                             end\n";
+
+    #[test]
+    fn corruption_after_any_stage_is_caught_attributed_and_rolled_back() {
+        for kind in CorruptKind::ALL {
+            for stage in STAGE_NAMES {
+                let opts =
+                    PassOptions::polaris().with_faults(FaultPlan::corrupt_in(stage, kind));
+                let (program, report) = parse_and_compile(TWO_LOOPS, &opts)
+                    .unwrap_or_else(|e| panic!("{kind:?} in `{stage}` aborted: {e}"));
+                let sr = report.stage(stage).unwrap();
+                match &sr.outcome {
+                    StageOutcome::RolledBack { reason } => assert!(
+                        reason.contains("post-stage validation failed: invariant"),
+                        "{kind:?} in `{stage}`: {reason}"
+                    ),
+                    other => panic!("{kind:?} in `{stage}`: expected rollback, got {other:?}"),
+                }
+                assert!(report.verify.violations > 0, "{kind:?} in `{stage}`");
+                assert_eq!(report.rolled_back_stages(), vec![stage]);
+                polaris_ir::validate::validate_program(&program).unwrap_or_else(|e| {
+                    panic!("ill-formed output after {kind:?} in `{stage}`: {e}")
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_rollback_names_the_violated_invariant() {
+        for (kind, invariant) in [
+            (CorruptKind::DuplicateLoopId, "loop-id-provenance"),
+            (CorruptKind::DanglingSymbol, "symbol-use"),
+            (CorruptKind::TypePun, "type-agreement"),
+        ] {
+            let opts = PassOptions::polaris().with_faults(FaultPlan::corrupt_in("dce", kind));
+            let (_, report) = parse_and_compile(TWO_LOOPS, &opts).unwrap();
+            match &report.stage("dce").unwrap().outcome {
+                StageOutcome::RolledBack { reason } => assert!(
+                    reason.contains(&format!("invariant `{invariant}`")),
+                    "{kind:?}: {reason}"
+                ),
+                other => panic!("{kind:?}: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,55 +1,255 @@
-//! Program well-formedness validation — the `p_assert` layer.
+//! Program well-formedness validation — the `p_assert` layer, organized
+//! as a *named invariant set*.
 //!
 //! Polaris ran "extensive error checking throughout the system through the
 //! liberal use of assertions" and refused to let a transformation leave
 //! the IR "in a state that does not correspond to proper Fortran syntax".
-//! Passes in `polaris-core` call [`validate_program`] after mutating the
-//! IR (in debug builds and in every test) so a transformation bug
-//! surfaces at the point of damage rather than as a downstream
-//! miscompile.
+//! This module is the single shared checker behind that discipline: the
+//! parser-time entry point ([`validate_program`]) and the pass pipeline's
+//! post-stage verifier (`polaris-core`, via [`check_program`]) run the
+//! *same* invariants, so a rule added here is enforced at parse time and
+//! after every transformation alike.
+//!
+//! Each rule belongs to a named [`Invariant`]; [`check_program`] returns
+//! structured [`InvariantViolation`]s (at most one per invariant per
+//! unit, so output stays bounded on badly corrupted IR), and
+//! [`validate_program`] is the thin compatibility wrapper that turns the
+//! first violation into a [`CompileError`].
 
+use crate::cfg::Cfg;
 use crate::error::{CompileError, Result};
-use crate::expr::Expr;
+use crate::expr::{is_intrinsic, BinOp, Expr, UnOp};
 use crate::program::{Program, ProgramUnit, UnitKind};
 use crate::stmt::{Stmt, StmtKind};
 use crate::symbol::SymKind;
 use crate::types::DataType;
 use std::collections::BTreeSet;
 
-/// Validate a whole program; the first problem found is returned.
+/// The invariant classes the checker enforces. The set is deliberately
+/// small and named: a violation report (and the pipeline's rollback
+/// diagnostics) cite the class, so a failure reads as "invariant
+/// `loop-id-provenance` violated after `inline`" rather than an opaque
+/// assertion message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Invariant {
+    /// Unit-list shape: at least one unit, unique unit names, a single
+    /// PROGRAM unit, declared dummy arguments, no arguments on PROGRAM.
+    UnitStructure,
+    /// Statement ids are unique within a unit and below the fresh-id
+    /// watermark.
+    StmtIdDiscipline,
+    /// `LoopId`s are unique per unit — the provenance join key between
+    /// compile-time verdicts, lowered plans, and oracle observations.
+    LoopIdProvenance,
+    /// Symbol-table/use consistency: assignment targets declared and
+    /// writable, subscript rank agreement, no subscripted scalars, no
+    /// escaped pattern wildcards, referenced arrays declared.
+    SymbolUse,
+    /// Type agreement: DO variables INTEGER, no LOGICAL/arithmetic
+    /// punning in assignments or operators, IF conditions LOGICAL.
+    TypeAgreement,
+    /// DO-loop form: scalar loop variable, non-zero constant step, no
+    /// assignment to an active DO variable.
+    LoopForm,
+    /// The derived control-flow graph is well-formed: edges in bounds,
+    /// the exit block reachable, every statement in at most one block.
+    CfgWellFormed,
+    /// No dangling calls in multi-unit programs: every CALL target is an
+    /// intrinsic or an existing unit (a pass that deletes or renames an
+    /// inlined unit must also rewrite its call sites).
+    UnitLinkage,
+}
+
+/// Every invariant class, in checking order.
+pub const INVARIANTS: [Invariant; 8] = [
+    Invariant::UnitStructure,
+    Invariant::StmtIdDiscipline,
+    Invariant::LoopIdProvenance,
+    Invariant::SymbolUse,
+    Invariant::TypeAgreement,
+    Invariant::LoopForm,
+    Invariant::CfgWellFormed,
+    Invariant::UnitLinkage,
+];
+
+impl Invariant {
+    /// Stable kebab-case name used in diagnostics and JSON documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::UnitStructure => "unit-structure",
+            Invariant::StmtIdDiscipline => "stmt-id-discipline",
+            Invariant::LoopIdProvenance => "loop-id-provenance",
+            Invariant::SymbolUse => "symbol-use",
+            Invariant::TypeAgreement => "type-agreement",
+            Invariant::LoopForm => "loop-form",
+            Invariant::CfgWellFormed => "cfg-well-formed",
+            Invariant::UnitLinkage => "unit-linkage",
+        }
+    }
+}
+
+/// One broken invariant, with enough structure for the pipeline to
+/// attribute it and for `--verify` to render it as JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    pub invariant: Invariant,
+    /// The unit the violation was found in, when unit-scoped.
+    pub unit: Option<String>,
+    /// 1-based source line, when the offending statement carries one.
+    pub line: Option<u32>,
+    pub message: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invariant `{}`: {}", self.invariant.name(), self.message)
+    }
+}
+
+/// Check the whole invariant set over `program`, returning every
+/// violation found (bounded to one per invariant per unit). An empty
+/// vector means the IR is well-formed.
+pub fn check_program(program: &Program) -> Vec<InvariantViolation> {
+    let mut out = Violations::default();
+    check_unit_structure(program, &mut out);
+    for unit in &program.units {
+        out.begin_unit();
+        check_stmt_ids(unit, &mut out);
+        check_loop_ids(unit, &mut out);
+        check_body(unit, &mut out);
+        check_cfg(unit, &mut out);
+    }
+    out.begin_unit();
+    check_unit_linkage(program, &mut out);
+    out.list
+}
+
+/// Validate a whole program; the first broken invariant is returned as a
+/// [`CompileError`] (the historical parse-time interface).
 pub fn validate_program(program: &Program) -> Result<()> {
-    let mut names = BTreeSet::new();
+    match check_program(program).into_iter().next() {
+        None => Ok(()),
+        Some(v) => {
+            let mut err = CompileError::validate(v.to_string());
+            if let Some(line) = v.line {
+                err = err.with_line(line);
+            }
+            Err(err)
+        }
+    }
+}
+
+/// Validate a single unit (unit-scoped invariants only).
+pub fn validate_unit(unit: &ProgramUnit) -> Result<()> {
+    let mut out = Violations::default();
+    check_unit_args(unit, &mut out);
+    check_stmt_ids(unit, &mut out);
+    check_loop_ids(unit, &mut out);
+    check_body(unit, &mut out);
+    check_cfg(unit, &mut out);
+    match out.list.into_iter().next() {
+        None => Ok(()),
+        Some(v) => {
+            let mut err = CompileError::validate(v.to_string());
+            if let Some(line) = v.line {
+                err = err.with_line(line);
+            }
+            Err(err)
+        }
+    }
+}
+
+/// Violation accumulator: keeps at most one violation per invariant per
+/// unit scope so a badly corrupted program can't produce an unbounded
+/// report.
+#[derive(Default)]
+struct Violations {
+    list: Vec<InvariantViolation>,
+    seen_in_scope: BTreeSet<Invariant>,
+}
+
+impl Violations {
+    fn begin_unit(&mut self) {
+        self.seen_in_scope.clear();
+    }
+
+    fn push(
+        &mut self,
+        invariant: Invariant,
+        unit: Option<&str>,
+        line: Option<u32>,
+        message: String,
+    ) {
+        if self.seen_in_scope.insert(invariant) {
+            self.list.push(InvariantViolation {
+                invariant,
+                unit: unit.map(str::to_string),
+                line,
+                message,
+            });
+        }
+    }
+
+    fn saw(&self, invariant: Invariant) -> bool {
+        self.seen_in_scope.contains(&invariant)
+    }
+}
+
+// ---------------------------------------------------------------------
+// unit-structure
+// ---------------------------------------------------------------------
+
+fn check_unit_structure(program: &Program, out: &mut Violations) {
     if program.units.is_empty() {
-        return Err(CompileError::validate("program has no units"));
+        out.push(Invariant::UnitStructure, None, None, "program has no units".into());
+        return;
     }
     let mains = program.units.iter().filter(|u| u.is_main()).count();
     if mains > 1 {
-        return Err(CompileError::validate("more than one PROGRAM unit"));
+        out.push(Invariant::UnitStructure, None, None, "more than one PROGRAM unit".into());
     }
+    let mut names = BTreeSet::new();
     for unit in &program.units {
         if !names.insert(unit.name.clone()) {
-            return Err(CompileError::validate(format!("duplicate unit `{}`", unit.name)));
+            out.push(
+                Invariant::UnitStructure,
+                Some(&unit.name),
+                None,
+                format!("duplicate unit `{}`", unit.name),
+            );
         }
-        validate_unit(unit)?;
     }
-    Ok(())
+    for unit in &program.units {
+        check_unit_args(unit, out);
+    }
 }
 
-/// Validate a single unit.
-pub fn validate_unit(unit: &ProgramUnit) -> Result<()> {
-    // Dummy arguments must be declared.
+fn check_unit_args(unit: &ProgramUnit, out: &mut Violations) {
     for arg in &unit.args {
         if unit.symbols.get(arg).is_none() {
-            return Err(CompileError::validate(format!(
-                "unit {}: dummy argument `{arg}` is undeclared",
-                unit.name
-            )));
+            out.push(
+                Invariant::UnitStructure,
+                Some(&unit.name),
+                None,
+                format!("unit {}: dummy argument `{arg}` is undeclared", unit.name),
+            );
         }
     }
     if matches!(unit.kind, UnitKind::Program) && !unit.args.is_empty() {
-        return Err(CompileError::validate("PROGRAM unit cannot take arguments"));
+        out.push(
+            Invariant::UnitStructure,
+            Some(&unit.name),
+            None,
+            "PROGRAM unit cannot take arguments".into(),
+        );
     }
-    // Unique statement ids.
+}
+
+// ---------------------------------------------------------------------
+// stmt-id-discipline / loop-id-provenance
+// ---------------------------------------------------------------------
+
+fn check_stmt_ids(unit: &ProgramUnit, out: &mut Violations) {
     let mut ids = BTreeSet::new();
     let mut dup = None;
     unit.body.walk(&mut |s| {
@@ -58,25 +258,35 @@ pub fn validate_unit(unit: &ProgramUnit) -> Result<()> {
         }
     });
     if let Some(id) = dup {
-        return Err(CompileError::validate(format!(
-            "unit {}: duplicate statement id {id}",
-            unit.name
-        )));
+        out.push(
+            Invariant::StmtIdDiscipline,
+            Some(&unit.name),
+            None,
+            format!("unit {}: duplicate statement id {id}", unit.name),
+        );
+        return;
     }
     if let Some(&max) = ids.iter().map(|i| &i.0).max() {
         if max >= unit.stmt_id_watermark() {
-            return Err(CompileError::validate(format!(
-                "unit {}: statement id {max} >= fresh-id watermark {} (id discipline violated)",
-                unit.name,
-                unit.stmt_id_watermark()
-            )));
+            out.push(
+                Invariant::StmtIdDiscipline,
+                Some(&unit.name),
+                None,
+                format!(
+                    "unit {}: statement id {max} >= fresh-id watermark {} (id discipline violated)",
+                    unit.name,
+                    unit.stmt_id_watermark()
+                ),
+            );
         }
     }
-    // Unique loop provenance ids. Every pass must either keep a loop's
-    // `LoopId` or assign a fresh one when it clones the loop (inlining);
-    // a duplicate means run-time observations could be attributed to the
-    // wrong compile-time verdict, so it is rejected — inside the
-    // pipeline this rolls the offending stage back.
+}
+
+fn check_loop_ids(unit: &ProgramUnit, out: &mut Violations) {
+    // Every pass must either keep a loop's `LoopId` or assign a fresh one
+    // when it clones the loop (inlining); a duplicate means run-time
+    // observations could be attributed to the wrong compile-time verdict
+    // — inside the pipeline this rolls the offending stage back.
     let mut loop_ids = BTreeSet::new();
     let mut dup_loop = None;
     unit.body.walk(&mut |s| {
@@ -87,235 +297,389 @@ pub fn validate_unit(unit: &ProgramUnit) -> Result<()> {
         }
     });
     if let Some((id, label)) = dup_loop {
-        return Err(CompileError::validate(format!(
-            "unit {}: duplicate loop id {id} (at loop `{label}`)",
-            unit.name
-        )));
+        out.push(
+            Invariant::LoopIdProvenance,
+            Some(&unit.name),
+            None,
+            format!("unit {}: duplicate loop id {id} (at loop `{label}`)", unit.name),
+        );
     }
-    // Per-statement checks.
-    let mut err: Option<CompileError> = None;
-    let mut loop_stack: Vec<String> = Vec::new();
-    validate_stmts(unit, &unit.body.0, &mut loop_stack, &mut err);
-    if let Some(e) = err {
-        return Err(e);
-    }
-    Ok(())
 }
 
-fn validate_stmts(
+// ---------------------------------------------------------------------
+// symbol-use / type-agreement / loop-form (one body traversal)
+// ---------------------------------------------------------------------
+
+fn check_body(unit: &ProgramUnit, out: &mut Violations) {
+    let mut loop_stack: Vec<String> = Vec::new();
+    check_stmts(unit, &unit.body.0, &mut loop_stack, out);
+}
+
+fn check_stmts(
     unit: &ProgramUnit,
     stmts: &[Stmt],
     loop_stack: &mut Vec<String>,
-    err: &mut Option<CompileError>,
+    out: &mut Violations,
 ) {
     for s in stmts {
-        if err.is_some() {
-            return;
-        }
         match &s.kind {
             StmtKind::Assign { lhs, rhs, .. } => {
-                check_lvalue(unit, s, lhs.name(), lhs.subs(), err);
-                check_expr(unit, s, rhs, err);
+                check_lvalue(unit, s, lhs.name(), lhs.subs(), out);
+                check_expr(unit, s, rhs, out);
                 for sub in lhs.subs() {
-                    check_expr(unit, s, sub, err);
+                    check_expr(unit, s, sub, out);
                 }
+                check_assign_types(unit, s, lhs.name(), rhs, out);
                 // F77 forbids assigning to an active DO variable.
                 if lhs.subs().is_empty() && loop_stack.iter().any(|v| v == lhs.name()) {
-                    *err = Some(
-                        CompileError::validate(format!(
+                    out.push(
+                        Invariant::LoopForm,
+                        Some(&unit.name),
+                        Some(s.line),
+                        format!(
                             "unit {}: assignment to active DO variable `{}`",
                             unit.name,
                             lhs.name()
-                        ))
-                        .with_line(s.line),
+                        ),
                     );
                 }
             }
             StmtKind::Do(d) => {
                 if unit.symbols.type_of(&d.var) != DataType::Integer {
-                    *err = Some(
-                        CompileError::validate(format!(
-                            "unit {}: DO variable `{}` is not INTEGER",
-                            unit.name, d.var
-                        ))
-                        .with_line(s.line),
+                    out.push(
+                        Invariant::TypeAgreement,
+                        Some(&unit.name),
+                        Some(s.line),
+                        format!("unit {}: DO variable `{}` is not INTEGER", unit.name, d.var),
                     );
-                    return;
                 }
                 if unit.symbols.is_array(&d.var) {
-                    *err = Some(
-                        CompileError::validate(format!(
-                            "unit {}: DO variable `{}` is an array",
-                            unit.name, d.var
-                        ))
-                        .with_line(s.line),
+                    out.push(
+                        Invariant::LoopForm,
+                        Some(&unit.name),
+                        Some(s.line),
+                        format!("unit {}: DO variable `{}` is an array", unit.name, d.var),
                     );
-                    return;
                 }
-                check_expr(unit, s, &d.init, err);
-                check_expr(unit, s, &d.limit, err);
+                check_expr(unit, s, &d.init, out);
+                check_expr(unit, s, &d.limit, out);
                 if let Some(step) = &d.step {
-                    check_expr(unit, s, step, err);
+                    check_expr(unit, s, step, out);
                     if step.simplified().as_int() == Some(0) {
-                        *err = Some(
-                            CompileError::validate(format!(
-                                "unit {}: DO loop `{}` has zero step",
-                                unit.name, d.label
-                            ))
-                            .with_line(s.line),
+                        out.push(
+                            Invariant::LoopForm,
+                            Some(&unit.name),
+                            Some(s.line),
+                            format!("unit {}: DO loop `{}` has zero step", unit.name, d.label),
                         );
-                        return;
                     }
                 }
                 loop_stack.push(d.var.clone());
-                validate_stmts(unit, &d.body.0, loop_stack, err);
+                check_stmts(unit, &d.body.0, loop_stack, out);
                 loop_stack.pop();
             }
             StmtKind::IfBlock { arms, else_body } => {
                 for arm in arms {
-                    check_expr(unit, s, &arm.cond, err);
-                    validate_stmts(unit, &arm.body.0, loop_stack, err);
+                    check_expr(unit, s, &arm.cond, out);
+                    if matches!(
+                        expr_type(unit, &arm.cond),
+                        Some(DataType::Integer) | Some(DataType::Real)
+                    ) {
+                        out.push(
+                            Invariant::TypeAgreement,
+                            Some(&unit.name),
+                            Some(s.line),
+                            format!("unit {}: IF condition is not LOGICAL", unit.name),
+                        );
+                    }
+                    check_stmts(unit, &arm.body.0, loop_stack, out);
                 }
-                validate_stmts(unit, &else_body.0, loop_stack, err);
+                check_stmts(unit, &else_body.0, loop_stack, out);
             }
             StmtKind::Call { args, .. } => {
                 for a in args {
-                    check_expr(unit, s, a, err);
+                    check_expr(unit, s, a, out);
                 }
             }
             StmtKind::Print { items } => {
                 for a in items {
-                    check_expr(unit, s, a, err);
+                    check_expr(unit, s, a, out);
                 }
             }
-            StmtKind::Assert { cond } => check_expr(unit, s, cond, err),
+            StmtKind::Assert { cond } => check_expr(unit, s, cond, out),
             StmtKind::Return | StmtKind::Stop | StmtKind::Continue => {}
         }
     }
 }
 
-fn check_lvalue(
-    unit: &ProgramUnit,
-    s: &Stmt,
-    name: &str,
-    subs: &[Expr],
-    err: &mut Option<CompileError>,
-) {
-    if err.is_some() {
-        return;
-    }
+fn check_lvalue(unit: &ProgramUnit, s: &Stmt, name: &str, subs: &[Expr], out: &mut Violations) {
+    let v = |msg: String, out: &mut Violations| {
+        out.push(Invariant::SymbolUse, Some(&unit.name), Some(s.line), msg);
+    };
     match unit.symbols.get(name) {
         Some(sym) => match &sym.kind {
             SymKind::Array(dims) => {
                 if subs.is_empty() {
-                    *err = Some(
-                        CompileError::validate(format!(
-                            "unit {}: whole-array assignment to `{name}`",
-                            unit.name
-                        ))
-                        .with_line(s.line),
-                    );
+                    v(format!("unit {}: whole-array assignment to `{name}`", unit.name), out);
                 } else if subs.len() != dims.len() {
-                    *err = Some(
-                        CompileError::validate(format!(
+                    v(
+                        format!(
                             "unit {}: `{name}` has rank {} but is subscripted with {} indices",
                             unit.name,
                             dims.len(),
                             subs.len()
-                        ))
-                        .with_line(s.line),
+                        ),
+                        out,
                     );
                 }
             }
             SymKind::Parameter(_) => {
-                *err = Some(
-                    CompileError::validate(format!(
-                        "unit {}: assignment to PARAMETER `{name}`",
-                        unit.name
-                    ))
-                    .with_line(s.line),
-                );
+                v(format!("unit {}: assignment to PARAMETER `{name}`", unit.name), out);
             }
             SymKind::Scalar => {
                 if !subs.is_empty() {
-                    *err = Some(
-                        CompileError::validate(format!(
-                            "unit {}: scalar `{name}` used with subscripts",
-                            unit.name
-                        ))
-                        .with_line(s.line),
-                    );
+                    v(format!("unit {}: scalar `{name}` used with subscripts", unit.name), out);
                 }
             }
             SymKind::External => {
-                *err = Some(
-                    CompileError::validate(format!(
-                        "unit {}: assignment to external `{name}`",
-                        unit.name
-                    ))
-                    .with_line(s.line),
-                );
+                v(format!("unit {}: assignment to external `{name}`", unit.name), out);
             }
         },
         None => {
-            *err = Some(
-                CompileError::validate(format!(
+            v(
+                format!(
                     "unit {}: assignment to undeclared symbol `{name}` (implicit declaration \
                      should have happened at parse time)",
                     unit.name
-                ))
-                .with_line(s.line),
+                ),
+                out,
             );
         }
     }
 }
 
-fn check_expr(unit: &ProgramUnit, s: &Stmt, e: &Expr, err: &mut Option<CompileError>) {
-    if err.is_some() {
-        return;
-    }
+fn check_expr(unit: &ProgramUnit, s: &Stmt, e: &Expr, out: &mut Violations) {
     e.for_each(&mut |node| {
-        if err.is_some() {
-            return;
-        }
         match node {
             Expr::Index { array, subs } => {
-                if let Some(sym) = unit.symbols.get(array) {
-                    if let SymKind::Array(dims) = &sym.kind {
-                        if subs.len() != dims.len() {
-                            *err = Some(
-                                CompileError::validate(format!(
-                                    "unit {}: `{array}` has rank {} but is subscripted with {}",
-                                    unit.name,
-                                    dims.len(),
-                                    subs.len()
-                                ))
-                                .with_line(s.line),
+                match unit.symbols.get(array) {
+                    Some(sym) => {
+                        if let SymKind::Array(dims) = &sym.kind {
+                            if subs.len() != dims.len() {
+                                out.push(
+                                    Invariant::SymbolUse,
+                                    Some(&unit.name),
+                                    Some(s.line),
+                                    format!(
+                                        "unit {}: `{array}` has rank {} but is subscripted with {}",
+                                        unit.name,
+                                        dims.len(),
+                                        subs.len()
+                                    ),
+                                );
+                            }
+                        } else {
+                            out.push(
+                                Invariant::SymbolUse,
+                                Some(&unit.name),
+                                Some(s.line),
+                                format!("unit {}: `{array}` subscripted but not an array", unit.name),
                             );
                         }
-                    } else {
-                        *err = Some(
-                            CompileError::validate(format!(
-                                "unit {}: `{array}` subscripted but not an array",
-                                unit.name
-                            ))
-                            .with_line(s.line),
+                    }
+                    None => {
+                        out.push(
+                            Invariant::SymbolUse,
+                            Some(&unit.name),
+                            Some(s.line),
+                            format!("unit {}: reference to undeclared array `{array}`", unit.name),
+                        );
+                    }
+                }
+                // Subscripts must be arithmetic.
+                for sub in subs {
+                    if expr_type(unit, sub) == Some(DataType::Logical) {
+                        out.push(
+                            Invariant::TypeAgreement,
+                            Some(&unit.name),
+                            Some(s.line),
+                            format!("unit {}: LOGICAL subscript on `{array}`", unit.name),
                         );
                     }
                 }
             }
+            Expr::Bin { op, lhs, rhs }
+                if op.is_arithmetic()
+                    && (expr_type(unit, lhs) == Some(DataType::Logical)
+                        || expr_type(unit, rhs) == Some(DataType::Logical)) =>
+            {
+                out.push(
+                    Invariant::TypeAgreement,
+                    Some(&unit.name),
+                    Some(s.line),
+                    format!(
+                        "unit {}: LOGICAL operand of arithmetic `{}`",
+                        unit.name,
+                        op.fortran()
+                    ),
+                );
+            }
             Expr::Wildcard(id) => {
-                *err = Some(
-                    CompileError::validate(format!(
-                        "unit {}: wildcard _W{id} escaped into program text",
-                        unit.name
-                    ))
-                    .with_line(s.line),
+                out.push(
+                    Invariant::SymbolUse,
+                    Some(&unit.name),
+                    Some(s.line),
+                    format!("unit {}: wildcard _W{id} escaped into program text", unit.name),
                 );
             }
             _ => {}
         }
     });
+}
+
+/// Conservative expression typing for the type-agreement invariant.
+/// `None` means "unknown — don't judge" (intrinsic calls, strings,
+/// mixed/unknown operands), so the check never fires on well-typed
+/// programs it cannot fully analyze.
+fn expr_type(unit: &ProgramUnit, e: &Expr) -> Option<DataType> {
+    match e {
+        Expr::Int(_) => Some(DataType::Integer),
+        Expr::Real(_) => Some(DataType::Real),
+        Expr::Logical(_) => Some(DataType::Logical),
+        Expr::Str(_) => None,
+        Expr::Var(n) => Some(unit.symbols.type_of(n)),
+        Expr::Index { array, .. } => Some(unit.symbols.type_of(array)),
+        Expr::Call { .. } => None,
+        Expr::Un { op: UnOp::Neg, arg } => expr_type(unit, arg),
+        Expr::Un { op: UnOp::Not, .. } => Some(DataType::Logical),
+        Expr::Bin { op, lhs, rhs } => {
+            if op.is_relational() || matches!(op, BinOp::And | BinOp::Or) {
+                Some(DataType::Logical)
+            } else {
+                match (expr_type(unit, lhs), expr_type(unit, rhs)) {
+                    (Some(DataType::Logical), _) | (_, Some(DataType::Logical)) => None,
+                    (Some(a), Some(b)) => Some(a.promote(b)),
+                    _ => None,
+                }
+            }
+        }
+        Expr::Wildcard(_) => None,
+    }
+}
+
+fn check_assign_types(unit: &ProgramUnit, s: &Stmt, lhs: &str, rhs: &Expr, out: &mut Violations) {
+    let lhs_ty = unit.symbols.type_of(lhs);
+    let Some(rhs_ty) = expr_type(unit, rhs) else { return };
+    // Arithmetic types convert freely (F77 assignment conversion); the
+    // pun the invariant rejects is LOGICAL on exactly one side.
+    if (lhs_ty == DataType::Logical) != (rhs_ty == DataType::Logical) {
+        out.push(
+            Invariant::TypeAgreement,
+            Some(&unit.name),
+            Some(s.line),
+            format!(
+                "unit {}: type-punned assignment to `{lhs}` ({} := {})",
+                unit.name,
+                lhs_ty.keyword(),
+                rhs_ty.keyword()
+            ),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// cfg-well-formed
+// ---------------------------------------------------------------------
+
+fn check_cfg(unit: &ProgramUnit, out: &mut Violations) {
+    // The CFG is derived on demand from the structured AST; building it
+    // and checking its shape is a consistency oracle over the statement
+    // structure itself. Skip if the body already failed the id
+    // discipline (a duplicated subtree would also duplicate block
+    // membership and double-report).
+    if out.saw(Invariant::StmtIdDiscipline) {
+        return;
+    }
+    let cfg = Cfg::build(&unit.body);
+    let n = cfg.blocks.len();
+    let mut seen_stmts = BTreeSet::new();
+    for block in &cfg.blocks {
+        for succ in &block.succs {
+            if succ.0 >= n {
+                out.push(
+                    Invariant::CfgWellFormed,
+                    Some(&unit.name),
+                    None,
+                    format!("unit {}: CFG edge to out-of-range block {}", unit.name, succ.0),
+                );
+                return;
+            }
+        }
+        for id in &block.stmts {
+            if !seen_stmts.insert(*id) {
+                out.push(
+                    Invariant::CfgWellFormed,
+                    Some(&unit.name),
+                    None,
+                    format!("unit {}: statement id {id} appears in two CFG blocks", unit.name),
+                );
+                return;
+            }
+        }
+    }
+    // Exit must be reachable from entry (structured programs always
+    // fall through to the exit block).
+    let mut reached = vec![false; n];
+    let mut work = vec![cfg.entry];
+    while let Some(b) = work.pop() {
+        if std::mem::replace(&mut reached[b.0], true) {
+            continue;
+        }
+        work.extend(cfg.blocks[b.0].succs.iter().copied());
+    }
+    if !reached[cfg.exit.0] {
+        out.push(
+            Invariant::CfgWellFormed,
+            Some(&unit.name),
+            None,
+            format!("unit {}: CFG exit block unreachable from entry", unit.name),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// unit-linkage
+// ---------------------------------------------------------------------
+
+fn check_unit_linkage(program: &Program, out: &mut Violations) {
+    // Only meaningful on multi-unit programs: a single unit calling an
+    // undefined external is a legal F-Mini idiom (the passes treat the
+    // call as an opaque kill), but once callee units exist, a CALL that
+    // resolves to nothing means a pass dropped or renamed an inlined
+    // unit without rewriting its call sites.
+    if program.units.len() < 2 {
+        return;
+    }
+    for unit in &program.units {
+        let mut dangling: Option<(String, u32)> = None;
+        unit.body.walk(&mut |s| {
+            if let StmtKind::Call { name, .. } = &s.kind {
+                let resolves = is_intrinsic(name)
+                    || program.units.iter().any(|u| u.name.eq_ignore_ascii_case(name));
+                if !resolves && dangling.is_none() {
+                    dangling = Some((name.clone(), s.line));
+                }
+            }
+        });
+        if let Some((name, line)) = dangling {
+            out.push(
+                Invariant::UnitLinkage,
+                Some(&unit.name),
+                Some(line),
+                format!("unit {}: CALL to `{name}` resolves to no unit or intrinsic", unit.name),
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -378,5 +742,98 @@ mod tests {
     fn scalar_with_subscripts_rejected() {
         let e = check("program p\nreal x\nx(1) = 2.0\nend\n").unwrap_err();
         assert!(e.message.contains("rank") || e.message.contains("scalar"), "{e}");
+    }
+
+    #[test]
+    fn violations_carry_invariant_names() {
+        let p = crate::parse("program p\ndo i = 1, 4, 0\n  y = x\nend do\nend\n").unwrap();
+        let vs = check_program(&p);
+        assert!(
+            vs.iter().any(|v| v.invariant == Invariant::LoopForm),
+            "{vs:?}"
+        );
+        let e = validate_program(&p).unwrap_err();
+        assert!(e.message.contains("loop-form"), "{e}");
+    }
+
+    #[test]
+    fn type_punned_assignment_rejected() {
+        let src = "program p\ninteger k\nk = 1\nend\n";
+        let mut p = crate::parse(src).unwrap();
+        // Corrupt the symbol table behind the assignment's back.
+        p.units[0].symbols.get_mut("K").unwrap().ty = DataType::Logical;
+        let vs = check_program(&p);
+        assert!(
+            vs.iter().any(|v| v.invariant == Invariant::TypeAgreement),
+            "{vs:?}"
+        );
+        assert!(vs[0].message.contains("type-punned"), "{vs:?}");
+    }
+
+    #[test]
+    fn undeclared_array_reference_rejected() {
+        let src = "program p\nreal a(4)\nx = a(1)\nend\n";
+        let mut p = crate::parse(src).unwrap();
+        p.units[0].symbols.remove("A");
+        let vs = check_program(&p);
+        assert!(
+            vs.iter().any(|v| v.invariant == Invariant::SymbolUse),
+            "{vs:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_loop_id_names_provenance_invariant() {
+        let src = "program p\nreal a(4)\ndo i = 1, 4\n  a(i) = 0.0\nend do\n\
+                   do j = 1, 4\n  a(j) = 1.0\nend do\nend\n";
+        let mut p = crate::parse(src).unwrap();
+        let first = p.units[0].body.loops()[0].loop_id;
+        let mut n = 0;
+        p.units[0].body.walk_mut(&mut |s| {
+            if let StmtKind::Do(d) = &mut s.kind {
+                n += 1;
+                if n == 2 {
+                    d.loop_id = first;
+                }
+            }
+        });
+        let vs = check_program(&p);
+        assert!(
+            vs.iter().any(|v| v.invariant == Invariant::LoopIdProvenance),
+            "{vs:?}"
+        );
+    }
+
+    #[test]
+    fn dangling_call_in_multi_unit_program_rejected() {
+        let src = "program p\ncall fill\nend\nsubroutine fill\nx = 1.0\nend\n";
+        let mut p = crate::parse(src).unwrap();
+        validate_program(&p).unwrap();
+        p.units[0].body.walk_mut(&mut |s| {
+            if let StmtKind::Call { name, .. } = &mut s.kind {
+                *name = "GONE".into();
+            }
+        });
+        let vs = check_program(&p);
+        assert!(
+            vs.iter().any(|v| v.invariant == Invariant::UnitLinkage),
+            "{vs:?}"
+        );
+        // A single-unit program calling an undefined external is legal.
+        let single = crate::parse("program p\nk = 3\ncall f(k)\nx = k\nend\n").unwrap();
+        assert!(check_program(&single).is_empty());
+    }
+
+    #[test]
+    fn check_program_bounds_violations_per_invariant() {
+        // Many broken statements of the same class still yield one
+        // violation for that class per unit.
+        let src = "program p\nreal a(4,4)\na(1) = 0.0\na(2) = 0.0\na(3) = 0.0\nend\n";
+        let p = crate::parse(src).unwrap();
+        let n = check_program(&p)
+            .iter()
+            .filter(|v| v.invariant == Invariant::SymbolUse)
+            .count();
+        assert_eq!(n, 1);
     }
 }

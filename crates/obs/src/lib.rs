@@ -118,6 +118,22 @@ pub enum Counter {
     LrpdFail,
     /// Soundness violations found by the run-time dependence oracle.
     OracleViolations,
+    /// IR invariant sweeps run by the pipeline's post-stage verifier
+    /// (one per invariant class per checked stage).
+    VerifyInvariantChecks,
+    /// Invariant violations caught by the post-stage verifier (each one
+    /// rolled the offending stage back).
+    VerifyInvariantViolations,
+    /// PARALLEL plans the static race detector proved clean.
+    VerifyRaceClean,
+    /// PARALLEL plans with uncovered writes that privatization or
+    /// lastprivate annotations would discharge.
+    VerifyRaceNeedsPrivatization,
+    /// PARALLEL plans with a possible cross-iteration flow dependence
+    /// the detector could not discharge.
+    VerifyRacePotentialRace,
+    /// Findings emitted by the `--lint` suite (all severities).
+    VerifyLintFindings,
 }
 
 impl Counter {
@@ -151,6 +167,12 @@ impl Counter {
             Counter::LrpdPass => "lrpd.pass",
             Counter::LrpdFail => "lrpd.fail",
             Counter::OracleViolations => "oracle.violations",
+            Counter::VerifyInvariantChecks => "verify.invariants.checks",
+            Counter::VerifyInvariantViolations => "verify.invariants.violations",
+            Counter::VerifyRaceClean => "verify.race.clean",
+            Counter::VerifyRaceNeedsPrivatization => "verify.race.needs_privatization",
+            Counter::VerifyRacePotentialRace => "verify.race.potential_race",
+            Counter::VerifyLintFindings => "verify.lint.findings",
         }
     }
 }

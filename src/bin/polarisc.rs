@@ -24,7 +24,17 @@
 //!   --fuel N        execution step budget for --run (default unlimited)
 //!   --validate      run the adversarial validation after --run
 //!   --profile       print the per-loop execution profile after --run
-//!   --strict        treat a degraded pipeline (rolled-back stage) as failure
+//!   --verify        print the verification JSON report: inter-pass
+//!                   invariant-checker totals, a final re-validation of
+//!                   the emitted program, and the static race detector's
+//!                   verdict for every PARALLEL claim; with --oracle the
+//!                   report gains a static-vs-dynamic agreement block
+//!                   (implies --quiet so stdout stays valid JSON)
+//!   --lint          print the F-Mini lint findings as a JSON document
+//!                   with line:col spans (implies --quiet); lint errors
+//!                   are violations, lint warnings degrade the exit code
+//!   --strict        escalate a degraded compile (rolled-back stage, lint
+//!                   warnings) from exit 1 to exit 2
 //!   --quiet         suppress the annotated source
 //!   --trace PATH    record an observability trace of the compile (and of
 //!                   --run / --oracle) and write it to PATH in Chrome
@@ -42,24 +52,32 @@
 //!                   exit path end to end)
 //! ```
 //!
-//! Exit codes: `0` success, `1` failure (bad input, compile error,
-//! execution error, output mismatch), `2` success but *degraded* — one
-//! or more pipeline stages panicked and were rolled back, so the output
-//! is correct but possibly less optimized — or, under `--oracle`, a
-//! published PARALLEL claim contradicted by an observed dependence.
-//! `--strict` turns `2` into `1` for CI gates that want full
-//! optimization or nothing.
+//! Exit codes, uniform across `--oracle`, `--verify` and `--lint`:
+//!
+//! * `0` — success: compiled cleanly, nothing flagged.
+//! * `1` — *degraded* (a pipeline stage rolled back, or lint warnings),
+//!   or a hard failure (bad input, compile error, execution error,
+//!   output mismatch).
+//! * `2` — *violation*: an invariant violation caught by the inter-pass
+//!   verifier, an `--oracle` PARALLEL claim contradicted by an observed
+//!   dependence, a static-clean/oracle-violating agreement soundness
+//!   failure, or a lint error. Violations exit 2 with or without
+//!   `--strict`.
+//!
+//! `--strict` escalates the degraded exit from `1` to `2` for CI gates
+//! that want full optimization or nothing.
 
 use polaris::machine::Schedule;
 use polaris::{MachineConfig, PassOptions};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: polarisc [--vfa] [--report] [--diag] [--run] [--oracle] [--procs N] \
-                     [--exec-mode simulated|threaded] [--threads N] \
+const USAGE: &str = "usage: polarisc [--vfa] [--report] [--diag] [--run] [--oracle] [--verify] \
+                     [--lint] [--procs N] [--exec-mode simulated|threaded] [--threads N] \
                      [--fuel N] [--validate] [--profile] [--strict] [--quiet] \
                      [--trace PATH] [--metrics] [--clock monotonic|virtual] FILE.f";
 
-const EXIT_DEGRADED: u8 = 2;
+const EXIT_DEGRADED: u8 = 1;
+const EXIT_VIOLATION: u8 = 2;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -69,6 +87,8 @@ fn main() -> ExitCode {
     let mut diag = false;
     let mut run = false;
     let mut oracle = false;
+    let mut verify = false;
+    let mut lint = false;
     let mut validate = false;
     let mut profile = false;
     let mut strict = false;
@@ -89,6 +109,14 @@ fn main() -> ExitCode {
             "--run" => run = true,
             "--oracle" => {
                 oracle = true;
+                quiet = true;
+            }
+            "--verify" => {
+                verify = true;
+                quiet = true;
+            }
+            "--lint" => {
+                lint = true;
                 quiet = true;
             }
             "--validate" => validate = true,
@@ -366,7 +394,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut oracle_exit: Option<ExitCode> = None;
+    let mut audit_report = None;
     if oracle {
         let mut cfg = MachineConfig::serial();
         cfg.fuel = fuel;
@@ -378,24 +406,50 @@ fn main() -> ExitCode {
             }
         };
         println!("{}", audit.to_json());
-        if audit.has_violations() {
-            for v in audit.violations() {
+        for v in audit.violations() {
+            eprintln!(
+                "polarisc: ORACLE VIOLATION in {} ({} dependence on `{}`): {}",
+                v.label, v.dep.kind, v.dep.var, v.detail
+            );
+        }
+        audit_report = Some(audit);
+    }
+
+    let mut verify_violation = false;
+    if verify {
+        let v = polaris::verify::verify_compiled(&program, &rep);
+        v.record(&rec);
+        let agreement = match (&audit_report, &v.race) {
+            (Some(audit), Some(race)) => Some(polaris::verify::agreement(race, audit)),
+            _ => None,
+        };
+        println!("{}", v.to_json(agreement.as_ref()));
+        for violation in &v.final_violations {
+            eprintln!("polarisc: VERIFIER VIOLATION in emitted program: {violation}");
+        }
+        if let Some(a) = &agreement {
+            for label in &a.soundness_failures {
                 eprintln!(
-                    "polarisc: ORACLE VIOLATION in {} ({} dependence on `{}`): {}",
-                    v.label, v.dep.kind, v.dep.var, v.detail
+                    "polarisc: AGREEMENT SOUNDNESS FAILURE: static race detector said \
+                     `clean` for {label} but the oracle observed a dependence violation"
                 );
             }
-            oracle_exit = Some(if strict {
-                eprintln!("polarisc: soundness violation; failing under --strict");
-                ExitCode::FAILURE
-            } else {
-                ExitCode::from(EXIT_DEGRADED)
-            });
+            verify_violation |= !a.sound();
         }
+        verify_violation |= !v.ok();
+    }
+
+    let (mut lint_errors, mut lint_warnings) = (0, 0);
+    if lint {
+        let findings = polaris::verify::lint_program(&original, &source);
+        rec.count(polaris::obs::Counter::VerifyLintFindings, findings.findings.len() as u64);
+        print!("{}", findings.to_json());
+        lint_errors = findings.errors();
+        lint_warnings = findings.warnings();
     }
 
     // Emit the observability documents before the exit-code decisions so
-    // a degraded compile or an oracle violation still leaves a trace.
+    // a degraded compile or a violation still leaves a trace.
     if let Some(path) = &trace_path {
         if let Err(e) = std::fs::write(path, rec.chrome_trace_json()) {
             eprintln!("polarisc: cannot write trace {path}: {e}");
@@ -405,17 +459,40 @@ fn main() -> ExitCode {
     if metrics {
         println!("{}", rec.metrics_json());
     }
-    if let Some(code) = oracle_exit {
-        return code;
+
+    // Exit-code contract (uniform across --oracle/--verify/--lint):
+    // violations always exit 2; a degraded-but-sound result exits 1, or
+    // 2 under --strict; hard failures exited 1 above.
+    let oracle_violation = audit_report.as_ref().is_some_and(|a| a.has_violations());
+    let invariant_violation = rep.verify.violations > 0;
+    if oracle_violation || invariant_violation || verify_violation || lint_errors > 0 {
+        if invariant_violation {
+            eprintln!(
+                "polarisc: inter-pass verifier caught {} invariant violation(s) \
+                 (rolled back: {})",
+                rep.verify.violations,
+                rep.rolled_back_stages().join(", ")
+            );
+        }
+        if lint_errors > 0 {
+            eprintln!("polarisc: {lint_errors} lint error(s)");
+        }
+        return ExitCode::from(EXIT_VIOLATION);
     }
 
-    if rep.degraded() {
-        let rolled = rep.rolled_back_stages().join(", ");
-        if strict {
-            eprintln!("polarisc: pipeline degraded (rolled back: {rolled}); failing under --strict");
-            return ExitCode::FAILURE;
+    let degraded = rep.degraded() || lint_warnings > 0;
+    if degraded {
+        if rep.degraded() {
+            let rolled = rep.rolled_back_stages().join(", ");
+            eprintln!("polarisc: warning: pipeline degraded (rolled back: {rolled})");
         }
-        eprintln!("polarisc: warning: pipeline degraded (rolled back: {rolled})");
+        if lint_warnings > 0 {
+            eprintln!("polarisc: {lint_warnings} lint warning(s)");
+        }
+        if strict {
+            eprintln!("polarisc: degraded result escalated under --strict");
+            return ExitCode::from(EXIT_VIOLATION);
+        }
         return ExitCode::from(EXIT_DEGRADED);
     }
     ExitCode::SUCCESS

@@ -36,6 +36,7 @@
 //! | [`machine`] (`polaris-machine`) | §4 — the simulated multiprocessor and validation harness |
 //! | [`benchmarks`] (`polaris-benchmarks`) | §4.1 — the 16 Table-1 kernels plus TRACK |
 //! | [`obs`] (`polaris-obs`) | observability: spans, typed counters, chrome-trace / metrics export |
+//! | [`verify`] (`polaris-verify`) | verification: inter-pass invariant checking, static race detection, lints |
 
 pub mod fuzz;
 
@@ -46,6 +47,7 @@ pub use polaris_machine as machine;
 pub use polaris_obs as obs;
 pub use polaris_runtime as runtime;
 pub use polaris_symbolic as symbolic;
+pub use polaris_verify as verify;
 
 pub use polaris_core::{CompileReport, InductionMode, LoopReport, PassOptions};
 pub use polaris_ir::{CompileError, Program};

@@ -170,3 +170,74 @@ fn virtual_clock_metrics_match_golden_for_mdg_and_track() {
         check_golden(golden, &first);
     }
 }
+
+/// The `--verify` JSON report (schema `polaris-verify/v1`): invariant
+/// totals, static race verdicts, no rollbacks. Both kernels are clean,
+/// so the exit-0 assertion inside `polarisc` doubles as the pin on
+/// "clean program under --verify exits 0".
+#[test]
+fn verify_json_matches_golden_for_mdg_and_track() {
+    for (kern, golden) in [("mdg.f", "MDG.verify.json"), ("track.f", "TRACK.verify.json")] {
+        let (stdout, _) = polarisc(&["--verify", &kernel(kern)]);
+        check_golden(golden, &stdout);
+    }
+}
+
+/// The `--lint` JSON report (schema `polaris-verify/lint/v1`). Both
+/// kernels lint clean — zero findings is itself the interesting
+/// snapshot: a new lint that starts firing on them shows up as drift
+/// here before it ships.
+#[test]
+fn lint_json_matches_golden_for_mdg_and_track() {
+    for (kern, golden) in [("mdg.f", "MDG.lint.json"), ("track.f", "TRACK.lint.json")] {
+        let (stdout, _) = polarisc(&["--lint", &kernel(kern)]);
+        check_golden(golden, &stdout);
+    }
+}
+
+/// Pin the uniform exit-code contract across `--verify` / `--lint` /
+/// fault injection: 0 ok, 1 degraded, 2 violation, `--strict`
+/// escalating only the degraded case.
+#[test]
+fn exit_codes_are_uniform_across_verify_lint_and_faults() {
+    let dir = std::env::temp_dir().join("polarisc_exit_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let warn = dir.join("warn.f");
+    // Dead store: a lint *warning* → degraded (1), strict escalates (2).
+    std::fs::write(
+        &warn,
+        "program w\nreal a(10)\nt = 1.0\nt = 2.0\ndo i = 1, 10\n  a(i) = t\nend do\n\
+         print *, a(1)\nend\n",
+    )
+    .unwrap();
+    let bad = dir.join("bad.f");
+    // Constant out-of-bounds subscript: a lint *error* → violation (2),
+    // with or without --strict.
+    std::fs::write(
+        &bad,
+        "program b\nreal a(10)\ndo i = 1, 10\n  a(i) = 1.0\nend do\na(11) = 2.0\n\
+         print *, a(1)\nend\n",
+    )
+    .unwrap();
+    let code = |args: &[&str]| -> i32 {
+        Command::new(env!("CARGO_BIN_EXE_polarisc")).args(args).output().unwrap().status.code().unwrap()
+    };
+    let mdg = kernel("mdg.f");
+    let warn = warn.to_str().unwrap();
+    let bad = bad.to_str().unwrap();
+    for (args, want) in [
+        (vec!["--verify", mdg.as_str()], 0),
+        (vec!["--lint", mdg.as_str()], 0),
+        // panic fault → rollback → degraded 1; --strict escalates to 2
+        (vec!["--inject-fault", "dce", "--quiet", mdg.as_str()], 1),
+        (vec!["--inject-fault", "dce", "--strict", "--quiet", mdg.as_str()], 2),
+        (vec!["--inject-fault", "dce", "--verify", mdg.as_str()], 1),
+        (vec!["--lint", warn], 1),
+        (vec!["--lint", "--strict", warn], 2),
+        (vec!["--lint", bad], 2),
+        (vec!["--lint", "--strict", bad], 2),
+        (vec!["--verify", bad], 0),
+    ] {
+        assert_eq!(code(&args), want, "polarisc {args:?}");
+    }
+}
