@@ -1,0 +1,261 @@
+//! Load generator for the `polarisd` compile service: drives an
+//! in-process service instance with a multi-client request stream under
+//! *injected failures* (the same seeded chaos plan the conformance suite
+//! uses, at gentler rates) and reports end-to-end latency percentiles,
+//! cache hit rate, and the service's resilience counters as
+//! `BENCH_polarisd.json`.
+//!
+//! ```text
+//! polarisd_load [--json [PATH]] [--requests N] [--workers N] [--clients N] [--seed N]
+//!   --json [PATH]  write the machine-readable report (default PATH:
+//!                  BENCH_polarisd.json); always prints a human summary
+//! ```
+//!
+//! Exit code 1 if any served `ok`/`cached` response's checksum differs
+//! from an independent clean compile of the unit — the one result a
+//! resilient service is never allowed to get wrong, load or no load.
+
+use polaris_obs::Recorder;
+use polarisd::chaos::ChaosPlan;
+use polarisd::proto::{fnv1a, Request, Status};
+use polarisd::service::{Service, ServiceConfig};
+use std::collections::VecDeque;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const UNITS: usize = 8;
+
+fn unit_source(u: usize) -> String {
+    let n = 48 + u * 16;
+    format!(
+        "program load{u}\n\
+         real v({n})\n\
+         s = 0.0\n\
+         do i = 1, {n}\n\
+         \x20 v(i) = i * 2.0\n\
+         end do\n\
+         do i = 1, {n}\n\
+         \x20 s = s + v(i)\n\
+         end do\n\
+         print *, s\n\
+         end\n"
+    )
+}
+
+struct Args {
+    json: Option<String>,
+    requests: u64,
+    workers: usize,
+    clients: u64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { json: None, requests: 400, workers: 4, clients: 4, seed: 1 };
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                args.json = Some(match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().unwrap(),
+                    _ => "BENCH_polarisd.json".to_string(),
+                });
+            }
+            "--requests" => args.requests = num(it.next())?,
+            "--workers" => args.workers = num(it.next())? as usize,
+            "--clients" => args.clients = num(it.next())?.max(1),
+            "--seed" => args.seed = num(it.next())?,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn num(v: Option<String>) -> Result<u64, String> {
+    v.as_deref()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "expected a numeric argument".to_string())
+}
+
+fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as u64 * pct) / 100).min(sorted.len() as u64 - 1);
+    sorted[idx as usize]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("polarisd_load: {e}");
+            eprintln!(
+                "usage: polarisd_load [--json [PATH]] [--requests N] [--workers N] \
+                 [--clients N] [--seed N]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    // Independent clean compiles: the ground truth every served result
+    // is checked against.
+    let sources: Vec<String> = (0..UNITS).map(unit_source).collect();
+    let clean: Vec<u64> = sources
+        .iter()
+        .map(|src| {
+            let mut p = polaris_ir::parse(src).expect("corpus parses");
+            polaris_core::compile(&mut p, &polaris_core::PassOptions::polaris())
+                .expect("corpus compiles");
+            fnv1a(polaris_ir::printer::print_program(&p).as_bytes())
+        })
+        .collect();
+
+    let chaos = ChaosPlan::seeded(args.seed)
+        .with_panic_pct(5)
+        .with_corrupt_pct(3)
+        .with_stall(2, 10)
+        .with_kill_pct(1)
+        .with_poison_pct(5);
+    let cfg = ServiceConfig {
+        workers: args.workers.max(1),
+        queue_capacity: (args.workers.max(1) * 8).max(32),
+        ..ServiceConfig::default()
+    };
+    let service = Service::with_chaos(cfg, Recorder::disabled(), Arc::new(chaos));
+
+    // Closed-loop load at 2× worker concurrency: enough to keep every
+    // worker busy without flooding the queue into pure shedding.
+    let depth = (args.workers.max(1) * 2).max(4);
+    let mut latencies: Vec<u64> = Vec::with_capacity(args.requests as usize);
+    let mut counts = [0u64; 7]; // by Status discriminant order below
+    let mut mismatches = 0u64;
+    let mut window: VecDeque<(u64, Instant, polarisd::Ticket)> = VecDeque::new();
+    let started = Instant::now();
+
+    let settle = |(id, t0, ticket): (u64, Instant, polarisd::Ticket),
+                      latencies: &mut Vec<u64>,
+                      counts: &mut [u64; 7],
+                      mismatches: &mut u64| {
+        let resp = ticket
+            .wait_timeout(Duration::from_secs(60))
+            .unwrap_or_else(|| panic!("request {id} hung"));
+        latencies.push(t0.elapsed().as_micros() as u64);
+        let slot = match resp.status {
+            Status::Ok => 0,
+            Status::Cached => 1,
+            Status::Degraded => 2,
+            Status::Timeout => 3,
+            Status::Quarantined => 4,
+            Status::Rejected => 5,
+            Status::Error => 6,
+        };
+        counts[slot] += 1;
+        if matches!(resp.status, Status::Ok | Status::Cached)
+            && resp.checksum != Some(clean[(id % UNITS as u64) as usize])
+        {
+            eprintln!("CHECKSUM MISMATCH on request {id}: {resp:?}");
+            *mismatches += 1;
+        }
+    };
+
+    for id in 0..args.requests {
+        let req = Request {
+            id,
+            client: format!("c{}", id % args.clients),
+            vfa: false,
+            deadline_ms: None,
+            return_program: false,
+            source: sources[(id % UNITS as u64) as usize].clone(),
+        };
+        window.push_back((id, Instant::now(), service.submit(req)));
+        if window.len() >= depth {
+            let item = window.pop_front().unwrap();
+            settle(item, &mut latencies, &mut counts, &mut mismatches);
+        }
+    }
+    for item in std::mem::take(&mut window) {
+        settle(item, &mut latencies, &mut counts, &mut mismatches);
+    }
+    let wall = started.elapsed();
+    let stats = service.shutdown();
+
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 50);
+    let p99 = percentile(&latencies, 99);
+    let max = latencies.last().copied().unwrap_or(0);
+    let lookups = stats.cache_hits + stats.cache_misses;
+    let hit_rate = if lookups == 0 { 0.0 } else { stats.cache_hits as f64 / lookups as f64 };
+    let throughput = args.requests as f64 / wall.as_secs_f64().max(1e-9);
+
+    println!(
+        "polarisd_load: {} requests, {} workers, {} clients, seed {}",
+        args.requests, args.workers, args.clients, args.seed
+    );
+    println!(
+        "  latency p50 {p50}us  p99 {p99}us  max {max}us   throughput {throughput:.0} req/s"
+    );
+    println!(
+        "  cache hit rate {:.1}%   retries {}  respawns {}  shed {}  poison purged {}",
+        hit_rate * 100.0,
+        stats.retries,
+        stats.respawns,
+        stats.shed,
+        stats.poison_purged
+    );
+    println!("  checksum mismatches: {mismatches}");
+
+    if let Some(path) = &args.json {
+        let status_names =
+            ["ok", "cached", "degraded", "timeout", "quarantined", "rejected", "error"];
+        let statuses = status_names
+            .iter()
+            .zip(counts.iter())
+            .map(|(n, c)| format!("\"{n}\": {c}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let doc = format!(
+            "{{\n  \"schema\": \"polaris-bench/polarisd/v1\",\n  \
+             \"requests\": {},\n  \"workers\": {},\n  \"clients\": {},\n  \
+             \"seed\": {},\n  \"wall_ms\": {},\n  \"throughput_rps\": {:.1},\n  \
+             \"latency_us\": {{\"p50\": {p50}, \"p99\": {p99}, \"max\": {max}}},\n  \
+             \"cache_hit_rate\": {:.4},\n  \"checksum_mismatches\": {mismatches},\n  \
+             \"statuses\": {{{statuses}}},\n  \
+             \"service\": {{\"accepted\": {}, \"answered\": {}, \"shed\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"poison_purged\": {}, \
+             \"retries\": {}, \"deadline_cancels\": {}, \"quarantined\": {}, \
+             \"probes\": {}, \"recovered\": {}, \"respawns\": {}}}\n}}\n",
+            args.requests,
+            args.workers,
+            args.clients,
+            args.seed,
+            wall.as_millis(),
+            throughput,
+            hit_rate,
+            stats.accepted,
+            stats.answered,
+            stats.shed,
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.poison_purged,
+            stats.retries,
+            stats.deadline_cancels,
+            stats.quarantined,
+            stats.probes,
+            stats.recovered,
+            stats.respawns,
+        );
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("polarisd_load: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  wrote {path}");
+    }
+
+    if mismatches > 0 {
+        eprintln!("polarisd_load: {mismatches} wrong-checksum responses — FAILING");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

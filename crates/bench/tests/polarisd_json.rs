@@ -1,0 +1,243 @@
+//! `polarisd_load --json` must emit a well-formed, schema-stable
+//! `BENCH_polarisd.json`. Like `figure7_json.rs`, the workspace has no
+//! JSON dependency, so the document is validated with a small strict
+//! grammar checker plus key-presence assertions on the
+//! `polaris-bench/polarisd/v1` schema.
+
+use std::process::Command;
+
+/// Minimal strict JSON well-formedness checker (objects, arrays,
+/// strings, numbers, no trailing commas, full-input consumption).
+struct Json<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Json<'a> {
+    fn check(text: &'a str) -> Result<(), String> {
+        let mut p = Json { s: text.as_bytes(), i: 0 };
+        p.ws();
+        p.value()?;
+        p.ws();
+        if p.i != p.s.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(())
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b'n') => self.literal("null"),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    let esc = self.peek().ok_or("dangling escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                        b'u' => {
+                            for _ in 0..4 {
+                                let h = self.peek().ok_or("short \\u escape")?;
+                                if !h.is_ascii_hexdigit() {
+                                    return Err(format!("bad \\u escape at byte {}", self.i));
+                                }
+                                self.i += 1;
+                            }
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                }
+                _ => {}
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Json| {
+            let before = p.i;
+            while p.peek().is_some_and(|c| c.is_ascii_digit()) {
+                p.i += 1;
+            }
+            p.i > before
+        };
+        if !digits(self) {
+            return Err(format!("bad number at byte {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !digits(self) {
+                return Err(format!("bad fraction at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.i += 1;
+            }
+            if !digits(self) {
+                return Err(format!("bad exponent at byte {start}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn polarisd_json_is_well_formed_and_schema_complete() {
+    let dir = std::env::temp_dir().join("polarisd_json_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_polarisd.json");
+    let _ = std::fs::remove_file(&path);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_polarisd_load"))
+        .args(["--json", path.to_str().unwrap(), "--requests", "80", "--workers", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "polarisd_load failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let doc = std::fs::read_to_string(&path).unwrap();
+    Json::check(&doc).unwrap_or_else(|e| panic!("malformed JSON: {e}\n--- document ---\n{doc}"));
+
+    for key in [
+        "\"schema\": \"polaris-bench/polarisd/v1\"",
+        "\"requests\": 80",
+        "\"workers\": 2",
+        "\"clients\":",
+        "\"seed\":",
+        "\"wall_ms\":",
+        "\"throughput_rps\":",
+        "\"latency_us\":",
+        "\"p50\":",
+        "\"p99\":",
+        "\"max\":",
+        "\"cache_hit_rate\":",
+        // The invariant the load test exists to witness: zero wrong
+        // checksums, even under injected failures.
+        "\"checksum_mismatches\": 0",
+        "\"statuses\":",
+        "\"ok\":",
+        "\"cached\":",
+        "\"degraded\":",
+        "\"service\":",
+        "\"accepted\": 80",
+        "\"answered\": 80",
+        "\"shed\":",
+        "\"cache_hits\":",
+        "\"poison_purged\":",
+        "\"retries\":",
+        "\"deadline_cancels\":",
+        "\"quarantined\":",
+        "\"probes\":",
+        "\"recovered\":",
+        "\"respawns\":",
+    ] {
+        assert!(doc.contains(key), "missing `{key}` in:\n{doc}");
+    }
+}
+
+#[test]
+fn polarisd_load_rejects_unknown_flags() {
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_polarisd_load")).args(["--bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+}

@@ -9,7 +9,7 @@
 use polaris_benchmarks::{all, track};
 use polaris_core::pipeline::{FaultPlan, STAGE_NAMES};
 use polaris_core::{compile, PassOptions, StageOutcome};
-use polaris_machine::{run, run_serial, MachineConfig};
+use polaris_machine::{run, run_serial, MachineConfig, Schedule};
 
 #[test]
 fn every_stage_fault_degrades_gracefully_on_every_kernel() {
@@ -47,6 +47,42 @@ fn every_stage_fault_degrades_gracefully_on_every_kernel() {
                 "{}: output diverged after fault in {stage}",
                 b.name
             );
+        }
+    }
+}
+
+/// The same 8-stage × 17-kernel sweep under the *real-thread* execution
+/// backend. A degraded program handed to worker threads must either run
+/// to serial-identical checksums (the tree-merged reductions make the
+/// comparison exact) or fail with a clean `MachineError` — the
+/// documented exit-code-1 fallback — never a panic, a hang, or a wrong
+/// answer.
+#[test]
+fn every_stage_fault_degrades_gracefully_under_threaded_execution() {
+    for b in all().into_iter().chain([track()]) {
+        let reference = run_serial(&b.program()).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        for stage in STAGE_NAMES {
+            let opts = PassOptions::polaris().with_faults(FaultPlan::panic_in(stage));
+            let mut p = b.program();
+            let report = compile(&mut p, &opts).unwrap_or_else(|e| {
+                panic!("{}: fault in {stage} escaped the pipeline: {e}", b.name)
+            });
+            assert!(report.degraded(), "{}: report not degraded for {stage}", b.name);
+            polaris_ir::validate::validate_program(&p)
+                .unwrap_or_else(|e| panic!("{}: invalid IR after fault in {stage}: {e}", b.name));
+
+            match run(&p, &MachineConfig::threaded(4, Schedule::Static)) {
+                Ok(threaded) => assert_eq!(
+                    reference.output, threaded.output,
+                    "{}: threaded output diverged after fault in {stage}",
+                    b.name
+                ),
+                // Clean fallback: a typed machine error (exit code 1 at
+                // the CLI), never a wrong answer. Nothing in the current
+                // suite takes this path, but it is the documented
+                // contract for degraded programs the backend rejects.
+                Err(e) => eprintln!("{}: clean threaded fallback after {stage}: {e}", b.name),
+            }
         }
     }
 }

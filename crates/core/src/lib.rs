@@ -41,8 +41,8 @@ pub use ddtest::DdStats;
 pub use deps::LoopReport;
 pub use induction::InductionMode;
 pub use pipeline::{
-    CorruptKind, FaultKind, FaultPlan, Pipeline, StageOutcome, StageReport, VerifyStats,
-    STAGE_NAMES,
+    CancelToken, CorruptKind, FaultKind, FaultPlan, Pipeline, StageOutcome, StageReport,
+    VerifyStats, CANCELLED_PREFIX, STAGE_NAMES,
 };
 
 use polaris_ir::error::Result;
@@ -230,6 +230,19 @@ pub fn parse_and_compile_recorded(
     let mut program = polaris_ir::parse(source)?;
     let report = compile_recorded(&mut program, opts, rec)?;
     Ok((program, report))
+}
+
+/// [`compile_recorded`] with a [`CancelToken`] checked at every stage
+/// boundary — the entry point a deadline watchdog (e.g. `polarisd`) uses.
+/// Stages not yet started when the token fires report as rolled back with
+/// a [`CANCELLED_PREFIX`] reason; the program stays well-formed.
+pub fn compile_cancellable(
+    program: &mut Program,
+    opts: &PassOptions,
+    rec: &polaris_obs::Recorder,
+    cancel: &CancelToken,
+) -> Result<CompileReport> {
+    Pipeline::standard(opts).run_cancellable(program, opts, rec, cancel)
 }
 
 #[cfg(test)]

@@ -87,6 +87,11 @@ pub enum FaultKind {
     /// Let the stage complete, then silently damage its output IR — the
     /// post-stage verifier, not the unwinder, must catch this one.
     Corrupt(CorruptKind),
+    /// Sleep for this many milliseconds before the stage body runs: a
+    /// deterministic stand-in for a pathological unit that blows a wall
+    /// deadline. The stage then completes normally; a watchdog firing a
+    /// [`CancelToken`] is what turns the stall into a degraded compile.
+    Stall(u64),
 }
 
 /// The specific IR damage a [`FaultKind::Corrupt`] point inflicts,
@@ -157,6 +162,23 @@ impl FaultPlan {
         }
     }
 
+    /// Stall for `millis` before `stage` runs (deterministic deadline blow).
+    pub fn stall_in(stage: impl Into<String>, millis: u64) -> FaultPlan {
+        FaultPlan {
+            points: vec![FaultPoint {
+                stage: stage.into(),
+                unit: None,
+                kind: FaultKind::Stall(millis),
+            }],
+        }
+    }
+
+    /// Add an arbitrary fault point.
+    pub fn and_point(mut self, point: FaultPoint) -> FaultPlan {
+        self.points.push(point);
+        self
+    }
+
     /// Add a further fault point.
     pub fn and_panic_in(mut self, stage: impl Into<String>) -> FaultPlan {
         self.points.push(FaultPoint { stage: stage.into(), unit: None, kind: FaultKind::Panic });
@@ -177,17 +199,22 @@ impl FaultPlan {
         })
     }
 
-    /// Panic if a [`FaultKind::Panic`] point is armed for this stage
-    /// (called inside the pipeline's `catch_unwind` region, so the panic
-    /// becomes a rollback).
+    /// Fire the point armed for this stage, if any: a [`FaultKind::Panic`]
+    /// point panics (called inside the pipeline's `catch_unwind` region,
+    /// so the panic becomes a rollback); a [`FaultKind::Stall`] point
+    /// sleeps, simulating a pathological stage a deadline watchdog must
+    /// cancel around.
     pub fn fire(&self, stage: &str, program: &Program) {
         if let Some(point) = self.armed_for(stage, program) {
-            if point.kind != FaultKind::Panic {
-                return;
-            }
-            match &point.unit {
-                Some(unit) => panic!("injected fault: stage `{stage}` on unit `{unit}`"),
-                None => panic!("injected fault: stage `{stage}`"),
+            match point.kind {
+                FaultKind::Corrupt(_) => {}
+                FaultKind::Stall(millis) => {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                FaultKind::Panic => match &point.unit {
+                    Some(unit) => panic!("injected fault: stage `{stage}` on unit `{unit}`"),
+                    None => panic!("injected fault: stage `{stage}`"),
+                },
             }
         }
     }
@@ -280,6 +307,60 @@ fn apply_corruption(kind: CorruptKind, program: &mut Program) {
     }
 }
 
+/// Cooperative cancellation for an in-flight compile. Cloned handles share
+/// one flag; any holder (typically a deadline watchdog on another thread)
+/// can [`cancel`](CancelToken::cancel) it, and the pipeline checks the flag
+/// at every stage boundary. Cancellation is *cooperative*: the stage that
+/// is currently running finishes (or rolls back) normally, and every stage
+/// not yet started reports [`StageOutcome::RolledBack`] with a
+/// `cancelled: …` reason — the program stays well-formed and the compile
+/// classifies as degraded, never as a hang or an abort.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: std::sync::Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: std::sync::atomic::AtomicBool,
+    reason: std::sync::Mutex<Option<String>>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. The first caller's reason wins; later calls
+    /// are no-ops.
+    pub fn cancel(&self, reason: impl Into<String>) {
+        let mut slot = match self.inner.reason.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if !self.inner.cancelled.swap(true, std::sync::atomic::Ordering::SeqCst) {
+            *slot = Some(reason.into());
+        }
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// The first cancellation reason, if cancelled.
+    pub fn reason(&self) -> Option<String> {
+        match self.inner.reason.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        }
+    }
+}
+
+/// Prefix of the rollback reason recorded for stages skipped by a
+/// [`CancelToken`]; callers classify deadline-degraded compiles by it.
+pub const CANCELLED_PREFIX: &str = "cancelled: ";
+
 type StageFn = fn(&mut Program, &PassOptions, &mut CompileReport, &Recorder) -> Result<()>;
 
 struct Stage {
@@ -332,6 +413,22 @@ impl Pipeline {
         opts: &PassOptions,
         rec: &Recorder,
     ) -> Result<CompileReport> {
+        self.run_cancellable(program, opts, rec, &CancelToken::new())
+    }
+
+    /// [`Pipeline::run_recorded`] with a [`CancelToken`] checked at every
+    /// stage boundary. Once the token fires, each remaining enabled stage
+    /// is recorded as `RolledBack` with reason
+    /// `cancelled: <token reason>` and the program is left exactly as the
+    /// last completed stage produced it (still validated, still
+    /// well-formed). This is the hook `polarisd`'s deadline watchdog uses.
+    pub fn run_cancellable(
+        &self,
+        program: &mut Program,
+        opts: &PassOptions,
+        rec: &Recorder,
+        cancel: &CancelToken,
+    ) -> Result<CompileReport> {
         polaris_ir::validate::validate_program(program)?;
         let mut report = CompileReport::default();
         let compile_span = rec.span("compile", "compile");
@@ -341,6 +438,18 @@ impl Pipeline {
         let mut verify = VerifyStats::default();
 
         for stage in &self.stages {
+            if stage.enabled && cancel.is_cancelled() {
+                let why = cancel.reason().unwrap_or_else(|| "cancelled".into());
+                report.stages.push(StageReport {
+                    name: stage.name,
+                    outcome: StageOutcome::RolledBack {
+                        reason: format!("{CANCELLED_PREFIX}{why}"),
+                    },
+                    duration: Duration::ZERO,
+                    ir_delta: 0,
+                });
+                continue;
+            }
             if !stage.enabled {
                 report.stages.push(StageReport {
                     name: stage.name,
@@ -918,5 +1027,92 @@ mod tests {
         assert!(plan.armed_for("analyze", &program).is_some());
         assert!(plan.armed_for("inline", &program).is_none());
         assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn pre_cancelled_token_rolls_back_every_enabled_stage() {
+        let cancel = CancelToken::new();
+        cancel.cancel("deadline exceeded before start");
+        assert!(cancel.is_cancelled());
+        let mut program = polaris_ir::parse(TRFD).unwrap();
+        let opts = PassOptions::polaris();
+        let report = Pipeline::standard(&opts)
+            .run_cancellable(&mut program, &opts, &polaris_obs::Recorder::disabled(), &cancel)
+            .unwrap();
+        assert_eq!(report.stages.len(), STAGE_NAMES.len());
+        for sr in &report.stages {
+            match &sr.outcome {
+                StageOutcome::RolledBack { reason } => {
+                    assert!(reason.starts_with(CANCELLED_PREFIX), "{reason}");
+                    assert!(reason.contains("deadline exceeded"), "{reason}");
+                }
+                other => panic!("stage `{}` not cancelled: {other:?}", sr.name),
+            }
+        }
+        assert!(report.degraded());
+        // The untouched input is still well-formed.
+        polaris_ir::validate::validate_program(&program).unwrap();
+    }
+
+    #[test]
+    fn mid_pipeline_cancel_keeps_completed_stages_and_skips_the_rest() {
+        // A watchdog thread fires the token while a stalled stage runs:
+        // stages before the stall complete, the stalled stage itself
+        // finishes (cancellation is cooperative), and everything after is
+        // rolled back as cancelled.
+        let cancel = CancelToken::new();
+        let watchdog = {
+            let cancel = cancel.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                cancel.cancel("deadline 20ms exceeded");
+            })
+        };
+        let opts =
+            PassOptions::polaris().with_faults(FaultPlan::stall_in("induction", 200));
+        let mut program = polaris_ir::parse(TRFD).unwrap();
+        let report = Pipeline::standard(&opts)
+            .run_cancellable(&mut program, &opts, &polaris_obs::Recorder::disabled(), &cancel)
+            .unwrap();
+        watchdog.join().unwrap();
+
+        for name in ["inline", "constprop", "normalize", "induction"] {
+            assert!(
+                !report.stage(name).unwrap().rolled_back(),
+                "pre-cancel stage `{name}` should have completed: {:?}",
+                report.stage(name).unwrap()
+            );
+        }
+        for name in ["constprop-fold", "dce", "reduction", "analyze"] {
+            match &report.stage(name).unwrap().outcome {
+                StageOutcome::RolledBack { reason } => {
+                    assert!(reason.starts_with(CANCELLED_PREFIX), "{name}: {reason}")
+                }
+                other => panic!("post-cancel stage `{name}` ran: {other:?}"),
+            }
+        }
+        assert!(report.degraded());
+        polaris_ir::validate::validate_program(&program).unwrap();
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let cancel = CancelToken::new();
+        let mut program = polaris_ir::parse(TRFD).unwrap();
+        let opts = PassOptions::polaris();
+        let report = Pipeline::standard(&opts)
+            .run_cancellable(&mut program, &opts, &polaris_obs::Recorder::disabled(), &cancel)
+            .unwrap();
+        assert!(!report.degraded());
+        assert_eq!(report.parallel_loops(), 3);
+        assert_eq!(cancel.reason(), None);
+    }
+
+    #[test]
+    fn cancel_first_reason_wins() {
+        let cancel = CancelToken::new();
+        cancel.cancel("first");
+        cancel.cancel("second");
+        assert_eq!(cancel.reason().as_deref(), Some("first"));
     }
 }

@@ -67,16 +67,43 @@ pub struct ThreadPool {
 impl ThreadPool {
     pub fn new(threads: usize) -> ThreadPool {
         let (tx, rx) = mpsc::channel::<Job>();
+        ThreadPool::start(threads, tx, Arc::new(Mutex::new(rx)))
+    }
+
+    /// A pool whose queue lock is already poisoned when the workers first
+    /// touch it — the state a panic-while-holding-the-lock leaves behind.
+    /// Test hook for the poisoned-lock recovery path in the worker loop.
+    #[doc(hidden)]
+    pub fn new_with_poisoned_queue_lock(threads: usize) -> ThreadPool {
+        let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
+        let poisoner = Arc::clone(&rx);
+        let t = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("injected: poison the pool queue lock");
+        });
+        assert!(t.join().is_err(), "poisoning thread must have panicked");
+        ThreadPool::start(threads, tx, rx)
+    }
+
+    fn start(threads: usize, tx: mpsc::Sender<Job>, rx: Arc<Mutex<mpsc::Receiver<Job>>>) -> ThreadPool {
         let workers = (0..threads.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 std::thread::Builder::new()
                     .name(format!("polaris-worker-{i}"))
                     .spawn(move || loop {
+                        // A panic while the lock is held (a job that
+                        // unwinds between recv and release, or a poison
+                        // injected by a test) poisons the mutex for every
+                        // worker. The receiver itself is still intact —
+                        // poisoning only records that *some* thread
+                        // panicked — so recover the guard instead of
+                        // dying, or the pool silently shrinks one worker
+                        // per poison until submits hang forever.
                         let job = match rx.lock() {
                             Ok(guard) => guard.recv(),
-                            Err(_) => return, // a job panicked while holding the lock
+                            Err(poisoned) => poisoned.into_inner().recv(),
                         };
                         match job {
                             Ok(job) => {
@@ -974,5 +1001,42 @@ mod tests {
         }));
         let sum: i32 = rx.iter().take(2).sum();
         assert_eq!(sum, 42);
+    }
+
+    /// Regression for the silent worker death: a panic while holding the
+    /// queue lock poisons the mutex, and workers used to `return` on the
+    /// poisoned `lock()`, permanently shrinking the pool (here: to zero,
+    /// since every worker sees the poison on its first acquisition).
+    /// Recovery means *both* workers of a 2-thread pool must still be
+    /// alive — proven by a barrier job pair that only completes if two
+    /// workers pick up jobs concurrently.
+    #[test]
+    fn pool_keeps_capacity_after_panic_while_holding_queue_lock() {
+        use std::sync::Barrier;
+        use std::time::Duration;
+
+        let pool = ThreadPool::new_with_poisoned_queue_lock(2);
+
+        let barrier = Arc::new(Barrier::new(2));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..2 {
+            let barrier = Arc::clone(&barrier);
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                // Blocks until the *other* worker arrives: a pool that
+                // lost a worker to the poisoned lock deadlocks here and
+                // the recv_timeout below catches it.
+                barrier.wait();
+                tx.send(21).unwrap();
+            }));
+        }
+        let mut sum = 0;
+        for _ in 0..2 {
+            sum += rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("pool lost a worker after the poisoned lock");
+        }
+        assert_eq!(sum, 42);
+        assert_eq!(pool.threads(), 2);
     }
 }

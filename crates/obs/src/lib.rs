@@ -134,6 +134,30 @@ pub enum Counter {
     VerifyRacePotentialRace,
     /// Findings emitted by the `--lint` suite (all severities).
     VerifyLintFindings,
+    /// Requests admitted into the `polarisd` service queue.
+    PolarisdAccepted,
+    /// Responses sent (every accepted request gets exactly one).
+    PolarisdAnswered,
+    /// Requests shed by admission control (bounded queue, shed-oldest).
+    PolarisdShed,
+    /// Compile-cache hits served without touching the pipeline.
+    PolarisdCacheHits,
+    /// Compile-cache misses (fresh compiles).
+    PolarisdCacheMisses,
+    /// Poisoned cache entries detected by integrity check and purged.
+    PolarisdCachePoisonPurged,
+    /// Transient-failure retries (attempt 2+), after backoff.
+    PolarisdRetries,
+    /// Compiles cancelled by the deadline watchdog.
+    PolarisdDeadlineCancels,
+    /// Circuit-breaker transitions into quarantine (Closed/HalfOpen → Open).
+    PolarisdQuarantined,
+    /// Half-open probe compiles attempted for quarantined units.
+    PolarisdProbes,
+    /// Quarantined units recovered via a successful half-open probe.
+    PolarisdRecovered,
+    /// Service workers respawned after dying mid-request.
+    PolarisdWorkerRespawns,
 }
 
 impl Counter {
@@ -173,6 +197,18 @@ impl Counter {
             Counter::VerifyRaceNeedsPrivatization => "verify.race.needs_privatization",
             Counter::VerifyRacePotentialRace => "verify.race.potential_race",
             Counter::VerifyLintFindings => "verify.lint.findings",
+            Counter::PolarisdAccepted => "polarisd.requests.accepted",
+            Counter::PolarisdAnswered => "polarisd.requests.answered",
+            Counter::PolarisdShed => "polarisd.requests.shed",
+            Counter::PolarisdCacheHits => "polarisd.cache.hits",
+            Counter::PolarisdCacheMisses => "polarisd.cache.misses",
+            Counter::PolarisdCachePoisonPurged => "polarisd.cache.poison_purged",
+            Counter::PolarisdRetries => "polarisd.retry.attempts",
+            Counter::PolarisdDeadlineCancels => "polarisd.deadline.cancels",
+            Counter::PolarisdQuarantined => "polarisd.breaker.quarantined",
+            Counter::PolarisdProbes => "polarisd.breaker.probes",
+            Counter::PolarisdRecovered => "polarisd.breaker.recovered",
+            Counter::PolarisdWorkerRespawns => "polarisd.workers.respawned",
         }
     }
 }
@@ -759,6 +795,24 @@ mod tests {
             Counter::LrpdPass,
             Counter::LrpdFail,
             Counter::OracleViolations,
+            Counter::VerifyInvariantChecks,
+            Counter::VerifyInvariantViolations,
+            Counter::VerifyRaceClean,
+            Counter::VerifyRaceNeedsPrivatization,
+            Counter::VerifyRacePotentialRace,
+            Counter::VerifyLintFindings,
+            Counter::PolarisdAccepted,
+            Counter::PolarisdAnswered,
+            Counter::PolarisdShed,
+            Counter::PolarisdCacheHits,
+            Counter::PolarisdCacheMisses,
+            Counter::PolarisdCachePoisonPurged,
+            Counter::PolarisdRetries,
+            Counter::PolarisdDeadlineCancels,
+            Counter::PolarisdQuarantined,
+            Counter::PolarisdProbes,
+            Counter::PolarisdRecovered,
+            Counter::PolarisdWorkerRespawns,
         ];
         let names: std::collections::BTreeSet<&str> = all.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), all.len());

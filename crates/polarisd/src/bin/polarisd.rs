@@ -1,0 +1,166 @@
+//! The `polarisd` daemon: JSON-lines (`polarisd/v1`) over stdin/stdout,
+//! plus an optional localhost TCP listener.
+//!
+//! ```text
+//! polarisd [--workers N] [--queue N] [--deadline-ms MS] [--listen ADDR] [--stdio]
+//! ```
+//!
+//! With `--listen 127.0.0.1:0` the chosen address is announced on stdout
+//! as `listening on <addr>` before requests are served. Each request line
+//! is answered by exactly one response line; responses may arrive out of
+//! submission order (they carry the request `id`).
+
+use polarisd::proto::{Request, Response, Status};
+use polarisd::service::{Service, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: polarisd [--workers N] [--queue N] [--deadline-ms MS] \
+         [--listen ADDR] [--stdio]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServiceConfig::default();
+    let mut listen: Option<String> = None;
+    let mut stdio = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                cfg.workers = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--queue" => {
+                cfg.queue_capacity =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--deadline-ms" => {
+                let ms: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.default_deadline = Some(Duration::from_millis(ms));
+            }
+            "--listen" => listen = Some(args.next().unwrap_or_else(|| usage())),
+            "--stdio" => stdio = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("polarisd: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    let service = Arc::new(Service::new(cfg));
+
+    match listen {
+        Some(addr) => serve_tcp(&service, &addr, stdio),
+        None => serve_stdio(&service),
+    }
+}
+
+/// Answer one already-parsed line: submit, wait, serialize.
+fn answer(service: &Service, line: &str) -> String {
+    let req = match Request::parse(line) {
+        Ok(req) => req,
+        Err(e) => {
+            // Not even parseable as a request envelope: answer on id 0 so
+            // the caller sees *something* rather than silence.
+            let mut resp = Response::empty(0, Status::Error);
+            resp.reason = Some(format!("bad request: {e}"));
+            return resp.to_json();
+        }
+    };
+    service.submit(req).wait().to_json()
+}
+
+/// stdin/stdout mode. Requests are answered concurrently (the service
+/// decides ordering); a writer thread serializes the output lines.
+fn serve_stdio(service: &Arc<Service>) {
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        for line in rx {
+            let mut out = stdout.lock();
+            let _ = writeln!(out, "{line}");
+            let _ = out.flush();
+        }
+    });
+    let mut joiners = Vec::new();
+    for line in std::io::stdin().lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let service = Arc::clone(service);
+        let tx = tx.clone();
+        joiners.push(std::thread::spawn(move || {
+            let _ = tx.send(answer(&service, &line));
+        }));
+    }
+    for j in joiners {
+        let _ = j.join();
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// TCP mode: one thread per connection, one thread per request within it.
+fn serve_tcp(service: &Arc<Service>, addr: &str, also_stdio: bool) {
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("polarisd: cannot listen on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let local = listener.local_addr().expect("listener has a local addr");
+    println!("listening on {local}");
+    let _ = std::io::stdout().flush();
+
+    if also_stdio {
+        let service = Arc::clone(service);
+        std::thread::spawn(move || serve_stdio(&service));
+    }
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(service);
+        std::thread::spawn(move || serve_conn(&service, stream));
+    }
+}
+
+fn serve_conn(service: &Arc<Service>, stream: TcpStream) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<String>();
+    let mut write_half = stream;
+    let writer = std::thread::spawn(move || {
+        for line in rx {
+            if writeln!(write_half, "{line}").is_err() {
+                break;
+            }
+            let _ = write_half.flush();
+        }
+    });
+    let mut joiners = Vec::new();
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let service = Arc::clone(service);
+        let tx = tx.clone();
+        joiners.push(std::thread::spawn(move || {
+            let _ = tx.send(answer(&service, &line));
+        }));
+    }
+    for j in joiners {
+        let _ = j.join();
+    }
+    drop(tx);
+    let _ = writer.join();
+}

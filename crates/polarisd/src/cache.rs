@@ -1,0 +1,153 @@
+//! Content-hash compile cache with poisoned-entry invalidation.
+//!
+//! Keys are the FNV-1a hash of the request source text mixed with the
+//! pass configuration (the same unit compiled as `polaris` and as `vfa`
+//! are different entries). Only *clean* compiles — full pipeline, zero
+//! rolled-back stages, zero verifier violations — are ever inserted:
+//! caching a degraded result would let a transient fault outlive itself.
+//!
+//! Every read re-derives the entry's integrity hash from the stored
+//! program text and compares it to the checksum recorded at insert time.
+//! A mismatch means the entry was poisoned (bit rot, a buggy writer, or
+//! the chaos harness); the entry is purged on the spot and the caller
+//! recompiles. A poisoned entry is **never** served.
+
+use crate::proto::fnv1a;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// What a cached clean compile remembers — enough to answer a request
+/// without touching the pipeline.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The unparsed transformed program (annotated source).
+    pub program_text: String,
+    /// FNV-1a of `program_text` at insert time — the integrity hash.
+    pub checksum: u64,
+    pub parallel_loops: u64,
+}
+
+/// Outcome of a cache read.
+#[derive(Debug)]
+pub enum CacheOutcome {
+    Hit(CacheEntry),
+    /// An entry existed but failed its integrity check; it has been
+    /// purged and the caller must recompile.
+    Poisoned,
+    Miss,
+}
+
+#[derive(Default)]
+pub struct CompileCache {
+    map: Mutex<HashMap<u64, CacheEntry>>,
+}
+
+impl CompileCache {
+    pub fn new() -> CompileCache {
+        CompileCache::default()
+    }
+
+    /// Integrity-checked read: a hit whose stored text no longer hashes
+    /// to its recorded checksum is purged and reported as `Poisoned`.
+    pub fn get(&self, key: u64) -> CacheOutcome {
+        let mut map = lock(&self.map);
+        match map.get(&key) {
+            None => CacheOutcome::Miss,
+            Some(entry) if fnv1a(entry.program_text.as_bytes()) == entry.checksum => {
+                CacheOutcome::Hit(entry.clone())
+            }
+            Some(_) => {
+                map.remove(&key);
+                CacheOutcome::Poisoned
+            }
+        }
+    }
+
+    /// Record a clean compile. The checksum is derived here from the text
+    /// so entry and integrity hash cannot disagree at insert time.
+    pub fn insert(&self, key: u64, program_text: String, parallel_loops: u64) {
+        let checksum = fnv1a(program_text.as_bytes());
+        lock(&self.map).insert(key, CacheEntry { program_text, checksum, parallel_loops });
+    }
+
+    /// Drop an entry (e.g. after a later compile of the same unit fails
+    /// verification, casting doubt on what was cached).
+    pub fn purge(&self, key: u64) -> bool {
+        lock(&self.map).remove(&key).is_some()
+    }
+
+    /// Chaos hook: silently flip a byte of the stored program text so the
+    /// next read's integrity check must catch it. Returns false when the
+    /// key has no entry.
+    pub fn corrupt(&self, key: u64) -> bool {
+        let mut map = lock(&self.map);
+        match map.get_mut(&key) {
+            Some(entry) if !entry.program_text.is_empty() => {
+                // Replace the first byte with a different ASCII byte (safe
+                // for UTF-8: program text is ASCII F-Mini source).
+                let mut bytes = entry.program_text.clone().into_bytes();
+                bytes[0] = if bytes[0] == b'#' { b'%' } else { b'#' };
+                entry.program_text = String::from_utf8(bytes).expect("ascii flip");
+                true
+            }
+            _ => false,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        lock(&self.map).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Lock, recovering from poisoning: cache state is a plain map and every
+/// write is a single statement, so a panic between lock and unlock cannot
+/// leave it torn — recovery is always safe.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_and_miss_before() {
+        let cache = CompileCache::new();
+        assert!(matches!(cache.get(1), CacheOutcome::Miss));
+        cache.insert(1, "program t\nend\n".into(), 2);
+        match cache.get(1) {
+            CacheOutcome::Hit(e) => {
+                assert_eq!(e.parallel_loops, 2);
+                assert_eq!(e.checksum, fnv1a(b"program t\nend\n"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_entry_is_detected_purged_and_never_served() {
+        let cache = CompileCache::new();
+        cache.insert(9, "program t\nend\n".into(), 0);
+        assert!(cache.corrupt(9));
+        assert!(matches!(cache.get(9), CacheOutcome::Poisoned));
+        // purged: the poisoned bytes are gone, a re-read is a clean miss
+        assert!(matches!(cache.get(9), CacheOutcome::Miss));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn purge_is_idempotent() {
+        let cache = CompileCache::new();
+        cache.insert(5, "x".into(), 0);
+        assert!(cache.purge(5));
+        assert!(!cache.purge(5));
+        assert!(!cache.corrupt(5));
+    }
+}

@@ -1,0 +1,605 @@
+//! The `polarisd/v1` JSON-lines wire protocol.
+//!
+//! One request per line in, one response per line out, over stdin/stdout
+//! or a TCP connection. The workspace deliberately carries no JSON
+//! dependency (every exported document is hand-written), so this module
+//! hand-rolls the tiny parser/serializer the schema needs.
+//!
+//! Request:
+//!
+//! ```json
+//! {"id": 7, "client": "ci", "config": "polaris", "deadline_ms": 250,
+//!  "return_program": false, "source": "program t\n...\nend\n"}
+//! ```
+//!
+//! `id` and `source` are required; `client` defaults to `"anon"`,
+//! `config` to `"polaris"` (the only other value is `"vfa"`).
+//!
+//! Response (fields absent when not applicable):
+//!
+//! ```json
+//! {"schema": "polarisd/v1", "id": 7, "status": "ok", "exit_code": 0,
+//!  "attempts": 1, "cached": false, "checksum": "fnv1a:…",
+//!  "parallel_loops": 3, "degraded_stages": [], "reason": null,
+//!  "retry_after_ms": null, "program": null}
+//! ```
+//!
+//! Exit-code mapping (mirrors `polarisc`):
+//!
+//! | status | exit code |
+//! |---|---|
+//! | `ok`, `cached` | 0 |
+//! | `degraded`, `timeout`, `quarantined`, `rejected`, `error` | 1 |
+//! | `degraded` with invariant violations | 2 |
+
+use std::fmt;
+
+/// FNV-1a over raw bytes — the same checksum family the bench documents
+/// use for output fingerprints.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Render a checksum the way the bench documents do (`fnv1a:%016x`).
+pub fn checksum_str(h: u64) -> String {
+    format!("fnv1a:{h:016x}")
+}
+
+/// Response classification, ordered by the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Clean compile, full pipeline, zero violations.
+    Ok,
+    /// Served from the content-hash cache (integrity-checked on read).
+    Cached,
+    /// Compile finished with at least one stage rolled back (including
+    /// deadline cancellation of the remaining stages).
+    Degraded,
+    /// The request's deadline passed before a compile could even start.
+    Timeout,
+    /// Circuit breaker is open for this unit: served last diagnostics
+    /// without touching the pipeline.
+    Quarantined,
+    /// Not compiled: shed by admission control, dropped at shutdown, or
+    /// retries exhausted with nothing cached to serve.
+    Rejected,
+    /// Deterministic failure (parse/semantic error). Never retried.
+    Error,
+}
+
+impl Status {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Cached => "cached",
+            Status::Degraded => "degraded",
+            Status::Timeout => "timeout",
+            Status::Quarantined => "quarantined",
+            Status::Rejected => "rejected",
+            Status::Error => "error",
+        }
+    }
+
+    /// The baseline exit code for this status; a degraded compile with
+    /// verifier violations escalates 1 → 2 (the service does this when it
+    /// builds the response).
+    pub fn exit_code(self) -> u8 {
+        match self {
+            Status::Ok | Status::Cached => 0,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A parsed `polarisd/v1` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub id: u64,
+    pub client: String,
+    /// `true` = the VFA baseline configuration, else full Polaris.
+    pub vfa: bool,
+    pub deadline_ms: Option<u64>,
+    pub return_program: bool,
+    pub source: String,
+}
+
+impl Request {
+    /// Parse one JSON line. Errors name the offending field.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line)?;
+        let obj = v.as_obj().ok_or("request must be a JSON object")?;
+        let id = get(obj, "id")
+            .and_then(Json::as_u64)
+            .ok_or("request needs a numeric `id`")?;
+        let source = get(obj, "source")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string `source`")?
+            .to_string();
+        let client = get(obj, "client")
+            .and_then(Json::as_str)
+            .unwrap_or("anon")
+            .to_string();
+        let vfa = match get(obj, "config").and_then(Json::as_str) {
+            None | Some("polaris") => false,
+            Some("vfa") => true,
+            Some(other) => return Err(format!("unknown `config`: `{other}`")),
+        };
+        let deadline_ms = match get(obj, "deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or("`deadline_ms` must be a number")?),
+        };
+        let return_program = match get(obj, "return_program") {
+            None | Some(Json::Null) => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err("`return_program` must be a bool".into()),
+        };
+        Ok(Request { id, client, vfa, deadline_ms, return_program, source })
+    }
+
+    /// Serialize (the client side of the wire).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("{{\"id\": {}, \"client\": \"{}\"", self.id, escape(&self.client)));
+        s.push_str(&format!(
+            ", \"config\": \"{}\"",
+            if self.vfa { "vfa" } else { "polaris" }
+        ));
+        if let Some(ms) = self.deadline_ms {
+            s.push_str(&format!(", \"deadline_ms\": {ms}"));
+        }
+        if self.return_program {
+            s.push_str(", \"return_program\": true");
+        }
+        s.push_str(&format!(", \"source\": \"{}\"}}", escape(&self.source)));
+        s
+    }
+}
+
+/// A `polarisd/v1` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub id: u64,
+    pub status: Status,
+    pub exit_code: u8,
+    /// Compile attempts spent on this request (0 for cache hits, shed,
+    /// quarantine, and queue timeouts).
+    pub attempts: u32,
+    pub cached: bool,
+    /// FNV-1a of the unparsed transformed program, when one was produced.
+    pub checksum: Option<u64>,
+    pub parallel_loops: Option<u64>,
+    /// Rolled-back stage names (or stored breaker diagnostics for
+    /// `quarantined`).
+    pub degraded_stages: Vec<String>,
+    pub reason: Option<String>,
+    /// Backoff hint attached to shed/rejected/quarantined responses.
+    pub retry_after_ms: Option<u64>,
+    /// The annotated program text, when `return_program` was set and a
+    /// compile happened.
+    pub program: Option<String>,
+}
+
+impl Response {
+    /// A blank response scaffold for `id` with `status` and its mapped
+    /// exit code; callers fill in the fields the path produced.
+    pub fn empty(id: u64, status: Status) -> Response {
+        Response {
+            id,
+            status,
+            exit_code: status.exit_code(),
+            attempts: 0,
+            cached: false,
+            checksum: None,
+            parallel_loops: None,
+            degraded_stages: Vec::new(),
+            reason: None,
+            retry_after_ms: None,
+            program: None,
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{{\"schema\": \"polarisd/v1\", \"id\": {}, \"status\": \"{}\", \
+             \"exit_code\": {}, \"attempts\": {}, \"cached\": {}",
+            self.id, self.status, self.exit_code, self.attempts, self.cached
+        ));
+        match self.checksum {
+            Some(h) => s.push_str(&format!(", \"checksum\": \"{}\"", checksum_str(h))),
+            None => s.push_str(", \"checksum\": null"),
+        }
+        match self.parallel_loops {
+            Some(n) => s.push_str(&format!(", \"parallel_loops\": {n}")),
+            None => s.push_str(", \"parallel_loops\": null"),
+        }
+        s.push_str(", \"degraded_stages\": [");
+        for (i, d) in self.degraded_stages.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\"", escape(d)));
+        }
+        s.push(']');
+        match &self.reason {
+            Some(r) => s.push_str(&format!(", \"reason\": \"{}\"", escape(r))),
+            None => s.push_str(", \"reason\": null"),
+        }
+        match self.retry_after_ms {
+            Some(ms) => s.push_str(&format!(", \"retry_after_ms\": {ms}")),
+            None => s.push_str(", \"retry_after_ms\": null"),
+        }
+        match &self.program {
+            Some(p) => s.push_str(&format!(", \"program\": \"{}\"", escape(p))),
+            None => s.push_str(", \"program\": null"),
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse one response line (the client side of the wire).
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let v = Json::parse(line)?;
+        let obj = v.as_obj().ok_or("response must be a JSON object")?;
+        match get(obj, "schema").and_then(Json::as_str) {
+            Some("polarisd/v1") => {}
+            other => return Err(format!("unknown response schema: {other:?}")),
+        }
+        let status = match get(obj, "status").and_then(Json::as_str) {
+            Some("ok") => Status::Ok,
+            Some("cached") => Status::Cached,
+            Some("degraded") => Status::Degraded,
+            Some("timeout") => Status::Timeout,
+            Some("quarantined") => Status::Quarantined,
+            Some("rejected") => Status::Rejected,
+            Some("error") => Status::Error,
+            other => return Err(format!("unknown status: {other:?}")),
+        };
+        let checksum = match get(obj, "checksum") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let s = v.as_str().ok_or("`checksum` must be a string")?;
+                let hex = s.strip_prefix("fnv1a:").ok_or("checksum must be `fnv1a:…`")?;
+                Some(u64::from_str_radix(hex, 16).map_err(|e| format!("bad checksum: {e}"))?)
+            }
+        };
+        Ok(Response {
+            id: get(obj, "id").and_then(Json::as_u64).ok_or("response needs `id`")?,
+            status,
+            exit_code: get(obj, "exit_code")
+                .and_then(Json::as_u64)
+                .ok_or("response needs `exit_code`")? as u8,
+            attempts: get(obj, "attempts").and_then(Json::as_u64).unwrap_or(0) as u32,
+            cached: matches!(get(obj, "cached"), Some(Json::Bool(true))),
+            checksum,
+            parallel_loops: get(obj, "parallel_loops").and_then(Json::as_u64),
+            degraded_stages: match get(obj, "degraded_stages") {
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect(),
+                _ => Vec::new(),
+            },
+            reason: get(obj, "reason").and_then(Json::as_str).map(str::to_string),
+            retry_after_ms: get(obj, "retry_after_ms").and_then(Json::as_u64),
+            program: get(obj, "program").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A minimal JSON value — just enough for the `polarisd/v1` schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad keyword at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("bad \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // the byte stream is valid UTF-8 by construction).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                other => return Err(format!("expected `,` or `]`, got {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request {
+            id: 42,
+            client: "c\"1".into(),
+            vfa: true,
+            deadline_ms: Some(250),
+            return_program: true,
+            source: "program t\nend\n".into(),
+        };
+        let parsed = Request::parse(&req.to_json()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn request_defaults() {
+        let req = Request::parse(r#"{"id": 1, "source": "program t\nend\n"}"#).unwrap();
+        assert_eq!(req.client, "anon");
+        assert!(!req.vfa && !req.return_program);
+        assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
+    fn request_rejects_missing_fields_and_bad_config() {
+        assert!(Request::parse(r#"{"source": "x"}"#).unwrap_err().contains("id"));
+        assert!(Request::parse(r#"{"id": 1}"#).unwrap_err().contains("source"));
+        assert!(Request::parse(r#"{"id": 1, "source": "x", "config": "pfa"}"#)
+            .unwrap_err()
+            .contains("config"));
+        assert!(Request::parse("not json").is_err());
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response {
+            id: 7,
+            status: Status::Degraded,
+            exit_code: 1,
+            attempts: 3,
+            cached: false,
+            checksum: Some(0xdeadbeef),
+            parallel_loops: Some(2),
+            degraded_stages: vec!["dce".into()],
+            reason: Some("panic: injected".into()),
+            retry_after_ms: Some(30),
+            program: Some("program t\nend\n".into()),
+        };
+        let parsed = Response::parse(&resp.to_json()).unwrap();
+        assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn exit_code_mapping() {
+        assert_eq!(Status::Ok.exit_code(), 0);
+        assert_eq!(Status::Cached.exit_code(), 0);
+        for s in [Status::Degraded, Status::Timeout, Status::Quarantined, Status::Rejected, Status::Error] {
+            assert_eq!(s.exit_code(), 1, "{s}");
+        }
+    }
+
+    #[test]
+    fn checksum_format_matches_bench_documents() {
+        assert_eq!(checksum_str(0xab), "fnv1a:00000000000000ab");
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+    }
+}

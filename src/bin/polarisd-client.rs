@@ -1,0 +1,140 @@
+//! `polarisd-client` — a one-shot client for the `polarisd` compile
+//! service: read an F-Mini source file, submit it as a `polarisd/v1`
+//! request, print the response line, and exit with the response's
+//! `exit_code` (so shell scripts and CI gates see the same 0/1/2
+//! contract as `polarisc`).
+//!
+//! ```text
+//! polarisd-client [OPTIONS] FILE.f
+//!   --connect ADDR    send the request to a running `polarisd` TCP
+//!                     listener (e.g. 127.0.0.1:7878); without this the
+//!                     client spins up an in-process service, which is
+//!                     the zero-setup path for local use
+//!   --vfa             request the PFA-like baseline configuration
+//!   --deadline-ms MS  per-request wall deadline; a blown deadline comes
+//!                     back `degraded` (partial compile), never a hang
+//!   --client NAME     client identity for the service's per-client
+//!                     fair queueing (default "cli")
+//!   --id N            request id echoed in the response (default 1)
+//!   --return-program  include the annotated program text in the response
+//! ```
+//!
+//! Exit code = the response's `exit_code`: `0` for `ok`/`cached`, `1`
+//! for `degraded`/`timeout`/`quarantined`/`rejected`/`error`, `2` for a
+//! degraded compile with invariant violations. A transport failure
+//! (unreachable daemon, malformed response) also exits 1.
+
+use polarisd::proto::{Request, Response};
+use polarisd::service::{Service, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: polarisd-client [--connect ADDR] [--vfa] [--deadline-ms MS] \
+                     [--client NAME] [--id N] [--return-program] FILE.f";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut file: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut vfa = false;
+    let mut deadline_ms: Option<u64> = None;
+    let mut client = "cli".to_string();
+    let mut id = 1u64;
+    let mut return_program = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--connect" => match args.next() {
+                Some(addr) => connect = Some(addr),
+                None => return fail("--connect needs an address"),
+            },
+            "--vfa" => vfa = true,
+            "--deadline-ms" => {
+                deadline_ms = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(ms) => Some(ms),
+                    None => return fail("--deadline-ms needs a number"),
+                };
+            }
+            "--client" => match args.next() {
+                Some(name) => client = name,
+                None => return fail("--client needs a name"),
+            },
+            "--id" => {
+                id = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => return fail("--id needs a number"),
+                };
+            }
+            "--return-program" => return_program = true,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => file = Some(other.to_string()),
+            other => return fail(&format!("unknown option `{other}`")),
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {file}: {e}")),
+    };
+
+    let req = Request { id, client, vfa, deadline_ms, return_program, source };
+    let resp = match &connect {
+        Some(addr) => match over_tcp(addr, &req) {
+            Ok(r) => r,
+            Err(e) => return fail(&e),
+        },
+        None => in_process(req),
+    };
+    println!("{}", resp.to_json());
+    ExitCode::from(resp.exit_code)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("polarisd-client: {msg}");
+    ExitCode::FAILURE
+}
+
+/// One request over a live daemon's TCP listener.
+fn over_tcp(addr: &str, req: &Request) -> Result<Response, String> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer
+        .write_all(format!("{}\n", req.to_json()).as_bytes())
+        .and_then(|_| writer.flush())
+        .map_err(|e| format!("write to {addr} failed: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("read from {addr} failed: {e}"))?;
+    if line.trim().is_empty() {
+        return Err(format!("{addr} closed the connection without answering"));
+    }
+    Response::parse(line.trim()).map_err(|e| format!("malformed response: {e}"))
+}
+
+/// Zero-setup path: a short-lived in-process service with the default
+/// resilience stack (deadline watchdog, retry, breaker, cache).
+fn in_process(req: Request) -> Response {
+    let service = Service::new(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+    let id = req.id;
+    let resp = service
+        .submit(req)
+        .wait_timeout(Duration::from_secs(120))
+        .unwrap_or_else(|| {
+            // The service's own watchdog makes this unreachable short of a
+            // harness bug; answer in-protocol anyway.
+            let mut r = Response::empty(id, polarisd::proto::Status::Rejected);
+            r.reason = Some("client-side wait timed out".into());
+            r
+        });
+    service.shutdown();
+    resp
+}

@@ -37,6 +37,7 @@
 //! | [`benchmarks`] (`polaris-benchmarks`) | §4.1 — the 16 Table-1 kernels plus TRACK |
 //! | [`obs`] (`polaris-obs`) | observability: spans, typed counters, chrome-trace / metrics export |
 //! | [`verify`] (`polaris-verify`) | verification: inter-pass invariant checking, static race detection, lints |
+//! | [`daemon`] (`polarisd`) | the crash-only compile service: deadlines, retry, circuit-breaker quarantine |
 
 pub mod fuzz;
 
@@ -48,6 +49,7 @@ pub use polaris_obs as obs;
 pub use polaris_runtime as runtime;
 pub use polaris_symbolic as symbolic;
 pub use polaris_verify as verify;
+pub use polarisd as daemon;
 
 pub use polaris_core::{CompileReport, InductionMode, LoopReport, PassOptions};
 pub use polaris_ir::{CompileError, Program};
