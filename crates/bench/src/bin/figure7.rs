@@ -24,14 +24,17 @@
 //! ```
 
 use polaris_bench::{
-    bar, obs_breakdown, oracle_report, speedups, threaded_row, verify_row, ObsBreakdown,
-    SpeedupRow, ThreadedRow, VerifyRow,
+    bar, engine_row, obs_breakdown, oracle_report, speedups, threaded_row, verify_row,
+    EngineRow, ObsBreakdown, SpeedupRow, ThreadedRow, VerifyRow,
 };
 use polaris_core::PassOptions;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const SCHEMA: &str = "polaris-bench/figure7/v4";
+const SCHEMA: &str = "polaris-bench/figure7/v5";
+
+/// Serial-wall repetitions per engine for the v5 engine columns.
+const ENGINE_REPS: usize = 3;
 
 /// Dependence-oracle results aggregated over the kernels in the run:
 /// how often the compiler's serial verdicts are contradicted by the
@@ -151,49 +154,63 @@ fn main() -> ExitCode {
     println!("Figure 7: Speedup on 8 processors — Polaris vs VFA (PFA-like baseline)");
     println!();
     println!(
-        "{:<9} {:>8} {:>8} {:>11} {:>9}   0        2        4        6        8",
-        "Program", "Polaris", "VFA", "serial(ms)", "thr(ms)"
+        "{:<9} {:>8} {:>8} {:>11} {:>9} {:>7}   0        2        4        6        8",
+        "Program", "Polaris", "VFA", "serial(ms)", "thr(ms)", "vm(x)"
     );
-    println!("{:-<96}", "");
+    println!("{:-<104}", "");
     let mut wins_p = 0;
     let mut wins_v = 0;
-    let mut rows: Vec<(SpeedupRow, ThreadedRow, ObsBreakdown)> = Vec::new();
+    let mut rows: Vec<(SpeedupRow, ThreadedRow, ObsBreakdown, EngineRow)> = Vec::new();
     let mut oracle = OracleAgg::default();
     let mut verify = VerifyAgg::default();
     for b in &benches {
         let row = speedups(b, 8);
         let thr = threaded_row(b, threads);
         let obs = obs_breakdown(b, &PassOptions::polaris());
+        let eng = engine_row(b, ENGINE_REPS);
         oracle.add(&oracle_report(b));
         verify.add(&verify_row(b));
         println!(
-            "{:<9} {:>7.2}x {:>7.2}x {:>11.2} {:>9.2}   P|{}",
+            "{:<9} {:>7.2}x {:>7.2}x {:>11.2} {:>9.2} {:>6.2}x   P|{}",
             row.name,
             row.polaris,
             row.vfa,
             thr.serial_wall.as_secs_f64() * 1e3,
             thr.threaded_wall.as_secs_f64() * 1e3,
+            eng.vm_speedup(),
             bar(row.polaris, 8.0)
         );
-        println!("{:<9} {:>8} {:>8} {:>11} {:>9}   V|{}", "", "", "", "", "", bar(row.vfa, 8.0));
+        println!(
+            "{:<9} {:>8} {:>8} {:>11} {:>9} {:>7}   V|{}",
+            "", "", "", "", "", "",
+            bar(row.vfa, 8.0)
+        );
         if row.polaris > row.vfa * 1.02 {
             wins_p += 1;
         } else if row.vfa > row.polaris * 1.02 {
             wins_v += 1;
         }
-        rows.push((row, thr, obs));
+        rows.push((row, thr, obs, eng));
     }
-    println!("{:-<96}", "");
-    let geo = |f: &dyn Fn(&(SpeedupRow, ThreadedRow, ObsBreakdown)) -> f64| -> f64 {
+    println!("{:-<104}", "");
+    type Row = (SpeedupRow, ThreadedRow, ObsBreakdown, EngineRow);
+    let geo = |f: &dyn Fn(&Row) -> f64| -> f64 {
         (rows.iter().map(|r| f(r).ln()).sum::<f64>() / rows.len() as f64).exp()
     };
     let geo_polaris = geo(&|r| r.0.polaris);
     let geo_vfa = geo(&|r| r.0.vfa);
     let geo_real = geo(&|r| r.1.real_speedup());
+    let geo_engine = geo(&|r| r.3.vm_speedup());
     println!(
         "geometric mean: Polaris {geo_polaris:.2}x   VFA {geo_vfa:.2}x   \
-         real-thread wall {geo_real:.2}x"
+         real-thread wall {geo_real:.2}x   bytecode VM over tree-walker {geo_engine:.2}x"
     );
+    if geo_engine < 2.0 {
+        eprintln!(
+            "figure7: warning: bytecode VM geomean {geo_engine:.2}x is below the 2x \
+             floor the perf-trajectory gate enforces (debug build or loaded host?)"
+        );
+    }
     println!(
         "Polaris clearly ahead on {wins_p} of {total} codes; baseline ahead on {wins_v} \
          (paper: PFA ahead on 2)."
@@ -243,8 +260,9 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        let doc =
-            render_json(&rows, &oracle, &verify, threads, cores, geo_polaris, geo_vfa, geo_real);
+        let doc = render_json(
+            &rows, &oracle, &verify, threads, cores, geo_polaris, geo_vfa, geo_real, geo_engine,
+        );
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("figure7: cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -263,7 +281,7 @@ fn host_cores() -> usize {
 /// stable key order so diffs between trajectory files stay readable.
 #[allow(clippy::too_many_arguments)]
 fn render_json(
-    rows: &[(SpeedupRow, ThreadedRow, ObsBreakdown)],
+    rows: &[(SpeedupRow, ThreadedRow, ObsBreakdown, EngineRow)],
     oracle: &OracleAgg,
     verify: &VerifyAgg,
     threads: usize,
@@ -271,6 +289,7 @@ fn render_json(
     geo_polaris: f64,
     geo_vfa: f64,
     geo_real: f64,
+    geo_engine: f64,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -279,7 +298,7 @@ fn render_json(
     s.push_str(&format!("  \"threads\": {threads},\n"));
     s.push_str(&format!("  \"host_cores\": {cores},\n"));
     s.push_str("  \"kernels\": [\n");
-    for (i, (row, thr, obs)) in rows.iter().enumerate() {
+    for (i, (row, thr, obs, eng)) in rows.iter().enumerate() {
         s.push_str("    {\n");
         s.push_str(&format!("      \"name\": \"{}\",\n", json_escape(row.name)));
         s.push_str(&format!("      \"serial_cycles\": {},\n", row.serial_cycles));
@@ -299,6 +318,17 @@ fn render_json(
             json_f64(thr.sim_speedup() / thr.real_speedup().max(1e-9))
         ));
         s.push_str(&format!("      \"checksum\": \"fnv1a:{:016x}\",\n", thr.checksum));
+        // Schema v5: serial wall per execution engine — the retained
+        // tree-walking oracle vs the bytecode VM — and their ratio.
+        s.push_str(&format!(
+            "      \"tree_serial_wall_ms\": {},\n",
+            json_f64(eng.tree_wall.as_secs_f64() * 1e3)
+        ));
+        s.push_str(&format!(
+            "      \"vm_serial_wall_ms\": {},\n",
+            json_f64(eng.vm_wall.as_secs_f64() * 1e3)
+        ));
+        s.push_str(&format!("      \"engine_speedup\": {},\n", json_f64(eng.vm_speedup())));
         // Schema v3: per-kernel compile-time and counter breakdown from
         // the observability recorder (pass times in real µs; counters
         // are the stable dotted names from `polaris_obs::Counter`).
@@ -361,7 +391,8 @@ fn render_json(
     s.push_str("  \"geomean\": {\n");
     s.push_str(&format!("    \"sim_polaris\": {},\n", json_f64(geo_polaris)));
     s.push_str(&format!("    \"sim_vfa\": {},\n", json_f64(geo_vfa)));
-    s.push_str(&format!("    \"real_threads\": {}\n", json_f64(geo_real)));
+    s.push_str(&format!("    \"real_threads\": {},\n", json_f64(geo_real)));
+    s.push_str(&format!("    \"vm_over_tree\": {}\n", json_f64(geo_engine)));
     s.push_str("  }\n");
     s.push_str("}\n");
     s

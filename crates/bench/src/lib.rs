@@ -208,6 +208,48 @@ pub fn threaded_row(b: &polaris_benchmarks::Benchmark, threads: usize) -> Thread
     }
 }
 
+/// Serial wall clocks of the two execution engines on one
+/// Polaris-compiled benchmark: the retained tree-walking oracle vs the
+/// bytecode VM (schema v5 `tree_serial_wall_ms` / `vm_serial_wall_ms`
+/// columns). Outputs are asserted bit-identical inside the measurement,
+/// so a reported speedup can never come from a divergent execution.
+#[derive(Debug, Clone)]
+pub struct EngineRow {
+    pub name: &'static str,
+    pub tree_wall: Duration,
+    pub vm_wall: Duration,
+}
+
+impl EngineRow {
+    /// Wall-clock speedup of the bytecode VM over the tree-walker on
+    /// the serial backend (the tentpole number the schema-v5 gate pins).
+    pub fn vm_speedup(&self) -> f64 {
+        self.tree_wall.as_secs_f64() / self.vm_wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Measure one benchmark's serial wall under both engines, best of
+/// `reps` runs each (interpreter timings on a shared host are noisy in
+/// one direction only — the minimum is the honest estimate).
+pub fn engine_row(b: &polaris_benchmarks::Benchmark, reps: usize) -> EngineRow {
+    let (pol, _) = compile_bench(b, &PassOptions::polaris());
+    let measure = |engine: polaris_machine::Engine| {
+        let cfg = MachineConfig::serial().with_engine(engine);
+        let mut best: Option<(Duration, Vec<String>)> = None;
+        for _ in 0..reps.max(1) {
+            let r = run(&pol, &cfg).unwrap();
+            if best.as_ref().is_none_or(|(w, _)| r.wall < *w) {
+                best = Some((r.wall, r.output));
+            }
+        }
+        best.unwrap()
+    };
+    let (tree_wall, tree_out) = measure(polaris_machine::Engine::TreeWalk);
+    let (vm_wall, vm_out) = measure(polaris_machine::Engine::Vm);
+    assert_eq!(tree_out, vm_out, "{}: engine output mismatch", b.name);
+    EngineRow { name: b.name, tree_wall, vm_wall }
+}
+
 /// 64-bit FNV-1a over output lines (newline-delimited), the checksum
 /// recorded in `BENCH_figure7.json`.
 pub fn fnv1a(lines: &[String]) -> u64 {

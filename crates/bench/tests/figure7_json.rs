@@ -204,7 +204,7 @@ fn figure7_json_is_well_formed_and_schema_complete() {
 
     // Schema: top-level metadata and geomeans present.
     for key in [
-        "\"schema\": \"polaris-bench/figure7/v4\"",
+        "\"schema\": \"polaris-bench/figure7/v5\"",
         "\"procs\":",
         "\"threads\": 4",
         "\"host_cores\":",
@@ -233,6 +233,8 @@ fn figure7_json_is_well_formed_and_schema_complete() {
         "\"sim_polaris\":",
         "\"sim_vfa\":",
         "\"real_threads\":",
+        // schema v5: bytecode-VM-vs-tree-walker serial geomean
+        "\"vm_over_tree\":",
     ] {
         assert!(doc.contains(key), "missing `{key}` in:\n{doc}");
     }
@@ -249,6 +251,10 @@ fn figure7_json_is_well_formed_and_schema_complete() {
         "\"real_speedup\":",
         "\"sim_vs_real\":",
         "\"checksum\": \"fnv1a:",
+        // schema v5: per-engine serial wall columns
+        "\"tree_serial_wall_ms\":",
+        "\"vm_serial_wall_ms\":",
+        "\"engine_speedup\":",
         // schema v3: per-kernel compile-time/counter breakdown block
         "\"obs\":",
         "\"compile_us\":",

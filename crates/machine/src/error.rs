@@ -35,6 +35,10 @@ pub enum MachineError {
     /// A worker thread of the real-thread backend died without reporting
     /// a result (it panicked). The parallel loop's effects are discarded.
     WorkerPanicked { loop_label: String },
+    /// The run's [`polaris_core::CancelToken`] was cancelled; execution
+    /// stopped cooperatively at the next fuel-step boundary. Carries the
+    /// canceller's reason (e.g. a polarisd deadline message).
+    Cancelled(String),
 }
 
 impl fmt::Display for MachineError {
@@ -65,6 +69,9 @@ impl fmt::Display for MachineError {
             }
             MachineError::WorkerPanicked { loop_label } => {
                 write!(f, "a worker thread panicked while executing parallel loop {loop_label}")
+            }
+            MachineError::Cancelled(reason) => {
+                write!(f, "execution cancelled: {reason}")
             }
         }
     }

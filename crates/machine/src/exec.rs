@@ -1,11 +1,11 @@
 //! The interpreter and the simulated multiprocessor.
 
-use crate::cost::Schedule;
+use crate::cost::{CostModel, Schedule};
 use crate::error::MachineError;
 use crate::lower::{lower_with_cap, Image, Intr, RExpr, RLoop, RPar, RRed, RRef, RStmt};
 use crate::shadow::ShadowSim;
 use crate::value::{scalar_approx_eq, ArrData, ArrObj, Scalar, V};
-use crate::{ExecMode, MachineConfig};
+use crate::{Engine, ExecMode, MachineConfig};
 use polaris_ir::expr::{BinOp, RedOp, UnOp};
 use polaris_ir::Program;
 use std::collections::BTreeMap;
@@ -93,14 +93,18 @@ pub(crate) struct Interp<'a> {
     /// Monotonic statement/iteration counter for the fuel budget.
     /// Separate from `cycles`, which the codegen model and parallel
     /// scheduling rewind and rescale.
-    steps: u64,
+    pub(crate) steps: u64,
     pub(crate) in_parallel: bool,
     adversarial: bool,
     pub(crate) output: Vec<String>,
-    pub(crate) loops: BTreeMap<String, LoopExecStats>,
+    /// Per-loop execution stats, indexed by the dense
+    /// [`polaris_ir::stmt::LoopId`] so the per-invocation updates are a
+    /// vector index, not a string-keyed map probe; [`Self::finish_loops`]
+    /// folds this into the label-keyed map `RunResult` exposes.
+    pub(crate) loop_stats: Vec<Option<(String, LoopExecStats)>>,
     /// Active speculative tracking: (array slot, shadow).
-    spec: Vec<(usize, ShadowSim)>,
-    spec_iter: u32,
+    pub(crate) spec: Vec<(usize, ShadowSim)>,
+    pub(crate) spec_iter: u32,
     /// Global fuel counter shared between the main thread and threaded
     /// workers, so `--fuel` bounds total work across all threads.
     pub(crate) shared_steps: Option<Arc<AtomicU64>>,
@@ -111,7 +115,23 @@ pub(crate) struct Interp<'a> {
     pub(crate) tcache: BTreeMap<String, crate::threaded::SharedLoop>,
     /// Dependence-oracle trace (see [`crate::oracle`]); attached only by
     /// [`run_traced`], on serial runs. `None` costs one branch per hook.
-    oracle: Option<Box<crate::oracle::OracleState>>,
+    pub(crate) oracle: Option<Box<crate::oracle::OracleState>>,
+    /// Compiled bytecode of the running unit (`Engine::Vm` only); loop
+    /// bodies re-enter [`crate::vm`] through this shared handle.
+    pub(crate) bc: Option<Arc<crate::bytecode::BcUnit>>,
+    /// Recycled raw register frames for VM block dispatch (registers
+    /// never survive a statement, so frames are reusable across
+    /// activations without clearing).
+    pub(crate) vm_pool: Vec<Vec<u64>>,
+    /// True when no step-count observer exists (no fuel limit, no
+    /// panic-at-step, no cancellation token, no shared counter): the
+    /// step count is then unobservable and [`Self::charge_step`] can be
+    /// skipped entirely on the hot path.
+    pub(crate) quiet_steps: bool,
+    /// Recycled iteration-value vectors (one live per loop-nest level),
+    /// so each loop invocation reuses an allocation instead of mallocing
+    /// its iteration space.
+    pub(crate) iter_pool: Vec<Vec<i64>>,
     /// Observability recorder (see [`polaris_obs`]); disabled by default,
     /// attached by [`run_recorded`]. Workers always carry a disabled
     /// handle — chunk events are recorded post-join on the driver thread
@@ -125,6 +145,10 @@ impl<'a> Interp<'a> {
             ExecMode::Threaded { .. } => Some(Arc::new(AtomicU64::new(0))),
             ExecMode::Simulated => None,
         };
+        let quiet_steps = shared_steps.is_none()
+            && cfg.fuel.is_none()
+            && cfg.cancel.is_none()
+            && cfg.panic_at_step.is_none();
         Interp {
             cfg,
             scalars: image.scalars.clone(),
@@ -134,13 +158,17 @@ impl<'a> Interp<'a> {
             in_parallel: false,
             adversarial,
             output: Vec::new(),
-            loops: BTreeMap::new(),
+            loop_stats: Vec::new(),
             spec: Vec::new(),
             spec_iter: 0,
             shared_steps,
             pool: None,
             tcache: BTreeMap::new(),
             oracle: None,
+            bc: None,
+            vm_pool: Vec::new(),
+            quiet_steps,
+            iter_pool: Vec::new(),
             recorder: polaris_obs::Recorder::disabled(),
         }
     }
@@ -154,6 +182,10 @@ impl<'a> Interp<'a> {
         arrays: Vec<ArrObj>,
         shared_steps: Option<Arc<AtomicU64>>,
     ) -> Interp<'a> {
+        let quiet_steps = shared_steps.is_none()
+            && cfg.fuel.is_none()
+            && cfg.cancel.is_none()
+            && cfg.panic_at_step.is_none();
         Interp {
             cfg,
             scalars,
@@ -163,13 +195,17 @@ impl<'a> Interp<'a> {
             in_parallel: true,
             adversarial: false,
             output: Vec::new(),
-            loops: BTreeMap::new(),
+            loop_stats: Vec::new(),
             spec: Vec::new(),
             spec_iter: 0,
             shared_steps,
             pool: None,
             tcache: BTreeMap::new(),
             oracle: None,
+            bc: None,
+            vm_pool: Vec::new(),
+            quiet_steps,
+            iter_pool: Vec::new(),
             recorder: polaris_obs::Recorder::disabled(),
         }
     }
@@ -221,12 +257,12 @@ impl<'a> Interp<'a> {
             RExpr::Bin(op, lhs, rhs) => {
                 let a = self.eval(lhs)?;
                 let b = self.eval(rhs)?;
-                self.binop(*op, a, b)
+                eval_binop(c, &mut self.cycles, *op, a, b)
             }
             RExpr::Intrin(intr, args) => {
                 let vals: Vec<V> =
                     args.iter().map(|a| self.eval(a)).collect::<Result<Vec<_>, _>>()?;
-                self.intrinsic(*intr, &vals)
+                eval_intrinsic(c, &mut self.cycles, *intr, &vals)
             }
         }
     }
@@ -238,202 +274,218 @@ impl<'a> Interp<'a> {
         }
         self.arrays[arr].flatten(&idxs)
     }
+}
 
-    fn binop(&mut self, op: BinOp, a: V, b: V) -> Result<V, MachineError> {
-        let c = &self.cfg.cost;
-        match op {
-            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow => {
-                // Back ends strength-reduce small constant powers
-                // (x**2 -> x*x) and power-of-two divides (the paper's
-                // §3.2 code-expansion remark assumes exactly this);
-                // charge accordingly.
-                self.cycles += match op {
-                    BinOp::Mul => c.mul,
-                    BinOp::Div => match b {
-                        V::I(d) if d > 0 && (d & (d - 1)) == 0 => c.alu,
-                        _ => c.div,
-                    },
-                    BinOp::Pow => match b {
-                        V::I(k) if (0..=3).contains(&k) => c.mul * (k.max(1) as u64),
-                        _ => c.intrinsic,
-                    },
-                    _ => c.alu,
-                };
-                if a.is_real() || b.is_real() {
-                    let (x, y) = (a.as_r()?, b.as_r()?);
-                    Ok(V::R(match op {
-                        BinOp::Add => x + y,
-                        BinOp::Sub => x - y,
-                        BinOp::Mul => x * y,
-                        BinOp::Div => x / y,
-                        BinOp::Pow => x.powf(y),
-                        _ => unreachable!(),
-                    }))
-                } else {
-                    let (x, y) = (a.as_i()?, b.as_i()?);
-                    Ok(V::I(match op {
-                        BinOp::Add => x.wrapping_add(y),
-                        BinOp::Sub => x.wrapping_sub(y),
-                        BinOp::Mul => x.wrapping_mul(y),
-                        BinOp::Div => {
-                            if y == 0 {
-                                return Err(MachineError::DivByZero);
-                            }
-                            x.wrapping_div(y)
+/// Apply a binary operator with the simulated cycle charge. Shared by
+/// both engines (tree-walk `eval` and the VM's `Bin` dispatch) so the
+/// charge table and numeric semantics cannot diverge.
+pub(crate) fn eval_binop(
+    c: &CostModel,
+    cycles: &mut u64,
+    op: BinOp,
+    a: V,
+    b: V,
+) -> Result<V, MachineError> {
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow => {
+            // Back ends strength-reduce small constant powers
+            // (x**2 -> x*x) and power-of-two divides (the paper's
+            // §3.2 code-expansion remark assumes exactly this);
+            // charge accordingly.
+            *cycles += match op {
+                BinOp::Mul => c.mul,
+                BinOp::Div => match b {
+                    V::I(d) if d > 0 && (d & (d - 1)) == 0 => c.alu,
+                    _ => c.div,
+                },
+                BinOp::Pow => match b {
+                    V::I(k) if (0..=3).contains(&k) => c.mul * (k.max(1) as u64),
+                    _ => c.intrinsic,
+                },
+                _ => c.alu,
+            };
+            if a.is_real() || b.is_real() {
+                let (x, y) = (a.as_r()?, b.as_r()?);
+                Ok(V::R(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Pow => x.powf(y),
+                    _ => unreachable!(),
+                }))
+            } else {
+                let (x, y) = (a.as_i()?, b.as_i()?);
+                Ok(V::I(match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Div => {
+                        if y == 0 {
+                            return Err(MachineError::DivByZero);
                         }
-                        BinOp::Pow => int_pow(x, y),
-                        _ => unreachable!(),
-                    }))
-                }
-            }
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
-                self.cycles += c.alu;
-                let r = if a.is_real() || b.is_real() {
-                    let (x, y) = (a.as_r()?, b.as_r()?);
-                    match op {
-                        BinOp::Lt => x < y,
-                        BinOp::Le => x <= y,
-                        BinOp::Gt => x > y,
-                        BinOp::Ge => x >= y,
-                        BinOp::Eq => x == y,
-                        BinOp::Ne => x != y,
-                        _ => unreachable!(),
+                        x.wrapping_div(y)
                     }
-                } else {
-                    let (x, y) = (a.as_i()?, b.as_i()?);
-                    match op {
-                        BinOp::Lt => x < y,
-                        BinOp::Le => x <= y,
-                        BinOp::Gt => x > y,
-                        BinOp::Ge => x >= y,
-                        BinOp::Eq => x == y,
-                        BinOp::Ne => x != y,
-                        _ => unreachable!(),
-                    }
-                };
-                Ok(V::B(r))
-            }
-            BinOp::And => {
-                self.cycles += c.alu;
-                Ok(V::B(a.as_b()? && b.as_b()?))
-            }
-            BinOp::Or => {
-                self.cycles += c.alu;
-                Ok(V::B(a.as_b()? || b.as_b()?))
+                    BinOp::Pow => int_pow(x, y),
+                    _ => unreachable!(),
+                }))
             }
         }
-    }
-
-    fn intrinsic(&mut self, intr: Intr, vals: &[V]) -> Result<V, MachineError> {
-        let c = &self.cfg.cost;
-        let cheap = matches!(
-            intr,
-            Intr::Mod | Intr::Max | Intr::Min | Intr::Abs | Intr::Int | Intr::Nint | Intr::ToReal | Intr::Sign
-        );
-        self.cycles += if cheap { c.mul } else { c.intrinsic };
-        let arity = |n: usize| -> Result<(), MachineError> {
-            if vals.len() == n {
-                Ok(())
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+            *cycles += c.alu;
+            let r = if a.is_real() || b.is_real() {
+                let (x, y) = (a.as_r()?, b.as_r()?);
+                match op {
+                    BinOp::Lt => x < y,
+                    BinOp::Le => x <= y,
+                    BinOp::Gt => x > y,
+                    BinOp::Ge => x >= y,
+                    BinOp::Eq => x == y,
+                    BinOp::Ne => x != y,
+                    _ => unreachable!(),
+                }
             } else {
-                Err(MachineError::Type(format!("intrinsic arity {n} expected")))
-            }
-        };
-        let any_real = vals.iter().any(|v| v.is_real());
-        Ok(match intr {
-            Intr::Mod => {
-                arity(2)?;
-                if any_real {
-                    let (x, y) = (vals[0].as_r()?, vals[1].as_r()?);
-                    V::R(x % y)
-                } else {
-                    let (x, y) = (vals[0].as_i()?, vals[1].as_i()?);
-                    if y == 0 {
-                        return Err(MachineError::DivByZero);
-                    }
-                    V::I(x % y)
+                let (x, y) = (a.as_i()?, b.as_i()?);
+                match op {
+                    BinOp::Lt => x < y,
+                    BinOp::Le => x <= y,
+                    BinOp::Gt => x > y,
+                    BinOp::Ge => x >= y,
+                    BinOp::Eq => x == y,
+                    BinOp::Ne => x != y,
+                    _ => unreachable!(),
                 }
-            }
-            Intr::Max | Intr::Min => {
-                if vals.is_empty() {
-                    return Err(MachineError::Type("MAX/MIN need arguments".into()));
-                }
-                if any_real {
-                    let mut acc = vals[0].as_r()?;
-                    for v in &vals[1..] {
-                        let x = v.as_r()?;
-                        acc = if intr == Intr::Max { acc.max(x) } else { acc.min(x) };
-                    }
-                    V::R(acc)
-                } else {
-                    let mut acc = vals[0].as_i()?;
-                    for v in &vals[1..] {
-                        let x = v.as_i()?;
-                        acc = if intr == Intr::Max { acc.max(x) } else { acc.min(x) };
-                    }
-                    V::I(acc)
-                }
-            }
-            Intr::Abs => {
-                arity(1)?;
-                match vals[0] {
-                    V::I(x) => V::I(x.abs()),
-                    V::R(x) => V::R(x.abs()),
-                    V::B(_) => return Err(MachineError::Type("ABS of logical".into())),
-                }
-            }
-            Intr::Sign => {
-                arity(2)?;
-                if any_real {
-                    let (x, y) = (vals[0].as_r()?, vals[1].as_r()?);
-                    V::R(x.abs() * if y < 0.0 { -1.0 } else { 1.0 })
-                } else {
-                    let (x, y) = (vals[0].as_i()?, vals[1].as_i()?);
-                    V::I(x.abs() * if y < 0 { -1 } else { 1 })
-                }
-            }
-            Intr::Sqrt => {
-                arity(1)?;
-                V::R(vals[0].as_r()?.sqrt())
-            }
-            Intr::Sin => {
-                arity(1)?;
-                V::R(vals[0].as_r()?.sin())
-            }
-            Intr::Cos => {
-                arity(1)?;
-                V::R(vals[0].as_r()?.cos())
-            }
-            Intr::Tan => {
-                arity(1)?;
-                V::R(vals[0].as_r()?.tan())
-            }
-            Intr::Exp => {
-                arity(1)?;
-                V::R(vals[0].as_r()?.exp())
-            }
-            Intr::Log => {
-                arity(1)?;
-                V::R(vals[0].as_r()?.ln())
-            }
-            Intr::Atan => {
-                arity(1)?;
-                V::R(vals[0].as_r()?.atan())
-            }
-            Intr::Int => {
-                arity(1)?;
-                V::I(vals[0].as_i()?)
-            }
-            Intr::Nint => {
-                arity(1)?;
-                V::I(vals[0].as_r()?.round() as i64)
-            }
-            Intr::ToReal => {
-                arity(1)?;
-                V::R(vals[0].as_r()?)
-            }
-        })
+            };
+            Ok(V::B(r))
+        }
+        BinOp::And => {
+            *cycles += c.alu;
+            Ok(V::B(a.as_b()? && b.as_b()?))
+        }
+        BinOp::Or => {
+            *cycles += c.alu;
+            Ok(V::B(a.as_b()? || b.as_b()?))
+        }
     }
+}
 
+/// Apply an intrinsic with the simulated cycle charge; shared by both
+/// engines for the same reason as [`eval_binop`].
+pub(crate) fn eval_intrinsic(
+    c: &CostModel,
+    cycles: &mut u64,
+    intr: Intr,
+    vals: &[V],
+) -> Result<V, MachineError> {
+    let cheap = matches!(
+        intr,
+        Intr::Mod | Intr::Max | Intr::Min | Intr::Abs | Intr::Int | Intr::Nint | Intr::ToReal | Intr::Sign
+    );
+    *cycles += if cheap { c.mul } else { c.intrinsic };
+    let arity = |n: usize| -> Result<(), MachineError> {
+        if vals.len() == n {
+            Ok(())
+        } else {
+            Err(MachineError::Type(format!("intrinsic arity {n} expected")))
+        }
+    };
+    let any_real = vals.iter().any(|v| v.is_real());
+    Ok(match intr {
+        Intr::Mod => {
+            arity(2)?;
+            if any_real {
+                let (x, y) = (vals[0].as_r()?, vals[1].as_r()?);
+                V::R(x % y)
+            } else {
+                let (x, y) = (vals[0].as_i()?, vals[1].as_i()?);
+                if y == 0 {
+                    return Err(MachineError::DivByZero);
+                }
+                V::I(x % y)
+            }
+        }
+        Intr::Max | Intr::Min => {
+            if vals.is_empty() {
+                return Err(MachineError::Type("MAX/MIN need arguments".into()));
+            }
+            if any_real {
+                let mut acc = vals[0].as_r()?;
+                for v in &vals[1..] {
+                    let x = v.as_r()?;
+                    acc = if intr == Intr::Max { acc.max(x) } else { acc.min(x) };
+                }
+                V::R(acc)
+            } else {
+                let mut acc = vals[0].as_i()?;
+                for v in &vals[1..] {
+                    let x = v.as_i()?;
+                    acc = if intr == Intr::Max { acc.max(x) } else { acc.min(x) };
+                }
+                V::I(acc)
+            }
+        }
+        Intr::Abs => {
+            arity(1)?;
+            match vals[0] {
+                V::I(x) => V::I(x.abs()),
+                V::R(x) => V::R(x.abs()),
+                V::B(_) => return Err(MachineError::Type("ABS of logical".into())),
+            }
+        }
+        Intr::Sign => {
+            arity(2)?;
+            if any_real {
+                let (x, y) = (vals[0].as_r()?, vals[1].as_r()?);
+                V::R(x.abs() * if y < 0.0 { -1.0 } else { 1.0 })
+            } else {
+                let (x, y) = (vals[0].as_i()?, vals[1].as_i()?);
+                V::I(x.abs() * if y < 0 { -1 } else { 1 })
+            }
+        }
+        Intr::Sqrt => {
+            arity(1)?;
+            V::R(vals[0].as_r()?.sqrt())
+        }
+        Intr::Sin => {
+            arity(1)?;
+            V::R(vals[0].as_r()?.sin())
+        }
+        Intr::Cos => {
+            arity(1)?;
+            V::R(vals[0].as_r()?.cos())
+        }
+        Intr::Tan => {
+            arity(1)?;
+            V::R(vals[0].as_r()?.tan())
+        }
+        Intr::Exp => {
+            arity(1)?;
+            V::R(vals[0].as_r()?.exp())
+        }
+        Intr::Log => {
+            arity(1)?;
+            V::R(vals[0].as_r()?.ln())
+        }
+        Intr::Atan => {
+            arity(1)?;
+            V::R(vals[0].as_r()?.atan())
+        }
+        Intr::Int => {
+            arity(1)?;
+            V::I(vals[0].as_i()?)
+        }
+        Intr::Nint => {
+            arity(1)?;
+            V::I(vals[0].as_r()?.round() as i64)
+        }
+        Intr::ToReal => {
+            arity(1)?;
+            V::R(vals[0].as_r()?)
+        }
+    })
+}
+
+impl<'a> Interp<'a> {
     // ---- statements ----------------------------------------------------
 
     fn run_list(&mut self, stmts: &[RStmt]) -> Result<Flow, MachineError> {
@@ -450,28 +502,40 @@ impl<'a> Interp<'a> {
     /// iteration). The budget is a straight monotonic counter — unlike
     /// `cycles` it is never rewound by the codegen model or parallel
     /// bucket accounting, so it bounds *work done*, not simulated time.
-    fn charge_step(&mut self) -> Result<(), MachineError> {
-        if let Some(shared) = &self.shared_steps {
+    /// This is also the cooperative preemption point: the cancel token
+    /// and the chaos panic hook fire here, in both engines, so a
+    /// cancelled or crashed run stops at the same boundary either way.
+    pub(crate) fn charge_step(&mut self) -> Result<(), MachineError> {
+        let done = if let Some(shared) = &self.shared_steps {
             // Threaded mode: all threads draw from one global budget.
-            let done = shared.fetch_add(1, Ordering::Relaxed) + 1;
-            self.steps = done;
-            if let Some(limit) = self.cfg.fuel {
-                if done > limit {
-                    return Err(MachineError::FuelExhausted { limit });
-                }
+            let d = shared.fetch_add(1, Ordering::Relaxed) + 1;
+            self.steps = d;
+            d
+        } else {
+            self.steps += 1;
+            self.steps
+        };
+        if let Some(at) = self.cfg.panic_at_step {
+            if done == at {
+                panic!("injected: exec panic at step {at}");
             }
-            return Ok(());
         }
-        self.steps += 1;
+        if let Some(tok) = &self.cfg.cancel {
+            if tok.is_cancelled() {
+                return Err(MachineError::Cancelled(
+                    tok.reason().unwrap_or_else(|| "cancelled".into()),
+                ));
+            }
+        }
         if let Some(limit) = self.cfg.fuel {
-            if self.steps > limit {
+            if done > limit {
                 return Err(MachineError::FuelExhausted { limit });
             }
         }
         Ok(())
     }
 
-    fn run_stmt(&mut self, s: &RStmt) -> Result<Flow, MachineError> {
+    pub(crate) fn run_stmt(&mut self, s: &RStmt) -> Result<Flow, MachineError> {
         self.charge_step()?;
         match s {
             RStmt::AssignS(slot, rhs) => {
@@ -501,7 +565,7 @@ impl<'a> Interp<'a> {
                 Arc::make_mut(&mut self.arrays[*arr].data).set(idx, v)?;
                 Ok(Flow::Normal)
             }
-            RStmt::Do(l) => self.run_loop(l),
+            RStmt::Do(l) => self.run_loop(l, None),
             RStmt::If(arms, else_body) => {
                 for (cond, body) in arms {
                     self.cycles += self.cfg.cost.branch;
@@ -533,6 +597,32 @@ impl<'a> Interp<'a> {
         }
     }
 
+    /// The per-loop stats slot for `l`, keyed by its dense loop id.
+    pub(crate) fn loop_entry(&mut self, l: &RLoop) -> &mut LoopExecStats {
+        let i = l.loop_id.0 as usize;
+        if i >= self.loop_stats.len() {
+            self.loop_stats.resize_with(i + 1, || None);
+        }
+        &mut self.loop_stats[i]
+            .get_or_insert_with(|| (l.label.clone(), LoopExecStats::default()))
+            .1
+    }
+
+    /// Fold the id-indexed stats into the label-keyed map `RunResult`
+    /// exposes (two loops sharing a label merge, as the map always did).
+    pub(crate) fn finish_loops(&mut self) -> BTreeMap<String, LoopExecStats> {
+        let mut out: BTreeMap<String, LoopExecStats> = BTreeMap::new();
+        for (label, st) in self.loop_stats.drain(..).flatten() {
+            let e = out.entry(label).or_default();
+            e.invocations += st.invocations;
+            e.parallel_invocations += st.parallel_invocations;
+            e.spec_success += st.spec_success;
+            e.spec_fail += st.spec_fail;
+            e.cycles += st.cycles;
+        }
+        out
+    }
+
     /// The iteration values of a loop (evaluated once, F77 semantics).
     fn iteration_values(&mut self, l: &RLoop) -> Result<Vec<i64>, MachineError> {
         let init = self.eval(&l.init)?.as_i()?;
@@ -559,10 +649,24 @@ impl<'a> Interp<'a> {
                 return Err(MachineError::FuelExhausted { limit: fuel });
             }
         }
-        let mut out = Vec::with_capacity(trip.min(1 << 20) as usize);
+        let mut out = self.iter_pool.pop().unwrap_or_default();
+        out.clear();
+        out.reserve(trip.min(1 << 20) as usize);
         let mut v = init;
         while (step > 0 && v <= limit) || (step < 0 && v >= limit) {
             out.push(v);
+            // With no fuel cap, a huge iteration space would otherwise be
+            // uncancellable until the allocation finishes: poll the token
+            // while materializing.
+            if out.len() & 0xFFFF == 0 {
+                if let Some(tok) = &self.cfg.cancel {
+                    if tok.is_cancelled() {
+                        return Err(MachineError::Cancelled(
+                            tok.reason().unwrap_or_else(|| "cancelled".into()),
+                        ));
+                    }
+                }
+            }
             // The next value is unrepresentable only when it would also be
             // past the limit, so stopping here preserves F77 semantics.
             match v.checked_add(step) {
@@ -573,10 +677,14 @@ impl<'a> Interp<'a> {
         Ok(out)
     }
 
-    fn run_loop(&mut self, l: &RLoop) -> Result<Flow, MachineError> {
+    /// Orchestrate one loop invocation. `body` is the loop's bytecode
+    /// body block when running under `Engine::Vm` (`None` = tree-walk
+    /// `l.body`); everything else — bounds, dispatch-mode choice,
+    /// speculation, adversarial validation, threading, stats, the F77
+    /// exit value — is engine-independent and shared.
+    pub(crate) fn run_loop(&mut self, l: &RLoop, body: Option<u32>) -> Result<Flow, MachineError> {
         let iters = self.iteration_values(l)?;
-        let entry = self.loops.entry(l.label.clone()).or_default();
-        entry.invocations += 1;
+        self.loop_entry(l).invocations += 1;
         let loop_start = self.cycles;
         // Oracle frame: pushed after the bound expressions are evaluated
         // (those reads belong to the enclosing loops, not this one).
@@ -593,26 +701,27 @@ impl<'a> Interp<'a> {
                 // Speculative loops stay on the simulated path even in
                 // threaded mode (run_speculative, below); only loops the
                 // pipeline *proved* parallel go to real threads.
-                ExecMode::Threaded { .. } => crate::threaded::run_threaded_loop(self, l, &iters)?,
-                ExecMode::Simulated => self.run_parallel(l, &iters)?,
+                ExecMode::Threaded { .. } => {
+                    crate::threaded::run_threaded_loop(self, l, &iters, body)?
+                }
+                ExecMode::Simulated => self.run_parallel(l, &iters, body)?,
             }
         } else if !l.par.spec_arrays.is_empty() && concurrent && !self.adversarial {
             self.count_loop_mode(polaris_obs::Counter::ExecLoopsSpeculative);
-            self.run_speculative(l, &iters)?
+            self.run_speculative(l, &iters, body)?
         } else if l.par.parallel && self.adversarial && !self.in_parallel {
             self.count_loop_mode(polaris_obs::Counter::ExecLoopsAdversarial);
-            self.run_adversarial(l, &iters)?
+            self.run_adversarial(l, &iters, body)?
         } else {
             self.count_loop_mode(polaris_obs::Counter::ExecLoopsSerial);
-            self.run_serial_loop(l, &iters)?
+            self.run_serial_loop(l, &iters, body)?
         };
         loop_span.end();
         if let Some(o) = self.oracle.as_deref_mut() {
             o.exit_loop();
         }
         let spent = self.cycles - loop_start;
-        let entry = self.loops.entry(l.label.clone()).or_default();
-        entry.cycles += spent;
+        self.loop_entry(l).cycles += spent;
         // F77 semantics: the loop variable holds the first value past the
         // limit after the loop completes — and this must hold regardless
         // of execution order (the variable is implicitly private).
@@ -627,6 +736,7 @@ impl<'a> Interp<'a> {
             };
             self.scalars[l.var].set(V::I(beyond))?;
         }
+        self.iter_pool.push(iters);
         Ok(flow)
     }
 
@@ -640,12 +750,29 @@ impl<'a> Interp<'a> {
         }
     }
 
-    pub(crate) fn run_one_iteration(&mut self, l: &RLoop, v: i64) -> Result<Flow, MachineError> {
-        self.charge_step()?;
+    /// `bc` is the caller-hoisted bytecode handle paired with `body`
+    /// (cloning the `Arc` once per loop invocation instead of once per
+    /// iteration); it must be `Some` whenever `body` is.
+    pub(crate) fn run_one_iteration(
+        &mut self,
+        l: &RLoop,
+        v: i64,
+        body: Option<u32>,
+        bc: Option<&crate::bytecode::BcUnit>,
+    ) -> Result<Flow, MachineError> {
+        if !self.quiet_steps {
+            self.charge_step()?;
+        }
         self.cycles += self.cfg.cost.loop_iter;
         self.scalars[l.var].set(V::I(v))?;
         let b0 = self.cycles;
-        let flow = self.run_list(&l.body)?;
+        let flow = match body {
+            Some(blk) => {
+                let bc = bc.expect("VM loop body without bytecode");
+                self.run_block(bc, blk)?
+            }
+            None => self.run_list(&l.body)?,
+        };
         if l.innermost && self.cfg.codegen.enabled {
             let delta = self.cycles - b0;
             self.cycles = b0 + self.cfg.codegen.scale(delta, l.has_conditional);
@@ -653,12 +780,18 @@ impl<'a> Interp<'a> {
         Ok(flow)
     }
 
-    pub(crate) fn run_serial_loop(&mut self, l: &RLoop, iters: &[i64]) -> Result<Flow, MachineError> {
+    pub(crate) fn run_serial_loop(
+        &mut self,
+        l: &RLoop,
+        iters: &[i64],
+        body: Option<u32>,
+    ) -> Result<Flow, MachineError> {
+        let bc = body.map(|_| Arc::clone(self.bc.as_ref().expect("VM loop body without bytecode")));
         for (idx, &v) in iters.iter().enumerate() {
             if let Some(o) = self.oracle.as_deref_mut() {
                 o.begin_iteration(idx as u64);
             }
-            if self.run_one_iteration(l, v)? == Flow::Stop {
+            if self.run_one_iteration(l, v, body, bc.as_deref())? == Flow::Stop {
                 return Ok(Flow::Stop);
             }
         }
@@ -676,15 +809,21 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn run_parallel(&mut self, l: &RLoop, iters: &[i64]) -> Result<Flow, MachineError> {
+    fn run_parallel(
+        &mut self,
+        l: &RLoop,
+        iters: &[i64],
+        body: Option<u32>,
+    ) -> Result<Flow, MachineError> {
         let c0 = self.cycles;
         let trip = iters.len();
         let mut buckets = vec![0u64; self.cfg.procs];
         self.in_parallel = true;
         let mut flow = Flow::Normal;
+        let bc = body.map(|_| Arc::clone(self.bc.as_ref().expect("VM loop body without bytecode")));
         for (idx, &v) in iters.iter().enumerate() {
             let b0 = self.cycles;
-            flow = self.run_one_iteration(l, v)?;
+            flow = self.run_one_iteration(l, v, body, bc.as_deref())?;
             buckets[self.proc_of(idx, trip)] += self.cycles - b0;
             if flow == Flow::Stop {
                 break;
@@ -706,8 +845,7 @@ impl<'a> Interp<'a> {
         }
         charged += self.merge_costs(&l.par);
         self.cycles += charged;
-        let entry = self.loops.entry(l.label.clone()).or_default();
-        entry.parallel_invocations += 1;
+        self.loop_entry(l).parallel_invocations += 1;
         Ok(flow)
     }
 
@@ -726,7 +864,12 @@ impl<'a> Interp<'a> {
         total
     }
 
-    fn run_speculative(&mut self, l: &RLoop, iters: &[i64]) -> Result<Flow, MachineError> {
+    fn run_speculative(
+        &mut self,
+        l: &RLoop,
+        iters: &[i64],
+        body: Option<u32>,
+    ) -> Result<Flow, MachineError> {
         debug_assert!(self.spec.is_empty(), "nested speculation");
         for &a in &l.par.spec_arrays {
             self.spec.push((a, ShadowSim::new(self.arrays[a].data.len())));
@@ -736,10 +879,11 @@ impl<'a> Interp<'a> {
         let mut buckets = vec![0u64; self.cfg.procs];
         self.in_parallel = true;
         let mut flow = Flow::Normal;
+        let bc = body.map(|_| Arc::clone(self.bc.as_ref().expect("VM loop body without bytecode")));
         for (idx, &v) in iters.iter().enumerate() {
             self.spec_iter = idx as u32;
             let b0 = self.cycles;
-            flow = self.run_one_iteration(l, v)?;
+            flow = self.run_one_iteration(l, v, body, bc.as_deref())?;
             let t = self.spec_iter;
             for (_, sh) in self.spec.iter_mut() {
                 sh.end_iteration(t);
@@ -762,9 +906,9 @@ impl<'a> Interp<'a> {
             + buckets.iter().copied().max().unwrap_or(0)
             + analysis
             + self.merge_costs(&l.par);
-        let entry = self.loops.entry(l.label.clone()).or_default();
         if success {
             self.cycles += attempt;
+            let entry = self.loop_entry(l);
             entry.spec_success += 1;
             entry.parallel_invocations += 1;
             self.recorder.count(polaris_obs::Counter::LrpdPass, 1);
@@ -778,7 +922,7 @@ impl<'a> Interp<'a> {
             let marking = (marks_done * self.cfg.cost.spec_mark).min(total);
             let sequential = total - marking;
             self.cycles += attempt + sequential;
-            entry.spec_fail += 1;
+            self.loop_entry(l).spec_fail += 1;
             self.recorder.count(polaris_obs::Counter::LrpdFail, 1);
         }
         Ok(flow)
@@ -787,7 +931,12 @@ impl<'a> Interp<'a> {
     /// Adversarial validation: iterate in reverse with real privatization
     /// and reduction semantics. If the compiler's annotations are wrong,
     /// the final state differs from sequential execution.
-    fn run_adversarial(&mut self, l: &RLoop, iters: &[i64]) -> Result<Flow, MachineError> {
+    fn run_adversarial(
+        &mut self,
+        l: &RLoop,
+        iters: &[i64],
+        body: Option<u32>,
+    ) -> Result<Flow, MachineError> {
         // stash shared state of private vars
         let saved_scalars: Vec<(usize, Scalar)> =
             l.par.private_scalars.iter().map(|&s| (s, self.scalars[s])).collect();
@@ -807,6 +956,7 @@ impl<'a> Interp<'a> {
         let mut flow = Flow::Normal;
         let last = iters.last().copied();
         let mut copy_out_values: Vec<(usize, Scalar)> = Vec::new();
+        let bc = body.map(|_| Arc::clone(self.bc.as_ref().expect("VM loop body without bytecode")));
         for &v in iters.iter().rev() {
             // poison privates
             for &s in &l.par.private_scalars {
@@ -819,7 +969,7 @@ impl<'a> Interp<'a> {
             for (red, _) in &red_state {
                 set_identity(red, self);
             }
-            flow = self.run_one_iteration(l, v)?;
+            flow = self.run_one_iteration(l, v, body, bc.as_deref())?;
             // fold partials
             for (red, accum) in red_state.iter_mut() {
                 accum.fold(red, self);
@@ -851,9 +1001,29 @@ impl<'a> Interp<'a> {
         }
         Ok(flow)
     }
+
+    /// Execute the unit's top-level code under the configured engine:
+    /// tree-walk runs `image.code` directly; the VM compiles the image
+    /// to bytecode once and dispatches its entry block.
+    fn run_program(&mut self, image: &Image) -> Result<Flow, MachineError> {
+        match self.cfg.engine {
+            Engine::TreeWalk => self.run_list(&image.code),
+            Engine::Vm => {
+                // A config that cannot observe step counts gets the
+                // Step-free stream (see `bytecode::compile_quiet`).
+                let bc = Arc::new(if self.quiet_steps {
+                    crate::bytecode::compile_quiet(image)?
+                } else {
+                    crate::bytecode::compile(image)?
+                });
+                self.bc = Some(Arc::clone(&bc));
+                self.run_block(&bc, bc.entry)
+            }
+        }
+    }
 }
 
-fn int_pow(base: i64, exp: i64) -> i64 {
+pub(crate) fn int_pow(base: i64, exp: i64) -> i64 {
     if exp < 0 {
         return if base.abs() == 1 {
             if exp % 2 == 0 {
@@ -1045,13 +1215,81 @@ pub fn run(program: &Program, cfg: &MachineConfig) -> Result<RunResult, MachineE
     let t0 = Instant::now();
     let image = lower_with_cap(program, cfg.memory_cap)?;
     let mut interp = Interp::new(&image, cfg, false);
-    interp.run_list(&image.code)?;
+    interp.run_program(&image)?;
     Ok(RunResult {
         cycles: interp.cycles,
+        loops: interp.finish_loops(),
         output: interp.output,
-        loops: interp.loops,
         wall: t0.elapsed(),
     })
+}
+
+/// A bit-exact snapshot of final memory, for differential comparison
+/// between engines and execution modes: each scalar as a tagged exact
+/// rendering (REALs by bit pattern, so `-0.0 != 0.0` and NaNs compare
+/// by payload) and each array as an FNV-1a hash over its element bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDump {
+    /// `(name, "I:<v>" | "R:<f64 bits as hex>" | "B:<v>")` per scalar.
+    pub scalars: Vec<(String, String)>,
+    /// `(name, fnv1a over element bit patterns)` per array.
+    pub arrays: Vec<(String, u64)>,
+}
+
+fn dump_state(interp: &Interp<'_>, image: &Image) -> StateDump {
+    let scalars = image
+        .scalar_names
+        .iter()
+        .cloned()
+        .zip(interp.scalars.iter().map(|s| match s {
+            Scalar::I(v) => format!("I:{v}"),
+            Scalar::R(v) => format!("R:{:016x}", v.to_bits()),
+            Scalar::B(v) => format!("B:{v}"),
+        }))
+        .collect();
+    let arrays = interp
+        .arrays
+        .iter()
+        .map(|a| {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut upd = |bytes: &[u8]| {
+                for &b in bytes {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+            };
+            match a.data.as_ref() {
+                ArrData::I(v) => v.iter().for_each(|x| upd(&x.to_le_bytes())),
+                ArrData::R(v) => v.iter().for_each(|x| upd(&x.to_bits().to_le_bytes())),
+                ArrData::B(v) => v.iter().for_each(|x| upd(&[u8::from(*x)])),
+            }
+            (a.name.clone(), h)
+        })
+        .collect();
+    StateDump { scalars, arrays }
+}
+
+/// [`run`] + a [`StateDump`] of the final memory state. The equivalence
+/// suites use this to hold engines/modes to *equal final state*, not
+/// just equal output.
+pub fn run_with_state(
+    program: &Program,
+    cfg: &MachineConfig,
+) -> Result<(RunResult, StateDump), MachineError> {
+    let t0 = Instant::now();
+    let image = lower_with_cap(program, cfg.memory_cap)?;
+    let mut interp = Interp::new(&image, cfg, false);
+    interp.run_program(&image)?;
+    let state = dump_state(&interp, &image);
+    Ok((
+        RunResult {
+            cycles: interp.cycles,
+            loops: interp.finish_loops(),
+            output: interp.output,
+            wall: t0.elapsed(),
+        },
+        state,
+    ))
 }
 
 /// [`run`] with an observability [`polaris_obs::Recorder`] attached: an
@@ -1070,13 +1308,13 @@ pub fn run_recorded(
     let mut interp = Interp::new(&image, cfg, false);
     interp.recorder = rec.clone();
     let exec_span = rec.span("exec", "exec");
-    let run_result = interp.run_list(&image.code);
+    let run_result = interp.run_program(&image);
     exec_span.end();
     run_result?;
     Ok(RunResult {
         cycles: interp.cycles,
+        loops: interp.finish_loops(),
         output: interp.output,
-        loops: interp.loops,
         wall: t0.elapsed(),
     })
 }
@@ -1096,7 +1334,7 @@ pub(crate) fn run_traced(
     debug_assert_eq!(cfg.exec_procs(), 1, "oracle traces require serial execution");
     let mut interp = Interp::new(image, cfg, false);
     interp.oracle = Some(Box::new(crate::oracle::OracleState::new()));
-    interp.run_list(&image.code)?;
+    interp.run_program(image)?;
     Ok(*interp.oracle.take().expect("oracle state survives the run"))
 }
 
@@ -1112,13 +1350,14 @@ pub fn run_validated(
     let mut serial_cfg = MachineConfig::serial();
     serial_cfg.fuel = cfg.fuel;
     serial_cfg.memory_cap = cfg.memory_cap;
+    serial_cfg.engine = cfg.engine;
     let t_seq = Instant::now();
     let mut seq = Interp::new(&image, &serial_cfg, false);
-    seq.run_list(&image.code)?;
+    seq.run_program(&image)?;
     let seq_wall = t_seq.elapsed();
     let t_adv = Instant::now();
     let mut adv = Interp::new(&image, cfg, true);
-    adv.run_list(&image.code)?;
+    adv.run_program(&image)?;
     let adv_wall = t_adv.elapsed();
 
     // Variables privatized without copy-out have unspecified values after
@@ -1158,8 +1397,18 @@ pub fn run_validated(
         )));
     }
     Ok((
-        RunResult { cycles: seq.cycles, output: seq.output, loops: seq.loops, wall: seq_wall },
-        RunResult { cycles: adv.cycles, output: adv.output, loops: adv.loops, wall: adv_wall },
+        RunResult {
+            cycles: seq.cycles,
+            loops: seq.finish_loops(),
+            output: seq.output,
+            wall: seq_wall,
+        },
+        RunResult {
+            cycles: adv.cycles,
+            loops: adv.finish_loops(),
+            output: adv.output,
+            wall: adv_wall,
+        },
     ))
 }
 

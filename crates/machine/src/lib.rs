@@ -29,6 +29,7 @@
 //! conditionals pay a penalty — which is how PFA beats Polaris on two
 //! codes and loses badly on APPSP/TOMCATV despite equal parallelism.
 
+pub mod bytecode;
 pub mod cost;
 pub mod error;
 pub mod exec;
@@ -37,11 +38,55 @@ pub mod oracle;
 pub mod shadow;
 pub mod threaded;
 pub mod value;
+pub mod vm;
 
 pub use cost::{CodegenModel, CostModel, Schedule};
 pub use error::MachineError;
-pub use exec::{run, run_recorded, run_serial, run_validated, LoopExecStats, RunResult};
+pub use exec::{
+    run, run_recorded, run_serial, run_validated, run_with_state, LoopExecStats, RunResult,
+    StateDump,
+};
 pub use oracle::{audit, audit_recorded, audit_with};
+
+/// Which execution engine interprets lowered statements.
+///
+/// * `Vm` — the default: the lowered [`lower::Image`] is compiled once
+///   more to compact bytecode ([`bytecode`]) and dispatched by a flat
+///   register VM ([`vm`]): interned symbols, explicit jump tables,
+///   pre-resolved array strides, register-allocated temporaries. Roughly
+///   an order of magnitude faster than the tree-walker at *identical*
+///   semantics — cycles, fuel, errors and output are bit-for-bit equal.
+/// * `TreeWalk` — the original recursive interpreter over the statement
+///   tree, retained as the differential oracle the VM is held to
+///   (`tests/vm_equivalence.rs`).
+///
+/// Both engines share the loop orchestration layer (parallel dispatch,
+/// speculation, adversarial validation, the threaded backend), so the
+/// engine choice affects only straight-line statement execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    #[default]
+    Vm,
+    TreeWalk,
+}
+
+impl Engine {
+    /// Parse a `--engine` flag value.
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "vm" => Some(Engine::Vm),
+            "tree-walk" | "tree" | "treewalk" => Some(Engine::TreeWalk),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Vm => "vm",
+            Engine::TreeWalk => "tree-walk",
+        }
+    }
+}
 
 /// How `PARALLEL DO` loops are executed.
 ///
@@ -81,6 +126,18 @@ pub struct MachineConfig {
     pub memory_cap: Option<usize>,
     /// Parallel-loop execution backend (default: `Simulated`).
     pub exec_mode: ExecMode,
+    /// Statement execution engine (default: the bytecode [`Engine::Vm`];
+    /// `Engine::TreeWalk` is the differential oracle).
+    pub engine: Engine,
+    /// Cooperative cancellation: when set, the interpreter checks the
+    /// token at every fuel-step boundary (statement / loop iteration)
+    /// and aborts with [`MachineError::Cancelled`] once it trips. `None`
+    /// costs nothing.
+    pub cancel: Option<polaris_core::CancelToken>,
+    /// Test hook (chaos suites): panic when the monotonic step counter
+    /// reaches this value, simulating a worker crash mid-execution.
+    #[doc(hidden)]
+    pub panic_at_step: Option<u64>,
 }
 
 impl MachineConfig {
@@ -94,6 +151,9 @@ impl MachineConfig {
             fuel: None,
             memory_cap: None,
             exec_mode: ExecMode::Simulated,
+            engine: Engine::default(),
+            cancel: None,
+            panic_at_step: None,
         }
     }
 
@@ -107,6 +167,9 @@ impl MachineConfig {
             fuel: None,
             memory_cap: None,
             exec_mode: ExecMode::Simulated,
+            engine: Engine::default(),
+            cancel: None,
+            panic_at_step: None,
         }
     }
 
@@ -123,7 +186,20 @@ impl MachineConfig {
             fuel: None,
             memory_cap: None,
             exec_mode: ExecMode::Threaded { procs: procs.max(1), schedule },
+            engine: Engine::default(),
+            cancel: None,
+            panic_at_step: None,
         }
+    }
+
+    pub fn with_engine(mut self, engine: Engine) -> MachineConfig {
+        self.engine = engine;
+        self
+    }
+
+    pub fn with_cancel(mut self, token: polaris_core::CancelToken) -> MachineConfig {
+        self.cancel = Some(token);
+        self
     }
 
     pub fn with_procs(mut self, procs: usize) -> MachineConfig {

@@ -377,6 +377,7 @@ pub fn audit_recorded(
     let mut serial = MachineConfig::serial();
     serial.fuel = cfg.fuel;
     serial.memory_cap = cfg.memory_cap;
+    serial.engine = cfg.engine;
     let oracle_span = rec.span("oracle", "audit");
     let image = lower_with_cap(program, serial.memory_cap)?;
     let trace = exec::run_traced(&image, &serial)?;

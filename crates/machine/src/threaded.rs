@@ -46,7 +46,6 @@ use crate::lower::{RLoop, RRef, RStmt};
 use crate::value::{ArrData, ArrObj, Scalar};
 use crate::{ExecMode, MachineConfig};
 use polaris_ir::expr::RedOp;
-use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -251,7 +250,7 @@ struct ChunkOut {
 struct WorkerOut {
     wid: usize,
     arrays: Vec<ArrObj>,
-    loops: BTreeMap<String, crate::exec::LoopExecStats>,
+    loops: Vec<Option<(String, crate::exec::LoopExecStats)>>,
     chunks: Vec<ChunkOut>,
     /// First failing iteration index and its error, if any.
     err: Option<(usize, MachineError)>,
@@ -268,11 +267,18 @@ struct WorkerTask {
     scalars: Vec<Scalar>,
     arrays: Vec<ArrObj>,
     shared_steps: Option<Arc<AtomicU64>>,
+    /// Bytecode of the running unit + this loop's body block, when the
+    /// VM engine drives execution (`None` pair = tree-walk).
+    bc: Option<Arc<crate::bytecode::BcUnit>>,
+    body: Option<u32>,
 }
 
 fn worker_run(task: WorkerTask) -> WorkerOut {
-    let WorkerTask { wid, l, iters, plan, queue, cfg, scalars, arrays, shared_steps } = task;
+    let WorkerTask { wid, l, iters, plan, queue, cfg, scalars, arrays, shared_steps, bc, body } =
+        task;
     let mut it = Interp::for_worker(&cfg, scalars, arrays, shared_steps);
+    it.bc = bc;
+    let bc_arc = it.bc.clone();
     let mut chunks: Vec<ChunkOut> = Vec::new();
     let mut err: Option<(usize, MachineError)> = None;
     let n_chunks = plan.n_chunks();
@@ -305,7 +311,7 @@ fn worker_run(task: WorkerTask) -> WorkerOut {
         }
         let mut chunk_err: Option<(usize, MachineError)> = None;
         for idx in start..end {
-            match it.run_one_iteration(&l, iters[idx]) {
+            match it.run_one_iteration(&l, iters[idx], body, bc_arc.as_deref()) {
                 Ok(Flow::Normal) => {}
                 // STOP bodies never reach the threaded path (serial
                 // fallback), but surface it as an error defensively
@@ -343,7 +349,7 @@ fn worker_run(task: WorkerTask) -> WorkerOut {
             break;
         }
     }
-    WorkerOut { wid, arrays: it.arrays, loops: it.loops, chunks, err }
+    WorkerOut { wid, arrays: it.arrays, loops: it.loop_stats, chunks, err }
 }
 
 fn reset_to_identity(it: &mut Interp<'_>, op: RedOp, target: RRef) {
@@ -466,6 +472,7 @@ pub(crate) fn run_threaded_loop(
     interp: &mut Interp<'_>,
     l: &RLoop,
     iters: &[i64],
+    body: Option<u32>,
 ) -> Result<Flow, MachineError> {
     let trip = iters.len();
     if trip == 0 {
@@ -480,7 +487,7 @@ pub(crate) fn run_threaded_loop(
     // only exact serial execution preserves that.
     let shared = cached_loop(interp, l);
     if shared.has_stop {
-        return interp.run_serial_loop(l, iters);
+        return interp.run_serial_loop(l, iters, body);
     }
 
     let pool_threads = interp.pool.as_ref().map(|p| p.threads());
@@ -506,6 +513,8 @@ pub(crate) fn run_threaded_loop(
                 scalars: interp.scalars.clone(),
                 arrays: interp.arrays.clone(),
                 shared_steps: interp.shared_steps.clone(),
+                bc: interp.bc.clone(),
+                body,
             };
             let tx = tx.clone();
             pool.submit(Box::new(move || {
@@ -570,8 +579,14 @@ pub(crate) fn run_threaded_loop(
 
     // -- merge nested-loop stats ----------------------------------------
     for w in &results {
-        for (label, st) in &w.loops {
-            let e = interp.loops.entry(label.clone()).or_default();
+        for (i, slot) in w.loops.iter().enumerate() {
+            let Some((label, st)) = slot else { continue };
+            if i >= interp.loop_stats.len() {
+                interp.loop_stats.resize_with(i + 1, || None);
+            }
+            let e = &mut interp.loop_stats[i]
+                .get_or_insert_with(|| (label.clone(), Default::default()))
+                .1;
             e.invocations += st.invocations;
             e.parallel_invocations += st.parallel_invocations;
             e.spec_success += st.spec_success;
@@ -694,8 +709,7 @@ pub(crate) fn run_threaded_loop(
     }
     interp.recorder.count(polaris_obs::Counter::ThreadedMergeBytes, merge_bytes);
 
-    let entry = interp.loops.entry(l.label.clone()).or_default();
-    entry.parallel_invocations += 1;
+    interp.loop_entry(l).parallel_invocations += 1;
     Ok(Flow::Normal)
 }
 

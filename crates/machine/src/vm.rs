@@ -1,0 +1,648 @@
+//! The register VM: flat dispatch over [`crate::bytecode`] blocks.
+//!
+//! This is the hot loop of [`crate::Engine::Vm`]. It executes one
+//! [`BcBlock`] at a time against the interpreter's live state (scalars,
+//! arrays, cycle/fuel counters, oracle and speculation hooks), using a
+//! recycled raw `u64` register frame per block activation (`f64` values
+//! are bit-cast, logicals are `0`/`1`). `CallLoop` re-enters the shared
+//! loop orchestration in `exec::run_loop`, which calls back into
+//! [`Interp::run_block`] for each iteration of a VM-engine loop.
+//!
+//! **Parity contract** (pinned by `tests/vm_equivalence.rs` and the
+//! existing machine suite, which runs under the VM by default): for any
+//! program, the VM and the tree-walker produce bit-identical output,
+//! identical simulated cycles, identical fuel-step positions, and the
+//! same error (variant *and* payload) at the same execution point. Every
+//! charge and side-effect below is therefore ordered exactly as in
+//! `exec::eval`/`exec::run_stmt`:
+//!
+//! * subscripts are evaluated and converted left-to-right, *then*
+//!   bounds-checked dimension by dimension (`element_index` order);
+//! * an assignment's rhs evaluates before its subscripts; a binop's lhs
+//!   before its rhs; operator cycles are charged before the operation;
+//! * the data-dependent charges survive typing: integer divide by a
+//!   positive power of two costs `alu`, `x**k` costs `k` multiplies for
+//!   small non-negative `k` — both checked on the run-time value;
+//! * read path: memory charge → oracle `array_read` → speculation mark;
+//!   write path: memory charge → speculation mark → oracle `array_write`
+//!   → store;
+//! * statements the type inference could not prove safe run through
+//!   [`Instr::Exec`], i.e. the tree-walker itself.
+//!
+//! Typed opcodes read their operand types from compile-time inference,
+//! which is sound because F-Mini storage never changes type at run time
+//! (`Scalar::set`/`ArrData::set` write through the existing variant).
+//!
+//! Cycle charges accumulate in a dispatch-local counter and flush to
+//! `Interp::cycles` only at *observation points* — `CallLoop` and `Exec`
+//! (the callee reads the running total) and block exit (the codegen
+//! model rescales the block's delta). Between observation points only
+//! the sum matters, so the accumulation order is free; cycles are not
+//! part of any error payload, so early `?` returns may drop an
+//! unflushed remainder without breaking engine parity.
+
+use crate::bytecode::{ArrMeta, BcBlock, BcUnit, Instr, PrintItem, SubSrc};
+use crate::error::MachineError;
+use crate::exec::{int_pow, Flow, Interp};
+use crate::value::{ArrData, Scalar};
+use polaris_ir::expr::BinOp;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Flatten converted subscripts against pre-resolved strides, with the
+/// tree-walker's exact bounds-check order and error payload.
+///
+/// The returned offset is always in range for the array's backing
+/// vector: each term contributes at most `(extent-1) * stride`, and the
+/// strides were derived from the extents at compile time.
+#[inline(always)]
+fn flatten(bc: &BcUnit, meta: &ArrMeta, idxs: &[i64]) -> Result<usize, MachineError> {
+    let mut off = 0i64;
+    for (s, d) in idxs.iter().zip(meta.dims.iter()) {
+        let z = s - d.low;
+        if z < 0 || z >= d.extent {
+            return Err(MachineError::OutOfBounds {
+                array: bc.interner.resolve(meta.name).to_string(),
+                index: *s,
+                len: d.extent as usize,
+            });
+        }
+        off += z * d.stride;
+    }
+    Ok(off as usize)
+}
+
+impl Interp<'_> {
+    /// Evaluate one fused subscript to its integer value, charging what
+    /// its tree-walk expansion charges (in the same order): a scalar
+    /// read for `Slot`, a scalar read plus one `alu` add for `SlotOff`,
+    /// nothing for a register or literal. Conversion follows `V::as_i`.
+    #[inline(always)]
+    fn sub_value(&mut self, cyc: &mut u64, regs: &[u64], src: SubSrc) -> Result<i64, MachineError> {
+        match src {
+            SubSrc::RegI(r) => Ok(regs[r as usize] as i64),
+            SubSrc::RegR(r) => Ok(f64::from_bits(regs[r as usize]) as i64),
+            SubSrc::Imm(v) => Ok(v as i64),
+            SubSrc::Slot(s) => {
+                *cyc += self.cfg.cost.scalar;
+                if let Some(o) = self.oracle.as_deref_mut() {
+                    o.scalar_read(s as usize);
+                }
+                match self.scalars[s as usize] {
+                    Scalar::I(x) => Ok(x),
+                    Scalar::R(x) => Ok(x as i64),
+                    Scalar::B(_) => Err(MachineError::Type("logical used as integer".into())),
+                }
+            }
+            SubSrc::SlotOff(s, off) => {
+                *cyc += self.cfg.cost.scalar;
+                if let Some(o) = self.oracle.as_deref_mut() {
+                    o.scalar_read(s as usize);
+                }
+                let v = self.scalars[s as usize];
+                // eval_binop charges the Add before any type dispatch.
+                *cyc += self.cfg.cost.alu;
+                match v {
+                    Scalar::I(x) => Ok(x.wrapping_add(off as i64)),
+                    Scalar::R(x) => Ok((x + off as f64) as i64),
+                    Scalar::B(_) => Err(MachineError::Type("logical used as integer".into())),
+                }
+            }
+        }
+    }
+
+    /// Resolve a fused element access to a flat index: evaluate every
+    /// subscript first (left to right, with per-subscript charges), then
+    /// bounds-check against the pre-resolved dims — `element_index`'s
+    /// order exactly.
+    #[inline(always)]
+    fn element(
+        &mut self,
+        cyc: &mut u64,
+        bc: &BcUnit,
+        regs: &[u64],
+        arr: u32,
+        sub: u32,
+        n: u8,
+    ) -> Result<usize, MachineError> {
+        let window = &bc.subs[sub as usize..sub as usize + n as usize];
+        let meta = &bc.arrays[arr as usize];
+        // F-Mini arrays are low-rank; a stack buffer covers every real
+        // program and the heap path covers pathological ones.
+        if window.len() <= 8 {
+            let mut buf = [0i64; 8];
+            for (b, src) in buf.iter_mut().zip(window) {
+                *b = self.sub_value(cyc, regs, *src)?;
+            }
+            flatten(bc, meta, &buf[..window.len()])
+        } else {
+            let mut heap = Vec::with_capacity(window.len());
+            for src in window {
+                heap.push(self.sub_value(cyc, regs, *src)?);
+            }
+            flatten(bc, meta, &heap)
+        }
+    }
+
+    /// Execute block `blk` of `bc` to completion (Halt/Stop/error),
+    /// drawing a register frame from the recycle pool. Frames are not
+    /// cleared between activations: register allocation is stack-shaped
+    /// and def-before-use, so stale values are never observable.
+    pub(crate) fn run_block(&mut self, bc: &BcUnit, blk: u32) -> Result<Flow, MachineError> {
+        let block = &bc.blocks[blk as usize];
+        let mut regs = self.vm_pool.pop().unwrap_or_default();
+        if regs.len() < block.max_regs {
+            regs.resize(block.max_regs, 0);
+        }
+        let res = self.dispatch(bc, block, &mut regs);
+        self.vm_pool.push(regs);
+        res
+    }
+
+    fn dispatch(
+        &mut self,
+        bc: &BcUnit,
+        block: &BcBlock,
+        regs: &mut [u64],
+    ) -> Result<Flow, MachineError> {
+        // `cfg` is a shared reference field, so this borrow is
+        // independent of `&mut self`.
+        let c = &self.cfg.cost;
+        let code = &block.code[..];
+        let mut pc = 0usize;
+        // Dispatch-local cycle accumulator; see the module doc for the
+        // flush discipline.
+        let mut cyc: u64 = 0;
+        // SAFETY of the register accessors: the compiler sizes each
+        // frame (`BcBlock::max_regs` tracks the highest register any
+        // instruction touches) and `run_block` resizes the frame to at
+        // least that, so every operand index is in bounds by
+        // construction.
+        macro_rules! rd {
+            ($r:expr) => {{
+                debug_assert!(($r as usize) < regs.len());
+                unsafe { *regs.get_unchecked($r as usize) }
+            }};
+        }
+        macro_rules! wr {
+            ($r:expr, $v:expr) => {{
+                let v = $v;
+                debug_assert!(($r as usize) < regs.len());
+                unsafe { *regs.get_unchecked_mut($r as usize) = v }
+            }};
+        }
+        macro_rules! f {
+            ($r:expr) => {
+                f64::from_bits(rd!($r))
+            };
+        }
+        macro_rules! i {
+            ($r:expr) => {
+                rd!($r) as i64
+            };
+        }
+        loop {
+            // SAFETY: `pc` only advances sequentially through a block
+            // that the compiler terminates with Halt/Jump/Stop, or jumps
+            // to a label the compiler resolved inside `code`.
+            debug_assert!(pc < code.len());
+            let instr = unsafe { code.get_unchecked(pc) };
+            pc += 1;
+            match instr {
+                Instr::Step => {
+                    if !self.quiet_steps {
+                        self.charge_step()?;
+                    }
+                }
+                Instr::LitI(d, v) => wr!(*d, *v as u64),
+                Instr::LitR(d, v) => wr!(*d, v.to_bits()),
+                Instr::LitB(d, v) => wr!(*d, *v as u64),
+                Instr::LoadI(d, slot) => {
+                    cyc += c.scalar;
+                    if let Some(o) = self.oracle.as_deref_mut() {
+                        o.scalar_read(*slot as usize);
+                    }
+                    let Scalar::I(x) = self.scalars[*slot as usize] else {
+                        unreachable!("scalar slot retyped")
+                    };
+                    wr!(*d, x as u64);
+                }
+                Instr::LoadR(d, slot) => {
+                    cyc += c.scalar;
+                    if let Some(o) = self.oracle.as_deref_mut() {
+                        o.scalar_read(*slot as usize);
+                    }
+                    let Scalar::R(x) = self.scalars[*slot as usize] else {
+                        unreachable!("scalar slot retyped")
+                    };
+                    wr!(*d, x.to_bits());
+                }
+                Instr::LoadB(d, slot) => {
+                    cyc += c.scalar;
+                    if let Some(o) = self.oracle.as_deref_mut() {
+                        o.scalar_read(*slot as usize);
+                    }
+                    let Scalar::B(x) = self.scalars[*slot as usize] else {
+                        unreachable!("scalar slot retyped")
+                    };
+                    wr!(*d, x as u64);
+                }
+                Instr::StoreI(slot, r) => {
+                    cyc += c.scalar;
+                    if let Some(o) = self.oracle.as_deref_mut() {
+                        o.scalar_write(*slot as usize);
+                    }
+                    let Scalar::I(x) = &mut self.scalars[*slot as usize] else {
+                        unreachable!("scalar slot retyped")
+                    };
+                    *x = rd!(*r) as i64;
+                }
+                Instr::StoreR(slot, r) => {
+                    cyc += c.scalar;
+                    if let Some(o) = self.oracle.as_deref_mut() {
+                        o.scalar_write(*slot as usize);
+                    }
+                    let Scalar::R(x) = &mut self.scalars[*slot as usize] else {
+                        unreachable!("scalar slot retyped")
+                    };
+                    *x = f64::from_bits(rd!(*r));
+                }
+                Instr::StoreB(slot, r) => {
+                    cyc += c.scalar;
+                    if let Some(o) = self.oracle.as_deref_mut() {
+                        o.scalar_write(*slot as usize);
+                    }
+                    let Scalar::B(x) = &mut self.scalars[*slot as usize] else {
+                        unreachable!("scalar slot retyped")
+                    };
+                    *x = rd!(*r) != 0;
+                }
+                Instr::IToR(d, s) => wr!(*d, (i!(*s) as f64).to_bits()),
+                Instr::RToI(d, s) => wr!(*d, (f!(*s) as i64) as u64),
+                Instr::LoadEI { dst, arr, sub, n } => {
+                    let idx = self.element(&mut cyc, bc, regs, *arr, *sub, *n)?;
+                    let a = *arr as usize;
+                    cyc += c.memory;
+                    if let Some(o) = self.oracle.as_deref_mut() {
+                        o.array_read(a, idx);
+                    }
+                    self.spec_read(&mut cyc, a, idx);
+                    let ArrData::I(v) = &*self.arrays[a].data else {
+                        unreachable!("array retyped")
+                    };
+                    debug_assert!(idx < v.len());
+                    // SAFETY: `flatten` bounds-checked every dimension.
+                    wr!(*dst, unsafe { *v.get_unchecked(idx) } as u64);
+                }
+                Instr::LoadER { dst, arr, sub, n } => {
+                    let idx = self.element(&mut cyc, bc, regs, *arr, *sub, *n)?;
+                    let a = *arr as usize;
+                    cyc += c.memory;
+                    if let Some(o) = self.oracle.as_deref_mut() {
+                        o.array_read(a, idx);
+                    }
+                    self.spec_read(&mut cyc, a, idx);
+                    let ArrData::R(v) = &*self.arrays[a].data else {
+                        unreachable!("array retyped")
+                    };
+                    debug_assert!(idx < v.len());
+                    // SAFETY: `flatten` bounds-checked every dimension.
+                    wr!(*dst, unsafe { *v.get_unchecked(idx) }.to_bits());
+                }
+                Instr::LoadEB { dst, arr, sub, n } => {
+                    let idx = self.element(&mut cyc, bc, regs, *arr, *sub, *n)?;
+                    let a = *arr as usize;
+                    cyc += c.memory;
+                    if let Some(o) = self.oracle.as_deref_mut() {
+                        o.array_read(a, idx);
+                    }
+                    self.spec_read(&mut cyc, a, idx);
+                    let ArrData::B(v) = &*self.arrays[a].data else {
+                        unreachable!("array retyped")
+                    };
+                    wr!(*dst, v[idx] as u64);
+                }
+                Instr::StoreEI { arr, src, sub, n } => {
+                    let idx = self.element(&mut cyc, bc, regs, *arr, *sub, *n)?;
+                    let a = *arr as usize;
+                    cyc += c.memory;
+                    self.spec_write(&mut cyc, a, idx);
+                    if let Some(o) = self.oracle.as_deref_mut() {
+                        o.array_write(a, idx);
+                    }
+                    let ArrData::I(v) = Arc::make_mut(&mut self.arrays[a].data) else {
+                        unreachable!("array retyped")
+                    };
+                    debug_assert!(idx < v.len());
+                    let x = rd!(*src) as i64;
+                    // SAFETY: `flatten` bounds-checked every dimension.
+                    unsafe { *v.get_unchecked_mut(idx) = x };
+                }
+                Instr::StoreER { arr, src, sub, n } => {
+                    let idx = self.element(&mut cyc, bc, regs, *arr, *sub, *n)?;
+                    let a = *arr as usize;
+                    cyc += c.memory;
+                    self.spec_write(&mut cyc, a, idx);
+                    if let Some(o) = self.oracle.as_deref_mut() {
+                        o.array_write(a, idx);
+                    }
+                    let ArrData::R(v) = Arc::make_mut(&mut self.arrays[a].data) else {
+                        unreachable!("array retyped")
+                    };
+                    debug_assert!(idx < v.len());
+                    let x = f64::from_bits(rd!(*src));
+                    // SAFETY: `flatten` bounds-checked every dimension.
+                    unsafe { *v.get_unchecked_mut(idx) = x };
+                }
+                Instr::StoreEB { arr, src, sub, n } => {
+                    let idx = self.element(&mut cyc, bc, regs, *arr, *sub, *n)?;
+                    let a = *arr as usize;
+                    cyc += c.memory;
+                    self.spec_write(&mut cyc, a, idx);
+                    if let Some(o) = self.oracle.as_deref_mut() {
+                        o.array_write(a, idx);
+                    }
+                    let ArrData::B(v) = Arc::make_mut(&mut self.arrays[a].data) else {
+                        unreachable!("array retyped")
+                    };
+                    v[idx] = rd!(*src) != 0;
+                }
+                Instr::AddI(d, a, b) => {
+                    cyc += c.alu;
+                    wr!(*d, i!(*a).wrapping_add(i!(*b)) as u64);
+                }
+                Instr::SubI(d, a, b) => {
+                    cyc += c.alu;
+                    wr!(*d, i!(*a).wrapping_sub(i!(*b)) as u64);
+                }
+                Instr::MulI(d, a, b) => {
+                    cyc += c.mul;
+                    wr!(*d, i!(*a).wrapping_mul(i!(*b)) as u64);
+                }
+                Instr::DivI(d, a, b) => {
+                    let y = i!(*b);
+                    cyc += if y > 0 && (y & (y - 1)) == 0 { c.alu } else { c.div };
+                    if y == 0 {
+                        return Err(MachineError::DivByZero);
+                    }
+                    wr!(*d, i!(*a).wrapping_div(y) as u64);
+                }
+                Instr::PowI(d, a, b) => {
+                    let k = i!(*b);
+                    cyc += if (0..=3).contains(&k) {
+                        c.mul * (k.max(1) as u64)
+                    } else {
+                        c.intrinsic
+                    };
+                    wr!(*d, int_pow(i!(*a), k) as u64);
+                }
+                Instr::AddR(d, a, b) => {
+                    cyc += c.alu;
+                    wr!(*d, (f!(*a) + f!(*b)).to_bits());
+                }
+                Instr::SubR(d, a, b) => {
+                    cyc += c.alu;
+                    wr!(*d, (f!(*a) - f!(*b)).to_bits());
+                }
+                Instr::MulR(d, a, b) => {
+                    cyc += c.mul;
+                    wr!(*d, (f!(*a) * f!(*b)).to_bits());
+                }
+                Instr::DivR(d, a, b) => {
+                    cyc += c.div;
+                    wr!(*d, (f!(*a) / f!(*b)).to_bits());
+                }
+                Instr::PowR(d, a, b) => {
+                    cyc += c.intrinsic;
+                    wr!(*d, f!(*a).powf(f!(*b)).to_bits());
+                }
+                Instr::DivRI(d, a, b) => {
+                    // Real / integer-typed rhs: the power-of-two charge
+                    // check reads the integer before promotion.
+                    let y = i!(*b);
+                    cyc += if y > 0 && (y & (y - 1)) == 0 { c.alu } else { c.div };
+                    wr!(*d, (f!(*a) / y as f64).to_bits());
+                }
+                Instr::PowRI(d, a, b) => {
+                    let k = i!(*b);
+                    cyc += if (0..=3).contains(&k) {
+                        c.mul * (k.max(1) as u64)
+                    } else {
+                        c.intrinsic
+                    };
+                    wr!(*d, f!(*a).powf(k as f64).to_bits());
+                }
+                Instr::NegI(d, s) => {
+                    cyc += c.alu;
+                    wr!(*d, (-i!(*s)) as u64);
+                }
+                Instr::NegR(d, s) => {
+                    cyc += c.alu;
+                    wr!(*d, (-f!(*s)).to_bits());
+                }
+                Instr::NotB(d, s) => {
+                    cyc += c.alu;
+                    wr!(*d, rd!(*s) ^ 1);
+                }
+                Instr::CmpI(op, d, a, b) => {
+                    cyc += c.alu;
+                    let (x, y) = (i!(*a), i!(*b));
+                    wr!(
+                        *d,
+                        match op {
+                            BinOp::Lt => x < y,
+                            BinOp::Le => x <= y,
+                            BinOp::Gt => x > y,
+                            BinOp::Ge => x >= y,
+                            BinOp::Eq => x == y,
+                            BinOp::Ne => x != y,
+                            _ => unreachable!("non-comparison in CmpI"),
+                        } as u64
+                    );
+                }
+                Instr::CmpR(op, d, a, b) => {
+                    cyc += c.alu;
+                    let (x, y) = (f!(*a), f!(*b));
+                    wr!(
+                        *d,
+                        match op {
+                            BinOp::Lt => x < y,
+                            BinOp::Le => x <= y,
+                            BinOp::Gt => x > y,
+                            BinOp::Ge => x >= y,
+                            BinOp::Eq => x == y,
+                            BinOp::Ne => x != y,
+                            _ => unreachable!("non-comparison in CmpR"),
+                        } as u64
+                    );
+                }
+                Instr::AndB(d, a, b) => {
+                    cyc += c.alu;
+                    wr!(*d, rd!(*a) & rd!(*b));
+                }
+                Instr::OrB(d, a, b) => {
+                    cyc += c.alu;
+                    wr!(*d, rd!(*a) | rd!(*b));
+                }
+                Instr::Intrin { intr, dst, n, real } => {
+                    cyc += self.intrinsic(c, regs, *intr, *dst, *n, *real)?;
+                }
+                Instr::Branch => cyc += c.branch,
+                Instr::Jump(l) => pc = block.labels[*l as usize] as usize,
+                Instr::JumpIfNot(r, l) => {
+                    if rd!(*r) == 0 {
+                        pc = block.labels[*l as usize] as usize;
+                    }
+                }
+                Instr::Print(items) => {
+                    let mut line = String::new();
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            line.push(' ');
+                        }
+                        match item {
+                            PrintItem::Str(sym) => line.push_str(bc.interner.resolve(*sym)),
+                            PrintItem::RegI(r) => line.push_str(&i!(*r).to_string()),
+                            PrintItem::RegR(r) => {
+                                let _ = write!(line, "{:.6E}", f!(*r));
+                            }
+                            PrintItem::RegB(r) => {
+                                line.push_str(if rd!(*r) != 0 { "T" } else { "F" })
+                            }
+                        }
+                    }
+                    self.output.push(line);
+                }
+                Instr::CallLoop(i) => {
+                    // Observation point: loop orchestration snapshots and
+                    // rescales `self.cycles`.
+                    self.cycles += cyc;
+                    cyc = 0;
+                    let (l, body) = &bc.loops[*i as usize];
+                    let l = Arc::clone(l);
+                    if self.run_loop(&l, Some(*body))? == Flow::Stop {
+                        return Ok(Flow::Stop);
+                    }
+                }
+                Instr::Stop => {
+                    self.cycles += cyc;
+                    return Ok(Flow::Stop);
+                }
+                Instr::Exec(i) => {
+                    // Observation point: the tree-walker charges into
+                    // `self.cycles` directly.
+                    self.cycles += cyc;
+                    cyc = 0;
+                    if self.run_stmt(&bc.stmts[*i as usize])? == Flow::Stop {
+                        return Ok(Flow::Stop);
+                    }
+                }
+                Instr::Halt => {
+                    self.cycles += cyc;
+                    return Ok(Flow::Normal);
+                }
+            }
+        }
+    }
+
+    /// Speculation hooks shared by the element access opcodes; the
+    /// `is_empty` check keeps them to one predictable branch outside
+    /// speculative loops.
+    #[inline]
+    fn spec_read(&mut self, cyc: &mut u64, a: usize, idx: usize) {
+        if !self.spec.is_empty() {
+            let t = self.spec_iter;
+            let mark = self.cfg.cost.spec_mark;
+            if let Some((_, sh)) = self.spec.iter_mut().find(|(x, _)| *x == a) {
+                sh.on_read(idx, t);
+                *cyc += mark;
+            }
+        }
+    }
+
+    #[inline]
+    fn spec_write(&mut self, cyc: &mut u64, a: usize, idx: usize) {
+        if !self.spec.is_empty() {
+            let t = self.spec_iter;
+            let mark = self.cfg.cost.spec_mark;
+            if let Some((_, sh)) = self.spec.iter_mut().find(|(x, _)| *x == a) {
+                sh.on_write(idx, t);
+                *cyc += mark;
+            }
+        }
+    }
+
+    /// Typed intrinsic over the register window `dst..dst+n`; returns
+    /// the cycles to charge. Arguments were uniformly converted by the
+    /// compiler when `real`; the charge and numeric semantics mirror
+    /// `exec::eval_intrinsic` exactly.
+    fn intrinsic(
+        &mut self,
+        c: &crate::cost::CostModel,
+        regs: &mut [u64],
+        intr: crate::lower::Intr,
+        dst: crate::bytecode::Reg,
+        n: u8,
+        real: bool,
+    ) -> Result<u64, MachineError> {
+        use crate::lower::Intr;
+        let cheap = matches!(
+            intr,
+            Intr::Mod
+                | Intr::Max
+                | Intr::Min
+                | Intr::Abs
+                | Intr::Int
+                | Intr::Nint
+                | Intr::ToReal
+                | Intr::Sign
+        );
+        let charge = if cheap { c.mul } else { c.intrinsic };
+        let base = dst as usize;
+        let fa = |i: usize| f64::from_bits(regs[base + i]);
+        let ia = |i: usize| regs[base + i] as i64;
+        regs[base] = match (intr, real) {
+            (Intr::Mod, true) => (fa(0) % fa(1)).to_bits(),
+            (Intr::Mod, false) => {
+                if ia(1) == 0 {
+                    return Err(MachineError::DivByZero);
+                }
+                (ia(0) % ia(1)) as u64
+            }
+            (Intr::Max, true) => {
+                (1..n as usize).fold(fa(0), |acc, i| acc.max(fa(i))).to_bits()
+            }
+            (Intr::Min, true) => {
+                (1..n as usize).fold(fa(0), |acc, i| acc.min(fa(i))).to_bits()
+            }
+            (Intr::Max, false) => (1..n as usize).fold(ia(0), |acc, i| acc.max(ia(i))) as u64,
+            (Intr::Min, false) => (1..n as usize).fold(ia(0), |acc, i| acc.min(ia(i))) as u64,
+            (Intr::Abs, true) => fa(0).abs().to_bits(),
+            // `.abs()` rather than `.unsigned_abs()`: the tree-walker
+            // uses `i64::abs`, and debug-build overflow panics must
+            // match between engines.
+            #[allow(clippy::cast_abs_to_unsigned)]
+            (Intr::Abs, false) => ia(0).abs() as u64,
+            (Intr::Sign, true) => {
+                (fa(0).abs() * if fa(1) < 0.0 { -1.0 } else { 1.0 }).to_bits()
+            }
+            (Intr::Sign, false) => (ia(0).abs() * if ia(1) < 0 { -1 } else { 1 }) as u64,
+            (Intr::Sqrt, _) => fa(0).sqrt().to_bits(),
+            (Intr::Sin, _) => fa(0).sin().to_bits(),
+            (Intr::Cos, _) => fa(0).cos().to_bits(),
+            (Intr::Tan, _) => fa(0).tan().to_bits(),
+            (Intr::Exp, _) => fa(0).exp().to_bits(),
+            (Intr::Log, _) => fa(0).ln().to_bits(),
+            (Intr::Atan, _) => fa(0).atan().to_bits(),
+            // INT of an integer is the identity (but still charges);
+            // of a real it truncates like `V::as_i`.
+            (Intr::Int, false) => regs[base],
+            (Intr::Int, true) => (fa(0) as i64) as u64,
+            // NINT always takes the real path (`as_r` then round).
+            (Intr::Nint, _) => (fa(0).round() as i64) as u64,
+            // REAL()'s argument was already converted by the compiler.
+            (Intr::ToReal, _) => regs[base],
+        };
+        Ok(charge)
+    }
+}

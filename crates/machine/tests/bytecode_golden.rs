@@ -1,0 +1,79 @@
+//! Golden snapshots of the bytecode disassembly for MDG (histogram
+//! reductions, fully parallel) and TRACK (the partially parallel
+//! PD-test loop), after the full Polaris pass pipeline. The listing is
+//! deterministic — interned symbol ids, jump tables, pre-resolved
+//! strides and register counts all derive from the lowering order — so
+//! any drift means the instruction encoding or the lowering changed.
+//!
+//! Regeneration: `UPDATE_GOLDEN=1 cargo test -p polaris-machine --test
+//! bytecode_golden` rewrites the snapshots; commit the diff if (and
+//! only if) the change is intentional.
+
+use polaris_core::{parse_and_compile, PassOptions};
+use polaris_machine::bytecode;
+use polaris_machine::lower::lower;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn kernel_source(file: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../benchmarks/codes")
+        .join(file);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+fn disassembly(file: &str) -> String {
+    let src = kernel_source(file);
+    let (program, report) = parse_and_compile(&src, &PassOptions::polaris())
+        .unwrap_or_else(|e| panic!("{file}: compile: {e}"));
+    assert!(!report.degraded(), "{file}: pipeline degraded");
+    let image = lower(&program).unwrap_or_else(|e| panic!("{file}: lower: {e}"));
+    bytecode::compile(&image).map(|bc| bytecode::disassemble(&bc)).unwrap_or_else(|e| {
+        panic!("{file}: bytecode compile: {e}")
+    })
+}
+
+fn check_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run `UPDATE_GOLDEN=1 cargo test -p \
+             polaris-machine --test bytecode_golden`",
+            path.display()
+        )
+    });
+    assert!(
+        got == want,
+        "{name} drifted from its golden snapshot (UPDATE_GOLDEN=1 regenerates if \
+         intentional)\n--- want ---\n{want}\n--- got ---\n{got}"
+    );
+}
+
+#[test]
+fn mdg_disassembly_matches_golden() {
+    check_golden("mdg.dis", &disassembly("mdg.f"));
+}
+
+#[test]
+fn track_disassembly_matches_golden() {
+    check_golden("track.dis", &disassembly("track.f"));
+}
+
+/// The disassembly is a pure function of the unit: compiling the same
+/// image twice yields byte-identical listings (interner and jump-table
+/// construction are deterministic).
+#[test]
+fn disassembly_is_deterministic() {
+    for file in ["mdg.f", "track.f"] {
+        assert_eq!(disassembly(file), disassembly(file), "{file}");
+    }
+}

@@ -331,8 +331,20 @@ impl Recorder {
         self.span_with(cat, name, 1, None, None)
     }
 
-    /// Open a span describing a specific loop.
+    /// Open a span describing a specific loop. This sits on the
+    /// interpreter's per-loop-invocation path, so the disabled recorder
+    /// must not even format the name.
     pub fn loop_span(&self, cat: &'static str, label: &str, id: LoopId) -> Span {
+        if self.inner.is_none() {
+            return Span {
+                rec: self.clone(),
+                cat,
+                name: String::new(),
+                tid: 1,
+                recorded: false,
+                closed: true,
+            };
+        }
         self.span_with(cat, format!("loop:{label}"), 1, Some(id), None)
     }
 

@@ -26,6 +26,7 @@ const D_CORRUPT: u64 = 0x636f7272; // "corr"
 const D_STALL: u64 = 0x7374616c; // "stal"
 const D_KILL: u64 = 0x6b696c6c; // "kill"
 const D_POISON: u64 = 0x706f6973; // "pois"
+const D_EXEC: u64 = 0x65786563; // "exec"
 
 /// Chaos decisions the service consults. All defaults are "no fault".
 pub trait ChaosHook: Send + Sync {
@@ -48,6 +49,18 @@ pub trait ChaosHook: Send + Sync {
     fn poison_cache(&self, key: u64, req_id: u64) -> bool {
         let _ = (key, req_id);
         false
+    }
+
+    /// Panic the execution engine (when [`ServiceConfig::exec_engine`] is
+    /// set) once the interpreter's step counter reaches the returned
+    /// value — a crash *inside* statement dispatch, caught by the same
+    /// per-attempt isolation as a compile panic and retried identically
+    /// under both engines.
+    ///
+    /// [`ServiceConfig::exec_engine`]: crate::service::ServiceConfig::exec_engine
+    fn exec_panic(&self, key: u64, req_id: u64, attempt: u32) -> Option<u64> {
+        let _ = (key, req_id, attempt);
+        None
     }
 }
 
@@ -74,6 +87,9 @@ pub struct ChaosPlan {
     pub stall: Option<(u8, u64)>,
     pub kill_pct: u8,
     pub poison_pct: u8,
+    /// Rate of injected panics inside statement execution (only
+    /// meaningful when the service executes compiled programs).
+    pub exec_panic_pct: u8,
     pub curse: Option<Curse>,
 }
 
@@ -86,6 +102,7 @@ impl ChaosPlan {
             stall: None,
             kill_pct: 0,
             poison_pct: 0,
+            exec_panic_pct: 0,
             curse: None,
         }
     }
@@ -112,6 +129,11 @@ impl ChaosPlan {
 
     pub fn with_poison_pct(mut self, pct: u8) -> ChaosPlan {
         self.poison_pct = pct;
+        self
+    }
+
+    pub fn with_exec_panic_pct(mut self, pct: u8) -> ChaosPlan {
+        self.exec_panic_pct = pct;
         self
     }
 
@@ -178,6 +200,16 @@ impl ChaosHook for ChaosPlan {
 
     fn poison_cache(&self, key: u64, req_id: u64) -> bool {
         self.roll(D_POISON, key, req_id) % 100 < self.poison_pct as u64
+    }
+
+    fn exec_panic(&self, key: u64, req_id: u64, attempt: u32) -> Option<u64> {
+        if attempt > 1 || self.cursed(key, req_id) {
+            return None; // transient, like every other rate fault
+        }
+        let r = self.roll(D_EXEC, key, req_id);
+        // Steps 1..=32: early enough to fire inside any real program's
+        // execution, varied enough to land in different statements.
+        (r % 100 < self.exec_panic_pct as u64).then_some(1 + (r >> 32) % 32)
     }
 }
 

@@ -20,8 +20,8 @@
 //! ```json
 //! {"schema": "polarisd/v1", "id": 7, "status": "ok", "exit_code": 0,
 //!  "attempts": 1, "cached": false, "checksum": "fnv1a:…",
-//!  "parallel_loops": 3, "degraded_stages": [], "reason": null,
-//!  "retry_after_ms": null, "program": null}
+//!  "run_checksum": null, "parallel_loops": 3, "degraded_stages": [],
+//!  "reason": null, "retry_after_ms": null, "program": null}
 //! ```
 //!
 //! Exit-code mapping (mirrors `polarisc`):
@@ -178,6 +178,13 @@ pub struct Response {
     pub cached: bool,
     /// FNV-1a of the unparsed transformed program, when one was produced.
     pub checksum: Option<u64>,
+    /// FNV-1a of the program's printed output when the service executed
+    /// it ([`ServiceConfig::exec_engine`] set and the compile was clean).
+    /// Engine-independent: the VM and the tree-walker produce the same
+    /// bytes, so the same checksum.
+    ///
+    /// [`ServiceConfig::exec_engine`]: crate::service::ServiceConfig::exec_engine
+    pub run_checksum: Option<u64>,
     pub parallel_loops: Option<u64>,
     /// Rolled-back stage names (or stored breaker diagnostics for
     /// `quarantined`).
@@ -201,6 +208,7 @@ impl Response {
             attempts: 0,
             cached: false,
             checksum: None,
+            run_checksum: None,
             parallel_loops: None,
             degraded_stages: Vec::new(),
             reason: None,
@@ -219,6 +227,10 @@ impl Response {
         match self.checksum {
             Some(h) => s.push_str(&format!(", \"checksum\": \"{}\"", checksum_str(h))),
             None => s.push_str(", \"checksum\": null"),
+        }
+        match self.run_checksum {
+            Some(h) => s.push_str(&format!(", \"run_checksum\": \"{}\"", checksum_str(h))),
+            None => s.push_str(", \"run_checksum\": null"),
         }
         match self.parallel_loops {
             Some(n) => s.push_str(&format!(", \"parallel_loops\": {n}")),
@@ -266,14 +278,21 @@ impl Response {
             Some("error") => Status::Error,
             other => return Err(format!("unknown status: {other:?}")),
         };
-        let checksum = match get(obj, "checksum") {
-            None | Some(Json::Null) => None,
-            Some(v) => {
-                let s = v.as_str().ok_or("`checksum` must be a string")?;
-                let hex = s.strip_prefix("fnv1a:").ok_or("checksum must be `fnv1a:…`")?;
-                Some(u64::from_str_radix(hex, 16).map_err(|e| format!("bad checksum: {e}"))?)
+        let parse_sum = |field: &str| -> Result<Option<u64>, String> {
+            match get(obj, field) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => {
+                    let s = v.as_str().ok_or(format!("`{field}` must be a string"))?;
+                    let hex =
+                        s.strip_prefix("fnv1a:").ok_or(format!("{field} must be `fnv1a:…`"))?;
+                    Ok(Some(
+                        u64::from_str_radix(hex, 16).map_err(|e| format!("bad {field}: {e}"))?,
+                    ))
+                }
             }
         };
+        let checksum = parse_sum("checksum")?;
+        let run_checksum = parse_sum("run_checksum")?;
         Ok(Response {
             id: get(obj, "id").and_then(Json::as_u64).ok_or("response needs `id`")?,
             status,
@@ -283,6 +302,7 @@ impl Response {
             attempts: get(obj, "attempts").and_then(Json::as_u64).unwrap_or(0) as u32,
             cached: matches!(get(obj, "cached"), Some(Json::Bool(true))),
             checksum,
+            run_checksum,
             parallel_loops: get(obj, "parallel_loops").and_then(Json::as_u64),
             degraded_stages: match get(obj, "degraded_stages") {
                 Some(Json::Arr(items)) => items
@@ -578,6 +598,7 @@ mod tests {
             attempts: 3,
             cached: false,
             checksum: Some(0xdeadbeef),
+            run_checksum: Some(0xfeedface),
             parallel_loops: Some(2),
             degraded_stages: vec!["dce".into()],
             reason: Some("panic: injected".into()),

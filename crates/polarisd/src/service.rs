@@ -23,6 +23,7 @@ use crate::chaos::ChaosHook;
 use crate::proto::{fnv1a, Request, Response, Status};
 use crate::retry::{RetryPolicy, SplitMix};
 use polaris_core::{CancelToken, CompileReport, PassOptions, CANCELLED_PREFIX};
+use polaris_machine::{Engine, MachineConfig, MachineError};
 use polaris_obs::{Counter, Recorder};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -48,6 +49,15 @@ pub struct ServiceConfig {
     pub default_deadline: Option<Duration>,
     /// Watchdog poll interval (deadline enforcement + worker supervision).
     pub watchdog_tick: Duration,
+    /// When set, a clean compile is also *executed* (serially, on the
+    /// chosen engine) and the response carries an FNV-1a checksum of the
+    /// program's printed output. Execution runs inside the same
+    /// panic-isolation and deadline-cancellation envelope as the compile.
+    /// `None` (the default) keeps the service compile-only.
+    pub exec_engine: Option<Engine>,
+    /// Step budget for executions (`exec_engine` set). `None` relies on
+    /// the deadline watchdog alone to stop runaway programs.
+    pub exec_fuel: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +70,8 @@ impl Default for ServiceConfig {
             breaker_cooldown: Duration::from_millis(250),
             default_deadline: None,
             watchdog_tick: Duration::from_millis(2),
+            exec_engine: None,
+            exec_fuel: None,
         }
     }
 }
@@ -612,6 +624,11 @@ fn handle(slot: usize, inner: &Arc<Inner>, pending: Pending) -> Fate {
 
         let attempt_span =
             inner.rec.span_with("polarisd", format!("attempt:{attempt}"), tid, None, None);
+        let exec_panic = inner
+            .chaos
+            .as_ref()
+            .and_then(|c| c.exec_panic(key, req_id, attempt))
+            .filter(|_| inner.cfg.exec_engine.is_some());
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut program = polaris_ir::parse(&pending.req.source)?;
             let report = polaris_core::compile_cancellable(
@@ -620,7 +637,21 @@ fn handle(slot: usize, inner: &Arc<Inner>, pending: Pending) -> Fate {
                 &Recorder::disabled(),
                 &cancel,
             )?;
-            Ok::<_, polaris_ir::CompileError>((program, report))
+            // Execute inside this same catch_unwind so a panic in either
+            // engine's statement dispatch is isolated and retried exactly
+            // like a compile panic.
+            let run = match inner.cfg.exec_engine {
+                Some(engine) if !report.degraded() => {
+                    let mut mcfg = MachineConfig::serial()
+                        .with_engine(engine)
+                        .with_cancel(cancel.clone());
+                    mcfg.fuel = inner.cfg.exec_fuel;
+                    mcfg.panic_at_step = exec_panic;
+                    Some(polaris_machine::run(&program, &mcfg))
+                }
+                _ => None,
+            };
+            Ok::<_, polaris_ir::CompileError>((program, report, run))
         }));
         attempt_span.end();
 
@@ -637,7 +668,7 @@ fn handle(slot: usize, inner: &Arc<Inner>, pending: Pending) -> Fate {
                 span.end();
                 return Fate::Continue;
             }
-            Ok(Ok((program, report))) => {
+            Ok(Ok((program, report, run))) => {
                 let cancelled = report.stages.iter().any(|s| match &s.outcome {
                     polaris_core::StageOutcome::RolledBack { reason } => {
                         reason.starts_with(CANCELLED_PREFIX)
@@ -665,9 +696,48 @@ fn handle(slot: usize, inner: &Arc<Inner>, pending: Pending) -> Fate {
                     return Fate::Continue;
                 }
                 if !report.degraded() {
-                    // Clean: the only result that may enter the cache.
                     let text = polaris_ir::printer::print_program(&program);
                     let checksum = fnv1a(text.as_bytes());
+                    match &run {
+                        // Deadline fired mid-execution: like mid-compile
+                        // cancellation, a retry would blow it again —
+                        // serve the clean compile, degraded.
+                        Some(Err(MachineError::Cancelled(reason))) => {
+                            let newly = inner
+                                .breaker
+                                .record_failure(key, format!("deadline: {reason}"));
+                            note_quarantine(inner, newly);
+                            let resp = Response {
+                                checksum: Some(checksum),
+                                parallel_loops: Some(report.parallel_loops() as u64),
+                                reason: Some(format!("deadline during execution: {reason}")),
+                                program: pending.req.return_program.then_some(text),
+                                ..base_response(&pending, Status::Degraded, attempt)
+                            };
+                            finish(inner, slot, &pending, resp);
+                            span.end();
+                            return Fate::Continue;
+                        }
+                        // Deterministic execution failure (bad subscript,
+                        // fuel exhausted, …): same input fails the same
+                        // way every time — answer, never retry.
+                        Some(Err(e)) => {
+                            let resp = Response {
+                                checksum: Some(checksum),
+                                parallel_loops: Some(report.parallel_loops() as u64),
+                                reason: Some(format!("execution error: {e}")),
+                                ..base_response(&pending, Status::Error, attempt)
+                            };
+                            finish(inner, slot, &pending, resp);
+                            span.end();
+                            return Fate::Continue;
+                        }
+                        _ => {}
+                    }
+                    let run_checksum = run
+                        .and_then(Result::ok)
+                        .map(|r| fnv1a(r.output.join("\n").as_bytes()));
+                    // Clean: the only result that may enter the cache.
                     inner.cache.insert(key, text.clone(), report.parallel_loops() as u64);
                     if inner.breaker.record_success(key) {
                         inner.tallies.recovered.fetch_add(1, Ordering::SeqCst);
@@ -675,6 +745,7 @@ fn handle(slot: usize, inner: &Arc<Inner>, pending: Pending) -> Fate {
                     }
                     let resp = Response {
                         checksum: Some(checksum),
+                        run_checksum,
                         parallel_loops: Some(report.parallel_loops() as u64),
                         program: pending.req.return_program.then_some(text),
                         ..base_response(&pending, Status::Ok, attempt)
@@ -786,6 +857,7 @@ fn base_response(pending: &Pending, status: Status, attempts: u32) -> Response {
         attempts,
         cached: false,
         checksum: None,
+        run_checksum: None,
         parallel_loops: None,
         degraded_stages: Vec::new(),
         reason: None,

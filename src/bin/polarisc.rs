@@ -21,6 +21,10 @@
 //!                   (real OS threads, chunked scheduling)
 //!   --threads N     worker threads for --exec-mode threaded
 //!                   (default: the --procs value)
+//!   --engine E      statement execution engine for --run/--diag/--oracle:
+//!                   `vm` (default; compact bytecode + register VM) or
+//!                   `tree-walk` (the recursive reference interpreter kept
+//!                   as the VM's differential oracle)
 //!   --fuel N        execution step budget for --run (default unlimited)
 //!   --validate      run the adversarial validation after --run
 //!   --profile       print the per-loop execution profile after --run
@@ -67,14 +71,14 @@
 //! `--strict` escalates the degraded exit from `1` to `2` for CI gates
 //! that want full optimization or nothing.
 
-use polaris::machine::Schedule;
+use polaris::machine::{Engine, Schedule};
 use polaris::{MachineConfig, PassOptions};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: polarisc [--vfa] [--report] [--diag] [--run] [--oracle] [--verify] \
                      [--lint] [--procs N] [--exec-mode simulated|threaded] [--threads N] \
-                     [--fuel N] [--validate] [--profile] [--strict] [--quiet] \
-                     [--trace PATH] [--metrics] [--clock monotonic|virtual] FILE.f";
+                     [--engine vm|tree-walk] [--fuel N] [--validate] [--profile] [--strict] \
+                     [--quiet] [--trace PATH] [--metrics] [--clock monotonic|virtual] FILE.f";
 
 const EXIT_DEGRADED: u8 = 1;
 const EXIT_VIOLATION: u8 = 2;
@@ -96,6 +100,7 @@ fn main() -> ExitCode {
     let mut procs = 8usize;
     let mut threaded = false;
     let mut threads: Option<usize> = None;
+    let mut engine = Engine::default();
     let mut fuel: Option<u64> = None;
     let mut inject: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
@@ -154,6 +159,15 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                     some => some,
+                };
+            }
+            "--engine" => {
+                engine = match args.next().as_deref().and_then(Engine::parse) {
+                    Some(e) => e,
+                    None => {
+                        eprintln!("polarisc: --engine needs `vm` or `tree-walk`");
+                        return ExitCode::FAILURE;
+                    }
                 };
             }
             "--fuel" => {
@@ -308,8 +322,11 @@ fn main() -> ExitCode {
         // consulted; the diagnostics always reflected the 8-proc
         // default.)
         let diag_fuel = fuel.unwrap_or(50_000_000);
-        let serial_cfg = MachineConfig::serial().with_fuel(diag_fuel);
-        let par_cfg = MachineConfig::challenge_8().with_procs(procs).with_fuel(diag_fuel);
+        let serial_cfg = MachineConfig::serial().with_fuel(diag_fuel).with_engine(engine);
+        let par_cfg = MachineConfig::challenge_8()
+            .with_procs(procs)
+            .with_fuel(diag_fuel)
+            .with_engine(engine);
         match (
             polaris_machine::run(&original, &serial_cfg),
             polaris_machine::run(&program, &par_cfg),
@@ -330,7 +347,8 @@ fn main() -> ExitCode {
         let serial_cfg = match fuel {
             Some(f) => MachineConfig::serial().with_fuel(f),
             None => MachineConfig::serial(),
-        };
+        }
+        .with_engine(engine);
         let serial = match polaris_machine::run(&original, &serial_cfg) {
             Ok(r) => r,
             Err(e) => {
@@ -342,7 +360,8 @@ fn main() -> ExitCode {
             MachineConfig::threaded(threads.unwrap_or(procs), Schedule::Static)
         } else {
             MachineConfig::challenge_8().with_procs(procs)
-        };
+        }
+        .with_engine(engine);
         if let Some(f) = fuel {
             cfg = cfg.with_fuel(f);
         }
@@ -396,7 +415,7 @@ fn main() -> ExitCode {
 
     let mut audit_report = None;
     if oracle {
-        let mut cfg = MachineConfig::serial();
+        let mut cfg = MachineConfig::serial().with_engine(engine);
         cfg.fuel = fuel;
         let audit = match polaris_machine::audit_recorded(&program, &rep, &cfg, &rec) {
             Ok(a) => a,

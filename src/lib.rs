@@ -53,7 +53,7 @@ pub use polarisd as daemon;
 
 pub use polaris_core::{CompileReport, InductionMode, LoopReport, PassOptions};
 pub use polaris_ir::{CompileError, Program};
-pub use polaris_machine::{MachineConfig, RunResult};
+pub use polaris_machine::{Engine, MachineConfig, RunResult};
 
 /// The result of [`parallelize`].
 #[derive(Debug, Clone)]

@@ -1,0 +1,311 @@
+//! Resource-cap and cancellation semantics of the bytecode VM, as a
+//! table mirroring `tests/deadline_semantics.rs`: the VM must hit the
+//! **exact same** `MachineError` classes, with the same payloads, at the
+//! same execution positions as the tree-walker — and a cancelled
+//! execution must leave nothing behind (post-cancel re-verification).
+//!
+//! | cap             | hit                               | not hit            |
+//! |-----------------|-----------------------------------|--------------------|
+//! | fuel            | `FuelExhausted` at the same step  | output = reference |
+//! | memory          | `MemoryCapExceeded`, same payload | output = reference |
+//! | cancel (token)  | `Cancelled`, same reason          | output = reference |
+//! | wall (service)  | `degraded`, exit 1, not retried   | `ok`, exit 0       |
+
+use polaris::core::PassOptions;
+use polaris::{Engine, MachineConfig, Program};
+use polaris_machine::{run_with_state, MachineError};
+use polarisd::proto::{Request, Status};
+use polarisd::service::{Service, ServiceConfig};
+use std::time::Duration;
+
+const SRC: &str = "program caps\n\
+                   real v(64)\n\
+                   s = 0.0\n\
+                   do i = 1, 64\n\
+                   \x20 v(i) = i * 2.0\n\
+                   end do\n\
+                   do i = 1, 64\n\
+                   \x20 s = s + v(i)\n\
+                   end do\n\
+                   print *, s\n\
+                   end\n";
+
+fn compiled() -> Program {
+    let (program, report) =
+        polaris::core::parse_and_compile(SRC, &PassOptions::polaris()).unwrap();
+    assert!(!report.degraded());
+    program
+}
+
+fn cfg(engine: Engine) -> MachineConfig {
+    MachineConfig::serial().with_engine(engine)
+}
+
+fn reference_output(engine: Engine) -> Vec<String> {
+    polaris_machine::run(&compiled(), &cfg(engine)).unwrap().output
+}
+
+const ENGINES: [Engine; 2] = [Engine::Vm, Engine::TreeWalk];
+
+// ---- fuel ------------------------------------------------------------
+
+/// The exact fuel boundary — the smallest budget under which the program
+/// completes — must be the same number for both engines: `Step` is
+/// emitted at every statement boundary, so the VM charges fuel at the
+/// same program points the tree-walker does.
+#[test]
+fn fuel_boundary_is_the_same_step_count_in_both_engines() {
+    let program = compiled();
+    let boundary = |engine: Engine| -> u64 {
+        let (mut lo, mut hi) = (1u64, 1_000_000u64);
+        assert!(polaris_machine::run(&program, &cfg(engine).with_fuel(hi)).is_ok());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match polaris_machine::run(&program, &cfg(engine).with_fuel(mid)) {
+                Ok(_) => hi = mid,
+                Err(MachineError::FuelExhausted { limit }) => {
+                    assert_eq!(limit, mid);
+                    lo = mid + 1;
+                }
+                Err(other) => panic!("unexpected error class at fuel {mid}: {other}"),
+            }
+        }
+        lo
+    };
+    let vm = boundary(Engine::Vm);
+    let tree = boundary(Engine::TreeWalk);
+    assert_eq!(vm, tree, "engines disagree on the exact fuel-exhaustion step");
+}
+
+#[test]
+fn fuel_hit_is_the_exact_class_in_both_engines() {
+    for engine in ENGINES {
+        let err = polaris_machine::run(&compiled(), &cfg(engine).with_fuel(10))
+            .expect_err("10 steps cannot run this program");
+        assert!(
+            matches!(err, MachineError::FuelExhausted { limit: 10 }),
+            "{engine:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn fuel_not_hit_output_matches_the_reference_in_both_engines() {
+    for engine in ENGINES {
+        let out = polaris_machine::run(&compiled(), &cfg(engine).with_fuel(2_000_000))
+            .unwrap()
+            .output;
+        assert_eq!(out, reference_output(engine), "{engine:?}");
+    }
+}
+
+// ---- memory ----------------------------------------------------------
+
+#[test]
+fn memory_cap_hit_has_identical_payload_in_both_engines() {
+    let mut seen = Vec::new();
+    for engine in ENGINES {
+        match polaris_machine::run(&compiled(), &cfg(engine).with_memory_cap(8)) {
+            Err(MachineError::MemoryCapExceeded { need, cap }) => seen.push((need, cap)),
+            other => panic!("{engine:?}: wrong exit class: {other:?}"),
+        }
+    }
+    assert_eq!(seen[0], seen[1], "engines disagree on the memory-cap payload");
+    assert_eq!(seen[0].1, 8);
+}
+
+// ---- cooperative cancellation ----------------------------------------
+
+/// A token cancelled before the run starts stops both engines at the
+/// very first fuel-step boundary, with the canceller's reason preserved
+/// verbatim in the error payload.
+#[test]
+fn pre_cancelled_token_stops_both_engines_with_the_same_reason() {
+    for engine in ENGINES {
+        let token = polaris::core::CancelToken::new();
+        token.cancel("deadline exceeded by 7ms");
+        let err = polaris_machine::run(&compiled(), &cfg(engine).with_cancel(token))
+            .expect_err("cancelled before the first step");
+        match &err {
+            MachineError::Cancelled(reason) => {
+                assert_eq!(reason, "deadline exceeded by 7ms", "{engine:?}")
+            }
+            other => panic!("{engine:?}: wrong exit class: {other:?}"),
+        }
+        assert_eq!(err.to_string(), "execution cancelled: deadline exceeded by 7ms");
+    }
+}
+
+/// Mid-loop cancellation: a watchdog fires while the interpreter is in
+/// the middle of a long loop. Both engines must surface `Cancelled` (the
+/// run returns `Err`, so no partial output can be served), and a fresh
+/// post-cancel run must still produce the reference output — cancelling
+/// leaks no state into subsequent executions.
+#[test]
+fn mid_loop_cancellation_is_cancelled_class_and_leaks_no_state() {
+    let spin = "program spin\n\
+                integer s\n\
+                s = 0\n\
+                do i = 1, 2000000000\n\
+                \x20 s = s + 1\n\
+                end do\n\
+                print *, s\n\
+                end\n";
+    let program = polaris_ir::parse(spin).unwrap();
+    for engine in ENGINES {
+        let token = polaris::core::CancelToken::new();
+        let watchdog = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(15));
+                token.cancel("wall deadline (15ms) exceeded");
+            })
+        };
+        let err = polaris_machine::run(&program, &cfg(engine).with_cancel(token))
+            .expect_err("the watchdog must stop the spin loop");
+        watchdog.join().unwrap();
+        match err {
+            MachineError::Cancelled(reason) => {
+                assert_eq!(reason, "wall deadline (15ms) exceeded", "{engine:?}")
+            }
+            other => panic!("{engine:?}: wrong exit class: {other:?}"),
+        }
+        // Post-cancel re-verification: the same interpreter entry points,
+        // called fresh, still produce the uncancelled reference — both
+        // output and final state.
+        let (ran, state) = run_with_state(&compiled(), &cfg(engine)).unwrap();
+        assert_eq!(ran.output, reference_output(engine), "{engine:?}");
+        let (_, ref_state) = run_with_state(&compiled(), &cfg(Engine::TreeWalk)).unwrap();
+        assert_eq!(state, ref_state, "{engine:?}: post-cancel state drifted");
+    }
+}
+
+/// Cancellation is checked in threaded workers too (the shared step
+/// counter path), under both engines.
+#[test]
+fn cancellation_reaches_threaded_workers_in_both_engines() {
+    use polaris_machine::Schedule;
+    let out = polaris::parallelize(SRC, &PassOptions::polaris()).unwrap();
+    for engine in ENGINES {
+        let token = polaris::core::CancelToken::new();
+        token.cancel("cancelled before dispatch");
+        let cfg = MachineConfig::threaded(4, Schedule::Static)
+            .with_engine(engine)
+            .with_cancel(token);
+        match polaris_machine::run(&out.program, &cfg) {
+            Err(MachineError::Cancelled(_)) => {}
+            other => panic!("{engine:?}: expected Cancelled, got {other:?}"),
+        }
+    }
+}
+
+// ---- wall deadline at the service, execution level -------------------
+
+/// With `exec_engine` set, a deadline that passes while the compiled
+/// program is *executing* degrades the response exactly like a
+/// mid-compile deadline: `degraded`, exit 1, never retried — identically
+/// under both engines.
+#[test]
+fn service_deadline_during_execution_is_degraded_exit_1_in_both_engines() {
+    let spin = "program spin\n\
+                integer s\n\
+                s = 0\n\
+                do i = 1, 2000000000\n\
+                \x20 s = s + 1\n\
+                end do\n\
+                print *, s\n\
+                end\n";
+    for engine in ENGINES {
+        let service = Service::new(ServiceConfig {
+            workers: 1,
+            exec_engine: Some(engine),
+            ..ServiceConfig::default()
+        });
+        let resp = service
+            .submit(Request {
+                id: 1,
+                client: "vmsem".into(),
+                vfa: false,
+                deadline_ms: Some(40),
+                return_program: false,
+                source: spin.into(),
+            })
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(resp.status, Status::Degraded, "{engine:?}: {:?}", resp.reason);
+        assert_eq!(resp.exit_code, 1, "{engine:?}");
+        assert_eq!(resp.attempts, 1, "{engine:?}: a deadline blow must not be retried");
+        assert!(
+            resp.reason.as_deref().unwrap_or("").contains("deadline during execution"),
+            "{engine:?}: {:?}",
+            resp.reason
+        );
+        assert_eq!(resp.run_checksum, None, "{engine:?}: no output may be served");
+        let stats = service.shutdown();
+        assert!(stats.deadline_cancels >= 1, "{engine:?}");
+        assert_eq!(stats.retries, 0, "{engine:?}");
+    }
+}
+
+/// The not-hit row: with a generous deadline the service executes the
+/// program and both engines report the same output checksum.
+#[test]
+fn service_execution_ok_run_checksums_match_across_engines() {
+    let mut sums = Vec::new();
+    for engine in ENGINES {
+        let service = Service::new(ServiceConfig {
+            workers: 1,
+            exec_engine: Some(engine),
+            exec_fuel: Some(2_000_000),
+            ..ServiceConfig::default()
+        });
+        let resp = service
+            .submit(Request {
+                id: 1,
+                client: "vmsem".into(),
+                vfa: false,
+                deadline_ms: Some(10_000),
+                return_program: false,
+                source: SRC.into(),
+            })
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(resp.status, Status::Ok, "{engine:?}: {:?}", resp.reason);
+        assert_eq!(resp.exit_code, 0, "{engine:?}");
+        sums.push(resp.run_checksum.expect("exec_engine set: output checksum present"));
+    }
+    assert_eq!(sums[0], sums[1], "engines disagree on the executed-output checksum");
+}
+
+/// Fuel exhaustion inside the service is a deterministic execution error:
+/// answered as `error`, never retried, same class under both engines.
+#[test]
+fn service_fuel_exhaustion_is_error_not_retried_in_both_engines() {
+    for engine in ENGINES {
+        let service = Service::new(ServiceConfig {
+            workers: 1,
+            exec_engine: Some(engine),
+            exec_fuel: Some(10),
+            ..ServiceConfig::default()
+        });
+        let resp = service
+            .submit(Request {
+                id: 1,
+                client: "vmsem".into(),
+                vfa: false,
+                deadline_ms: None,
+                return_program: false,
+                source: SRC.into(),
+            })
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(resp.status, Status::Error, "{engine:?}: {:?}", resp.reason);
+        assert!(
+            resp.reason.as_deref().unwrap_or("").contains("fuel exhausted"),
+            "{engine:?}: {:?}",
+            resp.reason
+        );
+        let stats = service.shutdown();
+        assert_eq!(stats.retries, 0, "{engine:?}: deterministic failures are not retried");
+    }
+}
