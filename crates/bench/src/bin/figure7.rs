@@ -24,14 +24,14 @@
 //! ```
 
 use polaris_bench::{
-    bar, engine_row, obs_breakdown, oracle_report, speedups, threaded_row, verify_row,
-    EngineRow, ObsBreakdown, SpeedupRow, ThreadedRow, VerifyRow,
+    bar, engine_row, irregular_row, obs_breakdown, oracle_report, speedups, threaded_row,
+    verify_row, EngineRow, IrregularRow, ObsBreakdown, SpeedupRow, ThreadedRow, VerifyRow,
 };
 use polaris_core::PassOptions;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const SCHEMA: &str = "polaris-bench/figure7/v5";
+const SCHEMA: &str = "polaris-bench/figure7/v6";
 
 /// Serial-wall repetitions per engine for the v5 engine columns.
 const ENGINE_REPS: usize = 3;
@@ -251,6 +251,58 @@ fn main() -> ExitCode {
         eprintln!("figure7: the inter-pass verifier caught ill-formed IR during compilation");
         return ExitCode::FAILURE;
     }
+
+    // Schema v6: the irregular-kernel tier report. These six kernels are
+    // a fixed conformance set (independent of --only): each must land in
+    // its pinned tier — statically proven parallel, or shipped to LRPD —
+    // and a static `clean` contradicted by the oracle is a hard failure.
+    println!();
+    println!(
+        "{:<9} {:>8} {:>6} {:>9} {:>7} {:>11} {:>9}",
+        "Irregular", "tier", "doall", "lrpd", "serial", "props(r/p)", "idxprop"
+    );
+    let mut irregular: Vec<IrregularRow> = Vec::new();
+    let mut tier_mismatch = false;
+    let mut static_dirty = 0usize;
+    for (b, expected) in polaris_benchmarks::irregular() {
+        let row = irregular_row(&b, expected);
+        println!(
+            "{:<9} {:>8} {:>6} {:>9} {:>7} {:>7}/{:<3} {:>9}",
+            row.name,
+            row.tier(),
+            row.parallel_loops,
+            row.speculative_loops,
+            row.serial_loops,
+            row.props_rule.0,
+            row.props_rule.1,
+            row.idxprop_proved,
+        );
+        if row.tier() != row.expected_tier {
+            eprintln!(
+                "figure7: {} landed in tier `{}`, expected `{}`",
+                row.name,
+                row.tier(),
+                row.expected_tier
+            );
+            tier_mismatch = true;
+        }
+        static_dirty += row.soundness_failures;
+        irregular.push(row);
+    }
+    let statics = irregular.iter().filter(|r| r.tier() == "static").count();
+    let lrpds = irregular.iter().filter(|r| r.tier() == "lrpd").count();
+    println!(
+        "irregular tiers: {statics} static / {lrpds} lrpd / {} serial; \
+         {static_dirty} static-clean-but-oracle-dirty",
+        irregular.len() - statics - lrpds
+    );
+    if tier_mismatch {
+        return ExitCode::FAILURE;
+    }
+    if static_dirty > 0 {
+        eprintln!("figure7: an irregular kernel's static `clean` was contradicted by the oracle");
+        return ExitCode::FAILURE;
+    }
     let cores = host_cores();
     if cores < threads {
         println!(
@@ -261,7 +313,8 @@ fn main() -> ExitCode {
 
     if let Some(path) = json_path {
         let doc = render_json(
-            &rows, &oracle, &verify, threads, cores, geo_polaris, geo_vfa, geo_real, geo_engine,
+            &rows, &irregular, &oracle, &verify, threads, cores, geo_polaris, geo_vfa, geo_real,
+            geo_engine,
         );
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("figure7: cannot write {path}: {e}");
@@ -282,6 +335,7 @@ fn host_cores() -> usize {
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     rows: &[(SpeedupRow, ThreadedRow, ObsBreakdown, EngineRow)],
+    irregular: &[IrregularRow],
     oracle: &OracleAgg,
     verify: &VerifyAgg,
     threads: usize,
@@ -387,6 +441,43 @@ fn render_json(
     s.push_str(&format!("      \"precision_misses\": {},\n", verify.precision_misses));
     s.push_str(&format!("      \"soundness_failures\": {}\n", verify.soundness_failures));
     s.push_str("    }\n");
+    s.push_str("  },\n");
+    // Schema v6: the irregular-kernel tier block — per kernel, how its
+    // loops were classified (static doall vs LRPD speculation vs
+    // serial), which property-pass facts produced the classification,
+    // and the static-vs-oracle agreement. The tier must match the pinned
+    // expectation and `soundness_failures` must be zero (the binary
+    // exits FAILURE before writing this document otherwise).
+    s.push_str("  \"irregular\": {\n");
+    s.push_str("    \"kernels\": [\n");
+    for (i, r) in irregular.iter().enumerate() {
+        s.push_str("      {\n");
+        s.push_str(&format!("        \"name\": \"{}\",\n", json_escape(r.name)));
+        s.push_str(&format!("        \"tier\": \"{}\",\n", r.tier()));
+        s.push_str(&format!("        \"expected_tier\": \"{}\",\n", r.expected_tier));
+        s.push_str(&format!("        \"parallel_loops\": {},\n", r.parallel_loops));
+        s.push_str(&format!("        \"speculative_loops\": {},\n", r.speculative_loops));
+        s.push_str(&format!("        \"serial_loops\": {},\n", r.serial_loops));
+        s.push_str(&format!("        \"props_rule_run\": {},\n", r.props_rule.0));
+        s.push_str(&format!("        \"props_rule_proved\": {},\n", r.props_rule.1));
+        s.push_str(&format!("        \"idxprop_proved\": {},\n", r.idxprop_proved));
+        s.push_str(&format!("        \"race_clean\": {},\n", r.race_clean));
+        s.push_str(&format!("        \"race_flagged\": {},\n", r.race_flagged));
+        s.push_str(&format!("        \"soundness_failures\": {}\n", r.soundness_failures));
+        s.push_str(if i + 1 == irregular.len() { "      }\n" } else { "      },\n" });
+    }
+    s.push_str("    ],\n");
+    let statics = irregular.iter().filter(|r| r.tier() == "static").count();
+    let lrpds = irregular.iter().filter(|r| r.tier() == "lrpd").count();
+    s.push_str("    \"tiers\": {\n");
+    s.push_str(&format!("      \"static\": {statics},\n"));
+    s.push_str(&format!("      \"lrpd\": {lrpds},\n"));
+    s.push_str(&format!("      \"serial\": {}\n", irregular.len() - statics - lrpds));
+    s.push_str("    },\n");
+    s.push_str(&format!(
+        "    \"static_clean_oracle_dirty\": {}\n",
+        irregular.iter().map(|r| r.soundness_failures).sum::<usize>()
+    ));
     s.push_str("  },\n");
     s.push_str("  \"geomean\": {\n");
     s.push_str(&format!("    \"sim_polaris\": {},\n", json_f64(geo_polaris)));

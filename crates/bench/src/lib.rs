@@ -91,6 +91,67 @@ pub fn verify_row(b: &polaris_benchmarks::Benchmark) -> VerifyRow {
     row
 }
 
+/// Per-kernel irregular-tier summary (the Figure 7 schema-v6
+/// `irregular` block): loop classification counts from the compile
+/// report, the property-pass outcomes that produced them, and the
+/// static race / oracle agreement for the kernel.
+#[derive(Debug, Clone)]
+pub struct IrregularRow {
+    pub name: &'static str,
+    /// Tier the benchmark registry pins for this kernel.
+    pub expected_tier: &'static str,
+    pub parallel_loops: usize,
+    pub speculative_loops: usize,
+    pub serial_loops: usize,
+    /// `(run, proved)` outcomes of the property-based disjointness rule.
+    pub props_rule: (u64, u64),
+    /// Index arrays the `idxprop` stage proved at least one property of.
+    pub idxprop_proved: usize,
+    /// Static race verdicts over the kernel's PARALLEL claims.
+    pub race_clean: usize,
+    pub race_flagged: usize,
+    /// Static `clean` contradicted by the runtime oracle. Must be zero.
+    pub soundness_failures: usize,
+}
+
+impl IrregularRow {
+    /// The tier the compiler actually landed the kernel in: `"lrpd"` if
+    /// any loop ships as a run-time speculation, else `"static"` if any
+    /// loop is proven parallel at compile time, else `"serial"`.
+    pub fn tier(&self) -> &'static str {
+        if self.speculative_loops > 0 {
+            "lrpd"
+        } else if self.parallel_loops > 0 {
+            "static"
+        } else {
+            "serial"
+        }
+    }
+}
+
+/// Compile one irregular kernel, classify its loops into tiers, and
+/// cross-check the static claims against the race detector and the
+/// runtime oracle (panics on compile/run errors — harness context).
+pub fn irregular_row(
+    b: &polaris_benchmarks::Benchmark,
+    expected_tier: &'static str,
+) -> IrregularRow {
+    let (_, rep) = compile_bench(b, &PassOptions::polaris());
+    let v = verify_row(b);
+    IrregularRow {
+        name: b.name,
+        expected_tier,
+        parallel_loops: rep.loops.iter().filter(|l| l.parallel).count(),
+        speculative_loops: rep.loops.iter().filter(|l| l.speculative).count(),
+        serial_loops: rep.loops.iter().filter(|l| !l.parallel && !l.speculative).count(),
+        props_rule: rep.dd_props,
+        idxprop_proved: rep.idxprop.proved,
+        race_clean: v.clean,
+        race_flagged: v.needs_privatization + v.potential_race,
+        soundness_failures: v.soundness_failures,
+    }
+}
+
 /// Per-kernel compile-time observability breakdown: where the pipeline
 /// spent its time (per pass, real microseconds from the monotonic
 /// recorder clock) and what the typed counters observed — the Figure 7

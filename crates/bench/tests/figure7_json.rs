@@ -204,7 +204,7 @@ fn figure7_json_is_well_formed_and_schema_complete() {
 
     // Schema: top-level metadata and geomeans present.
     for key in [
-        "\"schema\": \"polaris-bench/figure7/v5\"",
+        "\"schema\": \"polaris-bench/figure7/v6\"",
         "\"procs\":",
         "\"threads\": 4",
         "\"host_cores\":",
@@ -229,6 +229,11 @@ fn figure7_json_is_well_formed_and_schema_complete() {
         "\"compared\":",
         "\"precision_misses\":",
         "\"soundness_failures\": 0",
+        // schema v6: irregular-kernel tier block (always all six
+        // kernels, independent of --only)
+        "\"irregular\":",
+        "\"tiers\":",
+        "\"static_clean_oracle_dirty\": 0",
         "\"geomean\":",
         "\"sim_polaris\":",
         "\"sim_vfa\":",
@@ -238,6 +243,38 @@ fn figure7_json_is_well_formed_and_schema_complete() {
     ] {
         assert!(doc.contains(key), "missing `{key}` in:\n{doc}");
     }
+    // Schema v6: one irregular record per kernel, each in its pinned
+    // tier with the soundness gate at zero.
+    for name in ["SPMV", "HISTO", "GATHER", "PREFIX", "BUCKET", "COMPACT"] {
+        assert!(doc.contains(&format!("\"name\": \"{name}\"")), "no irregular record for {name}");
+    }
+    for field in [
+        "\"expected_tier\":",
+        "\"parallel_loops\":",
+        "\"speculative_loops\":",
+        "\"serial_loops\":",
+        "\"props_rule_run\":",
+        "\"props_rule_proved\":",
+        "\"idxprop_proved\":",
+        "\"race_clean\":",
+        "\"race_flagged\":",
+    ] {
+        assert_eq!(
+            doc.matches(field).count(),
+            6,
+            "field `{field}` should appear once per irregular kernel:\n{doc}"
+        );
+    }
+    assert_eq!(
+        doc.matches("\"tier\": \"static\"").count(),
+        4,
+        "four kernels must be statically parallel:\n{doc}"
+    );
+    assert_eq!(
+        doc.matches("\"tier\": \"lrpd\"").count(),
+        2,
+        "two kernels must fall through to LRPD:\n{doc}"
+    );
     // One record per requested kernel, each with the full field set.
     for name in ["TRFD", "SWIM"] {
         assert!(doc.contains(&format!("\"name\": \"{name}\"")), "no record for {name}:\n{doc}");

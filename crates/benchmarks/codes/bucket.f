@@ -1,0 +1,30 @@
+program bucket
+! BUCKET kernel: the scatter phase of a bucket sort. The slot array is
+! computed with MOD, so the property pass can only bound it — not
+! prove it injective — and the store loop ships as an LRPD
+! speculation. The multiplier is coprime with N, so at run time the
+! slots form a permutation and the speculation commits.
+      integer n
+      parameter (n = 1024)
+      real v(1024), out(1024)
+      integer slot(1024)
+      real csum
+
+      do i0 = 1, n
+        v(i0) = 0.3 + mod(i0, 13)*0.25
+        out(i0) = 0.0
+      end do
+      do i = 1, n
+        slot(i) = mod(i*77, n) + 1
+      end do
+
+      do i = 1, n
+        out(slot(i)) = v(i)*1.5 + 0.5
+      end do
+
+      csum = 0.0
+      do ii = 1, n
+        csum = csum + out(ii)*out(ii)
+      end do
+      print *, 'bucket checksum', csum
+      end

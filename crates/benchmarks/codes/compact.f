@@ -1,0 +1,38 @@
+program compact
+! COMPACT kernel: stream compaction. The slot array comes from a
+! conditional prefix count, which no static recognizer covers; the
+! consumer scatter runs under LRPD and succeeds because the live slots
+! are distinct at run time.
+      integer n
+      parameter (n = 1024)
+      real v(1024), out(1024)
+      integer slot(1024)
+      integer np
+      real csum
+
+      do i0 = 1, n
+        v(i0) = mod(i0*31, 97)*0.01
+        out(i0) = 0.0
+      end do
+      np = 0
+      do i = 1, n
+        if (v(i) .gt. 0.5) then
+          np = np + 1
+          slot(i) = np
+        else
+          slot(i) = 0
+        end if
+      end do
+
+      do i = 1, n
+        if (slot(i) .gt. 0) then
+          out(slot(i)) = v(i)
+        end if
+      end do
+
+      csum = 0.0
+      do ii = 1, n
+        csum = csum + out(ii)
+      end do
+      print *, 'compact checksum', csum
+      end

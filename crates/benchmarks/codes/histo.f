@@ -1,0 +1,29 @@
+program histo
+! HISTO kernel: histogram accumulation through a runtime bin array.
+! BIN is not injective (many entries share a bin), but every touch of
+! H is a reduction update, so the accumulation loop is parallel as a
+! validated array reduction — statically, without speculation.
+      integer n, nb
+      parameter (n = 2048, nb = 32)
+      real h(32), w(2048)
+      integer bin(2048)
+      real csum
+
+      do i0 = 1, n
+        w(i0) = 0.5 + mod(i0, 11)*0.1
+        bin(i0) = mod(i0*7, nb) + 1
+      end do
+      do j0 = 1, nb
+        h(j0) = 0.0
+      end do
+
+      do i = 1, n
+        h(bin(i)) = h(bin(i)) + w(i)
+      end do
+
+      csum = 0.0
+      do jj = 1, nb
+        csum = csum + h(jj)*h(jj)
+      end do
+      print *, 'histo checksum', csum
+      end

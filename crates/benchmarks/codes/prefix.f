@@ -1,0 +1,32 @@
+program prefix
+! PREFIX kernel: a prefix-sum fill computes strictly increasing output
+! slots, then a consumer scatters through them. The prefix recognizer
+! proves POS strictly increasing (every increment is at least 1),
+! hence injective, so the consumer loop is parallel at compile time.
+      integer n
+      parameter (n = 512)
+      real w(512), z(1536)
+      integer pos(512)
+      real csum
+
+      do i0 = 1, n
+        w(i0) = 1.0 + mod(i0, 9)*0.2
+      end do
+      do j0 = 1, 3*n
+        z(j0) = 0.0
+      end do
+      pos(1) = 1
+      do i = 2, n
+        pos(i) = pos(i - 1) + 1 + mod(i, 2)
+      end do
+
+      do i = 1, n
+        z(pos(i)) = w(i)*2.0 + 1.0
+      end do
+
+      csum = 0.0
+      do jj = 1, 3*n
+        csum = csum + z(jj)
+      end do
+      print *, 'prefix checksum', csum
+      end

@@ -1,0 +1,35 @@
+program spmv
+! SPMV kernel: sparse matrix-vector product in CSR form. The row loop
+! carries only read-only indirection (COL) plus a privatized scalar
+! accumulator, and each row writes its own Y element: provably
+! parallel at compile time, no runtime test needed.
+      integer n, nz
+      parameter (n = 256, nz = 4)
+      real a(1024), x(256), y(256)
+      integer col(1024), rowptr(257)
+      real s, csum
+
+      do i0 = 1, n
+        x(i0) = 1.0 + mod(i0, 7)*0.25
+        rowptr(i0) = (i0 - 1)*nz + 1
+      end do
+      rowptr(n + 1) = n*nz + 1
+      do k0 = 1, n*nz
+        a(k0) = mod(k0, 5)*0.5 + 0.1
+        col(k0) = mod(k0*13, n) + 1
+      end do
+
+      do i = 1, n
+        s = 0.0
+        do k = rowptr(i), rowptr(i + 1) - 1
+          s = s + a(k)*x(col(k))
+        end do
+        y(i) = s
+      end do
+
+      csum = 0.0
+      do ii = 1, n
+        csum = csum + y(ii)*y(ii)
+      end do
+      print *, 'spmv checksum', csum
+      end

@@ -18,6 +18,9 @@ pub enum Origin {
     Perfect,
     Spec,
     Ncsa,
+    /// Synthetic irregular kernel (not in Table 1): exercises the
+    /// subscripted-subscript tiers — static property proof vs LRPD.
+    Kernel,
 }
 
 impl Origin {
@@ -26,6 +29,7 @@ impl Origin {
             Origin::Perfect => "PERFECT",
             Origin::Spec => "SPEC",
             Origin::Ncsa => "NCSA",
+            Origin::Kernel => "KERNEL",
         }
     }
 }
@@ -124,13 +128,53 @@ pub fn track() -> Benchmark {
     )
 }
 
+/// The six irregular-subscript kernels (not part of Table 1), each
+/// paired with the execution tier the compiler must land it in:
+/// `"static"` — the loop nest is proved parallel at compile time
+/// (directly, via array reduction validation, or via the index-array
+/// property pass) — or `"lrpd"` — the hot loop ships as a run-time
+/// speculation instead of serializing.
+pub fn irregular() -> Vec<(Benchmark, &'static str)> {
+    use Expectation::*;
+    use Origin::*;
+    vec![
+        (
+            bench!("SPMV", "spmv.f", Kernel, 0, 0.0, "CSR row loop, read-only indirection", PolarisWins),
+            "static",
+        ),
+        (
+            bench!("HISTO", "histo.f", Kernel, 0, 0.0, "indirect histogram reduction", PolarisWins),
+            "static",
+        ),
+        (
+            bench!("GATHER", "gather.f", Kernel, 0, 0.0, "scatter through affine permutation (idxprop)", PolarisWins),
+            "static",
+        ),
+        (
+            bench!("PREFIX", "prefix.f", Kernel, 0, 0.0, "prefix-sum fill + scatter (idxprop)", PolarisWins),
+            "static",
+        ),
+        (
+            bench!("BUCKET", "bucket.f", Kernel, 0, 0.0, "MOD-keyed scatter -> LRPD", PolarisRuntime),
+            "lrpd",
+        ),
+        (
+            bench!("COMPACT", "compact.f", Kernel, 0, 0.0, "conditional compaction scatter -> LRPD", PolarisRuntime),
+            "lrpd",
+        ),
+    ]
+}
+
 /// Look a benchmark up by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<Benchmark> {
     let upper = name.to_ascii_uppercase();
     if upper == "TRACK" {
         return Some(track());
     }
-    all().into_iter().find(|b| b.name == upper)
+    all()
+        .into_iter()
+        .find(|b| b.name == upper)
+        .or_else(|| irregular().into_iter().map(|(b, _)| b).find(|b| b.name == upper))
 }
 
 #[cfg(test)]
@@ -155,6 +199,23 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("trfd").is_some());
         assert!(by_name("TRACK").is_some());
+        assert!(by_name("spmv").is_some());
+        assert!(by_name("COMPACT").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn irregular_kernels_parse_and_have_sane_tiers() {
+        let kernels = irregular();
+        assert_eq!(kernels.len(), 6);
+        for (b, tier) in &kernels {
+            let p = b.program();
+            polaris_ir::validate::validate_program(&p)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(matches!(*tier, "static" | "lrpd"), "{}: tier {tier}", b.name);
+            assert_eq!(b.origin, Origin::Kernel, "{}", b.name);
+        }
+        let statics = kernels.iter().filter(|(_, t)| *t == "static").count();
+        assert!(statics >= 3, "at least 3 of 6 kernels must be static, got {statics}");
     }
 }

@@ -54,6 +54,12 @@ pub struct DdStats {
     /// Range facts propagated into the analysis environment (loop
     /// headers assumed, assignments forwarded, assertions applied).
     pub ranges_propagated: Cell<u64>,
+    /// Index-array-property disjointness queries: loops the classic
+    /// tests could not prove where the driver consulted proven
+    /// `ArrayProps` facts (the subscripted-subscript rule).
+    pub props_tests_run: Cell<u64>,
+    /// Property-rule queries that proved the loop's pairs disjoint.
+    pub props_proved: Cell<u64>,
 }
 
 impl DdStats {
@@ -68,6 +74,11 @@ impl DdStats {
             self.range_probes.get(),
             self.permutations_used.get(),
         )
+    }
+
+    /// Index-array-property rule outcomes as `(run, proved)`.
+    pub fn props_outcomes(&self) -> (u64, u64) {
+        (self.props_tests_run.get(), self.props_proved.get())
     }
 
     /// Range-test query outcomes as `(run, proved, disproved, abstained)`;

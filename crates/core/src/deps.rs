@@ -33,6 +33,9 @@ pub struct LoopReport {
     pub private: Vec<String>,
     pub copy_out: Vec<String>,
     pub reductions: Vec<String>,
+    /// Proven index-array facts visible to this loop's subscripted
+    /// subscripts, as `NAME: fact fact ...` strings (for diagnostics).
+    pub index_facts: Vec<String>,
 }
 
 /// Analyze every loop of `unit` and attach [`ParallelInfo`] annotations.
@@ -193,6 +196,7 @@ fn serial(
         private: Vec::new(),
         copy_out: Vec::new(),
         reductions: Vec::new(),
+        index_facts: Vec::new(),
     };
     (info, report)
 }
@@ -245,6 +249,42 @@ fn analyze_loop(
 
     let mut private: Vec<String> = Vec::new();
     let mut copy_out: Vec<String> = Vec::new();
+
+    // --- index-array properties (§ subscripted subscripts) -----------------
+    // Arrays written inside this loop: their fill-time facts are stale
+    // here, so neither seeding nor the disjointness rule may use them.
+    let written_arrays: BTreeSet<String> = accesses
+        .iter()
+        .filter(|a| a.is_write && !a.is_scalar())
+        .map(|a| a.name.clone())
+        .collect();
+    if opts.index_props {
+        // Register proven whole-array value bounds so the range test and
+        // the §3.4 region analysis can bound reads like `A(IDX(L))`.
+        let seeded = crate::idxprop::seed_array_value_ranges(unit, &written_arrays, &mut env);
+        for _ in 0..seeded {
+            bump(&stats.ranges_propagated);
+        }
+    }
+    // Facts visible to this loop's subscripted subscripts (diagnostics).
+    let index_facts: Vec<String> = if opts.index_props {
+        let mut used: BTreeSet<String> = BTreeSet::new();
+        for a in &accesses {
+            for sub in &a.subs {
+                for arr in sub.arrays() {
+                    if written_arrays.contains(&arr) {
+                        continue;
+                    }
+                    if let Some(p) = unit.symbols.get(&arr).and_then(|s| s.props.as_ref()) {
+                        used.insert(format!("{arr}: {}", p.facts().join(" ")));
+                    }
+                }
+            }
+        }
+        used.into_iter().collect()
+    } else {
+        Vec::new()
+    };
 
     // --- scalars -----------------------------------------------------------
     let scalar_writes: BTreeSet<String> = accesses
@@ -318,6 +358,28 @@ fn analyze_loop(
             // later ... removes the flags for those statements which it
             // can prove have no loop-carried dependences" (§3.2) — a
             // plain DOALL beats paying the reduction merge.
+            if reduction_vars.contains(name) {
+                dropped_reductions.push(name.clone());
+            }
+            continue;
+        }
+        // The classic tests failed (typically an abstention on an opaque
+        // `A(IDX(I))` subscript): consult proven index-array properties —
+        // an injective `IDX` over a contained domain makes the scatter a
+        // DOALL (Bhosale & Eigenmann-style subscripted-subscript rule).
+        if opts.index_props
+            && pairs_disjoint_by_props(
+                d,
+                &refs,
+                step,
+                unit,
+                &scalar_writes,
+                &inner_do_vars,
+                &written_arrays,
+                &env,
+                stats,
+            )
+        {
             if reduction_vars.contains(name) {
                 dropped_reductions.push(name.clone());
             }
@@ -402,6 +464,7 @@ fn analyze_loop(
             private,
             copy_out,
             reductions: red_names,
+            index_facts,
         };
         return (info, report);
     }
@@ -425,8 +488,49 @@ fn analyze_loop(
         private,
         copy_out,
         reductions: red_names,
+        index_facts,
     };
     (info, report)
+}
+
+/// Bridge the driver's [`Access`] view to the idxprop disjointness rule:
+/// build the per-access subscript/context records, the varying-scalar
+/// set (body-written scalars + inner loop variables, minus the tested
+/// variable itself), and a property lookup that answers `None` for any
+/// array written inside this loop (stale facts).
+#[allow(clippy::too_many_arguments)]
+fn pairs_disjoint_by_props(
+    d: &DoLoop,
+    refs: &[&Access],
+    step: i64,
+    unit: &ProgramUnit,
+    scalar_writes: &BTreeSet<String>,
+    inner_do_vars: &BTreeSet<String>,
+    written_arrays: &BTreeSet<String>,
+    env: &RangeEnv,
+    stats: &DdStats,
+) -> bool {
+    let Some(self_loop) = loop_as_inner(d, step) else {
+        return false;
+    };
+    let mut varying: BTreeSet<String> = scalar_writes.clone();
+    varying.extend(inner_do_vars.iter().cloned());
+    varying.remove(&d.var);
+    let accesses: Vec<crate::idxprop::PropAccess<'_>> = refs
+        .iter()
+        .map(|a| crate::idxprop::PropAccess {
+            write: a.is_write,
+            subs: &a.subs,
+            ctx_vars: a.ctx.iter().map(|c| c.var.clone()).collect(),
+        })
+        .collect();
+    let props = |n: &str| {
+        if written_arrays.contains(&n.to_ascii_uppercase()) {
+            return None;
+        }
+        unit.symbols.get(n).and_then(|s| s.props.clone())
+    };
+    crate::idxprop::pairs_disjoint_via_props(&accesses, &self_loop, &varying, env, &props, stats)
 }
 
 /// Does any reference use an array element as a subscript (the §3.5
@@ -758,6 +862,99 @@ mod tests {
         // VFA has no run-time fallback
         let (_, r2) = analyze(src2, &PassOptions::vfa());
         assert!(!r2[0].speculative && !r2[0].parallel);
+    }
+
+    #[test]
+    fn injective_index_scatter_parallel_via_props() {
+        // Identity fill proves IDX injective over 1..100; the scatter
+        // through it is then a DOALL — no LRPD shadows needed.
+        let src = "program t\nreal a(100), b(100)\ninteger idx(100)\n\
+                   do i = 1, 100\n  idx(i) = i\nend do\n\
+                   do i = 1, 100\n  a(idx(i)) = b(i)\nend do\n\
+                   print *, a(1)\nend\n";
+        let mut p = polaris_ir::parse(src).unwrap();
+        crate::idxprop::annotate(&mut p);
+        let stats = DdStats::new();
+        let opts = PassOptions::polaris();
+        let mut reports = Vec::new();
+        for unit in &mut p.units {
+            reports.extend(analyze_unit(unit, &opts, &stats));
+        }
+        let scatter = report(&reports, "do7");
+        assert!(scatter.parallel && !scatter.speculative, "{reports:?}");
+        assert_eq!(stats.props_outcomes().1, 1, "proved via the property rule");
+        assert_eq!(scatter.index_facts,
+            vec!["IDX: strictly-increasing injective permutation bounded"]);
+        // The annotation landed on the IR too.
+        let d = p.units[0].body.loops()[1];
+        assert!(d.par.parallel);
+    }
+
+    #[test]
+    fn prefix_sum_scatter_parallel_via_props() {
+        // CSR-style rowptr: strictly increasing accumulation with a
+        // variable (but >= 1) increment; consumer scatter is a DOALL.
+        let src = "program t\nreal a(500), b(100)\ninteger ps(100)\n\
+                   ps(1) = 1\ndo i = 2, 100\n  ps(i) = ps(i-1) + mod(i, 4) + 1\nend do\n\
+                   do i = 1, 100\n  a(ps(i)) = b(i)\nend do\n\
+                   print *, a(1)\nend\n";
+        let mut p = polaris_ir::parse(src).unwrap();
+        crate::idxprop::annotate(&mut p);
+        let stats = DdStats::new();
+        let opts = PassOptions::polaris();
+        let mut reports = Vec::new();
+        for unit in &mut p.units {
+            reports.extend(analyze_unit(unit, &opts, &stats));
+        }
+        let scatter = report(&reports, "do8");
+        assert!(scatter.parallel && !scatter.speculative, "{reports:?}");
+        // The fill loop itself carries the recurrence and stays serial.
+        assert!(!report(&reports, "do5").parallel);
+    }
+
+    #[test]
+    fn out_of_domain_scatter_falls_back_to_lrpd() {
+        // The fill covers 1..50 but the scatter runs to 100: elements
+        // 51..100 hold unproven values, so the property rule refuses and
+        // the loop goes to the run-time test instead.
+        let src = "program t\nreal a(100), b(100)\ninteger idx(100)\n\
+                   do i = 1, 50\n  idx(i) = i\nend do\n\
+                   do i = 1, 100\n  a(idx(i)) = b(i)\nend do\n\
+                   print *, a(1)\nend\n";
+        let mut p = polaris_ir::parse(src).unwrap();
+        crate::idxprop::annotate(&mut p);
+        let stats = DdStats::new();
+        let opts = PassOptions::polaris();
+        let mut reports = Vec::new();
+        for unit in &mut p.units {
+            reports.extend(analyze_unit(unit, &opts, &stats));
+        }
+        let scatter = report(&reports, "do7");
+        assert!(scatter.speculative && !scatter.parallel, "{reports:?}");
+        let (run, proved) = stats.props_outcomes();
+        assert!(run >= 1 && proved == 0, "rule consulted but refused");
+    }
+
+    #[test]
+    fn non_injective_index_scatter_stays_speculative() {
+        // MOD fill is bounded but not injective: duplicate targets are
+        // a real cross-iteration output dependence; must go to LRPD.
+        let src = "program t\nreal a(16), b(100)\ninteger bin(100)\n\
+                   do i = 1, 100\n  bin(i) = mod(i*7, 16) + 1\nend do\n\
+                   do i = 1, 100\n  a(bin(i)) = b(i)\nend do\n\
+                   print *, a(1)\nend\n";
+        let mut p = polaris_ir::parse(src).unwrap();
+        crate::idxprop::annotate(&mut p);
+        let stats = DdStats::new();
+        let opts = PassOptions::polaris();
+        let mut reports = Vec::new();
+        for unit in &mut p.units {
+            reports.extend(analyze_unit(unit, &opts, &stats));
+        }
+        let scatter = report(&reports, "do7");
+        assert!(scatter.speculative && !scatter.parallel, "{reports:?}");
+        // Bounded fact is still surfaced for diagnostics.
+        assert_eq!(scatter.index_facts, vec!["BIN: bounded"]);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod dce;
 pub mod ddtest;
 pub mod deps;
 pub mod gsa;
+pub mod idxprop;
 pub mod induction;
 pub mod inline;
 pub mod normalize;
@@ -39,6 +40,7 @@ pub mod reduction;
 
 pub use ddtest::DdStats;
 pub use deps::LoopReport;
+pub use idxprop::IdxPropReport;
 pub use induction::InductionMode;
 pub use pipeline::{
     CancelToken, CorruptKind, FaultKind, FaultPlan, Pipeline, StageOutcome, StageReport,
@@ -77,6 +79,11 @@ pub struct PassOptions {
     pub array_privatization: bool,
     /// §3.5 mark unanalyzable loops for run-time (LRPD) testing.
     pub speculation: bool,
+    /// Subscripted-subscript analysis: prove index-array content
+    /// properties (monotone/injective/bounded/permutation) from their
+    /// defining fills and use them to parallelize `A(IDX(I))` loops the
+    /// classic tests abstain on (Bhosale & Eigenmann-style).
+    pub index_props: bool,
     /// Deterministic fault injection for exercising the pipeline's
     /// rollback paths (empty in both presets).
     pub faults: FaultPlan,
@@ -99,6 +106,7 @@ impl PassOptions {
             scalar_privatization: true,
             array_privatization: true,
             speculation: true,
+            index_props: true,
             faults: FaultPlan::none(),
         }
     }
@@ -121,6 +129,7 @@ impl PassOptions {
             scalar_privatization: true,
             array_privatization: false,
             speculation: false,
+            index_props: false,
             faults: FaultPlan::none(),
         }
     }
@@ -149,6 +158,10 @@ pub struct CompileReport {
     pub dd_range: (u64, u64, u64, u64),
     /// Range facts propagated into the analysis environment.
     pub ranges_propagated: u64,
+    /// What the `idxprop` stage proved about index-array contents.
+    pub idxprop: IdxPropReport,
+    /// Property-rule disjointness outcomes: (run, proved).
+    pub dd_props: (u64, u64),
     /// Per-stage outcomes from the fault-isolating pipeline, in run order.
     pub stages: Vec<StageReport>,
     /// Inter-pass verifier totals: invariant checks run at stage

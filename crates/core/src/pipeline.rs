@@ -17,7 +17,7 @@
 //! on unit Y") so every rollback path is testable; the benchmark fault
 //! sweep and the differential fuzz harness drive it.
 
-use crate::{constprop, dce, deps, induction, inline, normalize, reduction};
+use crate::{constprop, dce, deps, idxprop, induction, inline, normalize, reduction};
 use crate::{CompileReport, DdStats, PassOptions};
 use polaris_ir::error::Result;
 use polaris_ir::Program;
@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 
 /// Names of the standard pipeline stages, in execution order. These are the
 /// strings [`FaultPlan`] and `polarisc --diag` refer to.
-pub const STAGE_NAMES: [&str; 8] = [
+pub const STAGE_NAMES: [&str; 9] = [
     "inline",
     "constprop",
     "normalize",
@@ -35,6 +35,7 @@ pub const STAGE_NAMES: [&str; 8] = [
     "constprop-fold",
     "dce",
     "reduction",
+    "idxprop",
     "analyze",
 ];
 
@@ -387,6 +388,7 @@ impl Pipeline {
                 Stage { name: "constprop-fold", enabled: opts.constprop, run: stage_constprop_fold },
                 Stage { name: "dce", enabled: opts.dce, run: stage_dce },
                 Stage { name: "reduction", enabled: opts.reductions, run: stage_reduction },
+                Stage { name: "idxprop", enabled: opts.index_props, run: stage_idxprop },
                 Stage { name: "analyze", enabled: true, run: stage_analyze },
             ],
         }
@@ -585,6 +587,10 @@ fn record_compile_counters(rec: &Recorder, program: &Program, report: &CompileRe
     rec.count(Counter::RangeDisproved, disproved);
     rec.count(Counter::RangeAbstained, abstained);
     rec.count(Counter::RangesPropagated, report.ranges_propagated);
+    rec.count(Counter::IdxPropsProved, report.idxprop.proved as u64);
+    let (props_run, props_proved) = report.dd_props;
+    rec.count(Counter::PropsTestsRun, props_run);
+    rec.count(Counter::PropsProved, props_proved);
 
     let mut parallel = 0u64;
     let mut speculative = 0u64;
@@ -701,6 +707,11 @@ fn stage_reduction(program: &mut Program, _opts: &PassOptions, report: &mut Comp
     Ok(())
 }
 
+fn stage_idxprop(program: &mut Program, _opts: &PassOptions, report: &mut CompileReport, _rec: &Recorder) -> Result<()> {
+    report.idxprop = idxprop::annotate(program);
+    Ok(())
+}
+
 fn stage_analyze(
     program: &mut Program,
     opts: &PassOptions,
@@ -726,6 +737,7 @@ fn stage_analyze(
     report.dd_counters = stats.snapshot();
     report.dd_range = stats.range_outcomes();
     report.ranges_propagated = stats.ranges_propagated.get();
+    report.dd_props = stats.props_outcomes();
     Ok(())
 }
 

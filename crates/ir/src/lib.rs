@@ -59,7 +59,7 @@ pub use error::{CompileError, Result};
 pub use expr::{BinOp, Expr, LValue, RedOp, UnOp};
 pub use program::{CommonBlock, Program, ProgramUnit, UnitKind};
 pub use stmt::{DoLoop, IfArm, ParallelInfo, Reduction, SpecInfo, Stmt, StmtId, StmtKind, StmtList};
-pub use symbol::{Dim, SymKind, Symbol, SymbolTable};
+pub use symbol::{ArrayProps, Dim, SymKind, Symbol, SymbolTable};
 pub use types::DataType;
 
 /// Parse F-Mini source text into a [`Program`].

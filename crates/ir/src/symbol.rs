@@ -27,6 +27,90 @@ impl Dim {
     }
 }
 
+/// Statically proven facts about the *contents* of an integer index
+/// array, in the spirit of Bhosale & Eigenmann's subscripted-subscript
+/// analysis: a small property lattice (monotone / strictly monotone /
+/// injective / permutation / value-bounded) over the subscript domain a
+/// defining fill loop covered. Computed by `polaris-core`'s `idxprop`
+/// stage and consumed by the dependence framework, which can then prove
+/// `A(IDX(I))` scatters parallel when the property suffices.
+///
+/// Every `true` flag is a *proof obligation met*, never a heuristic:
+/// facts hold only for subscripts within `[domain_lo, domain_hi]` and
+/// only while the array is not rewritten.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayProps {
+    /// Entries never decrease with the subscript (non-strict).
+    pub monotone_inc: bool,
+    /// Entries never increase with the subscript (non-strict).
+    pub monotone_dec: bool,
+    /// The monotone direction above holds *strictly* (no equal
+    /// neighbours) — which implies `injective`.
+    pub strict: bool,
+    /// Distinct subscripts in the domain hold distinct values.
+    pub injective: bool,
+    /// The stored values form a contiguous integer range (an affine
+    /// relabeling of the domain — `IDX(I)=I`-style fills).
+    pub permutation: bool,
+    /// Proven bounds on every stored value, when derivable.
+    pub value_lo: Option<Expr>,
+    pub value_hi: Option<Expr>,
+    /// Subscript range the defining fill covered; the facts above say
+    /// nothing about elements outside it.
+    pub domain_lo: Expr,
+    pub domain_hi: Expr,
+}
+
+impl ArrayProps {
+    /// Fresh lattice bottom over a domain: nothing proven yet.
+    pub fn over(domain_lo: Expr, domain_hi: Expr) -> ArrayProps {
+        ArrayProps {
+            monotone_inc: false,
+            monotone_dec: false,
+            strict: false,
+            injective: false,
+            permutation: false,
+            value_lo: None,
+            value_hi: None,
+            domain_lo,
+            domain_hi,
+        }
+    }
+
+    /// True if any property beyond the bare domain was proven.
+    pub fn any(&self) -> bool {
+        self.monotone_inc
+            || self.monotone_dec
+            || self.injective
+            || self.permutation
+            || self.value_lo.is_some()
+            || self.value_hi.is_some()
+    }
+
+    /// Short human-readable fact list for diagnostics
+    /// (e.g. `strictly-increasing injective permutation`).
+    pub fn facts(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        match (self.monotone_inc, self.monotone_dec, self.strict) {
+            (true, _, true) => out.push("strictly-increasing"),
+            (true, _, false) => out.push("non-decreasing"),
+            (_, true, true) => out.push("strictly-decreasing"),
+            (_, true, false) => out.push("non-increasing"),
+            _ => {}
+        }
+        if self.injective {
+            out.push("injective");
+        }
+        if self.permutation {
+            out.push("permutation");
+        }
+        if self.value_lo.is_some() || self.value_hi.is_some() {
+            out.push("bounded");
+        }
+        out
+    }
+}
+
 /// What kind of object a symbol denotes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SymKind {
@@ -50,15 +134,32 @@ pub struct Symbol {
     pub common: Option<String>,
     /// True if the symbol is a dummy argument of its unit.
     pub is_arg: bool,
+    /// Proven index-array content properties (set by the `idxprop`
+    /// stage; `None` until then and for non-index arrays).
+    pub props: Option<ArrayProps>,
 }
 
 impl Symbol {
     pub fn scalar(name: impl Into<String>, ty: DataType) -> Symbol {
-        Symbol { name: name.into(), ty, kind: SymKind::Scalar, common: None, is_arg: false }
+        Symbol {
+            name: name.into(),
+            ty,
+            kind: SymKind::Scalar,
+            common: None,
+            is_arg: false,
+            props: None,
+        }
     }
 
     pub fn array(name: impl Into<String>, ty: DataType, dims: Vec<Dim>) -> Symbol {
-        Symbol { name: name.into(), ty, kind: SymKind::Array(dims), common: None, is_arg: false }
+        Symbol {
+            name: name.into(),
+            ty,
+            kind: SymKind::Array(dims),
+            common: None,
+            is_arg: false,
+            props: None,
+        }
     }
 
     pub fn parameter(name: impl Into<String>, ty: DataType, value: Expr) -> Symbol {
@@ -68,6 +169,7 @@ impl Symbol {
             kind: SymKind::Parameter(value),
             common: None,
             is_arg: false,
+            props: None,
         }
     }
 

@@ -451,11 +451,14 @@ mod tests {
     #[test]
     fn runtime_independent_serial_loop_is_completeness_miss() {
         // Subscripted subscript with a permutation index: statically
-        // unanalyzable (the range test must stay conservative) but
-        // dynamically independent — the textbook completeness miss.
+        // unanalyzable (a MOD-keyed fill defeats both the range test
+        // and the idxprop recognizers — an affine fill like `51 - i`
+        // would now be *proved* injective and parallelized) but
+        // dynamically independent, since gcd(3, 50) = 1 makes the fill
+        // a permutation at run time — the textbook completeness miss.
         // Speculation is what Polaris would do; disable run-time tests
         // to force the serial verdict the miss metric is about.
-        let src = "program t\ninteger idx(50)\nreal a(50)\ndo i = 1, 50\n  idx(i) = 51 - i\nend do\ndo i = 1, 50\n  a(idx(i)) = i * 1.0\nend do\nprint *, a(3)\nend\n";
+        let src = "program t\ninteger idx(50)\nreal a(50)\ndo i = 1, 50\n  idx(i) = mod(i*3, 50) + 1\nend do\ndo i = 1, 50\n  a(idx(i)) = i * 1.0\nend do\nprint *, a(3)\nend\n";
         let mut p = parse(src).unwrap();
         let mut opts = PassOptions::polaris();
         opts.speculation = false;

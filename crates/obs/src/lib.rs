@@ -81,6 +81,12 @@ pub enum Counter {
     PermutationsUsed,
     /// Range facts propagated into the analysis environment.
     RangesPropagated,
+    /// Index arrays that earned a proven content property (idxprop).
+    IdxPropsProved,
+    /// Property-rule disjointness queries (subscripted subscripts).
+    PropsTestsRun,
+    /// Property-rule queries that proved the loop's pairs disjoint.
+    PropsProved,
     /// Induction variables substituted (additive + multiplicative).
     InductionSubstitutions,
     /// Reduction statements recognized by the pattern matcher.
@@ -173,6 +179,9 @@ impl Counter {
             Counter::RangeProbes => "compile.dd.range_probes",
             Counter::PermutationsUsed => "compile.dd.permutations",
             Counter::RangesPropagated => "compile.ranges.propagated",
+            Counter::IdxPropsProved => "compile.idxprop.proved",
+            Counter::PropsTestsRun => "compile.dd.props.run",
+            Counter::PropsProved => "compile.dd.props.proved",
             Counter::InductionSubstitutions => "compile.induction.substitutions",
             Counter::ReductionsRecognized => "compile.reductions.recognized",
             Counter::ArraysPrivatized => "compile.arrays.privatized",
@@ -789,6 +798,9 @@ mod tests {
             Counter::RangeProbes,
             Counter::PermutationsUsed,
             Counter::RangesPropagated,
+            Counter::IdxPropsProved,
+            Counter::PropsTestsRun,
+            Counter::PropsProved,
             Counter::InductionSubstitutions,
             Counter::ReductionsRecognized,
             Counter::ArraysPrivatized,

@@ -1,0 +1,548 @@
+//! Run-time index-array inspection — the inspector/executor scheme.
+//!
+//! The compile-time property pass (`polaris-core::idxprop`) proves
+//! `A(IDX(I))` loops parallel when the *defining loop* of `IDX` is
+//! statically recognizable. When it is not — the index array arrives
+//! from input data, or its fill is conditional — the next-cheapest
+//! option before full LRPD shadow speculation is to *inspect the
+//! concrete index array at run time*, immediately before the loop:
+//!
+//! * [`classify`] derives the same property lattice the compiler uses
+//!   (monotone / strict / injective / bounded) from the actual values,
+//!   in one `O(n)` pass plus an `O(n log n)` duplicate check;
+//! * [`speculative_doall_inspected`] consults that verdict: an
+//!   injective, in-bounds index array makes a scatter through it
+//!   race-free, so the loop runs as a plain logged doall — per-thread
+//!   write logs instead of the four dense LRPD shadow arrays — and the
+//!   log is re-checked cheaply at commit (defense in depth against a
+//!   body that touches elements outside `IDX`). Anything the
+//!   inspection or the log check cannot certify falls through to the
+//!   full [`speculative_doall`] PD test, never to a wrong answer.
+//!
+//! The commit-time log check keeps the fast path *sound by
+//! construction* rather than by contract: a conflicting write or a
+//! cross-iteration read discards the logs (the shared array has not
+//! been touched) and re-runs the loop under full LRPD.
+
+use crate::lrpd::{speculative_doall, ArrayView, SpecOutcome};
+use std::time::{Duration, Instant};
+
+const NEVER: u32 = u32::MAX;
+
+/// Properties of one concrete index array, mirroring the compile-time
+/// lattice of `polaris-ir`'s `ArrayProps` (which speaks about symbolic
+/// fills; this speaks about the values actually present at run time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexProperties {
+    /// Number of entries inspected.
+    pub len: usize,
+    /// Non-decreasing left to right.
+    pub monotone_inc: bool,
+    /// Non-increasing left to right.
+    pub monotone_dec: bool,
+    /// Strictly monotone (in whichever direction holds).
+    pub strict: bool,
+    /// No value occurs twice.
+    pub injective: bool,
+    /// Smallest value (0 when empty).
+    pub min: i64,
+    /// Largest value (0 when empty).
+    pub max: i64,
+}
+
+impl IndexProperties {
+    /// Every value lies in `lo..=hi` (vacuously true when empty).
+    pub fn bounded_within(&self, lo: i64, hi: i64) -> bool {
+        self.len == 0 || (self.min >= lo && self.max <= hi)
+    }
+
+    /// The values are exactly `lo, lo+1, …, lo+len-1` in some order.
+    pub fn is_permutation_of(&self, lo: i64) -> bool {
+        self.len > 0
+            && self.injective
+            && self.min == lo
+            && self.max == lo + self.len as i64 - 1
+    }
+
+    /// Human-readable fact list, same vocabulary as the compile-time
+    /// `ArrayProps::facts` so diagnostics line up across the two layers.
+    pub fn facts(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.monotone_inc {
+            out.push(if self.strict { "strictly-increasing" } else { "monotone-increasing" });
+        }
+        if self.monotone_dec {
+            out.push(if self.strict { "strictly-decreasing" } else { "monotone-decreasing" });
+        }
+        if self.injective {
+            out.push("injective");
+        }
+        out.push("bounded");
+        out
+    }
+}
+
+/// Inspect a concrete index array: one pass for monotonicity and value
+/// bounds, then — only when monotonicity has not already settled it — a
+/// sort-based duplicate scan for injectivity.
+pub fn classify(idx: &[i64]) -> IndexProperties {
+    if idx.is_empty() {
+        return IndexProperties {
+            len: 0,
+            monotone_inc: true,
+            monotone_dec: true,
+            strict: true,
+            injective: true,
+            min: 0,
+            max: 0,
+        };
+    }
+    let mut inc = true;
+    let mut dec = true;
+    let mut strict_inc = true;
+    let mut strict_dec = true;
+    let (mut min, mut max) = (idx[0], idx[0]);
+    for w in idx.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        inc &= a <= b;
+        dec &= a >= b;
+        strict_inc &= a < b;
+        strict_dec &= a > b;
+        min = min.min(b);
+        max = max.max(b);
+    }
+    let strict = (inc && strict_inc) || (dec && strict_dec);
+    let injective = if strict {
+        true
+    } else if inc || dec {
+        false // monotone with a repeat: the repeat is a duplicate
+    } else {
+        let mut sorted = idx.to_vec();
+        sorted.sort_unstable();
+        sorted.windows(2).all(|w| w[0] != w[1])
+    };
+    IndexProperties {
+        len: idx.len(),
+        monotone_inc: inc,
+        monotone_dec: dec,
+        strict,
+        injective,
+        min,
+        max,
+    }
+}
+
+/// Which executor [`speculative_doall_inspected`] ended up using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InspectedMode {
+    /// Inspection certified the index array; the loop ran as a logged
+    /// doall with no dense shadow structures.
+    Doall,
+    /// Inspection (or the commit-time log check) could not certify the
+    /// loop; it ran under the full LRPD PD test.
+    Speculative,
+}
+
+impl InspectedMode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InspectedMode::Doall => "inspected-doall",
+            InspectedMode::Speculative => "lrpd",
+        }
+    }
+}
+
+/// Per-thread access log for the certified fast path: every touched
+/// element, no dense shadows. `writes` holds at most one entry per
+/// (element, iteration); `reads` records reads served from the shared
+/// array (reads of the iteration's own pending write are forwarded and
+/// need no entry).
+struct LogView<'a, T> {
+    original: &'a [T],
+    iter: u32,
+    /// This iteration's pending writes, searched for read forwarding.
+    cur: Vec<(usize, T)>,
+    writes: Vec<(usize, u32, T)>,
+    reads: Vec<(usize, u32)>,
+}
+
+impl<'a, T: Copy> LogView<'a, T> {
+    fn end_iteration(&mut self) {
+        let t = self.iter;
+        for &(e, v) in &self.cur {
+            self.writes.push((e, t, v));
+        }
+        self.cur.clear();
+    }
+}
+
+impl<'a, T: Copy + std::ops::Add<Output = T>> ArrayView<T> for LogView<'a, T> {
+    fn read(&mut self, idx: usize) -> T {
+        if let Some(&(_, v)) = self.cur.iter().rev().find(|&&(e, _)| e == idx) {
+            return v;
+        }
+        self.reads.push((idx, self.iter));
+        self.original[idx]
+    }
+
+    fn write(&mut self, idx: usize, value: T) {
+        if let Some(slot) = self.cur.iter_mut().find(|(e, _)| *e == idx) {
+            slot.1 = value;
+        } else {
+            self.cur.push((idx, value));
+        }
+    }
+
+    fn reduce_add(&mut self, idx: usize, value: T) {
+        let v = self.read(idx) + value;
+        self.write(idx, v);
+    }
+}
+
+/// Inspector/executor wrapper around [`speculative_doall`]: inspect the
+/// concrete index array `idx` (the subscript values iteration `i` uses
+/// to address `data`), and
+///
+/// * if it is injective and in-bounds for `data`, execute the loop as a
+///   plain logged doall — no dense shadow arrays — re-verifying the
+///   access log at commit (a conflict discards the logs and falls
+///   through to full LRPD);
+/// * otherwise run the full PD test exactly as [`speculative_doall`]
+///   would.
+///
+/// The iteration count is `idx.len()`. Returns the executor actually
+/// used together with the outcome; a failed outcome leaves `data`
+/// untouched so the caller re-executes sequentially, as with plain
+/// LRPD.
+pub fn speculative_doall_inspected<T, F>(
+    data: &mut [T],
+    idx: &[i64],
+    n_threads: usize,
+    privatized: bool,
+    body: F,
+) -> (InspectedMode, SpecOutcome)
+where
+    T: Copy + Default + Send + Sync + std::ops::Add<Output = T>,
+    F: Fn(usize, &mut dyn ArrayView<T>) + Sync,
+{
+    let n_iters = idx.len();
+    let props = classify(idx);
+    let certified =
+        n_iters > 0 && props.injective && props.bounded_within(0, data.len() as i64 - 1);
+    if !certified {
+        let out = speculative_doall(data, n_iters, n_threads, privatized, body);
+        return (InspectedMode::Speculative, out);
+    }
+
+    // --- certified fast path: logged parallel execution -----------------
+    let n_threads = n_threads.max(1);
+    let t_exec = Instant::now();
+    type ThreadLog<T> = (Vec<(usize, u32, T)>, Vec<(usize, u32)>);
+    let mut logs: Vec<ThreadLog<T>> = Vec::new();
+    let mut worker_panicked = false;
+    {
+        let data_ref: &[T] = data;
+        let body_ref = &body;
+        let joined = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for tid in 0..n_threads {
+                handles.push(scope.spawn(move |_| {
+                    let mut view = LogView {
+                        original: data_ref,
+                        iter: 0,
+                        cur: Vec::new(),
+                        writes: Vec::new(),
+                        reads: Vec::new(),
+                    };
+                    let per = n_iters.div_ceil(n_threads);
+                    let lo = tid * per;
+                    let hi = ((tid + 1) * per).min(n_iters);
+                    for it in lo..hi {
+                        view.iter = it as u32;
+                        body_ref(it, &mut view);
+                        view.end_iteration();
+                    }
+                    (view.writes, view.reads)
+                }));
+            }
+            handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+        });
+        match joined {
+            Ok(results) => {
+                for r in results {
+                    match r {
+                        Ok(log) => logs.push(log),
+                        Err(_) => worker_panicked = true,
+                    }
+                }
+            }
+            Err(_) => worker_panicked = true,
+        }
+    }
+    let exec_time = t_exec.elapsed();
+    if worker_panicked {
+        // Same isolation contract as LRPD: nothing was committed, so
+        // surface a failed attempt and let the caller go sequential.
+        return (
+            InspectedMode::Doall,
+            SpecOutcome {
+                parallel_valid: false,
+                privatized_valid: false,
+                flow_anti: false,
+                output_dep: false,
+                not_privatizable: false,
+                reduction_conflict: false,
+                reduced: 0,
+                writes: 0,
+                marks: 0,
+                committed: false,
+                worker_panicked: true,
+                exec_time,
+                test_time: Duration::ZERO,
+            },
+        );
+    }
+
+    // --- commit-time log check ------------------------------------------
+    // Certification says the body addresses `data` through an injective
+    // in-bounds map, but the check is on the log, not the promise: two
+    // iterations writing one element, or a read of an element some other
+    // iteration wrote, invalidates the fast path.
+    let t_test = Instant::now();
+    let mut writer = vec![NEVER; data.len()];
+    let mut conflict = false;
+    'outer: for (ws, _) in &logs {
+        for &(e, t, _) in ws {
+            if writer[e] != NEVER && writer[e] != t {
+                conflict = true;
+                break 'outer;
+            }
+            writer[e] = t;
+        }
+    }
+    if !conflict {
+        'outer: for (_, rs) in &logs {
+            for &(e, t) in rs {
+                if writer[e] != NEVER && writer[e] != t {
+                    conflict = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    if conflict {
+        // Logs are side buffers; `data` is untouched. Re-run under the
+        // full PD test, which will produce the precise failure verdict
+        // (or even pass, e.g. write-then-read patterns LRPD privatizes).
+        let out = speculative_doall(data, n_iters, n_threads, privatized, body);
+        return (InspectedMode::Speculative, out);
+    }
+    let writes: u64 = logs.iter().map(|(ws, _)| ws.len() as u64).sum();
+    for (ws, _) in &logs {
+        for &(e, _, v) in ws {
+            data[e] = v;
+        }
+    }
+    let test_time = t_test.elapsed();
+    (
+        InspectedMode::Doall,
+        SpecOutcome {
+            parallel_valid: true,
+            privatized_valid: true,
+            flow_anti: false,
+            output_dep: false,
+            not_privatizable: false,
+            reduction_conflict: false,
+            reduced: 0,
+            writes,
+            marks: writes,
+            committed: true,
+            worker_panicked: false,
+            exec_time,
+            test_time,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lrpd::run_sequential;
+
+    #[test]
+    fn classify_identity_is_a_strict_permutation() {
+        let idx: Vec<i64> = (0..100).collect();
+        let p = classify(&idx);
+        assert!(p.monotone_inc && p.strict && p.injective);
+        assert!(!p.monotone_dec);
+        assert!(p.is_permutation_of(0));
+        assert!(p.bounded_within(0, 99));
+        assert!(!p.bounded_within(0, 98));
+        assert_eq!(p.facts(), vec!["strictly-increasing", "injective", "bounded"]);
+    }
+
+    #[test]
+    fn classify_shuffled_permutation_is_injective_not_monotone() {
+        // 77 coprime with 128: a permutation of 0..128.
+        let idx: Vec<i64> = (0..128).map(|i| (i * 77 + 13) % 128).collect();
+        let p = classify(&idx);
+        assert!(p.injective && !p.monotone_inc && !p.monotone_dec && !p.strict);
+        assert!(p.is_permutation_of(0));
+    }
+
+    #[test]
+    fn classify_duplicates_are_bounded_only() {
+        let idx: Vec<i64> = (0..64).map(|i| i / 2).collect();
+        let p = classify(&idx);
+        assert!(p.monotone_inc && !p.strict && !p.injective);
+        assert!(!p.is_permutation_of(0));
+        assert_eq!((p.min, p.max), (0, 31));
+        assert_eq!(p.facts(), vec!["monotone-increasing", "bounded"]);
+    }
+
+    #[test]
+    fn classify_strictly_decreasing() {
+        let idx: Vec<i64> = (0..50).map(|i| 100 - 2 * i).collect();
+        let p = classify(&idx);
+        assert!(p.monotone_dec && p.strict && p.injective && !p.monotone_inc);
+        assert!(!p.is_permutation_of(2), "stride 2 skips values");
+        assert_eq!(p.facts(), vec!["strictly-decreasing", "injective", "bounded"]);
+    }
+
+    #[test]
+    fn certified_scatter_runs_as_doall_and_matches_sequential() {
+        let n = 128usize;
+        let idx: Vec<i64> = (0..n as i64).map(|i| (i * 77 + 13) % n as i64).collect();
+        let body = |i: usize, v: &mut dyn ArrayView<i64>| {
+            v.write(idx[i] as usize, i as i64 * 3);
+        };
+        let mut data = vec![0i64; n];
+        let (mode, out) = speculative_doall_inspected(&mut data, &idx, 8, false, body);
+        assert_eq!(mode, InspectedMode::Doall, "{out:?}");
+        assert!(out.parallel_valid && out.committed);
+        assert_eq!(out.writes, n as u64);
+        let mut seq = vec![0i64; n];
+        run_sequential(&mut seq, n, body);
+        assert_eq!(data, seq);
+    }
+
+    #[test]
+    fn duplicate_index_array_falls_through_to_lrpd_and_fails_safe() {
+        let n = 64usize;
+        let idx: Vec<i64> = (0..n as i64).map(|i| i / 2).collect();
+        let body = |i: usize, v: &mut dyn ArrayView<i64>| {
+            v.write(idx[i] as usize, i as i64);
+        };
+        let mut data = vec![7i64; n];
+        let (mode, out) = speculative_doall_inspected(&mut data, &idx, 4, false, body);
+        assert_eq!(mode, InspectedMode::Speculative);
+        assert!(out.output_dep && !out.committed, "{out:?}");
+        assert_eq!(data, vec![7i64; n], "failed speculation must not disturb the array");
+        run_sequential(&mut data, n, body);
+        assert_eq!(data[0], 1, "last writer of element 0 is iteration 1");
+    }
+
+    #[test]
+    fn out_of_bounds_index_array_is_not_certified() {
+        // Injective but one entry past the end of `data`: inspection
+        // must refuse the fast path (LRPD then fails on the stray write
+        // only if the body actually performs it — here it clamps, so the
+        // PD test passes; the point is the *mode*).
+        let n = 16usize;
+        let mut idx: Vec<i64> = (0..n as i64).collect();
+        idx[7] = n as i64; // out of bounds for data
+        let body = |i: usize, v: &mut dyn ArrayView<i64>| {
+            v.write((idx[i] as usize).min(15), i as i64);
+        };
+        let mut data = vec![0i64; n];
+        let (mode, _) = speculative_doall_inspected(&mut data, &idx, 4, false, body);
+        assert_eq!(mode, InspectedMode::Speculative);
+    }
+
+    #[test]
+    fn contract_breaking_body_is_caught_by_the_log_check() {
+        // The index array certifies, but the body ignores it and hammers
+        // element 0 from every iteration: the commit-time log check must
+        // detect the collision, discard the logs, and let full LRPD
+        // deliver the failure with `data` untouched.
+        let n = 32usize;
+        let idx: Vec<i64> = (0..n as i64).collect();
+        let body = |i: usize, v: &mut dyn ArrayView<i64>| {
+            v.write(0, i as i64);
+        };
+        let mut data = vec![5i64; n];
+        let (mode, out) = speculative_doall_inspected(&mut data, &idx, 4, false, body);
+        assert_eq!(mode, InspectedMode::Speculative, "{out:?}");
+        assert!(out.output_dep && !out.committed);
+        assert_eq!(data, vec![5i64; n]);
+    }
+
+    #[test]
+    fn cross_iteration_read_is_caught_by_the_log_check() {
+        // Certified injective writes, but iteration i also reads the
+        // element iteration i-1 writes: a flow dependence the inspection
+        // cannot see. The log check must refuse the fast-path commit.
+        let n = 64usize;
+        let idx: Vec<i64> = (0..n as i64).collect();
+        let body = |i: usize, v: &mut dyn ArrayView<i64>| {
+            let carry = if i > 0 { v.read(i - 1) } else { 0 };
+            v.write(i, carry + 1);
+        };
+        let mut data = vec![0i64; n];
+        let (mode, out) = speculative_doall_inspected(&mut data, &idx, 4, false, body);
+        assert_eq!(mode, InspectedMode::Speculative, "{out:?}");
+        assert!(!out.committed, "{out:?}");
+        assert_eq!(data, vec![0i64; n]);
+        run_sequential(&mut data, n, body);
+        assert_eq!(data[n - 1], n as i64);
+    }
+
+    #[test]
+    fn same_iteration_read_after_write_is_forwarded_and_commits() {
+        // Reads of the iteration's own pending write must be served from
+        // the log (not the stale shared array) and must not count as
+        // conflicts.
+        let n = 32usize;
+        let idx: Vec<i64> = (0..n as i64).map(|i| (n as i64 - 1) - i).collect();
+        let body = |i: usize, v: &mut dyn ArrayView<i64>| {
+            let e = idx[i] as usize;
+            v.write(e, i as i64);
+            let mine = v.read(e);
+            v.write(e, mine * 2);
+        };
+        let mut data = vec![0i64; n];
+        let (mode, out) = speculative_doall_inspected(&mut data, &idx, 4, false, body);
+        assert_eq!(mode, InspectedMode::Doall, "{out:?}");
+        assert!(out.committed);
+        let mut seq = vec![0i64; n];
+        run_sequential(&mut seq, n, body);
+        assert_eq!(data, seq);
+    }
+
+    #[test]
+    fn empty_index_array_goes_speculative_trivially() {
+        let mut data = vec![1i64; 4];
+        let (mode, out) =
+            speculative_doall_inspected(&mut data, &[], 4, false, |_i, _v: &mut dyn ArrayView<i64>| {});
+        assert_eq!(mode, InspectedMode::Speculative);
+        assert!(out.committed, "zero iterations trivially commit");
+        assert_eq!(data, vec![1i64; 4]);
+    }
+
+    #[test]
+    fn reduce_add_through_injective_index_matches_sequential() {
+        let n = 48usize;
+        let idx: Vec<i64> = (0..n as i64).map(|i| (i * 7 + 3) % n as i64).collect();
+        assert!(classify(&idx).injective, "7 coprime with 48");
+        let body = |i: usize, v: &mut dyn ArrayView<i64>| {
+            v.reduce_add(idx[i] as usize, i as i64 + 1);
+        };
+        let mut data: Vec<i64> = (0..n as i64).collect();
+        let (mode, out) = speculative_doall_inspected(&mut data, &idx, 4, false, body);
+        assert_eq!(mode, InspectedMode::Doall, "{out:?}");
+        assert!(out.committed);
+        let mut seq: Vec<i64> = (0..n as i64).collect();
+        run_sequential(&mut seq, n, body);
+        assert_eq!(data, seq);
+    }
+}

@@ -27,16 +27,17 @@
 
 use polaris_core::ddtest::range_test::{no_carried_dependence, InnerLoop, RefSpec};
 use polaris_core::ddtest::DdStats;
+use polaris_core::idxprop::{self, PropAccess};
 use polaris_core::rangeprop::assume_loop_header;
 use polaris_ir::expr::{Expr, UnOp};
 use polaris_ir::stmt::{LoopId, StmtKind};
-use polaris_ir::symbol::SymKind;
+use polaris_ir::symbol::{ArrayProps, SymKind};
 use polaris_ir::Program;
 use polaris_machine::lower::{Image, RExpr, RLoop, RRef, RStmt};
 use polaris_machine::MachineError;
 use polaris_symbolic::poly::{DivPolicy, Poly};
 use polaris_symbolic::{Range, RangeEnv};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Outcome of the static check for one PARALLEL claim.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,21 +119,37 @@ pub fn analyze(program: &Program) -> Result<RaceReport, MachineError> {
             env.assume_cond(cond);
         }
     });
-    Ok(check_image(&image, &env))
+    // Index-array properties are re-derived from the IR, NOT read from
+    // `Symbol.props`: a corrupted or hand-edited annotation must not be
+    // able to launder an unsound PARALLEL claim past the detector.
+    let props = idxprop::infer_unit(main).props;
+    Ok(check_image(&image, &env, &props))
 }
 
 /// Check every PARALLEL claim in an already-lowered image. `facts` holds
 /// the loop-invariant range facts (assertions, parameters); scalar
 /// assignment facts and enclosing loop headers are accumulated as the
 /// walk descends, mirroring the dependence driver's abstract execution.
-pub fn check_image(image: &Image, facts: &RangeEnv) -> RaceReport {
+/// `props` holds independently re-derived index-array properties (pass
+/// an empty map to disable the property-based disjointness fallback).
+pub fn check_image(
+    image: &Image,
+    facts: &RangeEnv,
+    props: &BTreeMap<String, ArrayProps>,
+) -> RaceReport {
     let mut report = RaceReport::default();
     let mut env = facts.clone();
-    walk(&image.code, image, &mut env, &mut report);
+    walk(&image.code, image, &mut env, props, &mut report);
     report
 }
 
-fn walk(code: &[RStmt], image: &Image, env: &mut RangeEnv, report: &mut RaceReport) {
+fn walk(
+    code: &[RStmt],
+    image: &Image,
+    env: &mut RangeEnv,
+    props: &BTreeMap<String, ArrayProps>,
+    report: &mut RaceReport,
+) {
     for s in code {
         match s {
             RStmt::Do(l) => {
@@ -145,17 +162,17 @@ fn walk(code: &[RStmt], image: &Image, env: &mut RangeEnv, report: &mut RaceRepo
                 let mut body_env = env.clone();
                 assume_header(l, image, &mut body_env);
                 if l.par.parallel {
-                    report.loops.push(check_parallel_loop(l, image, &body_env));
+                    report.loops.push(check_parallel_loop(l, image, &body_env, props));
                 }
-                walk(&l.body, image, &mut body_env, report);
+                walk(&l.body, image, &mut body_env, props, report);
             }
             RStmt::If(arms, else_body) => {
                 for (_, body) in arms {
                     let mut arm_env = env.clone();
-                    walk(body, image, &mut arm_env, report);
+                    walk(body, image, &mut arm_env, props, report);
                 }
                 let mut else_env = env.clone();
-                walk(else_body, image, &mut else_env, report);
+                walk(else_body, image, &mut else_env, props, report);
                 let mut killed = BTreeSet::new();
                 for (_, body) in arms {
                     killed.extend(assigned_scalars(body));
@@ -254,7 +271,12 @@ struct BodyAccesses {
     arrays: Vec<(usize, ArrAccess)>,
 }
 
-fn check_parallel_loop(l: &RLoop, image: &Image, env: &RangeEnv) -> LoopRace {
+fn check_parallel_loop(
+    l: &RLoop,
+    image: &Image,
+    env: &RangeEnv,
+    props: &BTreeMap<String, ArrayProps>,
+) -> LoopRace {
     let mut acc = BodyAccesses::default();
     acc.control.insert(l.var);
     collect(&l.body, image, &mut Vec::new(), &mut Defs::default(), true, &mut acc);
@@ -340,6 +362,8 @@ fn check_parallel_loop(l: &RLoop, image: &Image, env: &RangeEnv) -> LoopRace {
         .filter(|s| !acc.control.contains(s))
         .map(|&s| name(s))
         .collect();
+    let written_names: BTreeSet<String> =
+        written.iter().map(|&s| image.arrays[s].name.clone()).collect();
     for &slot in &written {
         if covered_arrays.contains(&slot) {
             continue;
@@ -350,6 +374,9 @@ fn check_parallel_loop(l: &RLoop, image: &Image, env: &RangeEnv) -> LoopRace {
         let has_reads = accesses.iter().any(|a| !a.write);
         let proven = step.is_some_and(|step| {
             all_pairs_disjoint(l, image, &accesses, step, &varying, env)
+                || disjoint_via_props(
+                    l, image, &accesses, step, &varying, env, props, &written_names,
+                )
         });
         if !proven {
             if has_reads {
@@ -436,6 +463,52 @@ fn all_pairs_disjoint(
         }
     }
     true
+}
+
+/// Fallback for subscripted subscripts the range test abstains on: prove
+/// the pairs disjoint from independently re-derived index-array
+/// properties (`A(IDX(I))` with `IDX` injective over a domain containing
+/// the argument's image). Arrays written inside the checked loop answer
+/// no properties — their fill-time facts would be stale mid-loop.
+#[allow(clippy::too_many_arguments)]
+fn disjoint_via_props(
+    l: &RLoop,
+    image: &Image,
+    accesses: &[&ArrAccess],
+    step: i64,
+    varying: &BTreeSet<String>,
+    env: &RangeEnv,
+    props: &BTreeMap<String, ArrayProps>,
+    written_names: &BTreeSet<String>,
+) -> bool {
+    let var = image.scalar_names[l.var].clone();
+    let (Some(lo), Some(hi)) = (
+        unlower(&l.init, image).and_then(|e| Poly::from_expr(&e, DivPolicy::Exact)),
+        unlower(&l.limit, image).and_then(|e| Poly::from_expr(&e, DivPolicy::Exact)),
+    ) else {
+        return false;
+    };
+    let self_loop = InnerLoop { var, lo, hi, step };
+    let mut recs = Vec::with_capacity(accesses.len());
+    for a in accesses {
+        let (Some(subs), Some(inner)) = (a.subs.as_ref(), a.inner.as_ref()) else {
+            return false;
+        };
+        recs.push(PropAccess {
+            write: a.write,
+            subs,
+            ctx_vars: inner.iter().map(|il| il.var.clone()).collect(),
+        });
+    }
+    let lookup = |n: &str| {
+        if written_names.contains(n) {
+            None
+        } else {
+            props.get(n).cloned()
+        }
+    };
+    let stats = DdStats::new();
+    idxprop::pairs_disjoint_via_props(&recs, &self_loop, varying, env, &lookup, &stats)
 }
 
 /// In-iteration scalar reaching definitions, mirroring the dependence
@@ -718,6 +791,75 @@ mod tests {
         );
         assert_eq!(r.parallel_claims(), 1, "{:?}", r.loops);
         assert_eq!(r.loops[0].verdict, RaceVerdict::NeedsPrivatization, "{}", r.loops[0].detail);
+    }
+
+    #[test]
+    fn scatter_through_injective_fill_is_clean() {
+        // The compiler proves the scatter PARALLEL from IDX's inferred
+        // injectivity; the detector must reach the same verdict from its
+        // own independent derivation of the property.
+        let r = race_of(
+            "program t\n\
+             integer idx(100)\n\
+             real a(100), b(100)\n\
+             do i = 1, 100\n\
+             \x20 idx(i) = i\n\
+             end do\n\
+             do i = 1, 100\n\
+             \x20 a(idx(i)) = b(i) + 1.0\n\
+             end do\n\
+             print *, a(1)\n\
+             end\n",
+        );
+        assert_eq!(r.parallel_claims(), 2, "{:?}", r.loops);
+        for l in &r.loops {
+            assert_eq!(l.verdict, RaceVerdict::Clean, "{}: {}", l.label, l.detail);
+        }
+    }
+
+    #[test]
+    fn hand_annotated_injective_scatter_is_clean_without_compile() {
+        // No compile pipeline ran, so Symbol.props is empty: the verdict
+        // can only come from the detector's own inference over the IR.
+        let r = race_raw(
+            "program t\n\
+             integer idx(100)\n\
+             real a(100), b(100)\n\
+             do i = 1, 100\n\
+             \x20 idx(i) = i\n\
+             end do\n\
+             !$polaris doall\n\
+             do i = 1, 100\n\
+             \x20 a(idx(i)) = b(i) + 1.0\n\
+             end do\n\
+             print *, a(1)\n\
+             end\n",
+        );
+        assert_eq!(r.parallel_claims(), 1, "{:?}", r.loops);
+        assert_eq!(r.loops[0].verdict, RaceVerdict::Clean, "{}", r.loops[0].detail);
+    }
+
+    #[test]
+    fn hand_annotated_non_injective_scatter_stays_flagged() {
+        // MOD fills are bounded but not injective: the property rule must
+        // refuse, and the hand DOALL claim must be exposed as a race.
+        let r = race_raw(
+            "program t\n\
+             integer bin(100)\n\
+             real h(8)\n\
+             do i = 1, 100\n\
+             \x20 bin(i) = mod(i, 8) + 1\n\
+             end do\n\
+             !$polaris doall\n\
+             do i = 1, 100\n\
+             \x20 h(bin(i)) = h(bin(i)) + 1.0\n\
+             end do\n\
+             print *, h(1)\n\
+             end\n",
+        );
+        assert_eq!(r.parallel_claims(), 1, "{:?}", r.loops);
+        assert_eq!(r.loops[0].verdict, RaceVerdict::PotentialRace, "{}", r.loops[0].detail);
+        assert!(r.loops[0].detail.contains("`H`"), "{}", r.loops[0].detail);
     }
 
     #[test]

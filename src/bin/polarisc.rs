@@ -298,7 +298,23 @@ fn main() -> ExitCode {
             if !l.reductions.is_empty() {
                 extra.push_str(&format!(" reductions={:?}", l.reductions));
             }
+            if !l.index_facts.is_empty() {
+                extra.push_str(&format!(" index-facts={:?}", l.index_facts));
+            }
             eprintln!("  {:<24} {verdict}{extra}", l.label);
+        }
+        if rep.idxprop.proved > 0 {
+            eprintln!(
+                "idxprop: {}/{} index arrays proved ({} injective, {} monotone, {} bounded, {} permutations); property rule {}/{} proved",
+                rep.idxprop.proved,
+                rep.idxprop.arrays_analyzed,
+                rep.idxprop.injective,
+                rep.idxprop.monotone,
+                rep.idxprop.bounded,
+                rep.idxprop.permutations,
+                rep.dd_props.1,
+                rep.dd_props.0,
+            );
         }
     }
     if diag {

@@ -183,6 +183,24 @@ fn verify_json_matches_golden_for_mdg_and_track() {
     }
 }
 
+/// Irregular-kernel snapshots: GATHER (scatter proved parallel purely
+/// by the index-array property pass — its `--diag` row pins the
+/// `idxprop` stage outcome and the `--verify` race table pins the
+/// `clean` verdict on the scatter) and BUCKET (the MOD-keyed scatter
+/// that must ship as LRPD speculation, not serialize).
+#[test]
+fn diag_and_verify_match_golden_for_irregular_kernels() {
+    for (kern, diag, verify) in [
+        ("gather.f", "GATHER.diag.txt", "GATHER.verify.json"),
+        ("bucket.f", "BUCKET.diag.txt", "BUCKET.verify.json"),
+    ] {
+        let (_, stderr) = polarisc(&["--diag", "--quiet", &kernel(kern)]);
+        check_golden(diag, &normalize_diag(&stderr));
+        let (stdout, _) = polarisc(&["--verify", &kernel(kern)]);
+        check_golden(verify, &stdout);
+    }
+}
+
 /// The `--lint` JSON report (schema `polaris-verify/lint/v1`). Both
 /// kernels lint clean — zero findings is itself the interesting
 /// snapshot: a new lint that starts firing on them shows up as drift

@@ -8,6 +8,13 @@
 //! The generator mixes the idioms the passes actually target: affine
 //! array writes with offsets, read-modify chains, scalar temporaries,
 //! sum reductions, conditional writes, and inner loops.
+//!
+//! A second generator targets the subscripted-subscript tier: an index
+//! array is filled by a randomly chosen defining loop (affine,
+//! prefix-sum, opaque permutation, duplicate-heavy, or clobbered by a
+//! second fill), then consumed by scatter/accumulate/gather loops. The
+//! property pass may prove the provable fills, but a duplicate-entry
+//! array must never yield a statically `clean` PARALLEL claim.
 
 use proptest::prelude::*;
 
@@ -210,6 +217,167 @@ proptest! {
     }
 }
 
+/// How the index array `idx(16)` gets its values before the consumer
+/// loops run. The first four are provable by the `idxprop` recognizers;
+/// the last three must defeat them.
+#[derive(Debug, Clone, Copy)]
+enum IdxFill {
+    /// `idx(i) = i` — strict identity permutation
+    Identity,
+    /// `idx(i) = 17 - i` — reversal, slope −1
+    Reverse,
+    /// `idx(i) = 2*i + c` — strided injective, not a permutation
+    Affine { c: i64 },
+    /// `idx(1) = 1; idx(i) = idx(i-1) + 1 + mod(i, 2)` — prefix sum
+    PrefixSum,
+    /// `idx(i) = mod(i*m, 16) + 1`, odd `m` — a run-time permutation
+    /// the recognizers cannot see through (LRPD territory)
+    ModPerm { m: i64 },
+    /// `idx(i) = mod(i, m) + 1` — genuine duplicate entries; any
+    /// static `clean` claim on a scatter through this is unsound
+    Duplicates { m: i64 },
+    /// injective fill, then a second loop overwrites half the entries
+    /// with duplicates — the pass must poison its earlier proof
+    Clobbered,
+}
+
+impl IdxFill {
+    fn emit(self, out: &mut String) {
+        match self {
+            IdxFill::Identity => {
+                out.push_str("do i = 1, 16\n  idx(i) = i\nend do\n");
+            }
+            IdxFill::Reverse => {
+                out.push_str("do i = 1, 16\n  idx(i) = 17 - i\nend do\n");
+            }
+            IdxFill::Affine { c } => {
+                out.push_str(&format!("do i = 1, 16\n  idx(i) = 2*i + {c}\nend do\n"));
+            }
+            IdxFill::PrefixSum => {
+                out.push_str("idx(1) = 1\n");
+                out.push_str("do i = 2, 16\n  idx(i) = idx(i - 1) + 1 + mod(i, 2)\nend do\n");
+            }
+            IdxFill::ModPerm { m } => {
+                out.push_str(&format!("do i = 1, 16\n  idx(i) = mod(i*{m}, 16) + 1\nend do\n"));
+            }
+            IdxFill::Duplicates { m } => {
+                out.push_str(&format!("do i = 1, 16\n  idx(i) = mod(i, {m}) + 1\nend do\n"));
+            }
+            IdxFill::Clobbered => {
+                out.push_str("do i = 1, 16\n  idx(i) = i\nend do\n");
+                out.push_str("do i = 1, 8\n  idx(i + 8) = i\nend do\n");
+            }
+        }
+    }
+
+    /// Whether two iterations of a consumer loop can hit one cell.
+    fn may_alias(self) -> bool {
+        matches!(self, IdxFill::Duplicates { .. } | IdxFill::Clobbered)
+    }
+}
+
+/// One consumer statement over `a(idx(i))`.
+#[derive(Debug, Clone, Copy)]
+enum IdxUse {
+    /// `a(idx(i)) = b(i)*1.5 + 0.25` — order-sensitive under duplicates
+    Scatter,
+    /// `a(idx(i)) = a(idx(i)) + b(i)` — cross-iteration flow under
+    /// duplicates
+    Accum,
+    /// `g(i) = a(idx(i))*0.5 + b(i)` — read-only indirection, always
+    /// parallel
+    Gather,
+}
+
+impl IdxUse {
+    fn emit(self, out: &mut String) {
+        match self {
+            IdxUse::Scatter => out.push_str("  a(idx(i)) = b(i)*1.5 + 0.25\n"),
+            IdxUse::Accum => out.push_str("  a(idx(i)) = a(idx(i)) + b(i)\n"),
+            IdxUse::Gather => out.push_str("  g(i) = a(idx(i))*0.5 + b(i)\n"),
+        }
+    }
+}
+
+fn idx_fill_strategy() -> impl Strategy<Value = IdxFill> {
+    prop_oneof![
+        Just(IdxFill::Identity),
+        Just(IdxFill::Reverse),
+        // 2*16 + c <= 64
+        (1i64..=31).prop_map(|c| IdxFill::Affine { c }),
+        Just(IdxFill::PrefixSum),
+        (0i64..8).prop_map(|k| IdxFill::ModPerm { m: 2 * k + 1 }),
+        (2i64..9).prop_map(|m| IdxFill::Duplicates { m }),
+        Just(IdxFill::Clobbered),
+    ]
+}
+
+fn idx_use_strategy() -> impl Strategy<Value = IdxUse> {
+    prop_oneof![Just(IdxUse::Scatter), Just(IdxUse::Accum), Just(IdxUse::Gather)]
+}
+
+fn idx_program_from(fill: IdxFill, uses: &[IdxUse]) -> String {
+    let mut src = String::new();
+    src.push_str("program idxfuzz\n");
+    src.push_str("real a(64), b(16), g(16)\n");
+    src.push_str("integer idx(16)\n");
+    src.push_str("do k = 1, 64\n  a(k) = k*0.125\nend do\n");
+    src.push_str("do k = 1, 16\n  b(k) = 1.0/k\n  g(k) = 0.0\nend do\n");
+    fill.emit(&mut src);
+    src.push_str("do i = 1, 16\n");
+    for u in uses {
+        u.emit(&mut src);
+    }
+    src.push_str("end do\n");
+    src.push_str("print *, a(1), a(13), a(32), a(64)\n");
+    src.push_str("print *, g(1), g(16), idx(1), idx(16)\n");
+    src.push_str("w = 0.0\n");
+    src.push_str("do k = 1, 64\n  w = w + a(k)\nend do\n");
+    src.push_str("print *, 'sum', w\nend\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Subscripted-subscript soundness: whatever the property pass
+    /// proves (or speculates) about the generated index array, the
+    /// adversarial reverse-order execution must match sequential
+    /// semantics, and the traced oracle must see no violation. A
+    /// duplicate-entry fill additionally pins that the props
+    /// disjointness rule proved nothing.
+    #[test]
+    fn index_array_programs_are_sound(
+        fill in idx_fill_strategy(),
+        uses in proptest::collection::vec(idx_use_strategy(), 1..3)
+    ) {
+        let src = idx_program_from(fill, &uses);
+        let out = polaris::parallelize(&src, &polaris::PassOptions::polaris())
+            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        if fill.may_alias() {
+            prop_assert_eq!(
+                out.report.dd_props.1, 0,
+                "props rule claimed disjointness through a duplicate-entry \
+                 index array\n--- source ---\n{}\n--- annotated ---\n{}",
+                src, out.annotated_source
+            );
+        }
+        polaris::machine::run_validated(&out.program, &polaris::MachineConfig::challenge_8())
+            .unwrap_or_else(|e| {
+                panic!("UNSOUND parallelization: {e}\n--- source ---\n{src}\n--- annotated ---\n{}",
+                       out.annotated_source)
+            });
+        let report = polaris::machine::audit(&out.program, &out.report)
+            .unwrap_or_else(|e| panic!("oracle run failed: {e}\n{src}"));
+        prop_assert!(
+            !report.has_violations(),
+            "oracle observed a race through the index array\n--- source ---\n{}\n\
+             --- annotated ---\n{}\n--- violations ---\n{:#?}",
+            src, out.annotated_source, report.violations().collect::<Vec<_>>()
+        );
+    }
+}
+
 /// Deterministic regression shapes that once looked risky.
 #[test]
 fn known_tricky_shapes_are_sound() {
@@ -236,5 +404,46 @@ fn known_tricky_shapes_are_sound() {
         let out = polaris::parallelize(&src, &polaris::PassOptions::polaris()).unwrap();
         polaris::machine::run_validated(&out.program, &polaris::MachineConfig::challenge_8())
             .unwrap_or_else(|e| panic!("{e}\n{src}\n{}", out.annotated_source));
+    }
+}
+
+/// Deterministic index-array shapes with the outcome pinned on both
+/// sides: the provable fills must actually be proved (precision), the
+/// adversarial ones must not be (soundness), and every one must
+/// survive reverse-order execution and the traced oracle.
+#[test]
+fn index_array_shapes_are_pinned_and_sound() {
+    // (fill, expect the props disjointness rule to prove the scatter)
+    let cases: [(IdxFill, bool); 5] = [
+        (IdxFill::Identity, true),
+        (IdxFill::Reverse, true),
+        (IdxFill::PrefixSum, true),
+        (IdxFill::Duplicates { m: 4 }, false),
+        (IdxFill::Clobbered, false),
+    ];
+    for (fill, provable) in cases {
+        let src = idx_program_from(fill, &[IdxUse::Scatter]);
+        let out = polaris::parallelize(&src, &polaris::PassOptions::polaris()).unwrap();
+        if provable {
+            assert!(
+                out.report.dd_props.1 > 0,
+                "{fill:?}: the props rule failed to prove a provable scatter\n{src}\n{}",
+                out.annotated_source
+            );
+        } else {
+            assert_eq!(
+                out.report.dd_props.1, 0,
+                "{fill:?}: the props rule proved an aliasing scatter\n{src}\n{}",
+                out.annotated_source
+            );
+        }
+        polaris::machine::run_validated(&out.program, &polaris::MachineConfig::challenge_8())
+            .unwrap_or_else(|e| panic!("{fill:?}: {e}\n{src}\n{}", out.annotated_source));
+        let report = polaris::machine::audit(&out.program, &out.report).unwrap();
+        assert!(
+            !report.has_violations(),
+            "{fill:?}: {:#?}",
+            report.violations().collect::<Vec<_>>()
+        );
     }
 }

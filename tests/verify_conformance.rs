@@ -23,7 +23,12 @@ const FUEL: u64 = 2_000_000;
 fn kernels_verify_clean_and_static_race_agrees_with_oracle() {
     let mut kernels = polaris_benchmarks::all();
     kernels.push(polaris_benchmarks::track());
-    assert_eq!(kernels.len(), 17, "the paper's suite is 16 codes + TRACK");
+    kernels.extend(polaris_benchmarks::irregular().into_iter().map(|(b, _)| b));
+    assert_eq!(
+        kernels.len(),
+        23,
+        "the paper's suite is 16 codes + TRACK + 6 irregular kernels"
+    );
 
     let mut compared = 0usize;
     let mut precision_misses = 0usize;
