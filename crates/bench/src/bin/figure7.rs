@@ -24,14 +24,15 @@
 //! ```
 
 use polaris_bench::{
-    bar, engine_row, irregular_row, obs_breakdown, oracle_report, speedups, threaded_row,
-    verify_row, EngineRow, IrregularRow, ObsBreakdown, SpeedupRow, ThreadedRow, VerifyRow,
+    adaptive_row, bar, engine_row, irregular_row, obs_breakdown, oracle_report, speedups,
+    threaded_row, verify_row, AdaptiveRow, EngineRow, IrregularRow, ObsBreakdown, SpeedupRow,
+    ThreadedRow, VerifyRow,
 };
 use polaris_core::PassOptions;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const SCHEMA: &str = "polaris-bench/figure7/v6";
+const SCHEMA: &str = "polaris-bench/figure7/v7";
 
 /// Serial-wall repetitions per engine for the v5 engine columns.
 const ENGINE_REPS: usize = 3;
@@ -311,10 +312,48 @@ fn main() -> ExitCode {
         );
     }
 
+    // Schema v7: the adaptive-scheduling block. Every kernel in the run
+    // (main set plus the irregular conformance set) is measured under
+    // block vs work-stealing chunking, run twice under the adaptive
+    // dispatcher (measure → re-dispatch), and steal-rate instrumented on
+    // the real threaded stealing backend.
+    println!();
+    println!(
+        "{:<9} {:>10} {:>9} {:<12} {:<10} {:>10} {:>11}",
+        "Adaptive", "steal/blk", "adapt/blk", "strategy", "chunking", "event", "steal-rate"
+    );
+    let irregular_set = polaris_benchmarks::irregular();
+    let skewed = polaris_benchmarks::skewed();
+    let mut adaptive: Vec<AdaptiveRow> = Vec::new();
+    for b in benches
+        .iter()
+        .chain(irregular_set.iter().map(|(b, _)| b))
+        .chain(std::iter::once(&skewed))
+    {
+        let row = adaptive_row(b, 8, threads);
+        println!(
+            "{:<9} {:>9.2}x {:>8.2}x {:<12} {:<10} {:>10} {:>10.3}",
+            row.name,
+            row.steal_over_block(),
+            row.adaptive_over_block(),
+            row.chosen_strategy,
+            row.chosen_chunking,
+            row.chosen_event,
+            row.steal_rate,
+        );
+        adaptive.push(row);
+    }
+    let steal_wins = adaptive.iter().filter(|r| r.adaptive_cycles < r.block_cycles).count();
+    println!(
+        "adaptive: stealing (where chosen) beats block on {steal_wins} of {} kernels \
+         (cost model)",
+        adaptive.len()
+    );
+
     if let Some(path) = json_path {
         let doc = render_json(
-            &rows, &irregular, &oracle, &verify, threads, cores, geo_polaris, geo_vfa, geo_real,
-            geo_engine,
+            &rows, &irregular, &adaptive, &oracle, &verify, threads, cores, geo_polaris,
+            geo_vfa, geo_real, geo_engine,
         );
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("figure7: cannot write {path}: {e}");
@@ -336,6 +375,7 @@ fn host_cores() -> usize {
 fn render_json(
     rows: &[(SpeedupRow, ThreadedRow, ObsBreakdown, EngineRow)],
     irregular: &[IrregularRow],
+    adaptive: &[AdaptiveRow],
     oracle: &OracleAgg,
     verify: &VerifyAgg,
     threads: usize,
@@ -477,6 +517,49 @@ fn render_json(
     s.push_str(&format!(
         "    \"static_clean_oracle_dirty\": {}\n",
         irregular.iter().map(|r| r.soundness_failures).sum::<usize>()
+    ));
+    s.push_str("  },\n");
+    // Schema v7: the adaptive-scheduling block — per kernel, the cost
+    // model's block vs work-stealing cycles, the strategy/chunking the
+    // adaptive dispatcher settles on by its second invocation (event
+    // "redispatch" once a loop has been measured), and the steal rate
+    // observed on the real threaded stealing backend. All measurements
+    // asserted output-identical to serial before being reported.
+    s.push_str("  \"adaptive\": {\n");
+    s.push_str("    \"kernels\": [\n");
+    for (i, r) in adaptive.iter().enumerate() {
+        s.push_str("      {\n");
+        s.push_str(&format!("        \"name\": \"{}\",\n", json_escape(r.name)));
+        s.push_str(&format!("        \"block_cycles\": {},\n", r.block_cycles));
+        s.push_str(&format!("        \"steal_cycles\": {},\n", r.steal_cycles));
+        s.push_str(&format!("        \"adaptive_cycles\": {},\n", r.adaptive_cycles));
+        s.push_str(&format!(
+            "        \"steal_over_block\": {},\n",
+            json_f64(r.steal_over_block())
+        ));
+        s.push_str(&format!(
+            "        \"adaptive_over_block\": {},\n",
+            json_f64(r.adaptive_over_block())
+        ));
+        s.push_str(&format!(
+            "        \"chosen_strategy\": \"{}\",\n",
+            json_escape(&r.chosen_strategy)
+        ));
+        s.push_str(&format!(
+            "        \"chosen_chunking\": \"{}\",\n",
+            json_escape(&r.chosen_chunking)
+        ));
+        s.push_str(&format!(
+            "        \"chosen_event\": \"{}\",\n",
+            json_escape(&r.chosen_event)
+        ));
+        s.push_str(&format!("        \"steal_rate\": {}\n", json_f64(r.steal_rate)));
+        s.push_str(if i + 1 == adaptive.len() { "      }\n" } else { "      },\n" });
+    }
+    s.push_str("    ],\n");
+    s.push_str(&format!(
+        "    \"steal_wins\": {}\n",
+        adaptive.iter().filter(|r| r.adaptive_cycles < r.block_cycles).count()
     ));
     s.push_str("  },\n");
     s.push_str("  \"geomean\": {\n");

@@ -19,8 +19,9 @@
 
 use polaris_core::{compile, CompileReport, PassOptions};
 use polaris_ir::Program;
-use polaris_machine::{run, run_serial, CodegenModel, MachineConfig, Schedule};
+use polaris_machine::{run, run_recorded, run_serial, CodegenModel, MachineConfig, Schedule};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Compile a benchmark with the given options, returning the program
@@ -309,6 +310,114 @@ pub fn engine_row(b: &polaris_benchmarks::Benchmark, reps: usize) -> EngineRow {
     let (vm_wall, vm_out) = measure(polaris_machine::Engine::Vm);
     assert_eq!(tree_out, vm_out, "{}: engine output mismatch", b.name);
     EngineRow { name: b.name, tree_wall, vm_wall }
+}
+
+/// Chunk size used for forced work-stealing measurements (matches the
+/// `polarisc --schedule stealing` default).
+pub const STEAL_CHUNK: usize = 4;
+
+/// Per-kernel adaptive-scheduling summary (the Figure 7 schema-v7
+/// `adaptive` block): simulated cycles under block partitioning vs the
+/// work-stealing chunk queue, the strategy the adaptive dispatcher
+/// settles on by its second invocation, and the steal rate observed on
+/// the real threaded stealing backend. Every measurement inside asserts
+/// output bit-identity against the serial reference — the determinism
+/// contract — so no reported number can come from a divergent run.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRow {
+    pub name: &'static str,
+    /// Simulated parallel cycles under the static block schedule.
+    pub block_cycles: u64,
+    /// Simulated parallel cycles under `Schedule::Stealing` forced on
+    /// every parallel loop (pays per-chunk dispatch even where uniform).
+    pub steal_cycles: u64,
+    /// Simulated cycles of the *second* adaptive invocation: stealing
+    /// only where the measured variance warrants it. On skewed kernels
+    /// this must beat `block_cycles`.
+    pub adaptive_cycles: u64,
+    /// Strategy the adaptive dispatcher chose for the kernel's hottest
+    /// loop on its *second* invocation ("serial"/"static"/"speculative";
+    /// "-" when no loop was adaptively dispatched).
+    pub chosen_strategy: String,
+    /// Chunking of the same decision ("block" / "self:N" / "steal:N").
+    pub chosen_chunking: String,
+    /// Dispatcher event of that decision (a measured loop re-dispatches,
+    /// so "redispatch" is the expected steady state).
+    pub chosen_event: String,
+    /// Chunks obtained by stealing / total chunks claimed on the real
+    /// threaded stealing run (0.0 when the kernel has no threaded
+    /// parallel loop).
+    pub steal_rate: f64,
+}
+
+impl AdaptiveRow {
+    /// Cost-model speedup of stealing chunking over block partitioning
+    /// (above 1.0 = stealing wins, expected on skewed-cost kernels).
+    pub fn steal_over_block(&self) -> f64 {
+        self.block_cycles as f64 / self.steal_cycles.max(1) as f64
+    }
+
+    /// Cost-model speedup of the adaptive dispatcher's re-dispatched run
+    /// over uniform block partitioning.
+    pub fn adaptive_over_block(&self) -> f64 {
+        self.block_cycles as f64 / self.adaptive_cycles.max(1) as f64
+    }
+}
+
+/// Measure one benchmark's adaptive-scheduling profile (see
+/// [`AdaptiveRow`]): block vs stealing simulated cycles, two adaptive
+/// invocations sharing one controller (measure → re-dispatch), and a
+/// counter-instrumented real-thread stealing run.
+pub fn adaptive_row(
+    b: &polaris_benchmarks::Benchmark,
+    procs: usize,
+    threads: usize,
+) -> AdaptiveRow {
+    let serial = run_serial(&b.program()).unwrap();
+    let (pol, _) = compile_bench(b, &PassOptions::polaris());
+    let block = run(&pol, &MachineConfig::challenge_8().with_procs(procs)).unwrap();
+    let mut scfg = MachineConfig::challenge_8().with_procs(procs);
+    scfg.schedule = Schedule::Stealing { chunk: STEAL_CHUNK };
+    let steal_sim = run(&pol, &scfg).unwrap();
+    assert_eq!(serial.output, block.output, "{}: block output mismatch", b.name);
+    assert_eq!(serial.output, steal_sim.output, "{}: stealing output mismatch", b.name);
+
+    // Two invocations sharing one controller: the first measures, the
+    // second re-dispatches to the measured winner.
+    let ctrl = Arc::new(polaris_runtime::AdaptiveController::new());
+    let acfg =
+        MachineConfig::challenge_8().with_procs(procs).with_adaptive(Arc::clone(&ctrl));
+    let a1 = run(&pol, &acfg).unwrap();
+    let a2 = run(&pol, &acfg).unwrap();
+    assert_eq!(serial.output, a1.output, "{}: adaptive output mismatch", b.name);
+    assert_eq!(a1.output, a2.output, "{}: adaptive re-dispatch changed output", b.name);
+    // The reported decision: the hottest loop the dispatcher moved to
+    // stealing, else the kernel's hottest loop overall.
+    let rows = ctrl.decision_rows();
+    let hot = rows
+        .iter()
+        .filter(|r| r.chunking.starts_with("steal"))
+        .max_by_key(|r| (r.trip, r.loop_id))
+        .or_else(|| rows.iter().max_by_key(|r| (r.trip, r.loop_id)));
+
+    // Real threads under forced stealing, with the steal counters on.
+    let rec = polaris_obs::Recorder::monotonic();
+    let tcfg = MachineConfig::threaded(threads, Schedule::Stealing { chunk: STEAL_CHUNK });
+    let thr = run_recorded(&pol, &tcfg, &rec).unwrap();
+    assert_eq!(serial.output, thr.output, "{}: threaded stealing output mismatch", b.name);
+    let counters = rec.counters();
+    let chunks = counters.get("exec.threaded.chunks").copied().unwrap_or(0);
+    let steals = counters.get("exec.steal.chunks").copied().unwrap_or(0);
+    AdaptiveRow {
+        name: b.name,
+        block_cycles: block.cycles,
+        steal_cycles: steal_sim.cycles,
+        adaptive_cycles: a2.cycles,
+        chosen_strategy: hot.map_or_else(|| "-".into(), |r| r.strategy.to_string()),
+        chosen_chunking: hot.map_or_else(|| "-".into(), |r| r.chunking.clone()),
+        chosen_event: hot.map_or_else(|| "-".into(), |r| r.event.to_string()),
+        steal_rate: if chunks == 0 { 0.0 } else { steals as f64 / chunks as f64 },
+    }
 }
 
 /// 64-bit FNV-1a over output lines (newline-delimited), the checksum

@@ -204,7 +204,7 @@ fn figure7_json_is_well_formed_and_schema_complete() {
 
     // Schema: top-level metadata and geomeans present.
     for key in [
-        "\"schema\": \"polaris-bench/figure7/v6\"",
+        "\"schema\": \"polaris-bench/figure7/v7\"",
         "\"procs\":",
         "\"threads\": 4",
         "\"host_cores\":",
@@ -240,9 +240,69 @@ fn figure7_json_is_well_formed_and_schema_complete() {
         "\"real_threads\":",
         // schema v5: bytecode-VM-vs-tree-walker serial geomean
         "\"vm_over_tree\":",
+        // schema v7: adaptive-scheduling block
+        "\"adaptive\":",
+        "\"steal_wins\":",
     ] {
         assert!(doc.contains(key), "missing `{key}` in:\n{doc}");
     }
+    // Schema v7: the adaptive block covers every requested kernel plus
+    // the six irregular kernels and the skewed-cost SPMVT (9 records
+    // here), each with the full strategy/chunking/steal-rate column set.
+    for field in [
+        "\"block_cycles\":",
+        "\"steal_cycles\":",
+        "\"adaptive_cycles\":",
+        "\"steal_over_block\":",
+        "\"adaptive_over_block\":",
+        "\"chosen_strategy\":",
+        "\"chosen_chunking\":",
+        "\"chosen_event\":",
+        "\"steal_rate\":",
+    ] {
+        assert_eq!(
+            doc.matches(field).count(),
+            9,
+            "field `{field}` should appear once per adaptive record:\n{doc}"
+        );
+    }
+    // The skewed-cost kernel is the existence proof for work stealing:
+    // its record must show the dispatcher settling on stealing chunking
+    // and the re-dispatched run beating block partitioning.
+    let spmvt = {
+        let start = doc.find("\"name\": \"SPMVT\"").expect("no adaptive record for SPMVT");
+        let end = doc[start..].find('}').unwrap() + start;
+        &doc[start..end]
+    };
+    let int_field = |rec: &str, field: &str| -> u64 {
+        let at = rec.find(field).unwrap_or_else(|| panic!("SPMVT record lacks {field}: {rec}"));
+        rec[at + field.len()..]
+            .trim_start()
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    assert!(
+        spmvt.contains("\"chosen_chunking\": \"steal"),
+        "SPMVT did not settle on stealing chunking:\n{spmvt}"
+    );
+    assert!(
+        int_field(spmvt, "\"adaptive_cycles\":") < int_field(spmvt, "\"block_cycles\":"),
+        "SPMVT adaptive re-dispatch does not beat block in the cost model:\n{spmvt}"
+    );
+    let steal_wins = {
+        let at = doc.find("\"steal_wins\":").unwrap();
+        doc[at + 13..]
+            .trim_start()
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse::<u64>()
+            .unwrap()
+    };
+    assert!(steal_wins >= 1, "no kernel's chosen strategy beat block:\n{doc}");
     // Schema v6: one irregular record per kernel, each in its pinned
     // tier with the soundness gate at zero.
     for name in ["SPMV", "HISTO", "GATHER", "PREFIX", "BUCKET", "COMPACT"] {

@@ -1,0 +1,38 @@
+program spmvt
+! SPMVT kernel: sparse matrix-vector product over the lower triangle in
+! CSR form — row i carries exactly i nonzeros, so per-row cost grows
+! linearly across the iteration space. The row loop is provably parallel
+! (read-only indirection plus a privatized accumulator, each row writes
+! its own Y element) but its cost profile is maximally skewed: a block
+! partition hands the last processor ~2x the average work, which is the
+! case work-stealing chunking exists for.
+      integer n, nz
+      parameter (n = 128, nz = 8256)
+      real a(8256), x(128), y(128)
+      integer col(8256), rowptr(129)
+      real s, csum
+
+      do i0 = 1, n
+        x(i0) = 1.0 + mod(i0, 7)*0.25
+        rowptr(i0) = (i0 - 1)*i0/2 + 1
+      end do
+      rowptr(n + 1) = n*(n + 1)/2 + 1
+      do k0 = 1, nz
+        a(k0) = mod(k0, 5)*0.5 + 0.1
+        col(k0) = mod(k0*13, n) + 1
+      end do
+
+      do i = 1, n
+        s = 0.0
+        do k = rowptr(i), rowptr(i + 1) - 1
+          s = s + a(k)*x(col(k))
+        end do
+        y(i) = s
+      end do
+
+      csum = 0.0
+      do ii = 1, n
+        csum = csum + y(ii)*y(ii)
+      end do
+      print *, 'spmvt checksum', csum
+      end

@@ -165,11 +165,32 @@ pub fn irregular() -> Vec<(Benchmark, &'static str)> {
     ]
 }
 
+/// The skewed-cost kernel: a triangular CSR sparse matrix-vector
+/// product whose row loop is provably parallel but whose per-row cost
+/// grows linearly across the iteration space. Block partitioning leaves
+/// the last processor with ~2x the average work; the adaptive
+/// dispatcher should measure the imbalance and re-dispatch the loop to
+/// work-stealing chunking.
+pub fn skewed() -> Benchmark {
+    bench!(
+        "SPMVT",
+        "spmvt.f",
+        Origin::Kernel,
+        0,
+        0.0,
+        "triangular CSR rows, skewed per-row cost -> work stealing",
+        Expectation::PolarisWins
+    )
+}
+
 /// Look a benchmark up by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<Benchmark> {
     let upper = name.to_ascii_uppercase();
     if upper == "TRACK" {
         return Some(track());
+    }
+    if upper == "SPMVT" {
+        return Some(skewed());
     }
     all()
         .into_iter()
@@ -200,8 +221,17 @@ mod tests {
         assert!(by_name("trfd").is_some());
         assert!(by_name("TRACK").is_some());
         assert!(by_name("spmv").is_some());
+        assert!(by_name("spmvt").is_some());
         assert!(by_name("COMPACT").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn skewed_kernel_parses_and_validates() {
+        let b = skewed();
+        let p = b.program();
+        polaris_ir::validate::validate_program(&p).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(b.origin, Origin::Kernel);
     }
 
     #[test]

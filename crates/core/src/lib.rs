@@ -168,6 +168,33 @@ pub struct CompileReport {
     /// boundaries and violations caught (each violation rolled a stage
     /// back).
     pub verify: VerifyStats,
+    /// The adaptive runtime's per-loop decision table, persisted after
+    /// execution when the program ran under `--schedule adaptive`
+    /// (empty otherwise). One row per loop with adaptation state; see
+    /// `polaris_runtime::adaptive` for how the rows are produced.
+    pub schedule_decisions: Vec<ScheduleDecision>,
+}
+
+/// One persisted row of the adaptive scheduler's decision table —
+/// plain data so the report stays self-contained (mirrors
+/// `polaris_runtime::DecisionRow`).
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleDecision {
+    pub loop_id: u32,
+    pub label: String,
+    pub invocations: u64,
+    /// Last dispatched strategy: `serial` / `static` / `speculative`.
+    pub strategy: String,
+    /// Last chunking discipline: `block` / `self:N` / `steal:N`.
+    pub chunking: String,
+    pub threads: usize,
+    pub trip: u64,
+    /// Coefficient of variation of per-chunk simulated cycles.
+    pub cost_cv: f64,
+    pub misspec_streak: u32,
+    /// Last controller event (`measure`, `redispatch`, `throttle`,
+    /// `probe`, `corrupt-reset`, `forced`).
+    pub event: String,
 }
 
 impl CompileReport {

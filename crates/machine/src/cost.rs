@@ -66,6 +66,15 @@ pub enum Schedule {
     /// Self-scheduling with the given chunk size: better balance for
     /// triangular loops, `dispatch` cycles per chunk.
     Dynamic { chunk: usize },
+    /// Work stealing with the given chunk size: chunks start
+    /// block-distributed across per-worker deques and idle workers steal
+    /// from the top of a victim's deque. Chunk *bounds* are identical to
+    /// `Dynamic` (the chunk → iteration mapping is a pure function of
+    /// the plan, never of who ran it), so results stay bit-identical to
+    /// serial under any victim/steal interleaving; only the chunk →
+    /// worker assignment is dynamic. The simulated cost model charges it
+    /// like `Dynamic` (per-chunk `dispatch`).
+    Stealing { chunk: usize },
 }
 
 /// The back-end aggressiveness model (the PFA story of §4.2).

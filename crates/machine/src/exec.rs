@@ -137,6 +137,16 @@ pub(crate) struct Interp<'a> {
     /// handle — chunk events are recorded post-join on the driver thread
     /// so the trace stays deterministic.
     pub(crate) recorder: polaris_obs::Recorder,
+    /// Per-invocation `(workers, schedule)` override installed by the
+    /// adaptive dispatcher for one parallel loop; consulted by
+    /// [`Self::proc_of`]/[`Self::run_parallel`] and the threaded driver,
+    /// cleared when the dispatched loop returns.
+    pub(crate) sched_override: Option<(usize, Schedule)>,
+    /// Per-chunk (threaded) or per-bucket (simulated) cycle totals of
+    /// the last parallel dispatch, in chunk order — the deterministic
+    /// cost signal fed back to the adaptive controller. Only populated
+    /// when `cfg.adaptive` is set.
+    pub(crate) last_chunk_cycles: Vec<u64>,
 }
 
 impl<'a> Interp<'a> {
@@ -170,6 +180,8 @@ impl<'a> Interp<'a> {
             quiet_steps,
             iter_pool: Vec::new(),
             recorder: polaris_obs::Recorder::disabled(),
+            sched_override: None,
+            last_chunk_cycles: Vec::new(),
         }
     }
 
@@ -207,6 +219,8 @@ impl<'a> Interp<'a> {
             quiet_steps,
             iter_pool: Vec::new(),
             recorder: polaris_obs::Recorder::disabled(),
+            sched_override: None,
+            last_chunk_cycles: Vec::new(),
         }
     }
 
@@ -695,7 +709,13 @@ impl<'a> Interp<'a> {
 
         let concurrent = !self.in_parallel && self.cfg.exec_procs() > 1;
         let loop_span = self.recorder.loop_span("exec", &l.label, l.loop_id);
-        let flow = if l.par.parallel && concurrent && !self.adversarial {
+        let adaptive = self.cfg.adaptive.is_some()
+            && concurrent
+            && !self.adversarial
+            && (l.par.parallel || !l.par.spec_arrays.is_empty());
+        let flow = if adaptive {
+            self.run_adaptive(l, &iters, body)?
+        } else if l.par.parallel && concurrent && !self.adversarial {
             self.count_loop_mode(polaris_obs::Counter::ExecLoopsParallel);
             match self.cfg.exec_mode {
                 // Speculative loops stay on the simulated path even in
@@ -738,6 +758,101 @@ impl<'a> Interp<'a> {
         }
         self.iter_pool.push(iters);
         Ok(flow)
+    }
+
+    /// Adaptive dispatch for one loop invocation: ask the controller for
+    /// a (strategy, chunking, threads) decision, execute it, and feed the
+    /// deterministic profile (trip, per-chunk cycles, misspeculation)
+    /// back. The controller only ever sees — and its choices are clamped
+    /// to — what the compiler proved sound, so an arbitrary adaptation
+    /// history can change *performance*, never results (the determinism
+    /// contract in DESIGN.md).
+    fn run_adaptive(
+        &mut self,
+        l: &RLoop,
+        iters: &[i64],
+        body: Option<u32>,
+    ) -> Result<Flow, MachineError> {
+        use polaris_runtime::{Chunking, DecideEvent, Observation, Strategy};
+        let ctrl = Arc::clone(self.cfg.adaptive.as_ref().expect("adaptive dispatch without controller"));
+        let trip = iters.len() as u64;
+        let hints = polaris_runtime::LoopHints {
+            parallel: l.par.parallel,
+            speculative: !l.par.spec_arrays.is_empty(),
+            trip,
+            procs: self.cfg.exec_procs(),
+        };
+        let d = ctrl.decide(l.loop_id.0, &l.label, hints);
+        if self.recorder.is_enabled() {
+            use polaris_obs::Counter as C;
+            self.recorder.count(C::AdaptiveDecisions, 1);
+            let ev = match d.event {
+                DecideEvent::Measure => Some(C::AdaptiveMeasurements),
+                DecideEvent::Redispatch => Some(C::AdaptiveRedispatch),
+                DecideEvent::Throttle => Some(C::AdaptiveThrottled),
+                DecideEvent::Probe => Some(C::AdaptiveProbes),
+                DecideEvent::CorruptReset => Some(C::AdaptiveTableCorrupt),
+                DecideEvent::Forced => None,
+            };
+            if let Some(ev) = ev {
+                self.recorder.count(ev, 1);
+            }
+            self.recorder
+                .span_with(
+                    "adaptive",
+                    format!("{}:{}", d.event.as_str(), d.strategy.as_str()),
+                    0,
+                    Some(l.loop_id),
+                    None,
+                )
+                .end();
+        }
+        match d.strategy {
+            Strategy::Serial => {
+                self.count_loop_mode(polaris_obs::Counter::ExecLoopsSerial);
+                let flow = self.run_serial_loop(l, iters, body)?;
+                ctrl.observe(
+                    l.loop_id.0,
+                    Observation { trip, chunk_cycles: Vec::new(), misspeculated: None },
+                );
+                Ok(flow)
+            }
+            Strategy::Static => {
+                let schedule = match d.chunking {
+                    Chunking::Block => Schedule::Static,
+                    Chunking::SelfSched { chunk } => Schedule::Dynamic { chunk },
+                    Chunking::Stealing { chunk } => Schedule::Stealing { chunk },
+                };
+                self.sched_override = Some((d.threads.max(1), schedule));
+                self.count_loop_mode(polaris_obs::Counter::ExecLoopsParallel);
+                let res = match self.cfg.exec_mode {
+                    ExecMode::Threaded { .. } => {
+                        crate::threaded::run_threaded_loop(self, l, iters, body)
+                    }
+                    ExecMode::Simulated => self.run_parallel(l, iters, body),
+                };
+                self.sched_override = None;
+                let flow = res?;
+                let chunk_cycles = std::mem::take(&mut self.last_chunk_cycles);
+                ctrl.observe(l.loop_id.0, Observation { trip, chunk_cycles, misspeculated: None });
+                Ok(flow)
+            }
+            Strategy::Speculative => {
+                self.count_loop_mode(polaris_obs::Counter::ExecLoopsSpeculative);
+                let fails_before = self.loop_entry(l).spec_fail;
+                let flow = self.run_speculative(l, iters, body)?;
+                let misspec = self.loop_entry(l).spec_fail > fails_before;
+                ctrl.observe(
+                    l.loop_id.0,
+                    Observation {
+                        trip,
+                        chunk_cycles: Vec::new(),
+                        misspeculated: Some(misspec),
+                    },
+                );
+                Ok(flow)
+            }
+        }
     }
 
     /// One dispatch decision for a lowered loop: bump the per-mode counter
@@ -798,14 +913,27 @@ impl<'a> Interp<'a> {
         Ok(Flow::Normal)
     }
 
+    /// Effective `(workers, schedule)` for the simulated parallel paths:
+    /// the adaptive override when one is installed, else the config.
+    pub(crate) fn sim_sched(&self) -> (usize, Schedule) {
+        self.sched_override.unwrap_or((self.cfg.procs, self.cfg.schedule))
+    }
+
     /// Which processor executes iteration `idx` of `trip` iterations?
     fn proc_of(&self, idx: usize, trip: usize) -> usize {
-        match self.cfg.schedule {
+        let (procs, schedule) = self.sim_sched();
+        match schedule {
             Schedule::Static => {
-                let per = trip.div_ceil(self.cfg.procs).max(1);
-                (idx / per).min(self.cfg.procs - 1)
+                let per = trip.div_ceil(procs).max(1);
+                (idx / per).min(procs - 1)
             }
-            Schedule::Dynamic { chunk } => (idx / chunk.max(1)) % self.cfg.procs,
+            // Stealing uses the same chunk → bucket mapping as dynamic
+            // self-scheduling: the simulator models where the *cost*
+            // lands, and stealing only perturbs which lane runs a chunk,
+            // round-robin being the no-steals baseline.
+            Schedule::Dynamic { chunk } | Schedule::Stealing { chunk } => {
+                (idx / chunk.max(1)) % procs
+            }
         }
     }
 
@@ -817,7 +945,8 @@ impl<'a> Interp<'a> {
     ) -> Result<Flow, MachineError> {
         let c0 = self.cycles;
         let trip = iters.len();
-        let mut buckets = vec![0u64; self.cfg.procs];
+        let (procs, schedule) = self.sim_sched();
+        let mut buckets = vec![0u64; procs];
         self.in_parallel = true;
         let mut flow = Flow::Normal;
         let bc = body.map(|_| Arc::clone(self.bc.as_ref().expect("VM loop body without bytecode")));
@@ -831,6 +960,9 @@ impl<'a> Interp<'a> {
         }
         self.in_parallel = false;
         self.cycles = c0;
+        if self.cfg.adaptive.is_some() {
+            self.last_chunk_cycles = buckets.clone();
+        }
         // Run-time profitability guard (the generated code wraps the
         // parallel region in an IF, as both PFA and Polaris did): a loop
         // whose total work cannot amortize the fork runs serially.
@@ -840,7 +972,7 @@ impl<'a> Interp<'a> {
             return Ok(flow);
         }
         let mut charged = self.cfg.cost.fork_join + buckets.iter().copied().max().unwrap_or(0);
-        if let Schedule::Dynamic { chunk } = self.cfg.schedule {
+        if let Schedule::Dynamic { chunk } | Schedule::Stealing { chunk } = schedule {
             charged += (trip.div_ceil(chunk.max(1)) as u64) * self.cfg.cost.dispatch;
         }
         charged += self.merge_costs(&l.par);

@@ -36,6 +36,7 @@ pub mod exec;
 pub mod lower;
 pub mod oracle;
 pub mod shadow;
+pub mod stealing;
 pub mod threaded;
 pub mod value;
 pub mod vm;
@@ -47,6 +48,7 @@ pub use exec::{
     StateDump,
 };
 pub use oracle::{audit, audit_recorded, audit_with};
+pub use stealing::{ChunkDeque, Steal, StealQueue};
 
 /// Which execution engine interprets lowered statements.
 ///
@@ -138,6 +140,14 @@ pub struct MachineConfig {
     /// reaches this value, simulating a worker crash mid-execution.
     #[doc(hidden)]
     pub panic_at_step: Option<u64>,
+    /// Adaptive per-loop dispatch controller
+    /// ([`polaris_runtime::adaptive`]). When set, eligible loops (proven
+    /// parallel or LRPD candidates) consult it every invocation for a
+    /// strategy / chunking / thread-count decision instead of using the
+    /// fixed `schedule`; the controller is shared (`Arc`) so the
+    /// adaptation history survives across runs of the same source (e.g.
+    /// cached recompiles in `polarisd`).
+    pub adaptive: Option<std::sync::Arc<polaris_runtime::AdaptiveController>>,
 }
 
 impl MachineConfig {
@@ -154,6 +164,7 @@ impl MachineConfig {
             engine: Engine::default(),
             cancel: None,
             panic_at_step: None,
+            adaptive: None,
         }
     }
 
@@ -170,6 +181,7 @@ impl MachineConfig {
             engine: Engine::default(),
             cancel: None,
             panic_at_step: None,
+            adaptive: None,
         }
     }
 
@@ -189,7 +201,16 @@ impl MachineConfig {
             engine: Engine::default(),
             cancel: None,
             panic_at_step: None,
+            adaptive: None,
         }
+    }
+
+    pub fn with_adaptive(
+        mut self,
+        ctrl: std::sync::Arc<polaris_runtime::AdaptiveController>,
+    ) -> MachineConfig {
+        self.adaptive = Some(ctrl);
+        self
     }
 
     pub fn with_engine(mut self, engine: Engine) -> MachineConfig {

@@ -154,6 +154,11 @@ enum ChunkPlan {
     Block { trip: usize, procs: usize },
     /// Fixed-size chunks claimed dynamically (self-scheduling).
     SelfSched { trip: usize, chunk: usize },
+    /// Fixed-size chunks claimed through the work-stealing queue
+    /// ([`crate::stealing::StealQueue`]). Chunk *bounds* are identical
+    /// to `SelfSched` — only the chunk → worker assignment differs — so
+    /// the merge (keyed by chunk index) is oblivious to who stole what.
+    Stolen { trip: usize, chunk: usize },
 }
 
 impl ChunkPlan {
@@ -161,13 +166,16 @@ impl ChunkPlan {
         match schedule {
             Schedule::Static => ChunkPlan::Block { trip, procs },
             Schedule::Dynamic { chunk } => ChunkPlan::SelfSched { trip, chunk: chunk.max(1) },
+            Schedule::Stealing { chunk } => ChunkPlan::Stolen { trip, chunk: chunk.max(1) },
         }
     }
 
     fn n_chunks(&self) -> usize {
         match *self {
             ChunkPlan::Block { procs, .. } => procs,
-            ChunkPlan::SelfSched { trip, chunk } => trip.div_ceil(chunk),
+            ChunkPlan::SelfSched { trip, chunk } | ChunkPlan::Stolen { trip, chunk } => {
+                trip.div_ceil(chunk)
+            }
         }
     }
 
@@ -177,7 +185,9 @@ impl ChunkPlan {
                 let per = trip.div_ceil(procs).max(1);
                 ((k * per).min(trip), ((k + 1) * per).min(trip))
             }
-            ChunkPlan::SelfSched { trip, chunk } => ((k * chunk).min(trip), ((k + 1) * chunk).min(trip)),
+            ChunkPlan::SelfSched { trip, chunk } | ChunkPlan::Stolen { trip, chunk } => {
+                ((k * chunk).min(trip), ((k + 1) * chunk).min(trip))
+            }
         }
     }
 
@@ -188,7 +198,9 @@ impl ChunkPlan {
                 let per = trip.div_ceil(procs).max(1);
                 ((trip.saturating_sub(1)) / per).min(procs - 1)
             }
-            ChunkPlan::SelfSched { trip, chunk } => trip.saturating_sub(1) / chunk,
+            ChunkPlan::SelfSched { trip, chunk } | ChunkPlan::Stolen { trip, chunk } => {
+                trip.saturating_sub(1) / chunk
+            }
         }
     }
 
@@ -197,7 +209,8 @@ impl ChunkPlan {
     fn bucket_of(&self, k: usize) -> usize {
         match *self {
             ChunkPlan::Block { procs, .. } => k.min(procs - 1),
-            ChunkPlan::SelfSched { .. } => k, // caller takes `% procs`
+            // caller takes `% procs`
+            ChunkPlan::SelfSched { .. } | ChunkPlan::Stolen { .. } => k,
         }
     }
 }
@@ -263,6 +276,8 @@ struct WorkerTask {
     iters: Arc<Vec<i64>>,
     plan: ChunkPlan,
     queue: Arc<AtomicUsize>,
+    /// Work-stealing chunk queue (`ChunkPlan::Stolen` only).
+    steal: Option<Arc<crate::stealing::StealQueue>>,
     cfg: MachineConfig,
     scalars: Vec<Scalar>,
     arrays: Vec<ArrObj>,
@@ -274,8 +289,20 @@ struct WorkerTask {
 }
 
 fn worker_run(task: WorkerTask) -> WorkerOut {
-    let WorkerTask { wid, l, iters, plan, queue, cfg, scalars, arrays, shared_steps, bc, body } =
-        task;
+    let WorkerTask {
+        wid,
+        l,
+        iters,
+        plan,
+        queue,
+        steal,
+        cfg,
+        scalars,
+        arrays,
+        shared_steps,
+        bc,
+        body,
+    } = task;
     let mut it = Interp::for_worker(&cfg, scalars, arrays, shared_steps);
     it.bc = bc;
     let bc_arc = it.bc.clone();
@@ -296,6 +323,13 @@ fn worker_run(task: WorkerTask) -> WorkerOut {
             }
             // Self-scheduling: claim the next chunk index.
             ChunkPlan::SelfSched { .. } => queue.fetch_add(1, Ordering::Relaxed),
+            // Work stealing: own deque first, then steal from victims.
+            ChunkPlan::Stolen { .. } => {
+                match steal.as_ref().expect("stolen plan without queue").next(wid) {
+                    Some(k) => k,
+                    None => break,
+                }
+            }
         };
         if k >= n_chunks {
             break;
@@ -478,9 +512,14 @@ pub(crate) fn run_threaded_loop(
     if trip == 0 {
         return Ok(Flow::Normal);
     }
-    let (procs, schedule) = match interp.cfg.exec_mode {
-        ExecMode::Threaded { procs, schedule } => (procs.max(1), schedule),
-        ExecMode::Simulated => unreachable!("threaded driver in simulated mode"),
+    let (procs, schedule) = match interp.sched_override {
+        // Adaptive dispatch installs a per-invocation override; worker
+        // count may be lower than the pool size (idle lanes are fine).
+        Some((p, s)) => (p.max(1), s),
+        None => match interp.cfg.exec_mode {
+            ExecMode::Threaded { procs, schedule } => (procs.max(1), schedule),
+            ExecMode::Simulated => unreachable!("threaded driver in simulated mode"),
+        },
     };
 
     // STOP in the body means later iterations must not run at all:
@@ -490,18 +529,25 @@ pub(crate) fn run_threaded_loop(
         return interp.run_serial_loop(l, iters, body);
     }
 
+    let pool_procs = interp.cfg.exec_procs();
     let pool_threads = interp.pool.as_ref().map(|p| p.threads());
-    debug_assert!(pool_threads.is_none() || pool_threads == Some(procs));
+    debug_assert!(pool_threads.is_none() || pool_threads == Some(pool_procs));
     let plan = ChunkPlan::new(trip, procs, schedule);
     let iters_arc = Arc::new(iters.to_vec());
     let queue = Arc::new(AtomicUsize::new(0));
+    let steal = match plan {
+        ChunkPlan::Stolen { .. } => Some(Arc::new(
+            crate::stealing::StealQueue::block_distributed(plan.n_chunks(), procs),
+        )),
+        _ => None,
+    };
     let snapshot: Vec<Arc<ArrData>> = interp.arrays.iter().map(|a| Arc::clone(&a.data)).collect();
 
     let (tx, rx) = mpsc::channel::<WorkerOut>();
     {
         let pool = interp
             .pool
-            .get_or_insert_with(|| ThreadPool::new(procs));
+            .get_or_insert_with(|| ThreadPool::new(pool_procs));
         for wid in 0..procs {
             let task = WorkerTask {
                 wid,
@@ -509,6 +555,7 @@ pub(crate) fn run_threaded_loop(
                 iters: Arc::clone(&iters_arc),
                 plan,
                 queue: Arc::clone(&queue),
+                steal: steal.clone(),
                 cfg: interp.cfg.clone(),
                 scalars: interp.scalars.clone(),
                 arrays: interp.arrays.clone(),
@@ -550,6 +597,10 @@ pub(crate) fn run_threaded_loop(
     // the plan assigned the chunk to.
     if interp.recorder.is_enabled() {
         interp.recorder.count(polaris_obs::Counter::ThreadedChunks, chunks.len() as u64);
+        if let Some(q) = &steal {
+            interp.recorder.count(polaris_obs::Counter::StealChunks, q.steals());
+            interp.recorder.count(polaris_obs::Counter::StealAttempts, q.attempts());
+        }
         for ch in &chunks {
             let tid = 1 + (plan.bucket_of(ch.k) % procs) as u32;
             interp
@@ -570,11 +621,17 @@ pub(crate) fn run_threaded_loop(
             buckets[plan.bucket_of(ch.k) % procs] += ch.cycles;
         }
         let mut charged = c.fork_join + buckets.iter().copied().max().unwrap_or(0);
-        if let Schedule::Dynamic { .. } = schedule {
+        if let Schedule::Dynamic { .. } | Schedule::Stealing { .. } = schedule {
             charged += plan.n_chunks() as u64 * c.dispatch;
         }
         charged += interp.merge_costs(&l.par);
         interp.cycles += charged;
+    }
+    if interp.cfg.adaptive.is_some() {
+        // Deterministic cost signal for the adaptive controller: chunk
+        // cycle totals in chunk order (never wall time, never steal
+        // interleaving).
+        interp.last_chunk_cycles = chunks.iter().map(|ch| ch.cycles).collect();
     }
 
     // -- merge nested-loop stats ----------------------------------------

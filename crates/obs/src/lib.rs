@@ -164,6 +164,25 @@ pub enum Counter {
     PolarisdRecovered,
     /// Service workers respawned after dying mid-request.
     PolarisdWorkerRespawns,
+    /// Dispatch decisions taken by the adaptive scheduling runtime.
+    AdaptiveDecisions,
+    /// First-invocation measurement runs (profile not yet established).
+    AdaptiveMeasurements,
+    /// Invocations re-dispatched to a strategy other than the measuring
+    /// default because the observed profile picked a different winner.
+    AdaptiveRedispatch,
+    /// Speculation throttled back to serial by sustained misspeculation.
+    AdaptiveThrottled,
+    /// Hysteresis probes: a throttled loop retrying speculation after
+    /// the hold-down expired.
+    AdaptiveProbes,
+    /// Decision-table entries that failed their integrity check and were
+    /// reset (the consumer fell back to static dispatch).
+    AdaptiveTableCorrupt,
+    /// Chunks obtained by stealing from another worker's deque.
+    StealChunks,
+    /// Steal attempts (successful or not) against victim deques.
+    StealAttempts,
 }
 
 impl Counter {
@@ -218,6 +237,14 @@ impl Counter {
             Counter::PolarisdProbes => "polarisd.breaker.probes",
             Counter::PolarisdRecovered => "polarisd.breaker.recovered",
             Counter::PolarisdWorkerRespawns => "polarisd.workers.respawned",
+            Counter::AdaptiveDecisions => "adaptive.decisions",
+            Counter::AdaptiveMeasurements => "adaptive.measure",
+            Counter::AdaptiveRedispatch => "adaptive.redispatch",
+            Counter::AdaptiveThrottled => "adaptive.throttle",
+            Counter::AdaptiveProbes => "adaptive.probe",
+            Counter::AdaptiveTableCorrupt => "adaptive.table.corrupt",
+            Counter::StealChunks => "exec.steal.chunks",
+            Counter::StealAttempts => "exec.steal.attempts",
         }
     }
 }
@@ -837,6 +864,14 @@ mod tests {
             Counter::PolarisdProbes,
             Counter::PolarisdRecovered,
             Counter::PolarisdWorkerRespawns,
+            Counter::AdaptiveDecisions,
+            Counter::AdaptiveMeasurements,
+            Counter::AdaptiveRedispatch,
+            Counter::AdaptiveThrottled,
+            Counter::AdaptiveProbes,
+            Counter::AdaptiveTableCorrupt,
+            Counter::StealChunks,
+            Counter::StealAttempts,
         ];
         let names: std::collections::BTreeSet<&str> = all.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), all.len());

@@ -25,6 +25,7 @@ use crate::retry::{RetryPolicy, SplitMix};
 use polaris_core::{CancelToken, CompileReport, PassOptions, CANCELLED_PREFIX};
 use polaris_machine::{Engine, MachineConfig, MachineError};
 use polaris_obs::{Counter, Recorder};
+use polaris_runtime::{AdaptiveController, DecisionRow};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -58,6 +59,16 @@ pub struct ServiceConfig {
     /// Step budget for executions (`exec_engine` set). `None` relies on
     /// the deadline watchdog alone to stop runaway programs.
     pub exec_fuel: Option<u64>,
+    /// When true (and `exec_engine` is set), executions run on the
+    /// 8-processor simulated machine under the adaptive scheduler instead
+    /// of the serial reference machine. Each unit's adaptation history is
+    /// held in an [`AdaptiveController`] keyed by the request's content
+    /// hash ([`Service::content_key`]), so re-submissions of the same
+    /// source — including recompiles after a cache purge — keep adapting
+    /// from where the previous run left off. Output bytes are unchanged
+    /// by construction (the determinism contract), so cached checksums
+    /// stay valid.
+    pub adaptive_schedule: bool,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +83,7 @@ impl Default for ServiceConfig {
             watchdog_tick: Duration::from_millis(2),
             exec_engine: None,
             exec_fuel: None,
+            adaptive_schedule: false,
         }
     }
 }
@@ -251,6 +263,10 @@ struct Inner {
     chaos: Option<Arc<dyn ChaosHook>>,
     stop: AtomicBool,
     tallies: Tallies,
+    /// Per-unit adaptive schedulers, keyed by content hash so the
+    /// adaptation history survives cache purges and re-submissions of
+    /// the same source (`adaptive_schedule` only).
+    adaptive: Mutex<HashMap<u64, Arc<AdaptiveController>>>,
 }
 
 /// The crash-only compile service. See the module docs for the contract.
@@ -300,6 +316,7 @@ impl Service {
             chaos,
             stop: AtomicBool::new(false),
             tallies: Tallies::default(),
+            adaptive: Mutex::new(HashMap::new()),
         });
         {
             let mut workers = lock(&inner.workers);
@@ -390,6 +407,16 @@ impl Service {
     /// Cached entries currently held (test/diagnostic visibility).
     pub fn cache_len(&self) -> usize {
         self.inner.cache.len()
+    }
+
+    /// Snapshot of the adaptive decision table for a unit (by content
+    /// key), ordered by loop id. Empty unless `adaptive_schedule` is on
+    /// and the unit has executed at least once.
+    pub fn adaptive_rows(&self, key: u64) -> Vec<DecisionRow> {
+        lock(&self.inner.adaptive)
+            .get(&key)
+            .map(|c| c.decision_rows())
+            .unwrap_or_default()
     }
 
     /// Graceful stop: wait (bounded) for queued and in-flight work to
@@ -642,11 +669,30 @@ fn handle(slot: usize, inner: &Arc<Inner>, pending: Pending) -> Fate {
             // like a compile panic.
             let run = match inner.cfg.exec_engine {
                 Some(engine) if !report.degraded() => {
-                    let mut mcfg = MachineConfig::serial()
-                        .with_engine(engine)
-                        .with_cancel(cancel.clone());
+                    // Adaptive mode executes on the 8-proc simulated
+                    // machine; the determinism contract keeps its output
+                    // byte-identical to the serial reference, so the
+                    // response checksum is the same either way.
+                    let mut mcfg = if inner.cfg.adaptive_schedule {
+                        MachineConfig::challenge_8()
+                    } else {
+                        MachineConfig::serial()
+                    }
+                    .with_engine(engine)
+                    .with_cancel(cancel.clone());
                     mcfg.fuel = inner.cfg.exec_fuel;
                     mcfg.panic_at_step = exec_panic;
+                    if inner.cfg.adaptive_schedule {
+                        let ctrl = adaptive_for(inner, key);
+                        if inner
+                            .chaos
+                            .as_ref()
+                            .is_some_and(|c| c.corrupt_decision_table(key, req_id, attempt))
+                        {
+                            ctrl.corrupt_all();
+                        }
+                        mcfg = mcfg.with_adaptive(ctrl);
+                    }
                     Some(polaris_machine::run(&program, &mcfg))
                 }
                 _ => None,
@@ -963,6 +1009,18 @@ fn watchdog_loop(inner: &Arc<Inner>) {
             lock(&inner.workers)[slot] = Some(handle);
         }
     }
+}
+
+/// Fetch-or-create the adaptive controller for a unit's content key.
+/// Sharing the `Arc` (rather than the latest decision snapshot) is what
+/// lets adaptation history accumulate across separate requests for the
+/// same source.
+fn adaptive_for(inner: &Inner, key: u64) -> Arc<AdaptiveController> {
+    Arc::clone(
+        lock(&inner.adaptive)
+            .entry(key)
+            .or_insert_with(|| Arc::new(AdaptiveController::new())),
+    )
 }
 
 // ---- lock helpers ----------------------------------------------------

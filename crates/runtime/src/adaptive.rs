@@ -1,0 +1,674 @@
+//! Adaptive per-loop dispatch: choose serial / static-parallel /
+//! LRPD-speculative execution, a chunking discipline, and a thread
+//! count from *observed* behaviour, per loop, per invocation.
+//!
+//! The controller is deliberately fed **deterministic** signals — trip
+//! counts, simulated per-chunk cycle totals, and misspeculation
+//! verdicts — never wall-clock. Two runs of the same program therefore
+//! produce byte-identical decision tables, which is what lets the
+//! conformance tier golden-snapshot them and assert decision-table
+//! stability across repeated invocations (see DESIGN.md, "Adaptive
+//! dispatch & determinism contract").
+//!
+//! The policy (after Baghdadi et al.'s synergistic static/dynamic/
+//! speculative scheme, PAPERS.md):
+//!
+//! * invocation 1 **measures**: static/block for compiler-claimed
+//!   parallel loops, speculative for LRPD candidates, serial otherwise;
+//! * invocation ≥ 2 **re-dispatches** to the measured winner: tiny
+//!   trips fall back to serial (fork/join dominates), high per-chunk
+//!   cost variance selects work stealing, uniform cost keeps block
+//!   chunking;
+//! * sustained misspeculation (a streak of failed PD tests) throttles
+//!   speculation to serial with hysteresis: the loop is held serial for
+//!   a few invocations, then speculation is **probed** exactly once —
+//!   a success re-opens it, another failure re-arms the throttle.
+//!
+//! Every table entry carries an integrity check word. A corrupted entry
+//! (crash recovery, chaos injection) is detected on the next decision,
+//! reset, and answered with the static fallback — adaptation state is
+//! advisory, never load-bearing for correctness.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Execution strategy for one loop invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    Serial,
+    /// Compiler-proven doall, executed in parallel.
+    Static,
+    /// LRPD speculative doall with shadow validation.
+    Speculative,
+}
+
+impl Strategy {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Strategy::Serial => "serial",
+            Strategy::Static => "static",
+            Strategy::Speculative => "speculative",
+        }
+    }
+}
+
+/// Chunk-to-worker discipline for parallel invocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chunking {
+    /// Contiguous blocks, one per worker.
+    Block,
+    /// Central-counter self-scheduling with the given chunk size.
+    SelfSched { chunk: usize },
+    /// Per-worker deques with work stealing, given chunk size.
+    Stealing { chunk: usize },
+}
+
+impl Chunking {
+    pub fn describe(&self) -> String {
+        match self {
+            Chunking::Block => "block".to_string(),
+            Chunking::SelfSched { chunk } => format!("self:{chunk}"),
+            Chunking::Stealing { chunk } => format!("steal:{chunk}"),
+        }
+    }
+}
+
+/// What the controller did when asked — mapped onto `adaptive.*`
+/// counters by the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecideEvent {
+    /// First invocation: measuring configuration.
+    #[default]
+    Measure,
+    /// Re-dispatched to the measured winner.
+    Redispatch,
+    /// Misspeculation throttle holding the loop serial.
+    Throttle,
+    /// Hysteresis expired: probing speculation once.
+    Probe,
+    /// Integrity check failed; entry reset, static fallback served.
+    CorruptReset,
+    /// A forced-cycle (adversarial test) choice, soundness-clamped.
+    Forced,
+}
+
+/// A dispatch decision for one invocation of one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    pub strategy: Strategy,
+    pub chunking: Chunking,
+    /// Worker count to use for parallel strategies (≥ 1).
+    pub threads: usize,
+    pub event: DecideEvent,
+}
+
+/// What the compiler proved about the loop — the soundness envelope no
+/// decision may leave. `parallel` gates `Strategy::Static`;
+/// `speculative` gates `Strategy::Speculative`; `Serial` is always
+/// sound.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopHints {
+    pub parallel: bool,
+    pub speculative: bool,
+    pub trip: u64,
+    pub procs: usize,
+}
+
+/// Deterministic profile from one invocation.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    pub trip: u64,
+    /// Simulated cycle totals per chunk (or per bucket in simulated
+    /// exec mode). Empty for serial invocations.
+    pub chunk_cycles: Vec<u64>,
+    /// `Some(true)` if an LRPD attempt misspeculated, `Some(false)` if
+    /// it validated, `None` for non-speculative invocations.
+    pub misspeculated: Option<bool>,
+}
+
+/// One row of the persisted decision table (plain data; copied into
+/// `CompileReport` and printed under `--diag`).
+#[derive(Debug, Clone)]
+pub struct DecisionRow {
+    pub loop_id: u32,
+    pub label: String,
+    pub invocations: u64,
+    pub strategy: &'static str,
+    pub chunking: String,
+    pub threads: usize,
+    pub trip: u64,
+    /// Coefficient of variation of per-chunk cycles (0 when unmeasured).
+    pub cost_cv: f64,
+    pub misspec_streak: u32,
+    pub event: &'static str,
+}
+
+/// Trips at or below this run serial: fork/join swamps the body.
+const TINY_TRIP: u64 = 24;
+/// Per-chunk cycle CV above this selects work stealing.
+const CV_STEAL: f64 = 0.25;
+/// Consecutive misspeculations before throttling to serial.
+const MISSPEC_STREAK: u32 = 2;
+/// Serial invocations to hold before probing speculation again.
+const THROTTLE_HOLD: u32 = 4;
+
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    label: String,
+    invocations: u64,
+    trip: u64,
+    /// Measured per-chunk mean and CV (×1e6, stored as integers so the
+    /// check word covers exact bits).
+    mean_cycles: u64,
+    cv_micros: u64,
+    misspec_streak: u32,
+    /// Remaining serial invocations under throttle; probing when it
+    /// crosses zero.
+    throttle_hold: u32,
+    /// `true` once the throttle has fired at least once (the probe
+    /// path distinguishes "never speculated" from "recovering").
+    throttled: bool,
+    last_strategy: Option<Strategy>,
+    last_chunking: Option<Chunking>,
+    last_threads: usize,
+    last_event: DecideEvent,
+    /// Integrity check word over the fields above.
+    check: u64,
+}
+
+impl DecideEvent {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DecideEvent::Measure => "measure",
+            DecideEvent::Redispatch => "redispatch",
+            DecideEvent::Throttle => "throttle",
+            DecideEvent::Probe => "probe",
+            DecideEvent::CorruptReset => "corrupt-reset",
+            DecideEvent::Forced => "forced",
+        }
+    }
+}
+
+impl Entry {
+    fn checkword(&self) -> u64 {
+        // FNV-1a over the adaptation state. Cheap, deterministic, and
+        // any single-field corruption flips it.
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(self.invocations);
+        mix(self.trip);
+        mix(self.mean_cycles);
+        mix(self.cv_micros);
+        mix(self.misspec_streak as u64);
+        mix(self.throttle_hold as u64);
+        mix(self.throttled as u64);
+        mix(match self.last_strategy {
+            None => 0,
+            Some(Strategy::Serial) => 1,
+            Some(Strategy::Static) => 2,
+            Some(Strategy::Speculative) => 3,
+        });
+        mix(match self.last_chunking {
+            None => 0,
+            Some(Chunking::Block) => 1,
+            Some(Chunking::SelfSched { chunk }) => 0x100 | chunk as u64,
+            Some(Chunking::Stealing { chunk }) => 0x200 | chunk as u64,
+        });
+        mix(self.last_threads as u64);
+        h
+    }
+
+    fn seal(&mut self) {
+        self.check = self.checkword();
+    }
+
+    fn cv(&self) -> f64 {
+        self.cv_micros as f64 / 1e6
+    }
+}
+
+/// The per-loop adaptation table. Shared (behind an `Arc`) between the
+/// dispatcher and whoever persists / prints the decision table; in
+/// `polarisd` one controller lives per content hash so cached
+/// recompiles of the same source keep their adaptation history.
+#[derive(Debug, Default)]
+pub struct AdaptiveController {
+    entries: Mutex<BTreeMap<u32, Entry>>,
+    /// Adversarial test mode: cycle through these raw choices on every
+    /// decision (soundness-clamped before being served).
+    forced: Vec<(Strategy, Chunking)>,
+}
+
+impl AdaptiveController {
+    pub fn new() -> AdaptiveController {
+        AdaptiveController::default()
+    }
+
+    /// Adversarial controller for property tests: ignores all profile
+    /// state and serves `cycle[i % len]` on the i-th decision for each
+    /// loop — still clamped to the compiler's soundness envelope.
+    pub fn with_forced_cycle(cycle: Vec<(Strategy, Chunking)>) -> AdaptiveController {
+        AdaptiveController { entries: Mutex::new(BTreeMap::new()), forced: cycle }
+    }
+
+    /// Clamp a strategy to what the compiler proved sound. `Static` on
+    /// an unproven loop degrades to speculation (which validates) or
+    /// serial; `Speculative` without shadow instrumentation degrades to
+    /// static (if proven) or serial.
+    fn clamp(strategy: Strategy, hints: &LoopHints) -> Strategy {
+        match strategy {
+            Strategy::Static if !hints.parallel => {
+                if hints.speculative {
+                    Strategy::Speculative
+                } else {
+                    Strategy::Serial
+                }
+            }
+            Strategy::Speculative if !hints.speculative => {
+                if hints.parallel {
+                    Strategy::Static
+                } else {
+                    Strategy::Serial
+                }
+            }
+            s => s,
+        }
+    }
+
+    /// Work-stealing chunk size: a few chunks per worker so the deques
+    /// have something to steal, never below 1.
+    fn steal_chunk(trip: u64, threads: usize) -> usize {
+        ((trip as usize).div_ceil(threads.max(1) * 4)).max(1)
+    }
+
+    /// Decide how to run this invocation of `loop_id`.
+    pub fn decide(&self, loop_id: u32, label: &str, hints: LoopHints) -> Decision {
+        let mut map = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        let e = map.entry(loop_id).or_default();
+        if e.label.is_empty() {
+            label.clone_into(&mut e.label);
+            e.seal();
+        }
+
+        // Integrity gate: a corrupted entry is reset and answered with
+        // the static fallback — never trusted, never wedged.
+        if e.check != e.checkword() {
+            *e = Entry { label: label.to_string(), ..Entry::default() };
+            let strategy = Self::clamp(Strategy::Static, &hints);
+            let d = Decision {
+                strategy,
+                chunking: Chunking::Block,
+                threads: hints.procs.max(1),
+                event: DecideEvent::CorruptReset,
+            };
+            e.invocations = 1;
+            e.trip = hints.trip;
+            e.last_strategy = Some(d.strategy);
+            e.last_chunking = Some(d.chunking);
+            e.last_threads = d.threads;
+            e.last_event = d.event;
+            e.seal();
+            return d;
+        }
+
+        if !self.forced.is_empty() {
+            let (s, c) = self.forced[(e.invocations as usize) % self.forced.len()];
+            let d = Decision {
+                strategy: Self::clamp(s, &hints),
+                chunking: c,
+                threads: hints.procs.max(1),
+                event: DecideEvent::Forced,
+            };
+            e.invocations += 1;
+            e.trip = hints.trip;
+            e.last_strategy = Some(d.strategy);
+            e.last_chunking = Some(d.chunking);
+            e.last_threads = d.threads;
+            e.last_event = d.event;
+            e.seal();
+            return d;
+        }
+
+        e.invocations += 1;
+        e.trip = hints.trip;
+        let procs = hints.procs.max(1);
+
+        let d = if e.invocations == 1 {
+            // Measure: run the compiler's preferred configuration and
+            // let `observe` record what it cost.
+            let strategy = if hints.parallel {
+                Strategy::Static
+            } else if hints.speculative {
+                Strategy::Speculative
+            } else {
+                Strategy::Serial
+            };
+            Decision {
+                strategy,
+                chunking: Chunking::Block,
+                threads: procs,
+                event: DecideEvent::Measure,
+            }
+        } else if hints.speculative && !hints.parallel {
+            // LRPD regime: throttle ladder.
+            if e.throttle_hold > 0 {
+                e.throttle_hold -= 1;
+                Decision {
+                    strategy: Strategy::Serial,
+                    chunking: Chunking::Block,
+                    threads: 1,
+                    event: DecideEvent::Throttle,
+                }
+            } else if e.throttled {
+                // Hold expired: probe speculation exactly once; a
+                // misspeculation re-arms the throttle via `observe`.
+                Decision {
+                    strategy: Strategy::Speculative,
+                    chunking: Chunking::Block,
+                    threads: procs,
+                    event: DecideEvent::Probe,
+                }
+            } else {
+                Decision {
+                    strategy: Strategy::Speculative,
+                    chunking: Chunking::Block,
+                    threads: procs,
+                    event: DecideEvent::Redispatch,
+                }
+            }
+        } else if hints.trip <= TINY_TRIP {
+            Decision {
+                strategy: Strategy::Serial,
+                chunking: Chunking::Block,
+                threads: 1,
+                event: DecideEvent::Redispatch,
+            }
+        } else {
+            // Proven-parallel regime: chunking by measured variance.
+            let threads = procs.min(((hints.trip / 8).max(1)) as usize).max(1);
+            let chunking = if e.cv() > CV_STEAL {
+                Chunking::Stealing { chunk: Self::steal_chunk(hints.trip, threads) }
+            } else {
+                Chunking::Block
+            };
+            Decision {
+                strategy: Strategy::Static,
+                chunking,
+                threads,
+                event: DecideEvent::Redispatch,
+            }
+        };
+
+        e.last_strategy = Some(d.strategy);
+        e.last_chunking = Some(d.chunking);
+        e.last_threads = d.threads;
+        e.last_event = d.event;
+        e.seal();
+        d
+    }
+
+    /// Feed back the deterministic profile of the invocation that the
+    /// previous `decide` call dispatched.
+    pub fn observe(&self, loop_id: u32, obs: Observation) {
+        let mut map = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(e) = map.get_mut(&loop_id) else { return };
+        if e.check != e.checkword() {
+            // Leave corruption for the next `decide` to detect and
+            // reset; folding observations into a corrupt entry would
+            // launder the bad state back into a valid check word.
+            return;
+        }
+        e.trip = obs.trip;
+        // Cost variance is only folded in from *block-chunked*
+        // invocations: block-partition skew is the property of the loop
+        // being measured. A stealing run's balanced buckets are evidence
+        // stealing worked, not that the loop turned uniform — updating
+        // cv from them would oscillate the decision (steal → balanced →
+        // block → skewed → steal …) and break decision-table stability.
+        let block_run = matches!(e.last_chunking, None | Some(Chunking::Block));
+        if block_run && !obs.chunk_cycles.is_empty() {
+            let n = obs.chunk_cycles.len() as f64;
+            let mean = obs.chunk_cycles.iter().sum::<u64>() as f64 / n;
+            let var = obs
+                .chunk_cycles
+                .iter()
+                .map(|&c| {
+                    let d = c as f64 - mean;
+                    d * d
+                })
+                .sum::<f64>()
+                / n;
+            let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+            e.mean_cycles = mean.round() as u64;
+            e.cv_micros = (cv * 1e6).round() as u64;
+        }
+        match obs.misspeculated {
+            Some(true) => {
+                e.misspec_streak += 1;
+                if e.misspec_streak >= MISSPEC_STREAK {
+                    e.throttle_hold = THROTTLE_HOLD;
+                    e.throttled = true;
+                    e.misspec_streak = 0;
+                }
+            }
+            Some(false) => {
+                e.misspec_streak = 0;
+                e.throttled = false;
+            }
+            None => {}
+        }
+        e.seal();
+    }
+
+    /// Did the last `observe` arm the misspeculation throttle for this
+    /// loop? (The dispatcher uses this to bump `adaptive.throttle` at
+    /// arming time, not just while held.)
+    pub fn is_throttled(&self, loop_id: u32) -> bool {
+        let map = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        map.get(&loop_id).map(|e| e.throttle_hold > 0).unwrap_or(false)
+    }
+
+    /// Snapshot the decision table, ordered by loop id.
+    pub fn decision_rows(&self) -> Vec<DecisionRow> {
+        let map = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        map.iter()
+            .map(|(&loop_id, e)| DecisionRow {
+                loop_id,
+                label: e.label.clone(),
+                invocations: e.invocations,
+                strategy: e.last_strategy.unwrap_or(Strategy::Serial).as_str(),
+                chunking: e.last_chunking.unwrap_or(Chunking::Block).describe(),
+                threads: e.last_threads.max(1),
+                trip: e.trip,
+                cost_cv: e.cv(),
+                misspec_streak: e.misspec_streak,
+                event: e.last_event.as_str(),
+            })
+            .collect()
+    }
+
+    /// Test/chaos hook: flip adaptation state without updating the
+    /// check word, simulating a torn write or recovered-from-crash
+    /// table. The next `decide` must detect it.
+    pub fn corrupt(&self, loop_id: u32) {
+        let mut map = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(e) = map.get_mut(&loop_id) {
+            e.invocations ^= 0x5a5a;
+            e.cv_micros ^= 0xdead;
+            // deliberately NOT resealed
+        }
+    }
+
+    /// [`corrupt`](AdaptiveController::corrupt) for every loop in the
+    /// table — chaos sweeps that don't know individual loop ids.
+    pub fn corrupt_all(&self) {
+        let mut map = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        for e in map.values_mut() {
+            e.invocations ^= 0x5a5a;
+            e.cv_micros ^= 0xdead;
+            // deliberately NOT resealed
+        }
+    }
+
+    /// Number of loops with adaptation state.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn par_hints(trip: u64) -> LoopHints {
+        LoopHints { parallel: true, speculative: false, trip, procs: 4 }
+    }
+
+    fn spec_hints(trip: u64) -> LoopHints {
+        LoopHints { parallel: false, speculative: true, trip, procs: 4 }
+    }
+
+    #[test]
+    fn first_invocation_measures_then_redispatches() {
+        let c = AdaptiveController::new();
+        let d1 = c.decide(1, "L10", par_hints(1000));
+        assert_eq!(d1.event, DecideEvent::Measure);
+        assert_eq!(d1.strategy, Strategy::Static);
+        assert_eq!(d1.chunking, Chunking::Block);
+        // Uniform chunk costs → block chunking on re-dispatch.
+        c.observe(1, Observation { trip: 1000, chunk_cycles: vec![500; 4], misspeculated: None });
+        let d2 = c.decide(1, "L10", par_hints(1000));
+        assert_eq!(d2.event, DecideEvent::Redispatch);
+        assert_eq!(d2.strategy, Strategy::Static);
+        assert_eq!(d2.chunking, Chunking::Block);
+    }
+
+    #[test]
+    fn skewed_chunk_costs_select_stealing() {
+        let c = AdaptiveController::new();
+        c.decide(1, "L10", par_hints(1000));
+        c.observe(
+            1,
+            Observation { trip: 1000, chunk_cycles: vec![100, 100, 100, 4000], misspeculated: None },
+        );
+        let d = c.decide(1, "L10", par_hints(1000));
+        assert!(matches!(d.chunking, Chunking::Stealing { chunk } if chunk >= 1));
+        assert_eq!(d.strategy, Strategy::Static);
+    }
+
+    #[test]
+    fn tiny_trips_fall_back_to_serial() {
+        let c = AdaptiveController::new();
+        c.decide(1, "L10", par_hints(8));
+        c.observe(1, Observation { trip: 8, chunk_cycles: vec![10; 4], misspeculated: None });
+        let d = c.decide(1, "L10", par_hints(8));
+        assert_eq!(d.strategy, Strategy::Serial);
+        assert_eq!(d.threads, 1);
+    }
+
+    #[test]
+    fn misspeculation_storm_throttles_then_probes() {
+        let c = AdaptiveController::new();
+        let h = spec_hints(500);
+        let d1 = c.decide(1, "L20", h);
+        assert_eq!(d1.strategy, Strategy::Speculative);
+        c.observe(1, Observation { trip: 500, chunk_cycles: vec![], misspeculated: Some(true) });
+        let d2 = c.decide(1, "L20", h);
+        assert_eq!(d2.strategy, Strategy::Speculative); // streak 1 < 2
+        c.observe(1, Observation { trip: 500, chunk_cycles: vec![], misspeculated: Some(true) });
+        assert!(c.is_throttled(1));
+        // Held serial for THROTTLE_HOLD invocations…
+        for _ in 0..THROTTLE_HOLD {
+            let d = c.decide(1, "L20", h);
+            assert_eq!(d.strategy, Strategy::Serial);
+            assert_eq!(d.event, DecideEvent::Throttle);
+        }
+        // …then probed exactly once.
+        let probe = c.decide(1, "L20", h);
+        assert_eq!(probe.event, DecideEvent::Probe);
+        assert_eq!(probe.strategy, Strategy::Speculative);
+        // A successful probe re-opens speculation.
+        c.observe(1, Observation { trip: 500, chunk_cycles: vec![], misspeculated: Some(false) });
+        let d = c.decide(1, "L20", h);
+        assert_eq!(d.event, DecideEvent::Redispatch);
+        assert_eq!(d.strategy, Strategy::Speculative);
+    }
+
+    #[test]
+    fn corrupt_entry_resets_to_static_fallback() {
+        let c = AdaptiveController::new();
+        c.decide(1, "L10", par_hints(1000));
+        c.observe(
+            1,
+            Observation { trip: 1000, chunk_cycles: vec![100, 100, 100, 4000], misspeculated: None },
+        );
+        c.corrupt(1);
+        let d = c.decide(1, "L10", par_hints(1000));
+        assert_eq!(d.event, DecideEvent::CorruptReset);
+        assert_eq!(d.strategy, Strategy::Static);
+        assert_eq!(d.chunking, Chunking::Block);
+        // Table is reset: the next decision behaves like invocation 2
+        // with no measurement (block, not stealing).
+        let d2 = c.decide(1, "L10", par_hints(1000));
+        assert_eq!(d2.event, DecideEvent::Redispatch);
+        assert_eq!(d2.chunking, Chunking::Block);
+    }
+
+    #[test]
+    fn forced_cycle_is_soundness_clamped() {
+        let cycle = vec![
+            (Strategy::Static, Chunking::Block),
+            (Strategy::Speculative, Chunking::Block),
+            (Strategy::Serial, Chunking::Block),
+        ];
+        let c = AdaptiveController::with_forced_cycle(cycle);
+        // Spec-only loop: Static must never be served.
+        for _ in 0..9 {
+            let d = c.decide(1, "L20", spec_hints(100));
+            assert_ne!(d.strategy, Strategy::Static);
+        }
+        // Parallel-only loop: Speculative must never be served.
+        for _ in 0..9 {
+            let d = c.decide(2, "L10", par_hints(100));
+            assert_ne!(d.strategy, Strategy::Speculative);
+        }
+        // Neither proven: everything clamps to serial.
+        for _ in 0..9 {
+            let d = c.decide(
+                3,
+                "L30",
+                LoopHints { parallel: false, speculative: false, trip: 100, procs: 4 },
+            );
+            assert_eq!(d.strategy, Strategy::Serial);
+        }
+    }
+
+    #[test]
+    fn decision_table_is_stable_across_identical_invocations() {
+        let mk = || {
+            let c = AdaptiveController::new();
+            for _ in 0..5 {
+                c.decide(1, "L10", par_hints(1000));
+                c.observe(
+                    1,
+                    Observation { trip: 1000, chunk_cycles: vec![250; 4], misspeculated: None },
+                );
+            }
+            c.decision_rows()
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.len(), 1);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a[0].strategy, "static");
+        assert_eq!(a[0].invocations, 5);
+    }
+}

@@ -31,10 +31,15 @@
 //! merge works on disjoint element ranges, giving the `O(a/p + log p)`
 //! behaviour claimed in §3.5.2.
 
+pub mod adaptive;
 pub mod inspector;
 pub mod lrpd;
 pub mod verdict;
 
+pub use adaptive::{
+    AdaptiveController, Chunking, DecideEvent, Decision, DecisionRow, LoopHints, Observation,
+    Strategy,
+};
 pub use inspector::{classify, speculative_doall_inspected, IndexProperties, InspectedMode};
 pub use lrpd::{
     run_sequential, speculative_doall, speculative_doall_faulty, speculative_doall_recorded,

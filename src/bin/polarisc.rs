@@ -21,6 +21,16 @@
 //!                   (real OS threads, chunked scheduling)
 //!   --threads N     worker threads for --exec-mode threaded
 //!                   (default: the --procs value)
+//!   --schedule S    parallel-loop scheduling policy for --run/--diag:
+//!                   `static` (default; contiguous blocks, one per
+//!                   worker), `stealing` (per-worker chunk deques with
+//!                   work stealing — better balance for skewed
+//!                   per-iteration costs), or `adaptive` (per-loop
+//!                   runtime dispatcher: first invocation measures,
+//!                   later invocations re-dispatch to the measured
+//!                   winner, sustained LRPD misspeculation throttles
+//!                   speculation with hysteresis; --diag prints the
+//!                   decision table, persisted in the compile report)
 //!   --engine E      statement execution engine for --run/--diag/--oracle:
 //!                   `vm` (default; compact bytecode + register VM) or
 //!                   `tree-walk` (the recursive reference interpreter kept
@@ -77,8 +87,13 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: polarisc [--vfa] [--report] [--diag] [--run] [--oracle] [--verify] \
                      [--lint] [--procs N] [--exec-mode simulated|threaded] [--threads N] \
-                     [--engine vm|tree-walk] [--fuel N] [--validate] [--profile] [--strict] \
-                     [--quiet] [--trace PATH] [--metrics] [--clock monotonic|virtual] FILE.f";
+                     [--schedule static|adaptive|stealing] [--engine vm|tree-walk] [--fuel N] \
+                     [--validate] [--profile] [--strict] [--quiet] [--trace PATH] [--metrics] \
+                     [--clock monotonic|virtual] FILE.f";
+
+/// Work-stealing chunk size when `--schedule stealing` is given without
+/// further tuning: a few chunks per worker at the default trip counts.
+const STEAL_CHUNK: usize = 4;
 
 const EXIT_DEGRADED: u8 = 1;
 const EXIT_VIOLATION: u8 = 2;
@@ -100,6 +115,8 @@ fn main() -> ExitCode {
     let mut procs = 8usize;
     let mut threaded = false;
     let mut threads: Option<usize> = None;
+    let mut schedule = Schedule::Static;
+    let mut adaptive_ctrl: Option<std::sync::Arc<polaris::runtime::AdaptiveController>> = None;
     let mut engine = Engine::default();
     let mut fuel: Option<u64> = None;
     let mut inject: Vec<String> = Vec::new();
@@ -161,6 +178,28 @@ fn main() -> ExitCode {
                     some => some,
                 };
             }
+            "--schedule" => match args.next().as_deref() {
+                Some("static") => {
+                    schedule = Schedule::Static;
+                    adaptive_ctrl = None;
+                }
+                Some("stealing") => {
+                    schedule = Schedule::Stealing { chunk: STEAL_CHUNK };
+                    adaptive_ctrl = None;
+                }
+                Some("adaptive") => {
+                    schedule = Schedule::Static;
+                    adaptive_ctrl =
+                        Some(std::sync::Arc::new(polaris::runtime::AdaptiveController::new()));
+                }
+                other => {
+                    eprintln!(
+                        "polarisc: --schedule needs `static`, `adaptive` or `stealing` (got {})",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             "--engine" => {
                 engine = match args.next().as_deref().and_then(Engine::parse) {
                     Some(e) => e,
@@ -264,7 +303,7 @@ fn main() -> ExitCode {
     };
 
     let mut program = original.clone();
-    let rep = match polaris::core::compile_recorded(&mut program, &opts, &rec) {
+    let mut rep = match polaris::core::compile_recorded(&mut program, &opts, &rec) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("polarisc: {e}");
@@ -339,10 +378,14 @@ fn main() -> ExitCode {
         // default.)
         let diag_fuel = fuel.unwrap_or(50_000_000);
         let serial_cfg = MachineConfig::serial().with_fuel(diag_fuel).with_engine(engine);
-        let par_cfg = MachineConfig::challenge_8()
+        let mut par_cfg = MachineConfig::challenge_8()
             .with_procs(procs)
             .with_fuel(diag_fuel)
             .with_engine(engine);
+        par_cfg.schedule = schedule;
+        if let Some(ctrl) = &adaptive_ctrl {
+            par_cfg = par_cfg.with_adaptive(std::sync::Arc::clone(ctrl));
+        }
         match (
             polaris_machine::run(&original, &serial_cfg),
             polaris_machine::run(&program, &par_cfg),
@@ -355,6 +398,27 @@ fn main() -> ExitCode {
             ),
             (Err(e), _) | (_, Err(e)) => {
                 eprintln!("simulated speedup @ {procs} procs: n/a ({e})")
+            }
+        }
+        if let Some(ctrl) = &adaptive_ctrl {
+            eprintln!();
+            eprintln!("adaptive decision table:");
+            eprintln!(
+                "{:<20} {:>4} {:<12} {:<10} {:>7} {:>8} {:>8} {:<12}",
+                "loop", "inv", "strategy", "chunking", "threads", "trip", "cv", "event"
+            );
+            for r in ctrl.decision_rows() {
+                eprintln!(
+                    "{:<20} {:>4} {:<12} {:<10} {:>7} {:>8} {:>8.3} {:<12}",
+                    r.label,
+                    r.invocations,
+                    r.strategy,
+                    r.chunking,
+                    r.threads,
+                    r.trip,
+                    r.cost_cv,
+                    r.event
+                );
             }
         }
     }
@@ -373,11 +437,16 @@ fn main() -> ExitCode {
             }
         };
         let mut cfg = if threaded {
-            MachineConfig::threaded(threads.unwrap_or(procs), Schedule::Static)
+            MachineConfig::threaded(threads.unwrap_or(procs), schedule)
         } else {
-            MachineConfig::challenge_8().with_procs(procs)
+            let mut c = MachineConfig::challenge_8().with_procs(procs);
+            c.schedule = schedule;
+            c
         }
         .with_engine(engine);
+        if let Some(ctrl) = &adaptive_ctrl {
+            cfg = cfg.with_adaptive(std::sync::Arc::clone(ctrl));
+        }
         if let Some(f) = fuel {
             cfg = cfg.with_fuel(f);
         }
@@ -427,6 +496,27 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+
+    // Persist the adaptive decision table into the compile report once
+    // all executions (--diag and/or --run) have fed the controller.
+    if let Some(ctrl) = &adaptive_ctrl {
+        rep.schedule_decisions = ctrl
+            .decision_rows()
+            .into_iter()
+            .map(|r| polaris::core::ScheduleDecision {
+                loop_id: r.loop_id,
+                label: r.label,
+                invocations: r.invocations,
+                strategy: r.strategy.to_string(),
+                chunking: r.chunking,
+                threads: r.threads,
+                trip: r.trip,
+                cost_cv: r.cost_cv,
+                misspec_streak: r.misspec_streak,
+                event: r.event.to_string(),
+            })
+            .collect();
     }
 
     let mut audit_report = None;

@@ -1,0 +1,254 @@
+//! Determinism-conformance tier for the adaptive scheduling runtime
+//! (the PR-9 tentpole): every kernel in the evaluation suite — the 16
+//! Table-1 codes, TRACK, the six irregular kernels, and the skewed-cost
+//! SPMVT — must compute **bit-identical output** under every schedule
+//! mode (`serial`, `static`, `adaptive`, work-`stealing`), on both
+//! execution engines (tree-walker and bytecode VM), at every simulated
+//! processor count and real thread count in {1, 2, 4, 8}. On top of
+//! bit-identity the tier pins the adaptive dispatcher's *behaviour*:
+//! decision tables are stable across repeated invocations, the second
+//! invocation of an irregular kernel re-dispatches its hot loop to a
+//! non-serial winner, the skewed kernel moves to work-stealing chunking
+//! and beats block partitioning in the cost model, and the runtime
+//! dependence oracle stays violation-free throughout.
+
+use polaris::{MachineConfig, PassOptions};
+use polaris_machine::{audit, run, Engine, Schedule};
+use polaris_runtime::AdaptiveController;
+use std::sync::Arc;
+
+const STEAL_CHUNK: usize = 4;
+
+/// FNV-1a over newline-joined output, matching `polaris_bench::fnv1a`.
+fn fnv1a(lines: &[String]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    for line in lines {
+        for &byte in line.as_bytes().iter().chain(b"\n") {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// The full conformance kernel set: 17 regular (Table 1 + TRACK) plus
+/// the 6 irregular kernels and the skewed-cost kernel.
+fn conformance_set() -> Vec<polaris_benchmarks::Benchmark> {
+    let mut v = polaris_benchmarks::all();
+    v.push(polaris_benchmarks::track());
+    v.extend(polaris_benchmarks::irregular().into_iter().map(|(b, _)| b));
+    v.push(polaris_benchmarks::skewed());
+    v
+}
+
+fn sim_cfg(engine: Engine, procs: usize, schedule: Schedule) -> MachineConfig {
+    let mut c = MachineConfig::challenge_8().with_procs(procs).with_engine(engine);
+    c.schedule = schedule;
+    c
+}
+
+/// The big matrix: every kernel × {serial, static, adaptive, stealing}
+/// × {tree-walk, VM} × 1/2/4/8 simulated processors must reproduce the
+/// serial reference bit-for-bit. Adaptive configs run **twice** sharing
+/// one controller, so both the measuring invocation and the
+/// re-dispatched one are covered.
+#[test]
+fn all_kernels_bit_identical_across_schedules_engines_and_procs() {
+    for b in &conformance_set() {
+        let out = polaris::parallelize(b.source, &PassOptions::polaris())
+            .unwrap_or_else(|e| panic!("{}: compile: {e}", b.name));
+        let reference = run(&out.program, &MachineConfig::serial())
+            .unwrap_or_else(|e| panic!("{}: reference: {e}", b.name));
+        let want = fnv1a(&reference.output);
+        for engine in [Engine::TreeWalk, Engine::Vm] {
+            // Serial is processor-count independent: once per engine.
+            let r = run(&out.program, &MachineConfig::serial().with_engine(engine))
+                .unwrap_or_else(|e| panic!("{}: serial/{engine:?}: {e}", b.name));
+            assert_eq!(want, fnv1a(&r.output), "{}: serial/{engine:?}", b.name);
+            for procs in [1usize, 2, 4, 8] {
+                let static_cfg = sim_cfg(engine, procs, Schedule::Static);
+                let steal_cfg =
+                    sim_cfg(engine, procs, Schedule::Stealing { chunk: STEAL_CHUNK });
+                for (label, cfg) in [("static", static_cfg), ("stealing", steal_cfg)] {
+                    let r = run(&out.program, &cfg).unwrap_or_else(|e| {
+                        panic!("{}: {label}/{engine:?}/p{procs}: {e}", b.name)
+                    });
+                    assert_eq!(
+                        reference.output, r.output,
+                        "{}: {label}/{engine:?}/p{procs}: output diverged",
+                        b.name
+                    );
+                }
+                // Adaptive: measure then re-dispatch, same controller.
+                let ctrl = Arc::new(AdaptiveController::new());
+                let cfg = sim_cfg(engine, procs, Schedule::Static)
+                    .with_adaptive(Arc::clone(&ctrl));
+                for pass in 0..2 {
+                    let r = run(&out.program, &cfg).unwrap_or_else(|e| {
+                        panic!("{}: adaptive#{pass}/{engine:?}/p{procs}: {e}", b.name)
+                    });
+                    assert_eq!(
+                        reference.output, r.output,
+                        "{}: adaptive#{pass}/{engine:?}/p{procs}: output diverged",
+                        b.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Real-thread backend: the irregular kernels, SPMVT, and TRACK under
+/// static / adaptive / stealing at 2/4/8 worker threads — bit-identical
+/// to the serial reference under any victim/steal interleaving.
+#[test]
+fn threaded_backend_is_bit_identical_for_every_schedule() {
+    let mut kernels: Vec<_> =
+        polaris_benchmarks::irregular().into_iter().map(|(b, _)| b).collect();
+    kernels.push(polaris_benchmarks::skewed());
+    kernels.push(polaris_benchmarks::track());
+    for b in &kernels {
+        let out = polaris::parallelize(b.source, &PassOptions::polaris())
+            .unwrap_or_else(|e| panic!("{}: compile: {e}", b.name));
+        let reference = run(&out.program, &MachineConfig::serial()).unwrap();
+        for threads in [2usize, 4, 8] {
+            let configs = [
+                ("static", MachineConfig::threaded(threads, Schedule::Static)),
+                (
+                    "stealing",
+                    MachineConfig::threaded(threads, Schedule::Stealing { chunk: STEAL_CHUNK }),
+                ),
+                (
+                    "adaptive",
+                    MachineConfig::threaded(threads, Schedule::Static)
+                        .with_adaptive(Arc::new(AdaptiveController::new())),
+                ),
+            ];
+            for (label, cfg) in configs {
+                // Adaptive runs twice (measure, then re-dispatch) on the
+                // same shared controller inside `cfg`.
+                let passes = if label == "adaptive" { 2 } else { 1 };
+                for pass in 0..passes {
+                    let r = run(&out.program, &cfg).unwrap_or_else(|e| {
+                        panic!("{}: {label}#{pass} x{threads}: {e}", b.name)
+                    });
+                    assert_eq!(
+                        reference.output, r.output,
+                        "{}: {label}#{pass} x{threads}: output diverged",
+                        b.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Decision-table conformance: tables are deterministic across repeated
+/// invocations (the decision for each loop is *stable* once measured —
+/// no oscillation), the second invocation of each irregular kernel
+/// re-dispatches its hottest loop to a non-serial winner, and the
+/// skewed kernel lands on work-stealing chunking.
+#[test]
+fn decision_tables_are_stable_and_redispatch_to_nonserial_winners() {
+    let mut kernels: Vec<_> =
+        polaris_benchmarks::irregular().into_iter().map(|(b, _)| b).collect();
+    kernels.push(polaris_benchmarks::skewed());
+    for b in &kernels {
+        let out = polaris::parallelize(b.source, &PassOptions::polaris()).unwrap();
+        let ctrl = Arc::new(AdaptiveController::new());
+        let cfg = MachineConfig::challenge_8().with_adaptive(Arc::clone(&ctrl));
+        run(&out.program, &cfg).unwrap();
+        run(&out.program, &cfg).unwrap();
+        let after_two = ctrl.decision_rows();
+        assert!(!after_two.is_empty(), "{}: no loop was adaptively dispatched", b.name);
+        let hot = after_two.iter().max_by_key(|r| (r.trip, r.loop_id)).unwrap();
+        assert_ne!(
+            hot.strategy, "serial",
+            "{}: hottest loop {} fell back to serial on re-dispatch",
+            b.name, hot.label
+        );
+        assert_eq!(
+            hot.event, "redispatch",
+            "{}: hottest loop {} second invocation was `{}`, not a re-dispatch",
+            b.name, hot.label, hot.event
+        );
+
+        // Two more invocations: every loop's decision must be unchanged
+        // (stability), and a fresh controller fed the same program must
+        // arrive at the same table (determinism).
+        run(&out.program, &cfg).unwrap();
+        run(&out.program, &cfg).unwrap();
+        let after_four = ctrl.decision_rows();
+        let key = |rows: &[polaris_runtime::DecisionRow]| -> Vec<_> {
+            rows.iter()
+                .map(|r| (r.loop_id, r.strategy, r.chunking.clone(), r.threads))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            key(&after_two),
+            key(&after_four),
+            "{}: decision table drifted between invocation 2 and 4",
+            b.name
+        );
+        let ctrl2 = Arc::new(AdaptiveController::new());
+        let cfg2 = MachineConfig::challenge_8().with_adaptive(Arc::clone(&ctrl2));
+        run(&out.program, &cfg2).unwrap();
+        run(&out.program, &cfg2).unwrap();
+        assert_eq!(
+            key(&after_two),
+            key(&ctrl2.decision_rows()),
+            "{}: decision table is not deterministic across fresh controllers",
+            b.name
+        );
+    }
+}
+
+/// The skewed-cost kernel is the case work stealing exists for: the
+/// dispatcher must move its hot loop to stealing chunking, and the
+/// re-dispatched run must beat uniform block partitioning in the
+/// (deterministic) cost model.
+#[test]
+fn skewed_kernel_moves_to_stealing_and_beats_block() {
+    let b = polaris_benchmarks::skewed();
+    let out = polaris::parallelize(b.source, &PassOptions::polaris()).unwrap();
+    let block = run(&out.program, &MachineConfig::challenge_8()).unwrap();
+
+    let ctrl = Arc::new(AdaptiveController::new());
+    let cfg = MachineConfig::challenge_8().with_adaptive(Arc::clone(&ctrl));
+    run(&out.program, &cfg).unwrap();
+    let redispatched = run(&out.program, &cfg).unwrap();
+
+    let rows = ctrl.decision_rows();
+    assert!(
+        rows.iter().any(|r| r.chunking.starts_with("steal")),
+        "SPMVT: no loop moved to work-stealing chunking: {rows:?}"
+    );
+    assert!(
+        redispatched.cycles < block.cycles,
+        "SPMVT: adaptive re-dispatch ({} cycles) does not beat block ({} cycles)",
+        redispatched.cycles,
+        block.cycles
+    );
+    assert_eq!(block.output, redispatched.output, "SPMVT: stealing changed output bytes");
+}
+
+/// Zero oracle violations across the whole conformance set: adaptive
+/// dispatch changes *where* iterations run, never what the compiler
+/// claimed — so the runtime dependence oracle must stay as clean as it
+/// is under static scheduling.
+#[test]
+fn oracle_stays_clean_across_the_conformance_set() {
+    for b in &conformance_set() {
+        let out = polaris::parallelize(b.source, &PassOptions::polaris()).unwrap();
+        let oracle = audit(&out.program, &out.report)
+            .unwrap_or_else(|e| panic!("{}: oracle: {e}", b.name));
+        assert!(
+            !oracle.has_violations(),
+            "{}: oracle violations: {:?}",
+            b.name,
+            oracle.violations().collect::<Vec<_>>()
+        );
+    }
+}

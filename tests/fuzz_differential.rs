@@ -167,6 +167,120 @@ fn differential_with_fault(seeds: std::ops::Range<u64>) {
     }
 }
 
+/// The adaptive-scheduler axis of the fault sweep: each corpus program
+/// runs a gauntlet of faulted invocations against one shared
+/// [`AdaptiveController`] on the simulated 8-proc machine —
+///
+/// 1. invocation 1 **panics mid-measurement** (a simulated worker crash
+///    partway through statement dispatch), leaving the controller with
+///    decided-but-never-observed entries;
+/// 2. two clean invocations adapt on top of that half-measured table;
+/// 3. the whole decision table suffers a **torn write**
+///    (`corrupt_all`), and the next invocation must detect it via the
+///    integrity word, reset, and fall back to static dispatch;
+/// 4. a final invocation re-adapts from the reset state.
+///
+/// Every completed invocation's output must match the serial reference
+/// — adaptation state is advisory, never load-bearing for correctness —
+/// and no garbage (the corruption XORs `invocations` with 0x5a5a) may
+/// survive into the post-recovery table: the scheduler never wedges and
+/// never mis-merges.
+fn differential_adaptive_faults(seeds: std::ops::Range<u64>) {
+    use polaris_runtime::AdaptiveController;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+    for seed in seeds {
+        let src = generate_program(seed);
+        let reference = serial_reference(&src, seed);
+        let out = polaris::parallelize(&src, &PassOptions::polaris())
+            .unwrap_or_else(|e| panic!("seed {seed}: compile: {e}\n{src}"));
+
+        let ctrl = Arc::new(AdaptiveController::new());
+        let cfg = MachineConfig::challenge_8()
+            .with_fuel(FUEL)
+            .with_adaptive(Arc::clone(&ctrl));
+
+        // 1. Crash mid-measurement. Tiny programs can finish before the
+        //    trigger step — then this is just a clean first invocation,
+        //    which must (also) match the reference.
+        let mut crash_cfg = cfg.clone();
+        crash_cfg.panic_at_step = Some(20 + seed % 60);
+        let crashed =
+            catch_unwind(AssertUnwindSafe(|| polaris_machine::run(&out.program, &crash_cfg)));
+        if let Ok(completed) = crashed {
+            let r = completed
+                .unwrap_or_else(|e| panic!("seed {seed}: uncrashed adaptive run: {e}\n{src}"));
+            assert!(
+                outputs_match(&reference, &r.output, TOL),
+                "seed {seed}: adaptive output diverged on the uncrashed first invocation\n{src}"
+            );
+        }
+
+        // 2. Adapt on the half-measured table.
+        for pass in 0..2 {
+            let r = polaris_machine::run(&out.program, &cfg).unwrap_or_else(|e| {
+                panic!("seed {seed}: adaptive pass {pass} after crash: {e}\n{src}")
+            });
+            assert!(
+                outputs_match(&reference, &r.output, TOL),
+                "seed {seed}: adaptive pass {pass} diverged after a mid-measurement crash\n{src}"
+            );
+        }
+
+        // 3. Torn write across the whole table; the next invocation must
+        //    reset every damaged entry and still merge correctly.
+        let dispatched = ctrl.len();
+        ctrl.corrupt_all();
+        let r = polaris_machine::run(&out.program, &cfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: run on corrupted table: {e}\n{src}"));
+        assert!(
+            outputs_match(&reference, &r.output, TOL),
+            "seed {seed}: output diverged on a corrupted decision table\n{src}"
+        );
+        let rows = ctrl.decision_rows();
+        assert!(
+            rows.len() >= dispatched,
+            "seed {seed}: decision table lost entries in recovery ({} -> {})",
+            dispatched,
+            rows.len()
+        );
+        for row in &rows {
+            // The torn write XORs invocation counts with 0x5a5a.
+            // Corruption is detected *lazily*, at the next `decide` for
+            // that loop — and a nested eligible loop whose enclosing
+            // loop ran parallel is not consulted every run, so its
+            // damage may sit dormant. The invariant is therefore: every
+            // entry is either sane (reset and re-adapted, count < 0x1000
+            // for this bounded corpus) or still *exactly* the torn write
+            // (count ^ 0x5a5a sane). A count matching neither would mean
+            // `decide`/`observe` folded fresh data into a corrupt entry,
+            // laundering the bad state behind a valid check word.
+            assert!(
+                row.invocations < 0x1000 || (row.invocations ^ 0x5a5a) < 0x1000,
+                "seed {seed}: corrupt adaptation state was laundered, not reset: {row:?}"
+            );
+        }
+
+        // 4. One more clean invocation from the reset state.
+        let r = polaris_machine::run(&out.program, &cfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: post-recovery run: {e}\n{src}"));
+        assert!(
+            outputs_match(&reference, &r.output, TOL),
+            "seed {seed}: post-recovery adaptive output diverged\n{src}"
+        );
+    }
+}
+
+#[test]
+fn corpus_adaptive_fault_seeds_0_64() {
+    differential_adaptive_faults(0..64);
+}
+
+#[test]
+fn corpus_adaptive_fault_seeds_64_128() {
+    differential_adaptive_faults(64..128);
+}
+
 #[test]
 fn corpus_fault_injection_seeds_0_64() {
     differential_with_fault(0..64);

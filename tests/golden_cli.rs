@@ -201,6 +201,56 @@ fn diag_and_verify_match_golden_for_irregular_kernels() {
     }
 }
 
+/// Adaptive-dispatch snapshots: the `--schedule adaptive` decision
+/// table printed under `--diag` (per-loop strategy / chunking / thread
+/// count / event, deterministic because the dispatcher is fed simulated
+/// cycles, never wall time) and the virtual-clock Chrome trace of a
+/// compile + adaptive simulated run (which pins the `adaptive.*` spans
+/// and counters), for MDG (uniform-cost, fully parallel — adaptive must
+/// keep block chunking) and the irregular SPMV (the decision table over
+/// an idxprop-proven scatter). Byte-identity across two fresh processes
+/// is asserted before the golden compare.
+#[test]
+fn adaptive_diag_and_trace_match_golden_for_mdg_and_spmv() {
+    let dir = std::env::temp_dir().join("polarisc_adaptive_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (kern, diag, trace) in [
+        ("mdg.f", "MDG.adaptive.diag.txt", "MDG.adaptive.trace.json"),
+        ("spmv.f", "SPMV.adaptive.diag.txt", "SPMV.adaptive.trace.json"),
+    ] {
+        let run_diag = || -> String {
+            let (_, stderr) =
+                polarisc(&["--diag", "--quiet", "--schedule", "adaptive", &kernel(kern)]);
+            normalize_diag(&stderr)
+        };
+        let (d1, d2) = (run_diag(), run_diag());
+        assert_eq!(d1, d2, "{kern}: adaptive decision table not identical across runs");
+        check_golden(diag, &d1);
+
+        let run_trace = |tag: &str| -> String {
+            let path = dir.join(format!("{trace}.{tag}"));
+            let _ = polarisc(&[
+                "--trace",
+                path.to_str().unwrap(),
+                "--clock",
+                "virtual",
+                "--schedule",
+                "adaptive",
+                "--run",
+                "--quiet",
+                &kernel(kern),
+            ]);
+            std::fs::read_to_string(&path).unwrap()
+        };
+        let (first, second) = (run_trace("a"), run_trace("b"));
+        assert_eq!(
+            first, second,
+            "{kern}: adaptive virtual-clock trace not byte-identical across runs"
+        );
+        check_golden(trace, &first);
+    }
+}
+
 /// The `--lint` JSON report (schema `polaris-verify/lint/v1`). Both
 /// kernels lint clean — zero findings is itself the interesting
 /// snapshot: a new lint that starts firing on them shows up as drift

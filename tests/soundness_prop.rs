@@ -378,6 +378,125 @@ proptest! {
     }
 }
 
+/// One raw (strategy, chunking) choice for the adversarial adaptation
+/// cycle. The controller clamps strategies to the compiler's soundness
+/// envelope, so the generator is free to demand speculation on proven
+/// loops or static dispatch on unproven ones.
+fn forced_choice_strategy(
+) -> impl Strategy<Value = (polaris::runtime::Strategy, polaris::runtime::Chunking)> {
+    use polaris::runtime::{Chunking as Ck, Strategy as St};
+    let strat = prop_oneof![Just(St::Serial), Just(St::Static), Just(St::Speculative)];
+    let chunk = prop_oneof![
+        Just(Ck::Block),
+        (1usize..8).prop_map(|c| Ck::SelfSched { chunk: c }),
+        (1usize..8).prop_map(|c| Ck::Stealing { chunk: c }),
+    ];
+    (strat, chunk)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adversarial adaptation schedules: a forced cycle of raw
+    /// (strategy, chunking) choices — serial flips, speculation where
+    /// static was proven, stealing with tiny chunks — must never change
+    /// a program's output bytes, on any invocation, compared to the
+    /// serial reference.
+    #[test]
+    fn forced_adaptation_schedules_never_change_output(
+        stmts in proptest::collection::vec(stmt_strategy(), 1..5),
+        cycle in proptest::collection::vec(forced_choice_strategy(), 1..6),
+    ) {
+        let src = program_from(&stmts);
+        let out = polaris::parallelize(&src, &polaris::PassOptions::polaris())
+            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        let reference = polaris::machine::run(&out.program, &polaris::MachineConfig::serial())
+            .unwrap_or_else(|e| panic!("reference run failed: {e}\n{src}"));
+        let ctrl = std::sync::Arc::new(
+            polaris::runtime::AdaptiveController::with_forced_cycle(cycle.clone()),
+        );
+        let cfg = polaris::MachineConfig::challenge_8().with_adaptive(ctrl);
+        for pass in 0..3 {
+            let r = polaris::machine::run(&out.program, &cfg)
+                .unwrap_or_else(|e| panic!("forced pass {pass} failed: {e}\n{src}"));
+            prop_assert_eq!(
+                &reference.output, &r.output,
+                "forced cycle {:?} pass {} changed output bytes\n--- source ---\n{}\n--- annotated ---\n{}",
+                cycle, pass, src, out.annotated_source
+            );
+        }
+    }
+
+    /// Misspeculation storms: a duplicate-entry index array makes every
+    /// LRPD attempt fail, driving the adaptive throttle ladder through
+    /// speculation → serial hold → probe → re-arm. Output bytes must be
+    /// identical on every invocation, and no PARALLEL claim may be
+    /// laundered past the traced oracle.
+    #[test]
+    fn misspeculation_storms_are_invisible_in_output(
+        m in 2i64..9,
+        uses in proptest::collection::vec(idx_use_strategy(), 1..3),
+    ) {
+        let src = idx_program_from(IdxFill::Duplicates { m }, &uses);
+        let out = polaris::parallelize(&src, &polaris::PassOptions::polaris())
+            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        let reference = polaris::machine::run(&out.program, &polaris::MachineConfig::serial())
+            .unwrap_or_else(|e| panic!("reference run failed: {e}\n{src}"));
+        let ctrl = std::sync::Arc::new(polaris::runtime::AdaptiveController::new());
+        let cfg = polaris::MachineConfig::challenge_8()
+            .with_adaptive(std::sync::Arc::clone(&ctrl));
+        // Enough invocations to traverse the whole throttle ladder
+        // (measure, streak, hold, probe, re-arm) at least once.
+        for pass in 0..8 {
+            let r = polaris::machine::run(&out.program, &cfg)
+                .unwrap_or_else(|e| panic!("storm pass {pass} failed: {e}\n{src}"));
+            prop_assert_eq!(
+                &reference.output, &r.output,
+                "misspeculation storm pass {} changed output bytes\n--- source ---\n{}",
+                pass, src
+            );
+        }
+        let report = polaris::machine::audit(&out.program, &out.report)
+            .unwrap_or_else(|e| panic!("oracle run failed: {e}\n{src}"));
+        prop_assert!(
+            !report.has_violations(),
+            "oracle observed a race under the adaptive storm\n{:#?}",
+            report.violations().collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Steal-heavy adaptation on skewed per-iteration costs: the SPMVT
+/// kernel (row cost grows linearly) under forced work-stealing with
+/// tiny chunks — maximum steal traffic — on the real threaded backend
+/// at several worker counts. Output bytes must match the serial
+/// reference under every victim/steal interleaving.
+#[test]
+fn steal_heavy_skewed_costs_preserve_output_bytes() {
+    use polaris::runtime::{AdaptiveController, Chunking, Strategy as AStrategy};
+    let b = polaris_benchmarks::skewed();
+    let out = polaris::parallelize(b.source, &polaris::PassOptions::polaris()).unwrap();
+    let reference =
+        polaris::machine::run(&out.program, &polaris::MachineConfig::serial()).unwrap();
+    let forced = vec![
+        (AStrategy::Static, Chunking::Stealing { chunk: 1 }),
+        (AStrategy::Static, Chunking::Stealing { chunk: 3 }),
+    ];
+    for threads in [2usize, 4, 8] {
+        let ctrl = std::sync::Arc::new(AdaptiveController::with_forced_cycle(forced.clone()));
+        let cfg = polaris::MachineConfig::threaded(threads, polaris::machine::Schedule::Static)
+            .with_adaptive(ctrl);
+        for pass in 0..2 {
+            let r = polaris::machine::run(&out.program, &cfg)
+                .unwrap_or_else(|e| panic!("x{threads} pass {pass}: {e}"));
+            assert_eq!(
+                reference.output, r.output,
+                "x{threads} pass {pass}: steal-heavy run changed output bytes"
+            );
+        }
+    }
+}
+
 /// Deterministic regression shapes that once looked risky.
 #[test]
 fn known_tricky_shapes_are_sound() {
