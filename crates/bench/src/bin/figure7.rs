@@ -24,15 +24,15 @@
 //! ```
 
 use polaris_bench::{
-    adaptive_row, bar, engine_row, irregular_row, obs_breakdown, oracle_report, speedups,
-    threaded_row, verify_row, AdaptiveRow, EngineRow, IrregularRow, ObsBreakdown, SpeedupRow,
-    ThreadedRow, VerifyRow,
+    adaptive_row, bar, engine_row, irregular_row, nest_row, obs_breakdown, oracle_report,
+    speedups, threaded_row, verify_row, AdaptiveRow, EngineRow, IrregularRow, NestRow,
+    ObsBreakdown, SpeedupRow, ThreadedRow, VerifyRow,
 };
 use polaris_core::PassOptions;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const SCHEMA: &str = "polaris-bench/figure7/v7";
+const SCHEMA: &str = "polaris-bench/figure7/v8";
 
 /// Serial-wall repetitions per engine for the v5 engine columns.
 const ENGINE_REPS: usize = 3;
@@ -304,6 +304,58 @@ fn main() -> ExitCode {
         eprintln!("figure7: an irregular kernel's static `clean` was contradicted by the oracle");
         return ExitCode::FAILURE;
     }
+    // Schema v8: the nest-transformation tier report. The two locality
+    // kernels are a fixed conformance set (independent of --only): each
+    // must receive its pinned restructuring under a legality
+    // certificate, and every certificate must be re-derived and accepted
+    // by the independent `polaris-verify` re-prover — a rejected
+    // certificate is a hard failure, same as an oracle violation.
+    println!();
+    println!(
+        "{:<9} {:>12} {:>6} {:>6} {:>6} {:>6} {:>10} {:>9}",
+        "Nest", "expected", "nests", "ichg", "tile", "fuse", "precision", "reprover"
+    );
+    let mut nest: Vec<NestRow> = Vec::new();
+    let mut nest_mismatch = false;
+    let mut certs_rejected = 0usize;
+    for (b, expected) in polaris_benchmarks::locality() {
+        let row = nest_row(&b, expected);
+        println!(
+            "{:<9} {:>12} {:>6} {:>6} {:>6} {:>6} {:>10.3} {:>5}/{:<3}",
+            row.name,
+            row.expected,
+            row.summarized,
+            row.interchanges,
+            row.tiles,
+            row.fusions,
+            row.legality_precision,
+            row.reprover_accepted,
+            row.certs,
+        );
+        if !row.expected_applied() {
+            eprintln!(
+                "figure7: {} did not receive its pinned `{}` transformation",
+                row.name, row.expected
+            );
+            nest_mismatch = true;
+        }
+        certs_rejected += row.reprover_rejected;
+        nest.push(row);
+    }
+    println!(
+        "nest: {} certificate(s) emitted, {} re-proved, {} rejected by the re-prover",
+        nest.iter().map(|r| r.certs).sum::<usize>(),
+        nest.iter().map(|r| r.reprover_accepted).sum::<usize>(),
+        certs_rejected,
+    );
+    if nest_mismatch {
+        return ExitCode::FAILURE;
+    }
+    if certs_rejected > 0 {
+        eprintln!("figure7: the verify re-prover rejected an emitted legality certificate");
+        return ExitCode::FAILURE;
+    }
+
     let cores = host_cores();
     if cores < threads {
         println!(
@@ -323,11 +375,13 @@ fn main() -> ExitCode {
         "Adaptive", "steal/blk", "adapt/blk", "strategy", "chunking", "event", "steal-rate"
     );
     let irregular_set = polaris_benchmarks::irregular();
+    let locality_set = polaris_benchmarks::locality();
     let skewed = polaris_benchmarks::skewed();
     let mut adaptive: Vec<AdaptiveRow> = Vec::new();
     for b in benches
         .iter()
         .chain(irregular_set.iter().map(|(b, _)| b))
+        .chain(locality_set.iter().map(|(b, _)| b))
         .chain(std::iter::once(&skewed))
     {
         let row = adaptive_row(b, 8, threads);
@@ -352,8 +406,8 @@ fn main() -> ExitCode {
 
     if let Some(path) = json_path {
         let doc = render_json(
-            &rows, &irregular, &adaptive, &oracle, &verify, threads, cores, geo_polaris,
-            geo_vfa, geo_real, geo_engine,
+            &rows, &irregular, &nest, &adaptive, &oracle, &verify, threads, cores,
+            geo_polaris, geo_vfa, geo_real, geo_engine,
         );
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("figure7: cannot write {path}: {e}");
@@ -375,6 +429,7 @@ fn host_cores() -> usize {
 fn render_json(
     rows: &[(SpeedupRow, ThreadedRow, ObsBreakdown, EngineRow)],
     irregular: &[IrregularRow],
+    nest: &[NestRow],
     adaptive: &[AdaptiveRow],
     oracle: &OracleAgg,
     verify: &VerifyAgg,
@@ -517,6 +572,43 @@ fn render_json(
     s.push_str(&format!(
         "    \"static_clean_oracle_dirty\": {}\n",
         irregular.iter().map(|r| r.soundness_failures).sum::<usize>()
+    ));
+    s.push_str("  },\n");
+    // Schema v8: the nest-transformation block — per locality kernel,
+    // the restructurings applied under a legality certificate
+    // (interchange / tile / fuse counts), the prover's precision over
+    // every candidate it judged, and the independent re-prover's
+    // verdicts over the emitted certificates. `reprover_rejected` must
+    // be zero and the pinned transformation must have been applied (the
+    // binary exits FAILURE before writing this document otherwise).
+    s.push_str("  \"nest\": {\n");
+    s.push_str("    \"kernels\": [\n");
+    for (i, r) in nest.iter().enumerate() {
+        s.push_str("      {\n");
+        s.push_str(&format!("        \"name\": \"{}\",\n", json_escape(r.name)));
+        s.push_str(&format!("        \"expected\": \"{}\",\n", r.expected));
+        s.push_str(&format!("        \"expected_applied\": {},\n", r.expected_applied()));
+        s.push_str(&format!("        \"nests_summarized\": {},\n", r.summarized));
+        s.push_str(&format!("        \"interchanges\": {},\n", r.interchanges));
+        s.push_str(&format!("        \"tiles\": {},\n", r.tiles));
+        s.push_str(&format!("        \"fusions\": {},\n", r.fusions));
+        s.push_str(&format!(
+            "        \"legality_precision\": {},\n",
+            json_f64(r.legality_precision)
+        ));
+        s.push_str(&format!("        \"certs\": {},\n", r.certs));
+        s.push_str(&format!("        \"reprover_accepted\": {},\n", r.reprover_accepted));
+        s.push_str(&format!("        \"reprover_rejected\": {}\n", r.reprover_rejected));
+        s.push_str(if i + 1 == nest.len() { "      }\n" } else { "      },\n" });
+    }
+    s.push_str("    ],\n");
+    s.push_str(&format!(
+        "    \"certs_emitted\": {},\n",
+        nest.iter().map(|r| r.certs).sum::<usize>()
+    ));
+    s.push_str(&format!(
+        "    \"certs_rejected\": {}\n",
+        nest.iter().map(|r| r.reprover_rejected).sum::<usize>()
     ));
     s.push_str("  },\n");
     // Schema v7: the adaptive-scheduling block — per kernel, the cost

@@ -420,6 +420,67 @@ pub fn adaptive_row(
     }
 }
 
+/// Per-kernel nest-transformation summary (the Figure 7 schema-v8
+/// `nest` block): which loop-nest restructurings the compiler applied
+/// under a legality certificate, the prover's precision over all
+/// candidates it judged, and the independent re-prover's verdicts over
+/// the emitted certificates. A re-prover-rejected certificate is a
+/// hard harness failure, same as an oracle violation.
+#[derive(Debug, Clone)]
+pub struct NestRow {
+    pub name: &'static str,
+    /// Transformation the benchmark registry pins for this kernel
+    /// ("interchange" / "tile").
+    pub expected: &'static str,
+    pub summarized: usize,
+    pub interchanges: usize,
+    pub tiles: usize,
+    pub fusions: usize,
+    /// proved / (proved + rejected) over every candidate the legality
+    /// prover judged (1.0 when nothing was judged).
+    pub legality_precision: f64,
+    /// Certificates emitted into the compile report.
+    pub certs: usize,
+    /// Certificates the `polaris-verify` re-prover re-derived and
+    /// accepted from the final IR.
+    pub reprover_accepted: usize,
+    /// Certificates the re-prover rejected. Must be zero.
+    pub reprover_rejected: usize,
+}
+
+impl NestRow {
+    /// True when the pinned transformation was applied under a cert.
+    pub fn expected_applied(&self) -> bool {
+        match self.expected {
+            "interchange" => self.interchanges > 0,
+            "tile" => self.tiles > 0,
+            "fuse" => self.fusions > 0,
+            _ => false,
+        }
+    }
+}
+
+/// Compile one locality kernel, summarize its nest transformations, and
+/// re-derive every emitted legality certificate with the independent
+/// `polaris-verify` re-prover (panics on compile errors — harness
+/// context).
+pub fn nest_row(b: &polaris_benchmarks::Benchmark, expected: &'static str) -> NestRow {
+    let (p, rep) = compile_bench(b, &PassOptions::polaris());
+    let checks = polaris_verify::recheck_certs(&p, &rep);
+    NestRow {
+        name: b.name,
+        expected,
+        summarized: rep.nest.summarized,
+        interchanges: rep.nest.interchanges,
+        tiles: rep.nest.tiles,
+        fusions: rep.nest.fusions,
+        legality_precision: rep.nest.precision(),
+        certs: rep.nest.certs.len(),
+        reprover_accepted: checks.iter().filter(|c| c.accepted).count(),
+        reprover_rejected: checks.iter().filter(|c| !c.accepted).count(),
+    }
+}
+
 /// 64-bit FNV-1a over output lines (newline-delimited), the checksum
 /// recorded in `BENCH_figure7.json`.
 pub fn fnv1a(lines: &[String]) -> u64 {

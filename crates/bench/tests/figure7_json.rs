@@ -204,7 +204,7 @@ fn figure7_json_is_well_formed_and_schema_complete() {
 
     // Schema: top-level metadata and geomeans present.
     for key in [
-        "\"schema\": \"polaris-bench/figure7/v7\"",
+        "\"schema\": \"polaris-bench/figure7/v8\"",
         "\"procs\":",
         "\"threads\": 4",
         "\"host_cores\":",
@@ -243,12 +243,56 @@ fn figure7_json_is_well_formed_and_schema_complete() {
         // schema v7: adaptive-scheduling block
         "\"adaptive\":",
         "\"steal_wins\":",
+        // schema v8: nest-restructuring block (always both locality
+        // kernels, independent of --only)
+        "\"nest\":",
+        "\"certs_emitted\":",
+        "\"certs_rejected\": 0",
     ] {
         assert!(doc.contains(key), "missing `{key}` in:\n{doc}");
     }
-    // Schema v7: the adaptive block covers every requested kernel plus
-    // the six irregular kernels and the skewed-cost SPMVT (9 records
-    // here), each with the full strategy/chunking/steal-rate column set.
+    // Schema v8: the nest block covers both locality kernels (MMT and
+    // STENCIL2D), each with the full summary/legality column set, and
+    // every emitted certificate survives the re-prover.
+    for field in [
+        "\"nests_summarized\":",
+        "\"interchanges\":",
+        "\"tiles\":",
+        "\"fusions\":",
+        "\"legality_precision\":",
+        "\"certs\":",
+        "\"reprover_accepted\":",
+        "\"reprover_rejected\": 0",
+    ] {
+        assert_eq!(
+            doc.matches(field).count(),
+            2,
+            "field `{field}` should appear once per nest record:\n{doc}"
+        );
+    }
+    let nest_of = |name: &str| -> &str {
+        let blk = doc.find("\"nest\":").expect("no nest block");
+        let start = doc[blk..]
+            .find(&format!("\"name\": \"{name}\""))
+            .unwrap_or_else(|| panic!("no nest record for {name}"))
+            + blk;
+        let end = doc[start..].find('}').unwrap() + start;
+        &doc[start..end]
+    };
+    let mmt = nest_of("MMT");
+    assert!(
+        mmt.contains("\"interchanges\": 1"),
+        "MMT nest record lost its pinned interchange:\n{mmt}"
+    );
+    let stencil = nest_of("STENCIL2D");
+    assert!(
+        stencil.contains("\"tiles\": 1") && stencil.contains("\"fusions\": 1"),
+        "STENCIL2D nest record lost its pinned tile/fusion:\n{stencil}"
+    );
+    // Schema v7/v8: the adaptive block covers every requested kernel
+    // plus the six irregular kernels, the two locality kernels, and the
+    // skewed-cost SPMVT (11 records here), each with the full
+    // strategy/chunking/steal-rate column set.
     for field in [
         "\"block_cycles\":",
         "\"steal_cycles\":",
@@ -262,7 +306,7 @@ fn figure7_json_is_well_formed_and_schema_complete() {
     ] {
         assert_eq!(
             doc.matches(field).count(),
-            9,
+            11,
             "field `{field}` should appear once per adaptive record:\n{doc}"
         );
     }

@@ -1,0 +1,41 @@
+program mmt
+! MMT kernel: transposed matrix-matrix product C = A^T * B with a scalar
+! reduction riding in the innermost body. Written in the classic
+! dot-product order (K, I, J), which walks A and B down their *rows* —
+! every innermost access crosses a column of the column-major layout.
+! The nest-dependence summary proves the (J, I, K) order legal (C's
+! accumulation is a validated reduction, so its cross-K dependence is
+! relaxable), and the stride cost model picks it: A(K,I) and B(K,J)
+! become unit-stride in the new innermost K loop. All data is
+! integer-valued so any legal reassociation of the sums is bit-exact.
+      integer n
+      parameter (n = 32)
+      real a(32,32), b(32,32), c(32,32)
+      real s, csum
+
+      do i0 = 1, n
+        do k0 = 1, n
+          a(k0,i0) = mod(k0 + 2*i0, 5) * 1.0
+          b(k0,i0) = mod(k0 + 3*i0, 7) * 1.0
+          c(k0,i0) = 0.0
+        end do
+      end do
+
+      s = 0.0
+      do k = 1, n
+        do i = 1, n
+          do j = 1, n
+            c(i,j) = c(i,j) + a(k,i) * b(k,j)
+            s = s + a(k,i)
+          end do
+        end do
+      end do
+
+      csum = 0.0
+      do jj = 1, n
+        do ii = 1, n
+          csum = csum + c(ii,jj)
+        end do
+      end do
+      print *, 'mmt checksum', csum + s
+      end

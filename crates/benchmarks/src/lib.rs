@@ -183,6 +183,27 @@ pub fn skewed() -> Benchmark {
     )
 }
 
+/// The two locality-bound kernels driving the nest-transformation
+/// stages, each paired with the transformation the compiler is expected
+/// to apply under a legality certificate: `"interchange"` — the nest is
+/// rewritten to a provably-legal loop order with a better stride
+/// profile — or `"tile"` — the fully permutable stencil band is
+/// rectangularly tiled (STENCIL2D's tail loops additionally fuse).
+pub fn locality() -> Vec<(Benchmark, &'static str)> {
+    use Expectation::*;
+    use Origin::*;
+    vec![
+        (
+            bench!("MMT", "mmt.f", Kernel, 0, 0.0, "transposed matmul -> loop interchange", BothGood),
+            "interchange",
+        ),
+        (
+            bench!("STENCIL2D", "stencil2d.f", Kernel, 0, 0.0, "5-point stencil -> rectangular tiling (+ tail fusion)", BothGood),
+            "tile",
+        ),
+    ]
+}
+
 /// Look a benchmark up by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<Benchmark> {
     let upper = name.to_ascii_uppercase();
@@ -196,6 +217,7 @@ pub fn by_name(name: &str) -> Option<Benchmark> {
         .into_iter()
         .find(|b| b.name == upper)
         .or_else(|| irregular().into_iter().map(|(b, _)| b).find(|b| b.name == upper))
+        .or_else(|| locality().into_iter().map(|(b, _)| b).find(|b| b.name == upper))
 }
 
 #[cfg(test)]
@@ -223,6 +245,8 @@ mod tests {
         assert!(by_name("spmv").is_some());
         assert!(by_name("spmvt").is_some());
         assert!(by_name("COMPACT").is_some());
+        assert!(by_name("mmt").is_some());
+        assert!(by_name("STENCIL2D").is_some());
         assert!(by_name("nope").is_none());
     }
 
@@ -232,6 +256,19 @@ mod tests {
         let p = b.program();
         polaris_ir::validate::validate_program(&p).unwrap_or_else(|e| panic!("{}: {e}", b.name));
         assert_eq!(b.origin, Origin::Kernel);
+    }
+
+    #[test]
+    fn locality_kernels_parse_and_name_their_transformation() {
+        let kernels = locality();
+        assert_eq!(kernels.len(), 2);
+        for (b, xform) in &kernels {
+            let p = b.program();
+            polaris_ir::validate::validate_program(&p)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(matches!(*xform, "interchange" | "tile"), "{}: {xform}", b.name);
+            assert_eq!(b.origin, Origin::Kernel, "{}", b.name);
+        }
     }
 
     #[test]

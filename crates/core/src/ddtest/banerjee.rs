@@ -154,6 +154,76 @@ pub fn carried_dependence_possible(
     false
 }
 
+/// One Banerjee query over a concrete direction vector, as issued by the
+/// hierarchical refinement: the vector tried (entries may be [`Dir::Any`]
+/// for interior nodes of the refinement tree) and its verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirTrial {
+    /// Direction per common loop, outermost first.
+    pub dirs: Vec<Dir>,
+    /// `true` — the vector may carry a dependence; `false` — proven
+    /// independent (and, for an interior node, so is its whole subtree).
+    pub possible: bool,
+}
+
+impl DirTrial {
+    /// A fully-refined vector (no `*` entries left).
+    pub fn is_leaf(&self) -> bool {
+        !self.dirs.contains(&Dir::Any)
+    }
+}
+
+/// Run the full O(3^n) hierarchical refinement from the all-`*` root and
+/// return **every** per-direction-vector trial in issue order. This is
+/// the un-summarized form of [`carried_dependence_possible`]: consumers
+/// (the nest summarizer, the bench precision columns) read the feasible
+/// leaves — trials with [`DirTrial::possible`] and [`DirTrial::is_leaf`]
+/// — without re-running any Banerjee query. Infeasible interior nodes
+/// are reported as-is: their entire subtree is independent.
+pub fn direction_vector_trials(
+    c0: i128,
+    common: &[Coupled],
+    free: &[Free],
+    stats: &DdStats,
+) -> Vec<DirTrial> {
+    let mut dirs = vec![Dir::Any; common.len()];
+    let mut trials = Vec::new();
+    refine_recorded(c0, common, &mut dirs, 0, free, stats, &mut trials);
+    trials
+}
+
+/// The feasible fully-refined vectors of [`direction_vector_trials`].
+pub fn feasible_leaves(trials: &[DirTrial]) -> Vec<Vec<Dir>> {
+    trials.iter().filter(|t| t.possible && t.is_leaf()).map(|t| t.dirs.clone()).collect()
+}
+
+/// Exhaustive refinement that records every query instead of
+/// short-circuiting on the first feasible leaf.
+fn refine_recorded(
+    c0: i128,
+    common: &[Coupled],
+    dirs: &mut Vec<Dir>,
+    next: usize,
+    free: &[Free],
+    stats: &DdStats,
+    trials: &mut Vec<DirTrial>,
+) {
+    let possible = vector_dependence_possible(c0, common, dirs, free, stats);
+    trials.push(DirTrial { dirs: dirs.clone(), possible });
+    if !possible {
+        return; // whole subtree independent
+    }
+    let split = (next..dirs.len()).find(|&k| dirs[k] == Dir::Any);
+    let Some(split) = split else {
+        return; // feasible leaf, already recorded
+    };
+    for d in [Dir::Lt, Dir::Eq, Dir::Gt] {
+        dirs[split] = d;
+        refine_recorded(c0, common, dirs, split + 1, free, stats, trials);
+    }
+    dirs[split] = Dir::Any;
+}
+
 /// Hierarchical refinement: returns `true` if some fully-refined vector
 /// still admits a dependence.
 fn refine(
@@ -287,6 +357,42 @@ mod tests {
         assert!(!carried_dependence_possible(0, &common, 0, &[], &stats));
     }
 
+    #[test]
+    fn trials_expose_every_query_and_agree_with_carried() {
+        // A(i, j) vs A(i'-1, j') (linearized): the outer loop carries a
+        // distance-1 dependence, the inner carries nothing.
+        let common = [
+            Coupled { a: 100, b: 100, lo: 1, hi: 10 },
+            Coupled { a: 1, b: 1, lo: 1, hi: 50 },
+        ];
+        let stats = st();
+        let trials = direction_vector_trials(100, &common, &[], &stats);
+        // Every trial was really issued against the Banerjee core.
+        assert_eq!(trials.len() as u64, stats.banerjee_vectors.get());
+        let leaves = feasible_leaves(&trials);
+        // The true dependence (<, =) survives; every feasible leaf is
+        // outer-carried (the intervals prove `=` and `>` outer
+        // directions independent, though they cannot separate the inner
+        // direction on a linearized subscript).
+        assert!(leaves.contains(&vec![Dir::Lt, Dir::Eq]), "{leaves:?}");
+        assert!(leaves.iter().all(|v| v[0] == Dir::Lt), "{leaves:?}");
+        // Consistency with the summarized query: outer carries, inner
+        // does not.
+        assert!(carried_dependence_possible(100, &common, 0, &[], &stats));
+        assert!(!carried_dependence_possible(100, &common, 1, &[], &stats));
+    }
+
+    #[test]
+    fn trials_on_independent_pair_are_one_infeasible_root() {
+        let common = [Coupled { a: 1, b: 1, lo: 1, hi: 50 }];
+        let stats = st();
+        let trials = direction_vector_trials(-100, &common, &[], &stats);
+        assert_eq!(trials.len(), 1);
+        assert_eq!(trials[0].dirs, vec![Dir::Any]);
+        assert!(!trials[0].possible);
+        assert!(feasible_leaves(&trials).is_empty());
+    }
+
     // ---- brute force oracles ------------------------------------------
 
     fn brute_force_vector(
@@ -374,6 +480,34 @@ mod tests {
                 prop_assert_eq!(verdict, truth);
             } else {
                 prop_assert!(verdict || !truth);
+            }
+        }
+
+        /// The recorded trial tree is sound per leaf: a fully-refined
+        /// vector missing from the feasible set must really admit no
+        /// solution (pruning at an interior node may not hide one).
+        #[test]
+        fn prop_trials_sound_per_leaf(
+            a1 in -3i128..4, b1 in -3i128..4,
+            a2 in -3i128..4, b2 in -3i128..4,
+            c0 in -12i128..12,
+        ) {
+            let common = [
+                Coupled { a: a1, b: b1, lo: 0, hi: 3 },
+                Coupled { a: a2, b: b2, lo: 0, hi: 3 },
+            ];
+            let stats = st();
+            let leaves = feasible_leaves(&direction_vector_trials(c0, &common, &[], &stats));
+            for d1 in [Dir::Lt, Dir::Eq, Dir::Gt] {
+                for d2 in [Dir::Lt, Dir::Eq, Dir::Gt] {
+                    let v = vec![d1, d2];
+                    if brute_force_vector(c0, &common, &v, &[]) {
+                        prop_assert!(
+                            leaves.contains(&v),
+                            "solvable vector {v:?} missing from feasible leaves"
+                        );
+                    }
+                }
             }
         }
 

@@ -32,6 +32,7 @@ pub mod gsa;
 pub mod idxprop;
 pub mod induction;
 pub mod inline;
+pub mod nestdeps;
 pub mod normalize;
 pub mod pipeline;
 pub mod privatize;
@@ -42,6 +43,7 @@ pub use ddtest::DdStats;
 pub use deps::LoopReport;
 pub use idxprop::IdxPropReport;
 pub use induction::InductionMode;
+pub use nestdeps::NestReport;
 pub use pipeline::{
     CancelToken, CorruptKind, FaultKind, FaultPlan, Pipeline, StageOutcome, StageReport,
     VerifyStats, CANCELLED_PREFIX, STAGE_NAMES,
@@ -84,6 +86,13 @@ pub struct PassOptions {
     /// defining fills and use them to parallelize `A(IDX(I))` loops the
     /// classic tests abstain on (Bhosale & Eigenmann-style).
     pub index_props: bool,
+    /// Nest-level loop interchange driven by the locality cost model,
+    /// gated by the `nestdeps` legality prover.
+    pub nest_interchange: bool,
+    /// Rectangular tiling of fully permutable stencil bands.
+    pub nest_tiling: bool,
+    /// Adjacent-loop fusion of conformable producer/consumer loops.
+    pub nest_fusion: bool,
     /// Deterministic fault injection for exercising the pipeline's
     /// rollback paths (empty in both presets).
     pub faults: FaultPlan,
@@ -107,6 +116,9 @@ impl PassOptions {
             array_privatization: true,
             speculation: true,
             index_props: true,
+            nest_interchange: true,
+            nest_tiling: true,
+            nest_fusion: true,
             faults: FaultPlan::none(),
         }
     }
@@ -130,6 +142,9 @@ impl PassOptions {
             array_privatization: false,
             speculation: false,
             index_props: false,
+            nest_interchange: false,
+            nest_tiling: false,
+            nest_fusion: false,
             faults: FaultPlan::none(),
         }
     }
@@ -162,6 +177,10 @@ pub struct CompileReport {
     pub idxprop: IdxPropReport,
     /// Property-rule disjointness outcomes: (run, proved).
     pub dd_props: (u64, u64),
+    /// What the nest-transformation stages (`interchange`/`tile`/`fuse`)
+    /// summarized, proved and applied, with one [`polaris_ir::LegalityCert`]
+    /// per applied transformation.
+    pub nest: NestReport,
     /// Per-stage outcomes from the fault-isolating pipeline, in run order.
     pub stages: Vec<StageReport>,
     /// Inter-pass verifier totals: invariant checks run at stage

@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 
 /// Names of the standard pipeline stages, in execution order. These are the
 /// strings [`FaultPlan`] and `polarisc --diag` refer to.
-pub const STAGE_NAMES: [&str; 9] = [
+pub const STAGE_NAMES: [&str; 12] = [
     "inline",
     "constprop",
     "normalize",
@@ -36,6 +36,9 @@ pub const STAGE_NAMES: [&str; 9] = [
     "dce",
     "reduction",
     "idxprop",
+    "interchange",
+    "tile",
+    "fuse",
     "analyze",
 ];
 
@@ -93,6 +96,11 @@ pub enum FaultKind {
     /// deadline. The stage then completes normally; a watchdog firing a
     /// [`CancelToken`] is what turns the stall into a degraded compile.
     Stall(u64),
+    /// Make a nest-transformation stage (`interchange`/`tile`/`fuse`)
+    /// apply its best **rejected** candidate, certificate and all — the
+    /// stage completes and the IR stays well-formed, so only the
+    /// `polaris-verify` cert re-prover can catch the lie.
+    ForceIllegal,
 }
 
 /// The specific IR damage a [`FaultKind::Corrupt`] point inflicts,
@@ -174,6 +182,17 @@ impl FaultPlan {
         }
     }
 
+    /// Force a nest-transformation stage to apply an illegal candidate.
+    pub fn force_in(stage: impl Into<String>) -> FaultPlan {
+        FaultPlan {
+            points: vec![FaultPoint {
+                stage: stage.into(),
+                unit: None,
+                kind: FaultKind::ForceIllegal,
+            }],
+        }
+    }
+
     /// Add an arbitrary fault point.
     pub fn and_point(mut self, point: FaultPoint) -> FaultPlan {
         self.points.push(point);
@@ -208,7 +227,7 @@ impl FaultPlan {
     pub fn fire(&self, stage: &str, program: &Program) {
         if let Some(point) = self.armed_for(stage, program) {
             match point.kind {
-                FaultKind::Corrupt(_) => {}
+                FaultKind::Corrupt(_) | FaultKind::ForceIllegal => {}
                 FaultKind::Stall(millis) => {
                     std::thread::sleep(Duration::from_millis(millis));
                 }
@@ -218,6 +237,16 @@ impl FaultPlan {
                 },
             }
         }
+    }
+
+    /// Is a [`FaultKind::ForceIllegal`] point armed for this stage? The
+    /// nest-transformation stage bodies query this to apply a rejected
+    /// candidate instead of refusing it.
+    pub fn forces_illegal(&self, stage: &str, program: &Program) -> bool {
+        matches!(
+            self.armed_for(stage, program),
+            Some(FaultPoint { kind: FaultKind::ForceIllegal, .. })
+        )
     }
 
     /// Apply an armed [`FaultKind::Corrupt`] point's damage to the IR.
@@ -389,6 +418,9 @@ impl Pipeline {
                 Stage { name: "dce", enabled: opts.dce, run: stage_dce },
                 Stage { name: "reduction", enabled: opts.reductions, run: stage_reduction },
                 Stage { name: "idxprop", enabled: opts.index_props, run: stage_idxprop },
+                Stage { name: "interchange", enabled: opts.nest_interchange, run: stage_interchange },
+                Stage { name: "tile", enabled: opts.nest_tiling, run: stage_tile },
+                Stage { name: "fuse", enabled: opts.nest_fusion, run: stage_fuse },
                 Stage { name: "analyze", enabled: true, run: stage_analyze },
             ],
         }
@@ -712,6 +744,33 @@ fn stage_idxprop(program: &mut Program, _opts: &PassOptions, report: &mut Compil
     Ok(())
 }
 
+fn stage_interchange(program: &mut Program, opts: &PassOptions, report: &mut CompileReport, _rec: &Recorder) -> Result<()> {
+    let stats = DdStats::new();
+    let forced = opts.faults.forces_illegal("interchange", program);
+    for unit in &mut program.units {
+        crate::nestdeps::interchange_unit(unit, &stats, forced, &mut report.nest);
+    }
+    Ok(())
+}
+
+fn stage_tile(program: &mut Program, opts: &PassOptions, report: &mut CompileReport, _rec: &Recorder) -> Result<()> {
+    let stats = DdStats::new();
+    let forced = opts.faults.forces_illegal("tile", program);
+    for unit in &mut program.units {
+        crate::nestdeps::tile_unit(unit, &stats, forced, &mut report.nest);
+    }
+    Ok(())
+}
+
+fn stage_fuse(program: &mut Program, opts: &PassOptions, report: &mut CompileReport, _rec: &Recorder) -> Result<()> {
+    let stats = DdStats::new();
+    let forced = opts.faults.forces_illegal("fuse", program);
+    for unit in &mut program.units {
+        crate::nestdeps::fuse_unit(unit, &stats, forced, &mut report.nest);
+    }
+    Ok(())
+}
+
 fn stage_analyze(
     program: &mut Program,
     opts: &PassOptions,
@@ -785,14 +844,17 @@ mod tests {
     /// A source where every [`CorruptKind`] finds a target after every
     /// stage: two live loops (ids to duplicate), an array store that is
     /// later read (symbol to dangle), and a live scalar assignment with
-    /// a literal rhs (type to pun).
+    /// a literal rhs (type to pun). The loops have different bounds on
+    /// purpose: conformable loops would legitimately fuse in the `fuse`
+    /// stage, leaving [`CorruptKind::DuplicateLoopId`] without a second
+    /// loop to damage.
     const TWO_LOOPS: &str = "program t\n\
                              real v(1000)\n\
                              s = 0.0\n\
                              do i = 1, 1000\n\
                              \x20 v(i) = i * 2.0\n\
                              end do\n\
-                             do i = 1, 1000\n\
+                             do i = 1, 999\n\
                              \x20 s = s + v(i)\n\
                              end do\n\
                              print *, s\n\

@@ -39,6 +39,7 @@
 //! DESIGN.md for the substitution argument).
 
 pub mod builder;
+pub mod cert;
 pub mod cfg;
 pub mod error;
 pub mod expr;
@@ -55,6 +56,7 @@ pub mod types;
 pub mod validate;
 pub mod visit;
 
+pub use cert::{CertCheck, CertKind, DepVector, LegalityCert, NestDir};
 pub use error::{CompileError, Result};
 pub use expr::{BinOp, Expr, LValue, RedOp, UnOp};
 pub use program::{CommonBlock, Program, ProgramUnit, UnitKind};

@@ -22,12 +22,15 @@
 //! counted separately and required to be zero by the conformance suite.
 
 pub mod lint;
+pub mod nest;
 pub mod race;
 
 pub use lint::{lint_program, Finding, LintReport, Severity};
+pub use nest::recheck_certs;
 pub use race::{analyze, check_image, LoopRace, RaceReport, RaceVerdict};
 
 use polaris_core::{CompileReport, StageOutcome};
+use polaris_ir::cert::CertCheck;
 use polaris_ir::Program;
 use polaris_obs::{Counter, Recorder};
 use polaris_runtime::verdict::{ClaimKind, OracleReport};
@@ -54,12 +57,30 @@ pub struct VerifyReport {
     /// program cannot be lowered (e.g. non-constant dimensions), which
     /// leaves nothing for the machine to execute either.
     pub race: Option<RaceReport>,
+    /// Independent re-derivation of every nest-transformation
+    /// [`polaris_ir::LegalityCert`] from the final IR (see [`nest`]).
+    /// A rejected check means a pass applied a transformation its own
+    /// evidence does not justify — as serious as an invariant violation.
+    pub cert_checks: Vec<CertCheck>,
 }
 
 impl VerifyReport {
-    /// No invariant ever fired and the final program validates.
+    /// No invariant ever fired, the final program validates, and every
+    /// transformation certificate was independently re-derived.
     pub fn ok(&self) -> bool {
-        self.invariant_violations == 0 && self.final_violations.is_empty()
+        self.invariant_violations == 0
+            && self.final_violations.is_empty()
+            && self.certs_ok()
+    }
+
+    /// Every nest-transformation certificate re-proved from the IR.
+    pub fn certs_ok(&self) -> bool {
+        self.cert_checks.iter().all(|c| c.accepted)
+    }
+
+    /// Cert checks the re-prover rejected.
+    pub fn rejected_certs(&self) -> Vec<&CertCheck> {
+        self.cert_checks.iter().filter(|c| !c.accepted).collect()
     }
 
     /// Mirror the verdict counts into typed observability counters.
@@ -103,6 +124,23 @@ impl VerifyReport {
                 .collect::<Vec<_>>()
                 .join(", ")
         ));
+        s.push_str("  },\n");
+        s.push_str("  \"certs\": {\n");
+        s.push_str(&format!("    \"checked\": {},\n", self.cert_checks.len()));
+        s.push_str(&format!("    \"rejected\": {},\n", self.rejected_certs().len()));
+        s.push_str("    \"checks\": [\n");
+        for (i, c) in self.cert_checks.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"stage\": \"{}\", \"unit\": \"{}\", \"label\": \"{}\", \"accepted\": {}, \"reason\": \"{}\"}}{}\n",
+                c.stage,
+                json_escape(&c.unit),
+                json_escape(&c.label),
+                c.accepted,
+                json_escape(&c.reason),
+                if i + 1 == self.cert_checks.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("    ]\n");
         s.push_str("  },\n");
         match &self.race {
             None => s.push_str("  \"race\": null"),
@@ -191,6 +229,7 @@ pub fn verify_compiled(program: &Program, report: &CompileReport) -> VerifyRepor
         verifier_rollbacks,
         final_violations,
         race: race::analyze(program).ok(),
+        cert_checks: nest::recheck_certs(program, report),
     }
 }
 

@@ -1,6 +1,6 @@
 //! F-Mini lint suite (`polarisc --lint`).
 //!
-//! Five static lints over the *parsed, untransformed* program — problems
+//! Six static lints over the *parsed, untransformed* program — problems
 //! worth reporting to the programmer whether or not the restructurer can
 //! work around them:
 //!
@@ -12,6 +12,9 @@
 //! | `dead-store`            | warning  | scalar stored twice with no read between|
 //! | `induction-recurrence`  | warning  | loop-carried scalar recurrence outside  |
 //! |                         |          | the induction-substitutable forms       |
+//! | `nest-locality`         | warning  | loop nest whose innermost stride is     |
+//! |                         |          | non-unit while a legal interchange with |
+//! |                         |          | better estimated locality exists        |
 //!
 //! Findings carry `line:col` spans (col re-derived from the source text,
 //! since the IR keeps only lines) and render to a machine-readable JSON
@@ -121,6 +124,14 @@ pub fn lint_program(program: &Program, source: &str) -> LintReport {
         lint_const_subscript_bounds(unit, &mut sink);
         lint_dead_store(unit, &mut sink);
         lint_induction_recurrence(unit, &mut sink);
+    }
+    // The locality lint needs reduction flags (relaxable rows) to judge
+    // interchange legality the way the compiler will; flag a throwaway
+    // clone so linting stays side-effect free.
+    let mut flagged = program.clone();
+    polaris_core::reduction::flag_reductions(&mut flagged);
+    for unit in &flagged.units {
+        lint_nest_locality(unit, &mut sink);
     }
     lint_common_mismatch(program, &mut sink);
     let mut findings = sink.findings;
@@ -579,6 +590,62 @@ fn for_each_expr(s: &Stmt, f: &mut dyn FnMut(&Expr)) {
     }
 }
 
+/// `nest-locality`: a loop nest runs with a worse memory order than a
+/// *legal* alternative — the column-major stride model scores a
+/// different permutation strictly cheaper and the dependence matrix
+/// permits it. The restructurer performs this interchange itself when
+/// its nest stages are enabled; the lint surfaces the same fact to the
+/// programmer (who may be compiling with `--no-nest-opts` or a baseline
+/// configuration).
+fn lint_nest_locality(unit: &ProgramUnit, sink: &mut Sink) {
+    use polaris_core::nestdeps::{band_of, better_legal_order, summarize_nest};
+    let stats = polaris_core::DdStats::new();
+    fn roots<'a>(list: &'a StmtList, out: &mut Vec<&'a Stmt>) {
+        for s in list.iter() {
+            match &s.kind {
+                StmtKind::Do(d) => {
+                    out.push(s);
+                    let innermost = *band_of(d).last().expect("band");
+                    roots(&innermost.body, out);
+                }
+                StmtKind::IfBlock { arms, else_body } => {
+                    for arm in arms {
+                        roots(&arm.body, out);
+                    }
+                    roots(else_body, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut nest_roots = Vec::new();
+    roots(&unit.body, &mut nest_roots);
+    for s in nest_roots {
+        let d = s.as_do().expect("collected as DO");
+        let summary = summarize_nest(&unit.name, d, &stats);
+        let accesses =
+            polaris_ir::visit::collect_accesses(&band_of(d).last().expect("band").body);
+        if let Some((perm, from, to)) = better_legal_order(&summary, &accesses) {
+            let vars = summary.vars();
+            let order: Vec<&str> = perm.iter().map(|&i| vars[i].as_str()).collect();
+            sink.push(
+                "nest-locality",
+                Severity::Warning,
+                &unit.name,
+                s.line,
+                &d.var,
+                format!(
+                    "loop nest over ({}) has non-optimal memory order; \
+                     the legal order ({}) scores {to} vs {from} in the \
+                     column-major stride model",
+                    vars.join(", "),
+                    order.join(", ")
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -679,5 +746,42 @@ mod tests {
         assert!(j.contains("\"errors\": 1"), "{j}");
         assert!(j.contains("\"line\": 3"), "{j}");
         assert!(j.contains("\"col\":"), "{j}");
+    }
+
+    #[test]
+    fn nest_locality_flags_column_crossing_inner_loop() {
+        // Inner loop J walks the second subscript: stride 34 in the
+        // column-major layout. Swapping to I-inner is legal and cheaper.
+        let r = lints(
+            "program t\nreal a(34,34), b(34,34)\n\
+             do i = 2, 33\n  do j = 2, 33\n\
+             \x20   b(i,j) = a(i,j) + a(i-1,j)\n\
+             end do\nend do\nprint *, b(2,2)\nend\n",
+        );
+        assert!(has(&r, "nest-locality", "legal order (J, I)"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn nest_locality_stays_silent_when_interchange_is_illegal() {
+        // The profitable J-inner... wait: the (<, >) dependence forbids
+        // the only cheaper order, so no finding may be emitted.
+        let r = lints(
+            "program t\nreal a(64,64)\n\
+             do i = 2, 63\n  do j = 2, 63\n\
+             \x20   a(i,j) = a(i+1,j-1) + 1.0\n\
+             end do\nend do\nprint *, a(2,2)\nend\n",
+        );
+        assert!(!has(&r, "nest-locality", ""), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn nest_locality_stays_silent_on_optimal_order() {
+        let r = lints(
+            "program t\nreal a(34,34), b(34,34)\n\
+             do j = 2, 33\n  do i = 2, 33\n\
+             \x20   b(i,j) = a(i,j) + a(i-1,j)\n\
+             end do\nend do\nprint *, b(2,2)\nend\n",
+        );
+        assert!(!has(&r, "nest-locality", ""), "{:?}", r.findings);
     }
 }

@@ -6,9 +6,15 @@
 //! ```text
 //! polarisc [OPTIONS] FILE.f
 //!   --vfa           use the PFA-like baseline pipeline instead of Polaris
+//!   --no-nest-opts  disable the loop-nest restructuring stages
+//!                   (interchange, tiling, fusion); analysis still runs,
+//!                   but no nest is transformed and no legality
+//!                   certificate is emitted
 //!   --report        print the per-loop analysis report
-//!   --diag          print the per-stage pipeline diagnostics table and
-//!                   the simulated speedup at --procs processors
+//!   --diag          print the per-stage pipeline diagnostics table, the
+//!                   legality certificates behind every applied nest
+//!                   transformation (direction-vector matrix included),
+//!                   and the simulated speedup at --procs processors
 //!   --run           execute on the machine and print speedup
 //!   --oracle        execute serially with the dependence oracle attached
 //!                   and audit every PARALLEL claim against the observed
@@ -63,7 +69,10 @@
 //!   --inject-fault STAGE
 //!                   deliberately panic inside the named pipeline stage
 //!                   (testing aid: exercises rollback and the degraded
-//!                   exit path end to end)
+//!                   exit path end to end); `STAGE:force` instead makes a
+//!                   nest stage (interchange/tile/fuse) apply its best
+//!                   *rejected* candidate — the emitted certificate is a
+//!                   lie only the `--verify` re-prover catches
 //! ```
 //!
 //! Exit codes, uniform across `--oracle`, `--verify` and `--lint`:
@@ -85,7 +94,8 @@ use polaris::machine::{Engine, Schedule};
 use polaris::{MachineConfig, PassOptions};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: polarisc [--vfa] [--report] [--diag] [--run] [--oracle] [--verify] \
+const USAGE: &str = "usage: polarisc [--vfa] [--no-nest-opts] [--report] [--diag] [--run] \
+                     [--oracle] [--verify] \
                      [--lint] [--procs N] [--exec-mode simulated|threaded] [--threads N] \
                      [--schedule static|adaptive|stealing] [--engine vm|tree-walk] [--fuel N] \
                      [--validate] [--profile] [--strict] [--quiet] [--trace PATH] [--metrics] \
@@ -102,6 +112,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut file: Option<String> = None;
     let mut vfa = false;
+    let mut no_nest_opts = false;
     let mut report = false;
     let mut diag = false;
     let mut run = false;
@@ -126,6 +137,7 @@ fn main() -> ExitCode {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--vfa" => vfa = true,
+            "--no-nest-opts" => no_nest_opts = true,
             "--report" => report = true,
             "--diag" => diag = true,
             "--run" => run = true,
@@ -281,15 +293,35 @@ fn main() -> ExitCode {
         }
     };
     let mut opts = if vfa { PassOptions::vfa() } else { PassOptions::polaris() };
+    if no_nest_opts {
+        opts.nest_interchange = false;
+        opts.nest_tiling = false;
+        opts.nest_fusion = false;
+    }
     if !inject.is_empty() {
         let known = polaris::core::pipeline::STAGE_NAMES;
+        const NEST_STAGES: [&str; 3] = ["interchange", "tile", "fuse"];
         let mut plan = polaris::core::pipeline::FaultPlan::none();
-        for stage in &inject {
-            if !known.contains(&stage.as_str()) {
-                eprintln!("polarisc: unknown stage `{stage}` (stages: {})", known.join(", "));
+        for spec in &inject {
+            if let Some(stage) = spec.strip_suffix(":force") {
+                if !NEST_STAGES.contains(&stage) {
+                    eprintln!(
+                        "polarisc: `:force` needs a nest stage (stages: {})",
+                        NEST_STAGES.join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+                plan = plan.and_point(polaris::core::pipeline::FaultPoint {
+                    stage: stage.to_string(),
+                    unit: None,
+                    kind: polaris::core::pipeline::FaultKind::ForceIllegal,
+                });
+            } else if known.contains(&spec.as_str()) {
+                plan = plan.and_panic_in(spec.clone());
+            } else {
+                eprintln!("polarisc: unknown stage `{spec}` (stages: {})", known.join(", "));
                 return ExitCode::FAILURE;
             }
-            plan = plan.and_panic_in(stage.clone());
         }
         opts = opts.with_faults(plan);
     }
@@ -371,6 +403,34 @@ fn main() -> ExitCode {
                 "{:<16} {:<12} {:>+10} {:>8.1?}",
                 s.name, outcome, s.ir_delta, s.duration
             );
+        }
+        // The legality certificates behind every applied nest
+        // transformation: the direction/distance matrix the prover
+        // judged, and the transformation it licenses. `--verify`
+        // re-derives each of these from the emitted IR.
+        if !rep.nest.certs.is_empty() {
+            eprintln!();
+            eprintln!(
+                "legality certificates ({} applied, {} candidate(s) rejected):",
+                rep.nest.certs.len(),
+                rep.nest.rejected
+            );
+            for cert in &rep.nest.certs {
+                eprintln!(
+                    "  {:<12} {}/{} over ({}): {}",
+                    cert.kind.stage(),
+                    cert.unit,
+                    cert.label,
+                    cert.loop_vars.join(", "),
+                    cert.kind.describe()
+                );
+                for v in &cert.vectors {
+                    eprintln!("      {}", v.render());
+                }
+            }
+            for reason in &rep.nest.rejections {
+                eprintln!("  rejected     {reason}");
+            }
         }
         // Simulated speedup of the restructured program at the requested
         // processor count. (--procs used to be accepted here but never

@@ -6,10 +6,10 @@
       REAL X(220, 220)
       REAL Y(220, 220)
       PARAMETER (N = 220)
-!$POLARIS DOALL PRIVATE(J0)
-        DO I0 = 1, 220
+!$POLARIS DOALL PRIVATE(I0)
+        DO J0 = 1, 220
 !$POLARIS DOALL
-          DO J0 = 1, 220
+          DO I0 = 1, 220
             X(I0, J0) = 1.0/(I0+2*J0)
             Y(I0, J0) = 1.0/(2*I0+J0)
           END DO

@@ -26,8 +26,8 @@
           DO Z = 1, 24
             TGT(Z) = TGT(Z)*0.999+0.001*Z
           END DO
-          DO C = 2, 60
-            DO Z = 2, 24
+          DO Z = 2, 24
+            DO C = 2, 60
               S(C, Z) = S(C, Z-1)*0.7+S(C-1, Z)*0.1+TGT(Z)*0.2
             END DO
           END DO

@@ -31,11 +31,17 @@
               V(I, J) = V(I, J)-0.05*(PP(I, J+1)-PP(I, J-1))
             END DO
           END DO
+!$POLARIS DOALL PRIVATE(I, IT, J)
+          DO JT = 2, 129, 8
+!$POLARIS DOALL PRIVATE(I, J)
+            DO IT = 2, 129, 8
 !$POLARIS DOALL PRIVATE(I)
-          DO J = 2, 129
+              DO J = JT, JT+7
 !$POLARIS DOALL
-            DO I = 2, 129
-              PP(I, J) = PP(I, J)-0.1*(U(I+1, J)-U(I-1, J)+V(I, J+1)-V(I, J-1))
+                DO I = IT, IT+7
+                  PP(I, J) = PP(I, J)-0.1*(U(I+1, J)-U(I-1, J)+V(I, J+1)-V(I, J-1))
+                END DO
+              END DO
             END DO
           END DO
         END DO

@@ -9,10 +9,10 @@
       PARAMETER (M = 60)
       PARAMETER (N = 48)
       PARAMETER (NVIR = 70560)
-!$POLARIS DOALL PRIVATE(J0)
-        DO I0 = 1, 48
+!$POLARIS DOALL PRIVATE(I0)
+        DO J0 = 1, 48
 !$POLARIS DOALL
-          DO J0 = 1, 48
+          DO I0 = 1, 48
             V(I0, J0) = 1.0/(I0+J0)
           END DO
         END DO

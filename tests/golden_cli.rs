@@ -201,6 +201,96 @@ fn diag_and_verify_match_golden_for_irregular_kernels() {
     }
 }
 
+/// Nest-transformation snapshots: MMT (the transposed matmul whose
+/// (K,I,J) nest must be interchanged to the unit-stride (J,I,K) order
+/// under an interchange certificate, with the scalar accumulator's row
+/// tagged relaxable) and STENCIL2D (the 5-point stencil whose interior
+/// nest must be 8x8 tiled, plus a conformable tail pair that fuses).
+/// The `--diag` snapshot pins the legality-certificate table — stage,
+/// nest, direction/distance matrix, chosen variant — and the `--verify`
+/// snapshot pins the re-prover's `certs` block re-accepting every one
+/// of them from the emitted IR.
+#[test]
+fn diag_and_verify_match_golden_for_nest_kernels() {
+    for (kern, diag, verify) in [
+        ("mmt.f", "MMT.diag.txt", "MMT.verify.json"),
+        ("stencil2d.f", "STENCIL2D.diag.txt", "STENCIL2D.verify.json"),
+    ] {
+        let (_, stderr) = polarisc(&["--diag", "--quiet", &kernel(kern)]);
+        check_golden(diag, &normalize_diag(&stderr));
+        let (stdout, _) = polarisc(&["--verify", &kernel(kern)]);
+        check_golden(verify, &stdout);
+    }
+}
+
+/// `--no-nest-opts` must suppress every nest transformation: no
+/// legality-certificate table in `--diag`, and a `--verify` certs block
+/// with zero checks.
+#[test]
+fn no_nest_opts_suppresses_certs() {
+    let (_, stderr) = polarisc(&["--diag", "--quiet", "--no-nest-opts", &kernel("mmt.f")]);
+    assert!(
+        !stderr.contains("legality certificates"),
+        "--no-nest-opts still printed a cert table:\n{stderr}"
+    );
+    let (stdout, _) = polarisc(&["--verify", "--no-nest-opts", &kernel("mmt.f")]);
+    assert!(
+        stdout.contains("\"checked\": 0"),
+        "--no-nest-opts still emitted cert checks:\n{stdout}"
+    );
+}
+
+/// `--inject-fault STAGE:force` makes a nest stage apply its best
+/// *rejected* candidate while still emitting a certificate for it — a
+/// lie that only the `--verify` re-prover can catch. On a skewed nest
+/// (`A(I,J) = A(I-1,J+1)`, direction vector (<,>)) the forced
+/// interchange inverts a dependence, so the re-derived matrix rejects
+/// it and the violation exit code fires. A `:force` on a non-nest stage
+/// is a usage error naming the valid stages.
+#[test]
+fn forced_illegal_interchange_is_rejected_by_the_verify_reprover() {
+    let dir = std::env::temp_dir().join("polarisc_force_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("skew.f");
+    std::fs::write(
+        &path,
+        "      program skew\n      parameter (n = 16)\n      real a(20, 20)\n      do j0 = 1, n\n        do i0 = 1, n\n          a(i0, j0) = 1.0\n        end do\n      end do\n      do i = 2, n\n        do j = 1, n-1\n          a(i, j) = a(i-1, j+1) + 1.0\n        end do\n      end do\n      s = 0.0\n      do jj = 1, n\n        do ii = 1, n\n          s = s + a(ii, jj)\n        end do\n      end do\n      print *, 'skew sum', s\n      end\n",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_polarisc"))
+        .args(["--verify", "--inject-fault", "interchange:force", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "forced illegal interchange should be a violation exit:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("\"accepted\": false")
+            && stdout.contains("re-derived matrix rejects the permutation"),
+        "re-prover did not reject the forced interchange:\n{stdout}"
+    );
+    // Without the fault the same program verifies clean.
+    let clean = Command::new(env!("CARGO_BIN_EXE_polarisc"))
+        .args(["--verify", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(clean.status.code(), Some(0), "clean skew program should verify");
+    // `:force` only makes sense on a nest-transformation stage.
+    let bad = Command::new(env!("CARGO_BIN_EXE_polarisc"))
+        .args(["--verify", "--inject-fault", "analyze:force", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let bad_err = String::from_utf8_lossy(&bad.stderr);
+    assert_eq!(bad.status.code(), Some(1), "bad :force stage should be a usage error");
+    assert!(
+        bad_err.contains("interchange, tile, fuse"),
+        "usage error should list the nest stages:\n{bad_err}"
+    );
+}
+
 /// Adaptive-dispatch snapshots: the `--schedule adaptive` decision
 /// table printed under `--diag` (per-loop strategy / chunking / thread
 /// count / event, deterministic because the dispatcher is fed simulated

@@ -1,0 +1,211 @@
+//! Conformance net for the nest-transformation stages over the two
+//! locality kernels: MMT must be interchanged and STENCIL2D tiled (plus
+//! its tail loops fused), each under a [`polaris_ir::LegalityCert`] that
+//! the independent `polaris-verify` re-prover re-derives from the final
+//! IR. The transformed programs must then compute bit-identical results
+//! to their **untransformed** serial baselines on every backend — the
+//! tree-walking interpreter, the bytecode VM, the threaded executor at
+//! several widths, and the adaptive controller — with zero runtime
+//! oracle violations. Finally the compiler-side stride-penalty table is
+//! cross-checked against the machine cost model's copy.
+
+use std::sync::Arc;
+
+use polaris::verify::{agreement, verify_compiled};
+use polaris::{MachineConfig, PassOptions};
+use polaris_ir::cert::CertKind;
+use polaris_machine::{audit, run, CostModel, Engine, Schedule};
+use polaris_runtime::AdaptiveController;
+
+/// FNV-1a over newline-joined output, matching the checksum recorded
+/// in `BENCH_figure7.json` (`polaris_bench::fnv1a`).
+fn fnv1a(lines: &[String]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    for line in lines {
+        for &byte in line.as_bytes().iter().chain(b"\n") {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+#[test]
+fn locality_kernels_receive_their_pinned_transformations() {
+    for (b, expected) in &polaris_benchmarks::locality() {
+        let out = polaris::parallelize(b.source, &PassOptions::polaris())
+            .unwrap_or_else(|e| panic!("{}: compile: {e}", b.name));
+        let nest = &out.report.nest;
+        assert!(nest.summarized > 0, "{}: no nest was ever summarized", b.name);
+        let applied: Vec<&str> = nest.certs.iter().map(|c| c.stage()).collect();
+        assert!(
+            applied.contains(expected),
+            "{}: pinned transformation `{expected}` missing; applied {applied:?}\n\
+             rejections: {:?}",
+            b.name,
+            nest.rejections
+        );
+    }
+}
+
+#[test]
+fn mmt_is_interchanged_to_unit_stride_order() {
+    let b = polaris_benchmarks::by_name("MMT").unwrap();
+    let out = polaris::parallelize(b.source, &PassOptions::polaris()).unwrap();
+    let cert = out
+        .report
+        .nest
+        .certs
+        .iter()
+        .find(|c| c.loop_vars == ["K", "I", "J"])
+        .unwrap_or_else(|| panic!("no cert for the (K,I,J) nest: {:?}", out.report.nest.certs));
+    let CertKind::Interchange { perm } = &cert.kind else {
+        panic!("expected an interchange cert, got {:?}", cert.kind);
+    };
+    assert_eq!(perm.as_slice(), &[2, 1, 0], "expected the (J, I, K) dot-product order");
+    // The relaxable-reduction model is load-bearing here: the scalar
+    // accumulator S would otherwise contribute an all-* blocking row.
+    assert!(
+        cert.vectors.iter().any(|v| v.array == "S" && v.relaxable),
+        "S reduction row missing or not relaxable: {:?}",
+        cert.vectors
+    );
+}
+
+#[test]
+fn stencil2d_is_tiled_and_its_tail_loops_fused() {
+    let b = polaris_benchmarks::by_name("STENCIL2D").unwrap();
+    let out = polaris::parallelize(b.source, &PassOptions::polaris()).unwrap();
+    let nest = &out.report.nest;
+    let tile = nest
+        .certs
+        .iter()
+        .find(|c| matches!(c.kind, CertKind::Tile { .. }))
+        .unwrap_or_else(|| panic!("no tile cert: {:?}", nest.certs));
+    let CertKind::Tile { band, sizes } = &tile.kind else { unreachable!() };
+    assert_eq!(band.as_slice(), &[0, 1]);
+    assert!(sizes.iter().all(|&s| s == 8), "{sizes:?}");
+    assert!(
+        nest.certs.iter().any(|c| matches!(c.kind, CertKind::Fuse { .. })),
+        "tail loops did not fuse: {:?}",
+        nest.certs
+    );
+}
+
+#[test]
+fn disabling_nest_opts_leaves_the_nests_alone() {
+    let mut opts = PassOptions::polaris();
+    opts.nest_interchange = false;
+    opts.nest_tiling = false;
+    opts.nest_fusion = false;
+    for (b, _) in &polaris_benchmarks::locality() {
+        let out = polaris::parallelize(b.source, &opts).unwrap();
+        assert!(out.report.nest.certs.is_empty(), "{}: {:?}", b.name, out.report.nest.certs);
+        assert_eq!(out.report.nest.candidates, 0, "{}", b.name);
+    }
+}
+
+/// Both kernels, both engines, serial / threaded / adaptive: the
+/// transformed program must reproduce the *untransformed* program's
+/// serial output byte for byte. The kernels keep integer-valued data
+/// precisely so that reordered and re-merged sums stay exact.
+#[test]
+fn transformed_nests_are_bit_identical_to_untransformed_baselines() {
+    for (b, _) in &polaris_benchmarks::locality() {
+        let reference = run(&b.program(), &MachineConfig::serial())
+            .unwrap_or_else(|e| panic!("{}: reference run: {e}", b.name));
+        assert!(
+            reference.output.iter().any(|l| l.contains("checksum")),
+            "{}: kernel prints no checksum line",
+            b.name
+        );
+        let want = fnv1a(&reference.output);
+
+        let out = polaris::parallelize(b.source, &PassOptions::polaris()).unwrap();
+        assert!(!out.report.nest.certs.is_empty(), "{}: nothing was transformed", b.name);
+        let mut configs: Vec<(String, MachineConfig)> = vec![
+            ("tree-walk serial".into(), MachineConfig::serial().with_engine(Engine::TreeWalk)),
+            ("vm serial".into(), MachineConfig::serial().with_engine(Engine::Vm)),
+        ];
+        for threads in [2usize, 4, 8] {
+            configs.push((
+                format!("threaded x{threads}"),
+                MachineConfig::threaded(threads, Schedule::Static),
+            ));
+        }
+        configs.push((
+            "adaptive x4".into(),
+            MachineConfig::threaded(4, Schedule::Static)
+                .with_adaptive(Arc::new(AdaptiveController::new())),
+        ));
+        for (label, cfg) in configs {
+            // Adaptive runs twice (measure, then re-dispatch) on the
+            // same shared controller inside `cfg`.
+            let passes = if label.starts_with("adaptive") { 2 } else { 1 };
+            for pass in 0..passes {
+                let r = run(&out.program, &cfg)
+                    .unwrap_or_else(|e| panic!("{}: {label}#{pass}: {e}", b.name));
+                assert_eq!(
+                    reference.output, r.output,
+                    "{}: {label}#{pass}: output diverged from the untransformed serial baseline",
+                    b.name
+                );
+                assert_eq!(want, fnv1a(&r.output), "{}: {label}#{pass}: checksum drift", b.name);
+            }
+        }
+    }
+}
+
+/// Zero oracle violations and zero re-prover disagreements on the
+/// transformed kernels; static race `clean` verdicts must survive the
+/// oracle cross-check.
+#[test]
+fn transformed_kernels_are_oracle_clean_and_cert_sound() {
+    for (b, _) in &polaris_benchmarks::locality() {
+        let out = polaris::parallelize(b.source, &PassOptions::polaris()).unwrap();
+        let oracle = audit(&out.program, &out.report)
+            .unwrap_or_else(|e| panic!("{}: oracle: {e}", b.name));
+        assert!(
+            !oracle.has_violations(),
+            "{}: oracle violations: {:?}",
+            b.name,
+            oracle.violations().collect::<Vec<_>>()
+        );
+        let v = verify_compiled(&out.program, &out.report);
+        assert!(v.ok(), "{}: {:?} / rejected certs {:?}", b.name, v.final_violations, v.rejected_certs());
+        assert!(
+            v.certs_ok(),
+            "{}: re-prover rejected a cert: {:?}",
+            b.name,
+            v.rejected_certs()
+        );
+        assert_eq!(v.cert_checks.len(), out.report.nest.certs.len(), "{}", b.name);
+        let race = v.race.as_ref().unwrap_or_else(|| panic!("{}: no race report", b.name));
+        let a = agreement(race, &oracle);
+        assert!(
+            a.sound(),
+            "{}: static `clean` contradicted by the oracle on {:?}",
+            b.name,
+            a.soundness_failures
+        );
+    }
+}
+
+/// The compiler's stride-penalty table and the machine cost model's
+/// copy must agree cell for cell (core cannot depend on the machine
+/// crate, so the table is mirrored, not shared).
+#[test]
+fn stride_penalty_tables_agree_between_compiler_and_machine() {
+    let m = CostModel::default();
+    for coeff in [-3i64, -1, 0, 1, 2, 34] {
+        for varies in [false, true] {
+            assert_eq!(
+                polaris_core::nestdeps::stride_penalty(coeff, varies),
+                m.stride_penalty(coeff, varies),
+                "tables diverge at coeff={coeff} varies={varies}"
+            );
+        }
+    }
+}

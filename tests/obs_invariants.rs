@@ -119,7 +119,7 @@ fn corpus_counter_invariants_seeds_192_256() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Random re-draws from the corpus domain; a failure shrinks toward
     /// the smallest misbehaving seed.

@@ -378,6 +378,162 @@ proptest! {
     }
 }
 
+/// A randomly-shaped 2-D nest carrying a `(<, >)` dependence:
+/// `a(i, j) = a(i - d1, j + d2) + 1.0` with `d1, d2 >= 1`. The flow
+/// dependence has distance `(d1, -d2)` — positive then negative — so
+/// swapping the loops (or tiling the band) would invert a `<`-leading
+/// direction vector. The legality prover must reject both, and a
+/// `ForceIllegal` fault that applies the rejected interchange anyway
+/// must be caught by the independent `polaris-verify` re-prover with
+/// the blame pinned on the `interchange` stage.
+fn skew_program(d1: i64, d2: i64, n: i64) -> String {
+    format!(
+        "program skew\nreal a({n}, {n})\nreal w\n\
+         do j0 = 1, {n}\n  do i0 = 1, {n}\n    a(i0, j0) = mod(i0*3 + j0, 7) * 1.0\n  end do\nend do\n\
+         do i = {}, {}\n  do j = 1, {}\n    a(i, j) = a(i - {d1}, j + {d2}) + 1.0\n  end do\nend do\n\
+         w = 0.0\n\
+         do jj = 1, {n}\n  do ii = 1, {n}\n    w = w + a(ii, jj)\n  end do\nend do\n\
+         print *, 'skew sum', w\nend\n",
+        1 + d1,
+        n,
+        n - d2,
+    )
+}
+
+/// Two conformable loops where the second reads **ahead** of the
+/// first's writes: `a(i) = ...` then `c(i) = a(i + off) + ...`. Fused,
+/// iteration `i` would read a cell the original second loop only saw
+/// after the first loop finished writing — a `(>)`-feasible
+/// cross-body dependence. The fusion prover must reject the pair, and
+/// a forced fusion must be caught by the re-prover with the blame
+/// pinned on the `fuse` stage.
+fn antifuse_program(off: i64, n: i64) -> String {
+    format!(
+        "program af\nreal a({}), b({n}), c({n})\nreal w\n\
+         do k = 1, {}\n  a(k) = mod(k, 5) * 1.0\nend do\n\
+         do k = 1, {n}\n  b(k) = mod(k*3, 7) * 1.0\n  c(k) = 0.0\nend do\n\
+         do i = 1, {n}\n  a(i) = b(i) * 2.0\nend do\n\
+         do i = 1, {n}\n  c(i) = a(i + {off}) + 1.0\nend do\n\
+         w = 0.0\n\
+         do k = 1, {n}\n  w = w + a(k) + c(k)\nend do\n\
+         print *, 'af sum', w\nend\n",
+        n + off,
+        n + off,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The interchange/tiling prover must reject every `(<, >)`-skewed
+    /// nest — no interchange or tile certificate may be emitted for it —
+    /// and the untransformed result must stay sound under adversarial
+    /// execution.
+    #[test]
+    fn skewed_nests_are_never_interchanged_or_tiled(
+        d1 in 1i64..4,
+        d2 in 1i64..4,
+        n in 12i64..24,
+    ) {
+        use polaris_ir::cert::CertKind;
+        let src = skew_program(d1, d2, n);
+        let out = polaris::parallelize(&src, &polaris::PassOptions::polaris())
+            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        for cert in &out.report.nest.certs {
+            prop_assert!(
+                !matches!(cert.kind, CertKind::Interchange { .. } | CertKind::Tile { .. })
+                    || cert.loop_vars != ["I", "J"],
+                "prover licensed a transformation of the skewed (I, J) nest: {cert:?}\n{src}"
+            );
+        }
+        polaris::machine::run_validated(&out.program, &polaris::MachineConfig::challenge_8())
+            .unwrap_or_else(|e| panic!("UNSOUND: {e}\n{src}\n{}", out.annotated_source));
+    }
+
+    /// A `ForceIllegal` fault in the interchange stage applies the
+    /// rejected permutation anyway (the IR stays well-formed, so only
+    /// cert re-derivation can notice). The re-prover must reject the
+    /// certificate and attribute it to the `interchange` stage.
+    #[test]
+    fn forced_illegal_interchange_is_caught_by_the_reprover(
+        d1 in 1i64..4,
+        d2 in 1i64..4,
+        n in 12i64..24,
+    ) {
+        let src = skew_program(d1, d2, n);
+        let opts = polaris::PassOptions::polaris()
+            .with_faults(polaris::core::pipeline::FaultPlan::force_in("interchange"));
+        let out = polaris::parallelize(&src, &opts)
+            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        let forced: Vec<_> = out
+            .report
+            .nest
+            .certs
+            .iter()
+            .filter(|c| c.loop_vars == ["I", "J"] && c.stage() == "interchange")
+            .collect();
+        prop_assert!(
+            !forced.is_empty(),
+            "ForceIllegal did not apply an interchange to the skewed nest\n{src}"
+        );
+        let checks = polaris::verify::recheck_certs(&out.program, &out.report);
+        let caught = checks
+            .iter()
+            .filter(|c| !c.accepted && c.stage == "interchange")
+            .count();
+        prop_assert!(
+            caught >= forced.len(),
+            "re-prover missed a forced illegal interchange\nchecks: {checks:#?}\n{src}"
+        );
+    }
+
+    /// The fusion prover must reject every read-ahead pair — the
+    /// candidate is judged (so it shows up in the rejection ledger) but
+    /// no fuse certificate is emitted — and a forced fusion must be
+    /// caught by the re-prover with the blame pinned on `fuse`.
+    #[test]
+    fn read_ahead_pairs_are_never_fused_and_forced_fusion_is_caught(
+        off in 1i64..5,
+        n in 12i64..24,
+    ) {
+        use polaris_ir::cert::CertKind;
+        let src = antifuse_program(off, n);
+        let out = polaris::parallelize(&src, &polaris::PassOptions::polaris())
+            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        prop_assert!(
+            !out.report.nest.certs.iter().any(|c| matches!(c.kind, CertKind::Fuse { .. })),
+            "prover licensed a read-ahead fusion\n{src}\n{:#?}",
+            out.report.nest.certs
+        );
+        prop_assert!(
+            out.report.nest.rejected > 0,
+            "the read-ahead pair never reached the prover (gate too strict?)\n{src}"
+        );
+        polaris::machine::run_validated(&out.program, &polaris::MachineConfig::challenge_8())
+            .unwrap_or_else(|e| panic!("UNSOUND: {e}\n{src}\n{}", out.annotated_source));
+
+        let opts = polaris::PassOptions::polaris()
+            .with_faults(polaris::core::pipeline::FaultPlan::force_in("fuse"));
+        let forced_out = polaris::parallelize(&src, &opts)
+            .unwrap_or_else(|e| panic!("forced compile failed: {e}\n{src}"));
+        let forced = forced_out
+            .report
+            .nest
+            .certs
+            .iter()
+            .filter(|c| matches!(c.kind, CertKind::Fuse { .. }))
+            .count();
+        prop_assert!(forced > 0, "ForceIllegal did not apply the fusion\n{src}");
+        let checks = polaris::verify::recheck_certs(&forced_out.program, &forced_out.report);
+        let caught =
+            checks.iter().filter(|c| !c.accepted && c.stage == "fuse").count();
+        prop_assert!(
+            caught >= forced,
+            "re-prover missed a forced illegal fusion\nchecks: {checks:#?}\n{src}"
+        );
+    }
+}
+
 /// One raw (strategy, chunking) choice for the adversarial adaptation
 /// cycle. The controller clamps strategies to the compiler's soundness
 /// envelope, so the generator is free to demand speculation on proven
