@@ -1,0 +1,12 @@
+#[test]
+fn triangular_interchange_end_to_end() {
+    let src = "program t\nreal a(64,64)\n\
+               do i = 1, 64\n  do j = 1, i\n\
+               \x20   a(i,j) = 1.0\n\
+               end do\nend do\nprint *, a(1,1)\nend\n";
+    let (p, rep) = polaris_core::parse_and_compile(src, &polaris_core::PassOptions::polaris()).unwrap();
+    let outer = p.units[0].body.loops()[0];
+    eprintln!("interchanges={} outer_var={} outer_limit={:?} certs={}",
+        rep.nest.interchanges, outer.var, outer.limit, rep.nest.certs.len());
+    assert_eq!(rep.nest.interchanges, 0, "pipeline emitted triangular interchange: outer {} limit {:?}", outer.var, outer.limit);
+}
